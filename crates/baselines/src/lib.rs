@@ -1,0 +1,20 @@
+//! Baseline protocols the paper compares against, reimplemented from their
+//! published descriptions over the same substrates as ABNN² (so measured
+//! differences reflect protocol design, not implementation stacks):
+//!
+//! * [`secureml`] — SecureML's (S&P'17) OT-based multiplication triplets:
+//!   ℓ correlated OTs per scalar product, independent of weight bitwidth
+//!   (Table 3's comparison),
+//! * [`minionn`] — MiniONN's (CCS'17) offline linear phase on additively
+//!   homomorphic encryption with plaintext slot packing (Table 4's
+//!   comparison; see `DESIGN.md` for the SEAL→Paillier substitution),
+//! * [`quotient`] — QUOTIENT's (CCS'19) ternary multiplication via two
+//!   binary correlated OTs per weight (Table 5's comparison).
+//!
+//! All baselines share ABNN²'s online machinery (`abnn2_core::relu`,
+//! `abnn2_core::inference::layer_share`) exactly as the paper shares its GC
+//! layer across systems.
+
+pub mod minionn;
+pub mod quotient;
+pub mod secureml;

@@ -1,0 +1,167 @@
+//! SecureML's OT-based multiplication triplets (Mohassel–Zhang, S&P 2017).
+//!
+//! For shares of `w·r` with an ℓ-bit `w`, SecureML runs ℓ correlated OTs —
+//! one per bit of `w`, with correlation `2ᵇ·r` — regardless of how few bits
+//! the weight actually needs. This is exactly the `(1,…,1)` fragmentation
+//! in ABNN² terms but over the *full* ring width, which is why the paper's
+//! advantage grows as quantization shrinks η below ℓ (Tables 1 and 3).
+//!
+//! Matrix–vector only (`o = 1`), which is all Table 3 exercises.
+
+use abnn2_core::ProtocolError;
+use abnn2_math::Ring;
+use abnn2_net::Endpoint;
+use abnn2_ot::{IknpReceiver, IknpSender};
+
+/// Upper bound on OTs per extension batch, to bound peak memory on the
+/// multi-million-OT workloads of Table 3.
+const CHUNK: usize = 1 << 20;
+
+/// Server side (weight holder, OT chooser): learns `u` with
+/// `u + v = W·r (mod 2^ℓ)` for its ring-encoded `m×n` weight matrix.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on dimension mismatch or OT failure.
+pub fn matvec_server(
+    ch: &mut Endpoint,
+    ot: &mut IknpReceiver,
+    weights: &[u64],
+    m: usize,
+    n: usize,
+    ring: Ring,
+) -> Result<Vec<u64>, ProtocolError> {
+    if weights.len() != m * n {
+        return Err(ProtocolError::Dimension("weights length must be m*n"));
+    }
+    let l = ring.bits() as usize;
+    let total = m * n * l;
+    let mut u = vec![0u64; m];
+    let mut done = 0usize;
+    while done < total {
+        let count = CHUNK.min(total - done);
+        let choices: Vec<bool> = (done..done + count)
+            .map(|t| {
+                let (idx, b) = (t / l, t % l);
+                (weights[idx] >> b) & 1 == 1
+            })
+            .collect();
+        let got = ot.recv_correlated(ch, &choices, ring)?;
+        for (off, &x) in got.iter().enumerate() {
+            let idx = (done + off) / l;
+            let i = idx / n;
+            u[i] = ring.add(u[i], x);
+        }
+        done += count;
+    }
+    Ok(u)
+}
+
+/// Client side (vector holder, OT sender): learns `v` with
+/// `u + v = W·r (mod 2^ℓ)`.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on OT failure.
+pub fn matvec_client(
+    ch: &mut Endpoint,
+    ot: &mut IknpSender,
+    r: &[u64],
+    m: usize,
+    ring: Ring,
+) -> Result<Vec<u64>, ProtocolError> {
+    let n = r.len();
+    let l = ring.bits() as usize;
+    let total = m * n * l;
+    let mut v = vec![0u64; m];
+    let mut done = 0usize;
+    while done < total {
+        let count = CHUNK.min(total - done);
+        let deltas: Vec<u64> = (done..done + count)
+            .map(|t| {
+                let (idx, b) = (t / l, t % l);
+                let j = idx % n;
+                ring.mul(1u64.checked_shl(b as u32).unwrap_or(0) & ring.mask(), r[j])
+            })
+            .collect();
+        let x0s = ot.send_correlated(ch, &deltas, ring)?;
+        for (off, &x0) in x0s.iter().enumerate() {
+            let idx = (done + off) / l;
+            let i = idx / n;
+            v[i] = ring.sub(v[i], x0);
+        }
+        done += count;
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_net::{run_pair, NetworkModel};
+    use rand::SeedableRng;
+
+    fn run_matvec(
+        weights: Vec<u64>,
+        m: usize,
+        n: usize,
+        ring: Ring,
+        seed: u64,
+    ) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let r = ring.sample_vec(&mut rng, n);
+        let r2 = r.clone();
+        let (u, v, _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+                let mut ot = IknpReceiver::setup(ch, &mut rng).expect("setup");
+                matvec_server(ch, &mut ot, &weights, m, n, ring).expect("server")
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);
+                let mut ot = IknpSender::setup(ch, &mut rng).expect("setup");
+                matvec_client(ch, &mut ot, &r2, m, ring).expect("client")
+            },
+        );
+        (u, v, r)
+    }
+
+    #[test]
+    fn triplets_are_correct_32_bit() {
+        let ring = Ring::new(32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (m, n) = (3, 5);
+        let weights = ring.sample_vec(&mut rng, m * n);
+        let (u, v, r) = run_matvec(weights.clone(), m, n, ring, 10);
+        for i in 0..m {
+            let expect = ring.dot(&weights[i * n..(i + 1) * n], &r);
+            assert_eq!(ring.add(u[i], v[i]), expect, "row {i}");
+        }
+    }
+
+    #[test]
+    fn triplets_are_correct_64_bit() {
+        let ring = Ring::new(64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let (m, n) = (2, 4);
+        let weights = ring.sample_vec(&mut rng, m * n);
+        let (u, v, r) = run_matvec(weights.clone(), m, n, ring, 20);
+        for i in 0..m {
+            let expect = ring.dot(&weights[i * n..(i + 1) * n], &r);
+            assert_eq!(ring.add(u[i], v[i]), expect, "row {i}");
+        }
+    }
+
+    #[test]
+    fn abnn2_uses_fewer_ots_for_quantized_weights() {
+        // Structural check of the Table 1 relationship: SecureML runs ℓ OTs
+        // per weight; ABNN² runs γ. For 8-bit weights in (2,2,2,2) over
+        // ℤ_{2^64}, that is 64 vs 4.
+        let ring = Ring::new(64);
+        let secureml_ots = ring.bits() as usize; // per weight
+        let abnn2_ots = abnn2_math::FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]).gamma();
+        assert_eq!(secureml_ots, 64);
+        assert_eq!(abnn2_ots, 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! Ablation benches for the design choices called out in `DESIGN.md` §5:
+//! fragment width, one-batch vs multi-batch messages, multi-batch packing
+//! vs repeated OTs, optimized vs oblivious ReLU, and GC adders with free
+//! carry-drop vs explicit modular reduction.
+
+use abnn2_core::matmul::{
+    triplet_client, triplet_client_with, triplet_server, triplet_server_with, TripletConfig,
+    TripletMode,
+};
+use abnn2_core::relu::{relu_client, relu_server, ReluVariant};
+use abnn2_gc::circuit::CircuitBuilder;
+use abnn2_gc::{circuits, garble, YaoEvaluator, YaoGarbler};
+use abnn2_math::{FragmentScheme, Matrix, Ring};
+use abnn2_net::{run_pair, NetworkModel};
+use abnn2_ot::{KkChooser, KkSender};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+fn run_triplet(scheme: &FragmentScheme, m: usize, n: usize, o: usize, mode: TripletMode) -> u64 {
+    let ring = Ring::new(32);
+    let (s1, s2) = (scheme.clone(), scheme.clone());
+    let weights = {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (lo, hi) = scheme.weight_range();
+        (0..m * n).map(|_| rng.gen_range(lo..=hi)).collect::<Vec<i64>>()
+    };
+    let (_, _, report) = run_pair(
+        NetworkModel::instant(),
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+            triplet_server(ch, &mut kk, &weights, m, n, o, &s1, ring, mode).expect("server")
+        },
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+            let r = Matrix::random(n, o, &ring, &mut rng);
+            triplet_client(ch, &mut kk, &r, m, &s2, ring, mode, &mut rng).expect("client")
+        },
+    );
+    report.total_bytes()
+}
+
+/// Fragment-width trade-off: (1,…,1) vs (2,2,2,2) vs (4,4) for 8-bit
+/// weights.
+fn ablation_fragments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fragments_8bit_32x32");
+    g.sample_size(10);
+    for widths in [vec![1u32; 8], vec![2, 2, 2, 2], vec![4, 4]] {
+        let scheme = FragmentScheme::signed_bit_fields(&widths);
+        g.bench_function(scheme.label(), |b| {
+            b.iter(|| run_triplet(&scheme, 32, 32, 1, TripletMode::OneBatch));
+        });
+    }
+    g.finish();
+}
+
+/// §4.1.3 one-batch trick (N−1 messages) vs plain N messages at o = 1.
+fn ablation_onebatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_onebatch_44_32x32");
+    g.sample_size(10);
+    let scheme = FragmentScheme::signed_bit_fields(&[4, 4]);
+    for (name, mode) in [("one_batch", TripletMode::OneBatch), ("multi_batch", TripletMode::MultiBatch)] {
+        let s = scheme.clone();
+        g.bench_function(name, |b| {
+            b.iter(|| run_triplet(&s, 32, 32, 1, mode));
+        });
+    }
+    g.finish();
+}
+
+/// §4.1.2 multi-batch packing (one OT, o-wide messages) vs o repeated
+/// one-batch runs.
+fn ablation_multibatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_multibatch_2222_16x16_o8");
+    g.sample_size(10);
+    let scheme = FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]);
+    let s1 = scheme.clone();
+    g.bench_function("packed_o8", |b| {
+        b.iter(|| run_triplet(&s1, 16, 16, 8, TripletMode::MultiBatch));
+    });
+    let s2 = scheme.clone();
+    g.bench_function("repeated_8x_o1", |b| {
+        b.iter(|| {
+            for _ in 0..8 {
+                run_triplet(&s2, 16, 16, 1, TripletMode::OneBatch);
+            }
+        });
+    });
+    g.finish();
+}
+
+/// §4.2 optimized (comparison-first) ReLU vs Algorithm 2, half the neurons
+/// negative.
+fn ablation_relu(c: &mut Criterion) {
+    let ring = Ring::new(32);
+    let n = 64;
+    let mut g = c.benchmark_group("ablation_relu_64neurons");
+    g.sample_size(10);
+    for (name, variant) in
+        [("oblivious", ReluVariant::Oblivious), ("optimized", ReluVariant::Optimized)]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+                let y: Vec<i64> = (0..n).map(|i| if i % 2 == 0 { 100 + i } else { -100 - i }).collect();
+                let y_ring: Vec<u64> = y.iter().map(|&v| ring.from_i64(v)).collect();
+                let y1 = ring.sample_vec(&mut rng, n as usize);
+                let y0 = ring.sub_vec(&y_ring, &y1);
+                let z1 = ring.sample_vec(&mut rng, n as usize);
+                run_pair(
+                    NetworkModel::instant(),
+                    move |ch| {
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+                        let mut yao = YaoEvaluator::setup(ch, &mut rng).expect("setup");
+                        relu_server(ch, &mut yao, &y0, ring, 0, variant).expect("server")
+                    },
+                    move |ch| {
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+                        let mut yao = YaoGarbler::setup(ch, &mut rng).expect("setup");
+                        relu_client(ch, &mut yao, &y1, &z1, ring, 0, variant, &mut rng)
+                            .expect("client");
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Carry-drop ring adder (ℓ−1 ANDs) vs an adder followed by an explicit
+/// conditional modular subtraction (the cost the paper's ring choice
+/// avoids).
+fn ablation_gc_modulus(c: &mut Criterion) {
+    let bits = 32;
+    let mut g = c.benchmark_group("ablation_gc_modulus");
+    // Carry-drop adder.
+    let ring_add = {
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_word(bits);
+        let y = b.evaluator_word(bits);
+        let s = circuits::add(&mut b, &x, &y);
+        b.build(s.0)
+    };
+    // Adder with an extra (wasteful) comparison + mux, modelling explicit
+    // modular reduction in a non-power-of-two ring.
+    let explicit_mod = {
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_word(bits);
+        let y = b.evaluator_word(bits);
+        let s = circuits::add(&mut b, &x, &y);
+        let lt = circuits::lt_signed(&mut b, &s, &x);
+        let reduced = circuits::sub(&mut b, &s, &y);
+        let out = circuits::mux(&mut b, lt, &reduced, &s);
+        b.build(out.0)
+    };
+    println!(
+        "AND gates: carry-drop {} vs explicit-mod {}",
+        ring_add.and_count(),
+        explicit_mod.and_count()
+    );
+    for (name, circuit) in [("carry_drop", &ring_add), ("explicit_mod", &explicit_mod)] {
+        g.bench_function(name, |b| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            b.iter(|| garble::garble(circuit, &mut rng));
+        });
+    }
+    g.finish();
+}
+
+/// The paper's future-work multi-core parallelization: identical
+/// transcripts, sharded mask computation.
+fn ablation_threads(c: &mut Criterion) {
+    let ring = Ring::new(32);
+    let scheme = FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]);
+    let mut g = c.benchmark_group("ablation_threads_8bit_64x64");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let s = scheme.clone();
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                use rand::Rng;
+                let (m, n) = (64, 64);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+                let (lo, hi) = s.weight_range();
+                let weights: Vec<i64> = (0..m * n).map(|_| rng.gen_range(lo..=hi)).collect();
+                let (s1, s2) = (s.clone(), s.clone());
+                let cfg = TripletConfig::new(TripletMode::OneBatch).with_threads(threads);
+                run_pair(
+                    NetworkModel::instant(),
+                    move |ch| {
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+                        let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+                        triplet_server_with(ch, &mut kk, &weights, m, n, 1, &s1, ring, cfg)
+                            .expect("server")
+                    },
+                    move |ch| {
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+                        let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+                        let r = Matrix::random(n, 1, &ring, &mut rng);
+                        triplet_client_with(ch, &mut kk, &r, m, &s2, ring, cfg, &mut rng)
+                            .expect("client")
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_fragments,
+    ablation_onebatch,
+    ablation_multibatch,
+    ablation_relu,
+    ablation_gc_modulus,
+    ablation_threads
+);
+criterion_main!(benches);

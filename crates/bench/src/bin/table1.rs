@@ -1,0 +1,71 @@
+//! Table 1: analytic OT counts and communication of SecureML vs ABNN²
+//! (multi-batch and one-batch), instantiated for the paper's workloads.
+
+use abnn2_bench::print_table;
+use abnn2_core::complexity::{ours_multi_batch, ours_one_batch, secureml};
+
+fn main() {
+    println!("Table 1 reproduction: OT complexity of SecureML and ABNN2");
+    println!("(matrix multiplication W[m x n] * R[n x o] over Z_2^l, kappa = 128)");
+
+    println!("\nSymbolic formulas:");
+    println!("  SecureML       #OT = l(l+1)/128 * mno   comm = mno*l*(l+1)*(1 + kappa/64) bits");
+    println!("  Ours M-Batch   #OT = gamma*m*n           comm = gamma*m*n*(o*l*N + 2*kappa) bits");
+    println!("  Ours 1-Batch   #OT = gamma*m*n           comm = gamma*m*n*(l*(N-1) + 2*kappa) bits");
+
+    // Instantiations: the Fig-4 first layer and the Table-3 microbenchmark.
+    let cases: [(&str, usize, usize, usize, u32); 4] = [
+        ("Fig4 L1, o=1,  l=32", 128, 784, 1, 32),
+        ("Fig4 L1, o=128,l=32", 128, 784, 128, 32),
+        ("128x1000 vec,  l=64", 128, 1000, 1, 64),
+        ("128x100 vec,   l=64", 128, 100, 1, 64),
+    ];
+    // 8-bit weights as (2,2,2,2): gamma = 4, N = 4.
+    let (gamma, big_n) = (4usize, 4u64);
+
+    let mut rows = Vec::new();
+    for (name, m, n, o, l) in cases {
+        let s = secureml(m, n, o, l);
+        let mb = ours_multi_batch(m, n, o, l, big_n, gamma);
+        let ob = ours_one_batch(m, n, l, big_n, gamma);
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.3e}", s.ot_count),
+            format!("{:.2}", s.comm_mib()),
+            format!("{:.3e}", mb.ot_count),
+            format!("{:.2}", mb.comm_mib()),
+            format!("{:.3e}", ob.ot_count),
+            format!("{:.2}", ob.comm_mib()),
+        ]);
+    }
+    print_table(
+        "Table 1 (8-bit weights, (2,2,2,2) fragmentation)",
+        &[
+            "workload",
+            "SecureML #OT",
+            "SecureML MiB",
+            "M-Batch #OT",
+            "M-Batch MiB",
+            "1-Batch #OT",
+            "1-Batch MiB",
+        ],
+        &rows,
+    );
+
+    // Advantage vs N for one-batch: the paper caps N at 16.
+    let mut rows = Vec::new();
+    for (label, big_n, gamma) in [
+        ("(1,...,1)  N=2,  g=8", 2u64, 8usize),
+        ("(2,2,2,2)  N=4,  g=4", 4, 4),
+        ("(3,3,2)    N=8,  g=3", 8, 3),
+        ("(4,4)      N=16, g=2", 16, 2),
+    ] {
+        let c = ours_one_batch(128, 784, 32, big_n, gamma);
+        rows.push(vec![label.to_owned(), format!("{:.0}", c.ot_count), format!("{:.2}", c.comm_mib())]);
+    }
+    print_table(
+        "One-batch cost vs fragmentation (Fig4 L1, l=32, 8-bit weights)",
+        &["fragmentation", "#OT", "comm MiB"],
+        &rows,
+    );
+}

@@ -1,0 +1,121 @@
+//! Secure classification output (extension): reveal only the *predicted
+//! class* to the client, not the logits.
+//!
+//! The paper's protocol opens the final layer's shares toward the client,
+//! which leaks all logits. Here the last step instead evaluates a
+//! masked-argmax garbled circuit
+//! ([`abnn2_gc::circuits::argmax_mask_circuit`]): the server (evaluator)
+//! learns `argmax ⊕ mask` — uniformly random to it — forwards it, and the
+//! client removes its mask. Neither party sees a single logit.
+
+use crate::ProtocolError;
+use abnn2_gc::circuit::{bits_to_u64, u64_to_bits};
+use abnn2_gc::{circuits, YaoEvaluator, YaoGarbler};
+use abnn2_math::Ring;
+use abnn2_net::Endpoint;
+use rand::Rng;
+
+/// Server (evaluator) side: holds logit shares `y0`, forwards the masked
+/// class index to the client. Learns nothing (the mask blinds the index).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on disconnection or garbling failure.
+pub fn argmax_server(
+    ch: &mut Endpoint,
+    yao: &mut YaoEvaluator,
+    y0: &[u64],
+    ring: Ring,
+) -> Result<(), ProtocolError> {
+    if y0.is_empty() {
+        return Err(ProtocolError::Dimension("argmax needs at least one logit"));
+    }
+    let bits = ring.bits() as usize;
+    let n = y0.len();
+    let circuit = circuits::argmax_mask_circuit(bits, n);
+    let my_bits: Vec<bool> = y0.iter().flat_map(|&v| u64_to_bits(v, bits)).collect();
+    let out = yao.run(ch, &circuit, &my_bits)?;
+    ch.send(&[bits_to_u64(&out) as u8])?;
+    Ok(())
+}
+
+/// Client (garbler) side: holds logit shares `y1`; returns the predicted
+/// class index.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on disconnection or garbling failure.
+pub fn argmax_client<RNG: Rng + ?Sized>(
+    ch: &mut Endpoint,
+    yao: &mut YaoGarbler,
+    y1: &[u64],
+    ring: Ring,
+    rng: &mut RNG,
+) -> Result<usize, ProtocolError> {
+    if y1.is_empty() {
+        return Err(ProtocolError::Dimension("argmax needs at least one logit"));
+    }
+    let bits = ring.bits() as usize;
+    let n = y1.len();
+    let idx_bits = circuits::argmax_index_bits(n);
+    let mask: u64 = rng.gen::<u64>() & ((1 << idx_bits) - 1);
+    let circuit = circuits::argmax_mask_circuit(bits, n);
+    let mut my_bits: Vec<bool> = y1.iter().flat_map(|&v| u64_to_bits(v, bits)).collect();
+    my_bits.extend(u64_to_bits(mask, idx_bits));
+    for i in 0..n as u64 {
+        my_bits.extend(u64_to_bits(i, idx_bits));
+    }
+    yao.run(ch, &circuit, &my_bits, rng)?;
+    let masked = ch.recv()?;
+    if masked.len() != 1 {
+        return Err(ProtocolError::Malformed("masked class index length"));
+    }
+    Ok(((u64::from(masked[0])) ^ mask) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_net::{run_pair, NetworkModel};
+    use rand::SeedableRng;
+
+    fn run_argmax(values: Vec<i64>, seed: u64) -> usize {
+        let ring = Ring::new(32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v_ring: Vec<u64> = values.iter().map(|&v| ring.from_i64(v)).collect();
+        let y1 = ring.sample_vec(&mut rng, values.len());
+        let y0 = ring.sub_vec(&v_ring, &y1);
+        let ((), idx, _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+                let mut yao = YaoEvaluator::setup(ch, &mut rng).expect("setup");
+                argmax_server(ch, &mut yao, &y0, ring).expect("server");
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);
+                let mut yao = YaoGarbler::setup(ch, &mut rng).expect("setup");
+                argmax_client(ch, &mut yao, &y1, ring, &mut rng).expect("client")
+            },
+        );
+        idx
+    }
+
+    #[test]
+    fn finds_the_maximum_class() {
+        assert_eq!(run_argmax(vec![-5, 100, 3], 300), 1);
+        assert_eq!(run_argmax(vec![7, -100, 3, 6], 301), 0);
+        assert_eq!(run_argmax(vec![-9, -8, -1], 302), 2);
+    }
+
+    #[test]
+    fn ten_class_logits() {
+        let logits: Vec<i64> = vec![12, -4, 99, 0, 98, -50, 7, 3, 2, 1];
+        assert_eq!(run_argmax(logits, 303), 2);
+    }
+
+    #[test]
+    fn single_class_degenerate() {
+        assert_eq!(run_argmax(vec![-42], 304), 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Beaver multiplication triples over ℤ_{2^ℓ} (extension).
+//!
+//! ABNN²'s linear layers never multiply two *shared* values — one operand
+//! (the weight) is always known to the server, which is what makes the
+//! 1-out-of-N protocol work. Supporting share×share products (squaring
+//! activations à la CryptoNets, attention-style bilinear layers) needs
+//! classic Beaver triples `⟨a⟩, ⟨b⟩, ⟨ab⟩`. We generate them with Gilboa's
+//! OT product — ℓ correlated OTs per cross term, built on the same IKNP
+//! machinery as the SecureML baseline — and provide the standard masked
+//! multiplication on top.
+
+use crate::ProtocolError;
+use abnn2_math::Ring;
+use abnn2_net::Endpoint;
+use abnn2_ot::{IknpReceiver, IknpSender};
+use rand::Rng;
+
+/// One party's share of a multiplication triple `c = a·b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeaverTriple {
+    /// Share of `a`.
+    pub a: u64,
+    /// Share of `b`.
+    pub b: u64,
+    /// Share of `c = a·b`.
+    pub c: u64,
+}
+
+/// Gilboa OT product: this party holds `xs`; the peer holds `ys`; outputs
+/// are shares of `xs[i]·ys[i]`. This side is the *chooser* on its bits.
+fn gilboa_chooser(
+    ch: &mut Endpoint,
+    ot: &mut IknpReceiver,
+    xs: &[u64],
+    ring: Ring,
+) -> Result<Vec<u64>, ProtocolError> {
+    let l = ring.bits() as usize;
+    let choices: Vec<bool> =
+        xs.iter().flat_map(|&x| (0..l).map(move |b| (x >> b) & 1 == 1)).collect();
+    let got = ot.recv_correlated(ch, &choices, ring)?;
+    Ok(got
+        .chunks_exact(l)
+        .map(|chunk| chunk.iter().fold(0u64, |acc, &v| ring.add(acc, v)))
+        .collect())
+}
+
+/// Gilboa OT product, sender side: supplies correlations `2^b·ys[i]`.
+fn gilboa_sender(
+    ch: &mut Endpoint,
+    ot: &mut IknpSender,
+    ys: &[u64],
+    ring: Ring,
+) -> Result<Vec<u64>, ProtocolError> {
+    let l = ring.bits() as usize;
+    let deltas: Vec<u64> = ys
+        .iter()
+        .flat_map(|&y| (0..l).map(move |b| y.wrapping_shl(b as u32)))
+        .map(|d| ring.reduce(d))
+        .collect();
+    let x0s = ot.send_correlated(ch, &deltas, ring)?;
+    Ok(x0s
+        .chunks_exact(l)
+        .map(|chunk| ring.neg(chunk.iter().fold(0u64, |acc, &v| ring.add(acc, v))))
+        .collect())
+}
+
+/// Generates `count` triples; "party 0" side. Requires one OT session in
+/// each direction (this side: receiver `ot_r`, sender `ot_s`).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on OT failure.
+pub fn generate_p0<R: Rng + ?Sized>(
+    ch: &mut Endpoint,
+    ot_r: &mut IknpReceiver,
+    ot_s: &mut IknpSender,
+    count: usize,
+    ring: Ring,
+    rng: &mut R,
+) -> Result<Vec<BeaverTriple>, ProtocolError> {
+    let a0 = ring.sample_vec(rng, count);
+    let b0 = ring.sample_vec(rng, count);
+    // a0·b1: we choose on bits of a0.
+    let t1 = gilboa_chooser(ch, ot_r, &a0, ring)?;
+    // a1·b0: we supply correlations from b0.
+    let w2 = gilboa_sender(ch, ot_s, &b0, ring)?;
+    Ok((0..count)
+        .map(|i| BeaverTriple {
+            a: a0[i],
+            b: b0[i],
+            c: ring.add(ring.mul(a0[i], b0[i]), ring.add(t1[i], w2[i])),
+        })
+        .collect())
+}
+
+/// Generates `count` triples; "party 1" side (mirror of
+/// [`generate_p0`] — this side: sender first, then receiver).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on OT failure.
+pub fn generate_p1<R: Rng + ?Sized>(
+    ch: &mut Endpoint,
+    ot_s: &mut IknpSender,
+    ot_r: &mut IknpReceiver,
+    count: usize,
+    ring: Ring,
+    rng: &mut R,
+) -> Result<Vec<BeaverTriple>, ProtocolError> {
+    let a1 = ring.sample_vec(rng, count);
+    let b1 = ring.sample_vec(rng, count);
+    let w1 = gilboa_sender(ch, ot_s, &b1, ring)?;
+    let t2 = gilboa_chooser(ch, ot_r, &a1, ring)?;
+    Ok((0..count)
+        .map(|i| BeaverTriple {
+            a: a1[i],
+            b: b1[i],
+            c: ring.add(ring.mul(a1[i], b1[i]), ring.add(w1[i], t2[i])),
+        })
+        .collect())
+}
+
+/// Multiplies shared vectors with precomputed triples: both parties call
+/// this symmetrically; `party` is 0 or 1. One message each way (the
+/// openings of `x − a` and `y − b`).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on disconnection, length mismatch, or if
+/// fewer triples than values are supplied.
+pub fn mul_shares(
+    ch: &mut Endpoint,
+    triples: &[BeaverTriple],
+    xs: &[u64],
+    ys: &[u64],
+    ring: Ring,
+    party: u8,
+) -> Result<Vec<u64>, ProtocolError> {
+    if xs.len() != ys.len() {
+        return Err(ProtocolError::Dimension("operand lengths differ"));
+    }
+    if triples.len() < xs.len() {
+        return Err(ProtocolError::Dimension("not enough triples"));
+    }
+    let n = xs.len();
+    // Open d = x − a and e = y − b.
+    let mut opening = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        opening.push(ring.sub(xs[i], triples[i].a));
+        opening.push(ring.sub(ys[i], triples[i].b));
+    }
+    ch.send(&ring.encode_slice(&opening))?;
+    let theirs_bytes = ch.recv()?;
+    if theirs_bytes.len() != 2 * n * ring.byte_len() {
+        return Err(ProtocolError::Malformed("beaver opening length"));
+    }
+    let theirs = ring.decode_slice(&theirs_bytes);
+    Ok((0..n)
+        .map(|i| {
+            let d = ring.add(opening[2 * i], theirs[2 * i]);
+            let e = ring.add(opening[2 * i + 1], theirs[2 * i + 1]);
+            let mut z = ring.add(
+                triples[i].c,
+                ring.add(ring.mul(d, triples[i].b), ring.mul(e, triples[i].a)),
+            );
+            if party == 0 {
+                z = ring.add(z, ring.mul(d, e));
+            }
+            z
+        })
+        .collect())
+}
+
+/// Squares shared values (`x·x`) with triples — the building block for a
+/// CryptoNets-style square activation.
+///
+/// # Errors
+///
+/// As [`mul_shares`].
+pub fn square_shares(
+    ch: &mut Endpoint,
+    triples: &[BeaverTriple],
+    xs: &[u64],
+    ring: Ring,
+    party: u8,
+) -> Result<Vec<u64>, ProtocolError> {
+    mul_shares(ch, triples, xs, xs, ring, party)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_net::{run_pair, NetworkModel};
+    use rand::SeedableRng;
+
+    fn with_triples<A: Send, B: Send>(
+        count: usize,
+        f0: impl FnOnce(&mut Endpoint, Vec<BeaverTriple>) -> A + Send,
+        f1: impl FnOnce(&mut Endpoint, Vec<BeaverTriple>) -> B + Send,
+    ) -> (A, B) {
+        let ring = Ring::new(32);
+        let (a, b, _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(400);
+                let mut ot_r = IknpReceiver::setup(ch, &mut rng).expect("setup r");
+                let mut ot_s = IknpSender::setup(ch, &mut rng).expect("setup s");
+                let t = generate_p0(ch, &mut ot_r, &mut ot_s, count, ring, &mut rng).expect("gen");
+                f0(ch, t)
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(401);
+                let mut ot_s = IknpSender::setup(ch, &mut rng).expect("setup s");
+                let mut ot_r = IknpReceiver::setup(ch, &mut rng).expect("setup r");
+                let t = generate_p1(ch, &mut ot_s, &mut ot_r, count, ring, &mut rng).expect("gen");
+                f1(ch, t)
+            },
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn triples_satisfy_the_relation() {
+        let ring = Ring::new(32);
+        let (t0, t1) = with_triples(20, |_, t| t, |_, t| t);
+        for i in 0..20 {
+            let a = ring.add(t0[i].a, t1[i].a);
+            let b = ring.add(t0[i].b, t1[i].b);
+            let c = ring.add(t0[i].c, t1[i].c);
+            assert_eq!(c, ring.mul(a, b), "triple {i}");
+        }
+    }
+
+    #[test]
+    fn shared_multiplication_is_correct() {
+        let ring = Ring::new(32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(402);
+        let n = 10;
+        let xs = ring.sample_vec(&mut rng, n);
+        let ys = ring.sample_vec(&mut rng, n);
+        let x1 = ring.sample_vec(&mut rng, n);
+        let y1 = ring.sample_vec(&mut rng, n);
+        let x0 = ring.sub_vec(&xs, &x1);
+        let y0 = ring.sub_vec(&ys, &y1);
+        let (z0, z1) = with_triples(
+            n,
+            move |ch, t| mul_shares(ch, &t, &x0, &y0, ring, 0).expect("mul p0"),
+            move |ch, t| mul_shares(ch, &t, &x1, &y1, ring, 1).expect("mul p1"),
+        );
+        for i in 0..n {
+            assert_eq!(ring.add(z0[i], z1[i]), ring.mul(xs[i], ys[i]), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn shared_squaring_is_correct() {
+        let ring = Ring::new(32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(403);
+        let n = 8;
+        let xs = ring.sample_vec(&mut rng, n);
+        let x1 = ring.sample_vec(&mut rng, n);
+        let x0 = ring.sub_vec(&xs, &x1);
+        let (z0, z1) = with_triples(
+            n,
+            move |ch, t| square_shares(ch, &t, &x0, ring, 0).expect("sq p0"),
+            move |ch, t| square_shares(ch, &t, &x1, ring, 1).expect("sq p1"),
+        );
+        for i in 0..n {
+            assert_eq!(ring.add(z0[i], z1[i]), ring.mul(xs[i], xs[i]), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn too_few_triples_rejected() {
+        let ring = Ring::new(32);
+        let (r0, r1) = with_triples(
+            2,
+            move |ch, t| mul_shares(ch, &t, &[1, 2, 3], &[4, 5, 6], ring, 0),
+            move |ch, t| mul_shares(ch, &t, &[1, 2, 3], &[4, 5, 6], ring, 1),
+        );
+        assert_eq!(r0.err(), Some(ProtocolError::Dimension("not enough triples")));
+        assert_eq!(r1.err(), Some(ProtocolError::Dimension("not enough triples")));
+    }
+}

@@ -1,0 +1,514 @@
+//! Secure CNN inference (extension beyond the paper's FC-only evaluation).
+//!
+//! Convolutions reduce to the paper's §4.1 matrix protocol through the
+//! im2col lowering — a *local linear rearrangement*, so each party applies
+//! it to its own share and the triplet protocol runs unchanged with
+//! `o = oh·ow` output positions (multi-batch packing for free). Max-pooling
+//! mixes shared values non-linearly and runs in a garbled circuit
+//! ([`abnn2_gc::circuits::max_pool_reshare_vec_circuit`]), re-sharing each
+//! window maximum just like the ReLU layers.
+//!
+//! Pipeline (batch size 1): conv → ReLU(+truncation) → max-pool → dense
+//! stack, exactly matching [`QuantizedCnn::forward_exact`] share-for-share.
+
+use crate::inference::layer_share;
+use crate::matmul::{triplet_client_with, triplet_server_with, TripletConfig, TripletMode};
+use crate::relu::{relu_client, relu_server, ReluVariant};
+use crate::session::{ClientSession, ServerSession};
+use crate::ProtocolError;
+use abnn2_gc::circuit::{bits_to_u64, u64_to_bits};
+use abnn2_gc::{circuits, YaoEvaluator, YaoGarbler};
+use abnn2_math::{Matrix, Ring};
+use abnn2_net::Endpoint;
+use abnn2_nn::conv::{im2col, pool_windows, ConvShape, QuantizedCnn};
+use abnn2_nn::quant::QuantConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Public description of a served CNN (architecture, no weights).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicCnnInfo {
+    /// Fixed-point hyper-parameters.
+    pub config: QuantConfig,
+    /// Input feature-map shape.
+    pub in_shape: ConvShape,
+    /// Filter count of the conv layer.
+    pub out_channels: usize,
+    /// Kernel height / width / stride.
+    pub kernel: (usize, usize, usize),
+    /// Pooling window.
+    pub pool_window: usize,
+    /// Dense dims after flattening the pooled map: `[in, hidden…, out]`.
+    pub dense_dims: Vec<usize>,
+}
+
+impl From<&QuantizedCnn> for PublicCnnInfo {
+    fn from(net: &QuantizedCnn) -> Self {
+        let mut dense_dims = vec![net.dense[0].in_dim];
+        dense_dims.extend(net.dense.iter().map(|l| l.out_dim));
+        PublicCnnInfo {
+            config: net.config.clone(),
+            in_shape: net.conv.in_shape,
+            out_channels: net.conv.out_channels,
+            kernel: (net.conv.kh, net.conv.kw, net.conv.stride),
+            pool_window: net.pool_window,
+            dense_dims,
+        }
+    }
+}
+
+impl PublicCnnInfo {
+    fn conv_out_shape(&self) -> ConvShape {
+        let (kh, kw, stride) = self.kernel;
+        let (oh, ow) = abnn2_nn::conv::conv_out_dims(self.in_shape, kh, kw, stride);
+        ConvShape { channels: self.out_channels, height: oh, width: ow }
+    }
+}
+
+/// Secure max-pool, server (evaluator) side: pools its shares of a CHW map
+/// into fresh shares of the window maxima.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on mismatch or garbling failure.
+pub fn maxpool_server(
+    ch: &mut Endpoint,
+    yao: &mut YaoEvaluator,
+    shares: &[u64],
+    shape: ConvShape,
+    window: usize,
+    ring: Ring,
+) -> Result<Vec<u64>, ProtocolError> {
+    if shares.len() != shape.len() {
+        return Err(ProtocolError::Dimension("share map length mismatch"));
+    }
+    let windows = pool_windows(shape, window);
+    let bits = ring.bits() as usize;
+    let circuit = circuits::max_pool_reshare_vec_circuit(bits, window * window, windows.len());
+    let mut my_bits = Vec::with_capacity(windows.len() * window * window * bits);
+    for w in &windows {
+        for &idx in w {
+            my_bits.extend(u64_to_bits(shares[idx], bits));
+        }
+    }
+    let out = yao.run(ch, &circuit, &my_bits)?;
+    Ok(out.chunks(bits).map(bits_to_u64).collect())
+}
+
+/// Secure max-pool, client (garbler) side: supplies its shares and the
+/// fresh output masks `z1` (one per window).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on mismatch or garbling failure.
+#[allow(clippy::too_many_arguments)]
+pub fn maxpool_client<RNG: Rng + ?Sized>(
+    ch: &mut Endpoint,
+    yao: &mut YaoGarbler,
+    shares: &[u64],
+    z1: &[u64],
+    shape: ConvShape,
+    window: usize,
+    ring: Ring,
+    rng: &mut RNG,
+) -> Result<(), ProtocolError> {
+    if shares.len() != shape.len() {
+        return Err(ProtocolError::Dimension("share map length mismatch"));
+    }
+    let windows = pool_windows(shape, window);
+    if z1.len() != windows.len() {
+        return Err(ProtocolError::Dimension("mask count must equal window count"));
+    }
+    let bits = ring.bits() as usize;
+    let circuit = circuits::max_pool_reshare_vec_circuit(bits, window * window, windows.len());
+    let mut my_bits = Vec::with_capacity((windows.len() * (window * window + 1)) * bits);
+    for w in &windows {
+        for &idx in w {
+            my_bits.extend(u64_to_bits(shares[idx], bits));
+        }
+    }
+    for &z in z1 {
+        my_bits.extend(u64_to_bits(z, bits));
+    }
+    yao.run(ch, &circuit, &my_bits, rng)?;
+    Ok(())
+}
+
+/// The CNN-serving party.
+#[derive(Debug, Clone)]
+pub struct CnnServer {
+    net: QuantizedCnn,
+    variant: ReluVariant,
+    threads: usize,
+}
+
+impl CnnServer {
+    /// Serves a quantized CNN (batch size 1).
+    #[must_use]
+    pub fn new(net: QuantizedCnn) -> Self {
+        CnnServer { net, variant: ReluVariant::Oblivious, threads: 1 }
+    }
+
+    /// Multi-core triplet generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// The public model description.
+    #[must_use]
+    pub fn public_info(&self) -> PublicCnnInfo {
+        PublicCnnInfo::from(&self.net)
+    }
+
+    /// Runs one secure prediction, server side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on any subprotocol failure.
+    pub fn run<R: Rng + ?Sized>(&self, ch: &mut Endpoint, rng: &mut R) -> Result<(), ProtocolError> {
+        let ring = self.net.config.ring;
+        let fw = self.net.config.weight_frac_bits;
+        let conv = &self.net.conv;
+        let mut session = ServerSession::setup(ch, rng)?;
+
+        // Offline: conv triplet (o = output positions) + dense triplets.
+        let out_shape = conv.out_shape();
+        let positions = out_shape.height * out_shape.width;
+        let cfg = TripletConfig::new(TripletMode::MultiBatch).with_threads(self.threads);
+        let u_conv = triplet_server_with(
+            ch,
+            &mut session.kk,
+            &conv.weights,
+            conv.out_channels,
+            conv.patch_len(),
+            positions,
+            &self.net.config.scheme,
+            ring,
+            cfg,
+        )?;
+        let dense_cfg = TripletConfig::new(TripletMode::OneBatch).with_threads(self.threads);
+        let mut us = Vec::with_capacity(self.net.dense.len());
+        for layer in &self.net.dense {
+            us.push(triplet_server_with(
+                ch,
+                &mut session.kk,
+                &layer.weights,
+                layer.out_dim,
+                layer.in_dim,
+                1,
+                &self.net.config.scheme,
+                ring,
+                dense_cfg,
+            )?);
+        }
+
+        // Online: blinded image in, conv share, ReLU, max-pool, dense stack.
+        let x0_bytes = ch.recv()?;
+        if x0_bytes.len() != conv.in_shape.len() * ring.byte_len() {
+            return Err(ProtocolError::Malformed("blinded image length"));
+        }
+        let x0 = ring.decode_slice(&x0_bytes);
+        let x0_col = im2col(&x0, conv.in_shape, conv.kh, conv.kw, conv.stride);
+        // y0 = W·x0_col + bias + U (same structure as a dense layer share).
+        let mut y0 = Matrix::zeros(conv.out_channels, positions);
+        for oc in 0..conv.out_channels {
+            let row = &conv.weights[oc * conv.patch_len()..(oc + 1) * conv.patch_len()];
+            for p in 0..positions {
+                let mut acc = ring.add(conv.bias[oc], u_conv.get(oc, p));
+                for (j, &w) in row.iter().enumerate() {
+                    acc = acc.wrapping_add(x0_col.get(j, p).wrapping_mul(w as u64));
+                }
+                y0.set(oc, p, ring.reduce(acc));
+            }
+        }
+
+        let z0 = relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.variant)?;
+        let pooled0 =
+            maxpool_server(ch, &mut session.yao, &z0, out_shape, self.net.pool_window, ring)?;
+
+        let mut cur = Matrix::column(pooled0);
+        let last = self.net.dense.len() - 1;
+        for (l, layer) in self.net.dense.iter().enumerate() {
+            let y0 = layer_share(layer, &cur, &us[l], ring);
+            if l == last {
+                ch.send(&ring.encode_slice(y0.as_slice()))?;
+                return Ok(());
+            }
+            let z0 = relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.variant)?;
+            cur = Matrix::column(z0);
+        }
+        unreachable!("loop returns at the last layer")
+    }
+}
+
+/// The CNN data-owning party.
+#[derive(Debug, Clone)]
+pub struct CnnClient {
+    info: PublicCnnInfo,
+    variant: ReluVariant,
+    threads: usize,
+}
+
+impl CnnClient {
+    /// Creates a client for a served CNN.
+    #[must_use]
+    pub fn new(info: PublicCnnInfo) -> Self {
+        CnnClient { info, variant: ReluVariant::Oblivious, threads: 1 }
+    }
+
+    /// Multi-core triplet generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Runs one secure prediction over a fixed-point CHW image; returns the
+    /// reconstructed raw outputs at `f + f_w` fractional bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on any subprotocol failure.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        ch: &mut Endpoint,
+        image_fp: &[u64],
+        rng: &mut R,
+    ) -> Result<Vec<u64>, ProtocolError> {
+        let ring = self.info.config.ring;
+        let fw = self.info.config.weight_frac_bits;
+        let (kh, kw, stride) = self.info.kernel;
+        if image_fp.len() != self.info.in_shape.len() {
+            return Err(ProtocolError::Dimension("image length mismatch"));
+        }
+        let mut session = ClientSession::setup(ch, rng)?;
+
+        // Offline randomness: image mask, ReLU output mask (= pool input
+        // share), pool output mask (= dense-0 input share), dense masks.
+        let out_shape = self.info.conv_out_shape();
+        let r_img = ring.sample_vec(rng, self.info.in_shape.len());
+        let r_col = im2col(&r_img, self.info.in_shape, kh, kw, stride);
+        let cfg = TripletConfig::new(TripletMode::MultiBatch).with_threads(self.threads);
+        let v_conv = triplet_client_with(
+            ch,
+            &mut session.kk,
+            &r_col,
+            self.info.out_channels,
+            &self.info.config.scheme,
+            ring,
+            cfg,
+            rng,
+        )?;
+        let dense_cfg = TripletConfig::new(TripletMode::OneBatch).with_threads(self.threads);
+        let n_dense = self.info.dense_dims.len() - 1;
+        let mut r_dense = Vec::with_capacity(n_dense);
+        let mut v_dense = Vec::with_capacity(n_dense);
+        for l in 0..n_dense {
+            let r = Matrix::random(self.info.dense_dims[l], 1, &ring, rng);
+            let v = triplet_client_with(
+                ch,
+                &mut session.kk,
+                &r,
+                self.info.dense_dims[l + 1],
+                &self.info.config.scheme,
+                ring,
+                dense_cfg,
+                rng,
+            )?;
+            r_dense.push(r);
+            v_dense.push(v);
+        }
+        let r_relu = ring.sample_vec(rng, out_shape.len());
+
+        // Online.
+        let x0 = ring.sub_vec(image_fp, &r_img);
+        ch.send(&ring.encode_slice(&x0))?;
+
+        // Conv ReLU: y1 = V_conv (channel-major = CHW order), z1 = r_relu.
+        relu_client(ch, &mut session.yao, v_conv.as_slice(), &r_relu, ring, fw, self.variant, rng)?;
+        // Max-pool: y1 = r_relu, z1 = dense-0 input mask.
+        maxpool_client(
+            ch,
+            &mut session.yao,
+            &r_relu,
+            r_dense[0].as_slice(),
+            out_shape,
+            self.info.pool_window,
+            ring,
+            rng,
+        )?;
+
+        for l in 0..n_dense {
+            let y1 = &v_dense[l];
+            if l == n_dense - 1 {
+                let m = self.info.dense_dims[n_dense];
+                let y0_bytes = ch.recv()?;
+                if y0_bytes.len() != m * ring.byte_len() {
+                    return Err(ProtocolError::Malformed("output share length"));
+                }
+                let y0 = ring.decode_slice(&y0_bytes);
+                return Ok(ring.add_vec(&y0, y1.as_slice()));
+            }
+            relu_client(
+                ch,
+                &mut session.yao,
+                y1.as_slice(),
+                r_dense[l + 1].as_slice(),
+                ring,
+                fw,
+                self.variant,
+                rng,
+            )?;
+        }
+        unreachable!("loop returns at the last layer")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_math::FragmentScheme;
+    use abnn2_net::{run_pair, NetworkModel};
+    use abnn2_nn::conv::QuantizedConv;
+    use abnn2_nn::quant::QuantizedDense;
+    use rand::SeedableRng;
+
+    fn small_cnn(seed: u64, scheme: FragmentScheme) -> QuantizedCnn {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (lo, hi) = scheme.weight_range();
+        let in_shape = ConvShape { channels: 1, height: 8, width: 8 };
+        let conv = QuantizedConv {
+            out_channels: 2,
+            in_shape,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            weights: (0..2 * 9).map(|_| rng.gen_range(lo..=hi)).collect(),
+            bias: vec![5, 3],
+        };
+        // conv out 2×6×6 → pool 2 → 2×3×3 = 18 → dense 18→6→4.
+        let mk_dense = |out_dim: usize, in_dim: usize, rng: &mut rand::rngs::StdRng| QuantizedDense {
+            out_dim,
+            in_dim,
+            weights: (0..out_dim * in_dim).map(|_| rng.gen_range(lo..=hi)).collect(),
+            bias: (0..out_dim as u64).collect(),
+        };
+        let d1 = mk_dense(6, 18, &mut rng);
+        let d2 = mk_dense(4, 6, &mut rng);
+        let config = QuantConfig {
+            ring: Ring::new(32),
+            frac_bits: 6,
+            weight_frac_bits: if scheme.eta() <= 2 { 0 } else { 3 },
+            scheme,
+        };
+        QuantizedCnn { config, conv, pool_window: 2, dense: vec![d1, d2] }
+    }
+
+    fn check_cnn(scheme: FragmentScheme, seed: u64) {
+        let cnn = small_cnn(seed, scheme);
+        let ring = cnn.config.ring;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+        // A mildly-scaled fixed-point image.
+        let image: Vec<u64> = (0..cnn.conv.in_shape.len())
+            .map(|_| ring.reduce(rng.gen_range(0..1u64 << cnn.config.frac_bits)))
+            .collect();
+        let expect = cnn.forward_exact(&image);
+
+        let server = CnnServer::new(cnn.clone());
+        let client = CnnClient::new(server.public_info());
+        let image2 = image.clone();
+        let (srv, got, _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);
+                server.run(ch, &mut rng)
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 3);
+                client.run(ch, &image2, &mut rng).expect("client")
+            },
+        );
+        srv.expect("server");
+        assert_eq!(got, expect, "secure CNN must equal forward_exact");
+    }
+
+    #[test]
+    fn secure_cnn_matches_plaintext_8bit() {
+        check_cnn(FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]), 200);
+    }
+
+    #[test]
+    fn secure_cnn_matches_plaintext_ternary() {
+        check_cnn(FragmentScheme::ternary(), 210);
+    }
+
+    #[test]
+    fn secure_maxpool_standalone() {
+        let ring = Ring::new(32);
+        let shape = ConvShape { channels: 2, height: 4, width: 4 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(220);
+        let values: Vec<i64> = (0..shape.len() as i64).map(|i| (i * 37 % 101) - 50).collect();
+        let x: Vec<u64> = values.iter().map(|&v| ring.from_i64(v)).collect();
+        let x1 = ring.sample_vec(&mut rng, x.len());
+        let x0 = ring.sub_vec(&x, &x1);
+        let z1 = ring.sample_vec(&mut rng, 2 * 2 * 2);
+        let (x1c, z1c) = (x1.clone(), z1.clone());
+        let (z0, (), _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(221);
+                let mut yao = YaoEvaluator::setup(ch, &mut rng).expect("setup");
+                maxpool_server(ch, &mut yao, &x0, shape, 2, ring).expect("server")
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(222);
+                let mut yao = YaoGarbler::setup(ch, &mut rng).expect("setup");
+                maxpool_client(ch, &mut yao, &x1c, &z1c, shape, 2, ring, &mut rng)
+                    .expect("client");
+            },
+        );
+        let (expect, _) = abnn2_nn::conv::maxpool_ring(&x, shape, 2, ring);
+        for (w, &e) in expect.iter().enumerate() {
+            assert_eq!(ring.add(z0[w], z1[w]), e, "window {w}");
+        }
+    }
+
+    #[test]
+    fn mismatched_mask_count_rejected() {
+        // z1 must have one entry per pooling window; mismatches are caught
+        // before any garbling.
+        let ring = Ring::new(32);
+        let shape = ConvShape { channels: 1, height: 4, width: 4 };
+        let (z0_res, (), _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(230);
+                let mut yao = YaoEvaluator::setup(ch, &mut rng).expect("setup");
+                maxpool_server(ch, &mut yao, &[0u64; 16], shape, 2, ring)
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(231);
+                let mut yao = YaoGarbler::setup(ch, &mut rng).expect("setup");
+                // 3 masks instead of 4 windows: dimension error, no I/O.
+                let err = maxpool_client(ch, &mut yao, &[0u64; 16], &[0u64; 3], shape, 2, ring, &mut rng)
+                    .expect_err("must reject");
+                assert!(matches!(err, ProtocolError::Dimension(_)));
+            },
+        );
+        // Server fails because the garbler never sent material.
+        assert!(z0_res.is_err());
+    }
+}

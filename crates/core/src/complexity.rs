@@ -1,0 +1,107 @@
+//! Closed-form OT and communication counts (Table 1 of the paper).
+//!
+//! For a matrix product `W (m×n) · R (n×o)` over ℤ_{2^ℓ} with security
+//! parameter κ:
+//!
+//! | protocol | #OT | communication (bits) |
+//! |---|---|---|
+//! | SecureML | ℓ(ℓ+1)/128 · mno | mnoℓ(ℓ+1)(1 + κ/64) |
+//! | ABNN² multi-batch | γmn | γmn(oℓN + 2κ) |
+//! | ABNN² one-batch | γmn | γmn(ℓ(N−1) + 2κ) |
+
+/// Security parameter κ used throughout the paper (bits).
+pub const KAPPA: f64 = 128.0;
+
+/// OT count and communication volume for one matrix multiplication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatmulCost {
+    /// Number of (amortized) OT invocations.
+    pub ot_count: f64,
+    /// Total communication in bits.
+    pub comm_bits: f64,
+}
+
+impl MatmulCost {
+    /// Communication in mebibytes.
+    #[must_use]
+    pub fn comm_mib(&self) -> f64 {
+        self.comm_bits / 8.0 / (1024.0 * 1024.0)
+    }
+}
+
+/// SecureML's OT-based triplet generation (their §B, as summarized in
+/// Table 1): ℓ correlated OTs per scalar product with 128-bit packing.
+#[must_use]
+pub fn secureml(m: usize, n: usize, o: usize, l: u32) -> MatmulCost {
+    let (m, n, o, l) = (m as f64, n as f64, o as f64, f64::from(l));
+    MatmulCost {
+        ot_count: l * (l + 1.0) / 128.0 * m * n * o,
+        comm_bits: m * n * o * l * (l + 1.0) * (1.0 + KAPPA / 64.0),
+    }
+}
+
+/// ABNN² multi-batch (§4.1.2): γmn OTs, each carrying N messages of o
+/// packed ring elements, plus the 2κ-bit KK13 column share per OT.
+#[must_use]
+pub fn ours_multi_batch(m: usize, n: usize, o: usize, l: u32, big_n: u64, gamma: usize) -> MatmulCost {
+    let gmn = (gamma * m * n) as f64;
+    MatmulCost {
+        ot_count: gmn,
+        comm_bits: gmn * (o as f64 * f64::from(l) * big_n as f64 + 2.0 * KAPPA),
+    }
+}
+
+/// ABNN² one-batch (§4.1.3): γmn OTs with the correlated-OT trick — N−1
+/// messages of ℓ bits each, plus 2κ per OT.
+#[must_use]
+pub fn ours_one_batch(m: usize, n: usize, l: u32, big_n: u64, gamma: usize) -> MatmulCost {
+    let gmn = (gamma * m * n) as f64;
+    MatmulCost {
+        ot_count: gmn,
+        comm_bits: gmn * (f64::from(l) * (big_n as f64 - 1.0) + 2.0 * KAPPA),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secureml_formula() {
+        // 128×128 by 128×1, ℓ = 64: ℓ(ℓ+1)/128 = 32.5 OTs per element.
+        let c = secureml(128, 128, 1, 64);
+        assert!((c.ot_count - 32.5 * 128.0 * 128.0).abs() < 1e-6);
+        assert!(c.comm_bits > 0.0);
+    }
+
+    #[test]
+    fn ours_beats_secureml_at_low_bitwidth() {
+        // Binary weights, one batch: the paper's headline advantage.
+        let ours = ours_one_batch(128, 1000, 64, 2, 1);
+        let them = secureml(128, 1000, 1, 64);
+        assert!(ours.comm_bits < them.comm_bits / 10.0);
+        assert!(ours.ot_count < them.ot_count);
+    }
+
+    #[test]
+    fn one_batch_cheaper_than_multi_batch_at_o_1() {
+        let one = ours_one_batch(10, 10, 32, 4, 4);
+        let multi = ours_multi_batch(10, 10, 1, 32, 4, 4);
+        assert!(one.comm_bits < multi.comm_bits);
+        assert_eq!(one.ot_count, multi.ot_count);
+    }
+
+    #[test]
+    fn multi_batch_amortizes() {
+        // Per-prediction communication falls as o grows.
+        let o1 = ours_multi_batch(128, 784, 1, 32, 4, 4);
+        let o128 = ours_multi_batch(128, 784, 128, 32, 4, 4);
+        assert!(o128.comm_bits / 128.0 < o1.comm_bits);
+    }
+
+    #[test]
+    fn mib_conversion() {
+        let c = MatmulCost { ot_count: 0.0, comm_bits: 8.0 * 1024.0 * 1024.0 };
+        assert!((c.comm_mib() - 1.0).abs() < 1e-12);
+    }
+}

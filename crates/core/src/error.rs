@@ -1,0 +1,76 @@
+//! Protocol-level error type.
+
+use abnn2_gc::GcError;
+use abnn2_net::ChannelError;
+use abnn2_ot::OtError;
+
+/// Errors raised by the ABNN² protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The peer disconnected.
+    Channel,
+    /// An oblivious-transfer subprotocol failed.
+    Ot(OtError),
+    /// A garbled-circuit subprotocol failed.
+    Gc(GcError),
+    /// A received message had an unexpected length or structure.
+    Malformed(&'static str),
+    /// Caller-supplied dimensions are inconsistent.
+    Dimension(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Channel => write!(f, "peer disconnected during protocol"),
+            ProtocolError::Ot(e) => write!(f, "oblivious transfer failed: {e}"),
+            ProtocolError::Gc(e) => write!(f, "garbled circuit failed: {e}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed protocol message: {what}"),
+            ProtocolError::Dimension(what) => write!(f, "dimension mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Ot(e) => Some(e),
+            ProtocolError::Gc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChannelError> for ProtocolError {
+    fn from(_: ChannelError) -> Self {
+        ProtocolError::Channel
+    }
+}
+
+impl From<OtError> for ProtocolError {
+    fn from(e: OtError) -> Self {
+        ProtocolError::Ot(e)
+    }
+}
+
+impl From<GcError> for ProtocolError {
+    fn from(e: GcError) -> Self {
+        ProtocolError::Gc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(ProtocolError::from(ChannelError), ProtocolError::Channel);
+        let e = ProtocolError::from(OtError::InvalidPoint);
+        assert!(e.to_string().contains("oblivious transfer"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ProtocolError::from(GcError::Channel);
+        assert!(matches!(e, ProtocolError::Gc(_)));
+        assert!(ProtocolError::Dimension("batch").to_string().contains("batch"));
+    }
+}

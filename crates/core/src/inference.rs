@@ -1,0 +1,596 @@
+//! End-to-end secure inference (Fig 2 of the paper).
+//!
+//! The server holds a [`QuantizedNetwork`]; the client holds inputs and the
+//! public [`PublicModelInfo`] (architecture + fixed-point hyper-parameters —
+//! never the weights). The pipeline splits into:
+//!
+//! * **offline** — data-independent: for every linear layer, dot-product
+//!   triplets `U + V = W·R` are generated from client-chosen randomness `R`
+//!   via the §4.1 OT protocols;
+//! * **online** — the client blinds its input with `R⁰`, each linear layer
+//!   costs one local matrix product plus the precomputed triplet, each
+//!   activation runs a §4.2 garbled circuit whose fresh client share *is*
+//!   the next layer's `R`, and the last layer's shares are opened toward
+//!   the client.
+//!
+//! The client's reconstructed outputs equal
+//! [`QuantizedNetwork::forward_exact`] bit for bit.
+
+use crate::matmul::{triplet_client_with, triplet_server_with, TripletConfig};
+use crate::relu::{relu_client, relu_server, ReluVariant};
+use crate::session::{ClientSession, ServerSession};
+use crate::ProtocolError;
+use abnn2_math::{Matrix, Ring};
+use abnn2_net::Endpoint;
+use abnn2_nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The public description of a served model: everything the client needs to
+/// run the protocol, nothing that reveals the weights.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicModelInfo {
+    /// Layer dimensions `[in, hidden…, out]`.
+    pub dims: Vec<usize>,
+    /// Fixed-point pipeline hyper-parameters (ring, fraction bits, scheme).
+    pub config: QuantConfig,
+}
+
+impl From<&QuantizedNetwork> for PublicModelInfo {
+    fn from(net: &QuantizedNetwork) -> Self {
+        PublicModelInfo { dims: net.dims(), config: net.config.clone() }
+    }
+}
+
+/// `W·X + b + U` — the server's online share of a linear layer. Exposed so
+/// baseline protocols (MiniONN, QUOTIENT) can share the identical online
+/// linear step while substituting their own offline triplets.
+#[must_use]
+pub fn layer_share(layer: &QuantizedDense, x: &Matrix, u: &Matrix, ring: Ring) -> Matrix {
+    let batch = x.cols();
+    let mut y = Matrix::zeros(layer.out_dim, batch);
+    for i in 0..layer.out_dim {
+        let row = layer.row(i);
+        for k in 0..batch {
+            let mut acc = ring.add(layer.bias[i], u.get(i, k));
+            for (j, &w) in row.iter().enumerate() {
+                acc = acc.wrapping_add(x.get(j, k).wrapping_mul(w as u64));
+            }
+            y.set(i, k, ring.reduce(acc));
+        }
+    }
+    y
+}
+
+/// Server-side state after the offline phase.
+#[derive(Debug)]
+pub struct ServerOffline {
+    session: ServerSession,
+    us: Vec<Matrix>,
+    batch: usize,
+}
+
+/// Client-side state after the offline phase.
+#[derive(Debug)]
+pub struct ClientOffline {
+    session: ClientSession,
+    rs: Vec<Matrix>,
+    vs: Vec<Matrix>,
+    batch: usize,
+}
+
+/// The model-serving party.
+#[derive(Debug, Clone)]
+pub struct SecureServer {
+    net: QuantizedNetwork,
+    variant: ReluVariant,
+    threads: usize,
+}
+
+impl SecureServer {
+    /// Serves `net` with the default (fully oblivious) activation protocol.
+    #[must_use]
+    pub fn new(net: QuantizedNetwork) -> Self {
+        SecureServer { net, variant: ReluVariant::Oblivious, threads: 1 }
+    }
+
+    /// Selects the activation variant (must match the client's).
+    #[must_use]
+    pub fn with_variant(mut self, variant: ReluVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Enables multi-core triplet generation (the paper's future-work
+    /// optimization; transcript-compatible with any client thread count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// The public model description to hand to clients.
+    #[must_use]
+    pub fn public_info(&self) -> PublicModelInfo {
+        PublicModelInfo::from(&self.net)
+    }
+
+    /// Offline phase: session setup plus per-layer triplet generation for a
+    /// batch of `batch` predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on any subprotocol failure.
+    pub fn offline<R: Rng + ?Sized>(
+        &self,
+        ch: &mut Endpoint,
+        batch: usize,
+        rng: &mut R,
+    ) -> Result<ServerOffline, ProtocolError> {
+        if batch == 0 {
+            return Err(ProtocolError::Dimension("batch must be positive"));
+        }
+        let mut session = ServerSession::setup(ch, rng)?;
+        let ring = self.net.config.ring;
+        let scheme = &self.net.config.scheme;
+        let cfg = TripletConfig::for_batch(batch).with_threads(self.threads);
+        let mut us = Vec::with_capacity(self.net.layers.len());
+        for layer in &self.net.layers {
+            us.push(triplet_server_with(
+                ch,
+                &mut session.kk,
+                &layer.weights,
+                layer.out_dim,
+                layer.in_dim,
+                batch,
+                scheme,
+                ring,
+                cfg,
+            )?);
+        }
+        Ok(ServerOffline { session, us, batch })
+    }
+
+    /// Runs the hidden layers, returning the session and the server's
+    /// share of the final-layer outputs.
+    fn online_to_logits(
+        &self,
+        ch: &mut Endpoint,
+        state: ServerOffline,
+    ) -> Result<(ServerSession, Matrix), ProtocolError> {
+        let ServerOffline { mut session, us, batch } = state;
+        let ring = self.net.config.ring;
+        let fw = self.net.config.weight_frac_bits;
+        let n0 = self.net.layers[0].in_dim;
+
+        let x0_bytes = ch.recv()?;
+        if x0_bytes.len() != n0 * batch * ring.byte_len() {
+            return Err(ProtocolError::Malformed("blinded input length"));
+        }
+        let mut cur = Matrix::new(n0, batch, ring.decode_slice(&x0_bytes));
+
+        let last = self.net.layers.len() - 1;
+        for (l, layer) in self.net.layers.iter().enumerate() {
+            let y0 = layer_share(layer, &cur, &us[l], ring);
+            if l == last {
+                return Ok((session, y0));
+            }
+            let z0 =
+                relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.variant)?;
+            cur = Matrix::new(layer.out_dim, batch, z0);
+        }
+        unreachable!("loop returns at the last layer")
+    }
+
+    /// Online phase: consumes offline state, processes one batch, opening
+    /// the logit shares toward the client (the paper's Fig-2 flow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on any subprotocol failure.
+    pub fn online(
+        &self,
+        ch: &mut Endpoint,
+        state: ServerOffline,
+    ) -> Result<(), ProtocolError> {
+        let ring = self.net.config.ring;
+        let (_, y0) = self.online_to_logits(ch, state)?;
+        ch.send(&ring.encode_slice(y0.as_slice()))?;
+        Ok(())
+    }
+
+    /// Classification-only online phase (extension): instead of opening the
+    /// logits, a masked-argmax circuit reveals *only the class index* to
+    /// the client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on any subprotocol failure.
+    pub fn online_classify(
+        &self,
+        ch: &mut Endpoint,
+        state: ServerOffline,
+    ) -> Result<(), ProtocolError> {
+        let ring = self.net.config.ring;
+        let batch = state.batch;
+        let (mut session, y0) = self.online_to_logits(ch, state)?;
+        for k in 0..batch {
+            crate::argmax::argmax_server(ch, &mut session.yao, &y0.col(k), ring)?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: offline followed by online.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on any subprotocol failure.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        ch: &mut Endpoint,
+        batch: usize,
+        rng: &mut R,
+    ) -> Result<(), ProtocolError> {
+        let state = self.offline(ch, batch, rng)?;
+        self.online(ch, state)
+    }
+}
+
+/// The data-owning party.
+#[derive(Debug, Clone)]
+pub struct SecureClient {
+    info: PublicModelInfo,
+    variant: ReluVariant,
+    threads: usize,
+}
+
+impl SecureClient {
+    /// Creates a client for a served model.
+    #[must_use]
+    pub fn new(info: PublicModelInfo) -> Self {
+        SecureClient { info, variant: ReluVariant::Oblivious, threads: 1 }
+    }
+
+    /// Selects the activation variant (must match the server's).
+    #[must_use]
+    pub fn with_variant(mut self, variant: ReluVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Enables multi-core triplet generation; independent of the server's
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Offline phase: session setup, choose per-layer randomness `R`, run
+    /// the triplet protocols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on any subprotocol failure.
+    pub fn offline<R: Rng + ?Sized>(
+        &self,
+        ch: &mut Endpoint,
+        batch: usize,
+        rng: &mut R,
+    ) -> Result<ClientOffline, ProtocolError> {
+        if batch == 0 {
+            return Err(ProtocolError::Dimension("batch must be positive"));
+        }
+        let mut session = ClientSession::setup(ch, rng)?;
+        let ring = self.info.config.ring;
+        let scheme = &self.info.config.scheme;
+        let cfg = TripletConfig::for_batch(batch).with_threads(self.threads);
+        let n_layers = self.info.dims.len() - 1;
+        let mut rs = Vec::with_capacity(n_layers);
+        let mut vs = Vec::with_capacity(n_layers);
+        for l in 0..n_layers {
+            let r = Matrix::random(self.info.dims[l], batch, &ring, rng);
+            let v = triplet_client_with(
+                ch,
+                &mut session.kk,
+                &r,
+                self.info.dims[l + 1],
+                scheme,
+                ring,
+                cfg,
+                rng,
+            )?;
+            rs.push(r);
+            vs.push(v);
+        }
+        Ok(ClientOffline { session, rs, vs, batch })
+    }
+
+    /// Online phase over ring-encoded inputs: returns the raw output shares
+    /// reconstructed into ring elements (`out_dim × batch`, at
+    /// `f + f_w` fractional bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on failure or if inputs mismatch the batch.
+    /// Runs the hidden layers, returning the session and the client's
+    /// share of the final-layer outputs.
+    fn online_to_logits<R: Rng + ?Sized>(
+        &self,
+        ch: &mut Endpoint,
+        state: ClientOffline,
+        inputs_fp: &[Vec<u64>],
+        rng: &mut R,
+    ) -> Result<(ClientSession, Matrix), ProtocolError> {
+        let ClientOffline { mut session, rs, vs, batch } = state;
+        let ring = self.info.config.ring;
+        let fw = self.info.config.weight_frac_bits;
+        let n0 = self.info.dims[0];
+        if inputs_fp.len() != batch {
+            return Err(ProtocolError::Dimension("input count must equal batch"));
+        }
+        if inputs_fp.iter().any(|x| x.len() != n0) {
+            return Err(ProtocolError::Dimension("input dimension mismatch"));
+        }
+
+        // x as a n0×batch matrix, one column per sample.
+        let mut x = Matrix::zeros(n0, batch);
+        for (k, sample) in inputs_fp.iter().enumerate() {
+            for (j, &v) in sample.iter().enumerate() {
+                x.set(j, k, ring.reduce(v));
+            }
+        }
+        let x0 = x.sub(&rs[0], &ring);
+        ch.send(&ring.encode_slice(x0.as_slice()))?;
+
+        let n_layers = self.info.dims.len() - 1;
+        for l in 0..n_layers - 1 {
+            relu_client(
+                ch,
+                &mut session.yao,
+                vs[l].as_slice(),
+                rs[l + 1].as_slice(),
+                ring,
+                fw,
+                self.variant,
+                rng,
+            )?;
+        }
+        let y1 = vs.into_iter().next_back().expect("at least one layer");
+        Ok((session, y1))
+    }
+
+    /// Online phase over ring-encoded inputs: returns the raw output shares
+    /// reconstructed into ring elements (`out_dim × batch`, at
+    /// `f + f_w` fractional bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on failure or if inputs mismatch the batch.
+    pub fn online_raw<R: Rng + ?Sized>(
+        &self,
+        ch: &mut Endpoint,
+        state: ClientOffline,
+        inputs_fp: &[Vec<u64>],
+        rng: &mut R,
+    ) -> Result<Matrix, ProtocolError> {
+        let ring = self.info.config.ring;
+        let batch = state.batch;
+        let (_, y1) = self.online_to_logits(ch, state, inputs_fp, rng)?;
+        let m = *self.info.dims.last().expect("non-empty dims");
+        let y0_bytes = ch.recv()?;
+        if y0_bytes.len() != m * batch * ring.byte_len() {
+            return Err(ProtocolError::Malformed("output share length"));
+        }
+        let y0 = Matrix::new(m, batch, ring.decode_slice(&y0_bytes));
+        Ok(y0.add(&y1, &ring))
+    }
+
+    /// Classification-only online phase (extension): returns just the
+    /// predicted class per sample; neither party sees a logit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on failure or if inputs mismatch the batch.
+    pub fn online_classify<R: Rng + ?Sized>(
+        &self,
+        ch: &mut Endpoint,
+        state: ClientOffline,
+        inputs_fp: &[Vec<u64>],
+        rng: &mut R,
+    ) -> Result<Vec<usize>, ProtocolError> {
+        let ring = self.info.config.ring;
+        let batch = state.batch;
+        let (mut session, y1) = self.online_to_logits(ch, state, inputs_fp, rng)?;
+        (0..batch)
+            .map(|k| crate::argmax::argmax_client(ch, &mut session.yao, &y1.col(k), ring, rng))
+            .collect()
+    }
+
+    /// Online phase over float inputs: returns per-sample logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on failure or mismatched inputs.
+    pub fn online<R: Rng + ?Sized>(
+        &self,
+        ch: &mut Endpoint,
+        state: ClientOffline,
+        inputs: &[Vec<f64>],
+        rng: &mut R,
+    ) -> Result<Vec<Vec<f64>>, ProtocolError> {
+        let in_codec = self.info.config.activation_codec();
+        let out_codec = self.info.config.output_codec();
+        let inputs_fp: Vec<Vec<u64>> =
+            inputs.iter().map(|x| in_codec.encode_vec(x)).collect();
+        let y = self.online_raw(ch, state, &inputs_fp, rng)?;
+        Ok((0..y.cols()).map(|k| out_codec.decode_vec(&y.col(k))).collect())
+    }
+
+    /// Convenience: offline followed by online.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on any subprotocol failure.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        ch: &mut Endpoint,
+        inputs: &[Vec<f64>],
+        rng: &mut R,
+    ) -> Result<Vec<Vec<f64>>, ProtocolError> {
+        let state = self.offline(ch, inputs.len(), rng)?;
+        self.online(ch, state, inputs, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_math::FragmentScheme;
+    use abnn2_net::{run_pair, NetworkModel};
+    use abnn2_nn::{Network, SyntheticMnist};
+    use rand::SeedableRng;
+
+    fn tiny_quantized(seed: u64, scheme: FragmentScheme, fw: u32) -> QuantizedNetwork {
+        let data = SyntheticMnist::generate(120, 0, seed);
+        let mut net = Network::new(&[784, 12, 8, 10], seed);
+        net.train_epoch(&data.train, 0.05);
+        let config = QuantConfig {
+            ring: Ring::new(32),
+            frac_bits: 8,
+            weight_frac_bits: fw,
+            scheme,
+        };
+        QuantizedNetwork::quantize(&net, config)
+    }
+
+    fn secure_vs_plaintext(q: QuantizedNetwork, batch: usize, variant: ReluVariant, seed: u64) {
+        let data = SyntheticMnist::generate(batch, 0, seed + 9);
+        let inputs: Vec<Vec<f64>> =
+            data.train.iter().take(batch).map(|s| s.pixels.clone()).collect();
+        let codec = q.config.activation_codec();
+        let inputs_fp: Vec<Vec<u64>> = inputs.iter().map(|x| codec.encode_vec(x)).collect();
+        let expected: Vec<Vec<u64>> = inputs_fp.iter().map(|x| q.forward_exact(x)).collect();
+
+        let server = SecureServer::new(q.clone()).with_variant(variant);
+        let client = SecureClient::new(server.public_info()).with_variant(variant);
+        let inputs_fp2 = inputs_fp.clone();
+        let (srv, y, _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+                server.run(ch, batch, &mut rng)
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);
+                let state = client.offline(ch, batch, &mut rng).expect("offline");
+                client.online_raw(ch, state, &inputs_fp2, &mut rng).expect("online")
+            },
+        );
+        srv.expect("server");
+        for k in 0..batch {
+            assert_eq!(y.col(k), expected[k], "sample {k} must match forward_exact");
+        }
+    }
+
+    #[test]
+    fn secure_inference_matches_plaintext_8bit_single() {
+        let q = tiny_quantized(50, FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]), 4);
+        secure_vs_plaintext(q, 1, ReluVariant::Oblivious, 60);
+    }
+
+    #[test]
+    fn secure_inference_matches_plaintext_8bit_batch() {
+        let q = tiny_quantized(51, FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]), 4);
+        secure_vs_plaintext(q, 3, ReluVariant::Oblivious, 61);
+    }
+
+    #[test]
+    fn secure_inference_matches_plaintext_ternary() {
+        let q = tiny_quantized(52, FragmentScheme::ternary(), 0);
+        secure_vs_plaintext(q, 2, ReluVariant::Oblivious, 62);
+    }
+
+    #[test]
+    fn secure_inference_optimized_relu() {
+        let q = tiny_quantized(53, FragmentScheme::signed_bit_fields(&[3, 3, 2]), 4);
+        secure_vs_plaintext(q, 2, ReluVariant::Optimized, 63);
+    }
+
+    #[test]
+    fn float_logits_classify_like_plaintext() {
+        let q = tiny_quantized(54, FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]), 4);
+        let data = SyntheticMnist::generate(2, 0, 70);
+        let inputs: Vec<Vec<f64>> = data.train.iter().map(|s| s.pixels.clone()).collect();
+        let server = SecureServer::new(q.clone());
+        let client = SecureClient::new(server.public_info());
+        let inputs2 = inputs.clone();
+        let (_, logits, _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+                server.run(ch, 2, &mut rng).expect("server");
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+                client.run(ch, &inputs2, &mut rng).expect("client")
+            },
+        );
+        for (k, input) in inputs.iter().enumerate() {
+            let plain = q.forward(input);
+            assert_eq!(abnn2_nn::model::argmax(&logits[k]), abnn2_nn::model::argmax(&plain));
+        }
+    }
+
+    #[test]
+    fn classify_reveals_only_the_class() {
+        let q = tiny_quantized(56, FragmentScheme::signed_bit_fields(&[2, 2]), 2);
+        let batch = 2;
+        let data = SyntheticMnist::generate(batch, 0, 57);
+        let inputs: Vec<Vec<f64>> = data.train.iter().map(|s| s.pixels.clone()).collect();
+        let codec = q.config.activation_codec();
+        let inputs_fp: Vec<Vec<u64>> = inputs.iter().map(|x| codec.encode_vec(x)).collect();
+        let server = SecureServer::new(q.clone());
+        let client = SecureClient::new(server.public_info());
+        let inputs_fp2 = inputs_fp.clone();
+        let (srv, classes, _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(58);
+                let state = server.offline(ch, batch, &mut rng)?;
+                server.online_classify(ch, state)
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(59);
+                let state = client.offline(ch, batch, &mut rng).expect("offline");
+                client.online_classify(ch, state, &inputs_fp2, &mut rng).expect("online")
+            },
+        );
+        srv.expect("server");
+        for (k, input) in inputs.iter().enumerate() {
+            assert_eq!(classes[k], q.predict(input), "sample {k}");
+        }
+    }
+
+    #[test]
+    fn zero_batch_rejected() {
+        let q = tiny_quantized(55, FragmentScheme::binary(), 0);
+        let server = SecureServer::new(q);
+        let (mut a, _b) = Endpoint::pair(NetworkModel::instant());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(
+            server.offline(&mut a, 0, &mut rng).err(),
+            Some(ProtocolError::Dimension("batch must be positive"))
+        );
+    }
+}

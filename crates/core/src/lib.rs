@@ -1,0 +1,41 @@
+//! ABNN²: secure two-party arbitrary-bitwidth quantized NN predictions.
+//!
+//! This crate implements the paper's contribution on top of the substrate
+//! crates (`abnn2-ot`, `abnn2-gc`, `abnn2-net`, `abnn2-nn`):
+//!
+//! * [`sharing`] — additive secret sharing over ℤ_{2^ℓ} (§2.3),
+//! * [`matmul`] — the quantized matrix-multiplication triplet protocols of
+//!   §4.1: the fragment-wise 1-out-of-N OT method, the **multi-batch**
+//!   message packing (§4.1.2), and the **one-batch** correlated-OT trick
+//!   that sends N−1 instead of N messages (§4.1.3),
+//! * [`relu`] — the online activation protocols of §4.2: Algorithm 2 (fully
+//!   oblivious) and the optimized comparison-first ReLU,
+//! * [`inference`] — the end-to-end offline/online pipeline of Fig 2,
+//! * [`complexity`] — the closed-form OT/communication counts of Table 1.
+//!
+//! # Quick example
+//!
+//! See `examples/quickstart.rs` at the workspace root; the short version:
+//! quantize a trained [`abnn2_nn::Network`], hand the quantized model to
+//! [`inference::SecureServer`] and the public
+//! [`inference::PublicModelInfo`] to [`inference::SecureClient`], connect
+//! them with [`abnn2_net::run_pair`], and the client learns exactly the
+//! logits of [`abnn2_nn::QuantizedNetwork::forward_exact`] — while neither
+//! party sees the other's data.
+
+pub mod argmax;
+pub mod beaver;
+pub mod cnn;
+pub mod complexity;
+pub mod error;
+pub mod inference;
+pub mod matmul;
+pub mod relu;
+pub mod session;
+pub mod sharing;
+
+pub use error::ProtocolError;
+pub use inference::{PublicModelInfo, SecureClient, SecureServer};
+pub use matmul::TripletMode;
+pub use relu::ReluVariant;
+pub use session::{ClientSession, ServerSession};

@@ -1,0 +1,284 @@
+//! Online activation protocols (§4.2).
+//!
+//! Both variants compute, per neuron, fresh shares of
+//! `ReLU((y₀ + y₁) ≫ₐ shift)` where `shift` removes the weight-scale
+//! fractional bits (exactly — the shift happens inside the circuit on the
+//! reconstructed value, not on shares):
+//!
+//! * [`ReluVariant::Oblivious`] — Algorithm 2: one garbled circuit
+//!   reconstructs, applies ReLU + truncation, and re-shares. Nothing about
+//!   the data is revealed.
+//! * [`ReluVariant::Optimized`] — the paper's optimized ReLU: a small
+//!   comparison circuit first reveals *which neurons are negative*; those
+//!   are re-shared as zero with no further garbling, and only the
+//!   non-negative subset pays for the reconstruct-and-reshare circuit.
+//!   **Trade-off**: the sign of every pre-activation leaks to both parties
+//!   (the paper accepts this; we default to `Oblivious`).
+
+use crate::ProtocolError;
+use abnn2_gc::circuit::{bits_to_u64, u64_to_bits};
+use abnn2_gc::{circuits, YaoEvaluator, YaoGarbler};
+use abnn2_math::Ring;
+use abnn2_net::Endpoint;
+use abnn2_ot::bits::{get_bit, pack_bits};
+use rand::Rng;
+
+/// Which §4.2 activation protocol to run. Both parties must agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReluVariant {
+    /// Algorithm 2 — fully oblivious (default).
+    #[default]
+    Oblivious,
+    /// Comparison-first optimization — cheaper, leaks pre-activation signs.
+    Optimized,
+}
+
+fn words_to_bits(words: &[u64], bits: usize) -> Vec<bool> {
+    words.iter().flat_map(|&w| u64_to_bits(w, bits)).collect()
+}
+
+fn bits_to_words(bits_vec: &[bool], bits: usize) -> Vec<u64> {
+    bits_vec.chunks(bits).map(bits_to_u64).collect()
+}
+
+/// Server (evaluator) side: holds shares `y0`, obtains fresh shares `z0` of
+/// the activated, truncated values.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on disconnection or garbling failures.
+pub fn relu_server(
+    ch: &mut Endpoint,
+    yao: &mut YaoEvaluator,
+    y0: &[u64],
+    ring: Ring,
+    shift: u32,
+    variant: ReluVariant,
+) -> Result<Vec<u64>, ProtocolError> {
+    let bits = ring.bits() as usize;
+    let n = y0.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    match variant {
+        ReluVariant::Oblivious => {
+            let circuit = circuits::relu_trunc_reshare_vec_circuit(bits, n, shift as usize);
+            let out = yao.run(ch, &circuit, &words_to_bits(y0, bits))?;
+            Ok(bits_to_words(&out, bits))
+        }
+        ReluVariant::Optimized => {
+            // Phase 1: comparison circuit reveals per-neuron signs.
+            let sign_circuit = circuits::relu_sign_vec_circuit(bits, n);
+            let non_neg = yao.run(ch, &sign_circuit, &words_to_bits(y0, bits))?;
+            ch.send(&pack_bits(&non_neg))?;
+
+            // Negative neurons: the client re-shares zero by sending −z1.
+            let neg_count = non_neg.iter().filter(|&&b| !b).count();
+            let neg_bytes = ch.recv()?;
+            if neg_bytes.len() != neg_count * ring.byte_len() {
+                return Err(ProtocolError::Malformed("negative-neuron share batch length"));
+            }
+            let neg_shares = ring.decode_slice(&neg_bytes);
+
+            // Phase 2: reconstruct-and-reshare only the non-negative subset.
+            let pos: Vec<usize> =
+                (0..n).filter(|&j| non_neg[j]).collect();
+            let pos_shares = if pos.is_empty() {
+                Vec::new()
+            } else {
+                let y0_pos: Vec<u64> = pos.iter().map(|&j| y0[j]).collect();
+                let circuit = circuits::reconstruct_trunc_reshare_vec_circuit(
+                    bits,
+                    pos.len(),
+                    shift as usize,
+                );
+                let out = yao.run(ch, &circuit, &words_to_bits(&y0_pos, bits))?;
+                bits_to_words(&out, bits)
+            };
+
+            let mut z0 = vec![0u64; n];
+            let (mut pi, mut ni) = (0usize, 0usize);
+            for (j, z) in z0.iter_mut().enumerate() {
+                if non_neg[j] {
+                    *z = pos_shares[pi];
+                    pi += 1;
+                } else {
+                    *z = neg_shares[ni];
+                    ni += 1;
+                }
+            }
+            Ok(z0)
+        }
+    }
+}
+
+/// Client (garbler) side: holds shares `y1` and supplies its fresh output
+/// shares `z1` (which in the full pipeline equal the next layer's offline
+/// randomness `R`).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on disconnection or garbling failures.
+///
+/// # Panics
+///
+/// Panics if `y1.len() != z1.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn relu_client<RNG: Rng + ?Sized>(
+    ch: &mut Endpoint,
+    yao: &mut YaoGarbler,
+    y1: &[u64],
+    z1: &[u64],
+    ring: Ring,
+    shift: u32,
+    variant: ReluVariant,
+    rng: &mut RNG,
+) -> Result<(), ProtocolError> {
+    assert_eq!(y1.len(), z1.len(), "share vectors must align");
+    let bits = ring.bits() as usize;
+    let n = y1.len();
+    if n == 0 {
+        return Ok(());
+    }
+    match variant {
+        ReluVariant::Oblivious => {
+            let circuit = circuits::relu_trunc_reshare_vec_circuit(bits, n, shift as usize);
+            let mut gbits = words_to_bits(y1, bits);
+            gbits.extend(words_to_bits(z1, bits));
+            yao.run(ch, &circuit, &gbits, rng)?;
+            Ok(())
+        }
+        ReluVariant::Optimized => {
+            let sign_circuit = circuits::relu_sign_vec_circuit(bits, n);
+            yao.run(ch, &sign_circuit, &words_to_bits(y1, bits), rng)?;
+            let sign_bytes = ch.recv()?;
+            if sign_bytes.len() != n.div_ceil(8) {
+                return Err(ProtocolError::Malformed("sign-bit batch length"));
+            }
+            let non_neg: Vec<bool> = (0..n).map(|j| get_bit(&sign_bytes, j)).collect();
+
+            // z = 0 for negative neurons: z0 must equal −z1.
+            let neg_shares: Vec<u64> = (0..n)
+                .filter(|&j| !non_neg[j])
+                .map(|j| ring.neg(z1[j]))
+                .collect();
+            ch.send(&ring.encode_slice(&neg_shares))?;
+
+            let pos: Vec<usize> = (0..n).filter(|&j| non_neg[j]).collect();
+            if !pos.is_empty() {
+                let circuit = circuits::reconstruct_trunc_reshare_vec_circuit(
+                    bits,
+                    pos.len(),
+                    shift as usize,
+                );
+                let mut gbits: Vec<bool> = Vec::with_capacity(2 * pos.len() * bits);
+                for &j in &pos {
+                    gbits.extend(u64_to_bits(y1[j], bits));
+                }
+                for &j in &pos {
+                    gbits.extend(u64_to_bits(z1[j], bits));
+                }
+                yao.run(ch, &circuit, &gbits, rng)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_net::{run_pair, NetworkModel, TrafficReport};
+    use rand::SeedableRng;
+
+    fn run_relu(
+        y: Vec<i64>,
+        shift: u32,
+        variant: ReluVariant,
+        seed: u64,
+    ) -> (Vec<u64>, Vec<u64>, TrafficReport) {
+        let ring = Ring::new(32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let y_ring: Vec<u64> = y.iter().map(|&v| ring.from_i64(v)).collect();
+        let y1: Vec<u64> = ring.sample_vec(&mut rng, y.len());
+        let y0: Vec<u64> = ring.sub_vec(&y_ring, &y1);
+        let z1: Vec<u64> = ring.sample_vec(&mut rng, y.len());
+        let (y1c, z1c) = (y1.clone(), z1.clone());
+        let (z0, (), _report) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+                let mut yao = YaoEvaluator::setup(ch, &mut rng).expect("setup");
+                relu_server(ch, &mut yao, &y0, ring, shift, variant).expect("server")
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);
+                let mut yao = YaoGarbler::setup(ch, &mut rng).expect("setup");
+                relu_client(ch, &mut yao, &y1c, &z1c, ring, shift, variant, &mut rng)
+                    .expect("client");
+            },
+        );
+        (z0, z1, _report)
+    }
+
+    fn check(y: Vec<i64>, shift: u32, variant: ReluVariant, seed: u64) {
+        let ring = Ring::new(32);
+        let (z0, z1, _) = run_relu(y.clone(), shift, variant, seed);
+        for (j, &yv) in y.iter().enumerate() {
+            let t = yv >> shift;
+            let expect = if t < 0 { 0 } else { ring.from_i64(t) };
+            assert_eq!(ring.add(z0[j], z1[j]), expect, "variant {variant:?}, y = {yv}");
+        }
+    }
+
+    #[test]
+    fn oblivious_relu_mixed_signs() {
+        check(vec![100, -100, 0, 65535, -65536, 7, -1], 0, ReluVariant::Oblivious, 1000);
+    }
+
+    #[test]
+    fn oblivious_relu_with_truncation() {
+        check(vec![4096, -4096, 255, -255, 1 << 20], 8, ReluVariant::Oblivious, 2000);
+    }
+
+    #[test]
+    fn optimized_relu_mixed_signs() {
+        check(vec![100, -100, 0, 65535, -65536, 7, -1], 0, ReluVariant::Optimized, 3000);
+    }
+
+    #[test]
+    fn optimized_relu_with_truncation() {
+        check(vec![4096, -4096, 255, -255, 1 << 20], 8, ReluVariant::Optimized, 4000);
+    }
+
+    #[test]
+    fn optimized_relu_all_negative() {
+        check(vec![-5, -10, -1], 0, ReluVariant::Optimized, 5000);
+    }
+
+    #[test]
+    fn optimized_relu_all_positive() {
+        check(vec![5, 10, 1], 0, ReluVariant::Optimized, 6000);
+    }
+
+    #[test]
+    fn optimized_saves_gc_traffic_when_neurons_negative() {
+        // With every neuron negative, the optimized variant sends only the
+        // comparison circuit, far less than the full Algorithm 2 circuit.
+        let y: Vec<i64> = vec![-1000; 64];
+        let (_, _, rep_obl) = run_relu(y.clone(), 0, ReluVariant::Oblivious, 7000);
+        let (_, _, rep_opt) = run_relu(y, 0, ReluVariant::Optimized, 7001);
+        assert!(
+            rep_opt.total_bytes() < rep_obl.total_bytes(),
+            "optimized {} >= oblivious {}",
+            rep_opt.total_bytes(),
+            rep_obl.total_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let (z0, _, _) = run_relu(vec![], 0, ReluVariant::Oblivious, 8000);
+        assert!(z0.is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Per-connection protocol sessions: OT extension and Yao state.
+//!
+//! ABNN² uses two OT sessions with opposite roles:
+//!
+//! * the **KK13** session for linear layers, where the *server* (model
+//!   holder) is the chooser — its weight fragments are the choice symbols —
+//!   and the *client* is the sender;
+//! * the **IKNP** session inside Yao's protocol for activations, where the
+//!   client garbles and the server evaluates (so the server is the OT
+//!   receiver for its input labels).
+//!
+//! Both are seeded once per connection by base OTs over the Edwards curve.
+
+use crate::ProtocolError;
+use abnn2_gc::{YaoEvaluator, YaoGarbler};
+use abnn2_net::Endpoint;
+use abnn2_ot::{KkChooser, KkSender};
+use rand::Rng;
+
+/// Server-side session state (model holder).
+#[derive(Debug)]
+pub struct ServerSession {
+    /// 1-out-of-N OT chooser used by the matmul triplet protocol.
+    pub kk: KkChooser,
+    /// Garbled-circuit evaluator used by activation layers.
+    pub yao: YaoEvaluator,
+}
+
+/// Client-side session state (data owner).
+#[derive(Debug)]
+pub struct ClientSession {
+    /// 1-out-of-N OT sender used by the matmul triplet protocol.
+    pub kk: KkSender,
+    /// Garbled-circuit garbler used by activation layers.
+    pub yao: YaoGarbler,
+}
+
+impl ServerSession {
+    /// Runs both base-OT setups; must pair with [`ClientSession::setup`] on
+    /// the other endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, ProtocolError> {
+        let kk = KkChooser::setup(ch, rng)?;
+        let yao = YaoEvaluator::setup(ch, rng)?;
+        Ok(ServerSession { kk, yao })
+    }
+}
+
+impl ClientSession {
+    /// Runs both base-OT setups; must pair with [`ServerSession::setup`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, ProtocolError> {
+        let kk = KkSender::setup(ch, rng)?;
+        let yao = YaoGarbler::setup(ch, rng)?;
+        Ok(ClientSession { kk, yao })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_net::{run_pair, NetworkModel};
+    use rand::SeedableRng;
+
+    #[test]
+    fn sessions_establish() {
+        let (s, c, report) = run_pair(
+            NetworkModel::instant(),
+            |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                ServerSession::setup(ch, &mut rng).is_ok()
+            },
+            |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+                ClientSession::setup(ch, &mut rng).is_ok()
+            },
+        );
+        assert!(s && c);
+        // 2κ + κ base OTs worth of points crossed the wire.
+        assert!(report.total_bytes() > 0);
+    }
+}

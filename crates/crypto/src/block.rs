@@ -1,0 +1,152 @@
+//! The 128-bit block type used for OT messages, wire labels and PRG seeds.
+
+use rand::Rng;
+use std::fmt;
+use std::ops::{BitAnd, BitXor, BitXorAssign};
+
+/// A 128-bit value with XOR arithmetic.
+///
+/// ```
+/// use abnn2_crypto::Block;
+/// let a = Block::from(1u128);
+/// let b = Block::from(3u128);
+/// assert_eq!((a ^ b).as_u128(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Block(u128);
+
+impl Block {
+    /// The all-zero block.
+    pub const ZERO: Block = Block(0);
+    /// The all-one block.
+    pub const ONES: Block = Block(u128::MAX);
+
+    /// Creates a block from raw little-endian bytes.
+    #[must_use]
+    pub fn from_bytes(b: [u8; 16]) -> Self {
+        Block(u128::from_le_bytes(b))
+    }
+
+    /// Little-endian byte representation.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// The raw 128-bit value.
+    #[must_use]
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Least significant bit, used as the point-and-permute color bit in
+    /// garbling.
+    #[must_use]
+    pub fn lsb(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the block with its least significant bit forced to `bit`.
+    #[must_use]
+    pub fn with_lsb(self, bit: bool) -> Block {
+        Block((self.0 & !1) | bit as u128)
+    }
+
+    /// Samples a uniformly random block.
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Block(rng.gen())
+    }
+
+    /// XORs a slice of blocks together.
+    #[must_use]
+    pub fn xor_all(blocks: &[Block]) -> Block {
+        blocks.iter().fold(Block::ZERO, |a, &b| a ^ b)
+    }
+}
+
+impl From<u128> for Block {
+    fn from(v: u128) -> Self {
+        Block(v)
+    }
+}
+
+impl From<u64> for Block {
+    fn from(v: u64) -> Self {
+        Block(v as u128)
+    }
+}
+
+impl BitXor for Block {
+    type Output = Block;
+    fn bitxor(self, rhs: Block) -> Block {
+        Block(self.0 ^ rhs.0)
+    }
+}
+
+impl BitXorAssign for Block {
+    fn bitxor_assign(&mut self, rhs: Block) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl BitAnd for Block {
+    type Output = Block;
+    fn bitand(self, rhs: Block) -> Block {
+        Block(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xor_identities() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = Block::random(&mut rng);
+        assert_eq!(a ^ Block::ZERO, a);
+        assert_eq!(a ^ a, Block::ZERO);
+        assert_eq!(a ^ Block::ONES ^ Block::ONES, a);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let b = Block::from(0x0123_4567_89ab_cdef_u128);
+        assert_eq!(Block::from_bytes(b.to_bytes()), b);
+    }
+
+    #[test]
+    fn lsb_manipulation() {
+        let b = Block::from(6u128);
+        assert!(!b.lsb());
+        assert!(b.with_lsb(true).lsb());
+        assert_eq!(b.with_lsb(true).as_u128(), 7);
+        assert_eq!(b.with_lsb(false), b);
+    }
+
+    #[test]
+    fn xor_all_folds() {
+        let xs = [Block::from(1u128), Block::from(2u128), Block::from(4u128)];
+        assert_eq!(Block::xor_all(&xs).as_u128(), 7);
+        assert_eq!(Block::xor_all(&[]), Block::ZERO);
+    }
+
+    #[test]
+    fn debug_is_nonempty_hex() {
+        assert_eq!(format!("{:?}", Block::from(15u128)), format!("Block({:032x})", 15));
+    }
+}

@@ -1,0 +1,275 @@
+//! Twisted-Edwards points in extended coordinates (RFC 8032 formulas).
+
+use super::field::Fe;
+use super::hex_to_le_bytes;
+use std::sync::OnceLock;
+
+/// Affine x of the ed25519 base point (big-endian hex).
+const BASE_X_HEX: &str = "216936d3cd6e53fec0a4e231fdd6dc5c692cc7609525a7b2c9562d608f25d51a";
+/// Affine y of the ed25519 base point (big-endian hex).
+const BASE_Y_HEX: &str = "6666666666666666666666666666666666666666666666666666666666666658";
+/// The prime group order ℓ (big-endian hex).
+const ORDER_HEX: &str = "1000000000000000000000000000000014def9dea2f79cd65812631a5cf5d3ed";
+
+fn curve_d() -> &'static Fe {
+    static D: OnceLock<Fe> = OnceLock::new();
+    D.get_or_init(|| {
+        // d = -121665 / 121666 mod p
+        Fe::from_u64(121665).neg().mul(&Fe::from_u64(121666).invert())
+    })
+}
+
+/// Error returned when a received 64-byte encoding is not a curve point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidPointError;
+
+impl std::fmt::Display for InvalidPointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "encoding does not describe a point on the curve")
+    }
+}
+
+impl std::error::Error for InvalidPointError {}
+
+/// A point on the ed25519 twisted-Edwards curve in extended coordinates
+/// `(X : Y : Z : T)` with `x = X/Z`, `y = Y/Z`, `T = XY/Z`.
+///
+/// ```
+/// use abnn2_crypto::curve::EdwardsPoint;
+/// let b = EdwardsPoint::base();
+/// let two_b = b.add(&b);
+/// assert_eq!(two_b, b.double());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EdwardsPoint {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl EdwardsPoint {
+    /// The neutral element (0, 1).
+    #[must_use]
+    pub fn identity() -> Self {
+        EdwardsPoint { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+    }
+
+    /// The standard base point of prime order ℓ.
+    #[must_use]
+    pub fn base() -> Self {
+        static B: OnceLock<EdwardsPoint> = OnceLock::new();
+        *B.get_or_init(|| {
+            let x = Fe::from_bytes(&hex_to_le_bytes(BASE_X_HEX));
+            let y = Fe::from_bytes(&hex_to_le_bytes(BASE_Y_HEX));
+            let p = EdwardsPoint { x, y, z: Fe::ONE, t: x.mul(&y) };
+            assert!(p.is_on_curve(), "hardcoded base point must lie on the curve");
+            p
+        })
+    }
+
+    /// The group order ℓ as little-endian bytes (useful for tests and for
+    /// sampling scalars below the order).
+    #[must_use]
+    pub fn order_le_bytes() -> [u8; 32] {
+        hex_to_le_bytes(ORDER_HEX)
+    }
+
+    /// Point addition (RFC 8032 §5.1.4, complete for a = −1).
+    #[must_use]
+    pub fn add(&self, rhs: &EdwardsPoint) -> EdwardsPoint {
+        let a = self.y.sub(&self.x).mul(&rhs.y.sub(&rhs.x));
+        let b = self.y.add(&self.x).mul(&rhs.y.add(&rhs.x));
+        let two_d = curve_d().add(curve_d());
+        let c = self.t.mul(&two_d).mul(&rhs.t);
+        let d = self.z.add(&self.z).mul(&rhs.z);
+        let e = b.sub(&a);
+        let f = d.sub(&c);
+        let g = d.add(&c);
+        let h = b.add(&a);
+        EdwardsPoint { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// Point doubling (RFC 8032 §5.1.4).
+    #[must_use]
+    pub fn double(&self) -> EdwardsPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().add(&self.z.square());
+        let h = a.add(&b);
+        let e = h.sub(&self.x.add(&self.y).square());
+        let g = a.sub(&b);
+        let f = c.add(&g);
+        EdwardsPoint { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// Point negation.
+    #[must_use]
+    pub fn neg(&self) -> EdwardsPoint {
+        EdwardsPoint { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+    }
+
+    /// `self - rhs`.
+    #[must_use]
+    pub fn sub(&self, rhs: &EdwardsPoint) -> EdwardsPoint {
+        self.add(&rhs.neg())
+    }
+
+    /// Scalar multiplication by a little-endian 256-bit scalar
+    /// (double-and-add; not constant-time — see crate security note).
+    #[must_use]
+    pub fn scalar_mul(&self, scalar_le: &[u8; 32]) -> EdwardsPoint {
+        let mut acc = EdwardsPoint::identity();
+        for bit in (0..256).rev() {
+            acc = acc.double();
+            if (scalar_le[bit / 8] >> (bit % 8)) & 1 == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Checks the curve equation `(−X² + Y²)·Z² = Z⁴ + d·X²·Y²` and the
+    /// extended-coordinate invariant `T·Z = X·Y`.
+    #[must_use]
+    pub fn is_on_curve(&self) -> bool {
+        let xx = self.x.square();
+        let yy = self.y.square();
+        let zz = self.z.square();
+        let lhs = yy.sub(&xx).mul(&zz);
+        let rhs = zz.square().add(&curve_d().mul(&xx).mul(&yy));
+        lhs == rhs && self.t.mul(&self.z) == self.x.mul(&self.y)
+    }
+
+    /// Uncompressed affine encoding `x || y` (64 bytes).
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&x.to_bytes());
+        out[32..].copy_from_slice(&y.to_bytes());
+        out
+    }
+
+    /// Decodes and validates an uncompressed encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPointError`] if the coordinates do not satisfy the
+    /// curve equation — a mandatory check when receiving points from the
+    /// other (possibly misbehaving) party.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Result<EdwardsPoint, InvalidPointError> {
+        let x = Fe::from_bytes(bytes[..32].try_into().expect("32 bytes"));
+        let y = Fe::from_bytes(bytes[32..].try_into().expect("32 bytes"));
+        let p = EdwardsPoint { x, y, z: Fe::ONE, t: x.mul(&y) };
+        if p.is_on_curve() {
+            Ok(p)
+        } else {
+            Err(InvalidPointError)
+        }
+    }
+}
+
+impl PartialEq for EdwardsPoint {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1/Z1 == X2/Z2) && (Y1/Z1 == Y2/Z2) via cross-multiplication.
+        self.x.mul(&other.z) == other.x.mul(&self.z)
+            && self.y.mul(&other.z) == other.y.mul(&self.z)
+    }
+}
+
+impl Eq for EdwardsPoint {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_scalar(seed: u64) -> [u8; 32] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = [0u8; 32];
+        rng.fill(&mut s);
+        s[31] &= 0x0f; // stay well below 2^252 for clean group-order behaviour
+        s
+    }
+
+    #[test]
+    fn base_point_is_on_curve() {
+        assert!(EdwardsPoint::base().is_on_curve());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let b = EdwardsPoint::base();
+        let id = EdwardsPoint::identity();
+        assert_eq!(b.add(&id), b);
+        assert_eq!(id.add(&b), b);
+        assert_eq!(b.sub(&b), id);
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let b = EdwardsPoint::base();
+        assert_eq!(b.double(), b.add(&b));
+        let four = b.double().double();
+        assert_eq!(four, b.add(&b).add(&b).add(&b));
+        assert!(four.is_on_curve());
+    }
+
+    #[test]
+    fn order_annihilates_base() {
+        let b = EdwardsPoint::base();
+        let order = EdwardsPoint::order_le_bytes();
+        assert_eq!(b.scalar_mul(&order), EdwardsPoint::identity());
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let b = EdwardsPoint::base();
+        let s1 = random_scalar(1);
+        let s2 = random_scalar(2);
+        // (s1)B + (s2)B == (s1+s2)B  (no overflow: both < 2^252, sum < 2^253)
+        let mut sum = [0u8; 32];
+        let mut carry = 0u16;
+        for i in 0..32 {
+            let v = s1[i] as u16 + s2[i] as u16 + carry;
+            sum[i] = v as u8;
+            carry = v >> 8;
+        }
+        assert_eq!(b.scalar_mul(&s1).add(&b.scalar_mul(&s2)), b.scalar_mul(&sum));
+    }
+
+    #[test]
+    fn diffie_hellman_agreement() {
+        // a(bB) == b(aB) — the property the base OT relies on.
+        let b = EdwardsPoint::base();
+        let sa = random_scalar(10);
+        let sb = random_scalar(11);
+        let shared1 = b.scalar_mul(&sa).scalar_mul(&sb);
+        let shared2 = b.scalar_mul(&sb).scalar_mul(&sa);
+        assert_eq!(shared1, shared2);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = EdwardsPoint::base().scalar_mul(&random_scalar(3));
+        let q = EdwardsPoint::from_bytes(&p.to_bytes()).expect("valid point");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn invalid_point_rejected() {
+        let mut bytes = EdwardsPoint::base().to_bytes();
+        bytes[0] ^= 1; // corrupt x
+        assert_eq!(EdwardsPoint::from_bytes(&bytes), Err(InvalidPointError));
+    }
+
+    #[test]
+    fn negation_cancels() {
+        let p = EdwardsPoint::base().scalar_mul(&random_scalar(4));
+        assert_eq!(p.add(&p.neg()), EdwardsPoint::identity());
+        assert!(p.neg().is_on_curve());
+    }
+}

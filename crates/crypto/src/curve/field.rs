@@ -1,0 +1,318 @@
+//! Arithmetic in GF(2²⁵⁵ − 19) with 5 × 51-bit limbs.
+
+const MASK51: u64 = (1u64 << 51) - 1;
+
+/// A field element of GF(2²⁵⁵ − 19).
+///
+/// Limbs are little-endian base-2⁵¹ digits kept loosely reduced (< 2⁵² after
+/// every public operation), which keeps all intermediate products within
+/// `u128` range.
+#[derive(Debug, Clone, Copy)]
+pub struct Fe(pub(crate) [u64; 5]);
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0; 5]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Embeds a small integer.
+    #[must_use]
+    pub fn from_u64(x: u64) -> Fe {
+        let mut f = Fe::ZERO;
+        f.0[0] = x & MASK51;
+        f.0[1] = x >> 51;
+        f
+    }
+
+    /// Loads 32 little-endian bytes; the top bit (bit 255) is ignored, as in
+    /// all Curve25519 codecs.
+    #[must_use]
+    pub fn from_bytes(b: &[u8; 32]) -> Fe {
+        let load = |off: usize| -> u64 {
+            let mut v = [0u8; 8];
+            v.copy_from_slice(&b[off..off + 8]);
+            u64::from_le_bytes(v)
+        };
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    /// Canonical 32-byte little-endian encoding (fully reduced mod p).
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut h = self;
+        h.carry();
+        h.carry();
+        // Compute h mod p exactly: q = 1 iff h >= p.
+        let mut q = (h.0[0].wrapping_add(19)) >> 51;
+        for i in 1..5 {
+            q = (h.0[i].wrapping_add(q)) >> 51;
+        }
+        h.0[0] = h.0[0].wrapping_add(19 * q);
+        let mut carry = 0u64;
+        for limb in &mut h.0 {
+            let v = limb.wrapping_add(carry);
+            *limb = v & MASK51;
+            carry = v >> 51;
+        }
+        // The final carry (the subtracted 2^255) is dropped.
+
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for &limb in &h.0 {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && idx < 32 {
+                out[idx] = acc as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        while idx < 32 {
+            out[idx] = acc as u8;
+            acc >>= 8;
+            idx += 1;
+        }
+        out
+    }
+
+    fn carry(&mut self) {
+        let mut c: u64 = 0;
+        for limb in &mut self.0 {
+            let v = *limb + c;
+            *limb = v & MASK51;
+            c = v >> 51;
+        }
+        self.0[0] += 19 * c;
+    }
+
+    /// Field addition.
+    #[must_use]
+    pub fn add(&self, rhs: &Fe) -> Fe {
+        let mut out = Fe([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+            self.0[4] + rhs.0[4],
+        ]);
+        out.carry();
+        out
+    }
+
+    /// Field subtraction (adds 2p before subtracting to stay non-negative).
+    #[must_use]
+    pub fn sub(&self, rhs: &Fe) -> Fe {
+        const TWO_P: [u64; 5] = [
+            0x000f_ffff_ffff_ffda, // 2*(2^51-19)
+            0x000f_ffff_ffff_fffe,
+            0x000f_ffff_ffff_fffe,
+            0x000f_ffff_ffff_fffe,
+            0x000f_ffff_ffff_fffe,
+        ];
+        let mut out = Fe([
+            self.0[0] + TWO_P[0] - rhs.0[0],
+            self.0[1] + TWO_P[1] - rhs.0[1],
+            self.0[2] + TWO_P[2] - rhs.0[2],
+            self.0[3] + TWO_P[3] - rhs.0[3],
+            self.0[4] + TWO_P[4] - rhs.0[4],
+        ]);
+        out.carry();
+        out
+    }
+
+    /// Field negation.
+    #[must_use]
+    pub fn neg(&self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(&self, rhs: &Fe) -> Fe {
+        let a = &self.0;
+        let b = &rhs.0;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+
+        let mut c0 = m(a[0], b[0])
+            + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let mut c1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let mut c2 = m(a[0], b[2])
+            + m(a[1], b[1])
+            + m(a[2], b[0])
+            + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let mut c3 =
+            m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
+        let mut c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        c1 += c0 >> 51;
+        c0 &= MASK51 as u128;
+        c2 += c1 >> 51;
+        c1 &= MASK51 as u128;
+        c3 += c2 >> 51;
+        c2 &= MASK51 as u128;
+        c4 += c3 >> 51;
+        c3 &= MASK51 as u128;
+        let carry = (c4 >> 51) as u64;
+        c4 &= MASK51 as u128;
+        let mut out = Fe([c0 as u64, c1 as u64, c2 as u64, c3 as u64, c4 as u64]);
+        out.0[0] += 19 * carry;
+        out.carry();
+        out
+    }
+
+    /// Field squaring.
+    #[must_use]
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Exponentiation by a little-endian 32-byte exponent.
+    #[must_use]
+    pub fn pow(&self, exp_le: &[u8; 32]) -> Fe {
+        let mut acc = Fe::ONE;
+        for bit in (0..256).rev() {
+            acc = acc.square();
+            if (exp_le[bit / 8] >> (bit % 8)) & 1 == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat (x^{p−2}).
+    ///
+    /// Returns zero for zero input.
+    #[must_use]
+    pub fn invert(&self) -> Fe {
+        // p - 2 = 2^255 - 21, little-endian bytes: eb ff … ff 7f
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow(&exp)
+    }
+
+    /// True if the canonical encoding is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+}
+
+impl PartialEq for Fe {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+impl Eq for Fe {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fe_rand(seed: u64) -> Fe {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = [0u8; 32];
+        rng.fill(&mut b);
+        b[31] &= 0x7f;
+        Fe::from_bytes(&b)
+    }
+
+    #[test]
+    fn byte_round_trip_small() {
+        for v in [0u64, 1, 19, 0xffff_ffff] {
+            let f = Fe::from_u64(v);
+            let b = f.to_bytes();
+            assert_eq!(Fe::from_bytes(&b), f);
+            assert_eq!(u64::from_le_bytes(b[..8].try_into().unwrap()), v);
+        }
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        // p = 2^255 - 19 encoded little-endian.
+        let mut p = [0xffu8; 32];
+        p[0] = 0xed;
+        p[31] = 0x7f;
+        assert!(Fe::from_bytes(&p).is_zero());
+    }
+
+    #[test]
+    fn p_minus_one_is_minus_one() {
+        let mut pm1 = [0xffu8; 32];
+        pm1[0] = 0xec;
+        pm1[31] = 0x7f;
+        let f = Fe::from_bytes(&pm1);
+        assert_eq!(f.add(&Fe::ONE).to_bytes(), [0u8; 32]);
+        assert_eq!(Fe::ZERO.sub(&Fe::ONE), f);
+    }
+
+    #[test]
+    fn invert_small_values() {
+        for v in [1u64, 2, 3, 121666] {
+            let f = Fe::from_u64(v);
+            assert_eq!(f.mul(&f.invert()), Fe::ONE, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn known_product_sqrt_m1() {
+        // sqrt(-1) = 2^((p-1)/4); check that its square is -1.
+        let mut exp = [0u8; 32];
+        // (p-1)/4 = (2^255 - 20)/4 = 2^253 - 5, LE bytes: fb ff .. ff 1f
+        exp[0] = 0xfb;
+        for b in exp.iter_mut().take(31).skip(1) {
+            *b = 0xff;
+        }
+        exp[31] = 0x1f;
+        let i = Fe::from_u64(2).pow(&exp);
+        assert_eq!(i.square(), Fe::ZERO.sub(&Fe::ONE));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn field_axioms(s1: u64, s2: u64, s3: u64) {
+            let (a, b, c) = (fe_rand(s1), fe_rand(s2), fe_rand(s3));
+            prop_assert_eq!(a.add(&b), b.add(&a));
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            prop_assert_eq!(a.sub(&b).add(&b), a);
+            prop_assert_eq!(a.add(&a.neg()).to_bytes(), [0u8; 32]);
+        }
+
+        #[test]
+        fn inverse_is_two_sided(s: u64) {
+            let a = fe_rand(s);
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a.mul(&a.invert()), Fe::ONE);
+            prop_assert_eq!(a.invert().invert(), a);
+        }
+
+        #[test]
+        fn square_matches_mul(s: u64) {
+            let a = fe_rand(s);
+            prop_assert_eq!(a.square(), a.mul(&a));
+        }
+
+        #[test]
+        fn bytes_round_trip(s: u64) {
+            let a = fe_rand(s);
+            prop_assert_eq!(Fe::from_bytes(&a.to_bytes()), a);
+        }
+    }
+}

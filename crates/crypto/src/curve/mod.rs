@@ -1,0 +1,33 @@
+//! Curve25519 in twisted-Edwards form (the ed25519 curve), built from
+//! scratch for the Chou–Orlandi base OT.
+//!
+//! The curve is `-x² + y² = 1 + d·x²·y²` over GF(2²⁵⁵ − 19) with
+//! `d = -121665/121666`. We provide field arithmetic ([`field::Fe`]),
+//! extended-coordinate points ([`EdwardsPoint`]) and scalar multiplication —
+//! everything a Diffie-Hellman-style base OT needs. Points travel
+//! uncompressed (64 bytes, validated on receipt) to avoid needing a field
+//! square root; base OT bandwidth is negligible so the 2× size is harmless.
+//!
+//! Not constant-time; see the crate-level security note.
+
+pub mod edwards;
+pub mod field;
+
+pub use edwards::EdwardsPoint;
+pub use field::Fe;
+
+/// Parses a big-endian hex string into 32 little-endian bytes.
+///
+/// # Panics
+///
+/// Panics if the string is not 64 hex characters.
+#[must_use]
+pub fn hex_to_le_bytes(hex: &str) -> [u8; 32] {
+    assert_eq!(hex.len(), 64, "expected 64 hex chars");
+    let mut out = [0u8; 32];
+    for i in 0..32 {
+        let byte = u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).expect("valid hex");
+        out[31 - i] = byte;
+    }
+    out
+}

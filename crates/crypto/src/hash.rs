@@ -1,0 +1,130 @@
+//! Fixed-key AES random-oracle instantiation.
+//!
+//! OT extension and half-gates garbling both model their hash `H(i, x)` as a
+//! (tweakable, correlation-robust) random oracle. We instantiate it the way
+//! practical MPC systems do: a Matyas–Meyer–Oseas compression function over
+//! a fixed-key AES permutation π,
+//!
+//! ```text
+//! H(tweak, x) = π(x ⊕ tweak) ⊕ (x ⊕ tweak)
+//! ```
+//!
+//! with a Merkle–Damgård chain for inputs longer than one block and a
+//! length/tweak finalization. The permutation key is a nothing-up-my-sleeve
+//! constant. This is *heuristically* a random oracle (as in the paper's RO
+//! model); see the crate-level security note.
+
+use crate::{Aes128, Block, Prg};
+
+/// Tweakable hash with 128-bit output backed by fixed-key AES.
+///
+/// ```
+/// use abnn2_crypto::RoHash;
+/// let h = RoHash::new();
+/// let a = h.hash_block(0, 7u128.into());
+/// let b = h.hash_block(1, 7u128.into());
+/// assert_ne!(a, b); // tweak separates instances
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoHash {
+    pi: Aes128,
+}
+
+impl RoHash {
+    /// Creates the oracle with the standard fixed key.
+    #[must_use]
+    pub fn new() -> Self {
+        // "ABNN2 fixed key!" as bytes — an arbitrary public constant.
+        let key = Block::from_bytes(*b"ABNN2 fixed key!");
+        RoHash { pi: Aes128::new(key) }
+    }
+
+    /// One-block hash `H(tweak, x)` (MMO with tweak).
+    #[must_use]
+    pub fn hash_block(&self, tweak: u128, x: Block) -> Block {
+        let sigma = x ^ Block::from(tweak);
+        self.pi.encrypt_block(sigma) ^ sigma
+    }
+
+    /// Hashes an arbitrary byte string to one block under a tweak.
+    ///
+    /// Zero-padded Merkle–Damgård over the MMO compression function, with the
+    /// input length mixed into the finalization so padding cannot collide.
+    #[must_use]
+    pub fn hash_bytes(&self, tweak: u128, data: &[u8]) -> Block {
+        let mut h = Block::ZERO;
+        for chunk in data.chunks(16) {
+            let mut buf = [0u8; 16];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            h = self.hash_block(0, h ^ Block::from_bytes(buf));
+        }
+        self.hash_block(tweak ^ ((data.len() as u128) << 64).rotate_left(32), h)
+    }
+
+    /// Hashes a byte string and expands the digest to `out_len` bytes via an
+    /// AES-CTR PRG keyed by the digest.
+    ///
+    /// This is the "output of the random oracle can pack multiple
+    /// multiplications" packing from SecureML/§4.1.3: one oracle call yields
+    /// a mask of arbitrary width.
+    #[must_use]
+    pub fn hash_expand(&self, tweak: u128, data: &[u8], out_len: usize) -> Vec<u8> {
+        let seed = self.hash_bytes(tweak, data);
+        Prg::from_seed(seed).bytes(out_len)
+    }
+}
+
+impl Default for RoHash {
+    fn default() -> Self {
+        RoHash::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_hash_is_tweak_and_input_sensitive() {
+        let h = RoHash::new();
+        let x = Block::from(99u128);
+        assert_eq!(h.hash_block(5, x), h.hash_block(5, x));
+        assert_ne!(h.hash_block(5, x), h.hash_block(6, x));
+        assert_ne!(h.hash_block(5, x), h.hash_block(5, Block::from(100u128)));
+    }
+
+    #[test]
+    fn byte_hash_distinguishes_lengths() {
+        let h = RoHash::new();
+        // Same prefix, different zero padding lengths must not collide.
+        assert_ne!(h.hash_bytes(0, &[1, 2, 3]), h.hash_bytes(0, &[1, 2, 3, 0]));
+        assert_ne!(h.hash_bytes(0, &[]), h.hash_bytes(0, &[0u8; 16]));
+    }
+
+    #[test]
+    fn byte_hash_matches_block_hash_semantics() {
+        let h = RoHash::new();
+        let a = h.hash_bytes(7, b"hello world, this is more than 16 bytes");
+        let b = h.hash_bytes(7, b"hello world, this is more than 16 bytes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expand_produces_requested_length_and_is_deterministic() {
+        let h = RoHash::new();
+        let a = h.hash_expand(1, b"seed", 100);
+        let b = h.hash_expand(1, b"seed", 100);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a, b);
+        let c = h.hash_expand(2, b"seed", 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn expand_prefix_consistency() {
+        let h = RoHash::new();
+        let long = h.hash_expand(1, b"seed", 64);
+        let short = h.hash_expand(1, b"seed", 32);
+        assert_eq!(&long[..32], &short[..]);
+    }
+}

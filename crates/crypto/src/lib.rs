@@ -1,0 +1,32 @@
+//! Cryptographic substrate for the ABNN² reproduction.
+//!
+//! The original system leans on the ABY framework, which in turn uses AES-NI
+//! based hashing, OT-friendly PRGs and an elliptic-curve base OT. This crate
+//! rebuilds those primitives from scratch:
+//!
+//! * [`Block`] — the ubiquitous 128-bit label/seed type,
+//! * [`Aes128`] — a portable AES-128 (encrypt-only, FIPS-197 tested),
+//! * [`RoHash`] — a fixed-key Matyas–Meyer–Oseas random-oracle instantiation
+//!   with tweaks, as used by OT extension and garbling,
+//! * [`Prg`] — an AES-CTR pseudorandom generator,
+//! * [`sha256`] — SHA-256 (FIPS 180-4 tested) for base-OT key derivation,
+//! * [`curve`] — Curve25519 in twisted-Edwards form for the Chou–Orlandi
+//!   base OT.
+//!
+//! # Security note
+//!
+//! This is a research reproduction: the implementations are tested for
+//! correctness against standard vectors but are **not** constant-time and
+//! have not been audited. Do not reuse for production secrets.
+
+pub mod aes;
+pub mod block;
+pub mod curve;
+pub mod hash;
+pub mod prg;
+pub mod sha256;
+
+pub use aes::Aes128;
+pub use block::Block;
+pub use hash::RoHash;
+pub use prg::Prg;

@@ -1,0 +1,597 @@
+//! Ring-arithmetic circuit library.
+//!
+//! All words are little-endian over ℤ_{2^ℓ}. Because the ring modulus is a
+//! power of two, the adder and subtractor simply drop the top carry/borrow —
+//! this is exactly the paper's observation that "there will be no extra cost
+//! required to complete the non-XOR gates corresponding to the modulo
+//! operation".
+
+use crate::circuit::{CircuitBuilder, WireId, Word};
+use crate::Circuit;
+
+/// ℓ-bit addition mod 2^ℓ (ℓ − 1 AND gates: the last carry is dropped).
+///
+/// Full-adder: `s = a ⊕ b ⊕ c`, `c' = ((a⊕c) ∧ (b⊕c)) ⊕ c`.
+///
+/// # Panics
+///
+/// Panics if the word widths differ.
+pub fn add(b: &mut CircuitBuilder, x: &Word, y: &Word) -> Word {
+    assert_eq!(x.bits(), y.bits(), "word width mismatch");
+    let n = x.bits();
+    let mut out = Vec::with_capacity(n);
+    let mut carry: Option<WireId> = None;
+    for i in 0..n {
+        let (a, bb) = (x.0[i], y.0[i]);
+        match carry {
+            None => {
+                out.push(b.xor(a, bb));
+                if i + 1 < n {
+                    carry = Some(b.and(a, bb));
+                }
+            }
+            Some(c) => {
+                let axc = b.xor(a, c);
+                let s = b.xor(axc, bb);
+                out.push(s);
+                if i + 1 < n {
+                    let bxc = b.xor(bb, c);
+                    let t = b.and(axc, bxc);
+                    carry = Some(b.xor(t, c));
+                }
+            }
+        }
+    }
+    Word(out)
+}
+
+/// ℓ-bit subtraction mod 2^ℓ (ℓ − 1 AND gates).
+///
+/// Borrow recurrence: `d = a ⊕ b ⊕ bor`, `bor' = ((¬a⊕bor) ∧ (b⊕bor)) ⊕ bor`
+/// (majority of ¬a, b, bor).
+///
+/// # Panics
+///
+/// Panics if the word widths differ.
+pub fn sub(b: &mut CircuitBuilder, x: &Word, y: &Word) -> Word {
+    assert_eq!(x.bits(), y.bits(), "word width mismatch");
+    let n = x.bits();
+    let mut out = Vec::with_capacity(n);
+    let mut borrow: Option<WireId> = None;
+    for i in 0..n {
+        let (a, bb) = (x.0[i], y.0[i]);
+        match borrow {
+            None => {
+                out.push(b.xor(a, bb));
+                if i + 1 < n {
+                    let na = b.inv(a);
+                    borrow = Some(b.and(na, bb));
+                }
+            }
+            Some(bor) => {
+                let axb = b.xor(a, bb);
+                let d = b.xor(axb, bor);
+                out.push(d);
+                if i + 1 < n {
+                    let na = b.inv(a);
+                    let naxbor = b.xor(na, bor);
+                    let bxbor = b.xor(bb, bor);
+                    let t = b.and(naxbor, bxbor);
+                    borrow = Some(b.xor(t, bor));
+                }
+            }
+        }
+    }
+    Word(out)
+}
+
+/// Per-bit multiplexer: `sel ? x : y` (ℓ AND gates).
+///
+/// # Panics
+///
+/// Panics if the word widths differ.
+pub fn mux(b: &mut CircuitBuilder, sel: WireId, x: &Word, y: &Word) -> Word {
+    assert_eq!(x.bits(), y.bits(), "word width mismatch");
+    Word(
+        x.0.iter()
+            .zip(&y.0)
+            .map(|(&xi, &yi)| {
+                let d = b.xor(xi, yi);
+                let m = b.and(sel, d);
+                b.xor(m, yi)
+            })
+            .collect(),
+    )
+}
+
+/// Bitwise AND of every bit of `x` with a single control bit (ℓ ANDs).
+pub fn gate_word(b: &mut CircuitBuilder, ctrl: WireId, x: &Word) -> Word {
+    Word(x.0.iter().map(|&xi| b.and(ctrl, xi)).collect())
+}
+
+/// ReLU of a two's-complement word: zero if the sign bit is set, otherwise
+/// the value itself (ℓ AND gates).
+pub fn relu(b: &mut CircuitBuilder, x: &Word) -> Word {
+    let non_neg = b.inv(x.msb());
+    gate_word(b, non_neg, x)
+}
+
+/// The sign bit (`1` iff `x < 0` under two's complement). Free.
+#[must_use]
+pub fn is_negative(x: &Word) -> WireId {
+    x.msb()
+}
+
+/// Algorithm 2's circuit for `f = ReLU` (the fully-oblivious activation):
+///
+/// * evaluator (server) input: share `y₀`,
+/// * garbler (client) inputs: share `y₁` and fresh mask `z₁`,
+/// * output to evaluator: `z₀ = ReLU(y₀ + y₁) − z₁  (mod 2^ℓ)`.
+///
+/// AND-gate cost: (ℓ−1) add + ℓ relu + (ℓ−1) sub = 3ℓ − 2.
+#[must_use]
+pub fn relu_reshare_circuit(bits: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let y1 = b.garbler_word(bits);
+    let z1 = b.garbler_word(bits);
+    let y0 = b.evaluator_word(bits);
+    let y = add(&mut b, &y0, &y1);
+    let r = relu(&mut b, &y);
+    let z0 = sub(&mut b, &r, &z1);
+    b.build(z0.0)
+}
+
+/// Phase 1 of the paper's *optimized* ReLU: only the comparison
+/// `y₀ + y₁ ≥ 0` is computed inside the circuit and revealed (ℓ−1 ANDs).
+///
+/// Inputs: garbler `y₁`, evaluator `y₀`; output: one bit (1 iff the neuron
+/// is non-negative). Revealing it is the paper's trade-off: negative
+/// neurons then skip the reconstruction circuit entirely.
+#[must_use]
+pub fn relu_sign_circuit(bits: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let y1 = b.garbler_word(bits);
+    let y0 = b.evaluator_word(bits);
+    let y = add(&mut b, &y0, &y1);
+    let non_neg = b.inv(y.msb());
+    b.build(vec![non_neg])
+}
+
+/// Phase 2 of the optimized ReLU, run only for non-negative neurons:
+/// reconstruct and re-share, `z₀ = (y₀ + y₁) − z₁` (2ℓ−2 ANDs).
+#[must_use]
+pub fn reconstruct_reshare_circuit(bits: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let y1 = b.garbler_word(bits);
+    let z1 = b.garbler_word(bits);
+    let y0 = b.evaluator_word(bits);
+    let y = add(&mut b, &y0, &y1);
+    let z0 = sub(&mut b, &y, &z1);
+    b.build(z0.0)
+}
+
+/// A generic activation circuit à la Algorithm 2 for any bitwise function
+/// `f` expressible over the reconstructed word. Provided with `f = max(0,·)`
+/// this equals [`relu_reshare_circuit`]; it also serves for variants such as
+/// leaky-style gating in tests.
+pub fn activation_circuit<F>(bits: usize, f: F) -> Circuit
+where
+    F: FnOnce(&mut CircuitBuilder, &Word) -> Word,
+{
+    let mut b = CircuitBuilder::new();
+    let y1 = b.garbler_word(bits);
+    let z1 = b.garbler_word(bits);
+    let y0 = b.evaluator_word(bits);
+    let y = add(&mut b, &y0, &y1);
+    let fy = f(&mut b, &y);
+    let z0 = sub(&mut b, &fy, &z1);
+    b.build(z0.0)
+}
+
+/// Arithmetic shift right by `k` bits — free (pure rewiring): low bits are
+/// dropped and the sign wire is replicated at the top.
+///
+/// # Panics
+///
+/// Panics if `k >= bits` (nothing would remain).
+#[must_use]
+pub fn sar_word(x: &Word, k: usize) -> Word {
+    assert!(k < x.bits(), "shift {k} must be smaller than width {}", x.bits());
+    let msb = x.msb();
+    let mut out: Vec<WireId> = x.0[k..].to_vec();
+    out.extend(std::iter::repeat_n(msb, k));
+    Word(out)
+}
+
+/// Vectorized Algorithm-2 ReLU: `n` neurons in one circuit.
+///
+/// Garbler inputs: all `y₁` words then all `z₁` words; evaluator inputs:
+/// all `y₀` words; outputs: all `z₀` words — each group in neuron order.
+#[must_use]
+pub fn relu_reshare_vec_circuit(bits: usize, n: usize) -> Circuit {
+    relu_trunc_reshare_vec_circuit(bits, n, 0)
+}
+
+/// Vectorized Algorithm-2 ReLU with a built-in fixed-point truncation: each
+/// neuron computes `z₀ = ReLU((y₀ + y₁) ≫ₐ shift) − z₁`.
+///
+/// The arithmetic shift is free inside the circuit (rewiring), which is how
+/// the secure pipeline truncates products *exactly* instead of using
+/// probabilistic local share truncation.
+#[must_use]
+pub fn relu_trunc_reshare_vec_circuit(bits: usize, n: usize, shift: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let y1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let z1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let y0: Vec<Word> = (0..n).map(|_| b.evaluator_word(bits)).collect();
+    let mut outs = Vec::with_capacity(n * bits);
+    for j in 0..n {
+        let y = add(&mut b, &y0[j], &y1[j]);
+        let t = sar_word(&y, shift);
+        let r = relu(&mut b, &t);
+        let z0 = sub(&mut b, &r, &z1[j]);
+        outs.extend(z0.0);
+    }
+    b.build(outs)
+}
+
+/// Vectorized phase-1 comparison for the optimized ReLU: one output bit per
+/// neuron (`1` iff non-negative).
+#[must_use]
+pub fn relu_sign_vec_circuit(bits: usize, n: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let y1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let y0: Vec<Word> = (0..n).map(|_| b.evaluator_word(bits)).collect();
+    let mut outs = Vec::with_capacity(n);
+    for j in 0..n {
+        let y = add(&mut b, &y0[j], &y1[j]);
+        outs.push(b.inv(y.msb()));
+    }
+    b.build(outs)
+}
+
+/// Vectorized phase-2 reconstruct-and-reshare for the optimized ReLU, over
+/// the subset of non-negative neurons only.
+#[must_use]
+pub fn reconstruct_reshare_vec_circuit(bits: usize, n: usize) -> Circuit {
+    reconstruct_trunc_reshare_vec_circuit(bits, n, 0)
+}
+
+/// Vectorized phase-2 reconstruct-truncate-reshare:
+/// `z₀ = ((y₀ + y₁) ≫ₐ shift) − z₁` per neuron.
+#[must_use]
+pub fn reconstruct_trunc_reshare_vec_circuit(bits: usize, n: usize, shift: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let y1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let z1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let y0: Vec<Word> = (0..n).map(|_| b.evaluator_word(bits)).collect();
+    let mut outs = Vec::with_capacity(n * bits);
+    for j in 0..n {
+        let y = add(&mut b, &y0[j], &y1[j]);
+        let t = sar_word(&y, shift);
+        let z0 = sub(&mut b, &t, &z1[j]);
+        outs.extend(z0.0);
+    }
+    b.build(outs)
+}
+
+/// Word-wise XOR (free).
+///
+/// # Panics
+///
+/// Panics if the word widths differ.
+pub fn xor_word(b: &mut CircuitBuilder, x: &Word, y: &Word) -> Word {
+    assert_eq!(x.bits(), y.bits(), "word width mismatch");
+    Word(x.0.iter().zip(&y.0).map(|(&xi, &yi)| b.xor(xi, yi)).collect())
+}
+
+/// Masked-argmax circuit: reconstructs `n` shared values, finds the index
+/// of the (signed) maximum, and outputs `index ⊕ mask` — so the evaluator
+/// can forward the masked index and only the garbler (who chose the mask)
+/// learns the class. Used by the secure-classification extension.
+///
+/// Garbler inputs, in order: all `y₁` value words, the ⌈log₂n⌉-bit mask,
+/// then the `n` public index constants (⌈log₂n⌉ bits each, supplied by the
+/// garbler since the circuit model has no constant wires). Evaluator
+/// inputs: all `y₀` value words. Output: ⌈log₂n⌉ masked index bits.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn argmax_mask_circuit(bits: usize, n: usize) -> Circuit {
+    assert!(n > 0, "argmax needs at least one value");
+    let idx_bits = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    let idx_bits = idx_bits.max(1);
+    let mut b = CircuitBuilder::new();
+    let y1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let mask = b.garbler_word(idx_bits);
+    let consts: Vec<Word> = (0..n).map(|_| b.garbler_word(idx_bits)).collect();
+    let y0: Vec<Word> = (0..n).map(|_| b.evaluator_word(bits)).collect();
+
+    let mut best_val = add(&mut b, &y0[0], &y1[0]);
+    let mut best_idx = consts[0].clone();
+    for i in 1..n {
+        let v = add(&mut b, &y0[i], &y1[i]);
+        let take = lt_signed(&mut b, &best_val, &v);
+        best_val = mux(&mut b, take, &v, &best_val);
+        best_idx = mux(&mut b, take, &consts[i], &best_idx);
+    }
+    let out = xor_word(&mut b, &best_idx, &mask);
+    b.build(out.0)
+}
+
+/// Number of index bits [`argmax_mask_circuit`] uses for `n` values.
+#[must_use]
+pub fn argmax_index_bits(n: usize) -> usize {
+    (usize::BITS as usize - (n.saturating_sub(1)).leading_zeros() as usize).max(1)
+}
+
+/// Vectorized max-pool-and-reshare circuit for the CNN extension: for each
+/// of `n_windows` windows of `window` shared values, reconstruct the
+/// values, take the (signed) maximum, and re-share it as `z₀ = max − z₁`.
+///
+/// Garbler inputs: all `y₁` window values (window-major), then one `z₁`
+/// word per window; evaluator inputs: all `y₀` window values; outputs: one
+/// `z₀` word per window.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+#[must_use]
+pub fn max_pool_reshare_vec_circuit(bits: usize, window: usize, n_windows: usize) -> Circuit {
+    assert!(window > 0, "window must be positive");
+    let mut b = CircuitBuilder::new();
+    let y1: Vec<Word> = (0..n_windows * window).map(|_| b.garbler_word(bits)).collect();
+    let z1: Vec<Word> = (0..n_windows).map(|_| b.garbler_word(bits)).collect();
+    let y0: Vec<Word> = (0..n_windows * window).map(|_| b.evaluator_word(bits)).collect();
+    let mut outs = Vec::with_capacity(n_windows * bits);
+    for w in 0..n_windows {
+        let mut m: Option<Word> = None;
+        for e in 0..window {
+            let idx = w * window + e;
+            let v = add(&mut b, &y0[idx], &y1[idx]);
+            m = Some(match m {
+                None => v,
+                Some(cur) => max(&mut b, &cur, &v),
+            });
+        }
+        let z0 = sub(&mut b, &m.expect("window non-empty"), &z1[w]);
+        outs.extend(z0.0);
+    }
+    b.build(outs)
+}
+
+/// Signed comparison `x < y` for two's-complement words (ℓ AND gates).
+///
+/// Both operands are sign-extended by one bit (free: the extension reuses
+/// the sign wire) so the subtraction cannot overflow.
+///
+/// # Panics
+///
+/// Panics if the word widths differ.
+pub fn lt_signed(b: &mut CircuitBuilder, x: &Word, y: &Word) -> WireId {
+    assert_eq!(x.bits(), y.bits(), "word width mismatch");
+    let xe = Word(x.0.iter().copied().chain([x.msb()]).collect());
+    let ye = Word(y.0.iter().copied().chain([y.msb()]).collect());
+    let d = sub(b, &xe, &ye);
+    d.msb()
+}
+
+/// Maximum of two two's-complement words (used by the max-pooling
+/// extension): `max(x, y) = (x < y) ? y : x` (2ℓ AND gates).
+pub fn max(b: &mut CircuitBuilder, x: &Word, y: &Word) -> Word {
+    let x_less = lt_signed(b, x, y);
+    mux(b, x_less, y, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{bits_to_u64, u64_to_bits};
+    use abnn2_math::Ring;
+    use proptest::prelude::*;
+
+    fn eval_two_words(c: &Circuit, g: &[u64], e: &[u64], bits: usize) -> u64 {
+        let gbits: Vec<bool> = g.iter().flat_map(|&x| u64_to_bits(x, bits)).collect();
+        let ebits: Vec<bool> = e.iter().flat_map(|&x| u64_to_bits(x, bits)).collect();
+        bits_to_u64(&c.eval(&gbits, &ebits))
+    }
+
+    fn adder_circuit(bits: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_word(bits);
+        let y = b.evaluator_word(bits);
+        let s = add(&mut b, &x, &y);
+        b.build(s.0)
+    }
+
+    fn sub_circuit(bits: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_word(bits);
+        let y = b.evaluator_word(bits);
+        let s = sub(&mut b, &x, &y);
+        b.build(s.0)
+    }
+
+    #[test]
+    fn adder_and_count_is_l_minus_1() {
+        assert_eq!(adder_circuit(32).and_count(), 31);
+        assert_eq!(sub_circuit(32).and_count(), 31);
+    }
+
+    #[test]
+    fn relu_reshare_and_count() {
+        assert_eq!(relu_reshare_circuit(32).and_count(), 3 * 32 - 2);
+        assert_eq!(relu_sign_circuit(32).and_count(), 31);
+        assert_eq!(reconstruct_reshare_circuit(32).and_count(), 2 * 32 - 2);
+    }
+
+    #[test]
+    fn relu_known_values() {
+        let ring = Ring::new(16);
+        let c = relu_reshare_circuit(16);
+        for (y, expect) in [(5i64, 5u64), (-5, 0), (0, 0), (32767, 32767), (-32768, 0)] {
+            let y_ring = ring.from_i64(y);
+            let y1 = 0x1234u64 & ring.mask();
+            let y0 = ring.sub(y_ring, y1);
+            let z1 = 0x0F0Fu64;
+            let z0 = eval_two_words(&c, &[y1, z1], &[y0], 16);
+            assert_eq!(ring.add(z0, z1), expect, "y = {y}");
+        }
+    }
+
+    #[test]
+    fn sign_circuit_known_values() {
+        let ring = Ring::new(8);
+        let c = relu_sign_circuit(8);
+        for y in [-128i64, -1, 0, 1, 127] {
+            let y_ring = ring.from_i64(y);
+            let y1 = 0x5Au64;
+            let y0 = ring.sub(y_ring, y1);
+            let out = c.eval(&u64_to_bits(y1, 8), &u64_to_bits(y0, 8));
+            assert_eq!(out[0], y >= 0, "y = {y}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn adder_matches_ring(bits in 2usize..=32, a: u64, b: u64) {
+            let ring = Ring::new(bits as u32);
+            let (a, b) = (ring.reduce(a), ring.reduce(b));
+            let c = adder_circuit(bits);
+            prop_assert_eq!(eval_two_words(&c, &[a], &[b], bits), ring.add(a, b));
+        }
+
+        #[test]
+        fn subtractor_matches_ring(bits in 2usize..=32, a: u64, b: u64) {
+            let ring = Ring::new(bits as u32);
+            let (a, b) = (ring.reduce(a), ring.reduce(b));
+            let c = sub_circuit(bits);
+            prop_assert_eq!(eval_two_words(&c, &[a], &[b], bits), ring.sub(a, b));
+        }
+
+        #[test]
+        fn relu_reshare_matches_plaintext(bits in 2usize..=32, y0: u64, y1: u64, z1: u64) {
+            let ring = Ring::new(bits as u32);
+            let (y0, y1, z1) = (ring.reduce(y0), ring.reduce(y1), ring.reduce(z1));
+            let c = relu_reshare_circuit(bits);
+            let z0 = eval_two_words(&c, &[y1, z1], &[y0], bits);
+            let y = ring.add(y0, y1);
+            let expect = if ring.is_negative(y) { 0 } else { y };
+            prop_assert_eq!(ring.add(z0, z1), expect);
+        }
+
+        #[test]
+        fn relu_trunc_matches_plaintext(bits in 4usize..=24, shift in 0usize..3, y0: u64, y1: u64, z1: u64) {
+            let ring = Ring::new(bits as u32);
+            let (y0, y1, z1) = (ring.reduce(y0), ring.reduce(y1), ring.reduce(z1));
+            let c = relu_trunc_reshare_vec_circuit(bits, 1, shift);
+            let z0 = eval_two_words(&c, &[y1, z1], &[y0], bits);
+            let y = ring.add(y0, y1);
+            let t = ring.from_i64(ring.to_i64(y) >> shift);
+            let expect = if ring.is_negative(t) { 0 } else { t };
+            prop_assert_eq!(ring.add(z0, z1), expect);
+        }
+
+        #[test]
+        fn reconstruct_trunc_matches_plaintext(bits in 4usize..=24, shift in 0usize..3, y0: u64, y1: u64, z1: u64) {
+            let ring = Ring::new(bits as u32);
+            let (y0, y1, z1) = (ring.reduce(y0), ring.reduce(y1), ring.reduce(z1));
+            let c = reconstruct_trunc_reshare_vec_circuit(bits, 1, shift);
+            let z0 = eval_two_words(&c, &[y1, z1], &[y0], bits);
+            let y = ring.add(y0, y1);
+            let t = ring.from_i64(ring.to_i64(y) >> shift);
+            prop_assert_eq!(ring.add(z0, z1), t);
+        }
+
+        #[test]
+        fn max_matches_plaintext(bits in 2usize..=16, a: u64, b: u64) {
+            let ring = Ring::new(bits as u32);
+            let (a, b) = (ring.reduce(a), ring.reduce(b));
+            let mut builder = CircuitBuilder::new();
+            let x = builder.garbler_word(bits);
+            let y = builder.evaluator_word(bits);
+            let m = max(&mut builder, &x, &y);
+            let c = builder.build(m.0);
+            let got = eval_two_words(&c, &[a], &[b], bits);
+            let expect = if ring.to_i64(a) >= ring.to_i64(b) { a } else { b };
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn argmax_mask_matches_plaintext(bits in 6usize..=16, seed: u64, n in 2usize..6) {
+            use rand::SeedableRng;
+            let ring = Ring::new(bits as u32);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let values: Vec<u64> = ring.sample_vec(&mut rng, n);
+            let y1: Vec<u64> = ring.sample_vec(&mut rng, n);
+            let y0: Vec<u64> = ring.sub_vec(&values, &y1);
+            let idx_bits = argmax_index_bits(n);
+            let mask = (seed % (1 << idx_bits)) as u64;
+            let c = argmax_mask_circuit(bits, n);
+            let mut gbits: Vec<bool> = y1.iter().flat_map(|&v| u64_to_bits(v, bits)).collect();
+            gbits.extend(u64_to_bits(mask, idx_bits));
+            for i in 0..n as u64 {
+                gbits.extend(u64_to_bits(i, idx_bits));
+            }
+            let ebits: Vec<bool> = y0.iter().flat_map(|&v| u64_to_bits(v, bits)).collect();
+            let out = bits_to_u64(&c.eval(&gbits, &ebits));
+            // First-max semantics (strict comparison in the circuit).
+            let mut expect_idx = 0u64;
+            let mut best = ring.to_i64(values[0]);
+            for (i, &v) in values.iter().enumerate().skip(1) {
+                if ring.to_i64(v) > best {
+                    best = ring.to_i64(v);
+                    expect_idx = i as u64;
+                }
+            }
+            prop_assert_eq!(out ^ mask, expect_idx);
+        }
+
+        #[test]
+        fn max_pool_reshare_matches_plaintext(bits in 6usize..=20, seed: u64) {
+            use rand::{Rng, SeedableRng};
+            let ring = Ring::new(bits as u32);
+            let (window, n_windows) = (4usize, 2usize);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let y: Vec<u64> = ring.sample_vec(&mut rng, window * n_windows);
+            let y1: Vec<u64> = ring.sample_vec(&mut rng, window * n_windows);
+            let y0: Vec<u64> = ring.sub_vec(&y, &y1);
+            let z1: Vec<u64> = ring.sample_vec(&mut rng, n_windows);
+            let _ = rng.gen::<bool>();
+            let c = max_pool_reshare_vec_circuit(bits, window, n_windows);
+            let mut gbits: Vec<bool> = y1.iter().flat_map(|&v| u64_to_bits(v, bits)).collect();
+            gbits.extend(z1.iter().flat_map(|&v| u64_to_bits(v, bits)));
+            let ebits: Vec<bool> = y0.iter().flat_map(|&v| u64_to_bits(v, bits)).collect();
+            let out = c.eval(&gbits, &ebits);
+            for w in 0..n_windows {
+                let z0 = bits_to_u64(&out[w * bits..(w + 1) * bits]);
+                let expect = y[w * window..(w + 1) * window]
+                    .iter()
+                    .map(|&v| ring.to_i64(v))
+                    .max()
+                    .expect("non-empty");
+                prop_assert_eq!(ring.to_i64(ring.add(z0, z1[w])), expect, "window {}", w);
+            }
+        }
+
+        #[test]
+        fn mux_selects(bits in 1usize..=16, a: u64, b: u64, sel: bool) {
+            let ring = Ring::new(bits as u32);
+            let (a, b) = (ring.reduce(a), ring.reduce(b));
+            let mut builder = CircuitBuilder::new();
+            let s = builder.garbler_input();
+            let x = builder.garbler_word(bits);
+            let y = builder.evaluator_word(bits);
+            let m = mux(&mut builder, s, &x, &y);
+            let c = builder.build(m.0);
+            let mut gbits = vec![sel];
+            gbits.extend(u64_to_bits(a, bits));
+            let got = bits_to_u64(&c.eval(&gbits, &u64_to_bits(b, bits)));
+            prop_assert_eq!(got, if sel { a } else { b });
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for garbled-circuit protocols.
+
+use abnn2_net::ChannelError;
+use abnn2_ot::OtError;
+
+/// Errors raised while garbling, transferring or evaluating a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcError {
+    /// The peer disconnected.
+    Channel,
+    /// The embedded oblivious transfer failed.
+    Ot(OtError),
+    /// A received message had an unexpected length or structure.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for GcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GcError::Channel => write!(f, "peer disconnected during garbled-circuit protocol"),
+            GcError::Ot(e) => write!(f, "oblivious transfer failed: {e}"),
+            GcError::Malformed(what) => write!(f, "malformed garbled-circuit message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GcError::Ot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChannelError> for GcError {
+    fn from(_: ChannelError) -> Self {
+        GcError::Channel
+    }
+}
+
+impl From<OtError> for GcError {
+    fn from(e: OtError) -> Self {
+        GcError::Ot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: GcError = ChannelError.into();
+        assert_eq!(e, GcError::Channel);
+        let e: GcError = OtError::Channel.into();
+        assert!(matches!(e, GcError::Ot(_)));
+        assert!(e.to_string().contains("oblivious transfer"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,29 @@
+//! Garbled circuits for ABNN²'s non-linear layers.
+//!
+//! The paper evaluates activation functions with Yao's protocol (§4.2),
+//! exploiting that all linear-layer outputs live in ℤ_{2^ℓ} so the modular
+//! reduction after an ℓ-bit adder is *free* — the carry out of the top bit
+//! is simply dropped, costing no extra non-XOR gates.
+//!
+//! Layers of this crate:
+//!
+//! * [`circuit`] — boolean circuits with XOR/AND/INV gates, a builder, and a
+//!   plaintext evaluator (the correctness reference),
+//! * [`circuits`] — ring-arithmetic circuit library: ℓ-bit adder/subtractor
+//!   (carry-drop = mod 2^ℓ), MUX, comparison, and the ReLU circuits of §4.2
+//!   (Algorithm 2 and the optimized comparison-first variant),
+//! * [`garble`] — half-gates garbling \[ZRE15\] with free-XOR and
+//!   point-and-permute (2 ciphertexts per AND, 0 per XOR/INV),
+//! * [`yao`] — the two-party protocol: garbler sends material, evaluator
+//!   obtains its input labels via IKNP OT and returns the decoded outputs.
+
+pub mod circuit;
+pub mod circuits;
+pub mod error;
+pub mod garble;
+pub mod yao;
+
+pub use circuit::{Circuit, CircuitBuilder, WireId, Word};
+pub use error::GcError;
+pub use garble::{evaluate, garble, GarbledCircuit};
+pub use yao::{YaoEvaluator, YaoGarbler};

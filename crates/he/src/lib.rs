@@ -1,0 +1,25 @@
+//! Additively homomorphic encryption substrate.
+//!
+//! The MiniONN baseline performs its offline linear layers with lattice SIMD
+//! HE (SEAL). That library does not exist here, so we substitute the
+//! closest from-scratch equivalent exercising the same code path —
+//! client-encrypted inputs, server-side homomorphic linear algebra — using
+//! the Paillier cryptosystem:
+//!
+//! * [`bigint::BigUint`] — arbitrary-precision unsigned arithmetic,
+//! * [`mont::MontCtx`] — Montgomery multiplication/exponentiation,
+//! * [`prime`] — Miller–Rabin prime generation,
+//! * [`paillier`] — keygen/encrypt/decrypt plus the homomorphic operations
+//!   (ciphertext addition, plaintext-scalar multiplication).
+//!
+//! The substitution is documented in `DESIGN.md` §2: both SEAL and Paillier
+//! put a large, bitwidth-independent ciphertext on the wire per plaintext,
+//! which is precisely the property the paper's MiniONN comparison exercises.
+
+pub mod bigint;
+pub mod mont;
+pub mod paillier;
+pub mod prime;
+
+pub use bigint::BigUint;
+pub use paillier::{Ciphertext, Keypair, PublicKey, SecretKey};

@@ -1,0 +1,243 @@
+//! Montgomery multiplication and exponentiation (CIOS method).
+//!
+//! All Paillier hot paths (`r^n mod n²`, decryption exponentiations,
+//! homomorphic scalar multiplication) run in Montgomery form; plain
+//! shift-subtract division is only used for setup conversions.
+
+use crate::BigUint;
+
+/// A Montgomery context for an odd modulus `n`: precomputes `-n⁻¹ mod 2⁶⁴`
+/// and `R² mod n` where `R = 2^{64·limbs}`.
+#[derive(Debug, Clone)]
+pub struct MontCtx {
+    n: Vec<u64>,
+    n0_inv: u64,
+    r2: BigUint,
+    modulus: BigUint,
+}
+
+impl MontCtx {
+    /// Builds the context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is even or zero.
+    #[must_use]
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(modulus.is_odd(), "Montgomery modulus must be odd");
+        let n: Vec<u64> = modulus.limbs().to_vec();
+        // -n^{-1} mod 2^64 via Newton iteration.
+        let n0 = n[0];
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+        // R^2 mod n with R = 2^{64·len}.
+        let r2 = BigUint::one().shl(128 * n.len()).rem(modulus);
+        MontCtx { n, n0_inv, r2, modulus: modulus.clone() }
+    }
+
+    /// The modulus.
+    #[must_use]
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    fn len(&self) -> usize {
+        self.n.len()
+    }
+
+    /// CIOS Montgomery product: `a·b·R⁻¹ mod n`, on fixed-width limb
+    /// vectors of length `len()`.
+    fn mont_mul_raw(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let len = self.len();
+        let mut t = vec![0u64; len + 2];
+        for &ai in a.iter().take(len) {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..len {
+                let v = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = v as u64;
+                carry = v >> 64;
+            }
+            let v = t[len] as u128 + carry;
+            t[len] = v as u64;
+            t[len + 1] = (v >> 64) as u64;
+            // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let v = t[0] as u128 + m as u128 * self.n[0] as u128;
+            let mut carry = v >> 64;
+            for j in 1..len {
+                let v = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = v as u64;
+                carry = v >> 64;
+            }
+            let v = t[len] as u128 + carry;
+            t[len - 1] = v as u64;
+            t[len] = t[len + 1].wrapping_add((v >> 64) as u64);
+            t[len + 1] = 0;
+        }
+        // Conditional subtraction of n.
+        let mut out = t[..len].to_vec();
+        let overflow = t[len] != 0;
+        if overflow || ge(&out, &self.n) {
+            sub_in_place(&mut out, &self.n);
+        }
+        out
+    }
+
+    fn to_fixed(&self, x: &BigUint) -> Vec<u64> {
+        let mut v = x.limbs().to_vec();
+        v.resize(self.len(), 0);
+        v
+    }
+
+    /// Converts into Montgomery form: `x·R mod n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    #[must_use]
+    pub fn to_mont(&self, x: &BigUint) -> Vec<u64> {
+        assert!(x.cmp(&self.modulus) == std::cmp::Ordering::Less, "operand must be reduced");
+        self.mont_mul_raw(&self.to_fixed(x), &self.to_fixed(&self.r2))
+    }
+
+    /// Converts out of Montgomery form.
+    #[must_use]
+    pub fn from_mont(&self, x: &[u64]) -> BigUint {
+        let one = {
+            let mut v = vec![0u64; self.len()];
+            v[0] = 1;
+            v
+        };
+        BigUint::from_limbs(self.mont_mul_raw(x, &one))
+    }
+
+    /// `a·b mod n` on ordinary representatives.
+    #[must_use]
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul_raw(&am, &bm))
+    }
+
+    /// `base^exp mod n` (left-to-right square-and-multiply in Montgomery
+    /// form).
+    #[must_use]
+    pub fn pow_mod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.modulus);
+        }
+        let base_m = self.to_mont(&base.rem(&self.modulus));
+        let mut acc = self.to_mont(&BigUint::one());
+        for i in (0..exp.bits()).rev() {
+            acc = self.mont_mul_raw(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul_raw(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0i128;
+    for i in 0..a.len() {
+        let mut d = a[i] as i128 - b[i] as i128 - borrow;
+        if d < 0 {
+            d += 1i128 << 64;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        a[i] = d as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_modulus_known_values() {
+        let m = BigUint::from_u64(97);
+        let ctx = MontCtx::new(&m);
+        assert_eq!(ctx.mul_mod(&BigUint::from_u64(10), &BigUint::from_u64(10)).low_u64(), 3);
+        assert_eq!(ctx.pow_mod(&BigUint::from_u64(2), &BigUint::from_u64(96)).low_u64(), 1); // Fermat
+        assert_eq!(ctx.pow_mod(&BigUint::from_u64(5), &BigUint::zero()).low_u64(), 1);
+    }
+
+    #[test]
+    fn round_trip_mont_form() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = {
+            let mut v = BigUint::random_bits(256, &mut rng);
+            if !v.is_odd() {
+                v = v.add(&BigUint::one());
+            }
+            v
+        };
+        let ctx = MontCtx::new(&m);
+        for _ in 0..10 {
+            let x = BigUint::random_below(&m, &mut rng);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn mul_matches_naive(seed: u64) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut m = BigUint::random_bits(192, &mut rng);
+            if !m.is_odd() { m = m.add(&BigUint::one()); }
+            let ctx = MontCtx::new(&m);
+            let a = BigUint::random_below(&m, &mut rng);
+            let b = BigUint::random_below(&m, &mut rng);
+            prop_assert_eq!(ctx.mul_mod(&a, &b), a.mul(&b).rem(&m));
+        }
+
+        #[test]
+        fn pow_matches_repeated_mul(seed: u64, e in 0u64..40) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut m = BigUint::random_bits(128, &mut rng);
+            if !m.is_odd() { m = m.add(&BigUint::one()); }
+            let ctx = MontCtx::new(&m);
+            let base = BigUint::random_below(&m, &mut rng);
+            let mut expect = BigUint::one().rem(&m);
+            for _ in 0..e {
+                expect = expect.mul(&base).rem(&m);
+            }
+            prop_assert_eq!(ctx.pow_mod(&base, &BigUint::from_u64(e)), expect);
+        }
+
+        #[test]
+        fn pow_is_homomorphic(seed: u64, e1 in 0u64..1000, e2 in 0u64..1000) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut m = BigUint::random_bits(160, &mut rng);
+            if !m.is_odd() { m = m.add(&BigUint::one()); }
+            let ctx = MontCtx::new(&m);
+            let base = BigUint::random_below(&m, &mut rng);
+            let lhs = ctx.pow_mod(&base, &BigUint::from_u64(e1 + e2));
+            let rhs = ctx.mul_mod(
+                &ctx.pow_mod(&base, &BigUint::from_u64(e1)),
+                &ctx.pow_mod(&base, &BigUint::from_u64(e2)),
+            );
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

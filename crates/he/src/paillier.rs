@@ -1,0 +1,287 @@
+//! The Paillier cryptosystem (additively homomorphic).
+//!
+//! Standard simplified variant with `g = n + 1`:
+//!
+//! * `Enc(m; r) = (1 + n·m) · rⁿ mod n²`,
+//! * `Dec(c) = L(c^φ mod n²) · φ⁻¹ mod n` with `L(x) = (x−1)/n`,
+//! * `Enc(a)·Enc(b) = Enc(a+b)`, `Enc(a)^k = Enc(k·a)`.
+
+use crate::mont::MontCtx;
+use crate::prime::generate_prime;
+use crate::BigUint;
+use rand::Rng;
+
+/// A Paillier ciphertext (an element of ℤ*_{n²}).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext(pub BigUint);
+
+impl Ciphertext {
+    /// Serialized size in bytes for a given key (2·|n|).
+    #[must_use]
+    pub fn byte_len(pk: &PublicKey) -> usize {
+        pk.n_squared.bits().div_ceil(8)
+    }
+
+    /// Fixed-width little-endian encoding.
+    #[must_use]
+    pub fn to_bytes(&self, pk: &PublicKey) -> Vec<u8> {
+        let mut b = self.0.to_bytes_le();
+        b.resize(Self::byte_len(pk), 0);
+        b
+    }
+
+    /// Decodes a fixed-width encoding.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Ciphertext(BigUint::from_bytes_le(bytes))
+    }
+}
+
+/// The public encryption key.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    n: BigUint,
+    n_squared: BigUint,
+    ctx_n2: MontCtx,
+}
+
+/// The secret decryption key.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    phi: BigUint,
+    phi_inv: BigUint,
+}
+
+/// A key pair.
+#[derive(Debug, Clone)]
+pub struct Keypair {
+    /// Public half.
+    pub public: PublicKey,
+    /// Secret half.
+    pub secret: SecretKey,
+}
+
+impl Keypair {
+    /// Generates a key with an `n_bits`-bit modulus (so each prime has
+    /// `n_bits/2` bits). The reproduction default is 1024 (research-scale;
+    /// see the crate security note).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits < 32`.
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(n_bits: usize, rng: &mut R) -> Self {
+        assert!(n_bits >= 32, "modulus too small");
+        loop {
+            let p = generate_prime(n_bits / 2, rng);
+            let q = generate_prime(n_bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            let Some(phi_inv) = phi.mod_inverse(&n) else {
+                continue;
+            };
+            let n_squared = n.mul(&n);
+            let ctx_n2 = MontCtx::new(&n_squared);
+            return Keypair {
+                public: PublicKey { n, n_squared, ctx_n2 },
+                secret: SecretKey { phi, phi_inv },
+            };
+        }
+    }
+}
+
+/// Error returned when a received modulus cannot form a public key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidModulusError;
+
+impl std::fmt::Display for InvalidModulusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "paillier modulus must be odd and larger than one")
+    }
+}
+
+impl std::error::Error for InvalidModulusError {}
+
+impl PublicKey {
+    /// Reconstructs a public key from a transmitted modulus (`g = n + 1` is
+    /// implicit in this Paillier variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidModulusError`] if `n` is even or trivially small.
+    pub fn from_modulus(n: BigUint) -> Result<Self, InvalidModulusError> {
+        if !n.is_odd() || n.bits() < 16 {
+            return Err(InvalidModulusError);
+        }
+        let n_squared = n.mul(&n);
+        let ctx_n2 = MontCtx::new(&n_squared);
+        Ok(PublicKey { n, n_squared, ctx_n2 })
+    }
+
+    /// The modulus n (plaintext space ℤ_n).
+    #[must_use]
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Encrypts a plaintext in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= n`.
+    #[must_use]
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Ciphertext {
+        assert!(m.cmp(&self.n) == std::cmp::Ordering::Less, "plaintext out of range");
+        let r = loop {
+            let r = BigUint::random_below(&self.n, rng);
+            if !r.is_zero() {
+                break r;
+            }
+        };
+        // (1 + n·m) mod n²
+        let gm = BigUint::one().add(&self.n.mul(m)).rem(&self.n_squared);
+        let rn = self.ctx_n2.pow_mod(&r, &self.n);
+        Ciphertext(self.ctx_n2.mul_mod(&gm, &rn))
+    }
+
+    /// Encrypts a small integer.
+    #[must_use]
+    pub fn encrypt_u64<R: Rng + ?Sized>(&self, m: u64, rng: &mut R) -> Ciphertext {
+        self.encrypt(&BigUint::from_u64(m), rng)
+    }
+
+    /// Homomorphic addition: `Enc(a) ⊞ Enc(b) = Enc(a + b mod n)`.
+    #[must_use]
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext(self.ctx_n2.mul_mod(&a.0, &b.0))
+    }
+
+    /// Homomorphic scalar multiplication: `Enc(a)^k = Enc(k·a mod n)`.
+    #[must_use]
+    pub fn scalar_mul(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        Ciphertext(self.ctx_n2.pow_mod(&a.0, k))
+    }
+
+    /// The multiplicative inverse of a ciphertext — an encryption of the
+    /// negated plaintext. Used to handle signed weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not invertible (never for honest
+    /// ciphertexts).
+    #[must_use]
+    pub fn neg(&self, a: &Ciphertext) -> Ciphertext {
+        Ciphertext(a.0.mod_inverse(&self.n_squared).expect("ciphertext is a unit"))
+    }
+}
+
+impl SecretKey {
+    /// Decrypts a ciphertext to its plaintext in `[0, n)`.
+    #[must_use]
+    pub fn decrypt(&self, pk: &PublicKey, c: &Ciphertext) -> BigUint {
+        let u = pk.ctx_n2.pow_mod(&c.0, &self.phi);
+        // L(u) = (u - 1) / n
+        let l = u.sub(&BigUint::one()).div_rem(&pk.n).0;
+        l.mul(&self.phi_inv).rem(&pk.n)
+    }
+
+    /// Decrypts to a `u64` (low bits).
+    #[must_use]
+    pub fn decrypt_u64(&self, pk: &PublicKey, c: &Ciphertext) -> u64 {
+        self.decrypt(pk, c).low_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn test_keypair(seed: u64) -> Keypair {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Keypair::generate(256, &mut rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let kp = test_keypair(1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for m in [0u64, 1, 42, u64::MAX] {
+            let c = kp.public.encrypt_u64(m, &mut rng);
+            assert_eq!(kp.secret.decrypt_u64(&kp.public, &c), m, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let kp = test_keypair(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let c1 = kp.public.encrypt_u64(7, &mut rng);
+        let c2 = kp.public.encrypt_u64(7, &mut rng);
+        assert_ne!(c1, c2);
+        assert_eq!(kp.secret.decrypt_u64(&kp.public, &c1), 7);
+        assert_eq!(kp.secret.decrypt_u64(&kp.public, &c2), 7);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let kp = test_keypair(5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let a = kp.public.encrypt_u64(1000, &mut rng);
+        let b = kp.public.encrypt_u64(234, &mut rng);
+        let s = kp.public.add(&a, &b);
+        assert_eq!(kp.secret.decrypt_u64(&kp.public, &s), 1234);
+    }
+
+    #[test]
+    fn homomorphic_scalar_multiplication() {
+        let kp = test_keypair(7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let a = kp.public.encrypt_u64(321, &mut rng);
+        let c = kp.public.scalar_mul(&a, &BigUint::from_u64(1000));
+        assert_eq!(kp.secret.decrypt_u64(&kp.public, &c), 321_000);
+    }
+
+    #[test]
+    fn negation_handles_signed_weights() {
+        let kp = test_keypair(9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let a = kp.public.encrypt_u64(5, &mut rng);
+        // Enc(-5) ⊞ Enc(12) = Enc(7).
+        let c = kp.public.add(&kp.public.neg(&a), &kp.public.encrypt_u64(12, &mut rng));
+        assert_eq!(kp.secret.decrypt_u64(&kp.public, &c), 7);
+    }
+
+    #[test]
+    fn homomorphic_dot_product() {
+        // The exact operation the MiniONN baseline performs.
+        let kp = test_keypair(11);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let xs = [3u64, 1, 4, 1, 5];
+        let ws = [2i64, -7, 1, 8, -2];
+        let cts: Vec<Ciphertext> = xs.iter().map(|&x| kp.public.encrypt_u64(x, &mut rng)).collect();
+        let mut acc = kp.public.encrypt_u64(0, &mut rng);
+        for (ct, &w) in cts.iter().zip(&ws) {
+            let base = if w < 0 { kp.public.neg(ct) } else { ct.clone() };
+            let term = kp.public.scalar_mul(&base, &BigUint::from_u64(w.unsigned_abs()));
+            acc = kp.public.add(&acc, &term);
+        }
+        let expect: i64 = xs.iter().zip(&ws).map(|(&x, &w)| x as i64 * w).sum();
+        // expect = 6 - 7 + 4 + 8 - 10 = 1 (non-negative here).
+        assert_eq!(kp.secret.decrypt_u64(&kp.public, &acc), expect as u64);
+    }
+
+    #[test]
+    fn ciphertext_serialization_round_trip() {
+        let kp = test_keypair(13);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let c = kp.public.encrypt_u64(99, &mut rng);
+        let bytes = c.to_bytes(&kp.public);
+        assert_eq!(bytes.len(), Ciphertext::byte_len(&kp.public));
+        let c2 = Ciphertext::from_bytes(&bytes);
+        assert_eq!(kp.secret.decrypt_u64(&kp.public, &c2), 99);
+    }
+}

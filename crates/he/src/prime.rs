@@ -1,0 +1,132 @@
+//! Miller–Rabin probabilistic prime generation.
+
+use crate::mont::MontCtx;
+use crate::BigUint;
+use rand::Rng;
+
+/// Small primes for fast trial division.
+const SMALL_PRIMES: [u64; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113,
+];
+
+/// Miller–Rabin with `rounds` random bases (error ≤ 4^{-rounds}).
+///
+/// # Panics
+///
+/// Panics if `n` is even and greater than 2 is handled; zero is rejected
+/// as composite.
+#[must_use]
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if n.bits() <= 1 {
+        return false; // 0, 1
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from_u64(p);
+        if n.cmp(&pb) == std::cmp::Ordering::Equal {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    if !n.is_odd() {
+        return false;
+    }
+
+    // n - 1 = d · 2^s with d odd.
+    let n_minus_1 = n.sub(&BigUint::one());
+    let s = {
+        let mut s = 0usize;
+        while !n_minus_1.bit(s) {
+            s += 1;
+        }
+        s
+    };
+    let d = n_minus_1.shr(s);
+    let ctx = MontCtx::new(n);
+
+    'witness: for _ in 0..rounds {
+        let a = loop {
+            let a = BigUint::random_below(&n_minus_1, rng);
+            if a.bits() > 1 {
+                break a;
+            }
+        };
+        let mut x = ctx.pow_mod(&a, &d);
+        if x.cmp(&BigUint::one()) == std::cmp::Ordering::Equal
+            || x.cmp(&n_minus_1) == std::cmp::Ordering::Equal
+        {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = ctx.mul_mod(&x, &x);
+            if x.cmp(&n_minus_1) == std::cmp::Ordering::Equal {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 8`.
+#[must_use]
+pub fn generate_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 8, "prime size too small");
+    loop {
+        let mut cand = BigUint::random_bits(bits, rng);
+        if !cand.is_odd() {
+            cand = cand.add(&BigUint::one());
+        }
+        if is_probable_prime(&cand, 16, rng) {
+            return cand;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_primes_and_composites() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 101, 65537, 2_147_483_647] {
+            assert!(is_probable_prime(&BigUint::from_u64(p), 16, &mut rng), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 100, 65535, 2_147_483_647 + 2] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 16, &mut rng), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for c in [561u64, 1105, 1729, 2465, 6601] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 16, &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = generate_prime(128, &mut rng);
+        assert_eq!(p.bits(), 128);
+        assert!(p.is_odd());
+        assert!(is_probable_prime(&p, 24, &mut rng));
+    }
+
+    #[test]
+    fn generated_primes_differ() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let p = generate_prime(96, &mut rng);
+        let q = generate_prime(96, &mut rng);
+        assert_ne!(p, q);
+    }
+}

@@ -1,0 +1,30 @@
+//! Numeric substrate for the ABNN² reproduction.
+//!
+//! The paper performs all secure computation over the ring ℤ_{2^ℓ} with
+//! fixed-point encodings of real values, and decomposes η-bit quantized
+//! weights into base-N fragments (§4.1 of the paper). This crate provides:
+//!
+//! * [`Ring`] — modular arithmetic over ℤ_{2^ℓ} for any ℓ ∈ 1..=64,
+//! * [`FixedPoint`] — fixed-point encode/decode between `f64` and the ring,
+//! * [`Matrix`] — dense row-major matrices with ring matmul,
+//! * [`FragmentScheme`] — the N-base (possibly mixed-radix) weight
+//!   decomposition `w = Σᵢ Nⁱ·w[i]` that drives the 1-out-of-N OTs.
+//!
+//! ```
+//! use abnn2_math::{Ring, FragmentScheme};
+//! let ring = Ring::new(32);
+//! let scheme = FragmentScheme::unsigned(&[2, 2, 2, 2]);
+//! let w = 0b10_11_01_10i64; // an 8-bit weight
+//! let digits = scheme.decompose(w);
+//! assert_eq!(scheme.recompose(&digits, &ring), w as u64);
+//! ```
+
+pub mod fixed;
+pub mod fragment;
+pub mod matrix;
+pub mod ring;
+
+pub use fixed::FixedPoint;
+pub use fragment::{Fragment, FragmentScheme};
+pub use matrix::Matrix;
+pub use ring::Ring;

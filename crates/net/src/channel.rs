@@ -1,0 +1,305 @@
+//! Duplex in-process channels with byte accounting and a virtual clock.
+
+use crate::NetworkModel;
+use abnn2_crypto::Block;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+/// Error raised when the peer endpoint has hung up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelError;
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer endpoint disconnected")
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+struct Packet {
+    payload: Vec<u8>,
+    /// Sender-side virtual departure time in seconds.
+    depart_vtime: f64,
+}
+
+/// Point-in-time communication statistics, used to attribute traffic to
+/// protocol phases (offline vs online).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CommSnapshot {
+    /// Bytes this endpoint has sent so far.
+    pub bytes_sent: u64,
+    /// Bytes this endpoint has received so far.
+    pub bytes_received: u64,
+    /// Messages sent so far.
+    pub messages_sent: u64,
+    /// Virtual elapsed time so far.
+    pub vtime: Duration,
+}
+
+impl CommSnapshot {
+    /// Traffic between an earlier snapshot and this one.
+    #[must_use]
+    pub fn since(&self, earlier: &CommSnapshot) -> CommSnapshot {
+        CommSnapshot {
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            vtime: self.vtime.saturating_sub(earlier.vtime),
+        }
+    }
+
+    /// Total bytes crossing the wire in both directions.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+/// One side of a duplex channel between the two protocol parties.
+///
+/// Every [`Endpoint::send`]/[`Endpoint::recv`] advances a *virtual clock*:
+/// real compute time since the previous channel operation is added, then the
+/// network model charges serialization time (`len / bandwidth`) on send and
+/// enforces `arrival ≥ departure + latency` on receive. The larger of the
+/// two endpoints' final clocks is the simulated end-to-end protocol time.
+pub struct Endpoint {
+    tx: Sender<Packet>,
+    rx: Receiver<Packet>,
+    model: NetworkModel,
+    vtime: f64,
+    last_op: Instant,
+    bytes_sent: u64,
+    bytes_received: u64,
+    messages_sent: u64,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("bytes_sent", &self.bytes_sent)
+            .field("bytes_received", &self.bytes_received)
+            .field("vtime", &self.vtime)
+            .finish()
+    }
+}
+
+impl Endpoint {
+    /// Creates a connected pair of endpoints sharing a network model.
+    #[must_use]
+    pub fn pair(model: NetworkModel) -> (Endpoint, Endpoint) {
+        let (tx_ab, rx_ab) = unbounded();
+        let (tx_ba, rx_ba) = unbounded();
+        let mk = |tx, rx| Endpoint {
+            tx,
+            rx,
+            model,
+            vtime: 0.0,
+            last_op: Instant::now(),
+            bytes_sent: 0,
+            bytes_received: 0,
+            messages_sent: 0,
+        };
+        (mk(tx_ab, rx_ba), mk(tx_ba, rx_ab))
+    }
+
+    fn absorb_compute(&mut self) {
+        let now = Instant::now();
+        self.vtime += now.duration_since(self.last_op).as_secs_f64();
+        self.last_op = now;
+    }
+
+    /// Sends a byte message to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] if the peer endpoint was dropped.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), ChannelError> {
+        self.absorb_compute();
+        self.vtime += self.model.transfer_secs(payload.len());
+        self.bytes_sent += payload.len() as u64;
+        self.messages_sent += 1;
+        self.tx
+            .send(Packet { payload: payload.to_vec(), depart_vtime: self.vtime })
+            .map_err(|_| ChannelError)
+    }
+
+    /// Receives the next byte message from the peer (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] if the peer endpoint was dropped.
+    pub fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
+        let pkt = self.rx.recv().map_err(|_| ChannelError)?;
+        self.absorb_compute();
+        let arrival = pkt.depart_vtime + self.model.one_way_latency().as_secs_f64();
+        self.vtime = self.vtime.max(arrival);
+        self.bytes_received += pkt.payload.len() as u64;
+        Ok(pkt.payload)
+    }
+
+    /// Sends a single `u64` (little-endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] if the peer endpoint was dropped.
+    pub fn send_u64(&mut self, v: u64) -> Result<(), ChannelError> {
+        self.send(&v.to_le_bytes())
+    }
+
+    /// Receives a single `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] if the peer disconnected or sent a message
+    /// of the wrong length.
+    pub fn recv_u64(&mut self) -> Result<u64, ChannelError> {
+        let b = self.recv()?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| ChannelError)?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Sends a slice of 128-bit blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] if the peer endpoint was dropped.
+    pub fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), ChannelError> {
+        let mut buf = Vec::with_capacity(blocks.len() * 16);
+        for b in blocks {
+            buf.extend_from_slice(&b.to_bytes());
+        }
+        self.send(&buf)
+    }
+
+    /// Receives a slice of 128-bit blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] if the peer disconnected or the payload is
+    /// not a multiple of 16 bytes.
+    pub fn recv_blocks(&mut self) -> Result<Vec<Block>, ChannelError> {
+        let buf = self.recv()?;
+        if buf.len() % 16 != 0 {
+            return Err(ChannelError);
+        }
+        Ok(buf
+            .chunks_exact(16)
+            .map(|c| Block::from_bytes(c.try_into().expect("16 bytes")))
+            .collect())
+    }
+
+    /// Current communication statistics.
+    #[must_use]
+    pub fn snapshot(&self) -> CommSnapshot {
+        CommSnapshot {
+            bytes_sent: self.bytes_sent,
+            bytes_received: self.bytes_received,
+            messages_sent: self.messages_sent,
+            vtime: Duration::from_secs_f64(self.vtime),
+        }
+    }
+
+    /// Simulated elapsed time at this endpoint (compute + modelled network).
+    #[must_use]
+    pub fn vtime(&self) -> Duration {
+        Duration::from_secs_f64(self.vtime)
+    }
+
+    /// The network model in force.
+    #[must_use]
+    pub fn model(&self) -> NetworkModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_bytes_counted() {
+        let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
+        a.send(b"hello").unwrap();
+        assert_eq!(b.recv().unwrap(), b"hello");
+        b.send(b"worlds!").unwrap();
+        assert_eq!(a.recv().unwrap(), b"worlds!");
+        assert_eq!(a.snapshot().bytes_sent, 5);
+        assert_eq!(a.snapshot().bytes_received, 7);
+        assert_eq!(b.snapshot().bytes_sent, 7);
+        assert_eq!(b.snapshot().messages_sent, 1);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
+        a.send_u64(0xdead_beef).unwrap();
+        assert_eq!(b.recv_u64().unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
+        let blocks = vec![Block::from(1u128), Block::from(2u128)];
+        a.send_blocks(&blocks).unwrap();
+        assert_eq!(b.recv_blocks().unwrap(), blocks);
+    }
+
+    #[test]
+    fn disconnect_surfaces_as_error() {
+        let (mut a, b) = Endpoint::pair(NetworkModel::instant());
+        drop(b);
+        assert_eq!(a.send(b"x"), Err(ChannelError));
+        assert_eq!(a.recv(), Err(ChannelError));
+    }
+
+    #[test]
+    fn malformed_u64_rejected() {
+        let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
+        a.send(b"abc").unwrap();
+        assert_eq!(b.recv_u64(), Err(ChannelError));
+    }
+
+    #[test]
+    fn latency_charged_on_receive() {
+        let model = NetworkModel::new(Duration::from_millis(100), 1e9);
+        let (mut a, mut b) = Endpoint::pair(model);
+        a.send(b"x").unwrap();
+        let _ = b.recv().unwrap();
+        assert!(b.vtime() >= Duration::from_millis(50), "vtime = {:?}", b.vtime());
+    }
+
+    #[test]
+    fn bandwidth_charged_on_send() {
+        let model = NetworkModel::new(Duration::ZERO, 1000.0); // 1 KB/s
+        let (mut a, _b) = Endpoint::pair(model);
+        a.send(&[0u8; 500]).unwrap();
+        assert!(a.vtime() >= Duration::from_millis(499), "vtime = {:?}", a.vtime());
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
+        a.send(b"12345").unwrap();
+        let s1 = a.snapshot();
+        a.send(b"678").unwrap();
+        let d = a.snapshot().since(&s1);
+        assert_eq!(d.bytes_sent, 3);
+        assert_eq!(d.messages_sent, 1);
+        let _ = b.recv();
+        let _ = b.recv();
+    }
+
+    #[test]
+    fn pipelined_sends_share_latency() {
+        // Two back-to-back sends: receiver should not pay 2x latency because
+        // arrivals overlap (max, not sum).
+        let model = NetworkModel::new(Duration::from_millis(100), f64::INFINITY);
+        let (mut a, mut b) = Endpoint::pair(model);
+        a.send(b"1").unwrap();
+        a.send(b"2").unwrap();
+        let _ = b.recv().unwrap();
+        let _ = b.recv().unwrap();
+        assert!(b.vtime() < Duration::from_millis(70), "vtime = {:?}", b.vtime());
+    }
+}

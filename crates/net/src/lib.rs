@@ -1,0 +1,41 @@
+//! Two-party communication substrate for the ABNN² reproduction.
+//!
+//! The paper evaluates on two physical machines whose link is shaped with
+//! Linux `tc` into LAN and WAN profiles. We reproduce that with an
+//! in-process substrate:
+//!
+//! * [`Endpoint`] — one side of a duplex byte channel with exact
+//!   application-byte accounting (the numbers reported in the paper's
+//!   "Comm." columns),
+//! * [`NetworkModel`] — latency/bandwidth profiles ([`NetworkModel::lan`],
+//!   [`NetworkModel::wan_secureml`], [`NetworkModel::wan_quotient`]),
+//! * a **virtual clock** per endpoint: real compute time is measured between
+//!   channel operations, and transfer time is charged per message as
+//!   `bytes / bandwidth` at the sender plus one-way latency at the receiver
+//!   (`arrival = max(local, departure + latency)`), which models pipelined
+//!   streams the same way a shaped TCP link does,
+//! * [`run_pair`] — spawns the two protocol parties on threads and collects
+//!   a [`TrafficReport`].
+//!
+//! ```
+//! use abnn2_net::{run_pair, NetworkModel};
+//! let (a, b, report) = run_pair(NetworkModel::lan(), |ch| {
+//!     ch.send(b"ping").unwrap();
+//!     ch.recv().unwrap()
+//! }, |ch| {
+//!     let m = ch.recv().unwrap();
+//!     ch.send(b"pong").unwrap();
+//!     m
+//! });
+//! assert_eq!(a, b"pong");
+//! assert_eq!(b, b"ping");
+//! assert_eq!(report.total_bytes(), 8);
+//! ```
+
+pub mod channel;
+pub mod model;
+pub mod runner;
+
+pub use channel::{ChannelError, CommSnapshot, Endpoint};
+pub use model::NetworkModel;
+pub use runner::{run_pair, TrafficReport};

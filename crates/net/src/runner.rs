@@ -1,0 +1,128 @@
+//! Two-party protocol runner.
+
+use crate::{CommSnapshot, Endpoint, NetworkModel};
+use std::time::{Duration, Instant};
+
+/// End-of-run traffic and timing report for a two-party execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficReport {
+    /// Final statistics at the server endpoint.
+    pub server: CommSnapshot,
+    /// Final statistics at the client endpoint.
+    pub client: CommSnapshot,
+    /// Wall-clock duration of the run (both threads).
+    pub wall: Duration,
+}
+
+impl TrafficReport {
+    /// Total bytes on the wire in both directions.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.server.bytes_sent + self.client.bytes_sent
+    }
+
+    /// Total bytes as mebibytes, the unit of the paper's tables.
+    #[must_use]
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Simulated end-to-end protocol time: the later of the two endpoints'
+    /// virtual clocks.
+    #[must_use]
+    pub fn simulated_time(&self) -> Duration {
+        self.server.vtime.max(self.client.vtime)
+    }
+}
+
+/// Runs a server closure and a client closure on two threads connected by a
+/// channel pair under `model`, returning both results and the traffic
+/// report.
+///
+/// # Panics
+///
+/// Panics if either party panics (the panic is propagated).
+pub fn run_pair<A, B, FS, FC>(model: NetworkModel, server: FS, client: FC) -> (A, B, TrafficReport)
+where
+    A: Send,
+    B: Send,
+    FS: FnOnce(&mut Endpoint) -> A + Send,
+    FC: FnOnce(&mut Endpoint) -> B + Send,
+{
+    let (mut ep_s, mut ep_c) = Endpoint::pair(model);
+    let start = Instant::now();
+    let (a, snap_s, b, snap_c) = std::thread::scope(|scope| {
+        let hs = scope.spawn(move || {
+            let a = server(&mut ep_s);
+            (a, ep_s.snapshot())
+        });
+        let hc = scope.spawn(move || {
+            let b = client(&mut ep_c);
+            (b, ep_c.snapshot())
+        });
+        let (a, snap_s) = hs.join().expect("server thread panicked");
+        let (b, snap_c) = hc.join().expect("client thread panicked");
+        (a, snap_s, b, snap_c)
+    });
+    let report = TrafficReport { server: snap_s, client: snap_c, wall: start.elapsed() };
+    (a, b, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_and_report() {
+        let (a, b, report) = run_pair(
+            NetworkModel::instant(),
+            |ch| {
+                ch.send_u64(21).unwrap();
+                ch.recv_u64().unwrap()
+            },
+            |ch| {
+                let v = ch.recv_u64().unwrap();
+                ch.send_u64(v * 2).unwrap();
+                v
+            },
+        );
+        assert_eq!(a, 42);
+        assert_eq!(b, 21);
+        assert_eq!(report.total_bytes(), 16);
+        assert!(report.simulated_time() <= report.wall + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn wan_latency_dominates_round_trips() {
+        let rounds = 5u64;
+        let (_, _, report) = run_pair(
+            NetworkModel::wan_secureml(),
+            |ch| {
+                for i in 0..rounds {
+                    ch.send_u64(i).unwrap();
+                    ch.recv_u64().unwrap();
+                }
+            },
+            |ch| {
+                for _ in 0..rounds {
+                    let v = ch.recv_u64().unwrap();
+                    ch.send_u64(v).unwrap();
+                }
+            },
+        );
+        // 5 round trips at 72 ms RTT ≈ 360 ms simulated, regardless of the
+        // (much smaller) wall time.
+        assert!(report.simulated_time() >= Duration::from_millis(350));
+        assert!(report.wall < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn mib_conversion() {
+        let report = TrafficReport {
+            server: CommSnapshot { bytes_sent: 1024 * 1024, ..Default::default() },
+            client: CommSnapshot::default(),
+            wall: Duration::ZERO,
+        };
+        assert_eq!(report.total_mib(), 1.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Synthetic MNIST-like dataset.
+//!
+//! The paper benchmarks on MNIST. The raw dataset is not shipped here, so we
+//! generate a structurally similar task: 28×28 grayscale images in `[0,1]`,
+//! ten classes, each class a smooth random prototype plus per-sample noise.
+//! The secure protocols are data-oblivious — their cost depends only on the
+//! layer dimensions — so this substitution affects accuracy numbers only,
+//! not any table the paper reports.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length (28, as MNIST).
+pub const IMAGE_SIDE: usize = 28;
+/// Flattened input dimension (784).
+pub const INPUT_DIM: usize = IMAGE_SIDE * IMAGE_SIDE;
+/// Number of classes.
+pub const NUM_CLASSES: usize = 10;
+
+/// A labelled sample: flattened pixels in `[0,1]` and a class index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Pixel intensities, length [`INPUT_DIM`].
+    pub pixels: Vec<f64>,
+    /// Class label in `0..NUM_CLASSES`.
+    pub label: usize,
+}
+
+/// A deterministic synthetic dataset with train and test splits.
+#[derive(Debug, Clone)]
+pub struct SyntheticMnist {
+    /// Training samples.
+    pub train: Vec<Sample>,
+    /// Held-out test samples.
+    pub test: Vec<Sample>,
+}
+
+impl SyntheticMnist {
+    /// Generates `n_train` + `n_test` samples from `seed`.
+    ///
+    /// Class prototypes are smooth 2-D bump mixtures (so nearby pixels
+    /// correlate, like handwriting strokes); samples add Gaussian pixel
+    /// noise and are clamped to `[0,1]`.
+    #[must_use]
+    pub fn generate(n_train: usize, n_test: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prototypes: Vec<Vec<f64>> = (0..NUM_CLASSES).map(|_| prototype(&mut rng)).collect();
+        let draw = |n: usize, rng: &mut StdRng| -> Vec<Sample> {
+            (0..n)
+                .map(|i| {
+                    let label = i % NUM_CLASSES;
+                    let pixels = prototypes[label]
+                        .iter()
+                        .map(|&p| (p + 0.15 * gaussian(rng)).clamp(0.0, 1.0))
+                        .collect();
+                    Sample { pixels, label }
+                })
+                .collect()
+        };
+        let train = draw(n_train, &mut rng);
+        let test = draw(n_test, &mut rng);
+        SyntheticMnist { train, test }
+    }
+}
+
+/// A smooth prototype: a sum of a few random 2-D Gaussian bumps.
+fn prototype(rng: &mut StdRng) -> Vec<f64> {
+    let bumps: Vec<(f64, f64, f64, f64)> = (0..4)
+        .map(|_| {
+            (
+                rng.gen_range(4.0..24.0),  // center x
+                rng.gen_range(4.0..24.0),  // center y
+                rng.gen_range(2.0..5.0),   // width
+                rng.gen_range(0.5..1.0),   // amplitude
+            )
+        })
+        .collect();
+    let mut img = vec![0.0f64; INPUT_DIM];
+    for y in 0..IMAGE_SIDE {
+        for x in 0..IMAGE_SIDE {
+            let mut v = 0.0;
+            for &(cx, cy, w, a) in &bumps {
+                let d2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2);
+                v += a * (-d2 / (2.0 * w * w)).exp();
+            }
+            img[y * IMAGE_SIDE + x] = v.min(1.0);
+        }
+    }
+    img
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SyntheticMnist::generate(20, 10, 7);
+        let b = SyntheticMnist::generate(20, 10, 7);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticMnist::generate(10, 0, 1);
+        let b = SyntheticMnist::generate(10, 0, 2);
+        assert_ne!(a.train[0].pixels, b.train[0].pixels);
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let d = SyntheticMnist::generate(30, 15, 3);
+        assert_eq!(d.train.len(), 30);
+        assert_eq!(d.test.len(), 15);
+        for s in d.train.iter().chain(&d.test) {
+            assert_eq!(s.pixels.len(), INPUT_DIM);
+            assert!(s.label < NUM_CLASSES);
+            assert!(s.pixels.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let d = SyntheticMnist::generate(100, 0, 4);
+        let mut counts = [0usize; NUM_CLASSES];
+        for s in &d.train {
+            counts[s.label] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn classes_are_separated() {
+        // Same-class samples should be closer than cross-class on average.
+        let d = SyntheticMnist::generate(40, 0, 5);
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>()
+        };
+        let s0: Vec<&Sample> = d.train.iter().filter(|s| s.label == 0).collect();
+        let s1: Vec<&Sample> = d.train.iter().filter(|s| s.label == 1).collect();
+        let within = dist(&s0[0].pixels, &s0[1].pixels);
+        let across = dist(&s0[0].pixels, &s1[0].pixels);
+        assert!(within < across, "within = {within}, across = {across}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Plaintext quantized neural networks for the ABNN² reproduction.
+//!
+//! The secure protocols in `abnn2-core` evaluate exactly the fixed-point
+//! pipeline defined here, so this crate is both the workload generator and
+//! the correctness oracle:
+//!
+//! * [`data`] — a synthetic MNIST-like dataset (the real MNIST files are not
+//!   available in this environment; see `DESIGN.md` §2 for the substitution
+//!   rationale — the protocols are data-oblivious, so costs depend only on
+//!   layer shapes),
+//! * [`model`] — float networks, SGD training, and
+//!   [`model::paper_network_dims`] (the Fig-4 architecture
+//!   784 → 128 → 128 → 10),
+//! * [`quant`] — arbitrary-bitwidth post-training quantization onto a
+//!   [`abnn2_math::FragmentScheme`], plus the bit-exact fixed-point forward
+//!   pass ([`quant::QuantizedNetwork::forward_exact`]) that secure inference
+//!   must reproduce share-for-share,
+//! * [`conv`] — the CNN extension: im2col convolution, max-pooling and
+//!   [`conv::QuantizedCnn`] (its secure counterpart is `abnn2_core::cnn`).
+
+pub mod conv;
+pub mod data;
+pub mod model;
+pub mod quant;
+
+pub use conv::{ConvShape, QuantizedCnn, QuantizedConv};
+pub use data::SyntheticMnist;
+pub use model::{Dense, Network};
+pub use quant::{QuantConfig, QuantizedDense, QuantizedNetwork};

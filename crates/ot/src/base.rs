@@ -1,0 +1,177 @@
+//! Chou–Orlandi "simplest OT" base oblivious transfer.
+//!
+//! The sender holds message pairs `(m₀, m₁)`; the chooser holds bits `c` and
+//! learns `m_c`. One batch runs any number of OTs with a single round trip
+//! after the sender's setup message:
+//!
+//! ```text
+//! S: y ←$,  A = yB,  T = yA                  --A-->
+//! R: xᵢ ←$, Rᵢ = cᵢ·A + xᵢ·B                 <--Rᵢ--
+//! S: k⁰ᵢ = KDF(i, yRᵢ), k¹ᵢ = KDF(i, yRᵢ−T)  --ctᵢ-->
+//! R: k^cᵢ = KDF(i, xᵢ·A)
+//! ```
+//!
+//! Security holds in the random-oracle model under computational
+//! Diffie–Hellman on the curve (semi-honest parties; the chooser's `Rᵢ` is a
+//! uniformly random point for either choice).
+
+use crate::OtError;
+use abnn2_crypto::curve::EdwardsPoint;
+use abnn2_crypto::{sha256::sha256, Block};
+use abnn2_net::Endpoint;
+use rand::Rng;
+
+fn random_scalar<R: Rng + ?Sized>(rng: &mut R) -> [u8; 32] {
+    let mut s = [0u8; 32];
+    rng.fill(&mut s);
+    s[31] &= 0x0f; // < 2^252, comfortably below the group order × cofactor
+    s
+}
+
+fn kdf(index: u64, point: &EdwardsPoint) -> Block {
+    let mut data = [0u8; 72];
+    data[..64].copy_from_slice(&point.to_bytes());
+    data[64..].copy_from_slice(&index.to_le_bytes());
+    let digest = sha256(&data);
+    Block::from_bytes(digest[..16].try_into().expect("16 bytes"))
+}
+
+/// Runs the sender side, transferring `pairs[i].0` or `pairs[i].1` according
+/// to the chooser's bit.
+///
+/// # Errors
+///
+/// Returns [`OtError`] on disconnection or if the chooser sends invalid
+/// curve points.
+pub fn send<R: Rng + ?Sized>(
+    ch: &mut Endpoint,
+    pairs: &[(Block, Block)],
+    rng: &mut R,
+) -> Result<(), OtError> {
+    let y = random_scalar(rng);
+    let base = EdwardsPoint::base();
+    let a = base.scalar_mul(&y);
+    let t = a.scalar_mul(&y);
+    ch.send(&a.to_bytes())?;
+
+    let r_bytes = ch.recv()?;
+    if r_bytes.len() != 64 * pairs.len() {
+        return Err(OtError::Malformed("chooser point batch has wrong length"));
+    }
+    let mut cts = Vec::with_capacity(pairs.len() * 32);
+    for (i, pair) in pairs.iter().enumerate() {
+        let mut pt = [0u8; 64];
+        pt.copy_from_slice(&r_bytes[64 * i..64 * (i + 1)]);
+        let r_i = EdwardsPoint::from_bytes(&pt).map_err(|_| OtError::InvalidPoint)?;
+        let yr = r_i.scalar_mul(&y);
+        let k0 = kdf(i as u64, &yr);
+        let k1 = kdf(i as u64, &yr.sub(&t));
+        cts.extend_from_slice(&(pair.0 ^ k0).to_bytes());
+        cts.extend_from_slice(&(pair.1 ^ k1).to_bytes());
+    }
+    ch.send(&cts)?;
+    Ok(())
+}
+
+/// Runs the chooser side, learning one block per choice bit.
+///
+/// # Errors
+///
+/// Returns [`OtError`] on disconnection or malformed sender messages.
+pub fn recv<R: Rng + ?Sized>(
+    ch: &mut Endpoint,
+    choices: &[bool],
+    rng: &mut R,
+) -> Result<Vec<Block>, OtError> {
+    let a_bytes = ch.recv()?;
+    let a_arr: [u8; 64] =
+        a_bytes.as_slice().try_into().map_err(|_| OtError::Malformed("setup point length"))?;
+    let a = EdwardsPoint::from_bytes(&a_arr).map_err(|_| OtError::InvalidPoint)?;
+    let base = EdwardsPoint::base();
+
+    let mut xs = Vec::with_capacity(choices.len());
+    let mut r_batch = Vec::with_capacity(choices.len() * 64);
+    for &c in choices {
+        let x = random_scalar(rng);
+        let xb = base.scalar_mul(&x);
+        let r = if c { a.add(&xb) } else { xb };
+        r_batch.extend_from_slice(&r.to_bytes());
+        xs.push(x);
+    }
+    ch.send(&r_batch)?;
+
+    let cts = ch.recv()?;
+    if cts.len() != 32 * choices.len() {
+        return Err(OtError::Malformed("ciphertext batch has wrong length"));
+    }
+    let mut out = Vec::with_capacity(choices.len());
+    for (i, (&c, x)) in choices.iter().zip(&xs).enumerate() {
+        let k = kdf(i as u64, &a.scalar_mul(x));
+        let off = 32 * i + if c { 16 } else { 0 };
+        let ct = Block::from_bytes(cts[off..off + 16].try_into().expect("16 bytes"));
+        out.push(ct ^ k);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_net::{run_pair, NetworkModel};
+    use rand::SeedableRng;
+
+    fn run_base_ot(choices: Vec<bool>, seed: u64) -> (Vec<(Block, Block)>, Vec<Block>) {
+        let n = choices.len();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pairs: Vec<(Block, Block)> =
+            (0..n).map(|_| (Block::random(&mut rng), Block::random(&mut rng))).collect();
+        let pairs_clone = pairs.clone();
+        let (_, got, _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+                send(ch, &pairs_clone, &mut rng).expect("sender");
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);
+                recv(ch, &choices, &mut rng).expect("chooser")
+            },
+        );
+        (pairs, got)
+    }
+
+    #[test]
+    fn transfers_chosen_messages() {
+        let choices = vec![false, true, true, false, true];
+        let (pairs, got) = run_base_ot(choices.clone(), 42);
+        for (i, &c) in choices.iter().enumerate() {
+            let expect = if c { pairs[i].1 } else { pairs[i].0 };
+            assert_eq!(got[i], expect, "ot {i}");
+        }
+    }
+
+    #[test]
+    fn all_zero_and_all_one_choices() {
+        let (pairs, got) = run_base_ot(vec![false; 8], 1);
+        assert!(got.iter().zip(&pairs).all(|(g, p)| *g == p.0));
+        let (pairs, got) = run_base_ot(vec![true; 8], 2);
+        assert!(got.iter().zip(&pairs).all(|(g, p)| *g == p.1));
+    }
+
+    #[test]
+    fn kappa_sized_batch() {
+        // The size used to seed IKNP.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let choices: Vec<bool> = (0..128).map(|_| rng.gen()).collect();
+        let (pairs, got) = run_base_ot(choices.clone(), 7);
+        for (i, &c) in choices.iter().enumerate() {
+            assert_eq!(got[i], if c { pairs[i].1 } else { pairs[i].0 });
+        }
+    }
+
+    #[test]
+    fn kdf_separates_indices() {
+        let p = EdwardsPoint::base();
+        assert_ne!(kdf(0, &p), kdf(1, &p));
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type shared by all OT protocols.
+
+use abnn2_net::ChannelError;
+
+/// Errors raised by OT protocol executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OtError {
+    /// The peer disconnected mid-protocol.
+    Channel,
+    /// A received elliptic-curve point failed validation.
+    InvalidPoint,
+    /// A received message had an unexpected length or structure.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for OtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OtError::Channel => write!(f, "peer disconnected during oblivious transfer"),
+            OtError::InvalidPoint => write!(f, "received point is not on the curve"),
+            OtError::Malformed(what) => write!(f, "malformed OT message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OtError {}
+
+impl From<ChannelError> for OtError {
+    fn from(_: ChannelError) -> Self {
+        OtError::Channel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(OtError::Channel.to_string().contains("disconnected"));
+        assert!(OtError::Malformed("short row").to_string().contains("short row"));
+        assert!(OtError::InvalidPoint.to_string().contains("curve"));
+    }
+
+    #[test]
+    fn channel_error_converts() {
+        let e: OtError = ChannelError.into();
+        assert_eq!(e, OtError::Channel);
+    }
+}

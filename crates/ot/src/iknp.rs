@@ -1,0 +1,521 @@
+//! IKNP 1-out-of-2 OT extension with chosen, correlated and random variants.
+//!
+//! After a one-time setup of κ = 128 base OTs (with roles reversed), any
+//! number of OTs cost only symmetric operations plus κ bits per OT from the
+//! receiver. The correlated variant (`C-OT`) is what SecureML's triplet
+//! generation uses: the sender's first message is pseudorandom and only an
+//! ℓ-bit correction word crosses the wire.
+
+use crate::bits::{pack_bits, transpose_columns, xor_in_place};
+use crate::{base, OtError, KAPPA};
+use abnn2_crypto::{Block, Prg, RoHash};
+use abnn2_math::Ring;
+use abnn2_net::Endpoint;
+use rand::Rng;
+
+/// Sender side of IKNP extension (holds the message pairs).
+pub struct IknpSender {
+    s_bits: Vec<bool>,
+    s_block: Block,
+    prgs: Vec<Prg>,
+    hash: RoHash,
+    tweak: u64,
+}
+
+impl std::fmt::Debug for IknpSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IknpSender").field("tweak", &self.tweak).finish()
+    }
+}
+
+/// Receiver side of IKNP extension (holds the choice bits).
+pub struct IknpReceiver {
+    prg_pairs: Vec<(Prg, Prg)>,
+    hash: RoHash,
+    tweak: u64,
+}
+
+impl std::fmt::Debug for IknpReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IknpReceiver").field("tweak", &self.tweak).finish()
+    }
+}
+
+impl IknpSender {
+    /// Runs setup: κ base OTs with this party as base-OT chooser holding the
+    /// global secret `s`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, OtError> {
+        let s_bits: Vec<bool> = (0..KAPPA).map(|_| rng.gen()).collect();
+        let seeds = base::recv(ch, &s_bits, rng)?;
+        let s_block = Block::from_bytes(pack_bits(&s_bits).try_into().expect("16 bytes"));
+        Ok(IknpSender {
+            s_bits,
+            s_block,
+            prgs: seeds.into_iter().map(Prg::from_seed).collect(),
+            hash: RoHash::new(),
+            tweak: 0,
+        })
+    }
+
+    /// Core extension step: receives the masked columns and returns the row
+    /// values `q_j`, from which both message keys derive.
+    fn extend_rows(&mut self, ch: &mut Endpoint, m: usize) -> Result<Vec<Block>, OtError> {
+        let col_bytes = m.div_ceil(8);
+        let u = ch.recv()?;
+        if u.len() != KAPPA * col_bytes {
+            return Err(OtError::Malformed("IKNP column batch has wrong length"));
+        }
+        let mut cols = Vec::with_capacity(KAPPA);
+        for (i, prg) in self.prgs.iter_mut().enumerate() {
+            let mut col = prg.bytes(col_bytes);
+            if self.s_bits[i] {
+                xor_in_place(&mut col, &u[i * col_bytes..(i + 1) * col_bytes]);
+            }
+            cols.push(col);
+        }
+        let rows = transpose_columns(&cols, m);
+        Ok(rows
+            .into_iter()
+            .map(|r| Block::from_bytes(r.try_into().expect("16-byte row")))
+            .collect())
+    }
+
+    /// Sends `pairs.len()` chosen-message OTs of one block each.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or malformed receiver messages.
+    pub fn send(&mut self, ch: &mut Endpoint, pairs: &[(Block, Block)]) -> Result<(), OtError> {
+        let qs = self.extend_rows(ch, pairs.len())?;
+        let base_tweak = self.bump_tweak(pairs.len());
+        let mut cts = Vec::with_capacity(pairs.len() * 2);
+        for (j, (q, pair)) in qs.iter().zip(pairs).enumerate() {
+            let t = (base_tweak + j as u64) as u128;
+            cts.push(pair.0 ^ self.hash.hash_block(t, *q));
+            cts.push(pair.1 ^ self.hash.hash_block(t, *q ^ self.s_block));
+        }
+        ch.send_blocks(&cts)?;
+        Ok(())
+    }
+
+    /// Random OT: returns `m` pseudorandom pairs with no extra message
+    /// beyond the extension itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or malformed receiver messages.
+    pub fn send_random(
+        &mut self,
+        ch: &mut Endpoint,
+        m: usize,
+    ) -> Result<Vec<(Block, Block)>, OtError> {
+        let qs = self.extend_rows(ch, m)?;
+        let base_tweak = self.bump_tweak(m);
+        Ok(qs
+            .iter()
+            .enumerate()
+            .map(|(j, q)| {
+                let t = (base_tweak + j as u64) as u128;
+                (self.hash.hash_block(t, *q), self.hash.hash_block(t, *q ^ self.s_block))
+            })
+            .collect())
+    }
+
+    /// Correlated OT over a ring: for each `delta`, the sender learns a
+    /// pseudorandom `x0` and the receiver learns `x0` or `x0 + delta`.
+    /// Only one ⌈ℓ/8⌉-byte correction per OT crosses the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or malformed receiver messages.
+    pub fn send_correlated(
+        &mut self,
+        ch: &mut Endpoint,
+        deltas: &[u64],
+        ring: Ring,
+    ) -> Result<Vec<u64>, OtError> {
+        let qs = self.extend_rows(ch, deltas.len())?;
+        let base_tweak = self.bump_tweak(deltas.len());
+        let mut x0s = Vec::with_capacity(deltas.len());
+        let mut corrections = Vec::with_capacity(deltas.len());
+        for (j, (q, &delta)) in qs.iter().zip(deltas).enumerate() {
+            let t = (base_tweak + j as u64) as u128;
+            let x0 = ring.reduce(self.hash.hash_block(t, *q).as_u128() as u64);
+            let mask1 = ring.reduce(self.hash.hash_block(t, *q ^ self.s_block).as_u128() as u64);
+            // correction = x0 + delta − H(q ⊕ s): receiver with bit 1 adds its
+            // mask back to recover x0 + delta.
+            corrections.push(ring.sub(ring.add(x0, delta), mask1));
+            x0s.push(x0);
+        }
+        ch.send(&ring.encode_slice(&corrections))?;
+        Ok(x0s)
+    }
+
+    /// Vector correlated OT: like [`IknpSender::send_correlated`] but each
+    /// OT carries a whole vector of ring elements (the batch-packing used
+    /// by amortized triplet generation). Returns the per-OT `x0` vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or malformed receiver messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta vectors are ragged.
+    pub fn send_correlated_vec(
+        &mut self,
+        ch: &mut Endpoint,
+        deltas: &[Vec<u64>],
+        ring: Ring,
+    ) -> Result<Vec<Vec<u64>>, OtError> {
+        let width = deltas.first().map_or(0, Vec::len);
+        assert!(deltas.iter().all(|d| d.len() == width), "ragged delta vectors");
+        let qs = self.extend_rows(ch, deltas.len())?;
+        let base_tweak = self.bump_tweak(deltas.len());
+        let elem_len = width * ring.byte_len();
+        let mut x0s = Vec::with_capacity(deltas.len());
+        let mut payload = Vec::with_capacity(deltas.len() * elem_len);
+        for (j, (q, delta)) in qs.iter().zip(deltas).enumerate() {
+            let t = (base_tweak + j as u64) as u128;
+            let x0 = ring.decode_slice(&self.hash.hash_expand(t, &q.to_bytes(), elem_len));
+            let mask1 =
+                ring.decode_slice(&self.hash.hash_expand(t, &(*q ^ self.s_block).to_bytes(), elem_len));
+            for k in 0..width {
+                payload.extend_from_slice(
+                    &ring.encode_slice(&[ring.sub(ring.add(x0[k], delta[k]), mask1[k])]),
+                );
+            }
+            x0s.push(x0);
+        }
+        ch.send(&payload)?;
+        Ok(x0s)
+    }
+
+    fn bump_tweak(&mut self, m: usize) -> u64 {
+        let t = self.tweak;
+        self.tweak += m as u64;
+        t
+    }
+}
+
+impl IknpReceiver {
+    /// Runs setup: κ base OTs with this party as base-OT sender holding
+    /// random seed pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, OtError> {
+        let seed_pairs: Vec<(Block, Block)> =
+            (0..KAPPA).map(|_| (Block::random(rng), Block::random(rng))).collect();
+        base::send(ch, &seed_pairs, rng)?;
+        Ok(IknpReceiver {
+            prg_pairs: seed_pairs
+                .into_iter()
+                .map(|(a, b)| (Prg::from_seed(a), Prg::from_seed(b)))
+                .collect(),
+            hash: RoHash::new(),
+            tweak: 0,
+        })
+    }
+
+    /// Core extension step: sends masked columns, returns per-row blocks
+    /// `t_j` (the key for the chosen message).
+    fn extend_rows(&mut self, ch: &mut Endpoint, choices: &[bool]) -> Result<Vec<Block>, OtError> {
+        let m = choices.len();
+        let col_bytes = m.div_ceil(8);
+        let b = pack_bits(choices);
+        let mut t_cols = Vec::with_capacity(KAPPA);
+        let mut u = Vec::with_capacity(KAPPA * col_bytes);
+        for (prg0, prg1) in &mut self.prg_pairs {
+            let t0 = prg0.bytes(col_bytes);
+            let t1 = prg1.bytes(col_bytes);
+            let mut ui = t0.clone();
+            xor_in_place(&mut ui, &t1);
+            xor_in_place(&mut ui, &b);
+            u.extend_from_slice(&ui);
+            t_cols.push(t0);
+        }
+        ch.send(&u)?;
+        let rows = transpose_columns(&t_cols, m);
+        Ok(rows
+            .into_iter()
+            .map(|r| Block::from_bytes(r.try_into().expect("16-byte row")))
+            .collect())
+    }
+
+    /// Receives chosen-message OTs: one block per choice bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or malformed sender messages.
+    pub fn recv(&mut self, ch: &mut Endpoint, choices: &[bool]) -> Result<Vec<Block>, OtError> {
+        let ts = self.extend_rows(ch, choices)?;
+        let base_tweak = self.bump_tweak(choices.len());
+        let cts = ch.recv_blocks()?;
+        if cts.len() != 2 * choices.len() {
+            return Err(OtError::Malformed("IKNP ciphertext batch has wrong length"));
+        }
+        Ok(ts
+            .iter()
+            .zip(choices)
+            .enumerate()
+            .map(|(j, (t, &c))| {
+                let tw = (base_tweak + j as u64) as u128;
+                cts[2 * j + c as usize] ^ self.hash.hash_block(tw, *t)
+            })
+            .collect())
+    }
+
+    /// Random OT receiver: learns `x_c` for pseudorandom pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or malformed sender messages.
+    pub fn recv_random(
+        &mut self,
+        ch: &mut Endpoint,
+        choices: &[bool],
+    ) -> Result<Vec<Block>, OtError> {
+        let ts = self.extend_rows(ch, choices)?;
+        let base_tweak = self.bump_tweak(choices.len());
+        Ok(ts
+            .iter()
+            .enumerate()
+            .map(|(j, t)| self.hash.hash_block((base_tweak + j as u64) as u128, *t))
+            .collect())
+    }
+
+    /// Correlated OT receiver: learns `x0 + c·delta` per OT.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or malformed sender messages.
+    pub fn recv_correlated(
+        &mut self,
+        ch: &mut Endpoint,
+        choices: &[bool],
+        ring: Ring,
+    ) -> Result<Vec<u64>, OtError> {
+        let ts = self.extend_rows(ch, choices)?;
+        let base_tweak = self.bump_tweak(choices.len());
+        let corr_bytes = ch.recv()?;
+        if corr_bytes.len() != ring.byte_len() * choices.len() {
+            return Err(OtError::Malformed("C-OT correction batch has wrong length"));
+        }
+        let corrections = ring.decode_slice(&corr_bytes);
+        Ok(ts
+            .iter()
+            .zip(choices)
+            .zip(&corrections)
+            .enumerate()
+            .map(|(j, ((t, &c), &corr))| {
+                let tw = (base_tweak + j as u64) as u128;
+                let mask = ring.reduce(self.hash.hash_block(tw, *t).as_u128() as u64);
+                if c {
+                    ring.add(corr, mask)
+                } else {
+                    mask
+                }
+            })
+            .collect())
+    }
+
+    /// Vector correlated OT receiver: learns `x0 + c·delta` element-wise
+    /// per OT.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or malformed sender messages.
+    pub fn recv_correlated_vec(
+        &mut self,
+        ch: &mut Endpoint,
+        choices: &[bool],
+        width: usize,
+        ring: Ring,
+    ) -> Result<Vec<Vec<u64>>, OtError> {
+        let ts = self.extend_rows(ch, choices)?;
+        let base_tweak = self.bump_tweak(choices.len());
+        let elem_len = width * ring.byte_len();
+        let payload = ch.recv()?;
+        if payload.len() != elem_len * choices.len() {
+            return Err(OtError::Malformed("vector C-OT correction batch length"));
+        }
+        Ok(ts
+            .iter()
+            .zip(choices)
+            .enumerate()
+            .map(|(j, (t, &c))| {
+                let tw = (base_tweak + j as u64) as u128;
+                let mask = ring.decode_slice(&self.hash.hash_expand(tw, &t.to_bytes(), elem_len));
+                if c {
+                    let corr = ring.decode_slice(&payload[j * elem_len..(j + 1) * elem_len]);
+                    ring.add_vec(&corr, &mask)
+                } else {
+                    mask
+                }
+            })
+            .collect())
+    }
+
+    fn bump_tweak(&mut self, m: usize) -> u64 {
+        let t = self.tweak;
+        self.tweak += m as u64;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_net::{run_pair, NetworkModel};
+    use rand::SeedableRng;
+
+    fn setup_pair(
+        test: impl FnOnce(&mut IknpSender, &mut Endpoint) -> Vec<(Block, Block)> + Send,
+        choices: Vec<bool>,
+    ) -> (Vec<(Block, Block)>, Vec<Block>) {
+        run_two(test, move |r, ch| r.recv(ch, &choices).expect("recv"))
+    }
+
+    fn run_two<A: Send, B: Send>(
+        f_s: impl FnOnce(&mut IknpSender, &mut Endpoint) -> A + Send,
+        f_r: impl FnOnce(&mut IknpReceiver, &mut Endpoint) -> B + Send,
+    ) -> (A, B) {
+        let (a, b, _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                let mut s = IknpSender::setup(ch, &mut rng).expect("sender setup");
+                f_s(&mut s, ch)
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+                let mut r = IknpReceiver::setup(ch, &mut rng).expect("receiver setup");
+                f_r(&mut r, ch)
+            },
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn chosen_message_ot() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = 300;
+        let choices: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+        let choices2 = choices.clone();
+        let (pairs, got) = setup_pair(
+            move |s, ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+                let pairs: Vec<(Block, Block)> =
+                    (0..m).map(|_| (Block::random(&mut rng), Block::random(&mut rng))).collect();
+                s.send(ch, &pairs).expect("send");
+                pairs
+            },
+            choices2,
+        );
+        for (j, &c) in choices.iter().enumerate() {
+            assert_eq!(got[j], if c { pairs[j].1 } else { pairs[j].0 }, "ot {j}");
+        }
+    }
+
+    #[test]
+    fn random_ot_agrees() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let m = 100;
+        let choices: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+        let choices2 = choices.clone();
+        let (pairs, got) = run_two(
+            move |s, ch| s.send_random(ch, m).expect("send_random"),
+            move |r, ch| r.recv_random(ch, &choices2).expect("recv_random"),
+        );
+        for (j, &c) in choices.iter().enumerate() {
+            assert_eq!(got[j], if c { pairs[j].1 } else { pairs[j].0 });
+            assert_ne!(pairs[j].0, pairs[j].1);
+        }
+    }
+
+    #[test]
+    fn correlated_ot_over_rings() {
+        for bits in [8u32, 32, 64] {
+            let ring = Ring::new(bits);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+            let m = 200;
+            let choices: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+            let deltas: Vec<u64> = ring.sample_vec(&mut rng, m);
+            let (choices2, deltas2) = (choices.clone(), deltas.clone());
+            let (x0s, xcs) = run_two(
+                move |s, ch| s.send_correlated(ch, &deltas2, ring).expect("send_correlated"),
+                move |r, ch| r.recv_correlated(ch, &choices2, ring).expect("recv_correlated"),
+            );
+            for j in 0..m {
+                let expect = if choices[j] { ring.add(x0s[j], deltas[j]) } else { x0s[j] };
+                assert_eq!(xcs[j], expect, "bits={bits} ot {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_correlated_ot() {
+        let ring = Ring::new(32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(60);
+        let (m, width) = (50, 3);
+        let choices: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+        let deltas: Vec<Vec<u64>> = (0..m).map(|_| ring.sample_vec(&mut rng, width)).collect();
+        let (choices2, deltas2) = (choices.clone(), deltas.clone());
+        let (x0s, xcs) = run_two(
+            move |s, ch| s.send_correlated_vec(ch, &deltas2, ring).expect("send"),
+            move |r, ch| r.recv_correlated_vec(ch, &choices2, width, ring).expect("recv"),
+        );
+        for j in 0..m {
+            for k in 0..width {
+                let expect =
+                    if choices[j] { ring.add(x0s[j][k], deltas[j][k]) } else { x0s[j][k] };
+                assert_eq!(xcs[j][k], expect, "ot {j} slot {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_extends_use_fresh_tweaks() {
+        let choices = vec![true, false, true];
+        let choices2 = choices.clone();
+        let ((p1, p2), (g1, g2)) = run_two(
+            move |s, ch| {
+                let pairs: Vec<(Block, Block)> =
+                    (0..3).map(|i| (Block::from(i as u128), Block::from((i + 10) as u128))).collect();
+                s.send(ch, &pairs).expect("send 1");
+                s.send(ch, &pairs).expect("send 2");
+                (pairs.clone(), pairs)
+            },
+            move |r, ch| {
+                let g1 = r.recv(ch, &choices2).expect("recv 1");
+                let g2 = r.recv(ch, &choices2).expect("recv 2");
+                (g1, g2)
+            },
+        );
+        for (j, &c) in choices.iter().enumerate() {
+            assert_eq!(g1[j], if c { p1[j].1 } else { p1[j].0 });
+            assert_eq!(g2[j], if c { p2[j].1 } else { p2[j].0 });
+        }
+    }
+
+    #[test]
+    fn non_multiple_of_eight_batch() {
+        let choices = vec![true; 13];
+        let (pairs, got) = setup_pair(
+            move |s, ch| {
+                let pairs: Vec<(Block, Block)> =
+                    (0..13).map(|i| (Block::from(i as u128), Block::from((100 + i) as u128))).collect();
+                s.send(ch, &pairs).expect("send");
+                pairs
+            },
+            choices,
+        );
+        assert!(got.iter().zip(&pairs).all(|(g, p)| *g == p.1));
+    }
+}

@@ -1,0 +1,32 @@
+//! Oblivious-transfer stack for the ABNN² reproduction.
+//!
+//! Three layers, mirroring what the paper gets from the ABY framework:
+//!
+//! 1. [`base`] — Chou–Orlandi "simplest OT" over our from-scratch Edwards
+//!    curve; used only to seed the extensions (κ or 2κ instances).
+//! 2. [`iknp`] — the classic IKNP 1-out-of-2 OT extension with chosen,
+//!    correlated, and random message variants. Used by the garbled-circuit
+//!    evaluator-input transfer and by the SecureML baseline.
+//! 3. [`kk13`] — the Kolesnikov–Kumaresan 1-out-of-N OT extension
+//!    \[KK13\], instantiated with the 256-bit Walsh–Hadamard code (distance
+//!    κ = 128 for any N ≤ 256). This is the workhorse of ABNN²'s quantized
+//!    matrix multiplication: the model holder plays the *chooser* with its
+//!    weight fragment as the choice symbol.
+//!
+//! Party naming follows the OT literature: the **sender** holds the N
+//! messages, the **chooser** (receiver) learns exactly one. Note the role
+//! reversal in ABNN² itself: the *client* is the OT sender and the *server*
+//! (model holder) is the chooser.
+
+pub mod base;
+pub mod bits;
+pub mod error;
+pub mod iknp;
+pub mod kk13;
+
+pub use error::OtError;
+pub use iknp::{IknpReceiver, IknpSender};
+pub use kk13::{KkChooser, KkSender};
+
+/// Computational security parameter κ (bits).
+pub const KAPPA: usize = 128;

@@ -1,0 +1,88 @@
+//! Arbitrary-bitwidth adaptability: sweep η from 1 to 8 bits with the
+//! communication-optimal fragmentation for each, measuring offline triplet
+//! cost and quantized accuracy — the accuracy/efficiency trade-off that
+//! motivates *arbitrary* (not just binary/ternary) bitwidth support.
+//!
+//! ```sh
+//! cargo run --release --example bitwidth_sweep
+//! ```
+
+use abnn2::core::matmul::{triplet_client, triplet_server, TripletMode};
+use abnn2::math::{FragmentScheme, Matrix, Ring};
+use abnn2::net::{run_pair, NetworkModel};
+use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
+use abnn2::nn::{Network, SyntheticMnist};
+use abnn2::ot::{KkChooser, KkSender};
+use rand::SeedableRng;
+
+fn scheme_for(eta: u32) -> FragmentScheme {
+    match eta {
+        1 => FragmentScheme::binary(),
+        2 => FragmentScheme::ternary(),
+        _ => {
+            // Signed bit-fields with 2-bit fragments (the Table-2 optimum).
+            let gamma = eta.div_ceil(2);
+            let mut widths = vec![2u32; gamma as usize];
+            let last = eta - 2 * (gamma - 1);
+            *widths.last_mut().expect("gamma >= 1") = last;
+            FragmentScheme::signed_bit_fields(&widths)
+        }
+    }
+}
+
+fn main() {
+    println!("Bitwidth sweep: accuracy vs offline triplet cost (128×784 layer, batch 1)\n");
+    let data = SyntheticMnist::generate(800, 200, 13);
+    let mut net = Network::new(&[784, 32, 10], 3);
+    for _ in 0..3 {
+        net.train_epoch(&data.train, 0.05);
+    }
+    let float_acc = net.accuracy(&data.test);
+    println!("float accuracy: {:.1}%\n", 100.0 * float_acc);
+    println!("{:>4} {:>12} {:>10} {:>12} {:>12}", "eta", "scheme", "acc %", "time (s)", "comm (MiB)");
+
+    let ring = Ring::new(32);
+    for eta in 1..=8u32 {
+        let scheme = scheme_for(eta);
+        let fw = if eta <= 2 { 0 } else { (eta - 1).min(4) };
+        let config = QuantConfig { ring, frac_bits: 8, weight_frac_bits: fw, scheme: scheme.clone() };
+        let q = QuantizedNetwork::quantize(&net, config);
+        let acc = q.accuracy(&data.test);
+
+        // Offline cost of the paper's first layer at this bitwidth.
+        let (m, n) = (128usize, 784usize);
+        let weights = {
+            use rand::Rng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(eta as u64);
+            let (lo, hi) = scheme.weight_range();
+            (0..m * n).map(|_| rng.gen_range(lo..=hi)).collect::<Vec<i64>>()
+        };
+        let (s1, s2) = (scheme.clone(), scheme.clone());
+        let ((), (), report) = run_pair(
+            NetworkModel::lan(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+                let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+                let _ = triplet_server(ch, &mut kk, &weights, m, n, 1, &s1, ring, TripletMode::OneBatch)
+                    .expect("server");
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+                let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+                let r = Matrix::random(n, 1, &ring, &mut rng);
+                let _ = triplet_client(ch, &mut kk, &r, m, &s2, ring, TripletMode::OneBatch, &mut rng)
+                    .expect("client");
+            },
+        );
+        println!(
+            "{:>4} {:>12} {:>10.1} {:>12.2} {:>12.2}",
+            eta,
+            scheme.label(),
+            100.0 * acc,
+            report.simulated_time().as_secs_f64(),
+            report.total_mib(),
+        );
+    }
+    println!("\nAccuracy saturates well below full precision while cost keeps falling —");
+    println!("the reason ABNN² supports *arbitrary* bitwidth instead of fixing binary/ternary.");
+}

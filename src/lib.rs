@@ -1,0 +1,24 @@
+//! # ABNN² — secure two-party arbitrary-bitwidth quantized NN predictions
+//!
+//! Umbrella crate for the ABNN² reproduction (Shen et al., DAC 2022). It
+//! re-exports the workspace crates under stable module names so examples and
+//! downstream users need a single dependency.
+//!
+//! The paper's contribution lives in [`core`]; everything else is substrate
+//! built from scratch for this reproduction (see `DESIGN.md`).
+//!
+//! ```
+//! use abnn2::math::Ring;
+//! let ring = Ring::new(32);
+//! assert_eq!(ring.add(ring.mask(), 1), 0);
+//! ```
+
+pub use abnn2_baselines as baselines;
+pub use abnn2_core as core;
+pub use abnn2_crypto as crypto;
+pub use abnn2_gc as gc;
+pub use abnn2_he as he;
+pub use abnn2_math as math;
+pub use abnn2_net as net;
+pub use abnn2_nn as nn;
+pub use abnn2_ot as ot;

@@ -1,0 +1,189 @@
+//! Integration checks of the paper's *qualitative* efficiency claims — the
+//! shapes that must hold even though absolute numbers depend on hardware:
+//! who wins, in which direction costs move, and where the savings come
+//! from.
+
+use abnn2::core::matmul::{triplet_client, triplet_server, TripletMode};
+use abnn2::math::{FragmentScheme, Matrix, Ring};
+use abnn2::net::{run_pair, NetworkModel};
+use abnn2::ot::{IknpReceiver, IknpSender, KkChooser, KkSender};
+use rand::SeedableRng;
+
+fn offline_bytes(scheme: &FragmentScheme, m: usize, n: usize, o: usize, ring_bits: u32) -> u64 {
+    let ring = Ring::new(ring_bits);
+    let mode = TripletMode::for_batch(o);
+    let weights = {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (lo, hi) = scheme.weight_range();
+        (0..m * n).map(|_| rng.gen_range(lo..=hi)).collect::<Vec<i64>>()
+    };
+    let (s1, s2) = (scheme.clone(), scheme.clone());
+    let (_, _, report) = run_pair(
+        NetworkModel::instant(),
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+            triplet_server(ch, &mut kk, &weights, m, n, o, &s1, ring, mode).expect("server")
+        },
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+            let r = Matrix::random(n, o, &ring, &mut rng);
+            triplet_client(ch, &mut kk, &r, m, &s2, ring, mode, &mut rng).expect("client")
+        },
+    );
+    report.total_bytes()
+}
+
+/// Table 2's ordering: communication grows with weight bitwidth.
+#[test]
+fn comm_grows_with_bitwidth() {
+    let binary = offline_bytes(&FragmentScheme::binary(), 16, 32, 1, 32);
+    let ternary = offline_bytes(&FragmentScheme::ternary(), 16, 32, 1, 32);
+    let four = offline_bytes(&FragmentScheme::signed_bit_fields(&[2, 2]), 16, 32, 1, 32);
+    let eight = offline_bytes(&FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]), 16, 32, 1, 32);
+    assert!(binary <= ternary, "binary {binary} vs ternary {ternary}");
+    assert!(ternary < four, "ternary {ternary} vs 4-bit {four}");
+    assert!(four < eight, "4-bit {four} vs 8-bit {eight}");
+}
+
+/// Table 2's finding: 2-bit fragments beat 1-bit fragments for 8-bit
+/// weights in one-batch communication.
+#[test]
+fn two_bit_fragments_beat_one_bit() {
+    let one_bit = offline_bytes(&FragmentScheme::signed_bit_fields(&[1; 8]), 16, 32, 1, 32);
+    let two_bit = offline_bytes(&FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]), 16, 32, 1, 32);
+    assert!(two_bit < one_bit, "(2,2,2,2) {two_bit} must beat (1,…,1) {one_bit}");
+}
+
+/// Table 2's multi-batch behaviour: amortized per-prediction communication
+/// falls as the batch grows.
+#[test]
+fn multi_batch_amortizes_per_prediction_cost() {
+    let scheme = FragmentScheme::signed_bit_fields(&[2, 2]);
+    let b1 = offline_bytes(&scheme, 16, 32, 1, 32);
+    let b8 = offline_bytes(&scheme, 16, 32, 8, 32);
+    assert!(
+        (b8 as f64) / 8.0 < b1 as f64,
+        "amortized batch-8 cost {} must beat batch-1 cost {b1}",
+        b8 / 8
+    );
+}
+
+/// Table 3's headline: ABNN² offline beats SecureML for quantized weights,
+/// by a growing factor as bitwidth shrinks.
+#[test]
+fn ours_beats_secureml_and_gap_grows_with_quantization() {
+    use abnn2::baselines::secureml::{matvec_client, matvec_server};
+    let ring = Ring::new(64);
+    let (m, n) = (16, 64);
+    let secureml_bytes = {
+        let (_, _, report) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+                let weights = ring.sample_vec(&mut rng, m * n);
+                let mut ot = IknpReceiver::setup(ch, &mut rng).expect("setup");
+                matvec_server(ch, &mut ot, &weights, m, n, ring).expect("server")
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+                let r = ring.sample_vec(&mut rng, n);
+                let mut ot = IknpSender::setup(ch, &mut rng).expect("setup");
+                matvec_client(ch, &mut ot, &r, m, ring).expect("client")
+            },
+        );
+        report.total_bytes()
+    };
+    let eight = offline_bytes(&FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]), m, n, 1, 64);
+    let binary = offline_bytes(&FragmentScheme::binary(), m, n, 1, 64);
+    assert!(eight < secureml_bytes, "8-bit {eight} vs SecureML {secureml_bytes}");
+    let factor_8 = secureml_bytes as f64 / eight as f64;
+    let factor_1 = secureml_bytes as f64 / binary as f64;
+    assert!(
+        factor_1 > factor_8,
+        "advantage must grow as bitwidth shrinks: x{factor_1:.1} (binary) vs x{factor_8:.1} (8-bit)"
+    );
+}
+
+/// Table 4's structural contrast: MiniONN's HE offline traffic is
+/// *independent of the weight bitwidth* (it ships ciphertexts, not
+/// weight-bit OTs), while ABNN²'s traffic scales with η. This is the
+/// property that makes ABNN² win at low bitwidths in the paper.
+#[test]
+fn minionn_comm_is_bitwidth_independent_ours_is_not() {
+    use abnn2::baselines::minionn::{MinionnClient, MinionnServer};
+    use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
+    use abnn2::nn::{Network, SyntheticMnist};
+    let data = SyntheticMnist::generate(50, 0, 6);
+    let mut net = Network::new(&[784, 8, 10], 6);
+    net.train_epoch(&data.train, 0.05);
+
+    let minionn_bytes = |scheme: FragmentScheme, fw: u32| -> u64 {
+        let config =
+            QuantConfig { ring: Ring::new(32), frac_bits: 8, weight_frac_bits: fw, scheme };
+        let q = QuantizedNetwork::quantize(&net, config);
+        let server = MinionnServer::new(q.clone(), 256);
+        let client = MinionnClient::new(server.public_info(), 256);
+        let (_, _, report) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+                let _ = server.offline(ch, 1, &mut rng).expect("offline");
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+                let _ = client.offline(ch, 1, &mut rng).expect("offline");
+            },
+        );
+        report.total_bytes()
+    };
+    let minionn_binary = minionn_bytes(FragmentScheme::binary(), 0);
+    let minionn_8bit = minionn_bytes(FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]), 4);
+    let he_ratio = minionn_8bit as f64 / minionn_binary as f64;
+    assert!(
+        (0.95..1.05).contains(&he_ratio),
+        "MiniONN bytes must not depend on bitwidth: binary {minionn_binary} vs 8-bit {minionn_8bit}"
+    );
+
+    let ours_binary = offline_bytes(&FragmentScheme::binary(), 8, 784, 1, 32);
+    let ours_8bit = offline_bytes(&FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]), 8, 784, 1, 32);
+    let ot_ratio = ours_8bit as f64 / ours_binary as f64;
+    assert!(
+        ot_ratio > 2.0,
+        "ABNN² bytes must scale with bitwidth: binary {ours_binary} vs 8-bit {ours_8bit}"
+    );
+}
+
+/// WAN latency shows up in simulated time but not in LAN runs — the
+/// network substrate behaves like the paper's `tc`-shaped links.
+#[test]
+fn wan_simulation_adds_latency() {
+    let scheme = FragmentScheme::ternary();
+    let ring = Ring::new(32);
+    let run = |model| {
+        let s = scheme.clone();
+        let s2 = scheme.clone();
+        let (_, _, report) = run_pair(
+            model,
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+                let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+                triplet_server(ch, &mut kk, &[1, 0, -1, 1], 2, 2, 1, &s, ring, TripletMode::OneBatch)
+                    .expect("server")
+            },
+            move |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+                let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+                let r = Matrix::random(2, 1, &ring, &mut rng);
+                triplet_client(ch, &mut kk, &r, 2, &s2, ring, TripletMode::OneBatch, &mut rng)
+                    .expect("client")
+            },
+        );
+        report.simulated_time()
+    };
+    let lan = run(NetworkModel::lan());
+    let wan = run(NetworkModel::wan_secureml());
+    assert!(wan > lan + std::time::Duration::from_millis(50), "wan {wan:?} vs lan {lan:?}");
+}

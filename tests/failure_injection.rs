@@ -1,0 +1,164 @@
+//! Failure injection across crate boundaries: disconnections, truncated and
+//! corrupted messages must surface as typed errors, never as silent wrong
+//! answers or hangs.
+
+use abnn2::core::inference::{SecureClient, SecureServer};
+use abnn2::core::ProtocolError;
+use abnn2::crypto::Block;
+use abnn2::gc::{circuits, GcError, YaoEvaluator, YaoGarbler};
+use abnn2::math::{FragmentScheme, Ring};
+use abnn2::net::{run_pair, ChannelError, Endpoint, NetworkModel};
+use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
+use abnn2::nn::Network;
+use abnn2::ot::OtError;
+use rand::SeedableRng;
+
+#[test]
+fn dropped_peer_fails_base_ot_setup() {
+    let (mut a, b) = Endpoint::pair(NetworkModel::instant());
+    drop(b);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    assert!(abnn2::ot::KkChooser::setup(&mut a, &mut rng).is_err());
+    assert!(abnn2::ot::IknpSender::setup(&mut a, &mut rng).is_err());
+}
+
+#[test]
+fn client_abort_mid_inference_surfaces_to_server() {
+    let net = Network::new(&[16, 8, 4], 2);
+    let q = QuantizedNetwork::quantize(
+        &net,
+        QuantConfig {
+            ring: Ring::new(32),
+            frac_bits: 8,
+            weight_frac_bits: 2,
+            scheme: FragmentScheme::signed_bit_fields(&[2, 2]),
+        },
+    );
+    let server = SecureServer::new(q);
+    let (server_result, (), _) = run_pair(
+        NetworkModel::instant(),
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            server.run(ch, 1, &mut rng)
+        },
+        move |ch| {
+            // The client walks away after session setup.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            let _ = abnn2::core::session::ClientSession::setup(ch, &mut rng).expect("setup");
+        },
+    );
+    assert!(server_result.is_err(), "server must observe the aborted client");
+}
+
+#[test]
+fn truncated_gc_tables_detected() {
+    let circuit = circuits::relu_reshare_circuit(8);
+    let (evaluator_result, (), _) = run_pair(
+        NetworkModel::instant(),
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            let mut yao = YaoEvaluator::setup(ch, &mut rng).expect("setup");
+            yao.run(ch, &circuit, &[false; 8])
+        },
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+            let mut garbler = YaoGarbler::setup(ch, &mut rng).expect("setup");
+            // A malicious/buggy garbler for a *different* circuit: the
+            // evaluator's size checks must reject the material.
+            let small = circuits::relu_sign_circuit(8);
+            garbler.run(ch, &small, &[false; 8], &mut rng).ok();
+        },
+    );
+    assert!(
+        matches!(evaluator_result, Err(GcError::Malformed(_)) | Err(GcError::Channel) | Err(GcError::Ot(_))),
+        "got {evaluator_result:?}"
+    );
+}
+
+#[test]
+fn wrong_length_triplet_payload_rejected() {
+    use abnn2::core::matmul::{triplet_server, TripletMode};
+    use abnn2::ot::{KkChooser, KkSender};
+    let ring = Ring::new(32);
+    let scheme = FragmentScheme::binary();
+    let (server_result, (), _) = run_pair(
+        NetworkModel::instant(),
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+            triplet_server(ch, &mut kk, &[1, 0], 1, 2, 1, &scheme, ring, TripletMode::OneBatch)
+        },
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+            let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+            // Participate in the OT extension but then send garbage of the
+            // wrong length instead of the ciphertext batch.
+            let _ = kk.extend(ch, 2).expect("extend");
+            ch.send(&[0u8; 3]).expect("send");
+        },
+    );
+    assert_eq!(
+        server_result.err(),
+        Some(ProtocolError::Malformed("triplet ciphertext batch length"))
+    );
+}
+
+#[test]
+fn invalid_curve_point_rejected_by_base_ot() {
+    let (pair_a, pair_b) = Endpoint::pair(NetworkModel::instant());
+    let (sender_result, ()) = std::thread::scope(|s| {
+        let h1 = s.spawn(move || {
+            let mut ch = pair_a;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            abnn2::ot::base::send(&mut ch, &[(Block::ZERO, Block::ONES)], &mut rng)
+        });
+        let h2 = s.spawn(move || {
+            let mut ch = pair_b;
+            // Receive the setup point, then reply with 64 bytes that are
+            // not a curve point.
+            let _ = ch.recv().expect("setup point");
+            ch.send(&[0xFFu8; 64]).expect("send junk");
+        });
+        (h1.join().expect("sender"), h2.join().expect("receiver"))
+    });
+    assert_eq!(sender_result.err(), Some(OtError::InvalidPoint));
+}
+
+#[test]
+fn channel_errors_convert_through_the_stack() {
+    // ChannelError → OtError → GcError → ProtocolError conversions exist
+    // and display meaningfully.
+    let p: ProtocolError = ChannelError.into();
+    assert_eq!(p, ProtocolError::Channel);
+    let p: ProtocolError = OtError::Channel.into();
+    assert!(p.to_string().contains("oblivious transfer"));
+    let p: ProtocolError = GcError::Malformed("x").into();
+    assert!(p.to_string().contains("garbled circuit"));
+}
+
+#[test]
+fn mismatched_batch_dimensions_rejected_before_io() {
+    let net = Network::new(&[8, 4], 10);
+    let q = QuantizedNetwork::quantize(
+        &net,
+        QuantConfig {
+            ring: Ring::new(32),
+            frac_bits: 8,
+            weight_frac_bits: 0,
+            scheme: FragmentScheme::ternary(),
+        },
+    );
+    let server = SecureServer::new(q);
+    let client = SecureClient::new(server.public_info());
+    let (mut a, _b) = Endpoint::pair(NetworkModel::instant());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    assert_eq!(
+        server.offline(&mut a, 0, &mut rng).err(),
+        Some(ProtocolError::Dimension("batch must be positive"))
+    );
+    let (mut c, _d) = Endpoint::pair(NetworkModel::instant());
+    assert_eq!(
+        client.offline(&mut c, 0, &mut rng).err(),
+        Some(ProtocolError::Dimension("batch must be positive"))
+    );
+}
