@@ -27,7 +27,7 @@ use abnn2_gc::{YaoEvaluator, YaoGarbler};
 use abnn2_he::paillier::{Ciphertext, Keypair, PublicKey};
 use abnn2_he::BigUint;
 use abnn2_math::Matrix;
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use abnn2_nn::quant::QuantizedNetwork;
 use rand::Rng;
 
@@ -111,9 +111,9 @@ impl MinionnServer {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any failure.
-    pub fn offline<R: Rng + ?Sized>(
+    pub fn offline<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         batch: usize,
         rng: &mut R,
     ) -> Result<MinionnServerOffline, ProtocolError> {
@@ -166,10 +166,8 @@ impl MinionnServer {
                         if w_shifted == 0 {
                             continue;
                         }
-                        let term = pk.scalar_mul(
-                            &cts[j * groups + g],
-                            &BigUint::from_u64(w_shifted),
-                        );
+                        let term =
+                            pk.scalar_mul(&cts[j * groups + g], &BigUint::from_u64(w_shifted));
                         acc = pk.add(&acc, &term);
                     }
                     reply.extend_from_slice(&acc.to_bytes(&pk));
@@ -186,9 +184,9 @@ impl MinionnServer {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any failure.
-    pub fn online(
+    pub fn online<T: Transport>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         state: MinionnServerOffline,
     ) -> Result<(), ProtocolError> {
         let MinionnServerOffline { mut yao, us, batch } = state;
@@ -218,9 +216,9 @@ impl MinionnServer {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any failure.
-    pub fn run<R: Rng + ?Sized>(
+    pub fn run<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         batch: usize,
         rng: &mut R,
     ) -> Result<(), ProtocolError> {
@@ -242,9 +240,9 @@ impl MinionnClient {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any failure.
-    pub fn offline<R: Rng + ?Sized>(
+    pub fn offline<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         batch: usize,
         rng: &mut R,
     ) -> Result<MinionnClientOffline, ProtocolError> {
@@ -332,9 +330,9 @@ impl MinionnClient {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any failure.
-    pub fn online_raw<R: Rng + ?Sized>(
+    pub fn online_raw<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         state: MinionnClientOffline,
         inputs_fp: &[Vec<u64>],
         rng: &mut R,
@@ -367,7 +365,16 @@ impl MinionnClient {
                 let y0 = Matrix::new(m, batch, ring.decode_slice(&y0_bytes));
                 return Ok(y0.add(y1, &ring));
             }
-            relu_client(ch, &mut yao, y1.as_slice(), rs[l + 1].as_slice(), ring, fw, self.variant, rng)?;
+            relu_client(
+                ch,
+                &mut yao,
+                y1.as_slice(),
+                rs[l + 1].as_slice(),
+                ring,
+                fw,
+                self.variant,
+                rng,
+            )?;
         }
         unreachable!("loop returns at the last layer")
     }
@@ -377,9 +384,9 @@ impl MinionnClient {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any failure.
-    pub fn run<R: Rng + ?Sized>(
+    pub fn run<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         inputs_fp: &[Vec<u64>],
         rng: &mut R,
     ) -> Result<Matrix, ProtocolError> {

@@ -11,7 +11,7 @@
 
 use abnn2_core::ProtocolError;
 use abnn2_math::{Matrix, Ring};
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use abnn2_ot::{IknpReceiver, IknpSender};
 
 /// Server side: learns `u` with `u + v = W·r (mod 2^ℓ)` for ternary
@@ -21,8 +21,8 @@ use abnn2_ot::{IknpReceiver, IknpSender};
 ///
 /// Returns [`ProtocolError`] on dimension mismatch, out-of-domain weights,
 /// or OT failure.
-pub fn matvec_server(
-    ch: &mut Endpoint,
+pub fn matvec_server<T: Transport>(
+    ch: &mut T,
     ot: &mut IknpReceiver,
     weights: &[i64],
     m: usize,
@@ -36,10 +36,7 @@ pub fn matvec_server(
         return Err(ProtocolError::Dimension("weight outside ternary domain"));
     }
     // Two choice bits per weight: [w = 1] then [w = −1].
-    let choices: Vec<bool> = weights
-        .iter()
-        .flat_map(|&w| [w == 1, w == -1])
-        .collect();
+    let choices: Vec<bool> = weights.iter().flat_map(|&w| [w == 1, w == -1]).collect();
     let got = ot.recv_correlated(ch, &choices, ring)?;
     let mut u = vec![0u64; m];
     for (t, &x) in got.iter().enumerate() {
@@ -60,8 +57,8 @@ pub fn matvec_server(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on OT failure.
-pub fn matvec_client(
-    ch: &mut Endpoint,
+pub fn matvec_client<T: Transport>(
+    ch: &mut T,
     ot: &mut IknpSender,
     r: &[u64],
     m: usize,
@@ -70,9 +67,7 @@ pub fn matvec_client(
     let n = r.len();
     // Correlation r_j for both the positive and the negative OT of each
     // weight.
-    let deltas: Vec<u64> = (0..m * n * 2)
-        .map(|t| r[(t / 2) % n])
-        .collect();
+    let deltas: Vec<u64> = (0..m * n * 2).map(|t| r[(t / 2) % n]).collect();
     let x0s = ot.send_correlated(ch, &deltas, ring)?;
     let mut v = vec![0u64; m];
     for (t, &x0) in x0s.iter().enumerate() {
@@ -94,8 +89,8 @@ pub fn matvec_client(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on dimension mismatch or OT failure.
-pub fn matmul_server(
-    ch: &mut Endpoint,
+pub fn matmul_server<T: Transport>(
+    ch: &mut T,
     ot: &mut IknpReceiver,
     weights: &[i64],
     m: usize,
@@ -127,8 +122,8 @@ pub fn matmul_server(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on OT failure.
-pub fn matmul_client(
-    ch: &mut Endpoint,
+pub fn matmul_client<T: Transport>(
+    ch: &mut T,
     ot: &mut IknpSender,
     r: &Matrix,
     m: usize,
@@ -160,7 +155,7 @@ pub mod inference {
     use abnn2_core::ProtocolError;
     use abnn2_gc::{YaoEvaluator, YaoGarbler};
     use abnn2_math::Matrix;
-    use abnn2_net::Endpoint;
+    use abnn2_net::Transport;
     use abnn2_nn::quant::QuantizedNetwork;
     use abnn2_ot::{IknpReceiver, IknpSender};
     use rand::Rng;
@@ -203,9 +198,9 @@ pub mod inference {
         /// # Errors
         ///
         /// Returns [`ProtocolError`] on any failure.
-        pub fn run<R: Rng + ?Sized>(
+        pub fn run<T: Transport, R: Rng + ?Sized>(
             &self,
-            ch: &mut Endpoint,
+            ch: &mut T,
             batch: usize,
             rng: &mut R,
         ) -> Result<(), ProtocolError> {
@@ -216,7 +211,13 @@ pub mod inference {
             let mut us = Vec::with_capacity(self.net.layers.len());
             for layer in &self.net.layers {
                 us.push(matmul_server(
-                    ch, &mut ot, &layer.weights, layer.out_dim, layer.in_dim, batch, ring,
+                    ch,
+                    &mut ot,
+                    &layer.weights,
+                    layer.out_dim,
+                    layer.in_dim,
+                    batch,
+                    ring,
                 )?);
             }
             let n0 = self.net.layers[0].in_dim;
@@ -253,9 +254,9 @@ pub mod inference {
         /// # Errors
         ///
         /// Returns [`ProtocolError`] on any failure.
-        pub fn run<R: Rng + ?Sized>(
+        pub fn run<T: Transport, R: Rng + ?Sized>(
             &self,
-            ch: &mut Endpoint,
+            ch: &mut T,
             inputs_fp: &[Vec<u64>],
             rng: &mut R,
         ) -> Result<Matrix, ProtocolError> {
@@ -318,7 +319,12 @@ mod tests {
     use abnn2_net::{run_pair, NetworkModel};
     use rand::{Rng, SeedableRng};
 
-    fn run_matvec(weights: Vec<i64>, m: usize, n: usize, seed: u64) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    fn run_matvec(
+        weights: Vec<i64>,
+        m: usize,
+        n: usize,
+        seed: u64,
+    ) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
         let ring = Ring::new(32);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let r = ring.sample_vec(&mut rng, n);

@@ -10,7 +10,7 @@
 
 use abnn2_core::ProtocolError;
 use abnn2_math::Ring;
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use abnn2_ot::{IknpReceiver, IknpSender};
 
 /// Upper bound on OTs per extension batch, to bound peak memory on the
@@ -23,8 +23,8 @@ const CHUNK: usize = 1 << 20;
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on dimension mismatch or OT failure.
-pub fn matvec_server(
-    ch: &mut Endpoint,
+pub fn matvec_server<T: Transport>(
+    ch: &mut T,
     ot: &mut IknpReceiver,
     weights: &[u64],
     m: usize,
@@ -63,8 +63,8 @@ pub fn matvec_server(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on OT failure.
-pub fn matvec_client(
-    ch: &mut Endpoint,
+pub fn matvec_client<T: Transport>(
+    ch: &mut T,
     ot: &mut IknpSender,
     r: &[u64],
     m: usize,

@@ -61,7 +61,9 @@ fn ablation_onebatch(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_onebatch_44_32x32");
     g.sample_size(10);
     let scheme = FragmentScheme::signed_bit_fields(&[4, 4]);
-    for (name, mode) in [("one_batch", TripletMode::OneBatch), ("multi_batch", TripletMode::MultiBatch)] {
+    for (name, mode) in
+        [("one_batch", TripletMode::OneBatch), ("multi_batch", TripletMode::MultiBatch)]
+    {
         let s = scheme.clone();
         g.bench_function(name, |b| {
             b.iter(|| run_triplet(&s, 32, 32, 1, mode));
@@ -104,7 +106,8 @@ fn ablation_relu(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-                let y: Vec<i64> = (0..n).map(|i| if i % 2 == 0 { 100 + i } else { -100 - i }).collect();
+                let y: Vec<i64> =
+                    (0..n).map(|i| if i % 2 == 0 { 100 + i } else { -100 - i }).collect();
                 let y_ring: Vec<u64> = y.iter().map(|&v| ring.from_i64(v)).collect();
                 let y1 = ring.sample_vec(&mut rng, n as usize);
                 let y0 = ring.sub_vec(&y_ring, &y1);

@@ -88,15 +88,34 @@ fn bench_triplets(c: &mut Criterion) {
                     move |ch| {
                         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
                         let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
-                        triplet_server(ch, &mut kk, &weights, m, n, 1, &s1, ring, TripletMode::OneBatch)
-                            .expect("server")
+                        triplet_server(
+                            ch,
+                            &mut kk,
+                            &weights,
+                            m,
+                            n,
+                            1,
+                            &s1,
+                            ring,
+                            TripletMode::OneBatch,
+                        )
+                        .expect("server")
                     },
                     move |ch| {
                         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
                         let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
                         let r = Matrix::random(n, 1, &ring, &mut rng);
-                        triplet_client(ch, &mut kk, &r, m, &s2, ring, TripletMode::OneBatch, &mut rng)
-                            .expect("client")
+                        triplet_client(
+                            ch,
+                            &mut kk,
+                            &r,
+                            m,
+                            &s2,
+                            ring,
+                            TripletMode::OneBatch,
+                            &mut rng,
+                        )
+                        .expect("client")
                     },
                 )
             });
@@ -105,5 +124,12 @@ fn bench_triplets(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_aes, bench_prg_and_hash, bench_curve, bench_garbling, bench_triplets);
+criterion_group!(
+    benches,
+    bench_aes,
+    bench_prg_and_hash,
+    bench_curve,
+    bench_garbling,
+    bench_triplets
+);
 criterion_main!(benches);

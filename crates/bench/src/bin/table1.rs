@@ -11,7 +11,9 @@ fn main() {
     println!("\nSymbolic formulas:");
     println!("  SecureML       #OT = l(l+1)/128 * mno   comm = mno*l*(l+1)*(1 + kappa/64) bits");
     println!("  Ours M-Batch   #OT = gamma*m*n           comm = gamma*m*n*(o*l*N + 2*kappa) bits");
-    println!("  Ours 1-Batch   #OT = gamma*m*n           comm = gamma*m*n*(l*(N-1) + 2*kappa) bits");
+    println!(
+        "  Ours 1-Batch   #OT = gamma*m*n           comm = gamma*m*n*(l*(N-1) + 2*kappa) bits"
+    );
 
     // Instantiations: the Fig-4 first layer and the Table-3 microbenchmark.
     let cases: [(&str, usize, usize, usize, u32); 4] = [
@@ -61,7 +63,11 @@ fn main() {
         ("(4,4)      N=16, g=2", 16, 2),
     ] {
         let c = ours_one_batch(128, 784, 32, big_n, gamma);
-        rows.push(vec![label.to_owned(), format!("{:.0}", c.ot_count), format!("{:.2}", c.comm_mib())]);
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.0}", c.ot_count),
+            format!("{:.2}", c.comm_mib()),
+        ]);
     }
     print_table(
         "One-batch cost vs fragmentation (Fig4 L1, l=32, 8-bit weights)",

@@ -2,7 +2,9 @@
 //! network — run time (LAN) and communication, across weight bitwidths η,
 //! fragmentations, and batch sizes.
 
-use abnn2_bench::{fmt_mib, fmt_secs, paper_quantized, print_table, quick_mode, run_offline_triplets};
+use abnn2_bench::{
+    fmt_mib, fmt_secs, paper_quantized, print_table, quick_mode, run_offline_triplets,
+};
 use abnn2_math::FragmentScheme;
 use abnn2_net::NetworkModel;
 
@@ -39,7 +41,11 @@ fn main() {
             let stats = run_offline_triplets(&net, b, NetworkModel::lan(), 7);
             times.push(fmt_secs(stats.time));
             comms.push(fmt_mib(stats.bytes));
-            eprintln!("  [{label} batch={b}] {:.2}s {} MiB", stats.time.as_secs_f64(), fmt_mib(stats.bytes));
+            eprintln!(
+                "  [{label} batch={b}] {:.2}s {} MiB",
+                stats.time.as_secs_f64(),
+                fmt_mib(stats.bytes)
+            );
         }
         let mut row = vec![label];
         row.extend(times);
@@ -47,8 +53,12 @@ fn main() {
         rows.push(row);
     }
     print_table("Table 2 (offline triplets: run time and communication)", &headers_ref, &rows);
-    println!("\nPaper reference (batch 1, eta=8): (1,..,1) 2.07s/32.42MB, (2,2,2,2) 1.58s/19.52MB,");
-    println!("(3,3,2) 1.66s/18.47MB, (4,4) 1.99s/20.72MB; ternary 0.59s/4.51MB; binary 0.52s/4.06MB.");
+    println!(
+        "\nPaper reference (batch 1, eta=8): (1,..,1) 2.07s/32.42MB, (2,2,2,2) 1.58s/19.52MB,"
+    );
+    println!(
+        "(3,3,2) 1.66s/18.47MB, (4,4) 1.99s/20.72MB; ternary 0.59s/4.51MB; binary 0.52s/4.06MB."
+    );
 }
 
 /// Table 2's tuples denote *bit layouts*; real model weights are signed, so

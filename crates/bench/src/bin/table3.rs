@@ -21,8 +21,9 @@ fn run_abnn2(scheme: &FragmentScheme, d: usize, model: NetworkModel, seed: u64) 
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
             let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
-            let _ = triplet_server(ch, &mut kk, &weights, M, d, 1, &s1, ring, TripletMode::OneBatch)
-                .expect("server");
+            let _ =
+                triplet_server(ch, &mut kk, &weights, M, d, 1, &s1, ring, TripletMode::OneBatch)
+                    .expect("server");
         },
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);

@@ -68,7 +68,8 @@ fn main() {
                 eprintln!("  [{name} l={l} b={b} WAN] {:.2}s", st.total().as_secs_f64());
             }
             for &b in batches {
-                let st = run_abnn2_e2e(&net, b, NetworkModel::instant(), ReluVariant::Oblivious, 26);
+                let st =
+                    run_abnn2_e2e(&net, b, NetworkModel::instant(), ReluVariant::Oblivious, 26);
                 row.push(fmt_mib(st.bytes));
             }
             rows.push(row);
@@ -83,6 +84,8 @@ fn main() {
         print_table(&format!("Table 4 — ring Z_2^{l}"), &headers_ref, &rows);
     }
 
-    println!("\nPaper reference (l=32): MiniONN 1.14s/40.05s LAN, 3.48s/125.68s WAN, 18.1/1621.3MB;");
+    println!(
+        "\nPaper reference (l=32): MiniONN 1.14s/40.05s LAN, 3.48s/125.68s WAN, 18.1/1621.3MB;"
+    );
     println!("ours binary 1.008s/5.93s LAN, 2.81s/27.61s WAN, 5.93/357.75MB.");
 }

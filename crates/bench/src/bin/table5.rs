@@ -83,5 +83,7 @@ fn main() {
 
     println!("\nPaper reference: QUOTIENT 0.356s/2.24s LAN, 6.8s/8.3s WAN;");
     println!("ours 1.008s/3.13s LAN, 2.44s/10.84s WAN, 4.33/106.06MB.");
-    println!("(QUOTIENT's own numbers used 8-15x multi-core parallelism; this harness is single-core.)");
+    println!(
+        "(QUOTIENT's own numbers used 8-15x multi-core parallelism; this harness is single-core.)"
+    );
 }

@@ -64,12 +64,7 @@ pub fn fmt_mib(bytes: u64) -> String {
 pub fn paper_quantized(scheme: FragmentScheme, ring_bits: u32) -> QuantizedNetwork {
     let net = Network::new(&abnn2_nn::model::paper_network_dims(), 42);
     let weight_frac_bits = if scheme.eta() <= 2 { 0 } else { scheme.eta().min(4) };
-    let config = QuantConfig {
-        ring: Ring::new(ring_bits),
-        frac_bits: 8,
-        weight_frac_bits,
-        scheme,
-    };
+    let config = QuantConfig { ring: Ring::new(ring_bits), frac_bits: 8, weight_frac_bits, scheme };
     QuantizedNetwork::quantize(&net, config)
 }
 
@@ -197,8 +192,7 @@ pub fn run_minionn_e2e(
     use abnn2_baselines::minionn::{MinionnClient, MinionnServer};
     let data = SyntheticMnist::generate(batch, 0, seed);
     let codec = net.config.activation_codec();
-    let inputs_fp: Vec<Vec<u64>> =
-        data.train.iter().map(|s| codec.encode_vec(&s.pixels)).collect();
+    let inputs_fp: Vec<Vec<u64>> = data.train.iter().map(|s| codec.encode_vec(&s.pixels)).collect();
     let server = MinionnServer::new(net.clone(), key_bits);
     let client = MinionnClient::new(server.public_info(), key_bits);
     let (s_mid, c_mid, report) = run_pair(
@@ -234,8 +228,7 @@ pub fn run_quotient_e2e(
     use abnn2_baselines::quotient::{QuotientClient, QuotientServer};
     let data = SyntheticMnist::generate(batch, 0, seed);
     let codec = net.config.activation_codec();
-    let inputs_fp: Vec<Vec<u64>> =
-        data.train.iter().map(|s| codec.encode_vec(&s.pixels)).collect();
+    let inputs_fp: Vec<Vec<u64>> = data.train.iter().map(|s| codec.encode_vec(&s.pixels)).collect();
     let server = QuotientServer::new(net.clone());
     let client = QuotientClient::new(server.public_info());
     let ((), _, report) = run_pair(

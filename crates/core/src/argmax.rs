@@ -12,7 +12,7 @@ use crate::ProtocolError;
 use abnn2_gc::circuit::{bits_to_u64, u64_to_bits};
 use abnn2_gc::{circuits, YaoEvaluator, YaoGarbler};
 use abnn2_math::Ring;
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use rand::Rng;
 
 /// Server (evaluator) side: holds logit shares `y0`, forwards the masked
@@ -21,8 +21,8 @@ use rand::Rng;
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on disconnection or garbling failure.
-pub fn argmax_server(
-    ch: &mut Endpoint,
+pub fn argmax_server<T: Transport>(
+    ch: &mut T,
     yao: &mut YaoEvaluator,
     y0: &[u64],
     ring: Ring,
@@ -45,8 +45,8 @@ pub fn argmax_server(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on disconnection or garbling failure.
-pub fn argmax_client<RNG: Rng + ?Sized>(
-    ch: &mut Endpoint,
+pub fn argmax_client<T: Transport, RNG: Rng + ?Sized>(
+    ch: &mut T,
     yao: &mut YaoGarbler,
     y1: &[u64],
     ring: Ring,

@@ -11,7 +11,7 @@
 
 use crate::ProtocolError;
 use abnn2_math::Ring;
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use abnn2_ot::{IknpReceiver, IknpSender};
 use rand::Rng;
 
@@ -28,8 +28,8 @@ pub struct BeaverTriple {
 
 /// Gilboa OT product: this party holds `xs`; the peer holds `ys`; outputs
 /// are shares of `xs[i]·ys[i]`. This side is the *chooser* on its bits.
-fn gilboa_chooser(
-    ch: &mut Endpoint,
+fn gilboa_chooser<T: Transport>(
+    ch: &mut T,
     ot: &mut IknpReceiver,
     xs: &[u64],
     ring: Ring,
@@ -45,8 +45,8 @@ fn gilboa_chooser(
 }
 
 /// Gilboa OT product, sender side: supplies correlations `2^b·ys[i]`.
-fn gilboa_sender(
-    ch: &mut Endpoint,
+fn gilboa_sender<T: Transport>(
+    ch: &mut T,
     ot: &mut IknpSender,
     ys: &[u64],
     ring: Ring,
@@ -70,8 +70,8 @@ fn gilboa_sender(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on OT failure.
-pub fn generate_p0<R: Rng + ?Sized>(
-    ch: &mut Endpoint,
+pub fn generate_p0<T: Transport, R: Rng + ?Sized>(
+    ch: &mut T,
     ot_r: &mut IknpReceiver,
     ot_s: &mut IknpSender,
     count: usize,
@@ -99,8 +99,8 @@ pub fn generate_p0<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on OT failure.
-pub fn generate_p1<R: Rng + ?Sized>(
-    ch: &mut Endpoint,
+pub fn generate_p1<T: Transport, R: Rng + ?Sized>(
+    ch: &mut T,
     ot_s: &mut IknpSender,
     ot_r: &mut IknpReceiver,
     count: usize,
@@ -128,8 +128,8 @@ pub fn generate_p1<R: Rng + ?Sized>(
 ///
 /// Returns [`ProtocolError`] on disconnection, length mismatch, or if
 /// fewer triples than values are supplied.
-pub fn mul_shares(
-    ch: &mut Endpoint,
+pub fn mul_shares<T: Transport>(
+    ch: &mut T,
     triples: &[BeaverTriple],
     xs: &[u64],
     ys: &[u64],
@@ -159,10 +159,8 @@ pub fn mul_shares(
         .map(|i| {
             let d = ring.add(opening[2 * i], theirs[2 * i]);
             let e = ring.add(opening[2 * i + 1], theirs[2 * i + 1]);
-            let mut z = ring.add(
-                triples[i].c,
-                ring.add(ring.mul(d, triples[i].b), ring.mul(e, triples[i].a)),
-            );
+            let mut z = ring
+                .add(triples[i].c, ring.add(ring.mul(d, triples[i].b), ring.mul(e, triples[i].a)));
             if party == 0 {
                 z = ring.add(z, ring.mul(d, e));
             }
@@ -177,8 +175,8 @@ pub fn mul_shares(
 /// # Errors
 ///
 /// As [`mul_shares`].
-pub fn square_shares(
-    ch: &mut Endpoint,
+pub fn square_shares<T: Transport>(
+    ch: &mut T,
     triples: &[BeaverTriple],
     xs: &[u64],
     ring: Ring,
@@ -190,7 +188,7 @@ pub fn square_shares(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abnn2_net::{run_pair, NetworkModel};
+    use abnn2_net::{run_pair, Endpoint, NetworkModel};
     use rand::SeedableRng;
 
     fn with_triples<A: Send, B: Send>(

@@ -11,15 +11,16 @@
 //! Pipeline (batch size 1): conv → ReLU(+truncation) → max-pool → dense
 //! stack, exactly matching [`QuantizedCnn::forward_exact`] share-for-share.
 
+use crate::config::ExecConfig;
 use crate::inference::layer_share;
-use crate::matmul::{triplet_client_with, triplet_server_with, TripletConfig, TripletMode};
+use crate::matmul::{triplet_client_with, triplet_server_with, TripletMode};
 use crate::relu::{relu_client, relu_server, ReluVariant};
 use crate::session::{ClientSession, ServerSession};
 use crate::ProtocolError;
 use abnn2_gc::circuit::{bits_to_u64, u64_to_bits};
 use abnn2_gc::{circuits, YaoEvaluator, YaoGarbler};
 use abnn2_math::{Matrix, Ring};
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use abnn2_nn::conv::{im2col, pool_windows, ConvShape, QuantizedCnn};
 use abnn2_nn::quant::QuantConfig;
 use rand::Rng;
@@ -71,8 +72,8 @@ impl PublicCnnInfo {
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on mismatch or garbling failure.
-pub fn maxpool_server(
-    ch: &mut Endpoint,
+pub fn maxpool_server<T: Transport>(
+    ch: &mut T,
     yao: &mut YaoEvaluator,
     shares: &[u64],
     shape: ConvShape,
@@ -102,8 +103,8 @@ pub fn maxpool_server(
 ///
 /// Returns [`ProtocolError`] on mismatch or garbling failure.
 #[allow(clippy::too_many_arguments)]
-pub fn maxpool_client<RNG: Rng + ?Sized>(
-    ch: &mut Endpoint,
+pub fn maxpool_client<T: Transport, RNG: Rng + ?Sized>(
+    ch: &mut T,
     yao: &mut YaoGarbler,
     shares: &[u64],
     z1: &[u64],
@@ -138,15 +139,28 @@ pub fn maxpool_client<RNG: Rng + ?Sized>(
 #[derive(Debug, Clone)]
 pub struct CnnServer {
     net: QuantizedCnn,
-    variant: ReluVariant,
-    threads: usize,
+    exec: ExecConfig,
 }
 
 impl CnnServer {
     /// Serves a quantized CNN (batch size 1).
     #[must_use]
     pub fn new(net: QuantizedCnn) -> Self {
-        CnnServer { net, variant: ReluVariant::Oblivious, threads: 1 }
+        CnnServer { net, exec: ExecConfig::new() }
+    }
+
+    /// Replaces the whole execution configuration.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Selects the activation variant (must match the client's).
+    #[must_use]
+    pub fn with_variant(mut self, variant: ReluVariant) -> Self {
+        self.exec = self.exec.with_variant(variant);
+        self
     }
 
     /// Multi-core triplet generation.
@@ -156,8 +170,7 @@ impl CnnServer {
     /// Panics if `threads` is zero.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be positive");
-        self.threads = threads;
+        self.exec = self.exec.with_threads(threads);
         self
     }
 
@@ -172,7 +185,11 @@ impl CnnServer {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any subprotocol failure.
-    pub fn run<R: Rng + ?Sized>(&self, ch: &mut Endpoint, rng: &mut R) -> Result<(), ProtocolError> {
+    pub fn run<T: Transport, R: Rng + ?Sized>(
+        &self,
+        ch: &mut T,
+        rng: &mut R,
+    ) -> Result<(), ProtocolError> {
         let ring = self.net.config.ring;
         let fw = self.net.config.weight_frac_bits;
         let conv = &self.net.conv;
@@ -181,7 +198,7 @@ impl CnnServer {
         // Offline: conv triplet (o = output positions) + dense triplets.
         let out_shape = conv.out_shape();
         let positions = out_shape.height * out_shape.width;
-        let cfg = TripletConfig::new(TripletMode::MultiBatch).with_threads(self.threads);
+        let cfg = self.exec.triplet(TripletMode::MultiBatch);
         let u_conv = triplet_server_with(
             ch,
             &mut session.kk,
@@ -193,7 +210,7 @@ impl CnnServer {
             ring,
             cfg,
         )?;
-        let dense_cfg = TripletConfig::new(TripletMode::OneBatch).with_threads(self.threads);
+        let dense_cfg = self.exec.triplet(TripletMode::OneBatch);
         let mut us = Vec::with_capacity(self.net.dense.len());
         for layer in &self.net.dense {
             us.push(triplet_server_with(
@@ -229,7 +246,7 @@ impl CnnServer {
             }
         }
 
-        let z0 = relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.variant)?;
+        let z0 = relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.exec.variant)?;
         let pooled0 =
             maxpool_server(ch, &mut session.yao, &z0, out_shape, self.net.pool_window, ring)?;
 
@@ -241,7 +258,7 @@ impl CnnServer {
                 ch.send(&ring.encode_slice(y0.as_slice()))?;
                 return Ok(());
             }
-            let z0 = relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.variant)?;
+            let z0 = relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.exec.variant)?;
             cur = Matrix::column(z0);
         }
         unreachable!("loop returns at the last layer")
@@ -252,15 +269,28 @@ impl CnnServer {
 #[derive(Debug, Clone)]
 pub struct CnnClient {
     info: PublicCnnInfo,
-    variant: ReluVariant,
-    threads: usize,
+    exec: ExecConfig,
 }
 
 impl CnnClient {
     /// Creates a client for a served CNN.
     #[must_use]
     pub fn new(info: PublicCnnInfo) -> Self {
-        CnnClient { info, variant: ReluVariant::Oblivious, threads: 1 }
+        CnnClient { info, exec: ExecConfig::new() }
+    }
+
+    /// Replaces the whole execution configuration.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Selects the activation variant (must match the server's).
+    #[must_use]
+    pub fn with_variant(mut self, variant: ReluVariant) -> Self {
+        self.exec = self.exec.with_variant(variant);
+        self
     }
 
     /// Multi-core triplet generation.
@@ -270,8 +300,7 @@ impl CnnClient {
     /// Panics if `threads` is zero.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be positive");
-        self.threads = threads;
+        self.exec = self.exec.with_threads(threads);
         self
     }
 
@@ -281,9 +310,9 @@ impl CnnClient {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any subprotocol failure.
-    pub fn run<R: Rng + ?Sized>(
+    pub fn run<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         image_fp: &[u64],
         rng: &mut R,
     ) -> Result<Vec<u64>, ProtocolError> {
@@ -300,7 +329,7 @@ impl CnnClient {
         let out_shape = self.info.conv_out_shape();
         let r_img = ring.sample_vec(rng, self.info.in_shape.len());
         let r_col = im2col(&r_img, self.info.in_shape, kh, kw, stride);
-        let cfg = TripletConfig::new(TripletMode::MultiBatch).with_threads(self.threads);
+        let cfg = self.exec.triplet(TripletMode::MultiBatch);
         let v_conv = triplet_client_with(
             ch,
             &mut session.kk,
@@ -311,7 +340,7 @@ impl CnnClient {
             cfg,
             rng,
         )?;
-        let dense_cfg = TripletConfig::new(TripletMode::OneBatch).with_threads(self.threads);
+        let dense_cfg = self.exec.triplet(TripletMode::OneBatch);
         let n_dense = self.info.dense_dims.len() - 1;
         let mut r_dense = Vec::with_capacity(n_dense);
         let mut v_dense = Vec::with_capacity(n_dense);
@@ -337,7 +366,16 @@ impl CnnClient {
         ch.send(&ring.encode_slice(&x0))?;
 
         // Conv ReLU: y1 = V_conv (channel-major = CHW order), z1 = r_relu.
-        relu_client(ch, &mut session.yao, v_conv.as_slice(), &r_relu, ring, fw, self.variant, rng)?;
+        relu_client(
+            ch,
+            &mut session.yao,
+            v_conv.as_slice(),
+            &r_relu,
+            ring,
+            fw,
+            self.exec.variant,
+            rng,
+        )?;
         // Max-pool: y1 = r_relu, z1 = dense-0 input mask.
         maxpool_client(
             ch,
@@ -368,7 +406,7 @@ impl CnnClient {
                 r_dense[l + 1].as_slice(),
                 ring,
                 fw,
-                self.variant,
+                self.exec.variant,
                 rng,
             )?;
         }
@@ -400,12 +438,13 @@ mod tests {
             bias: vec![5, 3],
         };
         // conv out 2×6×6 → pool 2 → 2×3×3 = 18 → dense 18→6→4.
-        let mk_dense = |out_dim: usize, in_dim: usize, rng: &mut rand::rngs::StdRng| QuantizedDense {
-            out_dim,
-            in_dim,
-            weights: (0..out_dim * in_dim).map(|_| rng.gen_range(lo..=hi)).collect(),
-            bias: (0..out_dim as u64).collect(),
-        };
+        let mk_dense =
+            |out_dim: usize, in_dim: usize, rng: &mut rand::rngs::StdRng| QuantizedDense {
+                out_dim,
+                in_dim,
+                weights: (0..out_dim * in_dim).map(|_| rng.gen_range(lo..=hi)).collect(),
+                bias: (0..out_dim as u64).collect(),
+            };
         let d1 = mk_dense(6, 18, &mut rng);
         let d2 = mk_dense(4, 6, &mut rng);
         let config = QuantConfig {
@@ -476,8 +515,7 @@ mod tests {
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(222);
                 let mut yao = YaoGarbler::setup(ch, &mut rng).expect("setup");
-                maxpool_client(ch, &mut yao, &x1c, &z1c, shape, 2, ring, &mut rng)
-                    .expect("client");
+                maxpool_client(ch, &mut yao, &x1c, &z1c, shape, 2, ring, &mut rng).expect("client");
             },
         );
         let (expect, _) = abnn2_nn::conv::maxpool_ring(&x, shape, 2, ring);
@@ -503,8 +541,9 @@ mod tests {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(231);
                 let mut yao = YaoGarbler::setup(ch, &mut rng).expect("setup");
                 // 3 masks instead of 4 windows: dimension error, no I/O.
-                let err = maxpool_client(ch, &mut yao, &[0u64; 16], &[0u64; 3], shape, 2, ring, &mut rng)
-                    .expect_err("must reject");
+                let err =
+                    maxpool_client(ch, &mut yao, &[0u64; 16], &[0u64; 3], shape, 2, ring, &mut rng)
+                        .expect_err("must reject");
                 assert!(matches!(err, ProtocolError::Dimension(_)));
             },
         );

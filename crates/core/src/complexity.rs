@@ -43,7 +43,14 @@ pub fn secureml(m: usize, n: usize, o: usize, l: u32) -> MatmulCost {
 /// ABNN² multi-batch (§4.1.2): γmn OTs, each carrying N messages of o
 /// packed ring elements, plus the 2κ-bit KK13 column share per OT.
 #[must_use]
-pub fn ours_multi_batch(m: usize, n: usize, o: usize, l: u32, big_n: u64, gamma: usize) -> MatmulCost {
+pub fn ours_multi_batch(
+    m: usize,
+    n: usize,
+    o: usize,
+    l: u32,
+    big_n: u64,
+    gamma: usize,
+) -> MatmulCost {
     let gmn = (gamma * m * n) as f64;
     MatmulCost {
         ot_count: gmn,

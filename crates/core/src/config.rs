@@ -1,0 +1,106 @@
+//! Shared execution options for the secure-inference parties.
+//!
+//! [`SecureServer`](crate::inference::SecureServer),
+//! [`SecureClient`](crate::inference::SecureClient),
+//! [`CnnServer`](crate::cnn::CnnServer) and [`CnnClient`](crate::cnn::CnnClient)
+//! all carry the same two knobs — the activation variant and the triplet
+//! worker-thread count — with the same defaults and the same validation.
+//! [`ExecConfig`] holds them once; the party types embed it and delegate
+//! their builder methods here.
+
+use crate::matmul::{TripletConfig, TripletMode};
+use crate::relu::ReluVariant;
+
+/// Validates a worker-thread count.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub(crate) fn checked_threads(threads: usize) -> usize {
+    assert!(threads > 0, "thread count must be positive");
+    threads
+}
+
+/// Execution options shared by every inference party: activation variant
+/// (must match the peer's) and triplet worker threads (local-only; the
+/// transcript is identical for any thread count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Activation protocol variant. Both parties must agree.
+    pub variant: ReluVariant,
+    /// Worker threads for triplet mask computation (1 = the paper's
+    /// single-core setting).
+    pub threads: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { variant: ReluVariant::Oblivious, threads: 1 }
+    }
+}
+
+impl ExecConfig {
+    /// The paper's defaults: oblivious ReLU, single-core.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the activation variant.
+    #[must_use]
+    pub fn with_variant(mut self, variant: ReluVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = checked_threads(threads);
+        self
+    }
+
+    /// The triplet configuration for an explicit message-layout mode.
+    #[must_use]
+    pub fn triplet(&self, mode: TripletMode) -> TripletConfig {
+        TripletConfig::new(mode).with_threads(self.threads)
+    }
+
+    /// The triplet configuration with the paper's batch-size selection rule.
+    #[must_use]
+    pub fn triplet_for_batch(&self, o: usize) -> TripletConfig {
+        TripletConfig::for_batch(o).with_threads(self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cfg = ExecConfig::new();
+        assert_eq!(cfg.variant, ReluVariant::Oblivious);
+        assert_eq!(cfg.threads, 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = ExecConfig::new().with_variant(ReluVariant::Optimized).with_threads(4);
+        assert_eq!(cfg.variant, ReluVariant::Optimized);
+        assert_eq!(cfg.triplet_for_batch(1).threads, 4);
+        assert_eq!(cfg.triplet_for_batch(1).mode, TripletMode::OneBatch);
+        assert_eq!(cfg.triplet_for_batch(3).mode, TripletMode::MultiBatch);
+        assert_eq!(cfg.triplet(TripletMode::OneBatch).mode, TripletMode::OneBatch);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_rejected() {
+        let _ = ExecConfig::new().with_threads(0);
+    }
+}

@@ -1,7 +1,7 @@
 //! Protocol-level error type.
 
 use abnn2_gc::GcError;
-use abnn2_net::ChannelError;
+use abnn2_net::TransportError;
 use abnn2_ot::OtError;
 
 /// Errors raised by the ABNN² protocols.
@@ -41,9 +41,12 @@ impl std::error::Error for ProtocolError {
     }
 }
 
-impl From<ChannelError> for ProtocolError {
-    fn from(_: ChannelError) -> Self {
-        ProtocolError::Channel
+impl From<TransportError> for ProtocolError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            TransportError::Closed => ProtocolError::Channel,
+            TransportError::Malformed(what) => ProtocolError::Malformed(what),
+        }
     }
 }
 
@@ -65,7 +68,11 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        assert_eq!(ProtocolError::from(ChannelError), ProtocolError::Channel);
+        assert_eq!(ProtocolError::from(TransportError::Closed), ProtocolError::Channel);
+        assert_eq!(
+            ProtocolError::from(TransportError::Malformed("u64 message length")),
+            ProtocolError::Malformed("u64 message length")
+        );
         let e = ProtocolError::from(OtError::InvalidPoint);
         assert!(e.to_string().contains("oblivious transfer"));
         assert!(std::error::Error::source(&e).is_some());

@@ -16,12 +16,13 @@
 //! The client's reconstructed outputs equal
 //! [`QuantizedNetwork::forward_exact`] bit for bit.
 
-use crate::matmul::{triplet_client_with, triplet_server_with, TripletConfig};
+use crate::config::ExecConfig;
+use crate::matmul::{triplet_client_with, triplet_server_with};
 use crate::relu::{relu_client, relu_server, ReluVariant};
 use crate::session::{ClientSession, ServerSession};
 use crate::ProtocolError;
 use abnn2_math::{Matrix, Ring};
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use abnn2_nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -83,21 +84,27 @@ pub struct ClientOffline {
 #[derive(Debug, Clone)]
 pub struct SecureServer {
     net: QuantizedNetwork,
-    variant: ReluVariant,
-    threads: usize,
+    exec: ExecConfig,
 }
 
 impl SecureServer {
     /// Serves `net` with the default (fully oblivious) activation protocol.
     #[must_use]
     pub fn new(net: QuantizedNetwork) -> Self {
-        SecureServer { net, variant: ReluVariant::Oblivious, threads: 1 }
+        SecureServer { net, exec: ExecConfig::new() }
+    }
+
+    /// Replaces the whole execution configuration.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Selects the activation variant (must match the client's).
     #[must_use]
     pub fn with_variant(mut self, variant: ReluVariant) -> Self {
-        self.variant = variant;
+        self.exec = self.exec.with_variant(variant);
         self
     }
 
@@ -109,8 +116,7 @@ impl SecureServer {
     /// Panics if `threads` is zero.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be positive");
-        self.threads = threads;
+        self.exec = self.exec.with_threads(threads);
         self
     }
 
@@ -126,9 +132,9 @@ impl SecureServer {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any subprotocol failure.
-    pub fn offline<R: Rng + ?Sized>(
+    pub fn offline<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         batch: usize,
         rng: &mut R,
     ) -> Result<ServerOffline, ProtocolError> {
@@ -138,7 +144,7 @@ impl SecureServer {
         let mut session = ServerSession::setup(ch, rng)?;
         let ring = self.net.config.ring;
         let scheme = &self.net.config.scheme;
-        let cfg = TripletConfig::for_batch(batch).with_threads(self.threads);
+        let cfg = self.exec.triplet_for_batch(batch);
         let mut us = Vec::with_capacity(self.net.layers.len());
         for layer in &self.net.layers {
             us.push(triplet_server_with(
@@ -158,9 +164,9 @@ impl SecureServer {
 
     /// Runs the hidden layers, returning the session and the server's
     /// share of the final-layer outputs.
-    fn online_to_logits(
+    fn online_to_logits<T: Transport>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         state: ServerOffline,
     ) -> Result<(ServerSession, Matrix), ProtocolError> {
         let ServerOffline { mut session, us, batch } = state;
@@ -180,8 +186,7 @@ impl SecureServer {
             if l == last {
                 return Ok((session, y0));
             }
-            let z0 =
-                relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.variant)?;
+            let z0 = relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.exec.variant)?;
             cur = Matrix::new(layer.out_dim, batch, z0);
         }
         unreachable!("loop returns at the last layer")
@@ -193,9 +198,9 @@ impl SecureServer {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any subprotocol failure.
-    pub fn online(
+    pub fn online<T: Transport>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         state: ServerOffline,
     ) -> Result<(), ProtocolError> {
         let ring = self.net.config.ring;
@@ -211,9 +216,9 @@ impl SecureServer {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any subprotocol failure.
-    pub fn online_classify(
+    pub fn online_classify<T: Transport>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         state: ServerOffline,
     ) -> Result<(), ProtocolError> {
         let ring = self.net.config.ring;
@@ -230,9 +235,9 @@ impl SecureServer {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any subprotocol failure.
-    pub fn run<R: Rng + ?Sized>(
+    pub fn run<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         batch: usize,
         rng: &mut R,
     ) -> Result<(), ProtocolError> {
@@ -245,21 +250,27 @@ impl SecureServer {
 #[derive(Debug, Clone)]
 pub struct SecureClient {
     info: PublicModelInfo,
-    variant: ReluVariant,
-    threads: usize,
+    exec: ExecConfig,
 }
 
 impl SecureClient {
     /// Creates a client for a served model.
     #[must_use]
     pub fn new(info: PublicModelInfo) -> Self {
-        SecureClient { info, variant: ReluVariant::Oblivious, threads: 1 }
+        SecureClient { info, exec: ExecConfig::new() }
+    }
+
+    /// Replaces the whole execution configuration.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Selects the activation variant (must match the server's).
     #[must_use]
     pub fn with_variant(mut self, variant: ReluVariant) -> Self {
-        self.variant = variant;
+        self.exec = self.exec.with_variant(variant);
         self
     }
 
@@ -271,8 +282,7 @@ impl SecureClient {
     /// Panics if `threads` is zero.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be positive");
-        self.threads = threads;
+        self.exec = self.exec.with_threads(threads);
         self
     }
 
@@ -282,9 +292,9 @@ impl SecureClient {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any subprotocol failure.
-    pub fn offline<R: Rng + ?Sized>(
+    pub fn offline<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         batch: usize,
         rng: &mut R,
     ) -> Result<ClientOffline, ProtocolError> {
@@ -294,7 +304,7 @@ impl SecureClient {
         let mut session = ClientSession::setup(ch, rng)?;
         let ring = self.info.config.ring;
         let scheme = &self.info.config.scheme;
-        let cfg = TripletConfig::for_batch(batch).with_threads(self.threads);
+        let cfg = self.exec.triplet_for_batch(batch);
         let n_layers = self.info.dims.len() - 1;
         let mut rs = Vec::with_capacity(n_layers);
         let mut vs = Vec::with_capacity(n_layers);
@@ -325,9 +335,9 @@ impl SecureClient {
     /// Returns [`ProtocolError`] on failure or if inputs mismatch the batch.
     /// Runs the hidden layers, returning the session and the client's
     /// share of the final-layer outputs.
-    fn online_to_logits<R: Rng + ?Sized>(
+    fn online_to_logits<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         state: ClientOffline,
         inputs_fp: &[Vec<u64>],
         rng: &mut R,
@@ -362,7 +372,7 @@ impl SecureClient {
                 rs[l + 1].as_slice(),
                 ring,
                 fw,
-                self.variant,
+                self.exec.variant,
                 rng,
             )?;
         }
@@ -377,9 +387,9 @@ impl SecureClient {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on failure or if inputs mismatch the batch.
-    pub fn online_raw<R: Rng + ?Sized>(
+    pub fn online_raw<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         state: ClientOffline,
         inputs_fp: &[Vec<u64>],
         rng: &mut R,
@@ -402,9 +412,9 @@ impl SecureClient {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on failure or if inputs mismatch the batch.
-    pub fn online_classify<R: Rng + ?Sized>(
+    pub fn online_classify<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         state: ClientOffline,
         inputs_fp: &[Vec<u64>],
         rng: &mut R,
@@ -422,17 +432,16 @@ impl SecureClient {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on failure or mismatched inputs.
-    pub fn online<R: Rng + ?Sized>(
+    pub fn online<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         state: ClientOffline,
         inputs: &[Vec<f64>],
         rng: &mut R,
     ) -> Result<Vec<Vec<f64>>, ProtocolError> {
         let in_codec = self.info.config.activation_codec();
         let out_codec = self.info.config.output_codec();
-        let inputs_fp: Vec<Vec<u64>> =
-            inputs.iter().map(|x| in_codec.encode_vec(x)).collect();
+        let inputs_fp: Vec<Vec<u64>> = inputs.iter().map(|x| in_codec.encode_vec(x)).collect();
         let y = self.online_raw(ch, state, &inputs_fp, rng)?;
         Ok((0..y.cols()).map(|k| out_codec.decode_vec(&y.col(k))).collect())
     }
@@ -442,9 +451,9 @@ impl SecureClient {
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any subprotocol failure.
-    pub fn run<R: Rng + ?Sized>(
+    pub fn run<T: Transport, R: Rng + ?Sized>(
         &self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         inputs: &[Vec<f64>],
         rng: &mut R,
     ) -> Result<Vec<Vec<f64>>, ProtocolError> {
@@ -457,7 +466,7 @@ impl SecureClient {
 mod tests {
     use super::*;
     use abnn2_math::FragmentScheme;
-    use abnn2_net::{run_pair, NetworkModel};
+    use abnn2_net::{run_pair, Endpoint, NetworkModel};
     use abnn2_nn::{Network, SyntheticMnist};
     use rand::SeedableRng;
 
@@ -465,12 +474,8 @@ mod tests {
         let data = SyntheticMnist::generate(120, 0, seed);
         let mut net = Network::new(&[784, 12, 8, 10], seed);
         net.train_epoch(&data.train, 0.05);
-        let config = QuantConfig {
-            ring: Ring::new(32),
-            frac_bits: 8,
-            weight_frac_bits: fw,
-            scheme,
-        };
+        let config =
+            QuantConfig { ring: Ring::new(32), frac_bits: 8, weight_frac_bits: fw, scheme };
         QuantizedNetwork::quantize(&net, config)
     }
 

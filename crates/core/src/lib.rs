@@ -27,6 +27,7 @@ pub mod argmax;
 pub mod beaver;
 pub mod cnn;
 pub mod complexity;
+pub mod config;
 pub mod error;
 pub mod inference;
 pub mod matmul;
@@ -34,6 +35,7 @@ pub mod relu;
 pub mod session;
 pub mod sharing;
 
+pub use config::ExecConfig;
 pub use error::ProtocolError;
 pub use inference::{PublicModelInfo, SecureClient, SecureServer};
 pub use matmul::TripletMode;

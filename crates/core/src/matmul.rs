@@ -15,7 +15,7 @@
 
 use crate::ProtocolError;
 use abnn2_math::{FragmentScheme, Matrix, Ring};
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use abnn2_ot::{KkChooser, KkSender};
 use rand::Rng;
 
@@ -71,8 +71,7 @@ impl TripletConfig {
     /// Panics if `threads` is zero.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be positive");
-        self.threads = threads;
+        self.threads = crate::config::checked_threads(threads);
         self
     }
 
@@ -99,8 +98,8 @@ impl From<TripletMode> for TripletConfig {
 /// Returns [`ProtocolError`] on dimension mismatch, disconnection, or
 /// malformed client messages.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
-pub fn triplet_server(
-    ch: &mut Endpoint,
+pub fn triplet_server<T: Transport>(
+    ch: &mut T,
     kk: &mut KkChooser,
     weights: &[i64],
     m: usize,
@@ -119,8 +118,8 @@ pub fn triplet_server(
 ///
 /// As [`triplet_server`].
 #[allow(clippy::too_many_arguments)]
-pub fn triplet_server_with(
-    ch: &mut Endpoint,
+pub fn triplet_server_with<T: Transport>(
+    ch: &mut T,
     kk: &mut KkChooser,
     weights: &[i64],
     m: usize,
@@ -230,8 +229,8 @@ where
 ///
 /// Returns [`ProtocolError`] on dimension mismatch or disconnection.
 #[allow(clippy::too_many_arguments)]
-pub fn triplet_client<RNG: Rng + ?Sized>(
-    ch: &mut Endpoint,
+pub fn triplet_client<T: Transport, RNG: Rng + ?Sized>(
+    ch: &mut T,
     kk: &mut KkSender,
     r: &Matrix,
     m: usize,
@@ -249,8 +248,8 @@ pub fn triplet_client<RNG: Rng + ?Sized>(
 ///
 /// As [`triplet_client`].
 #[allow(clippy::too_many_arguments)]
-pub fn triplet_client_with<RNG: Rng + ?Sized>(
-    ch: &mut Endpoint,
+pub fn triplet_client_with<T: Transport, RNG: Rng + ?Sized>(
+    ch: &mut T,
     kk: &mut KkSender,
     r: &Matrix,
     m: usize,
@@ -305,9 +304,9 @@ pub fn triplet_client_with<RNG: Rng + ?Sized>(
                         (s, 1u64)
                     }
                 };
-                for k in 0..o {
+                for (k, &sk) in s_vec.iter().enumerate() {
                     let cur = v_part.get(i, k);
-                    v_part.set(i, k, ring.add(cur, s_vec[k]));
+                    v_part.set(i, k, ring.add(cur, sk));
                 }
                 for t in t_start..frag.n {
                     let plain: Vec<u64> = r_row
@@ -342,8 +341,8 @@ pub fn triplet_client_with<RNG: Rng + ?Sized>(
 /// # Errors
 ///
 /// Propagates [`triplet_server`] failures.
-pub fn dot_product_server(
-    ch: &mut Endpoint,
+pub fn dot_product_server<T: Transport>(
+    ch: &mut T,
     kk: &mut KkChooser,
     w: &[i64],
     scheme: &FragmentScheme,
@@ -358,8 +357,8 @@ pub fn dot_product_server(
 /// # Errors
 ///
 /// Propagates [`triplet_client`] failures.
-pub fn dot_product_client<RNG: Rng + ?Sized>(
-    ch: &mut Endpoint,
+pub fn dot_product_client<T: Transport, RNG: Rng + ?Sized>(
+    ch: &mut T,
     kk: &mut KkSender,
     r: &[u64],
     scheme: &FragmentScheme,
@@ -398,14 +397,12 @@ mod tests {
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
                 let mut kk = KkChooser::setup(ch, &mut rng).expect("chooser setup");
-                triplet_server(ch, &mut kk, &weights, m, n, o, &scheme, ring, mode)
-                    .expect("server")
+                triplet_server(ch, &mut kk, &weights, m, n, o, &scheme, ring, mode).expect("server")
             },
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);
                 let mut kk = KkSender::setup(ch, &mut rng).expect("sender setup");
-                triplet_client(ch, &mut kk, &r2, m, &scheme2, ring, mode, &mut rng)
-                    .expect("client")
+                triplet_client(ch, &mut kk, &r2, m, &scheme2, ring, mode, &mut rng).expect("client")
             },
         );
         (u, v, r, report)
@@ -573,7 +570,10 @@ mod tests {
                 triplet_client(ch, &mut kk, &r, 1, &scheme2, ring, TripletMode::OneBatch, &mut rng)
             },
         );
-        assert_eq!(server_res.err(), Some(ProtocolError::Dimension("weight outside scheme domain")));
+        assert_eq!(
+            server_res.err(),
+            Some(ProtocolError::Dimension("weight outside scheme domain"))
+        );
         assert!(client_res.is_err(), "client must observe the aborted protocol");
     }
 

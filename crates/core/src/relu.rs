@@ -19,7 +19,7 @@ use crate::ProtocolError;
 use abnn2_gc::circuit::{bits_to_u64, u64_to_bits};
 use abnn2_gc::{circuits, YaoEvaluator, YaoGarbler};
 use abnn2_math::Ring;
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use abnn2_ot::bits::{get_bit, pack_bits};
 use rand::Rng;
 
@@ -47,8 +47,8 @@ fn bits_to_words(bits_vec: &[bool], bits: usize) -> Vec<u64> {
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on disconnection or garbling failures.
-pub fn relu_server(
-    ch: &mut Endpoint,
+pub fn relu_server<T: Transport>(
+    ch: &mut T,
     yao: &mut YaoEvaluator,
     y0: &[u64],
     ring: Ring,
@@ -81,8 +81,7 @@ pub fn relu_server(
             let neg_shares = ring.decode_slice(&neg_bytes);
 
             // Phase 2: reconstruct-and-reshare only the non-negative subset.
-            let pos: Vec<usize> =
-                (0..n).filter(|&j| non_neg[j]).collect();
+            let pos: Vec<usize> = (0..n).filter(|&j| non_neg[j]).collect();
             let pos_shares = if pos.is_empty() {
                 Vec::new()
             } else {
@@ -124,8 +123,8 @@ pub fn relu_server(
 ///
 /// Panics if `y1.len() != z1.len()`.
 #[allow(clippy::too_many_arguments)]
-pub fn relu_client<RNG: Rng + ?Sized>(
-    ch: &mut Endpoint,
+pub fn relu_client<T: Transport, RNG: Rng + ?Sized>(
+    ch: &mut T,
     yao: &mut YaoGarbler,
     y1: &[u64],
     z1: &[u64],
@@ -158,10 +157,8 @@ pub fn relu_client<RNG: Rng + ?Sized>(
             let non_neg: Vec<bool> = (0..n).map(|j| get_bit(&sign_bytes, j)).collect();
 
             // z = 0 for negative neurons: z0 must equal −z1.
-            let neg_shares: Vec<u64> = (0..n)
-                .filter(|&j| !non_neg[j])
-                .map(|j| ring.neg(z1[j]))
-                .collect();
+            let neg_shares: Vec<u64> =
+                (0..n).filter(|&j| !non_neg[j]).map(|j| ring.neg(z1[j])).collect();
             ch.send(&ring.encode_slice(&neg_shares))?;
 
             let pos: Vec<usize> = (0..n).filter(|&j| non_neg[j]).collect();

@@ -13,7 +13,7 @@
 
 use crate::ProtocolError;
 use abnn2_gc::{YaoEvaluator, YaoGarbler};
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use abnn2_ot::{KkChooser, KkSender};
 use rand::Rng;
 
@@ -42,7 +42,10 @@ impl ServerSession {
     /// # Errors
     ///
     /// Propagates base-OT failures.
-    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, ProtocolError> {
+    pub fn setup<T: Transport, R: Rng + ?Sized>(
+        ch: &mut T,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
         let kk = KkChooser::setup(ch, rng)?;
         let yao = YaoEvaluator::setup(ch, rng)?;
         Ok(ServerSession { kk, yao })
@@ -55,7 +58,10 @@ impl ClientSession {
     /// # Errors
     ///
     /// Propagates base-OT failures.
-    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, ProtocolError> {
+    pub fn setup<T: Transport, R: Rng + ?Sized>(
+        ch: &mut T,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
         let kk = KkSender::setup(ch, rng)?;
         let yao = YaoGarbler::setup(ch, rng)?;
         Ok(ClientSession { kk, yao })

@@ -112,17 +112,17 @@ impl Aes128 {
         let rk = &self.round_key_words;
         let mut s = [0u32; 4];
         for c in 0..4 {
-            s[c] = u32::from_be_bytes([b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]])
-                ^ rk[0][c];
+            s[c] =
+                u32::from_be_bytes([b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]]) ^ rk[0][c];
         }
-        for r in 1..10 {
+        for rkr in rk.iter().take(10).skip(1) {
             let mut t = [0u32; 4];
             for c in 0..4 {
                 t[c] = te[0][(s[c] >> 24) as usize]
                     ^ te[1][((s[(c + 1) % 4] >> 16) & 0xff) as usize]
                     ^ te[2][((s[(c + 2) % 4] >> 8) & 0xff) as usize]
                     ^ te[3][(s[(c + 3) % 4] & 0xff) as usize]
-                    ^ rk[r][c];
+                    ^ rkr[c];
             }
             s = t;
         }

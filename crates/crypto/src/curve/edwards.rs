@@ -175,8 +175,7 @@ impl EdwardsPoint {
 impl PartialEq for EdwardsPoint {
     fn eq(&self, other: &Self) -> bool {
         // (X1/Z1 == X2/Z2) && (Y1/Z1 == Y2/Z2) via cross-multiplication.
-        self.x.mul(&other.z) == other.x.mul(&self.z)
-            && self.y.mul(&other.z) == other.y.mul(&self.z)
+        self.x.mul(&other.z) == other.x.mul(&self.z) && self.y.mul(&other.z) == other.y.mul(&self.z)
     }
 }
 

@@ -143,14 +143,12 @@ impl Fe {
         let b = &rhs.0;
         let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
 
-        let mut c0 = m(a[0], b[0])
-            + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let mut c0 =
+            m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
         let mut c1 =
             m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
-        let mut c2 = m(a[0], b[2])
-            + m(a[1], b[1])
-            + m(a[2], b[0])
-            + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let mut c2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
         let mut c3 =
             m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
         let mut c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);

@@ -346,7 +346,7 @@ pub fn max_pool_reshare_vec_circuit(bits: usize, window: usize, n_windows: usize
     let z1: Vec<Word> = (0..n_windows).map(|_| b.garbler_word(bits)).collect();
     let y0: Vec<Word> = (0..n_windows * window).map(|_| b.evaluator_word(bits)).collect();
     let mut outs = Vec::with_capacity(n_windows * bits);
-    for w in 0..n_windows {
+    for (w, z1w) in z1.iter().enumerate() {
         let mut m: Option<Word> = None;
         for e in 0..window {
             let idx = w * window + e;
@@ -356,7 +356,7 @@ pub fn max_pool_reshare_vec_circuit(bits: usize, window: usize, n_windows: usize
                 Some(cur) => max(&mut b, &cur, &v),
             });
         }
-        let z0 = sub(&mut b, &m.expect("window non-empty"), &z1[w]);
+        let z0 = sub(&mut b, &m.expect("window non-empty"), z1w);
         outs.extend(z0.0);
     }
     b.build(outs)

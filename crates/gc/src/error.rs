@@ -1,6 +1,6 @@
 //! Error type for garbled-circuit protocols.
 
-use abnn2_net::ChannelError;
+use abnn2_net::TransportError;
 use abnn2_ot::OtError;
 
 /// Errors raised while garbling, transferring or evaluating a circuit.
@@ -33,9 +33,12 @@ impl std::error::Error for GcError {
     }
 }
 
-impl From<ChannelError> for GcError {
-    fn from(_: ChannelError) -> Self {
-        GcError::Channel
+impl From<TransportError> for GcError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            TransportError::Closed => GcError::Channel,
+            TransportError::Malformed(what) => GcError::Malformed(what),
+        }
     }
 }
 
@@ -51,8 +54,10 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: GcError = ChannelError.into();
+        let e: GcError = TransportError::Closed.into();
         assert_eq!(e, GcError::Channel);
+        let e: GcError = TransportError::Malformed("block message length").into();
+        assert_eq!(e, GcError::Malformed("block message length"));
         let e: GcError = OtError::Channel.into();
         assert!(matches!(e, GcError::Ot(_)));
         assert!(e.to_string().contains("oblivious transfer"));

@@ -10,7 +10,7 @@ use crate::circuit::Circuit;
 use crate::garble::{evaluate, garble};
 use crate::GcError;
 use abnn2_crypto::Block;
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use abnn2_ot::bits::{get_bit, pack_bits};
 use abnn2_ot::{IknpReceiver, IknpSender};
 use rand::Rng;
@@ -35,7 +35,7 @@ impl YaoGarbler {
     /// # Errors
     ///
     /// Propagates OT setup failures.
-    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, GcError> {
+    pub fn setup<T: Transport, R: Rng + ?Sized>(ch: &mut T, rng: &mut R) -> Result<Self, GcError> {
         Ok(YaoGarbler { ot: IknpSender::setup(ch, rng)? })
     }
 
@@ -56,9 +56,9 @@ impl YaoGarbler {
     /// # Panics
     ///
     /// Panics if `my_bits` does not match the circuit's garbler inputs.
-    pub fn run<R: Rng + ?Sized>(
+    pub fn run<T: Transport, R: Rng + ?Sized>(
         &mut self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         circuit: &Circuit,
         my_bits: &[bool],
         rng: &mut R,
@@ -84,7 +84,7 @@ impl YaoEvaluator {
     /// # Errors
     ///
     /// Propagates OT setup failures.
-    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, GcError> {
+    pub fn setup<T: Transport, R: Rng + ?Sized>(ch: &mut T, rng: &mut R) -> Result<Self, GcError> {
         Ok(YaoEvaluator { ot: IknpReceiver::setup(ch, rng)? })
     }
 
@@ -101,9 +101,9 @@ impl YaoEvaluator {
     ///
     /// Returns an error on disconnection, OT failure, or material that does
     /// not match `circuit`.
-    pub fn run(
+    pub fn run<T: Transport>(
         &mut self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         circuit: &Circuit,
         my_bits: &[bool],
     ) -> Result<Vec<bool>, GcError> {
@@ -209,7 +209,9 @@ mod tests {
                 let mut e = YaoEvaluator::setup(ch, &mut rng).expect("setup");
                 [(7u64,), (100,)]
                     .iter()
-                    .map(|&(y0,)| bits_to_u64(&e.run(ch, &c2, &u64_to_bits(y0, bits)).expect("run")))
+                    .map(|&(y0,)| {
+                        bits_to_u64(&e.run(ch, &c2, &u64_to_bits(y0, bits)).expect("run"))
+                    })
                     .collect::<Vec<u64>>()
             },
         );

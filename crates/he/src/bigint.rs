@@ -68,8 +68,7 @@ impl BigUint {
     /// Little-endian byte encoding (no trailing zeros, empty for zero).
     #[must_use]
     pub fn to_bytes_le(&self) -> Vec<u8> {
-        let mut out: Vec<u8> =
-            self.limbs.iter().flat_map(|l| l.to_le_bytes()).collect();
+        let mut out: Vec<u8> = self.limbs.iter().flat_map(|l| l.to_le_bytes()).collect();
         while out.last() == Some(&0) {
             out.pop();
         }
@@ -160,21 +159,6 @@ impl BigUint {
     #[must_use]
     pub fn low_u64(&self) -> u64 {
         self.limbs.first().copied().unwrap_or(0)
-    }
-
-    /// Comparison.
-    #[must_use]
-    pub fn cmp(&self, other: &BigUint) -> Ordering {
-        if self.limbs.len() != other.limbs.len() {
-            return self.limbs.len().cmp(&other.limbs.len());
-        }
-        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
-            match a.cmp(b) {
-                Ordering::Equal => continue,
-                ord => return ord,
-            }
-        }
-        Ordering::Equal
     }
 
     /// Addition.
@@ -364,6 +348,28 @@ impl BigUint {
     }
 }
 
+impl Ord for BigUint {
+    fn cmp(&self, other: &BigUint) -> Ordering {
+        // Limbs are normalized (no leading zeros), so length orders first.
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &BigUint) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// `a - b` on (sign, magnitude) pairs.
 fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
     match (a.0, b.0) {
@@ -401,10 +407,7 @@ mod tests {
         let a = BigUint::from_u128(u128::MAX);
         let sq = a.mul(&a);
         // (2^128 - 1)^2 = 2^256 - 2^129 + 1
-        let expect = BigUint::one()
-            .shl(256)
-            .sub(&BigUint::one().shl(129))
-            .add(&BigUint::one());
+        let expect = BigUint::one().shl(256).sub(&BigUint::one().shl(129)).add(&BigUint::one());
         assert_eq!(sq, expect);
     }
 

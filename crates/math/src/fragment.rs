@@ -105,7 +105,10 @@ impl FragmentScheme {
         let fragments = match &repr {
             Repr::BitFields { widths, signed } => {
                 assert!(!widths.is_empty(), "at least one fragment required");
-                assert!(widths.iter().all(|&w| (1..=16).contains(&w)), "fragment widths must be 1..=16 bits");
+                assert!(
+                    widths.iter().all(|&w| (1..=16).contains(&w)),
+                    "fragment widths must be 1..=16 bits"
+                );
                 let eta: u32 = widths.iter().sum();
                 assert!(eta <= 32, "total weight bitwidth must be <= 32");
                 let mut out = Vec::with_capacity(widths.len());
@@ -115,7 +118,11 @@ impl FragmentScheme {
                     out.push(Fragment {
                         n: 1u64 << w,
                         scale: 1u64 << offset,
-                        kind: if *signed && top { DigitKind::TwosComplement } else { DigitKind::Unsigned },
+                        kind: if *signed && top {
+                            DigitKind::TwosComplement
+                        } else {
+                            DigitKind::Unsigned
+                        },
                     });
                     offset += w;
                 }
@@ -132,7 +139,10 @@ impl FragmentScheme {
             Repr::BaseN { n, gamma, signed } => {
                 assert!((2..=256).contains(n), "radix must be 2..=256");
                 assert!(*gamma >= 1, "at least one fragment required");
-                assert!(!*signed || *n % 2 == 0, "signed base-N needs an even radix (use balanced for odd)");
+                assert!(
+                    !*signed || *n % 2 == 0,
+                    "signed base-N needs an even radix (use balanced for odd)"
+                );
                 capacity(*n, *gamma); // panics on overflow
                 (0..*gamma)
                     .map(|i| Fragment {
@@ -147,7 +157,10 @@ impl FragmentScheme {
                     .collect()
             }
             Repr::Balanced { n, gamma } => {
-                assert!((3..=255).contains(n) && *n % 2 == 1, "balanced radix must be odd and 3..=255");
+                assert!(
+                    (3..=255).contains(n) && *n % 2 == 1,
+                    "balanced radix must be odd and 3..=255"
+                );
                 assert!(*gamma >= 1, "at least one fragment required");
                 capacity(*n, *gamma);
                 (0..*gamma)
@@ -224,20 +237,14 @@ impl FragmentScheme {
     /// `Σ_fragments (ℓ·(N−1) + 2κ)` with κ = 128 (§4.1.3 / Table 1).
     #[must_use]
     pub fn one_batch_bits_per_weight(&self, ring_bits: u32) -> u64 {
-        self.fragments
-            .iter()
-            .map(|f| u64::from(ring_bits) * (f.n - 1) + 256)
-            .sum()
+        self.fragments.iter().map(|f| u64::from(ring_bits) * (f.n - 1) + 256).sum()
     }
 
     /// Multi-batch communication cost per weight in bits for batch `o`:
     /// `Σ_fragments (o·ℓ·N + 2κ)` (§4.1.2 / Table 1).
     #[must_use]
     pub fn multi_batch_bits_per_weight(&self, o: usize, ring_bits: u32) -> u64 {
-        self.fragments
-            .iter()
-            .map(|f| o as u64 * u64::from(ring_bits) * f.n + 256)
-            .sum()
+        self.fragments.iter().map(|f| o as u64 * u64::from(ring_bits) * f.n + 256).sum()
     }
 
     /// Searches **all** radixes N ∈ 2..=16 (the paper's cap) for the
@@ -425,11 +432,7 @@ impl FragmentScheme {
     #[must_use]
     pub fn recompose_i64(&self, digits: &[u64]) -> i64 {
         assert_eq!(digits.len(), self.gamma(), "digit count mismatch");
-        self.fragments
-            .iter()
-            .zip(digits)
-            .map(|(f, &j)| f.digit_value(j) * f.scale as i64)
-            .sum()
+        self.fragments.iter().zip(digits).map(|(f, &j)| f.digit_value(j) * f.scale as i64).sum()
     }
 
     /// Reconstructs the weight as a residue in `ring` (the value that the

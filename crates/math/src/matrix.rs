@@ -160,7 +160,11 @@ impl Matrix {
     /// Panics if the inner dimensions disagree.
     #[must_use]
     pub fn mul(&self, rhs: &Matrix, ring: &Ring) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch: {}x{} · {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {

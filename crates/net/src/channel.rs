@@ -1,21 +1,10 @@
 //! Duplex in-process channels with byte accounting and a virtual clock.
 
+use crate::transport::{Transport, TransportError};
 use crate::NetworkModel;
 use abnn2_crypto::Block;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::time::{Duration, Instant};
-
-/// Error raised when the peer endpoint has hung up.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ChannelError;
-
-impl std::fmt::Display for ChannelError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "peer endpoint disconnected")
-    }
-}
-
-impl std::error::Error for ChannelError {}
 
 struct Packet {
     payload: Vec<u8>,
@@ -56,7 +45,8 @@ impl CommSnapshot {
     }
 }
 
-/// One side of a duplex channel between the two protocol parties.
+/// One side of a duplex channel between the two protocol parties: the
+/// simulated in-process implementation of [`Transport`].
 ///
 /// Every [`Endpoint::send`]/[`Endpoint::recv`] advances a *virtual clock*:
 /// real compute time since the previous channel operation is added, then the
@@ -109,28 +99,38 @@ impl Endpoint {
         self.last_op = now;
     }
 
-    /// Sends a byte message to the peer.
+    /// Sends a byte message, taking ownership of the buffer. This is the
+    /// zero-copy fast path: the buffer moves straight into the channel.
     ///
     /// # Errors
     ///
-    /// Returns [`ChannelError`] if the peer endpoint was dropped.
-    pub fn send(&mut self, payload: &[u8]) -> Result<(), ChannelError> {
+    /// Returns [`TransportError::Closed`] if the peer endpoint was dropped.
+    pub fn send_owned(&mut self, payload: Vec<u8>) -> Result<(), TransportError> {
         self.absorb_compute();
         self.vtime += self.model.transfer_secs(payload.len());
         self.bytes_sent += payload.len() as u64;
         self.messages_sent += 1;
         self.tx
-            .send(Packet { payload: payload.to_vec(), depart_vtime: self.vtime })
-            .map_err(|_| ChannelError)
+            .send(Packet { payload, depart_vtime: self.vtime })
+            .map_err(|_| TransportError::Closed)
+    }
+
+    /// Sends a byte message to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] if the peer endpoint was dropped.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        self.send_owned(payload.to_vec())
     }
 
     /// Receives the next byte message from the peer (blocking).
     ///
     /// # Errors
     ///
-    /// Returns [`ChannelError`] if the peer endpoint was dropped.
-    pub fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
-        let pkt = self.rx.recv().map_err(|_| ChannelError)?;
+    /// Returns [`TransportError::Closed`] if the peer endpoint was dropped.
+    pub fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        let pkt = self.rx.recv().map_err(|_| TransportError::Closed)?;
         self.absorb_compute();
         let arrival = pkt.depart_vtime + self.model.one_way_latency().as_secs_f64();
         self.vtime = self.vtime.max(arrival);
@@ -142,8 +142,8 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`ChannelError`] if the peer endpoint was dropped.
-    pub fn send_u64(&mut self, v: u64) -> Result<(), ChannelError> {
+    /// Returns [`TransportError::Closed`] if the peer endpoint was dropped.
+    pub fn send_u64(&mut self, v: u64) -> Result<(), TransportError> {
         self.send(&v.to_le_bytes())
     }
 
@@ -151,11 +151,12 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`ChannelError`] if the peer disconnected or sent a message
-    /// of the wrong length.
-    pub fn recv_u64(&mut self) -> Result<u64, ChannelError> {
+    /// Returns [`TransportError::Closed`] if the peer disconnected, or
+    /// [`TransportError::Malformed`] on a message of the wrong length.
+    pub fn recv_u64(&mut self) -> Result<u64, TransportError> {
         let b = self.recv()?;
-        let arr: [u8; 8] = b.try_into().map_err(|_| ChannelError)?;
+        let arr: [u8; 8] =
+            b.try_into().map_err(|_| TransportError::Malformed("u64 message length"))?;
         Ok(u64::from_le_bytes(arr))
     }
 
@@ -163,25 +164,26 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`ChannelError`] if the peer endpoint was dropped.
-    pub fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), ChannelError> {
+    /// Returns [`TransportError::Closed`] if the peer endpoint was dropped.
+    pub fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), TransportError> {
         let mut buf = Vec::with_capacity(blocks.len() * 16);
         for b in blocks {
             buf.extend_from_slice(&b.to_bytes());
         }
-        self.send(&buf)
+        self.send_owned(buf)
     }
 
     /// Receives a slice of 128-bit blocks.
     ///
     /// # Errors
     ///
-    /// Returns [`ChannelError`] if the peer disconnected or the payload is
-    /// not a multiple of 16 bytes.
-    pub fn recv_blocks(&mut self) -> Result<Vec<Block>, ChannelError> {
+    /// Returns [`TransportError::Closed`] if the peer disconnected, or
+    /// [`TransportError::Malformed`] if the payload is not a multiple of 16
+    /// bytes.
+    pub fn recv_blocks(&mut self) -> Result<Vec<Block>, TransportError> {
         let buf = self.recv()?;
         if buf.len() % 16 != 0 {
-            return Err(ChannelError);
+            return Err(TransportError::Malformed("block message length"));
         }
         Ok(buf
             .chunks_exact(16)
@@ -210,6 +212,32 @@ impl Endpoint {
     #[must_use]
     pub fn model(&self) -> NetworkModel {
         self.model
+    }
+}
+
+impl Transport for Endpoint {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        Endpoint::send(self, payload)
+    }
+
+    fn send_owned(&mut self, payload: Vec<u8>) -> Result<(), TransportError> {
+        Endpoint::send_owned(self, payload)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        Endpoint::recv(self)
+    }
+
+    fn snapshot(&self) -> CommSnapshot {
+        Endpoint::snapshot(self)
+    }
+
+    fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), TransportError> {
+        Endpoint::send_blocks(self, blocks)
+    }
+
+    fn recv_blocks(&mut self) -> Result<Vec<Block>, TransportError> {
+        Endpoint::recv_blocks(self)
     }
 }
 
@@ -246,18 +274,25 @@ mod tests {
     }
 
     #[test]
-    fn disconnect_surfaces_as_error() {
+    fn disconnect_surfaces_as_closed() {
         let (mut a, b) = Endpoint::pair(NetworkModel::instant());
         drop(b);
-        assert_eq!(a.send(b"x"), Err(ChannelError));
-        assert_eq!(a.recv(), Err(ChannelError));
+        assert_eq!(a.send(b"x"), Err(TransportError::Closed));
+        assert_eq!(a.recv(), Err(TransportError::Closed));
     }
 
     #[test]
     fn malformed_u64_rejected() {
         let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
         a.send(b"abc").unwrap();
-        assert_eq!(b.recv_u64(), Err(ChannelError));
+        assert_eq!(b.recv_u64(), Err(TransportError::Malformed("u64 message length")));
+    }
+
+    #[test]
+    fn malformed_blocks_rejected() {
+        let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
+        a.send(&[0u8; 17]).unwrap();
+        assert_eq!(b.recv_blocks(), Err(TransportError::Malformed("block message length")));
     }
 
     #[test]
@@ -301,5 +336,14 @@ mod tests {
         let _ = b.recv().unwrap();
         let _ = b.recv().unwrap();
         assert!(b.vtime() < Duration::from_millis(70), "vtime = {:?}", b.vtime());
+    }
+
+    #[test]
+    fn owned_send_counts_like_borrowed() {
+        let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
+        a.send_owned(vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(a.snapshot().bytes_sent, 4);
+        assert_eq!(a.snapshot().messages_sent, 1);
     }
 }

@@ -1,0 +1,210 @@
+//! Fault-injecting [`Transport`] decorator: a reusable robustness harness.
+//!
+//! [`FaultyTransport`] wraps any inner transport and perturbs its *outgoing*
+//! traffic according to a [`Fault`] plan: cut the connection after N
+//! messages or bytes, truncate one message, or corrupt one message. All
+//! typed helpers (`send_u64`, `send_blocks`) route through `send`/`send_owned`,
+//! so a single interception point covers every protocol message kind —
+//! truncating "message 3" truncates a GC table or an OT matrix just the
+//! same.
+//!
+//! Receiving is passed through untouched; to test a receiver against garbage
+//! the *peer* wraps its side.
+
+use crate::channel::CommSnapshot;
+use crate::transport::{Transport, TransportError};
+
+/// What to do to this side's outgoing traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Deliver everything faithfully (baseline for contract tests).
+    None,
+    /// Fail with [`TransportError::Closed`] on send index `n` (0-based) and
+    /// every send after it, simulating a peer that dies mid-protocol.
+    CutAfterMessages(u64),
+    /// Fail with [`TransportError::Closed`] once cumulative payload bytes
+    /// sent would exceed `n`.
+    CutAfterBytes(u64),
+    /// Deliver send index `n` truncated to `keep` bytes (saturating).
+    TruncateMessage {
+        /// 0-based index of the send to truncate.
+        index: u64,
+        /// Number of leading bytes to keep.
+        keep: usize,
+    },
+    /// Deliver send index `n` with one byte XOR-flipped.
+    CorruptMessage {
+        /// 0-based index of the send to corrupt.
+        index: u64,
+        /// Byte offset to flip (reduced modulo the message length).
+        byte: usize,
+    },
+}
+
+/// Decorator applying a [`Fault`] plan to an inner transport's sends.
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    fault: Fault,
+    sends: u64,
+    payload_bytes_sent: u64,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    pub fn new(inner: T, fault: Fault) -> Self {
+        Self { inner, fault, sends: 0, payload_bytes_sent: 0 }
+    }
+
+    /// Unwraps the decorator, returning the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Number of sends attempted so far (including faulted ones).
+    #[must_use]
+    pub fn sends(&self) -> u64 {
+        self.sends
+    }
+
+    /// Applies the fault plan to the payload for the current send index.
+    /// `Ok(None)` means "deliver unchanged".
+    fn perturb(&mut self, payload: &[u8]) -> Result<Option<Vec<u8>>, TransportError> {
+        let index = self.sends;
+        self.sends += 1;
+        match self.fault {
+            Fault::None => Ok(None),
+            Fault::CutAfterMessages(n) => {
+                if index >= n {
+                    return Err(TransportError::Closed);
+                }
+                Ok(None)
+            }
+            Fault::CutAfterBytes(n) => {
+                if self.payload_bytes_sent + payload.len() as u64 > n {
+                    return Err(TransportError::Closed);
+                }
+                Ok(None)
+            }
+            Fault::TruncateMessage { index: target, keep } => {
+                if index == target {
+                    Ok(Some(payload[..keep.min(payload.len())].to_vec()))
+                } else {
+                    Ok(None)
+                }
+            }
+            Fault::CorruptMessage { index: target, byte } => {
+                if index == target && !payload.is_empty() {
+                    let mut corrupted = payload.to_vec();
+                    let at = byte % corrupted.len();
+                    corrupted[at] ^= 0xA5;
+                    Ok(Some(corrupted))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        match self.perturb(payload)? {
+            Some(perturbed) => {
+                self.payload_bytes_sent += perturbed.len() as u64;
+                self.inner.send_owned(perturbed)
+            }
+            None => {
+                self.payload_bytes_sent += payload.len() as u64;
+                self.inner.send(payload)
+            }
+        }
+    }
+
+    fn send_owned(&mut self, payload: Vec<u8>) -> Result<(), TransportError> {
+        match self.perturb(&payload)? {
+            Some(perturbed) => {
+                self.payload_bytes_sent += perturbed.len() as u64;
+                self.inner.send_owned(perturbed)
+            }
+            None => {
+                self.payload_bytes_sent += payload.len() as u64;
+                self.inner.send_owned(payload)
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        self.inner.recv()
+    }
+
+    fn flush(&mut self) -> Result<(), TransportError> {
+        self.inner.flush()
+    }
+
+    fn snapshot(&self) -> CommSnapshot {
+        self.inner.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Endpoint, NetworkModel};
+
+    fn faulty_pair(fault: Fault) -> (FaultyTransport<Endpoint>, Endpoint) {
+        let (a, b) = Endpoint::pair(NetworkModel::instant());
+        (FaultyTransport::new(a, fault), b)
+    }
+
+    #[test]
+    fn none_is_transparent() {
+        let (mut a, mut b) = faulty_pair(Fault::None);
+        a.send_u64(5).unwrap();
+        assert_eq!(b.recv_u64().unwrap(), 5);
+        assert_eq!(a.snapshot().bytes_sent, 8);
+    }
+
+    #[test]
+    fn cut_after_messages() {
+        let (mut a, mut b) = faulty_pair(Fault::CutAfterMessages(2));
+        a.send(b"1").unwrap();
+        a.send(b"2").unwrap();
+        assert_eq!(a.send(b"3"), Err(TransportError::Closed));
+        assert_eq!(b.recv().unwrap(), b"1");
+        assert_eq!(b.recv().unwrap(), b"2");
+    }
+
+    #[test]
+    fn cut_after_bytes() {
+        let (mut a, _b) = faulty_pair(Fault::CutAfterBytes(10));
+        a.send(&[0u8; 8]).unwrap();
+        assert_eq!(a.send(&[0u8; 8]), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn truncation_shortens_exactly_one_message() {
+        let (mut a, mut b) = faulty_pair(Fault::TruncateMessage { index: 1, keep: 3 });
+        a.send(b"first").unwrap();
+        a.send(b"second").unwrap();
+        a.send(b"third").unwrap();
+        assert_eq!(b.recv().unwrap(), b"first");
+        assert_eq!(b.recv().unwrap(), b"sec");
+        assert_eq!(b.recv().unwrap(), b"third");
+    }
+
+    #[test]
+    fn corruption_flips_one_byte() {
+        let (mut a, mut b) = faulty_pair(Fault::CorruptMessage { index: 0, byte: 1 });
+        a.send(&[1, 2, 3]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![1, 2 ^ 0xA5, 3]);
+    }
+
+    #[test]
+    fn helpers_route_through_fault_plan() {
+        // send_u64 / send_blocks must hit the same interception point.
+        let (mut a, mut b) = faulty_pair(Fault::TruncateMessage { index: 0, keep: 4 });
+        a.send_u64(u64::MAX).unwrap();
+        assert_eq!(b.recv_u64(), Err(TransportError::Malformed("u64 message length")));
+        let _ = a;
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-phase accounting [`Transport`] decorator.
+//!
+//! [`InstrumentedTransport`] wraps any transport and attributes traffic to
+//! named phases (e.g. `"base-ot"`, `"offline"`, `"online"`). The wrapper
+//! counts application payload bytes and messages itself — independent of the
+//! inner transport's own counters — so phase attribution works identically
+//! over the simulated [`Endpoint`](crate::Endpoint), real TCP, or any future
+//! transport, which is what the paper's per-phase Comm. tables need.
+
+use crate::channel::CommSnapshot;
+use crate::transport::{Transport, TransportError};
+use std::time::{Duration, Instant};
+
+/// Traffic and wall-clock time attributed to one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStats {
+    /// Payload bytes sent during the phase.
+    pub bytes_sent: u64,
+    /// Payload bytes received during the phase.
+    pub bytes_received: u64,
+    /// Messages sent during the phase.
+    pub messages_sent: u64,
+    /// Messages received during the phase.
+    pub messages_received: u64,
+    /// Wall-clock time spent in the phase.
+    pub elapsed: Duration,
+}
+
+/// Decorator recording per-phase byte/message/time counters.
+pub struct InstrumentedTransport<T> {
+    inner: T,
+    phases: Vec<(String, PhaseStats)>,
+    phase_started: Instant,
+}
+
+impl<T: Transport> InstrumentedTransport<T> {
+    /// Wraps `inner`, opening an initial phase named `"setup"`.
+    pub fn new(inner: T) -> Self {
+        Self {
+            inner,
+            phases: vec![("setup".to_string(), PhaseStats::default())],
+            phase_started: Instant::now(),
+        }
+    }
+
+    /// Closes the current phase and opens a new one. Re-entering a name
+    /// opens a fresh entry; entries are reported in chronological order.
+    pub fn enter_phase(&mut self, name: &str) {
+        self.roll_clock();
+        self.phases.push((name.to_string(), PhaseStats::default()));
+    }
+
+    /// Stats for the most recent phase with this name, if any.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<PhaseStats> {
+        self.phases.iter().rev().find(|(n, _)| n == name).map(|(_, s)| *s)
+    }
+
+    /// All phases in chronological order (current phase last, with its
+    /// clock up to date as of the last channel operation).
+    #[must_use]
+    pub fn phases(&self) -> &[(String, PhaseStats)] {
+        &self.phases
+    }
+
+    /// Unwraps the decorator, returning the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn roll_clock(&mut self) {
+        let now = Instant::now();
+        let delta = now.duration_since(self.phase_started);
+        self.current().elapsed += delta;
+        self.phase_started = now;
+    }
+
+    fn current(&mut self) -> &mut PhaseStats {
+        &mut self.phases.last_mut().expect("at least one phase").1
+    }
+}
+
+impl<T: Transport> Transport for InstrumentedTransport<T> {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        self.inner.send(payload)?;
+        self.roll_clock();
+        let stats = self.current();
+        stats.bytes_sent += payload.len() as u64;
+        stats.messages_sent += 1;
+        Ok(())
+    }
+
+    fn send_owned(&mut self, payload: Vec<u8>) -> Result<(), TransportError> {
+        let len = payload.len() as u64;
+        self.inner.send_owned(payload)?;
+        self.roll_clock();
+        let stats = self.current();
+        stats.bytes_sent += len;
+        stats.messages_sent += 1;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        let payload = self.inner.recv()?;
+        self.roll_clock();
+        let stats = self.current();
+        stats.bytes_received += payload.len() as u64;
+        stats.messages_received += 1;
+        Ok(payload)
+    }
+
+    fn flush(&mut self) -> Result<(), TransportError> {
+        self.inner.flush()
+    }
+
+    fn snapshot(&self) -> CommSnapshot {
+        self.inner.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Endpoint, NetworkModel};
+
+    #[test]
+    fn traffic_is_attributed_to_phases() {
+        let (a, mut b) = Endpoint::pair(NetworkModel::instant());
+        let mut a = InstrumentedTransport::new(a);
+        a.send(b"xy").unwrap();
+        a.enter_phase("online");
+        a.send_u64(1).unwrap();
+        a.send_u64(2).unwrap();
+        b.send(b"reply").unwrap();
+        let _ = a.recv().unwrap();
+
+        let setup = a.phase("setup").unwrap();
+        assert_eq!(setup.bytes_sent, 2);
+        assert_eq!(setup.messages_sent, 1);
+        assert_eq!(setup.bytes_received, 0);
+
+        let online = a.phase("online").unwrap();
+        assert_eq!(online.bytes_sent, 16);
+        assert_eq!(online.messages_sent, 2);
+        assert_eq!(online.bytes_received, 5);
+        assert_eq!(online.messages_received, 1);
+
+        // Global counters come from the inner transport, unchanged.
+        assert_eq!(a.snapshot().bytes_sent, 18);
+    }
+
+    #[test]
+    fn reentered_phase_gets_fresh_entry() {
+        let (a, _b) = Endpoint::pair(NetworkModel::instant());
+        let mut a = InstrumentedTransport::new(a);
+        a.enter_phase("layer");
+        a.enter_phase("relu");
+        a.enter_phase("layer");
+        assert_eq!(a.phases().len(), 4);
+        assert_eq!(a.phases()[1].0, "layer");
+        assert_eq!(a.phases()[3].0, "layer");
+    }
+}

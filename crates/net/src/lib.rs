@@ -1,21 +1,32 @@
 //! Two-party communication substrate for the ABNN² reproduction.
 //!
-//! The paper evaluates on two physical machines whose link is shaped with
-//! Linux `tc` into LAN and WAN profiles. We reproduce that with an
-//! in-process substrate:
+//! Every protocol layer is generic over the [`Transport`] trait — a
+//! reliable, ordered, message-oriented duplex channel. This crate ships the
+//! implementations:
 //!
-//! * [`Endpoint`] — one side of a duplex byte channel with exact
-//!   application-byte accounting (the numbers reported in the paper's
-//!   "Comm." columns),
+//! * [`Endpoint`] — the simulated in-process transport: one side of a duplex
+//!   byte channel with exact application-byte accounting (the numbers
+//!   reported in the paper's "Comm." columns) and a **virtual clock**: real
+//!   compute time is measured between channel operations, and transfer time
+//!   is charged per message as `bytes / bandwidth` at the sender plus
+//!   one-way latency at the receiver (`arrival = max(local, departure +
+//!   latency)`), which models pipelined streams the same way a shaped TCP
+//!   link does,
+//! * [`TcpTransport`] — a real socket with length-prefixed framing and a
+//!   write-coalescing buffer, for genuine two-process runs,
+//! * [`FaultyTransport`] — a decorator that cuts/truncates/corrupts traffic
+//!   for robustness testing,
+//! * [`InstrumentedTransport`] — a decorator attributing traffic to named
+//!   protocol phases over any inner transport,
 //! * [`NetworkModel`] — latency/bandwidth profiles ([`NetworkModel::lan`],
-//!   [`NetworkModel::wan_secureml`], [`NetworkModel::wan_quotient`]),
-//! * a **virtual clock** per endpoint: real compute time is measured between
-//!   channel operations, and transfer time is charged per message as
-//!   `bytes / bandwidth` at the sender plus one-way latency at the receiver
-//!   (`arrival = max(local, departure + latency)`), which models pipelined
-//!   streams the same way a shaped TCP link does,
-//! * [`run_pair`] — spawns the two protocol parties on threads and collects
-//!   a [`TrafficReport`].
+//!   [`NetworkModel::wan_secureml`], [`NetworkModel::wan_quotient`]) for the
+//!   simulated endpoint,
+//! * [`run_pair`] — spawns the two protocol parties on threads over an
+//!   [`Endpoint`] pair and collects a [`TrafficReport`].
+//!
+//! Byte accounting is defined at the application framing layer for every
+//! transport, so a protocol moves exactly the same counted bytes over the
+//! simulator and over TCP.
 //!
 //! ```
 //! use abnn2_net::{run_pair, NetworkModel};
@@ -33,9 +44,17 @@
 //! ```
 
 pub mod channel;
+pub mod fault;
+pub mod instrument;
 pub mod model;
 pub mod runner;
+pub mod tcp;
+pub mod transport;
 
-pub use channel::{ChannelError, CommSnapshot, Endpoint};
+pub use channel::{CommSnapshot, Endpoint};
+pub use fault::{Fault, FaultyTransport};
+pub use instrument::{InstrumentedTransport, PhaseStats};
 pub use model::NetworkModel;
 pub use runner::{run_pair, TrafficReport};
+pub use tcp::TcpTransport;
+pub use transport::{Transport, TransportError};

@@ -1,0 +1,156 @@
+//! The `Transport` abstraction every protocol layer is generic over.
+//!
+//! A [`Transport`] is a reliable, ordered, message-oriented duplex channel to
+//! the single peer of a two-party protocol. The simulated in-process
+//! [`Endpoint`](crate::Endpoint) and the real [`TcpTransport`](crate::TcpTransport)
+//! both implement it, and decorators ([`FaultyTransport`](crate::FaultyTransport),
+//! [`InstrumentedTransport`](crate::InstrumentedTransport)) wrap any inner
+//! transport to add fault injection or per-phase accounting.
+//!
+//! Byte accounting is defined at the **application framing layer**: a message
+//! of `n` payload bytes counts `n` against `bytes_sent`, regardless of
+//! transport-level overhead such as TCP/IP headers or length prefixes. This
+//! is the layer at which the paper's Comm. columns are measured, so counts
+//! are identical across transports by construction.
+
+use crate::channel::CommSnapshot;
+use abnn2_crypto::Block;
+
+/// Transport-level failure, split by root cause so protocol layers can
+/// surface the *right* error: a vanished peer ([`Closed`]) versus a peer (or
+/// a corrupted link) that delivered bytes violating the framing contract
+/// ([`Malformed`]).
+///
+/// [`Closed`]: TransportError::Closed
+/// [`Malformed`]: TransportError::Malformed
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer disconnected (or the underlying connection was lost).
+    Closed,
+    /// A message arrived but its contents violate the framing contract
+    /// (wrong length, oversized frame, ...). The payload names the check.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "peer transport closed"),
+            TransportError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Reliable, ordered, message-oriented duplex channel between the two
+/// protocol parties.
+///
+/// Implementors provide the byte-message primitives ([`send`](Transport::send),
+/// [`recv`](Transport::recv), [`snapshot`](Transport::snapshot)); the typed
+/// helpers (`u64`s, 128-bit [`Block`]s) are provided methods layered on top,
+/// so every implementation — including decorators — inherits consistent
+/// framing and error semantics.
+pub trait Transport {
+    /// Sends one message to the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the peer is gone.
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError>;
+
+    /// Sends one message, taking ownership of the buffer.
+    ///
+    /// Implementations that queue messages (the in-process [`Endpoint`]
+    /// moves the buffer straight into the channel) override this to avoid a
+    /// copy; the default simply borrows.
+    ///
+    /// [`Endpoint`]: crate::Endpoint
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the peer is gone.
+    fn send_owned(&mut self, payload: Vec<u8>) -> Result<(), TransportError> {
+        self.send(&payload)
+    }
+
+    /// Receives the next message from the peer, blocking until it arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the peer is gone, or
+    /// [`TransportError::Malformed`] if the transport's own framing is
+    /// violated (e.g. an oversized TCP frame header).
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError>;
+
+    /// Flushes any write-coalescing buffer down to the wire.
+    ///
+    /// Message-queue transports deliver eagerly and keep the no-op default;
+    /// buffered byte-stream transports (TCP) must push pending frames out.
+    /// Implementations of [`recv`](Transport::recv) on such transports flush
+    /// implicitly, so protocol code only needs an explicit `flush` before
+    /// going idle.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the peer is gone.
+    fn flush(&mut self) -> Result<(), TransportError> {
+        Ok(())
+    }
+
+    /// Current cumulative communication statistics (application-layer bytes).
+    fn snapshot(&self) -> CommSnapshot;
+
+    /// Sends a single `u64` (little-endian).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the peer is gone.
+    fn send_u64(&mut self, v: u64) -> Result<(), TransportError> {
+        self.send(&v.to_le_bytes())
+    }
+
+    /// Receives a single `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the peer is gone;
+    /// [`TransportError::Malformed`] if the message is not exactly 8 bytes.
+    fn recv_u64(&mut self) -> Result<u64, TransportError> {
+        let b = self.recv()?;
+        let arr: [u8; 8] =
+            b.try_into().map_err(|_| TransportError::Malformed("u64 message length"))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Sends a slice of 128-bit blocks as one message.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the peer is gone.
+    fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), TransportError> {
+        let mut buf = Vec::with_capacity(blocks.len() * 16);
+        for b in blocks {
+            buf.extend_from_slice(&b.to_bytes());
+        }
+        self.send_owned(buf)
+    }
+
+    /// Receives a message of 128-bit blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the peer is gone;
+    /// [`TransportError::Malformed`] if the payload length is not a multiple
+    /// of 16 bytes.
+    fn recv_blocks(&mut self) -> Result<Vec<Block>, TransportError> {
+        let buf = self.recv()?;
+        if buf.len() % 16 != 0 {
+            return Err(TransportError::Malformed("block message length"));
+        }
+        Ok(buf
+            .chunks_exact(16)
+            .map(|c| Block::from_bytes(c.try_into().expect("16 bytes")))
+            .collect())
+    }
+}

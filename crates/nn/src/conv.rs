@@ -147,10 +147,17 @@ impl QuantizedConv {
 ///
 /// Panics if the spatial dimensions are not divisible by `window`.
 #[must_use]
-pub fn maxpool_ring(x: &[u64], shape: ConvShape, window: usize, ring: Ring) -> (Vec<u64>, ConvShape) {
+pub fn maxpool_ring(
+    x: &[u64],
+    shape: ConvShape,
+    window: usize,
+    ring: Ring,
+) -> (Vec<u64>, ConvShape) {
     assert_eq!(x.len(), shape.len(), "input length mismatch");
-    assert!(window > 0 && shape.height % window == 0 && shape.width % window == 0,
-            "pool window must divide the spatial dims");
+    assert!(
+        window > 0 && shape.height.is_multiple_of(window) && shape.width.is_multiple_of(window),
+        "pool window must divide the spatial dims"
+    );
     let (ph, pw) = (shape.height / window, shape.width / window);
     let mut out = Vec::with_capacity(shape.channels * ph * pw);
     for c in 0..shape.channels {
@@ -179,8 +186,10 @@ pub fn maxpool_ring(x: &[u64], shape: ConvShape, window: usize, ring: Ring) -> (
 /// Panics if the spatial dimensions are not divisible by `window`.
 #[must_use]
 pub fn pool_windows(shape: ConvShape, window: usize) -> Vec<Vec<usize>> {
-    assert!(window > 0 && shape.height % window == 0 && shape.width % window == 0,
-            "pool window must divide the spatial dims");
+    assert!(
+        window > 0 && shape.height.is_multiple_of(window) && shape.width.is_multiple_of(window),
+        "pool window must divide the spatial dims"
+    );
     let (ph, pw) = (shape.height / window, shape.width / window);
     let mut out = Vec::with_capacity(shape.channels * ph * pw);
     for c in 0..shape.channels {
@@ -326,9 +335,7 @@ mod tests {
         for oy in 0..3 {
             for ox in 0..3 {
                 let mut acc = 7u64;
-                for (widx, (dy, dx)) in
-                    [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate()
-                {
+                for (widx, (dy, dx)) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
                     let v = x[(oy + dy) * 4 + (ox + dx)];
                     acc = acc.wrapping_add(v.wrapping_mul(conv.weights[widx] as u64));
                 }

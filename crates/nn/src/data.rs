@@ -68,10 +68,10 @@ fn prototype(rng: &mut StdRng) -> Vec<f64> {
     let bumps: Vec<(f64, f64, f64, f64)> = (0..4)
         .map(|_| {
             (
-                rng.gen_range(4.0..24.0),  // center x
-                rng.gen_range(4.0..24.0),  // center y
-                rng.gen_range(2.0..5.0),   // width
-                rng.gen_range(0.5..1.0),   // amplitude
+                rng.gen_range(4.0..24.0), // center x
+                rng.gen_range(4.0..24.0), // center y
+                rng.gen_range(2.0..5.0),  // width
+                rng.gen_range(0.5..1.0),  // amplitude
             )
         })
         .collect();

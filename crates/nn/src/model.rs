@@ -74,9 +74,7 @@ impl Network {
     pub fn new(dims: &[usize], seed: u64) -> Self {
         assert!(dims.len() >= 2, "need at least input and output dims");
         let mut rng = StdRng::seed_from_u64(seed);
-        Network {
-            layers: dims.windows(2).map(|w| Dense::new(w[1], w[0], &mut rng)).collect(),
-        }
+        Network { layers: dims.windows(2).map(|w| Dense::new(w[1], w[0], &mut rng)).collect() }
     }
 
     /// Layer dimensions, `[in, hidden…, out]`.
@@ -114,8 +112,7 @@ impl Network {
         if samples.is_empty() {
             return 0.0;
         }
-        let correct =
-            samples.iter().filter(|s| self.predict(&s.pixels) == s.label).count();
+        let correct = samples.iter().filter(|s| self.predict(&s.pixels) == s.label).count();
         correct as f64 / samples.len() as f64
     }
 
@@ -138,11 +135,7 @@ impl Network {
         for (i, layer) in self.layers.iter().enumerate() {
             let z = layer.forward(acts.last().expect("non-empty"));
             pre.push(z.clone());
-            let a = if i + 1 < n_layers {
-                z.iter().map(|&v| v.max(0.0)).collect()
-            } else {
-                z
-            };
+            let a = if i + 1 < n_layers { z.iter().map(|&v| v.max(0.0)).collect() } else { z };
             acts.push(a);
         }
 
@@ -237,7 +230,12 @@ mod tests {
 
     #[test]
     fn dense_known_values() {
-        let layer = Dense { out_dim: 2, in_dim: 2, weights: vec![1.0, 2.0, 3.0, 4.0], bias: vec![0.5, -0.5] };
+        let layer = Dense {
+            out_dim: 2,
+            in_dim: 2,
+            weights: vec![1.0, 2.0, 3.0, 4.0],
+            bias: vec![0.5, -0.5],
+        };
         assert_eq!(layer.forward(&[1.0, 1.0]), vec![3.5, 6.5]);
     }
 

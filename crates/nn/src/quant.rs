@@ -12,8 +12,8 @@
 //!   two pipelines agree bit for bit),
 //! * the last layer returns raw accumulators at `f + f_w` fractional bits.
 
-use crate::model::{argmax, Network};
 use crate::data::Sample;
+use crate::model::{argmax, Network};
 use abnn2_math::{FixedPoint, FragmentScheme, Ring};
 use serde::{Deserialize, Serialize};
 
@@ -281,12 +281,8 @@ mod tests {
     fn ternary_and_binary_quantization_run() {
         let (net, data) = tiny_trained(24);
         for scheme in [FragmentScheme::ternary(), FragmentScheme::binary()] {
-            let config = QuantConfig {
-                ring: Ring::new(32),
-                frac_bits: 8,
-                weight_frac_bits: 0,
-                scheme,
-            };
+            let config =
+                QuantConfig { ring: Ring::new(32), frac_bits: 8, weight_frac_bits: 0, scheme };
             let q = QuantizedNetwork::quantize(&net, config);
             // Low-bitwidth nets lose accuracy but the pipeline must still run.
             let _ = q.forward(&data.test[0].pixels);

@@ -18,7 +18,7 @@
 use crate::OtError;
 use abnn2_crypto::curve::EdwardsPoint;
 use abnn2_crypto::{sha256::sha256, Block};
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use rand::Rng;
 
 fn random_scalar<R: Rng + ?Sized>(rng: &mut R) -> [u8; 32] {
@@ -43,8 +43,8 @@ fn kdf(index: u64, point: &EdwardsPoint) -> Block {
 ///
 /// Returns [`OtError`] on disconnection or if the chooser sends invalid
 /// curve points.
-pub fn send<R: Rng + ?Sized>(
-    ch: &mut Endpoint,
+pub fn send<T: Transport, R: Rng + ?Sized>(
+    ch: &mut T,
     pairs: &[(Block, Block)],
     rng: &mut R,
 ) -> Result<(), OtError> {
@@ -69,7 +69,7 @@ pub fn send<R: Rng + ?Sized>(
         cts.extend_from_slice(&(pair.0 ^ k0).to_bytes());
         cts.extend_from_slice(&(pair.1 ^ k1).to_bytes());
     }
-    ch.send(&cts)?;
+    ch.send_owned(cts)?;
     Ok(())
 }
 
@@ -78,8 +78,8 @@ pub fn send<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns [`OtError`] on disconnection or malformed sender messages.
-pub fn recv<R: Rng + ?Sized>(
-    ch: &mut Endpoint,
+pub fn recv<T: Transport, R: Rng + ?Sized>(
+    ch: &mut T,
     choices: &[bool],
     rng: &mut R,
 ) -> Result<Vec<Block>, OtError> {
@@ -98,7 +98,7 @@ pub fn recv<R: Rng + ?Sized>(
         r_batch.extend_from_slice(&r.to_bytes());
         xs.push(x);
     }
-    ch.send(&r_batch)?;
+    ch.send_owned(r_batch)?;
 
     let cts = ch.recv()?;
     if cts.len() != 32 * choices.len() {

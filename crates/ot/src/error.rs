@@ -1,6 +1,6 @@
 //! Error type shared by all OT protocols.
 
-use abnn2_net::ChannelError;
+use abnn2_net::TransportError;
 
 /// Errors raised by OT protocol executions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,9 +25,12 @@ impl std::fmt::Display for OtError {
 
 impl std::error::Error for OtError {}
 
-impl From<ChannelError> for OtError {
-    fn from(_: ChannelError) -> Self {
-        OtError::Channel
+impl From<TransportError> for OtError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            TransportError::Closed => OtError::Channel,
+            TransportError::Malformed(what) => OtError::Malformed(what),
+        }
     }
 }
 
@@ -43,8 +46,10 @@ mod tests {
     }
 
     #[test]
-    fn channel_error_converts() {
-        let e: OtError = ChannelError.into();
-        assert_eq!(e, OtError::Channel);
+    fn transport_errors_convert_by_cause() {
+        let closed: OtError = TransportError::Closed.into();
+        assert_eq!(closed, OtError::Channel);
+        let malformed: OtError = TransportError::Malformed("u64 message length").into();
+        assert_eq!(malformed, OtError::Malformed("u64 message length"));
     }
 }

@@ -10,7 +10,7 @@ use crate::bits::{pack_bits, transpose_columns, xor_in_place};
 use crate::{base, OtError, KAPPA};
 use abnn2_crypto::{Block, Prg, RoHash};
 use abnn2_math::Ring;
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use rand::Rng;
 
 /// Sender side of IKNP extension (holds the message pairs).
@@ -48,7 +48,7 @@ impl IknpSender {
     /// # Errors
     ///
     /// Propagates base-OT failures.
-    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, OtError> {
+    pub fn setup<T: Transport, R: Rng + ?Sized>(ch: &mut T, rng: &mut R) -> Result<Self, OtError> {
         let s_bits: Vec<bool> = (0..KAPPA).map(|_| rng.gen()).collect();
         let seeds = base::recv(ch, &s_bits, rng)?;
         let s_block = Block::from_bytes(pack_bits(&s_bits).try_into().expect("16 bytes"));
@@ -63,7 +63,7 @@ impl IknpSender {
 
     /// Core extension step: receives the masked columns and returns the row
     /// values `q_j`, from which both message keys derive.
-    fn extend_rows(&mut self, ch: &mut Endpoint, m: usize) -> Result<Vec<Block>, OtError> {
+    fn extend_rows<T: Transport>(&mut self, ch: &mut T, m: usize) -> Result<Vec<Block>, OtError> {
         let col_bytes = m.div_ceil(8);
         let u = ch.recv()?;
         if u.len() != KAPPA * col_bytes {
@@ -89,7 +89,11 @@ impl IknpSender {
     /// # Errors
     ///
     /// Returns an error on disconnection or malformed receiver messages.
-    pub fn send(&mut self, ch: &mut Endpoint, pairs: &[(Block, Block)]) -> Result<(), OtError> {
+    pub fn send<T: Transport>(
+        &mut self,
+        ch: &mut T,
+        pairs: &[(Block, Block)],
+    ) -> Result<(), OtError> {
         let qs = self.extend_rows(ch, pairs.len())?;
         let base_tweak = self.bump_tweak(pairs.len());
         let mut cts = Vec::with_capacity(pairs.len() * 2);
@@ -108,9 +112,9 @@ impl IknpSender {
     /// # Errors
     ///
     /// Returns an error on disconnection or malformed receiver messages.
-    pub fn send_random(
+    pub fn send_random<T: Transport>(
         &mut self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         m: usize,
     ) -> Result<Vec<(Block, Block)>, OtError> {
         let qs = self.extend_rows(ch, m)?;
@@ -132,9 +136,9 @@ impl IknpSender {
     /// # Errors
     ///
     /// Returns an error on disconnection or malformed receiver messages.
-    pub fn send_correlated(
+    pub fn send_correlated<T: Transport>(
         &mut self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         deltas: &[u64],
         ring: Ring,
     ) -> Result<Vec<u64>, OtError> {
@@ -151,7 +155,7 @@ impl IknpSender {
             corrections.push(ring.sub(ring.add(x0, delta), mask1));
             x0s.push(x0);
         }
-        ch.send(&ring.encode_slice(&corrections))?;
+        ch.send_owned(ring.encode_slice(&corrections))?;
         Ok(x0s)
     }
 
@@ -166,9 +170,9 @@ impl IknpSender {
     /// # Panics
     ///
     /// Panics if the delta vectors are ragged.
-    pub fn send_correlated_vec(
+    pub fn send_correlated_vec<T: Transport>(
         &mut self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         deltas: &[Vec<u64>],
         ring: Ring,
     ) -> Result<Vec<Vec<u64>>, OtError> {
@@ -182,8 +186,11 @@ impl IknpSender {
         for (j, (q, delta)) in qs.iter().zip(deltas).enumerate() {
             let t = (base_tweak + j as u64) as u128;
             let x0 = ring.decode_slice(&self.hash.hash_expand(t, &q.to_bytes(), elem_len));
-            let mask1 =
-                ring.decode_slice(&self.hash.hash_expand(t, &(*q ^ self.s_block).to_bytes(), elem_len));
+            let mask1 = ring.decode_slice(&self.hash.hash_expand(
+                t,
+                &(*q ^ self.s_block).to_bytes(),
+                elem_len,
+            ));
             for k in 0..width {
                 payload.extend_from_slice(
                     &ring.encode_slice(&[ring.sub(ring.add(x0[k], delta[k]), mask1[k])]),
@@ -191,7 +198,7 @@ impl IknpSender {
             }
             x0s.push(x0);
         }
-        ch.send(&payload)?;
+        ch.send_owned(payload)?;
         Ok(x0s)
     }
 
@@ -209,7 +216,7 @@ impl IknpReceiver {
     /// # Errors
     ///
     /// Propagates base-OT failures.
-    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, OtError> {
+    pub fn setup<T: Transport, R: Rng + ?Sized>(ch: &mut T, rng: &mut R) -> Result<Self, OtError> {
         let seed_pairs: Vec<(Block, Block)> =
             (0..KAPPA).map(|_| (Block::random(rng), Block::random(rng))).collect();
         base::send(ch, &seed_pairs, rng)?;
@@ -225,7 +232,11 @@ impl IknpReceiver {
 
     /// Core extension step: sends masked columns, returns per-row blocks
     /// `t_j` (the key for the chosen message).
-    fn extend_rows(&mut self, ch: &mut Endpoint, choices: &[bool]) -> Result<Vec<Block>, OtError> {
+    fn extend_rows<T: Transport>(
+        &mut self,
+        ch: &mut T,
+        choices: &[bool],
+    ) -> Result<Vec<Block>, OtError> {
         let m = choices.len();
         let col_bytes = m.div_ceil(8);
         let b = pack_bits(choices);
@@ -240,7 +251,7 @@ impl IknpReceiver {
             u.extend_from_slice(&ui);
             t_cols.push(t0);
         }
-        ch.send(&u)?;
+        ch.send_owned(u)?;
         let rows = transpose_columns(&t_cols, m);
         Ok(rows
             .into_iter()
@@ -253,7 +264,11 @@ impl IknpReceiver {
     /// # Errors
     ///
     /// Returns an error on disconnection or malformed sender messages.
-    pub fn recv(&mut self, ch: &mut Endpoint, choices: &[bool]) -> Result<Vec<Block>, OtError> {
+    pub fn recv<T: Transport>(
+        &mut self,
+        ch: &mut T,
+        choices: &[bool],
+    ) -> Result<Vec<Block>, OtError> {
         let ts = self.extend_rows(ch, choices)?;
         let base_tweak = self.bump_tweak(choices.len());
         let cts = ch.recv_blocks()?;
@@ -276,9 +291,9 @@ impl IknpReceiver {
     /// # Errors
     ///
     /// Returns an error on disconnection or malformed sender messages.
-    pub fn recv_random(
+    pub fn recv_random<T: Transport>(
         &mut self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         choices: &[bool],
     ) -> Result<Vec<Block>, OtError> {
         let ts = self.extend_rows(ch, choices)?;
@@ -295,9 +310,9 @@ impl IknpReceiver {
     /// # Errors
     ///
     /// Returns an error on disconnection or malformed sender messages.
-    pub fn recv_correlated(
+    pub fn recv_correlated<T: Transport>(
         &mut self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         choices: &[bool],
         ring: Ring,
     ) -> Result<Vec<u64>, OtError> {
@@ -331,9 +346,9 @@ impl IknpReceiver {
     /// # Errors
     ///
     /// Returns an error on disconnection or malformed sender messages.
-    pub fn recv_correlated_vec(
+    pub fn recv_correlated_vec<T: Transport>(
         &mut self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         choices: &[bool],
         width: usize,
         ring: Ring,
@@ -372,7 +387,7 @@ impl IknpReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abnn2_net::{run_pair, NetworkModel};
+    use abnn2_net::{run_pair, Endpoint, NetworkModel};
     use rand::SeedableRng;
 
     fn setup_pair(
@@ -473,8 +488,7 @@ mod tests {
         );
         for j in 0..m {
             for k in 0..width {
-                let expect =
-                    if choices[j] { ring.add(x0s[j][k], deltas[j][k]) } else { x0s[j][k] };
+                let expect = if choices[j] { ring.add(x0s[j][k], deltas[j][k]) } else { x0s[j][k] };
                 assert_eq!(xcs[j][k], expect, "ot {j} slot {k}");
             }
         }
@@ -486,8 +500,9 @@ mod tests {
         let choices2 = choices.clone();
         let ((p1, p2), (g1, g2)) = run_two(
             move |s, ch| {
-                let pairs: Vec<(Block, Block)> =
-                    (0..3).map(|i| (Block::from(i as u128), Block::from((i + 10) as u128))).collect();
+                let pairs: Vec<(Block, Block)> = (0..3)
+                    .map(|i| (Block::from(i as u128), Block::from((i + 10) as u128)))
+                    .collect();
                 s.send(ch, &pairs).expect("send 1");
                 s.send(ch, &pairs).expect("send 2");
                 (pairs.clone(), pairs)
@@ -509,8 +524,9 @@ mod tests {
         let choices = vec![true; 13];
         let (pairs, got) = setup_pair(
             move |s, ch| {
-                let pairs: Vec<(Block, Block)> =
-                    (0..13).map(|i| (Block::from(i as u128), Block::from((100 + i) as u128))).collect();
+                let pairs: Vec<(Block, Block)> = (0..13)
+                    .map(|i| (Block::from(i as u128), Block::from((100 + i) as u128)))
+                    .collect();
                 s.send(ch, &pairs).expect("send");
                 pairs
             },

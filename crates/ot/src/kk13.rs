@@ -16,7 +16,7 @@
 use crate::bits::{get_bit, transpose_columns, xor_in_place};
 use crate::{base, OtError};
 use abnn2_crypto::{Block, Prg, RoHash};
-use abnn2_net::Endpoint;
+use abnn2_net::Transport;
 use rand::Rng;
 
 /// Code length 2κ = 256: the column count of the extension matrix.
@@ -93,7 +93,7 @@ impl KkSender {
     /// # Errors
     ///
     /// Propagates base-OT failures.
-    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, OtError> {
+    pub fn setup<T: Transport, R: Rng + ?Sized>(ch: &mut T, rng: &mut R) -> Result<Self, OtError> {
         let s_bits: Vec<bool> = (0..CODE_LEN).map(|_| rng.gen()).collect();
         let seeds = base::recv(ch, &s_bits, rng)?;
         let mut s = [0u8; 32];
@@ -111,7 +111,7 @@ impl KkSender {
     /// # Errors
     ///
     /// Returns an error on disconnection or malformed chooser messages.
-    pub fn extend(&mut self, ch: &mut Endpoint, m: usize) -> Result<KkSenderKeys, OtError> {
+    pub fn extend<T: Transport>(&mut self, ch: &mut T, m: usize) -> Result<KkSenderKeys, OtError> {
         let col_bytes = m.div_ceil(8);
         let u = ch.recv()?;
         if u.len() != CODE_LEN * col_bytes {
@@ -201,7 +201,7 @@ impl KkChooser {
     /// # Errors
     ///
     /// Propagates base-OT failures.
-    pub fn setup<R: Rng + ?Sized>(ch: &mut Endpoint, rng: &mut R) -> Result<Self, OtError> {
+    pub fn setup<T: Transport, R: Rng + ?Sized>(ch: &mut T, rng: &mut R) -> Result<Self, OtError> {
         let seed_pairs: Vec<(Block, Block)> =
             (0..CODE_LEN).map(|_| (Block::random(rng), Block::random(rng))).collect();
         base::send(ch, &seed_pairs, rng)?;
@@ -223,13 +223,13 @@ impl KkChooser {
     /// # Panics
     ///
     /// Panics if any choice is ≥ `n` or `n` exceeds [`MAX_N`].
-    pub fn extend(
+    pub fn extend<T: Transport>(
         &mut self,
-        ch: &mut Endpoint,
+        ch: &mut T,
         choices: &[u64],
         n: u64,
     ) -> Result<KkChooserKeys, OtError> {
-        assert!(n >= 2 && n <= MAX_N, "radix {n} out of range");
+        assert!((2..=MAX_N).contains(&n), "radix {n} out of range");
         assert!(choices.iter().all(|&c| c < n), "choice symbol out of range");
         let m = choices.len();
         let col_bytes = m.div_ceil(8);
@@ -252,7 +252,7 @@ impl KkChooser {
             u.extend_from_slice(&ui);
             t0_cols.push(t0);
         }
-        ch.send(&u)?;
+        ch.send_owned(u)?;
 
         let rows = transpose_columns(&t0_cols, m)
             .into_iter()
@@ -270,7 +270,7 @@ impl KkChooser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abnn2_net::{run_pair, NetworkModel};
+    use abnn2_net::{run_pair, Endpoint, NetworkModel};
     use rand::SeedableRng;
 
     fn run_kk<A: Send, B: Send>(
@@ -375,7 +375,10 @@ mod tests {
         let mut chooser = KkChooser {
             prg_pairs: (0..CODE_LEN)
                 .map(|_| {
-                    (Prg::from_seed(Block::random(&mut rng)), Prg::from_seed(Block::random(&mut rng)))
+                    (
+                        Prg::from_seed(Block::random(&mut rng)),
+                        Prg::from_seed(Block::random(&mut rng)),
+                    )
                 })
                 .collect(),
             tweak: 0,

@@ -39,13 +39,17 @@ fn main() {
     }
     let float_acc = net.accuracy(&data.test);
     println!("float accuracy: {:.1}%\n", 100.0 * float_acc);
-    println!("{:>4} {:>12} {:>10} {:>12} {:>12}", "eta", "scheme", "acc %", "time (s)", "comm (MiB)");
+    println!(
+        "{:>4} {:>12} {:>10} {:>12} {:>12}",
+        "eta", "scheme", "acc %", "time (s)", "comm (MiB)"
+    );
 
     let ring = Ring::new(32);
     for eta in 1..=8u32 {
         let scheme = scheme_for(eta);
         let fw = if eta <= 2 { 0 } else { (eta - 1).min(4) };
-        let config = QuantConfig { ring, frac_bits: 8, weight_frac_bits: fw, scheme: scheme.clone() };
+        let config =
+            QuantConfig { ring, frac_bits: 8, weight_frac_bits: fw, scheme: scheme.clone() };
         let q = QuantizedNetwork::quantize(&net, config);
         let acc = q.accuracy(&data.test);
 
@@ -63,15 +67,26 @@ fn main() {
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(31);
                 let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
-                let _ = triplet_server(ch, &mut kk, &weights, m, n, 1, &s1, ring, TripletMode::OneBatch)
-                    .expect("server");
+                let _ = triplet_server(
+                    ch,
+                    &mut kk,
+                    &weights,
+                    m,
+                    n,
+                    1,
+                    &s1,
+                    ring,
+                    TripletMode::OneBatch,
+                )
+                .expect("server");
             },
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(32);
                 let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
                 let r = Matrix::random(n, 1, &ring, &mut rng);
-                let _ = triplet_client(ch, &mut kk, &r, m, &s2, ring, TripletMode::OneBatch, &mut rng)
-                    .expect("client");
+                let _ =
+                    triplet_client(ch, &mut kk, &r, m, &s2, ring, TripletMode::OneBatch, &mut rng)
+                        .expect("client");
             },
         );
         println!(

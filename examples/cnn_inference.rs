@@ -21,12 +21,7 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let scheme = FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]);
     let (lo, hi) = scheme.weight_range();
-    let config = QuantConfig {
-        ring: Ring::new(32),
-        frac_bits: 8,
-        weight_frac_bits: 4,
-        scheme,
-    };
+    let config = QuantConfig { ring: Ring::new(32), frac_bits: 8, weight_frac_bits: 4, scheme };
 
     let in_shape = ConvShape { channels: 1, height: 12, width: 12 };
     let conv = QuantizedConv {
@@ -50,9 +45,8 @@ fn main() {
 
     // A fixed-point "image" in [0, 1).
     let codec = FixedPoint::new(cnn.config.ring, cnn.config.frac_bits);
-    let image: Vec<u64> = (0..in_shape.len())
-        .map(|i| codec.encode((i as f64 * 0.37).fract()))
-        .collect();
+    let image: Vec<u64> =
+        (0..in_shape.len()).map(|i| codec.encode((i as f64 * 0.37).fract())).collect();
     let expect = cnn.forward_exact(&image);
 
     for threads in [1usize, 4] {

@@ -34,14 +34,10 @@ fn main() {
 
     let sample = data.test[0].clone();
     for (name, scheme, fw) in schemes {
-        let config = QuantConfig {
-            ring: Ring::new(32),
-            frac_bits: 8,
-            weight_frac_bits: fw,
-            scheme,
-        };
+        let config =
+            QuantConfig { ring: Ring::new(32), frac_bits: 8, weight_frac_bits: fw, scheme };
         let q = QuantizedNetwork::quantize(&net, config);
-        let acc = q.accuracy(&data.test[..50.min(data.test.len())].to_vec().as_slice());
+        let acc = q.accuracy(&data.test[..50.min(data.test.len())]);
         for (setting, model) in
             [("LAN", NetworkModel::lan()), ("WAN 24.3MB/s 40ms", NetworkModel::wan_quotient())]
         {

@@ -66,5 +66,8 @@ fn main() {
     let secure = &logits[0];
     assert_eq!(plain, *secure, "secure and plaintext logits must be identical");
     let predicted = abnn2::nn::model::argmax(secure);
-    println!("      predicted class {predicted} (true label {}), logits match exactly ✓", sample.label);
+    println!(
+        "      predicted class {predicted} (true label {}), logits match exactly ✓",
+        sample.label
+    );
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, test, formatting, lints. Run from the repo root.
+#
+#   ./scripts/check.sh
+#
+# The container has no network access to crates.io; all dependencies are
+# vendored as stubs under stubs/ (see stubs/README.md), so every cargo
+# invocation runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "All checks passed."

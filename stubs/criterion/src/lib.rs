@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion` covering the subset the bench harness
+//! uses: `Criterion::benchmark_group`/`bench_function`, `Bencher::iter`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Each benchmark runs the closure for a short fixed wall-clock budget and
+//! prints mean ns/iter (plus MiB/s or Melem/s when a throughput is set).
+//! There is no statistical analysis, warm-up scheduling, or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark. Kept short: these benches exist to
+/// exercise the code paths and give a rough number, not a rigorous one.
+const TARGET: Duration = Duration::from_millis(50);
+const MAX_ITERS: u64 = 1000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.to_string(), None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &format!("{}/{}", self.name, name),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up call, then measure until budget or cap.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            std::hint::black_box(f());
+            n += 1;
+            if n >= MAX_ITERS || start.elapsed() >= TARGET {
+                break;
+            }
+        }
+        self.iters = n;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<48} (no measurement)");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let secs_per_iter = ns_per_iter / 1e9;
+    let extra = match throughput {
+        Some(Throughput::Bytes(bytes)) | Some(Throughput::BytesDecimal(bytes)) => {
+            format!(
+                "  {:.1} MiB/s",
+                bytes as f64 / (1024.0 * 1024.0) / secs_per_iter
+            )
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.2} Melem/s", n as f64 / 1e6 / secs_per_iter)
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} {ns_per_iter:>12.0} ns/iter{extra}");
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`: marker traits and re-exported no-op derive
+//! macros. The workspace derives `Serialize`/`Deserialize` on config/model
+//! types for forward compatibility but never serializes through them (no
+//! serializer crate is in the tree), so empty traits suffice.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! The workspace only ever *derives* the serde traits — no serializer crate
+//! is in the dependency tree and nothing takes `T: Serialize` bounds — so the
+//! derives expand to nothing. The `serde` attribute namespace is accepted and
+//! ignored so field/container attributes keep compiling.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

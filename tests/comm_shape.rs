@@ -170,8 +170,18 @@ fn wan_simulation_adds_latency() {
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(9);
                 let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
-                triplet_server(ch, &mut kk, &[1, 0, -1, 1], 2, 2, 1, &s, ring, TripletMode::OneBatch)
-                    .expect("server")
+                triplet_server(
+                    ch,
+                    &mut kk,
+                    &[1, 0, -1, 1],
+                    2,
+                    2,
+                    1,
+                    &s,
+                    ring,
+                    TripletMode::OneBatch,
+                )
+                .expect("server")
             },
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(10);

@@ -10,16 +10,17 @@ use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
 use abnn2::nn::{Network, SyntheticMnist};
 use rand::SeedableRng;
 
-fn trained_quantized(scheme: FragmentScheme, fw: u32, ring_bits: u32, seed: u64) -> QuantizedNetwork {
+fn trained_quantized(
+    scheme: FragmentScheme,
+    fw: u32,
+    ring_bits: u32,
+    seed: u64,
+) -> QuantizedNetwork {
     let data = SyntheticMnist::generate(100, 0, seed);
     let mut net = Network::new(&[784, 10, 8, 10], seed);
     net.train_epoch(&data.train, 0.05);
-    let config = QuantConfig {
-        ring: Ring::new(ring_bits),
-        frac_bits: 8,
-        weight_frac_bits: fw,
-        scheme,
-    };
+    let config =
+        QuantConfig { ring: Ring::new(ring_bits), frac_bits: 8, weight_frac_bits: fw, scheme };
     QuantizedNetwork::quantize(&net, config)
 }
 
@@ -29,7 +30,12 @@ fn inputs_fp(q: &QuantizedNetwork, batch: usize, seed: u64) -> Vec<Vec<u64>> {
     data.train.iter().map(|s| codec.encode_vec(&s.pixels)).collect()
 }
 
-fn run_abnn2(q: &QuantizedNetwork, inputs: &[Vec<u64>], variant: ReluVariant, seed: u64) -> Vec<Vec<u64>> {
+fn run_abnn2(
+    q: &QuantizedNetwork,
+    inputs: &[Vec<u64>],
+    variant: ReluVariant,
+    seed: u64,
+) -> Vec<Vec<u64>> {
     let batch = inputs.len();
     let server = SecureServer::new(q.clone()).with_variant(variant);
     let client = SecureClient::new(server.public_info()).with_variant(variant);
@@ -146,10 +152,6 @@ fn logits_track_plaintext_classification() {
         },
     );
     for (k, input) in inputs.iter().enumerate() {
-        assert_eq!(
-            abnn2::nn::model::argmax(&logits[k]),
-            q.predict(input),
-            "sample {k}"
-        );
+        assert_eq!(abnn2::nn::model::argmax(&logits[k]), q.predict(input), "sample {k}");
     }
 }
