@@ -10,6 +10,7 @@
 
 use crate::matmul::{TripletConfig, TripletMode};
 use crate::relu::ReluVariant;
+use std::time::Duration;
 
 /// Validates a worker-thread count.
 ///
@@ -77,6 +78,55 @@ impl ExecConfig {
     }
 }
 
+/// Deadline budget for a resilient session, applied via
+/// [`Transport::set_read_timeout`](abnn2_net::Transport::set_read_timeout)
+/// and
+/// [`Transport::set_phase_budget`](abnn2_net::Transport::set_phase_budget).
+///
+/// `None` anywhere means "unbounded" for that knob. The defaults
+/// ([`SessionDeadlines::default`]) are deliberately unbounded so plain
+/// (non-resilient) runs behave exactly as before; the resilient drivers
+/// default to [`SessionDeadlines::lan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionDeadlines {
+    /// Longest a single `recv` may block waiting for the peer.
+    pub read_timeout: Option<Duration>,
+    /// Budget for the whole offline phase (handshake + base OTs +
+    /// triplets).
+    pub offline_budget: Option<Duration>,
+    /// Budget for the whole online phase.
+    pub online_budget: Option<Duration>,
+}
+
+impl SessionDeadlines {
+    /// No deadlines at all: every operation may block forever.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Generous defaults for a LAN: 10 s per read, 120 s per phase.
+    #[must_use]
+    pub fn lan() -> Self {
+        SessionDeadlines {
+            read_timeout: Some(Duration::from_secs(10)),
+            offline_budget: Some(Duration::from_secs(120)),
+            online_budget: Some(Duration::from_secs(120)),
+        }
+    }
+
+    /// Uniform read timeout with phase budgets at 20× that, handy for
+    /// tests that want everything to fail fast.
+    #[must_use]
+    pub fn uniform(read_timeout: Duration) -> Self {
+        SessionDeadlines {
+            read_timeout: Some(read_timeout),
+            offline_budget: Some(read_timeout * 20),
+            online_budget: Some(read_timeout * 20),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +152,16 @@ mod tests {
     #[should_panic(expected = "thread count must be positive")]
     fn zero_threads_rejected() {
         let _ = ExecConfig::new().with_threads(0);
+    }
+
+    #[test]
+    fn deadline_presets() {
+        assert_eq!(SessionDeadlines::unbounded(), SessionDeadlines::default());
+        assert!(SessionDeadlines::unbounded().read_timeout.is_none());
+        let lan = SessionDeadlines::lan();
+        assert!(lan.read_timeout.unwrap() < lan.offline_budget.unwrap());
+        let u = SessionDeadlines::uniform(Duration::from_millis(100));
+        assert_eq!(u.read_timeout, Some(Duration::from_millis(100)));
+        assert_eq!(u.online_budget, Some(Duration::from_secs(2)));
     }
 }

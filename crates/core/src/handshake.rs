@@ -1,0 +1,376 @@
+//! Versioned session handshake (§3c of DESIGN.md).
+//!
+//! Before any base OT flows, the two parties exchange one fixed-size hello
+//! frame each and agree on every parameter that must match for the
+//! transcript to make sense: protocol version, ring width ℓ, fixed-point
+//! fraction bits, weight-fragmentation scheme, activation variant, batch
+//! size, and a digest of the model architecture. A mismatch that previously
+//! surfaced deep inside the protocol as a garbled-circuit failure — or
+//! worse, as silently wrong logits — now fails at connect time with a typed
+//! [`ProtocolError::Negotiation`] carrying both parties' views.
+//!
+//! The hello frame also carries a 16-byte session-resume token: a client
+//! reconnecting after a mid-protocol failure presents the token of its
+//! checkpointed offline state, and the server answers whether it still
+//! holds the matching checkpoint, so both sides agree on *fresh run* versus
+//! *resume* before spending any cryptography.
+//!
+//! Wire layout (56 bytes, little-endian):
+//!
+//! ```text
+//! magic[4]=b"ABN2" | version[2] | variant[1] | flags[1]
+//! ring_bits[4] | frac_bits[4] | weight_frac_bits[4] | batch[4]
+//! scheme_digest[8] | model_digest[8] | token[16]
+//! ```
+//!
+//! `flags` bit 0 is the resume bit: set by the client to *request*
+//! resumption, set by the server to *accept* it. The digests are the
+//! leading 8 bytes of SHA-256 over a canonical description, so two models
+//! with the same dimensions but different fragmentation cannot be confused.
+//!
+//! The client speaks first (the server cannot know the batch size until the
+//! client announces it); the server replies with its own hello *even when
+//! the parameters mismatch*, so both sides observe the same symmetric
+//! [`ProtocolError::Negotiation`] rather than one of them seeing a bare
+//! `Closed`.
+
+use crate::inference::PublicModelInfo;
+use crate::relu::ReluVariant;
+use crate::ProtocolError;
+use abnn2_crypto::sha256::sha256;
+use abnn2_net::Transport;
+
+/// First four bytes of every hello frame.
+pub const HANDSHAKE_MAGIC: [u8; 4] = *b"ABN2";
+
+/// Version of the wire protocol spoken after the handshake. Bump on any
+/// transcript-incompatible change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Length of the hello frame in bytes.
+pub const HELLO_LEN: usize = 56;
+
+/// Opaque identifier of a resumable offline-phase checkpoint.
+pub type ResumeToken = [u8; 16];
+
+/// Everything that must match between the two parties for the protocol
+/// transcript to be meaningful. Exchanged inside the hello frame and
+/// compared field-for-field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionParams {
+    /// Wire-protocol version ([`PROTOCOL_VERSION`]).
+    pub version: u16,
+    /// Ring width ℓ of ℤ_{2^ℓ}.
+    pub ring_bits: u32,
+    /// Fractional bits of activations.
+    pub frac_bits: u32,
+    /// Fractional bits of weights.
+    pub weight_frac_bits: u32,
+    /// Leading 8 bytes of SHA-256 over the fragment scheme's canonical
+    /// label and weight range.
+    pub scheme_digest: [u8; 8],
+    /// Activation variant (`0` = oblivious, `1` = optimized).
+    pub variant: u8,
+    /// Number of samples per prediction batch.
+    pub batch: u32,
+    /// Leading 8 bytes of SHA-256 over the model architecture (layer
+    /// dimensions plus fixed-point configuration).
+    pub model_digest: [u8; 8],
+}
+
+fn variant_code(variant: ReluVariant) -> u8 {
+    match variant {
+        ReluVariant::Oblivious => 0,
+        ReluVariant::Optimized => 1,
+    }
+}
+
+fn digest8(data: &[u8]) -> [u8; 8] {
+    let full = sha256(data);
+    full[..8].try_into().expect("8 bytes")
+}
+
+impl SessionParams {
+    /// Derives the parameters both parties must agree on from the public
+    /// model description, the chosen activation variant, and the batch
+    /// size.
+    #[must_use]
+    pub fn for_model(info: &PublicModelInfo, variant: ReluVariant, batch: usize) -> Self {
+        let scheme = &info.config.scheme;
+        let (lo, hi) = scheme.weight_range();
+        let scheme_desc = format!("{} [{lo},{hi}]", scheme.label());
+
+        let mut model_desc = String::new();
+        for d in &info.dims {
+            model_desc.push_str(&format!("{d}x"));
+        }
+        model_desc.push_str(&format!(
+            "|ring{}|f{}|fw{}|{}",
+            info.config.ring.bits(),
+            info.config.frac_bits,
+            info.config.weight_frac_bits,
+            scheme_desc,
+        ));
+
+        SessionParams {
+            version: PROTOCOL_VERSION,
+            ring_bits: info.config.ring.bits(),
+            frac_bits: info.config.frac_bits,
+            weight_frac_bits: info.config.weight_frac_bits,
+            scheme_digest: digest8(scheme_desc.as_bytes()),
+            variant: variant_code(variant),
+            batch: batch as u32,
+            model_digest: digest8(model_desc.as_bytes()),
+        }
+    }
+
+    fn encode(&self, flags: u8, token: &ResumeToken) -> [u8; HELLO_LEN] {
+        let mut frame = [0u8; HELLO_LEN];
+        frame[0..4].copy_from_slice(&HANDSHAKE_MAGIC);
+        frame[4..6].copy_from_slice(&self.version.to_le_bytes());
+        frame[6] = self.variant;
+        frame[7] = flags;
+        frame[8..12].copy_from_slice(&self.ring_bits.to_le_bytes());
+        frame[12..16].copy_from_slice(&self.frac_bits.to_le_bytes());
+        frame[16..20].copy_from_slice(&self.weight_frac_bits.to_le_bytes());
+        frame[20..24].copy_from_slice(&self.batch.to_le_bytes());
+        frame[24..32].copy_from_slice(&self.scheme_digest);
+        frame[32..40].copy_from_slice(&self.model_digest);
+        frame[40..56].copy_from_slice(token);
+        frame
+    }
+
+    fn decode(frame: &[u8]) -> Result<(Self, u8, ResumeToken), ProtocolError> {
+        if frame.len() != HELLO_LEN {
+            return Err(ProtocolError::Handshake("hello frame length"));
+        }
+        if frame[0..4] != HANDSHAKE_MAGIC {
+            return Err(ProtocolError::Handshake("bad magic (peer is not ABNN2)"));
+        }
+        let le_u16 =
+            |r: std::ops::Range<usize>| u16::from_le_bytes(frame[r].try_into().expect("2 bytes"));
+        let le_u32 =
+            |r: std::ops::Range<usize>| u32::from_le_bytes(frame[r].try_into().expect("4 bytes"));
+        let params = SessionParams {
+            version: le_u16(4..6),
+            variant: frame[6],
+            ring_bits: le_u32(8..12),
+            frac_bits: le_u32(12..16),
+            weight_frac_bits: le_u32(16..20),
+            batch: le_u32(20..24),
+            scheme_digest: frame[24..32].try_into().expect("8 bytes"),
+            model_digest: frame[32..40].try_into().expect("8 bytes"),
+        };
+        let token: ResumeToken = frame[40..56].try_into().expect("16 bytes");
+        Ok((params, frame[7], token))
+    }
+}
+
+const FLAG_RESUME: u8 = 1;
+
+/// Client side of the handshake: sends our hello (optionally requesting
+/// resumption of the checkpoint identified by `token`), receives the
+/// server's hello, and verifies agreement.
+///
+/// Returns whether the server accepted the resume request (always `false`
+/// when `resume` was not requested).
+///
+/// # Errors
+///
+/// [`ProtocolError::Handshake`] if the reply is not a valid hello frame,
+/// [`ProtocolError::Negotiation`] if the parameters disagree, or a
+/// transport-level error.
+pub fn handshake_client<T: Transport>(
+    ch: &mut T,
+    ours: SessionParams,
+    token: &ResumeToken,
+    resume: bool,
+) -> Result<bool, ProtocolError> {
+    let flags = if resume { FLAG_RESUME } else { 0 };
+    ch.send(&ours.encode(flags, token))?;
+    let reply = ch.recv()?;
+    let (theirs, reply_flags, _token) = SessionParams::decode(&reply)?;
+    if theirs != ours {
+        return Err(ProtocolError::Negotiation { ours, theirs });
+    }
+    Ok(resume && reply_flags & FLAG_RESUME != 0)
+}
+
+/// Server side of the handshake: receives the client hello, derives our
+/// own parameters for the announced batch via `ours_for`, decides on the
+/// resume request via `can_resume`, and replies.
+///
+/// The reply is sent *before* the mismatch check so a disagreeing client
+/// observes the same [`ProtocolError::Negotiation`] we do.
+///
+/// Returns `(batch, client_token, resume_accepted)`.
+///
+/// # Errors
+///
+/// [`ProtocolError::Handshake`] if the hello is not a valid frame,
+/// [`ProtocolError::Negotiation`] if the parameters disagree, or a
+/// transport-level error.
+pub fn handshake_server<T: Transport>(
+    ch: &mut T,
+    ours_for: impl FnOnce(usize) -> SessionParams,
+    can_resume: impl FnOnce(&ResumeToken) -> bool,
+) -> Result<(usize, ResumeToken, bool), ProtocolError> {
+    let hello = ch.recv()?;
+    let (theirs, flags, token) = SessionParams::decode(&hello)?;
+    let batch = theirs.batch as usize;
+    let ours = ours_for(batch);
+    let resume_ok = flags & FLAG_RESUME != 0 && can_resume(&token);
+    let reply_flags = if resume_ok { FLAG_RESUME } else { 0 };
+    ch.send(&ours.encode(reply_flags, &token))?;
+    ch.flush()?;
+    if theirs != ours {
+        return Err(ProtocolError::Negotiation { ours, theirs });
+    }
+    Ok((batch, token, resume_ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_math::{FragmentScheme, Ring};
+    use abnn2_net::{Endpoint, NetworkModel};
+    use abnn2_nn::quant::QuantConfig;
+
+    fn info(dims: &[usize], ring_bits: u32) -> PublicModelInfo {
+        PublicModelInfo {
+            dims: dims.to_vec(),
+            config: QuantConfig {
+                ring: Ring::new(ring_bits),
+                frac_bits: 8,
+                weight_frac_bits: 4,
+                scheme: FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]),
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = SessionParams::for_model(&info(&[784, 16, 10], 32), ReluVariant::Optimized, 3);
+        let token: ResumeToken = [7; 16];
+        let frame = p.encode(FLAG_RESUME, &token);
+        assert_eq!(frame.len(), HELLO_LEN);
+        let (q, flags, t) = SessionParams::decode(&frame).unwrap();
+        assert_eq!(q, p);
+        assert_eq!(flags, FLAG_RESUME);
+        assert_eq!(t, token);
+    }
+
+    #[test]
+    fn digests_distinguish_models_and_schemes() {
+        let base = SessionParams::for_model(&info(&[784, 16, 10], 32), ReluVariant::Oblivious, 1);
+        let other_dims =
+            SessionParams::for_model(&info(&[784, 12, 10], 32), ReluVariant::Oblivious, 1);
+        assert_ne!(base.model_digest, other_dims.model_digest);
+
+        let mut ternary = info(&[784, 16, 10], 32);
+        ternary.config.scheme = FragmentScheme::ternary();
+        let other_scheme = SessionParams::for_model(&ternary, ReluVariant::Oblivious, 1);
+        assert_ne!(base.scheme_digest, other_scheme.scheme_digest);
+    }
+
+    #[test]
+    fn matching_parties_agree_and_resume_flows_through() {
+        let i = info(&[8, 4, 2], 32);
+        let (mut c, mut s) = Endpoint::pair(NetworkModel::instant());
+        let ours = SessionParams::for_model(&i, ReluVariant::Oblivious, 2);
+        let token: ResumeToken = [3; 16];
+
+        let i2 = i.clone();
+        std::thread::scope(|scope| {
+            let server = scope.spawn(move || {
+                handshake_server(
+                    &mut s,
+                    |batch| SessionParams::for_model(&i2, ReluVariant::Oblivious, batch),
+                    |t| *t == [3; 16],
+                )
+            });
+            let accepted = handshake_client(&mut c, ours, &token, true).unwrap();
+            assert!(accepted);
+            let (batch, seen_token, resumed) = server.join().unwrap().unwrap();
+            assert_eq!(batch, 2);
+            assert_eq!(seen_token, token);
+            assert!(resumed);
+        });
+    }
+
+    #[test]
+    fn mismatched_parties_both_see_negotiation() {
+        let client_info = info(&[8, 4, 2], 32);
+        let server_info = info(&[8, 4, 2], 16); // different ring width
+        let (mut c, mut s) = Endpoint::pair(NetworkModel::instant());
+        let ours = SessionParams::for_model(&client_info, ReluVariant::Oblivious, 1);
+
+        std::thread::scope(|scope| {
+            let server = scope.spawn(move || {
+                handshake_server(
+                    &mut s,
+                    |batch| SessionParams::for_model(&server_info, ReluVariant::Oblivious, batch),
+                    |_| false,
+                )
+            });
+            let client_err = handshake_client(&mut c, ours, &[0; 16], false).unwrap_err();
+            let server_err = server.join().unwrap().unwrap_err();
+            match (client_err, server_err) {
+                (
+                    ProtocolError::Negotiation { ours: co, theirs: ct },
+                    ProtocolError::Negotiation { ours: so, theirs: st },
+                ) => {
+                    // Each party's "theirs" is the other's "ours".
+                    assert_eq!(co, st);
+                    assert_eq!(so, ct);
+                    assert_ne!(co.ring_bits, ct.ring_bits);
+                }
+                other => panic!("expected symmetric negotiation errors, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn variant_mismatch_is_negotiation() {
+        let i = info(&[8, 4, 2], 32);
+        let (mut c, mut s) = Endpoint::pair(NetworkModel::instant());
+        let ours = SessionParams::for_model(&i, ReluVariant::Optimized, 1);
+        let i2 = i.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let _ = handshake_server(
+                    &mut s,
+                    |batch| SessionParams::for_model(&i2, ReluVariant::Oblivious, batch),
+                    |_| false,
+                );
+            });
+            let err = handshake_client(&mut c, ours, &[0; 16], false).unwrap_err();
+            assert!(matches!(err, ProtocolError::Negotiation { .. }));
+        });
+    }
+
+    #[test]
+    fn garbage_hello_is_handshake_error() {
+        let (mut c, mut s) = Endpoint::pair(NetworkModel::instant());
+        c.send(b"GET / HTTP/1.1\r\n").unwrap();
+        let err = handshake_server(
+            &mut s,
+            |_| SessionParams::for_model(&info(&[2, 2], 32), ReluVariant::Oblivious, 1),
+            |_| false,
+        )
+        .unwrap_err();
+        assert_eq!(err, ProtocolError::Handshake("hello frame length"));
+
+        // Right length, wrong magic.
+        let mut frame = [0u8; HELLO_LEN];
+        frame[0..4].copy_from_slice(b"HTTP");
+        c.send(&frame).unwrap();
+        let err = handshake_server(
+            &mut s,
+            |_| SessionParams::for_model(&info(&[2, 2], 32), ReluVariant::Oblivious, 1),
+            |_| false,
+        )
+        .unwrap_err();
+        assert_eq!(err, ProtocolError::Handshake("bad magic (peer is not ABNN2)"));
+    }
+}

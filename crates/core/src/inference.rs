@@ -17,6 +17,7 @@
 //! [`QuantizedNetwork::forward_exact`] bit for bit.
 
 use crate::config::ExecConfig;
+use crate::handshake::{handshake_client, handshake_server, SessionParams};
 use crate::matmul::{triplet_client_with, triplet_server_with};
 use crate::relu::{relu_client, relu_server, ReluVariant};
 use crate::session::{ClientSession, ServerSession};
@@ -66,25 +67,47 @@ pub fn layer_share(layer: &QuantizedDense, x: &Matrix, u: &Matrix, ring: Ring) -
 /// Server-side state after the offline phase.
 #[derive(Debug)]
 pub struct ServerOffline {
-    session: ServerSession,
-    us: Vec<Matrix>,
-    batch: usize,
+    pub(crate) session: ServerSession,
+    pub(crate) us: Vec<Matrix>,
+    pub(crate) batch: usize,
+}
+
+impl ServerOffline {
+    /// Reassembles offline state from a fresh session and checkpointed
+    /// triplet shares (the reconnect-and-resume path: triplets survive a
+    /// connection loss, the cheap per-connection session setup does not).
+    pub(crate) fn from_parts(session: ServerSession, us: Vec<Matrix>, batch: usize) -> Self {
+        ServerOffline { session, us, batch }
+    }
 }
 
 /// Client-side state after the offline phase.
 #[derive(Debug)]
 pub struct ClientOffline {
-    session: ClientSession,
-    rs: Vec<Matrix>,
-    vs: Vec<Matrix>,
-    batch: usize,
+    pub(crate) session: ClientSession,
+    pub(crate) rs: Vec<Matrix>,
+    pub(crate) vs: Vec<Matrix>,
+    pub(crate) batch: usize,
+}
+
+impl ClientOffline {
+    /// Reassembles offline state from a fresh session and checkpointed
+    /// randomness/triplet shares (the reconnect-and-resume path).
+    pub(crate) fn from_parts(
+        session: ClientSession,
+        rs: Vec<Matrix>,
+        vs: Vec<Matrix>,
+        batch: usize,
+    ) -> Self {
+        ClientOffline { session, rs, vs, batch }
+    }
 }
 
 /// The model-serving party.
 #[derive(Debug, Clone)]
 pub struct SecureServer {
     net: QuantizedNetwork,
-    exec: ExecConfig,
+    pub(crate) exec: ExecConfig,
 }
 
 impl SecureServer {
@@ -126,8 +149,14 @@ impl SecureServer {
         PublicModelInfo::from(&self.net)
     }
 
-    /// Offline phase: session setup plus per-layer triplet generation for a
-    /// batch of `batch` predictions.
+    /// Offline phase: handshake, session setup, and per-layer triplet
+    /// generation for a batch of `batch` predictions.
+    ///
+    /// The handshake pins down protocol version, ring, fixed-point and
+    /// fragmentation parameters, activation variant, batch size and model
+    /// shape *before* any base OT flows, so a misconfigured pairing fails
+    /// with [`ProtocolError::Negotiation`] at connect time instead of
+    /// garbling mid-protocol.
     ///
     /// # Errors
     ///
@@ -141,6 +170,23 @@ impl SecureServer {
         if batch == 0 {
             return Err(ProtocolError::Dimension("batch must be positive"));
         }
+        // The server derives its parameters for *its own* expected batch:
+        // a client announcing a different batch is a negotiation failure,
+        // not something to silently adopt.
+        let ours = SessionParams::for_model(&self.public_info(), self.exec.variant, batch);
+        handshake_server(ch, |_| ours, |_| false)?;
+        self.offline_after_handshake(ch, batch, rng)
+    }
+
+    /// The post-handshake portion of the offline phase: base-OT session
+    /// setup plus triplet generation. Split out so the resilient driver can
+    /// run its own handshake (with resume tokens) first.
+    pub(crate) fn offline_after_handshake<T: Transport, R: Rng + ?Sized>(
+        &self,
+        ch: &mut T,
+        batch: usize,
+        rng: &mut R,
+    ) -> Result<ServerOffline, ProtocolError> {
         let mut session = ServerSession::setup(ch, rng)?;
         let ring = self.net.config.ring;
         let scheme = &self.net.config.scheme;
@@ -249,8 +295,8 @@ impl SecureServer {
 /// The data-owning party.
 #[derive(Debug, Clone)]
 pub struct SecureClient {
-    info: PublicModelInfo,
-    exec: ExecConfig,
+    pub(crate) info: PublicModelInfo,
+    pub(crate) exec: ExecConfig,
 }
 
 impl SecureClient {
@@ -286,12 +332,20 @@ impl SecureClient {
         self
     }
 
-    /// Offline phase: session setup, choose per-layer randomness `R`, run
-    /// the triplet protocols.
+    /// The public model description this client was built for.
+    #[must_use]
+    pub fn public_info(&self) -> &PublicModelInfo {
+        &self.info
+    }
+
+    /// Offline phase: handshake, session setup, choose per-layer randomness
+    /// `R`, run the triplet protocols.
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError`] on any subprotocol failure.
+    /// Returns [`ProtocolError`] on any subprotocol failure, including
+    /// [`ProtocolError::Negotiation`] when the server's session parameters
+    /// disagree with ours.
     pub fn offline<T: Transport, R: Rng + ?Sized>(
         &self,
         ch: &mut T,
@@ -301,6 +355,19 @@ impl SecureClient {
         if batch == 0 {
             return Err(ProtocolError::Dimension("batch must be positive"));
         }
+        let ours = SessionParams::for_model(&self.info, self.exec.variant, batch);
+        handshake_client(ch, ours, &[0u8; 16], false)?;
+        self.offline_after_handshake(ch, batch, rng)
+    }
+
+    /// The post-handshake portion of the offline phase (see the server
+    /// counterpart for why this is split out).
+    pub(crate) fn offline_after_handshake<T: Transport, R: Rng + ?Sized>(
+        &self,
+        ch: &mut T,
+        batch: usize,
+        rng: &mut R,
+    ) -> Result<ClientOffline, ProtocolError> {
         let mut session = ClientSession::setup(ch, rng)?;
         let ring = self.info.config.ring;
         let scheme = &self.info.config.scheme;

@@ -11,7 +11,13 @@
 //! * [`relu`] — the online activation protocols of §4.2: Algorithm 2 (fully
 //!   oblivious) and the optimized comparison-first ReLU,
 //! * [`inference`] — the end-to-end offline/online pipeline of Fig 2,
-//! * [`complexity`] — the closed-form OT/communication counts of Table 1.
+//! * [`complexity`] — the closed-form OT/communication counts of Table 1,
+//! * [`handshake`] — the versioned session hello exchanged before any base
+//!   OT, turning configuration mismatches into typed
+//!   [`ProtocolError::Negotiation`] errors at connect time,
+//! * [`resilient`] — reconnect-and-resume drivers that checkpoint the
+//!   offline phase and replay the online phase after a connection loss,
+//!   producing logits bit-identical to an uninterrupted run.
 //!
 //! # Quick example
 //!
@@ -29,15 +35,19 @@ pub mod cnn;
 pub mod complexity;
 pub mod config;
 pub mod error;
+pub mod handshake;
 pub mod inference;
 pub mod matmul;
 pub mod relu;
+pub mod resilient;
 pub mod session;
 pub mod sharing;
 
-pub use config::ExecConfig;
+pub use config::{ExecConfig, SessionDeadlines};
 pub use error::ProtocolError;
+pub use handshake::{ResumeToken, SessionParams, PROTOCOL_VERSION};
 pub use inference::{PublicModelInfo, SecureClient, SecureServer};
 pub use matmul::TripletMode;
 pub use relu::ReluVariant;
+pub use resilient::{ResilientClient, ResilientServer, RunReport};
 pub use session::{ClientSession, ServerSession};

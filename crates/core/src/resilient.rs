@@ -1,0 +1,387 @@
+//! Reconnect-and-resume drivers for secure inference.
+//!
+//! The offline phase is by far the expensive part of an ABNN² prediction
+//! (per-layer dot-product triplets via 1-out-of-N OT); the per-connection
+//! session setup (base OTs) and the online phase are cheap. The resilient
+//! drivers exploit that asymmetry: when a connection dies mid-protocol,
+//! they checkpoint the *triplet shares* — plain ring elements with no
+//! connection-bound state — reconnect under a capped-backoff
+//! [`RetryPolicy`], re-run the handshake presenting a session-resume
+//! token, redo only the cheap base-OT setup, and replay the online phase.
+//! Because the online outputs are a deterministic function of the triplets
+//! and the input (GC label randomness never reaches the opened shares),
+//! the resumed run produces logits bit-identical to an uninterrupted one.
+//!
+//! Failure handling is strictly typed: transient errors
+//! ([`ProtocolError::is_retryable`]) trigger reconnection until the policy
+//! is exhausted; fatal ones ([`ProtocolError::Negotiation`],
+//! [`ProtocolError::Malformed`], …) abort immediately. A peer that answers
+//! a resume request with "unknown token" (it lost its checkpoint) is not
+//! an error — the client falls back to a fresh offline phase on the same
+//! connection.
+
+use crate::config::SessionDeadlines;
+use crate::handshake::{handshake_client, handshake_server, ResumeToken, SessionParams};
+use crate::inference::{ClientOffline, SecureClient, SecureServer, ServerOffline};
+use crate::session::{ClientSession, ServerSession};
+use crate::ProtocolError;
+use abnn2_math::Matrix;
+use abnn2_net::{ResilientDriver, RetryPolicy, Transport, TransportError};
+use rand::Rng;
+
+/// Outcome summary of a resilient run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Connection attempts consumed (1 = no failure).
+    pub attempts: u32,
+    /// Whether any attempt resumed from a checkpoint instead of running a
+    /// fresh offline phase.
+    pub resumed: bool,
+}
+
+fn apply_read_timeout<T: Transport>(
+    ch: &mut T,
+    deadlines: &SessionDeadlines,
+) -> Result<(), TransportError> {
+    ch.set_read_timeout(deadlines.read_timeout)
+}
+
+/// Client-side resilient driver: wraps a [`SecureClient`] with
+/// reconnection, deadlines, and offline-phase checkpointing.
+#[derive(Debug, Clone)]
+pub struct ResilientClient {
+    client: SecureClient,
+    policy: RetryPolicy,
+    deadlines: SessionDeadlines,
+}
+
+impl ResilientClient {
+    /// Wraps `client` with the default retry policy and LAN deadlines.
+    #[must_use]
+    pub fn new(client: SecureClient) -> Self {
+        ResilientClient {
+            client,
+            policy: RetryPolicy::default(),
+            deadlines: SessionDeadlines::lan(),
+        }
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the deadline budget.
+    #[must_use]
+    pub fn with_deadlines(mut self, deadlines: SessionDeadlines) -> Self {
+        self.deadlines = deadlines;
+        self
+    }
+
+    /// Runs one batch of predictions over connections minted by `connect`,
+    /// reconnecting and resuming as needed. Returns the raw logits (ring
+    /// elements, `out_dim × batch`) plus a [`RunReport`].
+    ///
+    /// `connect(attempt)` is called once per attempt (0-based) and must
+    /// return a fresh transport to the same server.
+    ///
+    /// # Errors
+    ///
+    /// The first fatal [`ProtocolError`], or the last transient one once
+    /// the retry policy is exhausted.
+    pub fn run_raw<T, C, R>(
+        &self,
+        connect: C,
+        inputs_fp: &[Vec<u64>],
+        rng: &mut R,
+    ) -> Result<(Matrix, RunReport), ProtocolError>
+    where
+        T: Transport,
+        C: FnMut(u32) -> Result<T, TransportError>,
+        R: Rng + ?Sized,
+    {
+        let batch = inputs_fp.len();
+        if batch == 0 {
+            return Err(ProtocolError::Dimension("batch must be positive"));
+        }
+        let ours = SessionParams::for_model(&self.client.info, self.client.exec.variant, batch);
+        let mut token: ResumeToken = [0; 16];
+        rng.fill(&mut token);
+
+        // Checkpoint of a completed offline phase: client randomness R and
+        // triplet shares V per layer. Survives reconnects by construction.
+        let mut checkpoint: Option<(Vec<Matrix>, Vec<Matrix>)> = None;
+        let mut attempts = 0u32;
+        let mut resumed = false;
+
+        let driver = ResilientDriver::new(self.policy);
+        let logits = driver.run(connect, |ch, attempt| -> Result<Matrix, ProtocolError> {
+            attempts = attempt + 1;
+            apply_read_timeout(ch, &self.deadlines)?;
+
+            let want_resume = checkpoint.is_some();
+            let accepted = handshake_client(ch, ours, &token, want_resume)?;
+
+            ch.set_phase_budget(self.deadlines.offline_budget)?;
+            let state = if accepted {
+                resumed = true;
+                let (rs, vs) = checkpoint.clone().expect("resume implies checkpoint");
+                let session = ClientSession::setup(ch, rng)?;
+                ClientOffline::from_parts(session, rs, vs, batch)
+            } else {
+                // Server has no matching checkpoint (fresh run, or it lost
+                // state): drop ours and pay for a full offline phase.
+                checkpoint = None;
+                let state = self.client.offline_after_handshake(ch, batch, rng)?;
+                checkpoint = Some((state.rs.clone(), state.vs.clone()));
+                state
+            };
+
+            ch.set_phase_budget(self.deadlines.online_budget)?;
+            let y = self.client.online_raw(ch, state, inputs_fp, rng)?;
+            ch.set_phase_budget(None)?;
+            Ok(y)
+        })?;
+        Ok((logits, RunReport { attempts, resumed }))
+    }
+}
+
+/// Server-side resilient driver: accepts reconnections for one logical
+/// prediction job, checkpointing its triplet shares between attempts.
+#[derive(Debug)]
+pub struct ResilientServer {
+    server: SecureServer,
+    policy: RetryPolicy,
+    deadlines: SessionDeadlines,
+}
+
+impl ResilientServer {
+    /// Wraps `server` with the default retry policy and LAN deadlines.
+    #[must_use]
+    pub fn new(server: SecureServer) -> Self {
+        ResilientServer {
+            server,
+            policy: RetryPolicy::default(),
+            deadlines: SessionDeadlines::lan(),
+        }
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the deadline budget.
+    #[must_use]
+    pub fn with_deadlines(mut self, deadlines: SessionDeadlines) -> Self {
+        self.deadlines = deadlines;
+        self
+    }
+
+    /// Serves one prediction job to completion across reconnections minted
+    /// by `accept`.
+    ///
+    /// # Errors
+    ///
+    /// The first fatal [`ProtocolError`], or the last transient one once
+    /// the retry policy is exhausted.
+    pub fn serve_one<T, C, R>(&self, accept: C, rng: &mut R) -> Result<RunReport, ProtocolError>
+    where
+        T: Transport,
+        C: FnMut(u32) -> Result<T, TransportError>,
+        R: Rng + ?Sized,
+    {
+        self.serve_one_with(accept, |_ch: &mut T, _attempt| {}, rng)
+    }
+
+    /// [`serve_one`](Self::serve_one) with a hook invoked after the offline
+    /// phase of each attempt, before the online phase begins. Chaos and
+    /// resume tests use the hook to arm transport faults at a protocol
+    /// point that cannot be addressed by a hardcoded message index.
+    ///
+    /// # Errors
+    ///
+    /// The first fatal [`ProtocolError`], or the last transient one once
+    /// the retry policy is exhausted.
+    pub fn serve_one_with<T, C, H, R>(
+        &self,
+        accept: C,
+        mut after_offline: H,
+        rng: &mut R,
+    ) -> Result<RunReport, ProtocolError>
+    where
+        T: Transport,
+        C: FnMut(u32) -> Result<T, TransportError>,
+        H: FnMut(&mut T, u32),
+        R: Rng + ?Sized,
+    {
+        // Checkpoint of a completed offline phase, keyed by the client's
+        // resume token: triplet shares U per layer plus the batch size.
+        let mut checkpoint: Option<(ResumeToken, Vec<Matrix>, usize)> = None;
+        let mut attempts = 0u32;
+        let mut resumed = false;
+
+        let driver = ResilientDriver::new(self.policy);
+        driver.run(accept, |ch, attempt| -> Result<(), ProtocolError> {
+            attempts = attempt + 1;
+            apply_read_timeout(ch, &self.deadlines)?;
+
+            let info = self.server.public_info();
+            let (batch, token, resume_ok) = handshake_server(
+                ch,
+                // Adopt the client's announced batch: the server side of a
+                // prediction service has no a-priori batch expectation.
+                |b| SessionParams::for_model(&info, self.server.exec.variant, b),
+                |t| checkpoint.as_ref().is_some_and(|(ct, _, _)| ct == t),
+            )?;
+
+            ch.set_phase_budget(self.deadlines.offline_budget)?;
+            let state = if resume_ok {
+                resumed = true;
+                let (_, us, ck_batch) = checkpoint.as_ref().expect("resume implies checkpoint");
+                let session = ServerSession::setup(ch, rng)?;
+                ServerOffline::from_parts(session, us.clone(), *ck_batch)
+            } else {
+                checkpoint = None;
+                let state = self.server.offline_after_handshake(ch, batch, rng)?;
+                checkpoint = Some((token, state.us.clone(), batch));
+                state
+            };
+
+            after_offline(ch, attempt);
+
+            ch.set_phase_budget(self.deadlines.online_budget)?;
+            self.server.online(ch, state)?;
+            ch.set_phase_budget(None)?;
+            Ok(())
+        })?;
+        Ok(RunReport { attempts, resumed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_math::{FragmentScheme, Ring};
+    use abnn2_net::{sim_link, Fault, FaultyTransport, NetworkModel};
+    use abnn2_nn::quant::{QuantConfig, QuantizedNetwork};
+    use abnn2_nn::{Network, SyntheticMnist};
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    fn tiny_model(seed: u64) -> QuantizedNetwork {
+        let data = SyntheticMnist::generate(40, 0, seed);
+        let mut net = Network::new(&[784, 6, 4, 10], seed);
+        net.train_epoch(&data.train, 0.05);
+        let config = QuantConfig {
+            ring: Ring::new(32),
+            frac_bits: 8,
+            weight_frac_bits: 4,
+            scheme: FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]),
+        };
+        QuantizedNetwork::quantize(&net, config)
+    }
+
+    fn sample_inputs(q: &QuantizedNetwork, batch: usize, seed: u64) -> Vec<Vec<u64>> {
+        let data = SyntheticMnist::generate(batch, 0, seed);
+        let codec = q.config.activation_codec();
+        data.train.iter().take(batch).map(|s| codec.encode_vec(&s.pixels)).collect()
+    }
+
+    fn fast_deadlines() -> SessionDeadlines {
+        SessionDeadlines::uniform(Duration::from_secs(2))
+    }
+
+    #[test]
+    fn no_failure_single_attempt() {
+        let q = tiny_model(90);
+        let inputs = sample_inputs(&q, 1, 91);
+        let expected = q.forward_exact(&inputs[0]);
+
+        let (dialer, listener) = sim_link(NetworkModel::instant());
+        let server = ResilientServer::new(SecureServer::new(q))
+            .with_policy(RetryPolicy::no_delay(2))
+            .with_deadlines(fast_deadlines());
+        let client = ResilientClient::new(SecureClient::new(server.server.public_info()))
+            .with_policy(RetryPolicy::no_delay(2))
+            .with_deadlines(fast_deadlines());
+
+        std::thread::scope(|scope| {
+            let srv = scope.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(92);
+                server.serve_one(|_| listener.accept_timeout(Duration::from_secs(5)), &mut rng)
+            });
+            let mut rng = rand::rngs::StdRng::seed_from_u64(93);
+            let (y, report) = client.run_raw(|_| dialer.dial(), &inputs, &mut rng).unwrap();
+            assert_eq!(y.col(0), expected);
+            assert_eq!(report, RunReport { attempts: 1, resumed: false });
+            let srv_report = srv.join().unwrap().unwrap();
+            assert_eq!(srv_report, RunReport { attempts: 1, resumed: false });
+        });
+    }
+
+    #[test]
+    fn mid_online_cut_resumes_with_identical_logits() {
+        let q = tiny_model(94);
+        let inputs = sample_inputs(&q, 2, 95);
+        let expected: Vec<Vec<u64>> = inputs.iter().map(|x| q.forward_exact(x)).collect();
+
+        let (dialer, listener) = sim_link(NetworkModel::instant());
+        let server = ResilientServer::new(SecureServer::new(q))
+            .with_policy(RetryPolicy::no_delay(3))
+            .with_deadlines(fast_deadlines());
+        let client = ResilientClient::new(SecureClient::new(server.server.public_info()))
+            .with_policy(RetryPolicy::no_delay(3))
+            .with_deadlines(fast_deadlines());
+
+        std::thread::scope(|scope| {
+            let srv = scope.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(96);
+                server.serve_one_with(
+                    |_| {
+                        listener
+                            .accept_timeout(Duration::from_secs(5))
+                            .map(|ep| FaultyTransport::new(ep, Fault::None))
+                    },
+                    |ch, attempt| {
+                        if attempt == 0 {
+                            // Cut the connection two messages into the
+                            // online phase of the first attempt only.
+                            ch.set_fault(Fault::CutAfterMessages(ch.sends() + 2));
+                        }
+                    },
+                    &mut rng,
+                )
+            });
+            let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+            let (y, report) = client.run_raw(|_| dialer.dial(), &inputs, &mut rng).unwrap();
+            for (k, exp) in expected.iter().enumerate() {
+                assert_eq!(&y.col(k), exp, "sample {k} must match forward_exact after resume");
+            }
+            assert!(report.attempts >= 2, "client must have reconnected");
+            assert!(report.resumed, "client must have resumed from checkpoint");
+            let srv_report = srv.join().unwrap().unwrap();
+            assert!(srv_report.resumed, "server must have accepted the resume token");
+        });
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_reports_last_error() {
+        let q = tiny_model(98);
+        let inputs = sample_inputs(&q, 1, 99);
+        let client =
+            ResilientClient::new(SecureClient::new(crate::inference::PublicModelInfo::from(&q)))
+                .with_policy(RetryPolicy::no_delay(2))
+                .with_deadlines(fast_deadlines());
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+        let err = client
+            .run_raw(|_| Err::<abnn2_net::Endpoint, _>(TransportError::Closed), &inputs, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::Channel);
+    }
+}

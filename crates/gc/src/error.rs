@@ -8,16 +8,33 @@ use abnn2_ot::OtError;
 pub enum GcError {
     /// The peer disconnected.
     Channel,
+    /// The peer went silent past the configured transport deadline.
+    TimedOut,
     /// The embedded oblivious transfer failed.
     Ot(OtError),
     /// A received message had an unexpected length or structure.
     Malformed(&'static str),
 }
 
+impl GcError {
+    /// Whether reconnecting and retrying could plausibly clear the error.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            GcError::Channel | GcError::TimedOut => true,
+            GcError::Ot(e) => e.is_retryable(),
+            GcError::Malformed(_) => false,
+        }
+    }
+}
+
 impl std::fmt::Display for GcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GcError::Channel => write!(f, "peer disconnected during garbled-circuit protocol"),
+            GcError::TimedOut => {
+                write!(f, "peer silent past deadline during garbled-circuit protocol")
+            }
             GcError::Ot(e) => write!(f, "oblivious transfer failed: {e}"),
             GcError::Malformed(what) => write!(f, "malformed garbled-circuit message: {what}"),
         }
@@ -37,6 +54,7 @@ impl From<TransportError> for GcError {
     fn from(e: TransportError) -> Self {
         match e {
             TransportError::Closed => GcError::Channel,
+            TransportError::TimedOut => GcError::TimedOut,
             TransportError::Malformed(what) => GcError::Malformed(what),
         }
     }
@@ -62,5 +80,16 @@ mod tests {
         assert!(matches!(e, GcError::Ot(_)));
         assert!(e.to_string().contains("oblivious transfer"));
         assert!(std::error::Error::source(&e).is_some());
+        let e: GcError = TransportError::TimedOut.into();
+        assert_eq!(e, GcError::TimedOut);
+    }
+
+    #[test]
+    fn retryability_tracks_transience() {
+        assert!(GcError::Channel.is_retryable());
+        assert!(GcError::TimedOut.is_retryable());
+        assert!(GcError::Ot(OtError::TimedOut).is_retryable());
+        assert!(!GcError::Ot(OtError::InvalidPoint).is_retryable());
+        assert!(!GcError::Malformed("x").is_retryable());
     }
 }

@@ -62,6 +62,14 @@ pub struct Endpoint {
     bytes_sent: u64,
     bytes_received: u64,
     messages_sent: u64,
+    /// Real-time bound on a single blocking `recv` (a silent in-process
+    /// peer is silent on the wall clock too).
+    read_timeout: Option<Duration>,
+    /// Virtual-clock deadline of the current phase budget: once `vtime`
+    /// passes it, operations fail with `TimedOut`. This is the simulated
+    /// equivalent of the TCP transport's wall-clock budget — a phase that
+    /// would overrun its budget on the modelled network times out here too.
+    vdeadline: Option<f64>,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -89,6 +97,8 @@ impl Endpoint {
             bytes_sent: 0,
             bytes_received: 0,
             messages_sent: 0,
+            read_timeout: None,
+            vdeadline: None,
         };
         (mk(tx_ab, rx_ba), mk(tx_ba, rx_ab))
     }
@@ -107,12 +117,20 @@ impl Endpoint {
     /// Returns [`TransportError::Closed`] if the peer endpoint was dropped.
     pub fn send_owned(&mut self, payload: Vec<u8>) -> Result<(), TransportError> {
         self.absorb_compute();
+        if self.budget_spent() {
+            return Err(TransportError::TimedOut);
+        }
         self.vtime += self.model.transfer_secs(payload.len());
         self.bytes_sent += payload.len() as u64;
         self.messages_sent += 1;
         self.tx
             .send(Packet { payload, depart_vtime: self.vtime })
             .map_err(|_| TransportError::Closed)
+    }
+
+    /// Whether the virtual-clock phase budget has been exhausted.
+    fn budget_spent(&self) -> bool {
+        self.vdeadline.is_some_and(|dl| self.vtime > dl)
     }
 
     /// Sends a byte message to the peer.
@@ -130,11 +148,25 @@ impl Endpoint {
     ///
     /// Returns [`TransportError::Closed`] if the peer endpoint was dropped.
     pub fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
-        let pkt = self.rx.recv().map_err(|_| TransportError::Closed)?;
+        if self.budget_spent() {
+            return Err(TransportError::TimedOut);
+        }
+        let pkt = match self.read_timeout {
+            None => self.rx.recv().map_err(|_| TransportError::Closed)?,
+            Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
+                crossbeam::channel::RecvTimeoutError::Timeout => TransportError::TimedOut,
+                crossbeam::channel::RecvTimeoutError::Disconnected => TransportError::Closed,
+            })?,
+        };
         self.absorb_compute();
         let arrival = pkt.depart_vtime + self.model.one_way_latency().as_secs_f64();
         self.vtime = self.vtime.max(arrival);
         self.bytes_received += pkt.payload.len() as u64;
+        if self.budget_spent() {
+            // The message arrived, but only after the phase's virtual-time
+            // budget ran out: on the modelled network this phase overran.
+            return Err(TransportError::TimedOut);
+        }
         Ok(pkt.payload)
     }
 
@@ -232,6 +264,16 @@ impl Transport for Endpoint {
         Endpoint::snapshot(self)
     }
 
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    fn set_phase_budget(&mut self, budget: Option<Duration>) -> Result<(), TransportError> {
+        self.vdeadline = budget.map(|b| self.vtime + b.as_secs_f64());
+        Ok(())
+    }
+
     fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), TransportError> {
         Endpoint::send_blocks(self, blocks)
     }
@@ -239,6 +281,68 @@ impl Transport for Endpoint {
     fn recv_blocks(&mut self) -> Result<Vec<Block>, TransportError> {
         Endpoint::recv_blocks(self)
     }
+}
+
+/// The dialing side of a simulated reconnectable link: every
+/// [`dial`](SimDialer::dial) mints a fresh [`Endpoint`] pair and hands the
+/// peer half to the matching [`SimListener`] — the in-process analogue of
+/// `TcpTransport::connect` against a listening socket, used to exercise
+/// reconnect-and-resume logic without real sockets.
+#[derive(Debug)]
+pub struct SimDialer {
+    tx: Sender<Endpoint>,
+    model: NetworkModel,
+}
+
+impl SimDialer {
+    /// Establishes a fresh connection to the listener.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] if the listener is gone.
+    pub fn dial(&self) -> Result<Endpoint, TransportError> {
+        let (ours, theirs) = Endpoint::pair(self.model);
+        self.tx.send(theirs).map_err(|_| TransportError::Closed)?;
+        Ok(ours)
+    }
+}
+
+/// The accepting side of a simulated reconnectable link.
+#[derive(Debug)]
+pub struct SimListener {
+    rx: Receiver<Endpoint>,
+}
+
+impl SimListener {
+    /// Blocks until the dialer connects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] if the dialer is gone.
+    pub fn accept(&self) -> Result<Endpoint, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Closed)
+    }
+
+    /// Blocks until the dialer connects, or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] if the dialer is gone, or
+    /// [`TransportError::TimedOut`] if nothing dialed in time.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Endpoint, TransportError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => TransportError::TimedOut,
+            crossbeam::channel::RecvTimeoutError::Disconnected => TransportError::Closed,
+        })
+    }
+}
+
+/// Creates a simulated reconnectable link: a dialer/listener pair whose
+/// connections are fresh [`Endpoint`] pairs under `model`.
+#[must_use]
+pub fn sim_link(model: NetworkModel) -> (SimDialer, SimListener) {
+    let (tx, rx) = unbounded();
+    (SimDialer { tx, model }, SimListener { rx })
 }
 
 #[cfg(test)]

@@ -113,6 +113,14 @@ impl<T: Transport> Transport for InstrumentedTransport<T> {
         self.inner.flush()
     }
 
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        self.inner.set_read_timeout(timeout)
+    }
+
+    fn set_phase_budget(&mut self, budget: Option<Duration>) -> Result<(), TransportError> {
+        self.inner.set_phase_budget(budget)
+    }
+
     fn snapshot(&self) -> CommSnapshot {
         self.inner.snapshot()
     }

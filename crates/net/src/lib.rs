@@ -14,15 +14,27 @@
 //!   link does,
 //! * [`TcpTransport`] — a real socket with length-prefixed framing and a
 //!   write-coalescing buffer, for genuine two-process runs,
-//! * [`FaultyTransport`] — a decorator that cuts/truncates/corrupts traffic
-//!   for robustness testing,
+//! * [`FaultyTransport`] — a decorator that cuts/truncates/corrupts/delays
+//!   traffic in either direction under a composable, seedable [`FaultPlan`],
+//!   the engine of the chaos test harness,
 //! * [`InstrumentedTransport`] — a decorator attributing traffic to named
 //!   protocol phases over any inner transport,
 //! * [`NetworkModel`] — latency/bandwidth profiles ([`NetworkModel::lan`],
 //!   [`NetworkModel::wan_secureml`], [`NetworkModel::wan_quotient`]) for the
 //!   simulated endpoint,
 //! * [`run_pair`] — spawns the two protocol parties on threads over an
-//!   [`Endpoint`] pair and collects a [`TrafficReport`].
+//!   [`Endpoint`] pair and collects a [`TrafficReport`],
+//! * [`sim_link`] — a dialer/listener factory minting fresh [`Endpoint`]
+//!   pairs, so reconnect-and-resume flows can be exercised in-process,
+//! * [`ResilientDriver`] — connect → run → reconnect cycles under a
+//!   [`RetryPolicy`] (capped exponential backoff with deterministic jitter)
+//!   for any error type implementing [`Retryable`].
+//!
+//! Deadlines are first-class: [`Transport::set_read_timeout`] bounds how
+//! long a single `recv` may block, and [`Transport::set_phase_budget`]
+//! bounds a whole protocol phase; both surface as
+//! [`TransportError::TimedOut`], on the wall clock for TCP and on the
+//! virtual clock for the simulator.
 //!
 //! Byte accounting is defined at the application framing layer for every
 //! transport, so a protocol moves exactly the same counted bytes over the
@@ -51,10 +63,10 @@ pub mod runner;
 pub mod tcp;
 pub mod transport;
 
-pub use channel::{CommSnapshot, Endpoint};
-pub use fault::{Fault, FaultyTransport};
+pub use channel::{sim_link, CommSnapshot, Endpoint, SimDialer, SimListener};
+pub use fault::{Fault, FaultPlan, FaultyTransport};
 pub use instrument::{InstrumentedTransport, PhaseStats};
 pub use model::NetworkModel;
-pub use runner::{run_pair, TrafficReport};
+pub use runner::{run_pair, ResilientDriver, RetryPolicy, Retryable, TrafficReport};
 pub use tcp::TcpTransport;
 pub use transport::{Transport, TransportError};

@@ -27,9 +27,9 @@
 use crate::channel::CommSnapshot;
 use crate::transport::{Transport, TransportError};
 use abnn2_crypto::Block;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Upper bound on a single frame's payload, checked on receive.
 pub const MAX_FRAME_LEN: usize = 1 << 30;
@@ -39,6 +39,22 @@ const FLUSH_THRESHOLD: usize = 1 << 16;
 
 /// [`Transport`] over a real TCP stream. See the module docs for framing,
 /// coalescing, and accounting semantics.
+///
+/// ## Deadlines
+///
+/// [`set_read_timeout`](Transport::set_read_timeout) bounds each blocking
+/// read via `SO_RCVTIMEO`; [`set_phase_budget`](Transport::set_phase_budget)
+/// starts a wall-clock budget covering every subsequent operation. Both
+/// surface as [`TransportError::TimedOut`], so a silent-but-connected peer
+/// is distinguishable from a dead one (`Closed`).
+///
+/// ## Error stickiness
+///
+/// Once the connection fails (`Closed`, or a timeout that interrupted a
+/// frame mid-read, after which the framing boundary is lost), the error is
+/// latched and every subsequent operation reports it. This also surfaces
+/// write/flush failures that would otherwise only be observable — and
+/// silently swallowed — during drop.
 pub struct TcpTransport {
     stream: TcpStream,
     /// Pending framed bytes not yet written to the socket.
@@ -49,6 +65,15 @@ pub struct TcpTransport {
     bytes_received: u64,
     messages_sent: u64,
     created: Instant,
+    /// Per-read timeout requested via `set_read_timeout`.
+    read_timeout: Option<Duration>,
+    /// Wall-clock deadline of the current phase budget, if any.
+    phase_deadline: Option<Instant>,
+    /// `SO_RCVTIMEO` currently applied to the socket (avoids a syscall per
+    /// read when the effective timeout has not changed).
+    applied_timeout: Option<Duration>,
+    /// First fatal error observed; latched and re-reported thereafter.
+    sticky: Option<TransportError>,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -80,6 +105,10 @@ impl TcpTransport {
             bytes_received: 0,
             messages_sent: 0,
             created: Instant::now(),
+            read_timeout: None,
+            phase_deadline: None,
+            applied_timeout: None,
+            sticky: None,
         })
     }
 
@@ -114,14 +143,30 @@ impl TcpTransport {
         self.stream.local_addr().map_err(|_| TransportError::Closed)
     }
 
-    fn write_all(&mut self, start: usize) -> Result<(), TransportError> {
-        self.stream.write_all(&self.wbuf[start..]).map_err(|_| TransportError::Closed)
+    /// Latches `err` as the connection's terminal state and returns it.
+    fn fail(&mut self, err: TransportError) -> TransportError {
+        if self.sticky.is_none() {
+            self.sticky = Some(err);
+        }
+        err
+    }
+
+    /// Re-reports a previously latched failure, if any.
+    fn check_sticky(&self) -> Result<(), TransportError> {
+        match self.sticky {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Appends one framed message to the write buffer, flushing if the
     /// buffer has grown past the threshold.
     fn enqueue_frame(&mut self, payload: &[u8]) -> Result<(), TransportError> {
         debug_assert!(payload.len() <= MAX_FRAME_LEN, "oversized frame");
+        self.check_sticky()?;
+        if self.phase_expired() {
+            return Err(self.fail(TransportError::TimedOut));
+        }
         self.wbuf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.wbuf.extend_from_slice(payload);
         self.bytes_sent += payload.len() as u64;
@@ -133,17 +178,77 @@ impl TcpTransport {
     }
 
     fn flush_wbuf(&mut self) -> Result<(), TransportError> {
+        self.check_sticky()?;
         if !self.wbuf.is_empty() {
-            self.write_all(0)?;
-            self.wbuf.clear();
+            match self.stream.write_all(&self.wbuf) {
+                Ok(()) => self.wbuf.clear(),
+                Err(e) => {
+                    let err = if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                        TransportError::TimedOut
+                    } else {
+                        TransportError::Closed
+                    };
+                    return Err(self.fail(err));
+                }
+            }
         }
         Ok(())
     }
 
-    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), TransportError> {
-        // Orderly EOF, reset, and every other read failure all mean the peer
-        // is unreachable; framing violations are caught by the length check.
-        self.stream.read_exact(buf).map_err(|_| TransportError::Closed)
+    /// Whether the phase deadline budget has been exhausted.
+    fn phase_expired(&self) -> bool {
+        self.phase_deadline.is_some_and(|dl| Instant::now() >= dl)
+    }
+
+    /// Applies the effective `SO_RCVTIMEO` for the next read: the tighter of
+    /// the per-read timeout and the remaining phase budget. Fails with
+    /// `TimedOut` if the budget is already spent.
+    fn apply_read_deadline(&mut self) -> Result<(), TransportError> {
+        let mut effective = self.read_timeout;
+        if let Some(dl) = self.phase_deadline {
+            let Some(remaining) =
+                dl.checked_duration_since(Instant::now()).filter(|r| !r.is_zero())
+            else {
+                return Err(TransportError::TimedOut);
+            };
+            effective = Some(effective.map_or(remaining, |t| t.min(remaining)));
+        }
+        if effective != self.applied_timeout {
+            self.stream.set_read_timeout(effective).map_err(|_| TransportError::Closed)?;
+            self.applied_timeout = effective;
+        }
+        Ok(())
+    }
+
+    /// Fills `buf` completely, looping on short reads: a frame header or
+    /// payload split across TCP segments is reassembled rather than
+    /// misreported. EOF mid-frame is `Closed`; a deadline expiry is
+    /// `TimedOut`. A timeout that strikes *mid-frame* (after some bytes of
+    /// the frame arrived) loses the framing boundary, so it is latched as
+    /// sticky; a timeout at a frame boundary leaves the connection usable.
+    fn read_full(&mut self, buf: &mut [u8], mid_frame: bool) -> Result<(), TransportError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            if let Err(e) = self.apply_read_deadline() {
+                if mid_frame || filled > 0 {
+                    return Err(self.fail(e));
+                }
+                return Err(e);
+            }
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => return Err(self.fail(TransportError::Closed)),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if mid_frame || filled > 0 {
+                        return Err(self.fail(TransportError::TimedOut));
+                    }
+                    return Err(TransportError::TimedOut);
+                }
+                Err(_) => return Err(self.fail(TransportError::Closed)),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -156,20 +261,33 @@ impl Transport for TcpTransport {
         // Push our pending requests out before blocking on the peer's reply.
         self.flush_wbuf()?;
         let mut len_bytes = [0u8; 4];
-        self.read_exact(&mut len_bytes)?;
+        self.read_full(&mut len_bytes, false)?;
         let len = u32::from_le_bytes(len_bytes) as usize;
         if len > MAX_FRAME_LEN {
             return Err(TransportError::Malformed("frame length exceeds maximum"));
         }
         let mut payload = vec![0u8; len];
-        self.read_exact(&mut payload)?;
+        self.read_full(&mut payload, true)?;
         self.bytes_received += len as u64;
         Ok(payload)
     }
 
     fn flush(&mut self) -> Result<(), TransportError> {
         self.flush_wbuf()?;
-        self.stream.flush().map_err(|_| TransportError::Closed)
+        match self.stream.flush() {
+            Ok(()) => Ok(()),
+            Err(_) => Err(self.fail(TransportError::Closed)),
+        }
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    fn set_phase_budget(&mut self, budget: Option<Duration>) -> Result<(), TransportError> {
+        self.phase_deadline = budget.map(|b| Instant::now() + b);
+        Ok(())
     }
 
     fn snapshot(&self) -> CommSnapshot {
@@ -198,8 +316,11 @@ impl Transport for TcpTransport {
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        // Best-effort: deliver anything still coalescing so the peer's
-        // in-flight recv sees the data before the FIN.
+        // Best-effort and guaranteed non-panicking: deliver anything still
+        // coalescing so the peer's in-flight recv sees the data before the
+        // FIN. A failure here is already latched as sticky (and was thus
+        // observable on the explicit send/recv/flush paths); there is no one
+        // left to report to during drop.
         let _ = self.flush_wbuf();
         let _ = self.stream.flush();
     }
@@ -277,5 +398,85 @@ mod tests {
         raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
         raw.flush().unwrap();
         assert_eq!(c.recv(), Err(TransportError::Malformed("frame length exceeds maximum")));
+    }
+
+    /// A frame whose header and payload arrive in four separate TCP
+    /// segments must be reassembled, not misreported as malformed.
+    #[test]
+    fn frame_split_across_segments_is_reassembled() {
+        let (s, mut c) = tcp_pair();
+        let mut raw = s.stream.try_clone().expect("clone");
+        drop(s);
+        let writer = thread::spawn(move || {
+            let frame: Vec<u8> = 6u32.to_le_bytes().iter().copied().chain(*b"abcdef").collect();
+            for chunk in frame.chunks(3) {
+                raw.write_all(chunk).unwrap();
+                raw.flush().unwrap();
+                thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        assert_eq!(c.recv().unwrap(), b"abcdef");
+        writer.join().unwrap();
+    }
+
+    /// EOF in the middle of a frame is a vanished peer (`Closed`), not a
+    /// framing violation (`Malformed`).
+    #[test]
+    fn eof_mid_frame_is_closed() {
+        let (s, mut c) = tcp_pair();
+        let mut raw = s.stream.try_clone().expect("clone");
+        drop(s);
+        raw.write_all(&10u32.to_le_bytes()).unwrap();
+        raw.write_all(b"abc").unwrap();
+        raw.flush().unwrap();
+        drop(raw);
+        assert_eq!(c.recv(), Err(TransportError::Closed));
+    }
+
+    /// A read timeout at a frame boundary is `TimedOut` and leaves the
+    /// connection usable once the peer speaks again.
+    #[test]
+    fn silent_peer_times_out_then_recovers() {
+        let (mut s, mut c) = tcp_pair();
+        c.set_read_timeout(Some(std::time::Duration::from_millis(40))).unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(c.recv(), Err(TransportError::TimedOut));
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+        s.send(b"late").unwrap();
+        s.flush().unwrap();
+        assert_eq!(c.recv().unwrap(), b"late");
+    }
+
+    /// A timeout that interrupts a frame mid-read loses the framing
+    /// boundary: the error is latched and every later operation reports it.
+    #[test]
+    fn mid_frame_timeout_is_sticky() {
+        let (s, mut c) = tcp_pair();
+        let raw = s.stream.try_clone().expect("clone");
+        drop(s);
+        let mut raw = raw;
+        raw.write_all(&8u32.to_le_bytes()).unwrap();
+        raw.write_all(b"abc").unwrap();
+        raw.flush().unwrap();
+        c.set_read_timeout(Some(std::time::Duration::from_millis(40))).unwrap();
+        assert_eq!(c.recv(), Err(TransportError::TimedOut));
+        // Even after the rest arrives, the boundary is gone: still failed.
+        raw.write_all(b"defgh").unwrap();
+        raw.flush().unwrap();
+        assert_eq!(c.recv(), Err(TransportError::TimedOut));
+        assert_eq!(c.send(b"x"), Err(TransportError::TimedOut));
+    }
+
+    /// An exhausted phase budget fails sends and receives with `TimedOut`
+    /// even when no per-read timeout is configured.
+    #[test]
+    fn phase_budget_exhaustion_times_out() {
+        let (_s, mut c) = tcp_pair();
+        c.set_phase_budget(Some(std::time::Duration::from_millis(30))).unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(c.recv(), Err(TransportError::TimedOut));
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+        thread::sleep(std::time::Duration::from_millis(35));
+        assert_eq!(c.send(b"x"), Err(TransportError::TimedOut));
     }
 }

@@ -15,14 +15,17 @@
 
 use crate::channel::CommSnapshot;
 use abnn2_crypto::Block;
+use std::time::Duration;
 
 /// Transport-level failure, split by root cause so protocol layers can
 /// surface the *right* error: a vanished peer ([`Closed`]) versus a peer (or
 /// a corrupted link) that delivered bytes violating the framing contract
-/// ([`Malformed`]).
+/// ([`Malformed`]) versus a peer that is *silent* past the configured
+/// deadline ([`TimedOut`]).
 ///
 /// [`Closed`]: TransportError::Closed
 /// [`Malformed`]: TransportError::Malformed
+/// [`TimedOut`]: TransportError::TimedOut
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportError {
     /// The peer disconnected (or the underlying connection was lost).
@@ -30,6 +33,20 @@ pub enum TransportError {
     /// A message arrived but its contents violate the framing contract
     /// (wrong length, oversized frame, ...). The payload names the check.
     Malformed(&'static str),
+    /// No message arrived within the configured read timeout, or the
+    /// phase deadline budget was exhausted. The connection may still be
+    /// alive: a silent peer is distinguishable from a dead one.
+    TimedOut,
+}
+
+impl TransportError {
+    /// Whether reconnecting and retrying could plausibly clear the error.
+    /// `Closed` and `TimedOut` are transient link conditions; `Malformed`
+    /// indicates a protocol bug or a hostile peer and is fatal.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, TransportError::Closed | TransportError::TimedOut)
+    }
 }
 
 impl std::fmt::Display for TransportError {
@@ -37,6 +54,7 @@ impl std::fmt::Display for TransportError {
         match self {
             TransportError::Closed => write!(f, "peer transport closed"),
             TransportError::Malformed(what) => write!(f, "malformed message: {what}"),
+            TransportError::TimedOut => write!(f, "peer silent past deadline"),
         }
     }
 }
@@ -100,6 +118,42 @@ pub trait Transport {
 
     /// Current cumulative communication statistics (application-layer bytes).
     fn snapshot(&self) -> CommSnapshot;
+
+    /// Bounds how long a single [`recv`](Transport::recv) may block before
+    /// failing with [`TransportError::TimedOut`]. `None` (the default)
+    /// blocks forever.
+    ///
+    /// The default implementation ignores the timeout (in-process message
+    /// queues cannot go silent without the peer being dropped, which already
+    /// surfaces as `Closed`); real-socket transports honor it via
+    /// `SO_RCVTIMEO`. Decorators MUST forward this call to their inner
+    /// transport.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the timeout cannot be applied.
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        let _ = timeout;
+        Ok(())
+    }
+
+    /// Starts a deadline budget covering *all* subsequent operations: once
+    /// the budget is exhausted, sends and receives fail with
+    /// [`TransportError::TimedOut`] even if each individual read would have
+    /// met its own timeout. `None` clears the budget.
+    ///
+    /// Real-time transports measure the budget on the wall clock; the
+    /// simulated endpoint charges it against its virtual clock, so a phase
+    /// that would overrun its budget on the modelled network times out in
+    /// simulation too. Decorators MUST forward this call.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the budget cannot be applied.
+    fn set_phase_budget(&mut self, budget: Option<Duration>) -> Result<(), TransportError> {
+        let _ = budget;
+        Ok(())
+    }
 
     /// Sends a single `u64` (little-endian).
     ///

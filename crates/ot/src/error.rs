@@ -7,16 +7,27 @@ use abnn2_net::TransportError;
 pub enum OtError {
     /// The peer disconnected mid-protocol.
     Channel,
+    /// The peer went silent past the configured transport deadline.
+    TimedOut,
     /// A received elliptic-curve point failed validation.
     InvalidPoint,
     /// A received message had an unexpected length or structure.
     Malformed(&'static str),
 }
 
+impl OtError {
+    /// Whether reconnecting and retrying could plausibly clear the error.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, OtError::Channel | OtError::TimedOut)
+    }
+}
+
 impl std::fmt::Display for OtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OtError::Channel => write!(f, "peer disconnected during oblivious transfer"),
+            OtError::TimedOut => write!(f, "peer silent past deadline during oblivious transfer"),
             OtError::InvalidPoint => write!(f, "received point is not on the curve"),
             OtError::Malformed(what) => write!(f, "malformed OT message: {what}"),
         }
@@ -29,6 +40,7 @@ impl From<TransportError> for OtError {
     fn from(e: TransportError) -> Self {
         match e {
             TransportError::Closed => OtError::Channel,
+            TransportError::TimedOut => OtError::TimedOut,
             TransportError::Malformed(what) => OtError::Malformed(what),
         }
     }
@@ -51,5 +63,15 @@ mod tests {
         assert_eq!(closed, OtError::Channel);
         let malformed: OtError = TransportError::Malformed("u64 message length").into();
         assert_eq!(malformed, OtError::Malformed("u64 message length"));
+        let timed_out: OtError = TransportError::TimedOut.into();
+        assert_eq!(timed_out, OtError::TimedOut);
+    }
+
+    #[test]
+    fn retryability_tracks_transience() {
+        assert!(OtError::Channel.is_retryable());
+        assert!(OtError::TimedOut.is_retryable());
+        assert!(!OtError::InvalidPoint.is_retryable());
+        assert!(!OtError::Malformed("x").is_retryable());
     }
 }

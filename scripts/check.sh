@@ -1,13 +1,30 @@
 #!/usr/bin/env bash
 # Full local CI gate: build, test, formatting, lints. Run from the repo root.
 #
-#   ./scripts/check.sh
+#   ./scripts/check.sh [--chaos-seeds N]
+#
+# --chaos-seeds N widens the seeded chaos suite (tests/chaos.rs) from its
+# default of 64 seeds without recompiling.
 #
 # The container has no network access to crates.io; all dependencies are
 # vendored as stubs under stubs/ (see stubs/README.md), so every cargo
 # invocation runs offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --chaos-seeds)
+      [[ $# -ge 2 ]] || { echo "--chaos-seeds requires a value" >&2; exit 2; }
+      export CHAOS_SEEDS="$2"
+      shift 2
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
 
 export CARGO_NET_OFFLINE=true
 

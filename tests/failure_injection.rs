@@ -38,6 +38,7 @@ fn client_abort_mid_inference_surfaces_to_server() {
         },
     );
     let server = SecureServer::new(q);
+    let info = server.public_info();
     let (server_result, (), _) = run_pair(
         NetworkModel::instant(),
         move |ch| {
@@ -45,8 +46,15 @@ fn client_abort_mid_inference_surfaces_to_server() {
             server.run(ch, 1, &mut rng)
         },
         move |ch| {
-            // The client walks away after session setup.
+            // The client handshakes and sets up the session, then walks
+            // away before the offline phase.
             let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            let ours = abnn2::core::SessionParams::for_model(
+                &info,
+                abnn2::core::ReluVariant::Oblivious,
+                1,
+            );
+            abnn2::core::handshake::handshake_client(ch, ours, &[0; 16], false).expect("handshake");
             let _ = abnn2::core::session::ClientSession::setup(ch, &mut rng).expect("setup");
         },
     );
