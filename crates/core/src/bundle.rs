@@ -1,0 +1,276 @@
+//! Offline-triplet bundles: the checkpointable, poolable unit of offline
+//! work.
+//!
+//! A prediction's offline phase produces, per linear layer, a dot-product
+//! triplet `U + V = W·R` (§4.1): the server holds `U`, the client holds its
+//! chosen randomness `R` and the share `V`. That state is
+//! *connection-independent* — plain ring elements — which is what makes both
+//! reconnect-and-resume (PR 2) and server-side precomputation (`abnn2-serve`)
+//! possible. This module extracts it into two concrete types so a bundle
+//! checkpointed after a connection loss and a bundle manufactured ahead of
+//! time by a precompute pool are literally the same struct:
+//!
+//! * [`ServerBundle`] — per-layer `U` shares plus the batch size,
+//! * [`ClientBundle`] — per-layer `R` and `V` plus the batch size, with a
+//!   canonical wire encoding ([`ClientBundle::encode`]) so a server-side
+//!   dealer can hand the client its half,
+//! * [`BundleKey`] — (model digest, scheme digest, batch): everything a
+//!   bundle depends on. Two sessions with equal keys can consume each
+//!   other's bundles.
+//!
+//! [`dealer_bundle`] manufactures a matched pair *locally, without OT*: it
+//! samples `R` and `V` uniformly and solves `U = W·R + b·0 − V` directly,
+//! since the dealer (the model holder) knows `W`. This is the
+//! trusted-dealer / server-aided trust model (MiniONN's precomputation
+//! pattern taken to its endpoint); see DESIGN.md §6 for the privacy
+//! implications and when the interactive §4.1 OT offline phase must be used
+//! instead.
+
+use crate::handshake::{model_digests, SessionParams};
+use crate::inference::PublicModelInfo;
+use crate::ProtocolError;
+use abnn2_math::{Matrix, Ring};
+use abnn2_nn::quant::QuantizedNetwork;
+use rand::Rng;
+
+/// Everything an offline-triplet bundle depends on: bundles are
+/// interchangeable exactly when their keys are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BundleKey {
+    /// Leading 8 bytes of SHA-256 over the model architecture (layer
+    /// dimensions plus fixed-point configuration) — same derivation as the
+    /// handshake's [`SessionParams::model_digest`].
+    pub model_digest: [u8; 8],
+    /// Leading 8 bytes of SHA-256 over the fragment scheme's canonical
+    /// label and weight range.
+    pub scheme_digest: [u8; 8],
+    /// Number of samples per prediction batch the bundle was sized for.
+    pub batch: u32,
+}
+
+impl BundleKey {
+    /// The key for a served model at a given batch size.
+    #[must_use]
+    pub fn for_model(info: &PublicModelInfo, batch: usize) -> Self {
+        let (scheme_digest, model_digest) = model_digests(info);
+        BundleKey { model_digest, scheme_digest, batch: batch as u32 }
+    }
+
+    /// The key implied by a handshake's negotiated session parameters.
+    #[must_use]
+    pub fn from_params(params: &SessionParams) -> Self {
+        BundleKey {
+            model_digest: params.model_digest,
+            scheme_digest: params.scheme_digest,
+            batch: params.batch,
+        }
+    }
+}
+
+/// The server's half of an offline-triplet bundle: per-layer `U` shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerBundle {
+    /// Per-layer server triplet shares, `dims[l+1] × batch` each.
+    pub us: Vec<Matrix>,
+    /// Batch size the bundle was generated for.
+    pub batch: usize,
+}
+
+/// The client's half of an offline-triplet bundle: per-layer randomness `R`
+/// and triplet shares `V`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientBundle {
+    /// Per-layer blinding randomness, `dims[l] × batch` each.
+    pub rs: Vec<Matrix>,
+    /// Per-layer client triplet shares, `dims[l+1] × batch` each.
+    pub vs: Vec<Matrix>,
+    /// Batch size the bundle was generated for.
+    pub batch: usize,
+}
+
+impl ClientBundle {
+    /// Serializes the bundle for the wire: each layer's `R` then `V`, as
+    /// ring-encoded elements, concatenated in layer order. The shape is
+    /// implied by the model dimensions both parties agreed on in the
+    /// handshake, so no lengths are embedded.
+    #[must_use]
+    pub fn encode(&self, ring: Ring) -> Vec<u8> {
+        let total: usize = self.rs.iter().chain(self.vs.iter()).map(Matrix::len).sum();
+        let mut out = Vec::with_capacity(total * ring.byte_len());
+        for (r, v) in self.rs.iter().zip(&self.vs) {
+            out.extend_from_slice(&ring.encode_slice(r.as_slice()));
+            out.extend_from_slice(&ring.encode_slice(v.as_slice()));
+        }
+        out
+    }
+
+    /// Parses a bundle encoded by [`encode`](Self::encode) against the
+    /// model shape it was negotiated for.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Malformed`] if the byte length does not match the
+    /// model dimensions and batch size exactly.
+    pub fn decode(
+        bytes: &[u8],
+        info: &PublicModelInfo,
+        batch: usize,
+    ) -> Result<Self, ProtocolError> {
+        let ring = info.config.ring;
+        let bl = ring.byte_len();
+        let n_layers = info.dims.len() - 1;
+        let expect: usize =
+            (0..n_layers).map(|l| (info.dims[l] + info.dims[l + 1]) * batch * bl).sum();
+        if bytes.len() != expect {
+            return Err(ProtocolError::Malformed("client bundle length"));
+        }
+        let mut rs = Vec::with_capacity(n_layers);
+        let mut vs = Vec::with_capacity(n_layers);
+        let mut off = 0;
+        for l in 0..n_layers {
+            let r_len = info.dims[l] * batch * bl;
+            let v_len = info.dims[l + 1] * batch * bl;
+            rs.push(Matrix::new(info.dims[l], batch, ring.decode_slice(&bytes[off..off + r_len])));
+            off += r_len;
+            vs.push(Matrix::new(
+                info.dims[l + 1],
+                batch,
+                ring.decode_slice(&bytes[off..off + v_len]),
+            ));
+            off += v_len;
+        }
+        Ok(ClientBundle { rs, vs, batch })
+    }
+}
+
+/// `W·R` over the ring, the right-hand side of the triplet relation.
+fn weight_product(net: &QuantizedNetwork, layer: usize, r: &Matrix, ring: Ring) -> Matrix {
+    let l = &net.layers[layer];
+    let batch = r.cols();
+    let mut wr = Matrix::zeros(l.out_dim, batch);
+    for i in 0..l.out_dim {
+        let row = l.row(i);
+        for k in 0..batch {
+            let mut acc = 0u64;
+            for (j, &w) in row.iter().enumerate() {
+                acc = acc.wrapping_add(r.get(j, k).wrapping_mul(w as u64));
+            }
+            wr.set(i, k, ring.reduce(acc));
+        }
+    }
+    wr
+}
+
+/// Manufactures a matched offline-triplet bundle pair locally (dealer
+/// style): for every layer, `R` and `V` are sampled uniformly and
+/// `U = W·R − V`, so `U + V = W·R` holds by construction — the same
+/// invariant the interactive §4.1 OT protocols establish, at a fraction of
+/// the cost, in exchange for the dealer knowing both halves (see the module
+/// docs for the trust model).
+#[must_use]
+pub fn dealer_bundle<R: Rng + ?Sized>(
+    net: &QuantizedNetwork,
+    batch: usize,
+    rng: &mut R,
+) -> (ServerBundle, ClientBundle) {
+    let ring = net.config.ring;
+    let dims = net.dims();
+    let n_layers = dims.len() - 1;
+    let mut rs = Vec::with_capacity(n_layers);
+    let mut vs = Vec::with_capacity(n_layers);
+    let mut us = Vec::with_capacity(n_layers);
+    for l in 0..n_layers {
+        let r = Matrix::random(dims[l], batch, &ring, rng);
+        let v = Matrix::random(dims[l + 1], batch, &ring, rng);
+        let u = weight_product(net, l, &r, ring).sub(&v, &ring);
+        rs.push(r);
+        vs.push(v);
+        us.push(u);
+    }
+    (ServerBundle { us, batch }, ClientBundle { rs, vs, batch })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_math::FragmentScheme;
+    use abnn2_nn::quant::QuantConfig;
+    use abnn2_nn::Network;
+    use rand::SeedableRng;
+
+    fn tiny(seed: u64) -> QuantizedNetwork {
+        let net = Network::new(&[6, 5, 4, 3], seed);
+        QuantizedNetwork::quantize(
+            &net,
+            QuantConfig {
+                ring: Ring::new(32),
+                frac_bits: 8,
+                weight_frac_bits: 2,
+                scheme: FragmentScheme::signed_bit_fields(&[2, 2]),
+            },
+        )
+    }
+
+    #[test]
+    fn dealer_bundle_satisfies_triplet_relation() {
+        let q = tiny(11);
+        let ring = q.config.ring;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let (server, client) = dealer_bundle(&q, 3, &mut rng);
+        assert_eq!(server.batch, 3);
+        for l in 0..q.layers.len() {
+            let wr = weight_product(&q, l, &client.rs[l], ring);
+            let sum = server.us[l].add(&client.vs[l], &ring);
+            assert_eq!(sum, wr, "layer {l}: U + V must equal W·R");
+        }
+    }
+
+    #[test]
+    fn client_bundle_round_trips_on_the_wire() {
+        let q = tiny(13);
+        let info = PublicModelInfo::from(&q);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let (_, client) = dealer_bundle(&q, 2, &mut rng);
+        let bytes = client.encode(q.config.ring);
+        let decoded = ClientBundle::decode(&bytes, &info, 2).unwrap();
+        assert_eq!(decoded, client);
+    }
+
+    #[test]
+    fn truncated_bundle_is_malformed() {
+        let q = tiny(15);
+        let info = PublicModelInfo::from(&q);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+        let (_, client) = dealer_bundle(&q, 1, &mut rng);
+        let mut bytes = client.encode(q.config.ring);
+        bytes.pop();
+        assert_eq!(
+            ClientBundle::decode(&bytes, &info, 1).err(),
+            Some(ProtocolError::Malformed("client bundle length"))
+        );
+    }
+
+    #[test]
+    fn keys_depend_on_model_scheme_and_batch() {
+        let q = tiny(17);
+        let info = PublicModelInfo::from(&q);
+        let base = BundleKey::for_model(&info, 1);
+        assert_eq!(base, BundleKey::for_model(&info, 1));
+        assert_ne!(base, BundleKey::for_model(&info, 2));
+
+        let mut other = info.clone();
+        other.config.scheme = FragmentScheme::ternary();
+        assert_ne!(base.scheme_digest, BundleKey::for_model(&other, 1).scheme_digest);
+
+        let q2 = {
+            let net = Network::new(&[6, 7, 3], 18);
+            QuantizedNetwork::quantize(&net, q.config.clone())
+        };
+        let info2 = PublicModelInfo::from(&q2);
+        assert_ne!(base.model_digest, BundleKey::for_model(&info2, 1).model_digest);
+
+        // The handshake's view and the pool's view agree.
+        let params = SessionParams::for_model(&info, crate::relu::ReluVariant::Oblivious, 1);
+        assert_eq!(BundleKey::from_params(&params), base);
+    }
+}

@@ -31,6 +31,12 @@ pub enum ProtocolError {
     Malformed(&'static str),
     /// Caller-supplied dimensions are inconsistent.
     Dimension(&'static str),
+    /// The server refused admission: its accept queue is full or it is
+    /// draining for shutdown. Deliberately *not* retryable under the
+    /// resilient drivers' immediate reconnect loop — hammering an
+    /// overloaded server makes the overload worse; callers that want to
+    /// retry should schedule their own, later attempt.
+    Overloaded,
 }
 
 impl ProtocolError {
@@ -47,7 +53,8 @@ impl ProtocolError {
             ProtocolError::Handshake(_)
             | ProtocolError::Negotiation { .. }
             | ProtocolError::Malformed(_)
-            | ProtocolError::Dimension(_) => false,
+            | ProtocolError::Dimension(_)
+            | ProtocolError::Overloaded => false,
         }
     }
 }
@@ -72,6 +79,9 @@ impl std::fmt::Display for ProtocolError {
             ),
             ProtocolError::Malformed(what) => write!(f, "malformed protocol message: {what}"),
             ProtocolError::Dimension(what) => write!(f, "dimension mismatch: {what}"),
+            ProtocolError::Overloaded => {
+                write!(f, "server refused admission (overloaded or draining)")
+            }
         }
     }
 }

@@ -90,37 +90,46 @@ fn digest8(data: &[u8]) -> [u8; 8] {
     full[..8].try_into().expect("8 bytes")
 }
 
+/// The `(scheme_digest, model_digest)` pair for a served model — the
+/// canonical derivation shared by the handshake and the offline-bundle
+/// pool key ([`crate::bundle::BundleKey`]).
+#[must_use]
+pub fn model_digests(info: &PublicModelInfo) -> ([u8; 8], [u8; 8]) {
+    let scheme = &info.config.scheme;
+    let (lo, hi) = scheme.weight_range();
+    let scheme_desc = format!("{} [{lo},{hi}]", scheme.label());
+
+    let mut model_desc = String::new();
+    for d in &info.dims {
+        model_desc.push_str(&format!("{d}x"));
+    }
+    model_desc.push_str(&format!(
+        "|ring{}|f{}|fw{}|{}",
+        info.config.ring.bits(),
+        info.config.frac_bits,
+        info.config.weight_frac_bits,
+        scheme_desc,
+    ));
+
+    (digest8(scheme_desc.as_bytes()), digest8(model_desc.as_bytes()))
+}
+
 impl SessionParams {
     /// Derives the parameters both parties must agree on from the public
     /// model description, the chosen activation variant, and the batch
     /// size.
     #[must_use]
     pub fn for_model(info: &PublicModelInfo, variant: ReluVariant, batch: usize) -> Self {
-        let scheme = &info.config.scheme;
-        let (lo, hi) = scheme.weight_range();
-        let scheme_desc = format!("{} [{lo},{hi}]", scheme.label());
-
-        let mut model_desc = String::new();
-        for d in &info.dims {
-            model_desc.push_str(&format!("{d}x"));
-        }
-        model_desc.push_str(&format!(
-            "|ring{}|f{}|fw{}|{}",
-            info.config.ring.bits(),
-            info.config.frac_bits,
-            info.config.weight_frac_bits,
-            scheme_desc,
-        ));
-
+        let (scheme_digest, model_digest) = model_digests(info);
         SessionParams {
             version: PROTOCOL_VERSION,
             ring_bits: info.config.ring.bits(),
             frac_bits: info.config.frac_bits,
             weight_frac_bits: info.config.weight_frac_bits,
-            scheme_digest: digest8(scheme_desc.as_bytes()),
+            scheme_digest,
             variant: variant_code(variant),
             batch: batch as u32,
-            model_digest: digest8(model_desc.as_bytes()),
+            model_digest,
         }
     }
 
@@ -167,6 +176,69 @@ impl SessionParams {
 }
 
 const FLAG_RESUME: u8 = 1;
+const FLAG_BUNDLE: u8 = 2;
+const FLAG_BUSY: u8 = 4;
+
+/// What the client asks of a session beyond the baseline protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HelloRequest {
+    /// Resume the offline checkpoint identified by the hello's token.
+    pub resume: bool,
+    /// Install a server-precomputed offline bundle (dealer mode) so the
+    /// interactive offline phase can be skipped. Ignored by the server when
+    /// a resume was requested and accepted.
+    pub bundle: bool,
+}
+
+/// The server's answer to a [`HelloRequest`], read from the reply flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HelloReply {
+    /// The server holds the checkpoint and will resume it.
+    pub resume: bool,
+    /// The server has a warm precomputed bundle and will send it right
+    /// after session setup.
+    pub bundle: bool,
+}
+
+/// Client side of the handshake: sends our hello carrying the
+/// [`HelloRequest`] (resume and/or warm-bundle), receives the server's
+/// hello, and verifies agreement.
+///
+/// # Errors
+///
+/// [`ProtocolError::Overloaded`] if the server refused admission,
+/// [`ProtocolError::Handshake`] if the reply is not a valid hello frame,
+/// [`ProtocolError::Negotiation`] if the parameters disagree, or a
+/// transport-level error.
+pub fn handshake_client_ext<T: Transport>(
+    ch: &mut T,
+    ours: SessionParams,
+    token: &ResumeToken,
+    request: HelloRequest,
+) -> Result<HelloReply, ProtocolError> {
+    let mut flags = 0;
+    if request.resume {
+        flags |= FLAG_RESUME;
+    }
+    if request.bundle {
+        flags |= FLAG_BUNDLE;
+    }
+    ch.send(&ours.encode(flags, token))?;
+    let reply = ch.recv()?;
+    let (theirs, reply_flags, _token) = SessionParams::decode(&reply)?;
+    // Admission rejection outranks the parameter check: an overloaded
+    // server replies with a minimal busy frame, not its real parameters.
+    if reply_flags & FLAG_BUSY != 0 {
+        return Err(ProtocolError::Overloaded);
+    }
+    if theirs != ours {
+        return Err(ProtocolError::Negotiation { ours, theirs });
+    }
+    Ok(HelloReply {
+        resume: request.resume && reply_flags & FLAG_RESUME != 0,
+        bundle: request.bundle && reply_flags & FLAG_BUNDLE != 0,
+    })
+}
 
 /// Client side of the handshake: sends our hello (optionally requesting
 /// resumption of the checkpoint identified by `token`), receives the
@@ -186,22 +258,63 @@ pub fn handshake_client<T: Transport>(
     token: &ResumeToken,
     resume: bool,
 ) -> Result<bool, ProtocolError> {
-    let flags = if resume { FLAG_RESUME } else { 0 };
-    ch.send(&ours.encode(flags, token))?;
-    let reply = ch.recv()?;
-    let (theirs, reply_flags, _token) = SessionParams::decode(&reply)?;
-    if theirs != ours {
+    let reply = handshake_client_ext(ch, ours, token, HelloRequest { resume, bundle: false })?;
+    Ok(reply.resume)
+}
+
+/// Server side of the handshake: receives the client hello, derives our
+/// own parameters for the announced batch via `ours_for`, decides on the
+/// client's [`HelloRequest`] via `can_resume`/`offer_bundle`, and replies.
+///
+/// `offer_bundle` is consulted only when the client asked for a bundle and
+/// no resume was accepted (a resumed session already has its offline
+/// state); it receives the negotiated parameters so it can look up the
+/// matching pool key — and, when it answers `true`, it has *committed* to
+/// sending the bundle right after session setup.
+///
+/// The reply is sent *before* the mismatch check so a disagreeing client
+/// observes the same [`ProtocolError::Negotiation`] we do.
+///
+/// Returns `(batch, client_token, reply)`.
+///
+/// # Errors
+///
+/// [`ProtocolError::Handshake`] if the hello is not a valid frame,
+/// [`ProtocolError::Negotiation`] if the parameters disagree, or a
+/// transport-level error.
+pub fn handshake_server_ext<T: Transport>(
+    ch: &mut T,
+    ours_for: impl FnOnce(usize) -> SessionParams,
+    can_resume: impl FnOnce(&ResumeToken) -> bool,
+    offer_bundle: impl FnOnce(&SessionParams) -> bool,
+) -> Result<(usize, ResumeToken, HelloReply), ProtocolError> {
+    let hello = ch.recv()?;
+    let (theirs, flags, token) = SessionParams::decode(&hello)?;
+    let batch = theirs.batch as usize;
+    let ours = ours_for(batch);
+    // Only honor requests from a matching peer: a client that is about to
+    // fail negotiation must not consume a checkpoint or a pooled bundle.
+    let matched = theirs == ours;
+    let resume_ok = matched && flags & FLAG_RESUME != 0 && can_resume(&token);
+    let bundle_ok = matched && !resume_ok && flags & FLAG_BUNDLE != 0 && offer_bundle(&ours);
+    let mut reply_flags = 0;
+    if resume_ok {
+        reply_flags |= FLAG_RESUME;
+    }
+    if bundle_ok {
+        reply_flags |= FLAG_BUNDLE;
+    }
+    ch.send(&ours.encode(reply_flags, &token))?;
+    ch.flush()?;
+    if !matched {
         return Err(ProtocolError::Negotiation { ours, theirs });
     }
-    Ok(resume && reply_flags & FLAG_RESUME != 0)
+    Ok((batch, token, HelloReply { resume: resume_ok, bundle: bundle_ok }))
 }
 
 /// Server side of the handshake: receives the client hello, derives our
 /// own parameters for the announced batch via `ours_for`, decides on the
 /// resume request via `can_resume`, and replies.
-///
-/// The reply is sent *before* the mismatch check so a disagreeing client
-/// observes the same [`ProtocolError::Negotiation`] we do.
 ///
 /// Returns `(batch, client_token, resume_accepted)`.
 ///
@@ -215,18 +328,25 @@ pub fn handshake_server<T: Transport>(
     ours_for: impl FnOnce(usize) -> SessionParams,
     can_resume: impl FnOnce(&ResumeToken) -> bool,
 ) -> Result<(usize, ResumeToken, bool), ProtocolError> {
-    let hello = ch.recv()?;
-    let (theirs, flags, token) = SessionParams::decode(&hello)?;
-    let batch = theirs.batch as usize;
-    let ours = ours_for(batch);
-    let resume_ok = flags & FLAG_RESUME != 0 && can_resume(&token);
-    let reply_flags = if resume_ok { FLAG_RESUME } else { 0 };
-    ch.send(&ours.encode(reply_flags, &token))?;
+    let (batch, token, reply) = handshake_server_ext(ch, ours_for, can_resume, |_| false)?;
+    Ok((batch, token, reply.resume))
+}
+
+/// Admission-control rejection: sent by a server that will not serve this
+/// connection (accept queue full, or draining for shutdown), *without*
+/// reading the client's hello. The busy frame carries the server's
+/// parameters for batch 0 purely to satisfy the frame format; the client
+/// checks the busy flag before anything else and surfaces
+/// [`ProtocolError::Overloaded`].
+///
+/// # Errors
+///
+/// Transport-level errors only; a peer that vanished mid-rejection is not
+/// worth reporting beyond that.
+pub fn reject_busy<T: Transport>(ch: &mut T, ours: SessionParams) -> Result<(), ProtocolError> {
+    ch.send(&ours.encode(FLAG_BUSY, &[0u8; 16]))?;
     ch.flush()?;
-    if theirs != ours {
-        return Err(ProtocolError::Negotiation { ours, theirs });
-    }
-    Ok((batch, token, resume_ok))
+    Ok(())
 }
 
 #[cfg(test)]
@@ -346,6 +466,123 @@ mod tests {
             });
             let err = handshake_client(&mut c, ours, &[0; 16], false).unwrap_err();
             assert!(matches!(err, ProtocolError::Negotiation { .. }));
+        });
+    }
+
+    #[test]
+    fn busy_rejection_surfaces_overloaded_before_negotiation() {
+        // The server's busy frame carries mismatching parameters (batch 0),
+        // but the busy flag must win: the client reports Overloaded, not
+        // Negotiation.
+        let i = info(&[8, 4, 2], 32);
+        let (mut c, mut s) = Endpoint::pair(NetworkModel::instant());
+        let ours = SessionParams::for_model(&i, ReluVariant::Oblivious, 3);
+        let i2 = i.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                reject_busy(&mut s, SessionParams::for_model(&i2, ReluVariant::Oblivious, 0))
+                    .unwrap();
+                // Drain the client's hello so the link stays open until the
+                // client has sent it (a real acceptor closes after reject;
+                // the hello sits in the socket buffer either way).
+                let _ = s.recv();
+            });
+            let err = handshake_client(&mut c, ours, &[0; 16], false).unwrap_err();
+            assert_eq!(err, ProtocolError::Overloaded);
+        });
+    }
+
+    #[test]
+    fn bundle_request_honored_for_matching_peer() {
+        let i = info(&[8, 4, 2], 32);
+        let (mut c, mut s) = Endpoint::pair(NetworkModel::instant());
+        let ours = SessionParams::for_model(&i, ReluVariant::Oblivious, 2);
+        let i2 = i.clone();
+        std::thread::scope(|scope| {
+            let server = scope.spawn(move || {
+                handshake_server_ext(
+                    &mut s,
+                    |batch| SessionParams::for_model(&i2, ReluVariant::Oblivious, batch),
+                    |_| false,
+                    |params| params.batch == 2,
+                )
+            });
+            let reply = handshake_client_ext(
+                &mut c,
+                ours,
+                &[0; 16],
+                HelloRequest { resume: false, bundle: true },
+            )
+            .unwrap();
+            assert_eq!(reply, HelloReply { resume: false, bundle: true });
+            let (_, _, srv_reply) = server.join().unwrap().unwrap();
+            assert_eq!(srv_reply, reply);
+        });
+    }
+
+    #[test]
+    fn resume_wins_over_bundle() {
+        // A client asking for both gets the resume; the pool must not also
+        // commit a bundle to a session that already has offline state.
+        let i = info(&[8, 4, 2], 32);
+        let (mut c, mut s) = Endpoint::pair(NetworkModel::instant());
+        let ours = SessionParams::for_model(&i, ReluVariant::Oblivious, 1);
+        let i2 = i.clone();
+        std::thread::scope(|scope| {
+            let server = scope.spawn(move || {
+                handshake_server_ext(
+                    &mut s,
+                    |batch| SessionParams::for_model(&i2, ReluVariant::Oblivious, batch),
+                    |_| true,
+                    |_| true,
+                )
+            });
+            let reply = handshake_client_ext(
+                &mut c,
+                ours,
+                &[5; 16],
+                HelloRequest { resume: true, bundle: true },
+            )
+            .unwrap();
+            assert_eq!(reply, HelloReply { resume: true, bundle: false });
+            server.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn mismatched_peer_cannot_consume_bundle_or_checkpoint() {
+        let client_info = info(&[8, 4, 2], 32);
+        let server_info = info(&[8, 4, 2], 16);
+        let (mut c, mut s) = Endpoint::pair(NetworkModel::instant());
+        let ours = SessionParams::for_model(&client_info, ReluVariant::Oblivious, 1);
+        std::thread::scope(|scope| {
+            let server = scope.spawn(move || {
+                let consulted = std::cell::Cell::new(false);
+                let r = handshake_server_ext(
+                    &mut s,
+                    |batch| SessionParams::for_model(&server_info, ReluVariant::Oblivious, batch),
+                    |_| {
+                        consulted.set(true);
+                        true
+                    },
+                    |_| {
+                        consulted.set(true);
+                        true
+                    },
+                );
+                (r, consulted.get())
+            });
+            let err = handshake_client_ext(
+                &mut c,
+                ours,
+                &[9; 16],
+                HelloRequest { resume: true, bundle: true },
+            )
+            .unwrap_err();
+            assert!(matches!(err, ProtocolError::Negotiation { .. }));
+            let (result, consulted) = server.join().unwrap();
+            assert!(matches!(result, Err(ProtocolError::Negotiation { .. })));
+            assert!(!consulted, "mismatched peers must not reach the store or pool");
         });
     }
 

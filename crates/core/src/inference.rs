@@ -16,6 +16,7 @@
 //! The client's reconstructed outputs equal
 //! [`QuantizedNetwork::forward_exact`] bit for bit.
 
+use crate::bundle::{ClientBundle, ServerBundle};
 use crate::config::ExecConfig;
 use crate::handshake::{handshake_client, handshake_server, SessionParams};
 use crate::matmul::{triplet_client_with, triplet_server_with};
@@ -73,11 +74,20 @@ pub struct ServerOffline {
 }
 
 impl ServerOffline {
-    /// Reassembles offline state from a fresh session and checkpointed
-    /// triplet shares (the reconnect-and-resume path: triplets survive a
-    /// connection loss, the cheap per-connection session setup does not).
-    pub(crate) fn from_parts(session: ServerSession, us: Vec<Matrix>, batch: usize) -> Self {
-        ServerOffline { session, us, batch }
+    /// Reassembles offline state from a fresh session and an offline
+    /// bundle — checkpointed after a connection loss (reconnect-and-resume)
+    /// or manufactured ahead of time by a precompute pool. Triplets survive
+    /// a connection loss; the cheap per-connection session setup does not.
+    #[must_use]
+    pub fn from_bundle(session: ServerSession, bundle: ServerBundle) -> Self {
+        ServerOffline { session, us: bundle.us, batch: bundle.batch }
+    }
+
+    /// Copies the connection-independent part of this state into a bundle
+    /// (for checkpointing; the session is consumed by the online phase).
+    #[must_use]
+    pub fn to_bundle(&self) -> ServerBundle {
+        ServerBundle { us: self.us.clone(), batch: self.batch }
     }
 }
 
@@ -91,15 +101,17 @@ pub struct ClientOffline {
 }
 
 impl ClientOffline {
-    /// Reassembles offline state from a fresh session and checkpointed
-    /// randomness/triplet shares (the reconnect-and-resume path).
-    pub(crate) fn from_parts(
-        session: ClientSession,
-        rs: Vec<Matrix>,
-        vs: Vec<Matrix>,
-        batch: usize,
-    ) -> Self {
-        ClientOffline { session, rs, vs, batch }
+    /// Reassembles offline state from a fresh session and an offline
+    /// bundle (the reconnect-and-resume path, or a server-dealt bundle).
+    #[must_use]
+    pub fn from_bundle(session: ClientSession, bundle: ClientBundle) -> Self {
+        ClientOffline { session, rs: bundle.rs, vs: bundle.vs, batch: bundle.batch }
+    }
+
+    /// Copies the connection-independent part of this state into a bundle.
+    #[must_use]
+    pub fn to_bundle(&self) -> ClientBundle {
+        ClientBundle { rs: self.rs.clone(), vs: self.vs.clone(), batch: self.batch }
     }
 }
 
@@ -187,7 +199,24 @@ impl SecureServer {
         batch: usize,
         rng: &mut R,
     ) -> Result<ServerOffline, ProtocolError> {
-        let mut session = ServerSession::setup(ch, rng)?;
+        let session = ServerSession::setup(ch, rng)?;
+        self.offline_with(ch, session, batch)
+    }
+
+    /// Triplet generation over an already-established session. Split from
+    /// session setup so a serving layer can attribute the two to separate
+    /// instrumentation phases (base OTs are per-connection and cheap;
+    /// triplets are the expensive, poolable part).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on any subprotocol failure.
+    pub fn offline_with<T: Transport>(
+        &self,
+        ch: &mut T,
+        mut session: ServerSession,
+        batch: usize,
+    ) -> Result<ServerOffline, ProtocolError> {
         let ring = self.net.config.ring;
         let scheme = &self.net.config.scheme;
         let cfg = self.exec.triplet_for_batch(batch);
@@ -368,7 +397,23 @@ impl SecureClient {
         batch: usize,
         rng: &mut R,
     ) -> Result<ClientOffline, ProtocolError> {
-        let mut session = ClientSession::setup(ch, rng)?;
+        let session = ClientSession::setup(ch, rng)?;
+        self.offline_with(ch, session, batch, rng)
+    }
+
+    /// Triplet generation over an already-established session (see the
+    /// server counterpart for why this is split out).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on any subprotocol failure.
+    pub fn offline_with<T: Transport, R: Rng + ?Sized>(
+        &self,
+        ch: &mut T,
+        mut session: ClientSession,
+        batch: usize,
+        rng: &mut R,
+    ) -> Result<ClientOffline, ProtocolError> {
         let ring = self.info.config.ring;
         let scheme = &self.info.config.scheme;
         let cfg = self.exec.triplet_for_batch(batch);

@@ -17,7 +17,11 @@
 //!   [`ProtocolError::Negotiation`] errors at connect time,
 //! * [`resilient`] — reconnect-and-resume drivers that checkpoint the
 //!   offline phase and replay the online phase after a connection loss,
-//!   producing logits bit-identical to an uninterrupted run.
+//!   producing logits bit-identical to an uninterrupted run,
+//! * [`bundle`] — portable offline-phase state ([`ServerBundle`] /
+//!   [`ClientBundle`]) keyed by [`BundleKey`], plus [`dealer_bundle`]
+//!   dealer-mode generation — the substrate for `abnn2-serve`'s precompute
+//!   pool and for cross-connection resume checkpoints.
 //!
 //! # Quick example
 //!
@@ -31,6 +35,7 @@
 
 pub mod argmax;
 pub mod beaver;
+pub mod bundle;
 pub mod cnn;
 pub mod complexity;
 pub mod config;
@@ -43,11 +48,12 @@ pub mod resilient;
 pub mod session;
 pub mod sharing;
 
+pub use bundle::{dealer_bundle, BundleKey, ClientBundle, ServerBundle};
 pub use config::{ExecConfig, SessionDeadlines};
 pub use error::ProtocolError;
-pub use handshake::{ResumeToken, SessionParams, PROTOCOL_VERSION};
+pub use handshake::{HelloReply, HelloRequest, ResumeToken, SessionParams, PROTOCOL_VERSION};
 pub use inference::{PublicModelInfo, SecureClient, SecureServer};
 pub use matmul::TripletMode;
 pub use relu::ReluVariant;
-pub use resilient::{ResilientClient, ResilientServer, RunReport};
+pub use resilient::{CheckpointStore, ResilientClient, ResilientServer, RunReport};
 pub use session::{ClientSession, ServerSession};

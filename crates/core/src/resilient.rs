@@ -20,6 +20,7 @@
 //! an error — the client falls back to a fresh offline phase on the same
 //! connection.
 
+use crate::bundle::{ClientBundle, ServerBundle};
 use crate::config::SessionDeadlines;
 use crate::handshake::{handshake_client, handshake_server, ResumeToken, SessionParams};
 use crate::inference::{ClientOffline, SecureClient, SecureServer, ServerOffline};
@@ -28,6 +29,8 @@ use crate::ProtocolError;
 use abnn2_math::Matrix;
 use abnn2_net::{ResilientDriver, RetryPolicy, Transport, TransportError};
 use rand::Rng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Outcome summary of a resilient run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +40,115 @@ pub struct RunReport {
     /// Whether any attempt resumed from a checkpoint instead of running a
     /// fresh offline phase.
     pub resumed: bool,
+}
+
+/// Default checkpoint capacity for a [`ResilientServer`]'s store.
+pub const DEFAULT_CHECKPOINT_CAPACITY: usize = 256;
+
+/// Bounded, thread-safe store of server-side offline checkpoints, keyed by
+/// the client's resume token.
+///
+/// A long-running server accumulates checkpoints from every interrupted
+/// session; without a bound that is an unbounded memory leak driven by
+/// remote behavior. The store enforces a hard `capacity`: inserting beyond
+/// it evicts the least-recently-used entry. An evicted token simply
+/// downgrades the client's next resume attempt to a fresh offline run —
+/// exactly the path a stale token already takes — so eviction is always
+/// safe, never an error.
+///
+/// Resume claims are **single-use and atomic**: [`claim`](Self::claim)
+/// removes the entry, so two concurrent connections presenting the same
+/// token can never both resume from (and interleave over) the same
+/// checkpointed triplets — the loser of the race runs a fresh offline
+/// phase. The entry is re-inserted only when the session later fails
+/// *retryably* (the client will be back); while a session is live its
+/// checkpoint is out of the store, which is what closes the duplicate
+/// window, and on success it is gone for good.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    inner: Mutex<StoreInner>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    /// token → (recency stamp, checkpointed bundle).
+    entries: HashMap<ResumeToken, (u64, ServerBundle)>,
+    /// Monotonic recency counter.
+    clock: u64,
+    capacity: usize,
+}
+
+impl CheckpointStore {
+    /// Creates a store holding at most `capacity` checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "checkpoint capacity must be positive");
+        CheckpointStore {
+            inner: Mutex::new(StoreInner { entries: HashMap::new(), clock: 0, capacity }),
+        }
+    }
+
+    /// Inserts (or replaces) the checkpoint for `token`, evicting the
+    /// least-recently-used entry if the store is at capacity.
+    pub fn insert(&self, token: ResumeToken, bundle: ServerBundle) {
+        let mut inner = self.inner.lock().expect("checkpoint lock");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.entries.insert(token, (stamp, bundle));
+        while inner.entries.len() > inner.capacity {
+            let oldest = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(t, _)| *t)
+                .expect("non-empty over capacity");
+            inner.entries.remove(&oldest);
+        }
+    }
+
+    /// Atomically removes and returns the checkpoint for `token`, if the
+    /// store still holds it. At most one of any number of concurrent
+    /// claimants succeeds.
+    #[must_use]
+    pub fn claim(&self, token: &ResumeToken) -> Option<ServerBundle> {
+        self.inner.lock().expect("checkpoint lock").entries.remove(token).map(|(_, b)| b)
+    }
+
+    /// Drops the checkpoint for `token`, if present (end-of-job cleanup).
+    pub fn remove(&self, token: &ResumeToken) {
+        self.inner.lock().expect("checkpoint lock").entries.remove(token);
+    }
+
+    /// Whether the store currently holds `token` (refreshes its recency).
+    #[must_use]
+    pub fn contains(&self, token: &ResumeToken) -> bool {
+        let mut inner = self.inner.lock().expect("checkpoint lock");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.entries.get_mut(token) {
+            Some(entry) => {
+                entry.0 = stamp;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of checkpoints currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("checkpoint lock").entries.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 fn apply_read_timeout<T: Transport>(
@@ -112,7 +224,7 @@ impl ResilientClient {
 
         // Checkpoint of a completed offline phase: client randomness R and
         // triplet shares V per layer. Survives reconnects by construction.
-        let mut checkpoint: Option<(Vec<Matrix>, Vec<Matrix>)> = None;
+        let mut checkpoint: Option<ClientBundle> = None;
         let mut attempts = 0u32;
         let mut resumed = false;
 
@@ -127,15 +239,15 @@ impl ResilientClient {
             ch.set_phase_budget(self.deadlines.offline_budget)?;
             let state = if accepted {
                 resumed = true;
-                let (rs, vs) = checkpoint.clone().expect("resume implies checkpoint");
+                let bundle = checkpoint.clone().expect("resume implies checkpoint");
                 let session = ClientSession::setup(ch, rng)?;
-                ClientOffline::from_parts(session, rs, vs, batch)
+                ClientOffline::from_bundle(session, bundle)
             } else {
                 // Server has no matching checkpoint (fresh run, or it lost
                 // state): drop ours and pay for a full offline phase.
                 checkpoint = None;
                 let state = self.client.offline_after_handshake(ch, batch, rng)?;
-                checkpoint = Some((state.rs.clone(), state.vs.clone()));
+                checkpoint = Some(state.to_bundle());
                 state
             };
 
@@ -149,22 +261,26 @@ impl ResilientClient {
 }
 
 /// Server-side resilient driver: accepts reconnections for one logical
-/// prediction job, checkpointing its triplet shares between attempts.
+/// prediction job, checkpointing its triplet shares between attempts in a
+/// bounded, shareable [`CheckpointStore`].
 #[derive(Debug)]
 pub struct ResilientServer {
     server: SecureServer,
     policy: RetryPolicy,
     deadlines: SessionDeadlines,
+    store: Arc<CheckpointStore>,
 }
 
 impl ResilientServer {
-    /// Wraps `server` with the default retry policy and LAN deadlines.
+    /// Wraps `server` with the default retry policy, LAN deadlines, and a
+    /// private checkpoint store of [`DEFAULT_CHECKPOINT_CAPACITY`] entries.
     #[must_use]
     pub fn new(server: SecureServer) -> Self {
         ResilientServer {
             server,
             policy: RetryPolicy::default(),
             deadlines: SessionDeadlines::lan(),
+            store: Arc::new(CheckpointStore::new(DEFAULT_CHECKPOINT_CAPACITY)),
         }
     }
 
@@ -180,6 +296,21 @@ impl ResilientServer {
     pub fn with_deadlines(mut self, deadlines: SessionDeadlines) -> Self {
         self.deadlines = deadlines;
         self
+    }
+
+    /// Replaces the checkpoint store. Multiple `ResilientServer`s (e.g. the
+    /// workers of a serving frontend) can share one store so a client may
+    /// reconnect to any worker and still find its checkpoint.
+    #[must_use]
+    pub fn with_checkpoint_store(mut self, store: Arc<CheckpointStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The checkpoint store backing this driver.
+    #[must_use]
+    pub fn checkpoint_store(&self) -> &Arc<CheckpointStore> {
+        &self.store
     }
 
     /// Serves one prediction job to completion across reconnections minted
@@ -219,9 +350,12 @@ impl ResilientServer {
         H: FnMut(&mut T, u32),
         R: Rng + ?Sized,
     {
-        // Checkpoint of a completed offline phase, keyed by the client's
-        // resume token: triplet shares U per layer plus the batch size.
-        let mut checkpoint: Option<(ResumeToken, Vec<Matrix>, usize)> = None;
+        // Checkpoints live in the shared bounded store, keyed by the
+        // client's resume token, so any driver holding the same store can
+        // pick the job up. Claims are single-use: the bundle leaves the
+        // store while its session is live (a concurrently presented
+        // duplicate token therefore downgrades to a fresh run) and is
+        // re-inserted only when the session fails retryably.
         let mut attempts = 0u32;
         let mut resumed = false;
 
@@ -231,33 +365,56 @@ impl ResilientServer {
             apply_read_timeout(ch, &self.deadlines)?;
 
             let info = self.server.public_info();
+            let mut claimed: Option<ServerBundle> = None;
             let (batch, token, resume_ok) = handshake_server(
                 ch,
                 // Adopt the client's announced batch: the server side of a
                 // prediction service has no a-priori batch expectation.
                 |b| SessionParams::for_model(&info, self.server.exec.variant, b),
-                |t| checkpoint.as_ref().is_some_and(|(ct, _, _)| ct == t),
+                |t| {
+                    claimed = self.store.claim(t);
+                    claimed.is_some()
+                },
             )?;
 
-            ch.set_phase_budget(self.deadlines.offline_budget)?;
-            let state = if resume_ok {
-                resumed = true;
-                let (_, us, ck_batch) = checkpoint.as_ref().expect("resume implies checkpoint");
-                let session = ServerSession::setup(ch, rng)?;
-                ServerOffline::from_parts(session, us.clone(), *ck_batch)
-            } else {
-                checkpoint = None;
-                let state = self.server.offline_after_handshake(ch, batch, rng)?;
-                checkpoint = Some((token, state.us.clone(), batch));
-                state
-            };
+            // From here on, `checkpoint` holds the connection-independent
+            // state a reconnecting client could resume from; it goes back
+            // into the store only on a retryable failure.
+            let mut checkpoint: Option<ServerBundle> = claimed;
+            let outcome = (|| -> Result<(), ProtocolError> {
+                ch.set_phase_budget(self.deadlines.offline_budget)?;
+                let state = if resume_ok {
+                    resumed = true;
+                    let bundle = checkpoint.clone().expect("resume implies claimed checkpoint");
+                    let session = ServerSession::setup(ch, rng)?;
+                    ServerOffline::from_bundle(session, bundle)
+                } else {
+                    let state = self.server.offline_after_handshake(ch, batch, rng)?;
+                    checkpoint = Some(state.to_bundle());
+                    state
+                };
 
-            after_offline(ch, attempt);
+                after_offline(ch, attempt);
 
-            ch.set_phase_budget(self.deadlines.online_budget)?;
-            self.server.online(ch, state)?;
-            ch.set_phase_budget(None)?;
-            Ok(())
+                ch.set_phase_budget(self.deadlines.online_budget)?;
+                self.server.online(ch, state)?;
+                ch.set_phase_budget(None)?;
+                Ok(())
+            })();
+            match outcome {
+                Ok(()) => {
+                    self.store.remove(&token);
+                    Ok(())
+                }
+                Err(e) => {
+                    if e.is_retryable() {
+                        if let Some(bundle) = checkpoint.take() {
+                            self.store.insert(token, bundle);
+                        }
+                    }
+                    Err(e)
+                }
+            }
         })?;
         Ok(RunReport { attempts, resumed })
     }
@@ -366,6 +523,131 @@ mod tests {
             assert!(report.resumed, "client must have resumed from checkpoint");
             let srv_report = srv.join().unwrap().unwrap();
             assert!(srv_report.resumed, "server must have accepted the resume token");
+        });
+    }
+
+    fn dummy_bundle(tag: u64) -> ServerBundle {
+        ServerBundle { us: vec![Matrix::new(1, 1, vec![tag])], batch: 1 }
+    }
+
+    #[test]
+    fn checkpoint_store_evicts_least_recently_used() {
+        let store = CheckpointStore::new(2);
+        let (t1, t2, t3) = ([1u8; 16], [2u8; 16], [3u8; 16]);
+        store.insert(t1, dummy_bundle(1));
+        store.insert(t2, dummy_bundle(2));
+        assert!(store.contains(&t1)); // refresh t1 → t2 is now oldest
+        store.insert(t3, dummy_bundle(3));
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(&t1));
+        assert!(!store.contains(&t2), "t2 was least recently used");
+        assert!(store.contains(&t3));
+    }
+
+    #[test]
+    fn checkpoint_store_claim_is_single_use() {
+        let store = CheckpointStore::new(4);
+        let t = [7u8; 16];
+        store.insert(t, dummy_bundle(7));
+        assert_eq!(store.claim(&t), Some(dummy_bundle(7)));
+        assert_eq!(store.claim(&t), None, "second claim must miss");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_store_concurrent_claims_yield_one_winner() {
+        let store = Arc::new(CheckpointStore::new(4));
+        let t = [9u8; 16];
+        store.insert(t, dummy_bundle(9));
+        let winners: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let store = Arc::clone(&store);
+                    scope.spawn(move || usize::from(store.claim(&t).is_some()))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(winners, 1, "exactly one concurrent claim may succeed");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn checkpoint_store_rejects_zero_capacity() {
+        let _ = CheckpointStore::new(0);
+    }
+
+    #[test]
+    fn resume_after_eviction_downgrades_to_fresh_run() {
+        let q = tiny_model(102);
+        let inputs = sample_inputs(&q, 1, 103);
+        let expected = q.forward_exact(&inputs[0]);
+
+        let (dialer, listener) = sim_link(NetworkModel::instant());
+        // Capacity-1 store: a rogue insert between the cut and the
+        // reconnect evicts the job's own checkpoint.
+        let store = Arc::new(CheckpointStore::new(1));
+        let server = ResilientServer::new(SecureServer::new(q))
+            .with_policy(RetryPolicy::no_delay(3))
+            .with_deadlines(fast_deadlines())
+            .with_checkpoint_store(Arc::clone(&store));
+        // A real backoff (≥150ms after jitter) gives the watcher thread
+        // below time to evict before the reconnect presents the token.
+        let client_policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(300),
+            max_delay: Duration::from_millis(300),
+            jitter_seed: 1,
+        };
+        let client = ResilientClient::new(SecureClient::new(server.server.public_info()))
+            .with_policy(client_policy)
+            .with_deadlines(fast_deadlines());
+
+        std::thread::scope(|scope| {
+            let srv = scope.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(104);
+                server.serve_one_with(
+                    |_| {
+                        listener
+                            .accept_timeout(Duration::from_secs(5))
+                            .map(|ep| FaultyTransport::new(ep, Fault::None))
+                    },
+                    |ch, attempt| {
+                        if attempt == 0 {
+                            // Die two messages into the online phase; the
+                            // server then checkpoints the job under the
+                            // client's token.
+                            ch.set_fault(Fault::CutAfterMessages(ch.sends() + 2));
+                        }
+                    },
+                    &mut rng,
+                )
+            });
+            // Watcher: the moment the failure checkpoint appears, shove a
+            // rogue entry into the capacity-1 store to evict it.
+            let evict_store = Arc::clone(&store);
+            let watcher = scope.spawn(move || {
+                for _ in 0..5000 {
+                    if evict_store.len() == 1 {
+                        evict_store.insert([0xEE; 16], dummy_bundle(0));
+                        return true;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                false
+            });
+            let mut rng = rand::rngs::StdRng::seed_from_u64(105);
+            let (y, report) = client.run_raw(|_| dialer.dial(), &inputs, &mut rng).unwrap();
+            assert_eq!(y.col(0), expected, "downgraded fresh run must stay bit-exact");
+            assert!(report.attempts >= 2, "client must have reconnected");
+            assert!(watcher.join().unwrap(), "watcher must have seen the checkpoint");
+            let srv_report = srv.join().unwrap().unwrap();
+            assert!(
+                !srv_report.resumed,
+                "evicted token must downgrade to a fresh offline run, not resume"
+            );
         });
     }
 

@@ -6,9 +6,16 @@
 //! inner transport's own counters — so phase attribution works identically
 //! over the simulated [`Endpoint`](crate::Endpoint), real TCP, or any future
 //! transport, which is what the paper's per-phase Comm. tables need.
+//!
+//! Phase stats live behind a shared, cloneable [`InstrumentHandle`]: any
+//! number of observers can snapshot the counters concurrently while the
+//! transport is in use on another thread — a multi-session server
+//! aggregates live per-phase traffic across all of its connections this
+//! way, without `&mut` access to any transport.
 
 use crate::channel::CommSnapshot;
 use crate::transport::{Transport, TransportError};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Traffic and wall-clock time attributed to one phase.
@@ -26,44 +33,145 @@ pub struct PhaseStats {
     pub elapsed: Duration,
 }
 
-/// Decorator recording per-phase byte/message/time counters.
+impl PhaseStats {
+    /// Accumulates `other` into `self` (counter-wise sum; elapsed adds).
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.messages_sent += other.messages_sent;
+        self.messages_received += other.messages_received;
+        self.elapsed += other.elapsed;
+    }
+
+    /// Total payload bytes crossing the wire in both directions.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+/// Shared, cloneable read handle onto an [`InstrumentedTransport`]'s phase
+/// counters. Snapshots never block the transport for longer than a counter
+/// update, and remain valid after the transport is dropped (they report the
+/// final state).
+#[derive(Debug, Clone, Default)]
+pub struct InstrumentHandle {
+    phases: Arc<Mutex<Vec<(String, PhaseStats)>>>,
+}
+
+impl InstrumentHandle {
+    fn new() -> Self {
+        InstrumentHandle {
+            phases: Arc::new(Mutex::new(vec![("setup".to_string(), PhaseStats::default())])),
+        }
+    }
+
+    /// Snapshot of all phases in chronological order (current phase last,
+    /// with its clock up to date as of the last channel operation).
+    #[must_use]
+    pub fn phases(&self) -> Vec<(String, PhaseStats)> {
+        self.phases.lock().expect("instrument lock").clone()
+    }
+
+    /// Stats for the most recent phase with this name, if any.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<PhaseStats> {
+        self.phases
+            .lock()
+            .expect("instrument lock")
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+    }
+
+    /// Sum of every phase with this name (a re-entered phase opens a fresh
+    /// entry; this folds them back together).
+    #[must_use]
+    pub fn phase_total(&self, name: &str) -> PhaseStats {
+        let mut total = PhaseStats::default();
+        for (n, s) in self.phases.lock().expect("instrument lock").iter() {
+            if n == name {
+                total.merge(s);
+            }
+        }
+        total
+    }
+
+    /// Sum over all phases.
+    #[must_use]
+    pub fn total(&self) -> PhaseStats {
+        let mut total = PhaseStats::default();
+        for (_, s) in self.phases.lock().expect("instrument lock").iter() {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Whether this is the last handle standing — the transport (and every
+    /// other clone) has been dropped, so the counters are final. Lets a
+    /// long-lived registry fold finished sessions into a frozen total
+    /// instead of holding live handles forever.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        Arc::strong_count(&self.phases) == 1
+    }
+
+    fn with_current<F: FnOnce(&mut PhaseStats)>(&self, f: F) {
+        let mut phases = self.phases.lock().expect("instrument lock");
+        f(&mut phases.last_mut().expect("at least one phase").1)
+    }
+
+    fn push(&self, name: &str) {
+        self.phases
+            .lock()
+            .expect("instrument lock")
+            .push((name.to_string(), PhaseStats::default()));
+    }
+}
+
+/// Decorator recording per-phase byte/message/time counters, readable
+/// concurrently through [`InstrumentHandle`]s.
 pub struct InstrumentedTransport<T> {
     inner: T,
-    phases: Vec<(String, PhaseStats)>,
+    handle: InstrumentHandle,
     phase_started: Instant,
 }
 
 impl<T: Transport> InstrumentedTransport<T> {
     /// Wraps `inner`, opening an initial phase named `"setup"`.
     pub fn new(inner: T) -> Self {
-        Self {
-            inner,
-            phases: vec![("setup".to_string(), PhaseStats::default())],
-            phase_started: Instant::now(),
-        }
+        Self { inner, handle: InstrumentHandle::new(), phase_started: Instant::now() }
+    }
+
+    /// A cloneable read handle onto this transport's phase counters.
+    #[must_use]
+    pub fn handle(&self) -> InstrumentHandle {
+        self.handle.clone()
     }
 
     /// Closes the current phase and opens a new one. Re-entering a name
     /// opens a fresh entry; entries are reported in chronological order.
     pub fn enter_phase(&mut self, name: &str) {
         self.roll_clock();
-        self.phases.push((name.to_string(), PhaseStats::default()));
+        self.handle.push(name);
     }
 
     /// Stats for the most recent phase with this name, if any.
     #[must_use]
     pub fn phase(&self, name: &str) -> Option<PhaseStats> {
-        self.phases.iter().rev().find(|(n, _)| n == name).map(|(_, s)| *s)
+        self.handle.phase(name)
     }
 
     /// All phases in chronological order (current phase last, with its
     /// clock up to date as of the last channel operation).
     #[must_use]
-    pub fn phases(&self) -> &[(String, PhaseStats)] {
-        &self.phases
+    pub fn phases(&self) -> Vec<(String, PhaseStats)> {
+        self.handle.phases()
     }
 
-    /// Unwraps the decorator, returning the inner transport.
+    /// Unwraps the decorator, returning the inner transport. Handles stay
+    /// valid and report the final counters.
     pub fn into_inner(self) -> T {
         self.inner
     }
@@ -71,12 +179,8 @@ impl<T: Transport> InstrumentedTransport<T> {
     fn roll_clock(&mut self) {
         let now = Instant::now();
         let delta = now.duration_since(self.phase_started);
-        self.current().elapsed += delta;
+        self.handle.with_current(|s| s.elapsed += delta);
         self.phase_started = now;
-    }
-
-    fn current(&mut self) -> &mut PhaseStats {
-        &mut self.phases.last_mut().expect("at least one phase").1
     }
 }
 
@@ -84,9 +188,10 @@ impl<T: Transport> Transport for InstrumentedTransport<T> {
     fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
         self.inner.send(payload)?;
         self.roll_clock();
-        let stats = self.current();
-        stats.bytes_sent += payload.len() as u64;
-        stats.messages_sent += 1;
+        self.handle.with_current(|s| {
+            s.bytes_sent += payload.len() as u64;
+            s.messages_sent += 1;
+        });
         Ok(())
     }
 
@@ -94,18 +199,20 @@ impl<T: Transport> Transport for InstrumentedTransport<T> {
         let len = payload.len() as u64;
         self.inner.send_owned(payload)?;
         self.roll_clock();
-        let stats = self.current();
-        stats.bytes_sent += len;
-        stats.messages_sent += 1;
+        self.handle.with_current(|s| {
+            s.bytes_sent += len;
+            s.messages_sent += 1;
+        });
         Ok(())
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
         let payload = self.inner.recv()?;
         self.roll_clock();
-        let stats = self.current();
-        stats.bytes_received += payload.len() as u64;
-        stats.messages_received += 1;
+        self.handle.with_current(|s| {
+            s.bytes_received += payload.len() as u64;
+            s.messages_received += 1;
+        });
         Ok(payload)
     }
 
@@ -167,5 +274,54 @@ mod tests {
         assert_eq!(a.phases().len(), 4);
         assert_eq!(a.phases()[1].0, "layer");
         assert_eq!(a.phases()[3].0, "layer");
+    }
+
+    #[test]
+    fn handle_snapshots_concurrently_and_survives_drop() {
+        let (a, mut b) = Endpoint::pair(NetworkModel::instant());
+        let mut a = InstrumentedTransport::new(a);
+        let handle = a.handle();
+        a.enter_phase("offline");
+
+        std::thread::scope(|scope| {
+            let watcher = scope.spawn(|| {
+                // Live snapshot from another thread, no &mut access.
+                loop {
+                    if handle.phase_total("offline").messages_sent >= 3 {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+            for v in 0..3u64 {
+                a.send_u64(v).unwrap();
+            }
+            watcher.join().unwrap();
+        });
+        for _ in 0..3 {
+            let _ = b.recv().unwrap();
+        }
+
+        let handle2 = handle.clone();
+        drop(a);
+        assert_eq!(handle2.phase("offline").unwrap().bytes_sent, 24);
+        assert_eq!(handle2.total().bytes_sent, 24);
+    }
+
+    #[test]
+    fn merge_and_totals() {
+        let mut a = PhaseStats {
+            bytes_sent: 1,
+            bytes_received: 2,
+            messages_sent: 3,
+            messages_received: 4,
+            elapsed: Duration::from_millis(5),
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.bytes_sent, 2);
+        assert_eq!(a.messages_received, 8);
+        assert_eq!(a.elapsed, Duration::from_millis(10));
+        assert_eq!(a.total_bytes(), 6);
     }
 }

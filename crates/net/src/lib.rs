@@ -65,7 +65,7 @@ pub mod transport;
 
 pub use channel::{sim_link, CommSnapshot, Endpoint, SimDialer, SimListener};
 pub use fault::{Fault, FaultPlan, FaultyTransport};
-pub use instrument::{InstrumentedTransport, PhaseStats};
+pub use instrument::{InstrumentHandle, InstrumentedTransport, PhaseStats};
 pub use model::NetworkModel;
 pub use runner::{run_pair, ResilientDriver, RetryPolicy, Retryable, TrafficReport};
 pub use tcp::TcpTransport;

@@ -1,0 +1,212 @@
+//! Client driver for the serving frontend.
+//!
+//! [`ServeClient`] wraps a [`SecureClient`] with everything a caller
+//! talking to a [`Server`](crate::Server) needs: TCP connection minting,
+//! reconnect-and-resume under a [`RetryPolicy`], warm-bundle negotiation,
+//! and per-phase instrumentation. The returned [`ServeReport`] carries the
+//! merged phase stats across all attempts, so callers (and the acceptance
+//! tests) can verify a warm request moved *zero* offline-phase bytes.
+
+use abnn2_core::bundle::ClientBundle;
+use abnn2_core::handshake::{handshake_client_ext, HelloRequest, ResumeToken, SessionParams};
+use abnn2_core::inference::ClientOffline;
+use abnn2_core::session::ClientSession;
+use abnn2_core::{ProtocolError, PublicModelInfo, ReluVariant, SecureClient, SessionDeadlines};
+use abnn2_math::Matrix;
+use abnn2_net::{
+    InstrumentHandle, InstrumentedTransport, PhaseStats, ResilientDriver, RetryPolicy,
+    TcpTransport, Transport,
+};
+use rand::Rng;
+use std::net::SocketAddr;
+
+/// Outcome of one served request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connection attempts consumed (1 = no failure).
+    pub attempts: u32,
+    /// Whether any attempt resumed from a checkpoint.
+    pub resumed: bool,
+    /// Whether the final attempt ran warm (server-supplied bundle instead
+    /// of an interactive offline phase).
+    pub warm: bool,
+    /// Per-phase traffic merged across all attempts, in first-seen order.
+    pub phases: Vec<(String, PhaseStats)>,
+}
+
+impl ServeReport {
+    /// Total traffic for the phase, zero if the phase never ran.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> PhaseStats {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, s)| *s).unwrap_or_default()
+    }
+}
+
+/// A reconnecting, bundle-aware client for the serving frontend.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    client: SecureClient,
+    variant: ReluVariant,
+    policy: RetryPolicy,
+    deadlines: SessionDeadlines,
+    request_bundle: bool,
+}
+
+impl ServeClient {
+    /// Client for the model described by `info`, requesting warm bundles,
+    /// with the default retry policy and LAN deadlines.
+    #[must_use]
+    pub fn new(info: PublicModelInfo) -> Self {
+        // Match ServeConfig's default ExecConfig so a default client and a
+        // default server negotiate successfully out of the box.
+        let variant = abnn2_core::ExecConfig::new().variant;
+        ServeClient {
+            client: SecureClient::new(info).with_variant(variant),
+            variant,
+            policy: RetryPolicy::default(),
+            deadlines: SessionDeadlines::lan(),
+            request_bundle: true,
+        }
+    }
+
+    /// Selects the activation variant (must match the server's).
+    #[must_use]
+    pub fn with_variant(mut self, variant: ReluVariant) -> Self {
+        self.variant = variant;
+        self.client = self.client.with_variant(variant);
+        self
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the deadline budget.
+    #[must_use]
+    pub fn with_deadlines(mut self, deadlines: SessionDeadlines) -> Self {
+        self.deadlines = deadlines;
+        self
+    }
+
+    /// Whether to ask the server for a precomputed bundle (default true).
+    /// With `false` every request pays the interactive offline phase.
+    #[must_use]
+    pub fn with_bundles(mut self, request: bool) -> Self {
+        self.request_bundle = request;
+        self
+    }
+
+    /// Runs one batch of predictions against the server at `addr`,
+    /// reconnecting and resuming as needed. Returns the raw logits
+    /// (`out_dim × batch`), bit-identical to
+    /// `QuantizedNetwork::forward_exact`, plus a [`ServeReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Overloaded`] when the server refuses admission
+    /// (never retried here — schedule your own backoff); otherwise the
+    /// first fatal error or the last transient one once the retry policy
+    /// is exhausted.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        addr: SocketAddr,
+        inputs_fp: &[Vec<u64>],
+        rng: &mut R,
+    ) -> Result<(Matrix, ServeReport), ProtocolError> {
+        let batch = inputs_fp.len();
+        if batch == 0 {
+            return Err(ProtocolError::Dimension("batch must be positive"));
+        }
+        let ours = SessionParams::for_model(self.client.public_info(), self.variant, batch);
+        let mut token: ResumeToken = [0; 16];
+        rng.fill(&mut token);
+
+        let mut checkpoint: Option<ClientBundle> = None;
+        let mut attempts = 0u32;
+        let mut resumed = false;
+        let mut warm = false;
+        let mut handles: Vec<InstrumentHandle> = Vec::new();
+
+        let driver = ResilientDriver::new(self.policy);
+        let result = driver.run(
+            |_attempt| TcpTransport::connect(addr).map(InstrumentedTransport::new),
+            |ch, attempt| -> Result<Matrix, ProtocolError> {
+                attempts = attempt + 1;
+                handles.push(ch.handle());
+                ch.set_read_timeout(self.deadlines.read_timeout)?;
+
+                ch.enter_phase("handshake");
+                let request = HelloRequest {
+                    resume: checkpoint.is_some(),
+                    bundle: self.request_bundle && checkpoint.is_none(),
+                };
+                let reply = handshake_client_ext(ch, ours, &token, request)?;
+
+                ch.set_phase_budget(self.deadlines.offline_budget)?;
+                ch.enter_phase("setup");
+                let session = ClientSession::setup(ch, rng)?;
+
+                let state = if reply.resume {
+                    resumed = true;
+                    let bundle = checkpoint.clone().expect("resume implies checkpoint");
+                    ClientOffline::from_bundle(session, bundle)
+                } else if reply.bundle {
+                    warm = true;
+                    ch.enter_phase("bundle");
+                    let bytes = ch.recv()?;
+                    let bundle = ClientBundle::decode(&bytes, self.client.public_info(), batch)?;
+                    checkpoint = Some(bundle.clone());
+                    ClientOffline::from_bundle(session, bundle)
+                } else {
+                    // Cold path: the server had neither our checkpoint nor
+                    // a pooled bundle.
+                    warm = false;
+                    checkpoint = None;
+                    ch.enter_phase("offline");
+                    let state = self.client.offline_with(ch, session, batch, rng)?;
+                    checkpoint = Some(state.to_bundle());
+                    state
+                };
+
+                ch.enter_phase("online");
+                ch.set_phase_budget(self.deadlines.online_budget)?;
+                let y = self.client.online_raw(ch, state, inputs_fp, rng)?;
+                ch.set_phase_budget(None)?;
+                Ok(y)
+            },
+        );
+
+        let phases = merge_handles(&handles);
+        let logits = result?;
+        Ok((logits, ServeReport { attempts, resumed, warm, phases }))
+    }
+}
+
+/// Folds per-attempt instrument handles into one phase list, first-seen
+/// order preserved.
+fn merge_handles(handles: &[InstrumentHandle]) -> Vec<(String, PhaseStats)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut merged: std::collections::HashMap<String, PhaseStats> =
+        std::collections::HashMap::new();
+    for handle in handles {
+        for (name, stats) in handle.phases() {
+            merged
+                .entry(name.clone())
+                .or_insert_with(|| {
+                    order.push(name.clone());
+                    PhaseStats::default()
+                })
+                .merge(&stats);
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let stats = merged[&name];
+            (name, stats)
+        })
+        .collect()
+}

@@ -1,0 +1,46 @@
+//! `abnn2-serve`: a concurrent multi-client secure-inference service.
+//!
+//! The protocol crates answer "how do two parties run one prediction";
+//! this crate answers "how does one model holder serve *many* clients at
+//! once without paying the offline phase on the critical path". Four
+//! pieces:
+//!
+//! * [`Server`] — a TCP frontend with a bounded accept queue and a fixed
+//!   worker pool. Each accepted connection runs one protocol session
+//!   (handshake → base-OT setup → offline-or-bundle → online) on a worker
+//!   thread, reusing the PR-2 handshake, deadline, and resume machinery.
+//!   When the queue is full or the server is draining, new connections are
+//!   rejected *in protocol* (a busy hello frame) so clients see a typed
+//!   [`ProtocolError::Overloaded`], never a hang.
+//! * [`PrecomputePool`] — a background producer thread that keeps a
+//!   bounded buffer of ready offline-triplet bundle pairs per
+//!   [`BundleKey`] (model digest, scheme digest, batch). A client that
+//!   asks for a bundle in its hello skips the interactive offline phase
+//!   entirely: the server pops a pair, sends the client half in a
+//!   dedicated `"bundle"` instrumentation phase, and proceeds straight to
+//!   the online phase. See DESIGN.md §6 for the dealer trust model this
+//!   implies — the pool is an opt-in trade of offline latency for trust.
+//! * [`MetricsRegistry`] — thread-safe serving metrics: admission
+//!   counters, live session gauge, pool hit/miss counters, and per-phase
+//!   traffic aggregated across every connection's
+//!   [`InstrumentHandle`](abnn2_net::InstrumentHandle).
+//! * [`ServeClient`] — the matching client driver: reconnect-and-resume
+//!   (shared with PR 2), warm-bundle negotiation, and a per-request
+//!   [`ServeReport`] with per-phase byte counts.
+//!
+//! Logits are bit-identical to
+//! [`QuantizedNetwork::forward_exact`](abnn2_nn::quant::QuantizedNetwork::forward_exact)
+//! on every path — cold, warm, resumed, or downgraded.
+//!
+//! [`ProtocolError::Overloaded`]: abnn2_core::ProtocolError::Overloaded
+
+pub mod client;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+
+pub use abnn2_core::bundle::BundleKey;
+pub use client::{ServeClient, ServeReport};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use pool::{PoolSnapshot, PrecomputePool};
+pub use server::{ServeConfig, Server};

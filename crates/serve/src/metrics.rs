@@ -1,0 +1,225 @@
+//! Thread-safe serving metrics.
+//!
+//! One [`MetricsRegistry`] serves a whole [`Server`](crate::Server):
+//! admission counters are lock-free atomics, and per-phase traffic is
+//! aggregated lazily from each connection's
+//! [`InstrumentHandle`](abnn2_net::InstrumentHandle). Handles whose
+//! transport has finished are folded into a frozen accumulator on the next
+//! registration, so the registry's memory stays proportional to *live*
+//! sessions, not total sessions served.
+
+use abnn2_net::{InstrumentHandle, PhaseStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::pool::PoolSnapshot;
+
+/// Point-in-time view of a server's counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Connections admitted into the accept queue.
+    pub accepted: u64,
+    /// Connections refused with a busy frame (queue full or draining).
+    pub rejected: u64,
+    /// Sessions that ran the protocol to completion.
+    pub completed: u64,
+    /// Sessions that ended in a protocol or transport error.
+    pub failed: u64,
+    /// Sessions currently being served by a worker.
+    pub active: u64,
+    /// Precompute-pool counters (zeroed when the pool is disabled).
+    pub pool: PoolSnapshot,
+    /// Per-phase traffic summed over every session ever registered, in
+    /// first-seen phase order (`handshake`, `setup`, `bundle`/`offline`,
+    /// `online` for a typical server).
+    pub phases: Vec<(String, PhaseStats)>,
+}
+
+impl MetricsSnapshot {
+    /// Total traffic for the phase, zero if the phase never ran.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> PhaseStats {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, s)| *s).unwrap_or_default()
+    }
+}
+
+#[derive(Default)]
+struct PhaseAggregate {
+    /// Folded totals of finished sessions, keyed by phase name; the value's
+    /// second field is the first-seen rank, for stable reporting order.
+    frozen: HashMap<String, (PhaseStats, usize)>,
+    /// Handles of sessions that may still be producing traffic.
+    live: Vec<InstrumentHandle>,
+}
+
+impl PhaseAggregate {
+    fn fold_into_frozen(&mut self, handle: &InstrumentHandle) {
+        for (name, stats) in handle.phases() {
+            let rank = self.frozen.len();
+            self.frozen.entry(name).or_insert((PhaseStats::default(), rank)).0.merge(&stats);
+        }
+    }
+
+    fn compact(&mut self) {
+        let mut i = 0;
+        while i < self.live.len() {
+            if self.live[i].is_finished() {
+                let handle = self.live.swap_remove(i);
+                self.fold_into_frozen(&handle);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn totals(&self) -> Vec<(String, PhaseStats)> {
+        let mut merged = self.frozen.clone();
+        for handle in &self.live {
+            for (name, stats) in handle.phases() {
+                let rank = merged.len();
+                merged.entry(name).or_insert((PhaseStats::default(), rank)).0.merge(&stats);
+            }
+        }
+        let mut out: Vec<(String, PhaseStats, usize)> =
+            merged.into_iter().map(|(n, (s, rank))| (n, s, rank)).collect();
+        out.sort_by_key(|&(_, _, rank)| rank);
+        out.into_iter().map(|(n, s, _)| (n, s)).collect()
+    }
+}
+
+/// Shared counters and per-phase aggregation for one serving frontend.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    active: AtomicU64,
+    phases: Mutex<PhaseAggregate>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("snapshot", &self.snapshot(PoolSnapshot::default()))
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Fresh registry with all counters at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an admitted connection.
+    pub fn connection_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a busy-rejected connection.
+    pub fn connection_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a session as started (bumps the active gauge).
+    pub fn session_started(&self) {
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a session as ended, recording its outcome.
+    pub fn session_ended(&self, ok: bool) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds a session's instrument handle to the per-phase aggregation.
+    /// Finished sessions are folded into the frozen totals as a side
+    /// effect, bounding live-handle growth.
+    pub fn register(&self, handle: InstrumentHandle) {
+        let mut agg = self.phases.lock().expect("metrics lock");
+        agg.compact();
+        agg.live.push(handle);
+    }
+
+    /// Point-in-time snapshot; `pool` supplies the precompute-pool gauges
+    /// (pass `PoolSnapshot::default()` when no pool is attached).
+    #[must_use]
+    pub fn snapshot(&self, pool: PoolSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            pool,
+            phases: self.phases.lock().expect("metrics lock").totals(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_net::{Endpoint, InstrumentedTransport, NetworkModel, Transport};
+
+    #[test]
+    fn counters_and_phase_aggregation() {
+        let reg = MetricsRegistry::new();
+        reg.connection_accepted();
+        reg.connection_accepted();
+        reg.connection_rejected();
+        reg.session_started();
+        reg.session_ended(true);
+        reg.session_started();
+        reg.session_ended(false);
+
+        let (a, mut b) = Endpoint::pair(NetworkModel::instant());
+        let mut t = InstrumentedTransport::new(a);
+        reg.register(t.handle());
+        t.enter_phase("online");
+        t.send(b"12345").unwrap();
+        let _ = b.recv().unwrap();
+
+        let snap = reg.snapshot(PoolSnapshot::default());
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.active, 0);
+        assert_eq!(snap.phase("online").bytes_sent, 5);
+        assert_eq!(snap.phase("nonexistent"), PhaseStats::default());
+    }
+
+    #[test]
+    fn finished_sessions_fold_into_frozen_totals() {
+        let reg = MetricsRegistry::new();
+        for _ in 0..3 {
+            let (a, mut b) = Endpoint::pair(NetworkModel::instant());
+            let mut t = InstrumentedTransport::new(a);
+            reg.register(t.handle());
+            t.enter_phase("online");
+            t.send(b"xx").unwrap();
+            let _ = b.recv().unwrap();
+            // Dropping the transport finishes its handle.
+        }
+        // Registration compacts; a fresh live session keeps counting.
+        let (a, _b) = Endpoint::pair(NetworkModel::instant());
+        let t = InstrumentedTransport::new(a);
+        reg.register(t.handle());
+        {
+            let agg = reg.phases.lock().unwrap();
+            assert_eq!(agg.live.len(), 1, "finished handles must be folded away");
+            assert!(!agg.frozen.is_empty());
+        }
+        let snap = reg.snapshot(PoolSnapshot::default());
+        assert_eq!(snap.phase("online").bytes_sent, 6);
+        assert_eq!(snap.phase("online").messages_sent, 3);
+    }
+}

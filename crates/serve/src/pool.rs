@@ -1,0 +1,295 @@
+//! Background precompute pool for offline-triplet bundles.
+//!
+//! A dedicated producer thread manufactures dealer-mode bundle pairs
+//! ([`abnn2_core::bundle::dealer_bundle`]) and parks them in a bounded
+//! per-key buffer. The serving path consumes pairs with a non-blocking
+//! [`take`](PrecomputePool::take): a hit means the session skips the
+//! interactive offline phase; a miss simply falls back to the cold path —
+//! the pool can only make requests faster, never wrong, because warm and
+//! cold bundles satisfy the same triplet invariant `U + V = W·R`.
+
+use abnn2_core::bundle::{dealer_bundle, BundleKey, ClientBundle, ServerBundle};
+use abnn2_core::PublicModelInfo;
+use abnn2_nn::quant::QuantizedNetwork;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Point-in-time view of the pool's counters and buffer fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolSnapshot {
+    /// Bundle pairs manufactured since start.
+    pub produced: u64,
+    /// Successful [`take`](PrecomputePool::take) calls (warm sessions).
+    pub hits: u64,
+    /// Missed takes (cold sessions while the pool was drained).
+    pub misses: u64,
+    /// Bundle pairs currently buffered across all keys.
+    pub ready: usize,
+}
+
+struct PoolState {
+    buffers: HashMap<BundleKey, Vec<(ServerBundle, ClientBundle)>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signaled on every take (producer refills) and on every push
+    /// (warm-up waiters).
+    changed: Condvar,
+    produced: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Bounded buffer of ready offline-triplet bundle pairs, filled by a
+/// background thread. See the module docs.
+pub struct PrecomputePool {
+    shared: Arc<PoolShared>,
+    producer: Mutex<Option<JoinHandle<()>>>,
+    keys: Vec<BundleKey>,
+    depth: usize,
+}
+
+impl std::fmt::Debug for PrecomputePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrecomputePool")
+            .field("keys", &self.keys)
+            .field("depth", &self.depth)
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl PrecomputePool {
+    /// Starts a pool keeping up to `depth` ready pairs for each batch size
+    /// in `batches`, producing from `net` with a deterministic RNG seeded
+    /// by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or `batches` is empty — a pool that can
+    /// hold nothing is a configuration bug, not a runtime condition.
+    #[must_use]
+    pub fn start(net: Arc<QuantizedNetwork>, batches: &[usize], depth: usize, seed: u64) -> Self {
+        assert!(depth > 0, "pool depth must be positive");
+        assert!(!batches.is_empty(), "pool needs at least one batch size");
+        let info = PublicModelInfo::from(net.as_ref());
+        let keys: Vec<BundleKey> =
+            batches.iter().map(|&b| BundleKey::for_model(&info, b)).collect();
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { buffers: HashMap::new(), shutdown: false }),
+            changed: Condvar::new(),
+            produced: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        });
+
+        let producer = {
+            let shared = Arc::clone(&shared);
+            let batches: Vec<usize> = batches.to_vec();
+            let keys = keys.clone();
+            std::thread::Builder::new()
+                .name("abnn2-pool".into())
+                .spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    producer_loop(&shared, &net, &keys, &batches, depth, &mut rng);
+                })
+                .expect("spawn pool producer")
+        };
+
+        PrecomputePool { shared, producer: Mutex::new(Some(producer)), keys, depth }
+    }
+
+    /// The keys this pool produces for.
+    #[must_use]
+    pub fn keys(&self) -> &[BundleKey] {
+        &self.keys
+    }
+
+    /// Pops a ready pair for `key`, if one is buffered. Never blocks: a
+    /// miss is the caller's cue to run the cold offline path.
+    #[must_use]
+    pub fn take(&self, key: &BundleKey) -> Option<(ServerBundle, ClientBundle)> {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        let taken = state.buffers.get_mut(key).and_then(Vec::pop);
+        drop(state);
+        if taken.is_some() {
+            self.shared.hits.fetch_add(1, Ordering::Relaxed);
+            // The producer may be parked on a full pool; wake it to refill.
+            self.shared.changed.notify_all();
+        } else {
+            self.shared.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        taken
+    }
+
+    /// Blocks until at least `count` pairs are buffered for `key`, or
+    /// `timeout` elapses. Returns whether the target was reached. Lets
+    /// deployments (and tests) warm the pool before opening the doors.
+    #[must_use]
+    pub fn wait_ready(&self, key: &BundleKey, count: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("pool lock");
+        loop {
+            let ready = state.buffers.get(key).map_or(0, Vec::len);
+            if ready >= count {
+                return true;
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (s, timed_out) = self.shared.changed.wait_timeout(state, left).expect("pool lock");
+            state = s;
+            if timed_out.timed_out() {
+                return state.buffers.get(key).map_or(0, Vec::len) >= count;
+            }
+        }
+    }
+
+    /// Current counters and buffer fill.
+    #[must_use]
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let ready =
+            self.shared.state.lock().expect("pool lock").buffers.values().map(Vec::len).sum();
+        PoolSnapshot {
+            produced: self.shared.produced.load(Ordering::Relaxed),
+            hits: self.shared.hits.load(Ordering::Relaxed),
+            misses: self.shared.misses.load(Ordering::Relaxed),
+            ready,
+        }
+    }
+
+    /// Stops the producer thread and joins it. Idempotent; also run by
+    /// `Drop`.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.changed.notify_all();
+        if let Some(handle) = self.producer.lock().expect("producer lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PrecomputePool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn producer_loop(
+    shared: &PoolShared,
+    net: &QuantizedNetwork,
+    keys: &[BundleKey],
+    batches: &[usize],
+    depth: usize,
+    rng: &mut StdRng,
+) {
+    loop {
+        // Find the emptiest buffer below target depth, or park until a
+        // take (or shutdown) changes the picture.
+        let todo = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                let next = keys
+                    .iter()
+                    .zip(batches)
+                    .map(|(k, &b)| (state.buffers.get(k).map_or(0, Vec::len), k, b))
+                    .filter(|&(len, _, _)| len < depth)
+                    .min_by_key(|&(len, _, _)| len);
+                match next {
+                    Some((_, key, batch)) => break (*key, batch),
+                    None => state = shared.changed.wait(state).expect("pool lock"),
+                }
+            }
+        };
+
+        // Generate outside the lock: dealer bundles are pure local compute
+        // and must not block takers.
+        let (key, batch) = todo;
+        let pair = dealer_bundle(net, batch, rng);
+        let mut state = shared.state.lock().expect("pool lock");
+        if state.shutdown {
+            return;
+        }
+        state.buffers.entry(key).or_default().push(pair);
+        drop(state);
+        shared.produced.fetch_add(1, Ordering::Relaxed);
+        shared.changed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_math::{FragmentScheme, Ring};
+    use abnn2_nn::quant::QuantConfig;
+    use abnn2_nn::Network;
+
+    fn tiny() -> QuantizedNetwork {
+        let net = Network::new(&[6, 5, 3], 21);
+        QuantizedNetwork::quantize(
+            &net,
+            QuantConfig {
+                ring: Ring::new(32),
+                frac_bits: 8,
+                weight_frac_bits: 2,
+                scheme: FragmentScheme::signed_bit_fields(&[2, 2]),
+            },
+        )
+    }
+
+    #[test]
+    fn pool_fills_serves_hits_and_refills() {
+        let net = Arc::new(tiny());
+        let info = PublicModelInfo::from(net.as_ref());
+        let pool = PrecomputePool::start(Arc::clone(&net), &[1, 2], 2, 99);
+        let k1 = BundleKey::for_model(&info, 1);
+        let k2 = BundleKey::for_model(&info, 2);
+
+        assert!(pool.wait_ready(&k1, 2, Duration::from_secs(10)), "pool must fill");
+        assert!(pool.wait_ready(&k2, 2, Duration::from_secs(10)), "pool must fill");
+
+        let (sb, cb) = pool.take(&k1).expect("warm take");
+        assert_eq!(sb.batch, 1);
+        assert_eq!(cb.batch, 1);
+
+        // A key the pool does not produce is a miss, not a block.
+        let other = BundleKey { batch: 77, ..k1 };
+        assert!(pool.take(&other).is_none());
+
+        // The taken slot refills.
+        assert!(pool.wait_ready(&k1, 2, Duration::from_secs(10)), "pool must refill");
+
+        let snap = pool.snapshot();
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 1);
+        assert!(snap.produced >= 5, "4 initial + 1 refill, got {}", snap.produced);
+
+        pool.shutdown();
+        pool.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn shutdown_unblocks_promptly() {
+        let pool = PrecomputePool::start(Arc::new(tiny()), &[1], 1, 7);
+        let info = PublicModelInfo::from(&tiny());
+        let key = BundleKey::for_model(&info, 1);
+        assert!(pool.wait_ready(&key, 1, Duration::from_secs(10)));
+        pool.shutdown();
+        // Post-shutdown takes drain what is buffered, then miss.
+        let _ = pool.take(&key);
+        assert!(pool.take(&key).is_none());
+    }
+}

@@ -1,0 +1,406 @@
+//! The TCP serving frontend: bounded accept queue, worker pool, admission
+//! control, and graceful drain.
+//!
+//! Life of a connection:
+//!
+//! 1. The acceptor thread takes it off the listener. If the server is
+//!    draining or the accept queue is full, it answers with a busy hello
+//!    frame ([`abnn2_core::handshake::reject_busy`]) and closes — the
+//!    client surfaces [`ProtocolError::Overloaded`]. Otherwise the raw
+//!    stream is queued.
+//! 2. A worker dequeues it, wraps it in an
+//!    [`InstrumentedTransport`](abnn2_net::InstrumentedTransport), and runs
+//!    one protocol session: handshake (resume and warm-bundle negotiation)
+//!    → base-OT setup → offline phase *or* pooled-bundle handoff → online
+//!    phase. Checkpoints go through the same bounded
+//!    [`CheckpointStore`](abnn2_core::CheckpointStore) the PR-2 resilient
+//!    drivers use, so a client can disconnect and resume against any
+//!    worker.
+//! 3. [`Server::begin_drain`] flips admission off while in-flight sessions
+//!    run to completion; [`Server::shutdown`] additionally joins every
+//!    thread.
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::pool::{PoolSnapshot, PrecomputePool};
+use abnn2_core::bundle::{BundleKey, ClientBundle, ServerBundle};
+use abnn2_core::handshake::{handshake_server_ext, reject_busy, SessionParams};
+use abnn2_core::inference::ServerOffline;
+use abnn2_core::resilient::DEFAULT_CHECKPOINT_CAPACITY;
+use abnn2_core::session::ServerSession;
+use abnn2_core::{CheckpointStore, ExecConfig, ProtocolError, SecureServer, SessionDeadlines};
+use abnn2_net::{InstrumentedTransport, TcpTransport, Transport};
+use abnn2_nn::quant::QuantizedNetwork;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads running protocol sessions.
+    pub workers: usize,
+    /// Accepted-but-unclaimed connections allowed to wait; beyond this the
+    /// acceptor busy-rejects.
+    pub queue_capacity: usize,
+    /// Ready bundle pairs to keep per batch size; zero disables the
+    /// precompute pool (every session pays the interactive offline phase).
+    pub pool_depth: usize,
+    /// Batch sizes the pool precomputes for.
+    pub pool_batches: Vec<usize>,
+    /// Per-session transport deadlines.
+    pub deadlines: SessionDeadlines,
+    /// Capacity of the shared resume-checkpoint store.
+    pub checkpoint_capacity: usize,
+    /// Execution options (activation variant must match the clients').
+    pub exec: ExecConfig,
+    /// Seed for the per-worker and pool RNGs.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 8,
+            pool_depth: 2,
+            pool_batches: vec![1],
+            deadlines: SessionDeadlines::lan(),
+            checkpoint_capacity: DEFAULT_CHECKPOINT_CAPACITY,
+            exec: ExecConfig::new(),
+            seed: 0xAB22_5E21,
+        }
+    }
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    draining: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    work: Condvar,
+    server: SecureServer,
+    info_params: SessionParamsFactory,
+    config: ServeConfig,
+    store: Arc<CheckpointStore>,
+    pool: Option<PrecomputePool>,
+    metrics: MetricsRegistry,
+}
+
+/// Pre-captured pieces for building `SessionParams` per announced batch
+/// without re-deriving digests on every connection.
+struct SessionParamsFactory {
+    info: abnn2_core::PublicModelInfo,
+    variant: abnn2_core::ReluVariant,
+}
+
+impl SessionParamsFactory {
+    fn for_batch(&self, batch: usize) -> SessionParams {
+        SessionParams::for_model(&self.info, self.variant, batch)
+    }
+}
+
+/// A running multi-client inference service. Dropping the handle drains
+/// and joins all threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the acceptor, worker, and pool threads.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn start(
+        net: QuantizedNetwork,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "need a positive accept queue");
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let net = Arc::new(net);
+        let pool = (config.pool_depth > 0).then(|| {
+            PrecomputePool::start(
+                Arc::clone(&net),
+                &config.pool_batches,
+                config.pool_depth,
+                config.seed ^ 0x706F_6F6C, // distinct stream from the workers
+            )
+        });
+        let info = abnn2_core::PublicModelInfo::from(net.as_ref());
+        let server = SecureServer::new(net.as_ref().clone()).with_exec(config.exec);
+        let store = Arc::new(CheckpointStore::new(config.checkpoint_capacity));
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState { conns: VecDeque::new(), draining: false }),
+            work: Condvar::new(),
+            server,
+            info_params: SessionParamsFactory { info, variant: config.exec.variant },
+            config: config.clone(),
+            store,
+            pool,
+            metrics: MetricsRegistry::new(),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("abnn2-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let seed = config.seed.wrapping_add(1 + i as u64);
+                std::thread::Builder::new()
+                    .name(format!("abnn2-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, seed))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Ok(Server { addr: bound, shared, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound listen address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live metrics, including pool gauges when a pool is attached.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let pool = self.shared.pool.as_ref().map_or(PoolSnapshot::default(), |p| p.snapshot());
+        self.shared.metrics.snapshot(pool)
+    }
+
+    /// The resume-checkpoint store shared by all workers.
+    #[must_use]
+    pub fn checkpoint_store(&self) -> &Arc<CheckpointStore> {
+        &self.shared.store
+    }
+
+    /// Blocks until the pool holds `count` ready pairs for batch size
+    /// `batch` (or `timeout` passes). Returns false when no pool is
+    /// attached or the target was not reached — callers use this to
+    /// guarantee a warm first request.
+    #[must_use]
+    pub fn warm_up(&self, batch: usize, count: usize, timeout: Duration) -> bool {
+        let Some(pool) = self.shared.pool.as_ref() else {
+            return false;
+        };
+        let key = BundleKey::for_model(&self.shared.info_params.info, batch);
+        pool.wait_ready(&key, count, timeout)
+    }
+
+    /// Stops admitting connections (new arrivals get a busy rejection)
+    /// while in-flight and queued sessions run to completion. Idempotent,
+    /// non-blocking.
+    pub fn begin_drain(&self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.draining = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(pool) = self.shared.pool.as_ref() {
+            pool.shutdown();
+        }
+    }
+
+    /// Drains and joins every thread: in-flight sessions finish, new
+    /// connections are rejected, and the call returns once the last worker
+    /// exits. Idempotent; also run on drop.
+    pub fn shutdown(&mut self) {
+        self.begin_drain();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Accepted sockets must be blocking regardless of what
+                // they inherited from the nonblocking listener.
+                let _ = stream.set_nonblocking(false);
+                let rejected = {
+                    let mut q = shared.queue.lock().expect("queue lock");
+                    if q.draining || q.conns.len() >= shared.config.queue_capacity {
+                        Some(stream)
+                    } else {
+                        q.conns.push_back(stream);
+                        None
+                    }
+                };
+                match rejected {
+                    None => {
+                        shared.metrics.connection_accepted();
+                        shared.work.notify_one();
+                    }
+                    Some(stream) => {
+                        shared.metrics.connection_rejected();
+                        send_busy(shared, stream);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if shared.queue.lock().expect("queue lock").draining {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                if shared.queue.lock().expect("queue lock").draining {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Answers a connection the server will not serve with an in-protocol
+/// busy frame, so the peer sees a typed `Overloaded` instead of a reset.
+/// Failures are ignored — the peer is being turned away either way.
+fn send_busy(shared: &Shared, stream: TcpStream) {
+    if let Ok(mut ch) = TcpTransport::from_stream(stream) {
+        let _ = reject_busy(&mut ch, shared.info_params.for_batch(0));
+    }
+}
+
+fn worker_loop(shared: &Shared, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(s) = q.conns.pop_front() {
+                    break Some(s);
+                }
+                if q.draining {
+                    break None;
+                }
+                q = shared.work.wait(q).expect("queue lock");
+            }
+        };
+        let Some(stream) = stream else {
+            return;
+        };
+        shared.metrics.session_started();
+        let ok = serve_connection(shared, stream, &mut rng).is_ok();
+        shared.metrics.session_ended(ok);
+    }
+}
+
+/// Runs one full protocol session over an accepted stream.
+fn serve_connection(
+    shared: &Shared,
+    stream: TcpStream,
+    rng: &mut StdRng,
+) -> Result<(), ProtocolError> {
+    let tcp = TcpTransport::from_stream(stream)?;
+    let mut ch = InstrumentedTransport::new(tcp);
+    shared.metrics.register(ch.handle());
+    ch.set_read_timeout(shared.config.deadlines.read_timeout)?;
+
+    ch.enter_phase("handshake");
+    let mut claimed: Option<ServerBundle> = None;
+    let mut pooled: Option<(ServerBundle, ClientBundle)> = None;
+    let (batch, token, reply) = handshake_server_ext(
+        &mut ch,
+        |b| shared.info_params.for_batch(b),
+        |t| {
+            claimed = shared.store.claim(t);
+            claimed.is_some()
+        },
+        |params| {
+            pooled = shared.pool.as_ref().and_then(|p| p.take(&BundleKey::from_params(params)));
+            pooled.is_some()
+        },
+    )?;
+
+    // `checkpoint` holds the connection-independent state a reconnecting
+    // client could resume from. It stays *out* of the store while this
+    // session is live — that is what makes a concurrently presented
+    // duplicate token downgrade to a fresh run instead of sharing triplets
+    // — and goes back only if the session dies retryably.
+    let mut checkpoint: Option<ServerBundle> = claimed;
+    let outcome = (|| -> Result<(), ProtocolError> {
+        ch.set_phase_budget(shared.config.deadlines.offline_budget)?;
+        ch.enter_phase("setup");
+        let session = ServerSession::setup(&mut ch, rng)?;
+
+        let state = if reply.resume {
+            let bundle = checkpoint.clone().expect("accepted resume implies a claimed checkpoint");
+            if bundle.batch != batch {
+                return Err(ProtocolError::Malformed("resumed checkpoint batch mismatch"));
+            }
+            ServerOffline::from_bundle(session, bundle)
+        } else if reply.bundle {
+            let (sb, cb) = pooled.take().expect("accepted bundle implies a pooled pair");
+            ch.enter_phase("bundle");
+            ch.send(&cb.encode(shared.info_params.info.config.ring))?;
+            ch.flush()?;
+            let state = ServerOffline::from_bundle(session, sb);
+            checkpoint = Some(state.to_bundle());
+            state
+        } else {
+            ch.enter_phase("offline");
+            let state = shared.server.offline_with(&mut ch, session, batch)?;
+            checkpoint = Some(state.to_bundle());
+            state
+        };
+
+        ch.enter_phase("online");
+        ch.set_phase_budget(shared.config.deadlines.online_budget)?;
+        shared.server.online(&mut ch, state)?;
+        ch.set_phase_budget(None)?;
+        Ok(())
+    })();
+    match outcome {
+        Ok(()) => {
+            shared.store.remove(&token);
+            Ok(())
+        }
+        Err(e) => {
+            if e.is_retryable() {
+                if let Some(bundle) = checkpoint.take() {
+                    shared.store.insert(token, bundle);
+                }
+            }
+            Err(e)
+        }
+    }
+}

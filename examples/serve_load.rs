@@ -1,0 +1,151 @@
+//! Load generator for the serving frontend: N concurrent clients fire M
+//! requests each at one [`Server`], every logit is checked against
+//! [`QuantizedNetwork::forward_exact`], and the run ends with the server's
+//! metrics — admission counters, pool hit rate, per-phase traffic.
+//!
+//! ```sh
+//! cargo run --release --example serve_load -- --clients 8 --requests 2
+//! ```
+//!
+//! Exits nonzero on any mismatch or failed request, so CI can use it as a
+//! smoke test (`./scripts/check.sh --serve-smoke`).
+
+use abnn2::core::PublicModelInfo;
+use abnn2::math::{FragmentScheme, Ring};
+use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
+use abnn2::nn::{Network, SyntheticMnist};
+use abnn2::serve::{ServeClient, ServeConfig, Server};
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+fn build_model() -> QuantizedNetwork {
+    let data = SyntheticMnist::generate(100, 0, 800);
+    let mut net = Network::new(&[784, 10, 8, 10], 800);
+    net.train_epoch(&data.train, 0.05);
+    QuantizedNetwork::quantize(
+        &net,
+        QuantConfig {
+            ring: Ring::new(32),
+            frac_bits: 8,
+            weight_frac_bits: 4,
+            scheme: FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]),
+        },
+    )
+}
+
+fn parse_args() -> (usize, usize) {
+    let mut clients = 8usize;
+    let mut requests = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} requires a positive integer"))
+        };
+        match arg.as_str() {
+            "--clients" => clients = grab("--clients"),
+            "--requests" => requests = grab("--requests"),
+            other => panic!("unknown argument: {other} (use --clients N --requests M)"),
+        }
+    }
+    assert!(clients > 0 && requests > 0, "need at least one client and one request");
+    (clients, requests)
+}
+
+fn main() {
+    let (n_clients, n_requests) = parse_args();
+    let q = build_model();
+    let info = PublicModelInfo::from(&q);
+    let codec = q.config.activation_codec();
+
+    let config = ServeConfig {
+        workers: 4,
+        queue_capacity: 2 * n_clients.max(4),
+        pool_depth: n_clients.min(8),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(q.clone(), "127.0.0.1:0", config).expect("start server");
+    let addr = server.addr();
+    println!("serving on {addr} with 4 workers, pool depth {}", n_clients.min(8));
+
+    // Give the pool a head start so at least the first wave runs warm.
+    let warmed = server.warm_up(1, n_clients.min(8), Duration::from_secs(30));
+    println!("pool warm: {warmed}");
+
+    let data = SyntheticMnist::generate(n_clients * n_requests, 0, 801);
+    let started = Instant::now();
+    let per_client: Vec<(usize, usize, u32)> = std::thread::scope(|scope| {
+        (0..n_clients)
+            .map(|c| {
+                let client = ServeClient::new(info.clone());
+                let q = &q;
+                let codec = &codec;
+                let samples = &data.train;
+                scope.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(900 + c as u64);
+                    let mut exact = 0usize;
+                    let mut warm = 0usize;
+                    let mut attempts = 0u32;
+                    for r in 0..n_requests {
+                        let sample = &samples[c * n_requests + r];
+                        let input = codec.encode_vec(&sample.pixels);
+                        let expected = q.forward_exact(&input);
+                        let (y, report) = client
+                            .run(addr, std::slice::from_ref(&input), &mut rng)
+                            .expect("request failed");
+                        assert_eq!(
+                            y.col(0),
+                            expected,
+                            "client {c} request {r}: served logits diverge from forward_exact"
+                        );
+                        exact += 1;
+                        warm += usize::from(report.warm);
+                        attempts += report.attempts;
+                    }
+                    (exact, warm, attempts)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let total: usize = per_client.iter().map(|(e, _, _)| e).sum();
+    let warm: usize = per_client.iter().map(|(_, w, _)| w).sum();
+    println!(
+        "\n{total} requests from {n_clients} clients in {elapsed:?} — all bit-exact, {warm} warm"
+    );
+
+    // Clients return on their last recv; give the workers a beat to finish
+    // their session bookkeeping before snapshotting.
+    let settle = Instant::now();
+    while server.metrics().completed < (total as u64) && settle.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let m = server.metrics();
+    println!("\nserver metrics:");
+    println!(
+        "  accepted {} | rejected {} | completed {} | failed {}",
+        m.accepted, m.rejected, m.completed, m.failed
+    );
+    println!(
+        "  pool: produced {} | hits {} | misses {} | ready {}",
+        m.pool.produced, m.pool.hits, m.pool.misses, m.pool.ready
+    );
+    println!("  per-phase traffic (server side):");
+    for (name, s) in &m.phases {
+        println!(
+            "    {name:<10} {:>10} B sent {:>10} B recv {:>6} msgs",
+            s.bytes_sent,
+            s.bytes_received,
+            s.messages_sent + s.messages_received
+        );
+    }
+
+    assert_eq!(m.failed, 0, "no session may fail under clean load");
+    assert_eq!(total, n_clients * n_requests);
+    println!("\nserve load test passed.");
+}

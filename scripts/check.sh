@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Full local CI gate: build, test, formatting, lints. Run from the repo root.
 #
-#   ./scripts/check.sh [--chaos-seeds N]
+#   ./scripts/check.sh [--chaos-seeds N] [--serve-smoke]
 #
 # --chaos-seeds N widens the seeded chaos suite (tests/chaos.rs) from its
 # default of 64 seeds without recompiling.
+#
+# --serve-smoke additionally drives the serving frontend end to end:
+# examples/serve_load.rs starts a server and fires 8 concurrent TCP
+# clients at it, checking every logit against forward_exact.
 #
 # The container has no network access to crates.io; all dependencies are
 # vendored as stubs under stubs/ (see stubs/README.md), so every cargo
@@ -18,6 +22,10 @@ while [[ $# -gt 0 ]]; do
       [[ $# -ge 2 ]] || { echo "--chaos-seeds requires a value" >&2; exit 2; }
       export CHAOS_SEEDS="$2"
       shift 2
+      ;;
+    --serve-smoke)
+      SERVE_SMOKE=1
+      shift
       ;;
     *)
       echo "unknown argument: $1" >&2
@@ -39,5 +47,10 @@ cargo fmt --check
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+if [[ "${SERVE_SMOKE:-0}" == "1" ]]; then
+  echo "==> serve smoke: 8 concurrent clients x 2 requests"
+  cargo run --release --example serve_load -- --clients 8 --requests 2
+fi
 
 echo "All checks passed."

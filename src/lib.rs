@@ -22,3 +22,4 @@ pub use abnn2_math as math;
 pub use abnn2_net as net;
 pub use abnn2_nn as nn;
 pub use abnn2_ot as ot;
+pub use abnn2_serve as serve;
