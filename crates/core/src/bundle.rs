@@ -1,45 +1,57 @@
 //! Offline-triplet bundles: the checkpointable, poolable unit of offline
 //! work.
 //!
-//! A prediction's offline phase produces, per linear layer, a dot-product
-//! triplet `U + V = W·R` (§4.1): the server holds `U`, the client holds its
-//! chosen randomness `R` and the share `V`. That state is
-//! *connection-independent* — plain ring elements — which is what makes both
-//! reconnect-and-resume (PR 2) and server-side precomputation (`abnn2-serve`)
-//! possible. This module extracts it into two concrete types so a bundle
-//! checkpointed after a connection loss and a bundle manufactured ahead of
-//! time by a precompute pool are literally the same struct:
+//! A prediction's offline phase produces, per linear op of the layer
+//! graph, a dot-product triplet `U + V = W·R` (§4.1): the server holds
+//! `U`, the client holds its chosen randomness `R` and the share `V`. That
+//! state is *connection-independent* — plain ring elements — which is what
+//! makes both reconnect-and-resume (PR 2) and server-side precomputation
+//! (`abnn2-serve`) possible. This module extracts it into two concrete
+//! types so a bundle checkpointed after a connection loss and a bundle
+//! manufactured ahead of time by a precompute pool are literally the same
+//! struct:
 //!
-//! * [`ServerBundle`] — per-layer `U` shares plus the batch size,
-//! * [`ClientBundle`] — per-layer `R` and `V` plus the batch size, with a
-//!   canonical wire encoding ([`ClientBundle::encode`]) so a server-side
-//!   dealer can hand the client its half,
+//! * [`ServerBundle`] — per-linear-op `U` shares plus the batch size,
+//! * [`ClientBundle`] — the client masks `R` (input mask plus one fresh
+//!   mask per re-sharing op) and per-linear-op `V`, with a versioned wire
+//!   encoding ([`ClientBundle::encode`]) so a server-side dealer can hand
+//!   the client its half,
 //! * [`BundleKey`] — (model digest, scheme digest, batch): everything a
 //!   bundle depends on. Two sessions with equal keys can consume each
-//!   other's bundles.
+//!   other's bundles. Keys derive from the graph digest, so CNN bundles
+//!   pool exactly like MLP bundles.
 //!
-//! [`dealer_bundle`] manufactures a matched pair *locally, without OT*: it
-//! samples `R` and `V` uniformly and solves `U = W·R + b·0 − V` directly,
-//! since the dealer (the model holder) knows `W`. This is the
-//! trusted-dealer / server-aided trust model (MiniONN's precomputation
-//! pattern taken to its endpoint); see DESIGN.md §6 for the privacy
-//! implications and when the interactive §4.1 OT offline phase must be used
-//! instead.
+//! [`dealer_bundle_for`] manufactures a matched pair *locally, without
+//! OT*: it walks the graph sampling `R` and `V` uniformly and solves
+//! `U = W·R − V` directly, since the dealer (the model holder) knows `W`.
+//! This is the trusted-dealer / server-aided trust model (MiniONN's
+//! precomputation pattern taken to its endpoint); see DESIGN.md §6 for the
+//! privacy implications and when the interactive §4.1 OT offline phase
+//! must be used instead.
 
-use crate::handshake::{model_digests, SessionParams};
+use crate::graph::{weight_product, SecureGraph, ServedModel};
+use crate::handshake::{graph_digests, SessionParams};
 use crate::inference::PublicModelInfo;
 use crate::ProtocolError;
 use abnn2_math::{Matrix, Ring};
+use abnn2_nn::conv::im2col;
+use abnn2_nn::graph::{LayerGraph, LayerOp};
 use abnn2_nn::quant::QuantizedNetwork;
 use rand::Rng;
+
+/// Version byte leading every encoded [`ClientBundle`]. v2 introduced the
+/// mask-major layout (all masks, then all triplet shares) covering
+/// arbitrary layer graphs; v1 bundles (unversioned, per-layer interleaved)
+/// are no longer accepted.
+pub const BUNDLE_LAYOUT_VERSION: u8 = 2;
 
 /// Everything an offline-triplet bundle depends on: bundles are
 /// interchangeable exactly when their keys are equal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BundleKey {
-    /// Leading 8 bytes of SHA-256 over the model architecture (layer
-    /// dimensions plus fixed-point configuration) — same derivation as the
-    /// handshake's [`SessionParams::model_digest`].
+    /// Leading 8 bytes of SHA-256 over the canonical layer-graph
+    /// description — same derivation as the handshake's
+    /// [`SessionParams::model_digest`].
     pub model_digest: [u8; 8],
     /// Leading 8 bytes of SHA-256 over the fragment scheme's canonical
     /// label and weight range.
@@ -49,11 +61,18 @@ pub struct BundleKey {
 }
 
 impl BundleKey {
-    /// The key for a served model at a given batch size.
+    /// The key for a layer graph at a given batch size — the canonical
+    /// derivation; the model-facing constructor delegates here.
+    #[must_use]
+    pub fn for_graph(graph: &LayerGraph, batch: usize) -> Self {
+        let (scheme_digest, model_digest) = graph_digests(graph);
+        BundleKey { model_digest, scheme_digest, batch: batch as u32 }
+    }
+
+    /// The key for a served MLP at a given batch size.
     #[must_use]
     pub fn for_model(info: &PublicModelInfo, batch: usize) -> Self {
-        let (scheme_digest, model_digest) = model_digests(info);
-        BundleKey { model_digest, scheme_digest, batch: batch as u32 }
+        Self::for_graph(&info.graph(), batch)
     }
 
     /// The key implied by a handshake's negotiated session parameters.
@@ -67,127 +86,157 @@ impl BundleKey {
     }
 }
 
-/// The server's half of an offline-triplet bundle: per-layer `U` shares.
+/// The server's half of an offline-triplet bundle: per-linear-op `U`
+/// shares, in graph order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerBundle {
-    /// Per-layer server triplet shares, `dims[l+1] × batch` each.
+    /// Per-linear-op server triplet shares (`m × o` each, per the plan).
     pub us: Vec<Matrix>,
     /// Batch size the bundle was generated for.
     pub batch: usize,
 }
 
-/// The client's half of an offline-triplet bundle: per-layer randomness `R`
-/// and triplet shares `V`.
+/// The client's half of an offline-triplet bundle: the masks `R` and the
+/// per-linear-op triplet shares `V`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientBundle {
-    /// Per-layer blinding randomness, `dims[l] × batch` each.
+    /// Client masks in consumption order: the input mask first, then one
+    /// fresh mask per re-sharing op.
     pub rs: Vec<Matrix>,
-    /// Per-layer client triplet shares, `dims[l+1] × batch` each.
+    /// Per-linear-op client triplet shares, in graph order.
     pub vs: Vec<Matrix>,
     /// Batch size the bundle was generated for.
     pub batch: usize,
 }
 
 impl ClientBundle {
-    /// Serializes the bundle for the wire: each layer's `R` then `V`, as
-    /// ring-encoded elements, concatenated in layer order. The shape is
-    /// implied by the model dimensions both parties agreed on in the
-    /// handshake, so no lengths are embedded.
+    /// Serializes the bundle for the wire (layout v2): the
+    /// [`BUNDLE_LAYOUT_VERSION`] byte, then every mask `R`, then every
+    /// triplet share `V`, as ring-encoded elements in graph order. Shapes
+    /// are implied by the graph both parties agreed on in the handshake,
+    /// so no lengths are embedded.
     #[must_use]
     pub fn encode(&self, ring: Ring) -> Vec<u8> {
         let total: usize = self.rs.iter().chain(self.vs.iter()).map(Matrix::len).sum();
-        let mut out = Vec::with_capacity(total * ring.byte_len());
-        for (r, v) in self.rs.iter().zip(&self.vs) {
+        let mut out = Vec::with_capacity(1 + total * ring.byte_len());
+        out.push(BUNDLE_LAYOUT_VERSION);
+        for r in &self.rs {
             out.extend_from_slice(&ring.encode_slice(r.as_slice()));
+        }
+        for v in &self.vs {
             out.extend_from_slice(&ring.encode_slice(v.as_slice()));
         }
         out
     }
 
     /// Parses a bundle encoded by [`encode`](Self::encode) against the
-    /// model shape it was negotiated for.
+    /// graph it was negotiated for.
     ///
     /// # Errors
     ///
-    /// [`ProtocolError::Malformed`] if the byte length does not match the
-    /// model dimensions and batch size exactly.
-    pub fn decode(
-        bytes: &[u8],
-        info: &PublicModelInfo,
-        batch: usize,
-    ) -> Result<Self, ProtocolError> {
-        let ring = info.config.ring;
+    /// [`ProtocolError::Malformed`] if the version byte is unknown or the
+    /// byte length does not match the graph's mask and triplet shapes
+    /// exactly.
+    pub fn decode(bytes: &[u8], sg: &SecureGraph) -> Result<Self, ProtocolError> {
+        let ring = sg.graph().config.ring;
         let bl = ring.byte_len();
-        let n_layers = info.dims.len() - 1;
+        match bytes.first() {
+            Some(&BUNDLE_LAYOUT_VERSION) => {}
+            Some(_) => return Err(ProtocolError::Malformed("client bundle version")),
+            None => return Err(ProtocolError::Malformed("client bundle length")),
+        }
+        let mask_shapes = sg.mask_shapes();
+        let triplet_shapes = sg.triplet_shapes();
         let expect: usize =
-            (0..n_layers).map(|l| (info.dims[l] + info.dims[l + 1]) * batch * bl).sum();
-        if bytes.len() != expect {
+            mask_shapes.iter().chain(&triplet_shapes).map(|&(rows, cols)| rows * cols * bl).sum();
+        if bytes.len() != 1 + expect {
             return Err(ProtocolError::Malformed("client bundle length"));
         }
-        let mut rs = Vec::with_capacity(n_layers);
-        let mut vs = Vec::with_capacity(n_layers);
-        let mut off = 0;
-        for l in 0..n_layers {
-            let r_len = info.dims[l] * batch * bl;
-            let v_len = info.dims[l + 1] * batch * bl;
-            rs.push(Matrix::new(info.dims[l], batch, ring.decode_slice(&bytes[off..off + r_len])));
-            off += r_len;
-            vs.push(Matrix::new(
-                info.dims[l + 1],
-                batch,
-                ring.decode_slice(&bytes[off..off + v_len]),
-            ));
-            off += v_len;
-        }
-        Ok(ClientBundle { rs, vs, batch })
+        let mut off = 1;
+        let mut take = |rows: usize, cols: usize| {
+            let len = rows * cols * bl;
+            let m = Matrix::new(rows, cols, ring.decode_slice(&bytes[off..off + len]));
+            off += len;
+            m
+        };
+        let rs = mask_shapes.iter().map(|&(r, c)| take(r, c)).collect();
+        let vs = triplet_shapes.iter().map(|&(r, c)| take(r, c)).collect();
+        Ok(ClientBundle { rs, vs, batch: sg.batch() })
     }
-}
-
-/// `W·R` over the ring, the right-hand side of the triplet relation.
-fn weight_product(net: &QuantizedNetwork, layer: usize, r: &Matrix, ring: Ring) -> Matrix {
-    let l = &net.layers[layer];
-    let batch = r.cols();
-    let mut wr = Matrix::zeros(l.out_dim, batch);
-    for i in 0..l.out_dim {
-        let row = l.row(i);
-        for k in 0..batch {
-            let mut acc = 0u64;
-            for (j, &w) in row.iter().enumerate() {
-                acc = acc.wrapping_add(r.get(j, k).wrapping_mul(w as u64));
-            }
-            wr.set(i, k, ring.reduce(acc));
-        }
-    }
-    wr
 }
 
 /// Manufactures a matched offline-triplet bundle pair locally (dealer
-/// style): for every layer, `R` and `V` are sampled uniformly and
-/// `U = W·R − V`, so `U + V = W·R` holds by construction — the same
-/// invariant the interactive §4.1 OT protocols establish, at a fraction of
-/// the cost, in exchange for the dealer knowing both halves (see the module
-/// docs for the trust model).
+/// style) for any served topology: walking the graph, every mask `R` and
+/// triplet share `V` is sampled uniformly and `U = W·R − V` (with `R`
+/// im2col'ed for conv ops), so `U + V = W·R` holds by construction — the
+/// same invariant the interactive §4.1 OT protocols establish, at a
+/// fraction of the cost, in exchange for the dealer knowing both halves
+/// (see the module docs for the trust model).
+///
+/// # Panics
+///
+/// Panics if `model` does not match the graph `sg` was built from.
+#[must_use]
+pub fn dealer_bundle_for<R: Rng + ?Sized>(
+    model: &ServedModel,
+    sg: &SecureGraph,
+    rng: &mut R,
+) -> (ServerBundle, ClientBundle) {
+    let ring = sg.graph().config.ring;
+    let batch = sg.batch();
+    let mut rs = Vec::with_capacity(sg.graph().mask_count());
+    let mut vs = Vec::with_capacity(sg.graph().linear_count());
+    let mut us = Vec::with_capacity(sg.graph().linear_count());
+    let mut cur = Matrix::random(sg.graph().input_len(), batch, &ring, rng);
+    rs.push(cur.clone());
+    let mut li = 0usize;
+    for op in &sg.graph().ops {
+        match *op {
+            LayerOp::Dense { out_dim, in_dim } => {
+                let (weights, _) = model.linear_params(li);
+                let v = Matrix::random(out_dim, batch, &ring, rng);
+                let u = weight_product(weights, out_dim, in_dim, &cur, ring).sub(&v, &ring);
+                us.push(u);
+                vs.push(v.clone());
+                cur = v;
+                li += 1;
+            }
+            LayerOp::Conv { out_channels, in_shape, kh, kw, stride } => {
+                let (weights, _) = model.linear_params(li);
+                let r_col = im2col(cur.as_slice(), in_shape, kh, kw, stride);
+                let patch = in_shape.channels * kh * kw;
+                let v = Matrix::random(out_channels, r_col.cols(), &ring, rng);
+                let u = weight_product(weights, out_channels, patch, &r_col, ring).sub(&v, &ring);
+                us.push(u);
+                vs.push(v.clone());
+                cur = v;
+                li += 1;
+            }
+            LayerOp::Relu { .. } | LayerOp::MaxPool { .. } => {
+                let fresh = Matrix::random(op.out_len(), batch, &ring, rng);
+                rs.push(fresh.clone());
+                cur = fresh;
+            }
+            LayerOp::Output { .. } => break,
+        }
+    }
+    (ServerBundle { us, batch }, ClientBundle { rs, vs, batch })
+}
+
+/// [`dealer_bundle_for`] specialized to the paper's MLP topology.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero (a batch a [`SecureGraph`] would reject).
 #[must_use]
 pub fn dealer_bundle<R: Rng + ?Sized>(
     net: &QuantizedNetwork,
     batch: usize,
     rng: &mut R,
 ) -> (ServerBundle, ClientBundle) {
-    let ring = net.config.ring;
-    let dims = net.dims();
-    let n_layers = dims.len() - 1;
-    let mut rs = Vec::with_capacity(n_layers);
-    let mut vs = Vec::with_capacity(n_layers);
-    let mut us = Vec::with_capacity(n_layers);
-    for l in 0..n_layers {
-        let r = Matrix::random(dims[l], batch, &ring, rng);
-        let v = Matrix::random(dims[l + 1], batch, &ring, rng);
-        let u = weight_product(net, l, &r, ring).sub(&v, &ring);
-        rs.push(r);
-        vs.push(v);
-        us.push(u);
-    }
-    (ServerBundle { us, batch }, ClientBundle { rs, vs, batch })
+    let model = ServedModel::Mlp(net.clone());
+    let sg = SecureGraph::new(model.graph(), batch).expect("valid MLP graph");
+    dealer_bundle_for(&model, &sg, rng)
 }
 
 #[cfg(test)]
@@ -211,6 +260,10 @@ mod tests {
         )
     }
 
+    fn graph_of(q: &QuantizedNetwork, batch: usize) -> SecureGraph {
+        SecureGraph::new(LayerGraph::from(q), batch).unwrap()
+    }
+
     #[test]
     fn dealer_bundle_satisfies_triplet_relation() {
         let q = tiny(11);
@@ -219,33 +272,94 @@ mod tests {
         let (server, client) = dealer_bundle(&q, 3, &mut rng);
         assert_eq!(server.batch, 3);
         for l in 0..q.layers.len() {
-            let wr = weight_product(&q, l, &client.rs[l], ring);
+            let layer = &q.layers[l];
+            let wr =
+                weight_product(&layer.weights, layer.out_dim, layer.in_dim, &client.rs[l], ring);
             let sum = server.us[l].add(&client.vs[l], &ring);
             assert_eq!(sum, wr, "layer {l}: U + V must equal W·R");
         }
     }
 
     #[test]
+    fn cnn_dealer_bundle_fits_the_graph() {
+        use abnn2_nn::conv::{ConvShape, QuantizedConv};
+        use abnn2_nn::quant::QuantizedDense;
+        let config = QuantConfig {
+            ring: Ring::new(32),
+            frac_bits: 6,
+            weight_frac_bits: 0,
+            scheme: FragmentScheme::ternary(),
+        };
+        let cnn = abnn2_nn::QuantizedCnn {
+            config,
+            conv: QuantizedConv {
+                out_channels: 2,
+                in_shape: ConvShape { channels: 1, height: 8, width: 8 },
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                weights: vec![1; 18],
+                bias: vec![0, 0],
+            },
+            pool_window: 2,
+            dense: vec![QuantizedDense {
+                out_dim: 4,
+                in_dim: 18,
+                weights: vec![1; 72],
+                bias: vec![0; 4],
+            }],
+        };
+        let model = ServedModel::Cnn(cnn);
+        let sg = SecureGraph::new(model.graph(), 1).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let (server, client) = dealer_bundle_for(&model, &sg, &mut rng);
+        // Conv U is 2×36 (positions as batch); masks follow mask_shapes.
+        assert_eq!((server.us[0].rows(), server.us[0].cols()), (2, 36));
+        let shapes: Vec<_> = client.rs.iter().map(|m| (m.rows(), m.cols())).collect();
+        assert_eq!(shapes, sg.mask_shapes());
+        // And the encoded form round-trips against the same graph.
+        let ring = sg.graph().config.ring;
+        let decoded = ClientBundle::decode(&client.encode(ring), &sg).unwrap();
+        assert_eq!(decoded, client);
+    }
+
+    #[test]
     fn client_bundle_round_trips_on_the_wire() {
         let q = tiny(13);
-        let info = PublicModelInfo::from(&q);
         let mut rng = rand::rngs::StdRng::seed_from_u64(14);
         let (_, client) = dealer_bundle(&q, 2, &mut rng);
         let bytes = client.encode(q.config.ring);
-        let decoded = ClientBundle::decode(&bytes, &info, 2).unwrap();
+        assert_eq!(bytes[0], BUNDLE_LAYOUT_VERSION);
+        let decoded = ClientBundle::decode(&bytes, &graph_of(&q, 2)).unwrap();
         assert_eq!(decoded, client);
     }
 
     #[test]
     fn truncated_bundle_is_malformed() {
         let q = tiny(15);
-        let info = PublicModelInfo::from(&q);
         let mut rng = rand::rngs::StdRng::seed_from_u64(16);
         let (_, client) = dealer_bundle(&q, 1, &mut rng);
         let mut bytes = client.encode(q.config.ring);
         bytes.pop();
         assert_eq!(
-            ClientBundle::decode(&bytes, &info, 1).err(),
+            ClientBundle::decode(&bytes, &graph_of(&q, 1)).err(),
+            Some(ProtocolError::Malformed("client bundle length"))
+        );
+    }
+
+    #[test]
+    fn wrong_version_byte_is_malformed() {
+        let q = tiny(15);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+        let (_, client) = dealer_bundle(&q, 1, &mut rng);
+        let mut bytes = client.encode(q.config.ring);
+        bytes[0] = 1;
+        assert_eq!(
+            ClientBundle::decode(&bytes, &graph_of(&q, 1)).err(),
+            Some(ProtocolError::Malformed("client bundle version"))
+        );
+        assert_eq!(
+            ClientBundle::decode(&[], &graph_of(&q, 1)).err(),
             Some(ProtocolError::Malformed("client bundle length"))
         );
     }

@@ -8,20 +8,24 @@
 //! ([`abnn2_gc::circuits::max_pool_reshare_vec_circuit`]), re-sharing each
 //! window maximum just like the ReLU layers.
 //!
-//! Pipeline (batch size 1): conv → ReLU(+truncation) → max-pool → dense
-//! stack, exactly matching [`QuantizedCnn::forward_exact`] share-for-share.
+//! The pipeline (conv → ReLU(+truncation) → max-pool → dense stack) lowers
+//! to the [`LayerGraph`] IR and runs on the shared planner/executor in
+//! [`crate::graph`]; [`CnnServer`] and [`CnnClient`] are single-sample
+//! convenience adapters over [`SecureServer`]/[`SecureClient`], which
+//! accept CNN models directly via
+//! [`SecureServer::for_model`]/[`SecureClient::for_model`]. Results match
+//! [`QuantizedCnn::forward_exact`] share-for-share.
 
 use crate::config::ExecConfig;
-use crate::inference::layer_share;
-use crate::matmul::{triplet_client_with, triplet_server_with, TripletMode};
-use crate::relu::{relu_client, relu_server, ReluVariant};
-use crate::session::{ClientSession, ServerSession};
+use crate::inference::{SecureClient, SecureServer};
+use crate::relu::ReluVariant;
 use crate::ProtocolError;
 use abnn2_gc::circuit::{bits_to_u64, u64_to_bits};
 use abnn2_gc::{circuits, YaoEvaluator, YaoGarbler};
-use abnn2_math::{Matrix, Ring};
+use abnn2_math::Ring;
 use abnn2_net::Transport;
-use abnn2_nn::conv::{im2col, pool_windows, ConvShape, QuantizedCnn};
+use abnn2_nn::conv::{pool_windows, ConvShape, QuantizedCnn};
+use abnn2_nn::graph::LayerGraph;
 use abnn2_nn::quant::QuantConfig;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -59,10 +63,17 @@ impl From<&QuantizedCnn> for PublicCnnInfo {
 }
 
 impl PublicCnnInfo {
-    fn conv_out_shape(&self) -> ConvShape {
-        let (kh, kw, stride) = self.kernel;
-        let (oh, ow) = abnn2_nn::conv::conv_out_dims(self.in_shape, kh, kw, stride);
-        ConvShape { channels: self.out_channels, height: oh, width: ow }
+    /// The layer graph this architecture lowers to.
+    #[must_use]
+    pub fn graph(&self) -> LayerGraph {
+        LayerGraph::cnn(
+            self.in_shape,
+            self.out_channels,
+            self.kernel,
+            self.pool_window,
+            &self.dense_dims,
+            self.config.clone(),
+        )
     }
 }
 
@@ -135,31 +146,31 @@ pub fn maxpool_client<T: Transport, RNG: Rng + ?Sized>(
     Ok(())
 }
 
-/// The CNN-serving party.
+/// The CNN-serving party: a single-sample adapter over [`SecureServer`]
+/// driving the shared graph executor.
 #[derive(Debug, Clone)]
 pub struct CnnServer {
-    net: QuantizedCnn,
-    exec: ExecConfig,
+    inner: SecureServer,
 }
 
 impl CnnServer {
     /// Serves a quantized CNN (batch size 1).
     #[must_use]
     pub fn new(net: QuantizedCnn) -> Self {
-        CnnServer { net, exec: ExecConfig::new() }
+        CnnServer { inner: SecureServer::for_model(net) }
     }
 
     /// Replaces the whole execution configuration.
     #[must_use]
     pub fn with_exec(mut self, exec: ExecConfig) -> Self {
-        self.exec = exec;
+        self.inner = self.inner.with_exec(exec);
         self
     }
 
     /// Selects the activation variant (must match the client's).
     #[must_use]
     pub fn with_variant(mut self, variant: ReluVariant) -> Self {
-        self.exec = self.exec.with_variant(variant);
+        self.inner = self.inner.with_variant(variant);
         self
     }
 
@@ -170,17 +181,25 @@ impl CnnServer {
     /// Panics if `threads` is zero.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.exec = self.exec.with_threads(threads);
+        self.inner = self.inner.with_threads(threads);
         self
     }
 
     /// The public model description.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a `CnnServer` always serves a CNN.
     #[must_use]
     pub fn public_info(&self) -> PublicCnnInfo {
-        PublicCnnInfo::from(&self.net)
+        match self.inner.public_model() {
+            crate::graph::PublicModel::Cnn(info) => info,
+            crate::graph::PublicModel::Mlp(_) => unreachable!("CnnServer serves a CNN"),
+        }
     }
 
-    /// Runs one secure prediction, server side.
+    /// Runs one secure prediction, server side (handshake, offline
+    /// triplets, online graph walk, logits opened toward the client).
     ///
     /// # Errors
     ///
@@ -190,106 +209,35 @@ impl CnnServer {
         ch: &mut T,
         rng: &mut R,
     ) -> Result<(), ProtocolError> {
-        let ring = self.net.config.ring;
-        let fw = self.net.config.weight_frac_bits;
-        let conv = &self.net.conv;
-        let mut session = ServerSession::setup(ch, rng)?;
-
-        // Offline: conv triplet (o = output positions) + dense triplets.
-        let out_shape = conv.out_shape();
-        let positions = out_shape.height * out_shape.width;
-        let cfg = self.exec.triplet(TripletMode::MultiBatch);
-        let u_conv = triplet_server_with(
-            ch,
-            &mut session.kk,
-            &conv.weights,
-            conv.out_channels,
-            conv.patch_len(),
-            positions,
-            &self.net.config.scheme,
-            ring,
-            cfg,
-        )?;
-        let dense_cfg = self.exec.triplet(TripletMode::OneBatch);
-        let mut us = Vec::with_capacity(self.net.dense.len());
-        for layer in &self.net.dense {
-            us.push(triplet_server_with(
-                ch,
-                &mut session.kk,
-                &layer.weights,
-                layer.out_dim,
-                layer.in_dim,
-                1,
-                &self.net.config.scheme,
-                ring,
-                dense_cfg,
-            )?);
-        }
-
-        // Online: blinded image in, conv share, ReLU, max-pool, dense stack.
-        let x0_bytes = ch.recv()?;
-        if x0_bytes.len() != conv.in_shape.len() * ring.byte_len() {
-            return Err(ProtocolError::Malformed("blinded image length"));
-        }
-        let x0 = ring.decode_slice(&x0_bytes);
-        let x0_col = im2col(&x0, conv.in_shape, conv.kh, conv.kw, conv.stride);
-        // y0 = W·x0_col + bias + U (same structure as a dense layer share).
-        let mut y0 = Matrix::zeros(conv.out_channels, positions);
-        for oc in 0..conv.out_channels {
-            let row = &conv.weights[oc * conv.patch_len()..(oc + 1) * conv.patch_len()];
-            for p in 0..positions {
-                let mut acc = ring.add(conv.bias[oc], u_conv.get(oc, p));
-                for (j, &w) in row.iter().enumerate() {
-                    acc = acc.wrapping_add(x0_col.get(j, p).wrapping_mul(w as u64));
-                }
-                y0.set(oc, p, ring.reduce(acc));
-            }
-        }
-
-        let z0 = relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.exec.variant)?;
-        let pooled0 =
-            maxpool_server(ch, &mut session.yao, &z0, out_shape, self.net.pool_window, ring)?;
-
-        let mut cur = Matrix::column(pooled0);
-        let last = self.net.dense.len() - 1;
-        for (l, layer) in self.net.dense.iter().enumerate() {
-            let y0 = layer_share(layer, &cur, &us[l], ring);
-            if l == last {
-                ch.send(&ring.encode_slice(y0.as_slice()))?;
-                return Ok(());
-            }
-            let z0 = relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.exec.variant)?;
-            cur = Matrix::column(z0);
-        }
-        unreachable!("loop returns at the last layer")
+        self.inner.run(ch, 1, rng)
     }
 }
 
-/// The CNN data-owning party.
+/// The CNN data-owning party: a single-sample adapter over
+/// [`SecureClient`] driving the shared graph executor.
 #[derive(Debug, Clone)]
 pub struct CnnClient {
-    info: PublicCnnInfo,
-    exec: ExecConfig,
+    inner: SecureClient,
 }
 
 impl CnnClient {
     /// Creates a client for a served CNN.
     #[must_use]
     pub fn new(info: PublicCnnInfo) -> Self {
-        CnnClient { info, exec: ExecConfig::new() }
+        CnnClient { inner: SecureClient::for_model(info) }
     }
 
     /// Replaces the whole execution configuration.
     #[must_use]
     pub fn with_exec(mut self, exec: ExecConfig) -> Self {
-        self.exec = exec;
+        self.inner = self.inner.with_exec(exec);
         self
     }
 
     /// Selects the activation variant (must match the server's).
     #[must_use]
     pub fn with_variant(mut self, variant: ReluVariant) -> Self {
-        self.exec = self.exec.with_variant(variant);
+        self.inner = self.inner.with_variant(variant);
         self
     }
 
@@ -300,7 +248,7 @@ impl CnnClient {
     /// Panics if `threads` is zero.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.exec = self.exec.with_threads(threads);
+        self.inner = self.inner.with_threads(threads);
         self
     }
 
@@ -309,108 +257,21 @@ impl CnnClient {
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError`] on any subprotocol failure.
+    /// Returns [`ProtocolError`] on any subprotocol failure, or
+    /// [`ProtocolError::Dimension`] if the image does not match the
+    /// model's input shape.
     pub fn run<T: Transport, R: Rng + ?Sized>(
         &self,
         ch: &mut T,
         image_fp: &[u64],
         rng: &mut R,
     ) -> Result<Vec<u64>, ProtocolError> {
-        let ring = self.info.config.ring;
-        let fw = self.info.config.weight_frac_bits;
-        let (kh, kw, stride) = self.info.kernel;
-        if image_fp.len() != self.info.in_shape.len() {
+        if image_fp.len() != self.inner.public_model().graph().input_len() {
             return Err(ProtocolError::Dimension("image length mismatch"));
         }
-        let mut session = ClientSession::setup(ch, rng)?;
-
-        // Offline randomness: image mask, ReLU output mask (= pool input
-        // share), pool output mask (= dense-0 input share), dense masks.
-        let out_shape = self.info.conv_out_shape();
-        let r_img = ring.sample_vec(rng, self.info.in_shape.len());
-        let r_col = im2col(&r_img, self.info.in_shape, kh, kw, stride);
-        let cfg = self.exec.triplet(TripletMode::MultiBatch);
-        let v_conv = triplet_client_with(
-            ch,
-            &mut session.kk,
-            &r_col,
-            self.info.out_channels,
-            &self.info.config.scheme,
-            ring,
-            cfg,
-            rng,
-        )?;
-        let dense_cfg = self.exec.triplet(TripletMode::OneBatch);
-        let n_dense = self.info.dense_dims.len() - 1;
-        let mut r_dense = Vec::with_capacity(n_dense);
-        let mut v_dense = Vec::with_capacity(n_dense);
-        for l in 0..n_dense {
-            let r = Matrix::random(self.info.dense_dims[l], 1, &ring, rng);
-            let v = triplet_client_with(
-                ch,
-                &mut session.kk,
-                &r,
-                self.info.dense_dims[l + 1],
-                &self.info.config.scheme,
-                ring,
-                dense_cfg,
-                rng,
-            )?;
-            r_dense.push(r);
-            v_dense.push(v);
-        }
-        let r_relu = ring.sample_vec(rng, out_shape.len());
-
-        // Online.
-        let x0 = ring.sub_vec(image_fp, &r_img);
-        ch.send(&ring.encode_slice(&x0))?;
-
-        // Conv ReLU: y1 = V_conv (channel-major = CHW order), z1 = r_relu.
-        relu_client(
-            ch,
-            &mut session.yao,
-            v_conv.as_slice(),
-            &r_relu,
-            ring,
-            fw,
-            self.exec.variant,
-            rng,
-        )?;
-        // Max-pool: y1 = r_relu, z1 = dense-0 input mask.
-        maxpool_client(
-            ch,
-            &mut session.yao,
-            &r_relu,
-            r_dense[0].as_slice(),
-            out_shape,
-            self.info.pool_window,
-            ring,
-            rng,
-        )?;
-
-        for l in 0..n_dense {
-            let y1 = &v_dense[l];
-            if l == n_dense - 1 {
-                let m = self.info.dense_dims[n_dense];
-                let y0_bytes = ch.recv()?;
-                if y0_bytes.len() != m * ring.byte_len() {
-                    return Err(ProtocolError::Malformed("output share length"));
-                }
-                let y0 = ring.decode_slice(&y0_bytes);
-                return Ok(ring.add_vec(&y0, y1.as_slice()));
-            }
-            relu_client(
-                ch,
-                &mut session.yao,
-                y1.as_slice(),
-                r_dense[l + 1].as_slice(),
-                ring,
-                fw,
-                self.exec.variant,
-                rng,
-            )?;
-        }
-        unreachable!("loop returns at the last layer")
+        let state = self.inner.offline(ch, 1, rng)?;
+        let y = self.inner.online_raw(ch, state, &[image_fp.to_vec()], rng)?;
+        Ok(y.col(0))
     }
 }
 
@@ -492,6 +353,19 @@ mod tests {
     #[test]
     fn secure_cnn_matches_plaintext_ternary() {
         check_cnn(FragmentScheme::ternary(), 210);
+    }
+
+    #[test]
+    fn wrong_image_length_rejected_before_any_io() {
+        let cnn = small_cnn(240, FragmentScheme::ternary());
+        let client = CnnClient::new(PublicCnnInfo::from(&cnn));
+        let (mut a, _b) = abnn2_net::Endpoint::pair(NetworkModel::instant());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(241);
+        assert_eq!(
+            client.run(&mut a, &[0u64; 3], &mut rng).err(),
+            Some(ProtocolError::Dimension("image length mismatch"))
+        );
+        assert_eq!(a.snapshot().bytes_sent, 0, "no traffic before the check");
     }
 
     #[test]

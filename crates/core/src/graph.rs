@@ -1,0 +1,659 @@
+//! Secure planner and executor over the [`LayerGraph`] IR.
+//!
+//! The paper describes one protocol pipeline — OT-based dot-product
+//! triplets offline (§4.1), share-and-reconstruct non-linear layers online
+//! (§4.2) — and both served topologies run it. This module is the single
+//! implementation: [`SecureGraph`] pins a validated graph to a batch size,
+//! the **planner** ([`SecureGraph::plan`]) emits one [`TripletPlan`] per
+//! linear op (dimensions, batch `o`, message-layout mode), and the
+//! **executor** halves ([`server_offline_with`] / [`server_online_to_logits`]
+//! and [`client_offline_with`] / [`client_online_to_logits`]) walk the same
+//! op sequence consuming planned state. `SecureServer`/`SecureClient` and
+//! `CnnServer`/`CnnClient` are thin adapters over these functions.
+//!
+//! The executor's state invariant, per party:
+//!
+//! * the server walks with its additive share of the current activation —
+//!   after a linear op it holds `W·x⁰ + b + U`, after a re-share op the
+//!   garbled circuit's output share;
+//! * the client's share is *known offline*: the input mask `R⁰`, then `V`
+//!   after each linear op, then the fresh mask it fed the re-sharing
+//!   circuit. That is why the triplet randomness for every linear op is
+//!   exactly the client share entering it (im2col'ed for conv) — and why
+//!   offline state bundles ([`crate::bundle`]) are connection-independent.
+//!
+//! Executors terminate at the graph's [`LayerOp::Output`] op by
+//! construction; a graph missing it fails validation up front.
+//!
+//! Per-op instrumentation: every phase of the walk calls
+//! [`Transport::mark_phase`] with labels like `offline:op0/conv` or
+//! `online:op2/relu`, so metering transports report bytes and time per
+//! layer while plain transports ignore the calls.
+
+use crate::cnn::{maxpool_client, maxpool_server, PublicCnnInfo};
+use crate::config::ExecConfig;
+use crate::inference::{ClientOffline, PublicModelInfo, ServerOffline};
+use crate::matmul::{triplet_client_with, triplet_server_with, TripletMode};
+use crate::relu::{relu_client, relu_server};
+use crate::session::{ClientSession, ServerSession};
+use crate::ProtocolError;
+use abnn2_math::{Matrix, Ring};
+use abnn2_net::Transport;
+use abnn2_nn::conv::im2col;
+use abnn2_nn::graph::{LayerGraph, LayerOp};
+use abnn2_nn::quant::{QuantConfig, QuantizedNetwork};
+use abnn2_nn::QuantizedCnn;
+use rand::Rng;
+
+/// A server-side model of any supported topology, with its weights.
+#[derive(Debug, Clone)]
+pub enum ServedModel {
+    /// Fully-connected stack (the paper's evaluation target).
+    Mlp(QuantizedNetwork),
+    /// Convolutional extension: conv → ReLU → max-pool → dense stack.
+    Cnn(QuantizedCnn),
+}
+
+impl From<QuantizedNetwork> for ServedModel {
+    fn from(net: QuantizedNetwork) -> Self {
+        ServedModel::Mlp(net)
+    }
+}
+
+impl From<QuantizedCnn> for ServedModel {
+    fn from(net: QuantizedCnn) -> Self {
+        ServedModel::Cnn(net)
+    }
+}
+
+impl ServedModel {
+    /// The layer graph this model lowers to.
+    #[must_use]
+    pub fn graph(&self) -> LayerGraph {
+        match self {
+            ServedModel::Mlp(net) => LayerGraph::from(net),
+            ServedModel::Cnn(net) => LayerGraph::from(net),
+        }
+    }
+
+    /// Fixed-point pipeline hyper-parameters.
+    #[must_use]
+    pub fn config(&self) -> &QuantConfig {
+        match self {
+            ServedModel::Mlp(net) => &net.config,
+            ServedModel::Cnn(net) => &net.config,
+        }
+    }
+
+    /// The weight-free public description to hand to clients.
+    #[must_use]
+    pub fn public(&self) -> PublicModel {
+        match self {
+            ServedModel::Mlp(net) => PublicModel::Mlp(PublicModelInfo::from(net)),
+            ServedModel::Cnn(net) => PublicModel::Cnn(PublicCnnInfo::from(net)),
+        }
+    }
+
+    /// Weights and bias of the `index`-th linear op, in graph order
+    /// (row-major `m × n` weights, one bias entry per output row).
+    pub(crate) fn linear_params(&self, index: usize) -> (&[i64], &[u64]) {
+        match self {
+            ServedModel::Mlp(net) => {
+                let l = &net.layers[index];
+                (&l.weights, &l.bias)
+            }
+            ServedModel::Cnn(net) => {
+                if index == 0 {
+                    (&net.conv.weights, &net.conv.bias)
+                } else {
+                    let l = &net.dense[index - 1];
+                    (&l.weights, &l.bias)
+                }
+            }
+        }
+    }
+}
+
+/// The client-side view of a served model: architecture and fixed-point
+/// hyper-parameters, never weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublicModel {
+    /// Fully-connected stack.
+    Mlp(PublicModelInfo),
+    /// Convolutional extension.
+    Cnn(PublicCnnInfo),
+}
+
+impl From<PublicModelInfo> for PublicModel {
+    fn from(info: PublicModelInfo) -> Self {
+        PublicModel::Mlp(info)
+    }
+}
+
+impl From<PublicCnnInfo> for PublicModel {
+    fn from(info: PublicCnnInfo) -> Self {
+        PublicModel::Cnn(info)
+    }
+}
+
+impl PublicModel {
+    /// The layer graph this model lowers to.
+    #[must_use]
+    pub fn graph(&self) -> LayerGraph {
+        match self {
+            PublicModel::Mlp(info) => info.graph(),
+            PublicModel::Cnn(info) => info.graph(),
+        }
+    }
+
+    /// Fixed-point pipeline hyper-parameters.
+    #[must_use]
+    pub fn config(&self) -> &QuantConfig {
+        match self {
+            PublicModel::Mlp(info) => &info.config,
+            PublicModel::Cnn(info) => &info.config,
+        }
+    }
+}
+
+/// One linear op's offline triplet requirement, as emitted by the planner:
+/// generate `U + V = W·R` with `W` of shape `m × n` and `o` input columns,
+/// using the §4.1.2 (`MultiBatch`) or §4.1.3 (`OneBatch`) message layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripletPlan {
+    /// Index of the op in the graph's op sequence.
+    pub op: usize,
+    /// Ordinal among the graph's linear ops (indexes `us`/`vs`).
+    pub linear: usize,
+    /// Weight rows (output dimension / filter count).
+    pub m: usize,
+    /// Weight columns (input dimension / im2col patch length).
+    pub n: usize,
+    /// Input columns: the batch size for dense ops, the number of output
+    /// positions for conv ops.
+    pub o: usize,
+    /// Message layout, per the paper's batch-size selection rule.
+    pub mode: TripletMode,
+    /// Op kind tag (for instrumentation labels).
+    pub kind: &'static str,
+}
+
+/// A validated [`LayerGraph`] pinned to a batch size — the unit the
+/// planner and both executor halves operate on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecureGraph {
+    graph: LayerGraph,
+    batch: usize,
+}
+
+impl SecureGraph {
+    /// Validates `graph` and pins it to `batch` samples per prediction.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Dimension`] if the batch is zero, the graph is
+    /// structurally ill-formed, or a spatial graph (conv/max-pool) is asked
+    /// for multi-sample batching (those ops are laid out per-CHW-map and
+    /// run one sample at a time).
+    pub fn new(graph: LayerGraph, batch: usize) -> Result<Self, ProtocolError> {
+        if batch == 0 {
+            return Err(ProtocolError::Dimension("batch must be positive"));
+        }
+        graph.validate().map_err(ProtocolError::Dimension)?;
+        if batch > 1 && graph.has_spatial_ops() {
+            return Err(ProtocolError::Dimension("spatial graphs run with batch 1"));
+        }
+        Ok(SecureGraph { graph, batch })
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &LayerGraph {
+        &self.graph
+    }
+
+    /// Samples per prediction batch.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The offline plan: one triplet requirement per linear op, in graph
+    /// order.
+    #[must_use]
+    pub fn plan(&self) -> Vec<TripletPlan> {
+        let mut plans = Vec::with_capacity(self.graph.linear_count());
+        for (i, op) in self.graph.ops.iter().enumerate() {
+            let (m, n, o) = match *op {
+                LayerOp::Dense { out_dim, in_dim } => (out_dim, in_dim, self.batch),
+                LayerOp::Conv { out_channels, in_shape, kh, kw, .. } => {
+                    let positions = op.out_len() / out_channels;
+                    (out_channels, in_shape.channels * kh * kw, positions)
+                }
+                _ => continue,
+            };
+            plans.push(TripletPlan {
+                op: i,
+                linear: plans.len(),
+                m,
+                n,
+                o,
+                mode: TripletMode::for_batch(o),
+                kind: op.kind(),
+            });
+        }
+        plans
+    }
+
+    /// Shapes `(rows, cols)` of the client masks, in consumption order:
+    /// the input mask first, then one fresh mask per re-sharing op.
+    #[must_use]
+    pub fn mask_shapes(&self) -> Vec<(usize, usize)> {
+        let mut shapes = vec![(self.graph.input_len(), self.batch)];
+        for op in &self.graph.ops {
+            if op.is_reshare() {
+                shapes.push((op.out_len(), self.batch));
+            }
+        }
+        shapes
+    }
+
+    /// Shapes `(rows, cols)` of the per-linear-op triplet shares `U`/`V`.
+    #[must_use]
+    pub fn triplet_shapes(&self) -> Vec<(usize, usize)> {
+        self.plan().iter().map(|p| (p.m, p.o)).collect()
+    }
+}
+
+/// `W·X + b + U` — the server's online share of any linear op. `weights`
+/// is row-major `m × n`, `bias` has one entry per output row (broadcast
+/// over the `o` input columns). Exposed so baseline protocols can share
+/// the identical online linear step with their own offline triplets.
+///
+/// # Panics
+///
+/// Panics if `weights`, `bias`, `x` or `u` disagree with `m × n` and
+/// `x.cols()`.
+#[must_use]
+pub fn linear_share(
+    weights: &[i64],
+    bias: &[u64],
+    m: usize,
+    n: usize,
+    x: &Matrix,
+    u: &Matrix,
+    ring: Ring,
+) -> Matrix {
+    assert_eq!(weights.len(), m * n, "weight shape mismatch");
+    assert_eq!(bias.len(), m, "bias shape mismatch");
+    assert_eq!(x.rows(), n, "input rows mismatch");
+    assert_eq!((u.rows(), u.cols()), (m, x.cols()), "triplet share shape mismatch");
+    let o = x.cols();
+    let mut y = Matrix::zeros(m, o);
+    for i in 0..m {
+        let row = &weights[i * n..(i + 1) * n];
+        for k in 0..o {
+            let mut acc = ring.add(bias[i], u.get(i, k));
+            for (j, &w) in row.iter().enumerate() {
+                acc = acc.wrapping_add(x.get(j, k).wrapping_mul(w as u64));
+            }
+            y.set(i, k, ring.reduce(acc));
+        }
+    }
+    y
+}
+
+/// `W·R` over the ring — the right-hand side of the triplet relation,
+/// shared by the dealer ([`crate::bundle::dealer_bundle_for`]) and tests.
+#[must_use]
+pub fn weight_product(weights: &[i64], m: usize, n: usize, r: &Matrix, ring: Ring) -> Matrix {
+    assert_eq!(weights.len(), m * n, "weight shape mismatch");
+    assert_eq!(r.rows(), n, "randomness rows mismatch");
+    let o = r.cols();
+    let mut wr = Matrix::zeros(m, o);
+    for i in 0..m {
+        let row = &weights[i * n..(i + 1) * n];
+        for k in 0..o {
+            let mut acc = 0u64;
+            for (j, &w) in row.iter().enumerate() {
+                acc = acc.wrapping_add(r.get(j, k).wrapping_mul(w as u64));
+            }
+            wr.set(i, k, ring.reduce(acc));
+        }
+    }
+    wr
+}
+
+fn check_shapes(
+    matrices: &[Matrix],
+    shapes: &[(usize, usize)],
+    what: &'static str,
+) -> Result<(), ProtocolError> {
+    if matrices.len() != shapes.len()
+        || matrices.iter().zip(shapes).any(|(m, &(r, c))| m.rows() != r || m.cols() != c)
+    {
+        return Err(ProtocolError::Malformed(what));
+    }
+    Ok(())
+}
+
+/// Offline phase, server half: walks the plan generating one §4.1 triplet
+/// per linear op over an established session.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on any subprotocol failure.
+pub fn server_offline_with<T: Transport>(
+    ch: &mut T,
+    mut session: ServerSession,
+    model: &ServedModel,
+    sg: &SecureGraph,
+    exec: ExecConfig,
+) -> Result<ServerOffline, ProtocolError> {
+    let config = &sg.graph().config;
+    let (ring, scheme) = (config.ring, config.scheme.clone());
+    let mut us = Vec::with_capacity(sg.graph().linear_count());
+    for plan in sg.plan() {
+        let (weights, _) = model.linear_params(plan.linear);
+        if weights.len() != plan.m * plan.n {
+            return Err(ProtocolError::Dimension("model does not match graph"));
+        }
+        ch.mark_phase(&format!("offline:op{}/{}", plan.op, plan.kind));
+        us.push(triplet_server_with(
+            ch,
+            &mut session.kk,
+            weights,
+            plan.m,
+            plan.n,
+            plan.o,
+            &scheme,
+            ring,
+            exec.triplet(plan.mode),
+        )?);
+    }
+    Ok(ServerOffline { session, us, batch: sg.batch() })
+}
+
+/// Offline phase, client half: walks the graph sampling the input mask,
+/// one fresh mask per re-sharing op, and one §4.1 triplet per linear op —
+/// the triplet randomness for each linear op is the client's share of its
+/// input (im2col'ed for conv), which the walk carries along.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on any subprotocol failure.
+pub fn client_offline_with<T: Transport, R: Rng + ?Sized>(
+    ch: &mut T,
+    mut session: ClientSession,
+    sg: &SecureGraph,
+    exec: ExecConfig,
+    rng: &mut R,
+) -> Result<ClientOffline, ProtocolError> {
+    let config = &sg.graph().config;
+    let (ring, scheme) = (config.ring, config.scheme.clone());
+    let batch = sg.batch();
+    let mut rs = Vec::with_capacity(sg.graph().mask_count());
+    let mut vs = Vec::with_capacity(sg.graph().linear_count());
+    let mut cur = Matrix::random(sg.graph().input_len(), batch, &ring, rng);
+    rs.push(cur.clone());
+    for (i, op) in sg.graph().ops.iter().enumerate() {
+        match *op {
+            LayerOp::Dense { out_dim, .. } => {
+                ch.mark_phase(&format!("offline:op{i}/dense"));
+                let v = triplet_client_with(
+                    ch,
+                    &mut session.kk,
+                    &cur,
+                    out_dim,
+                    &scheme,
+                    ring,
+                    exec.triplet(TripletMode::for_batch(batch)),
+                    rng,
+                )?;
+                vs.push(v.clone());
+                cur = v;
+            }
+            LayerOp::Conv { out_channels, in_shape, kh, kw, stride } => {
+                ch.mark_phase(&format!("offline:op{i}/conv"));
+                let r_col = im2col(cur.as_slice(), in_shape, kh, kw, stride);
+                let mode = TripletMode::for_batch(r_col.cols());
+                let v = triplet_client_with(
+                    ch,
+                    &mut session.kk,
+                    &r_col,
+                    out_channels,
+                    &scheme,
+                    ring,
+                    exec.triplet(mode),
+                    rng,
+                )?;
+                vs.push(v.clone());
+                cur = v;
+            }
+            LayerOp::Relu { .. } | LayerOp::MaxPool { .. } => {
+                let fresh = Matrix::random(op.out_len(), batch, &ring, rng);
+                rs.push(fresh.clone());
+                cur = fresh;
+            }
+            LayerOp::Output { .. } => break,
+        }
+    }
+    Ok(ClientOffline { session, rs, vs, batch })
+}
+
+/// Online phase, server half: receives the blinded input, walks the graph
+/// combining planned triplets with garbled-circuit re-shares, and returns
+/// the session plus the server's share of the output op's input — the
+/// caller decides whether to open it ([`crate::SecureServer::online`]) or
+/// feed it to a masked argmax ([`crate::SecureServer::online_classify`]).
+///
+/// # Errors
+///
+/// [`ProtocolError::Malformed`] on a blinded input of the wrong length or
+/// offline state that does not fit the graph; any subprotocol error
+/// otherwise.
+pub fn server_online_to_logits<T: Transport>(
+    ch: &mut T,
+    state: ServerOffline,
+    model: &ServedModel,
+    sg: &SecureGraph,
+    exec: ExecConfig,
+) -> Result<(ServerSession, Matrix), ProtocolError> {
+    let ServerOffline { mut session, us, batch } = state;
+    let config = &sg.graph().config;
+    let (ring, fw) = (config.ring, config.weight_frac_bits);
+    if batch != sg.batch() {
+        return Err(ProtocolError::Malformed("offline state batch mismatch"));
+    }
+    check_shapes(&us, &sg.triplet_shapes(), "offline state does not fit the graph")?;
+
+    ch.mark_phase("online:input");
+    let n0 = sg.graph().input_len();
+    let x0_bytes = ch.recv()?;
+    if x0_bytes.len() != n0 * batch * ring.byte_len() {
+        return Err(ProtocolError::Malformed("blinded input length"));
+    }
+    let mut cur = Matrix::new(n0, batch, ring.decode_slice(&x0_bytes));
+
+    let mut li = 0usize;
+    for (i, op) in sg.graph().ops.iter().enumerate() {
+        ch.mark_phase(&format!("online:op{i}/{}", op.kind()));
+        match *op {
+            LayerOp::Dense { out_dim, in_dim } => {
+                let (weights, bias) = model.linear_params(li);
+                cur = linear_share(weights, bias, out_dim, in_dim, &cur, &us[li], ring);
+                li += 1;
+            }
+            LayerOp::Conv { out_channels, in_shape, kh, kw, stride } => {
+                let (weights, bias) = model.linear_params(li);
+                let x_col = im2col(cur.as_slice(), in_shape, kh, kw, stride);
+                let patch = in_shape.channels * kh * kw;
+                cur = linear_share(weights, bias, out_channels, patch, &x_col, &us[li], ring);
+                li += 1;
+            }
+            LayerOp::Relu { dim } => {
+                let z0 = relu_server(ch, &mut session.yao, cur.as_slice(), ring, fw, exec.variant)?;
+                cur = Matrix::new(dim, batch, z0);
+            }
+            LayerOp::MaxPool { shape, window } => {
+                let pooled =
+                    maxpool_server(ch, &mut session.yao, cur.as_slice(), shape, window, ring)?;
+                cur = Matrix::column(pooled);
+            }
+            LayerOp::Output { .. } => return Ok((session, cur)),
+        }
+    }
+    Err(ProtocolError::Dimension("graph missing output op"))
+}
+
+/// Online phase, client half: blinds the input with the offline mask,
+/// walks the graph supplying its half of each re-sharing circuit, and
+/// returns the session plus the client's share of the output op's input
+/// (the final linear op's `V`).
+///
+/// # Errors
+///
+/// [`ProtocolError::Dimension`] if `x` does not match the graph's input
+/// shape; [`ProtocolError::Malformed`] if the offline state does not fit
+/// the graph; any subprotocol error otherwise.
+pub fn client_online_to_logits<T: Transport, R: Rng + ?Sized>(
+    ch: &mut T,
+    state: ClientOffline,
+    sg: &SecureGraph,
+    exec: ExecConfig,
+    x: &Matrix,
+    rng: &mut R,
+) -> Result<(ClientSession, Matrix), ProtocolError> {
+    let ClientOffline { mut session, rs, vs, batch } = state;
+    let config = &sg.graph().config;
+    let (ring, fw) = (config.ring, config.weight_frac_bits);
+    if batch != sg.batch() {
+        return Err(ProtocolError::Malformed("offline state batch mismatch"));
+    }
+    check_shapes(&rs, &sg.mask_shapes(), "offline state does not fit the graph")?;
+    check_shapes(&vs, &sg.triplet_shapes(), "offline state does not fit the graph")?;
+    if x.rows() != sg.graph().input_len() || x.cols() != batch {
+        return Err(ProtocolError::Dimension("input dimension mismatch"));
+    }
+
+    ch.mark_phase("online:input");
+    let x0 = x.sub(&rs[0], &ring);
+    ch.send(&ring.encode_slice(x0.as_slice()))?;
+
+    let (mut li, mut mi) = (0usize, 1usize);
+    let mut cur = &rs[0];
+    for (i, op) in sg.graph().ops.iter().enumerate() {
+        ch.mark_phase(&format!("online:op{i}/{}", op.kind()));
+        match *op {
+            LayerOp::Dense { .. } | LayerOp::Conv { .. } => {
+                cur = &vs[li];
+                li += 1;
+            }
+            LayerOp::Relu { .. } => {
+                relu_client(
+                    ch,
+                    &mut session.yao,
+                    cur.as_slice(),
+                    rs[mi].as_slice(),
+                    ring,
+                    fw,
+                    exec.variant,
+                    rng,
+                )?;
+                cur = &rs[mi];
+                mi += 1;
+            }
+            LayerOp::MaxPool { shape, window } => {
+                maxpool_client(
+                    ch,
+                    &mut session.yao,
+                    cur.as_slice(),
+                    rs[mi].as_slice(),
+                    shape,
+                    window,
+                    ring,
+                    rng,
+                )?;
+                cur = &rs[mi];
+                mi += 1;
+            }
+            LayerOp::Output { .. } => {
+                let y1 = cur.clone();
+                return Ok((session, y1));
+            }
+        }
+    }
+    Err(ProtocolError::Dimension("graph missing output op"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_math::FragmentScheme;
+
+    fn config() -> QuantConfig {
+        QuantConfig {
+            ring: Ring::new(32),
+            frac_bits: 8,
+            weight_frac_bits: 2,
+            scheme: FragmentScheme::signed_bit_fields(&[2, 2]),
+        }
+    }
+
+    #[test]
+    fn mlp_plan_follows_the_batch_rule() {
+        let g = LayerGraph::mlp(&[12, 8, 6, 4], config());
+        let sg = SecureGraph::new(g, 3).unwrap();
+        let plan = sg.plan();
+        assert_eq!(plan.len(), 3);
+        assert_eq!((plan[0].m, plan[0].n, plan[0].o), (8, 12, 3));
+        assert!(plan.iter().all(|p| p.mode == TripletMode::MultiBatch));
+        let sg1 = SecureGraph::new(sg.graph().clone(), 1).unwrap();
+        assert!(sg1.plan().iter().all(|p| p.mode == TripletMode::OneBatch));
+        assert_eq!(sg1.mask_shapes(), vec![(12, 1), (8, 1), (6, 1)]);
+        assert_eq!(sg1.triplet_shapes(), vec![(8, 1), (6, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn cnn_plan_uses_positions_as_batch() {
+        let in_shape = abnn2_nn::ConvShape { channels: 1, height: 8, width: 8 };
+        let g = LayerGraph::cnn(in_shape, 2, (3, 3, 1), 2, &[18, 6, 4], config());
+        let sg = SecureGraph::new(g, 1).unwrap();
+        let plan = sg.plan();
+        assert_eq!(plan.len(), 3);
+        // conv: 2 filters over 1·3·3 patches at 6×6 = 36 positions.
+        assert_eq!((plan[0].m, plan[0].n, plan[0].o), (2, 9, 36));
+        assert_eq!(plan[0].mode, TripletMode::MultiBatch);
+        assert_eq!(plan[0].kind, "conv");
+        assert_eq!((plan[1].o, plan[1].mode), (1, TripletMode::OneBatch));
+        // masks: input image, conv-relu map, pooled map, dense-relu vector.
+        assert_eq!(sg.mask_shapes(), vec![(64, 1), (72, 1), (18, 1), (6, 1)]);
+        assert_eq!(sg.triplet_shapes(), vec![(2, 36), (6, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn spatial_graphs_reject_multi_sample_batches() {
+        let in_shape = abnn2_nn::ConvShape { channels: 1, height: 8, width: 8 };
+        let g = LayerGraph::cnn(in_shape, 2, (3, 3, 1), 2, &[18, 4], config());
+        assert!(matches!(SecureGraph::new(g, 2), Err(ProtocolError::Dimension(_))));
+        let g = LayerGraph::mlp(&[12, 4], config());
+        assert!(SecureGraph::new(g, 2).is_ok());
+    }
+
+    #[test]
+    fn linear_share_and_weight_product_agree_with_triplet_relation() {
+        let ring = Ring::new(32);
+        let weights: Vec<i64> = vec![1, -2, 3, 0, 5, -1];
+        let bias = vec![7u64, 11];
+        let r = Matrix::new(3, 2, vec![1, 2, 3, 4, 5, 6]);
+        let u = Matrix::new(2, 2, vec![9, 8, 7, 6]);
+        let y = linear_share(&weights, &bias, 2, 3, &r, &u, ring);
+        let wr = weight_product(&weights, 2, 3, &r, ring);
+        for i in 0..2 {
+            for k in 0..2 {
+                let expect = ring.add(ring.add(wr.get(i, k), bias[i]), u.get(i, k));
+                assert_eq!(y.get(i, k), expect);
+            }
+        }
+    }
+}

@@ -34,18 +34,24 @@
 //! [`ProtocolError::Negotiation`] rather than one of them seeing a bare
 //! `Closed`.
 
+use crate::graph::PublicModel;
 use crate::inference::PublicModelInfo;
 use crate::relu::ReluVariant;
 use crate::ProtocolError;
 use abnn2_crypto::sha256::sha256;
 use abnn2_net::Transport;
+use abnn2_nn::graph::LayerGraph;
 
 /// First four bytes of every hello frame.
 pub const HANDSHAKE_MAGIC: [u8; 4] = *b"ABN2";
 
 /// Version of the wire protocol spoken after the handshake. Bump on any
 /// transcript-incompatible change.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2: model digests are derived from the canonical [`LayerGraph`]
+/// description (covering CNN topologies), and offline bundles carry a
+/// leading layout-version byte.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Length of the hello frame in bytes.
 pub const HELLO_LEN: usize = 56;
@@ -90,47 +96,69 @@ fn digest8(data: &[u8]) -> [u8; 8] {
     full[..8].try_into().expect("8 bytes")
 }
 
-/// The `(scheme_digest, model_digest)` pair for a served model — the
+/// The `(scheme_digest, model_digest)` pair for a layer graph — the
 /// canonical derivation shared by the handshake and the offline-bundle
-/// pool key ([`crate::bundle::BundleKey`]).
+/// pool key ([`crate::bundle::BundleKey`]). The model digest covers the
+/// canonical op-by-op graph description plus the fixed-point
+/// configuration, so any two architectures that lower to different graphs
+/// (MLP or CNN alike) get distinct digests.
 #[must_use]
-pub fn model_digests(info: &PublicModelInfo) -> ([u8; 8], [u8; 8]) {
-    let scheme = &info.config.scheme;
+pub fn graph_digests(graph: &LayerGraph) -> ([u8; 8], [u8; 8]) {
+    let scheme = &graph.config.scheme;
     let (lo, hi) = scheme.weight_range();
     let scheme_desc = format!("{} [{lo},{hi}]", scheme.label());
 
-    let mut model_desc = String::new();
-    for d in &info.dims {
-        model_desc.push_str(&format!("{d}x"));
-    }
-    model_desc.push_str(&format!(
-        "|ring{}|f{}|fw{}|{}",
-        info.config.ring.bits(),
-        info.config.frac_bits,
-        info.config.weight_frac_bits,
+    let model_desc = format!(
+        "{}|ring{}|f{}|fw{}|{}",
+        graph.describe(),
+        graph.config.ring.bits(),
+        graph.config.frac_bits,
+        graph.config.weight_frac_bits,
         scheme_desc,
-    ));
+    );
 
     (digest8(scheme_desc.as_bytes()), digest8(model_desc.as_bytes()))
 }
 
+/// The `(scheme_digest, model_digest)` pair for a served MLP — lowers the
+/// architecture to its layer graph and delegates to [`graph_digests`].
+#[must_use]
+pub fn model_digests(info: &PublicModelInfo) -> ([u8; 8], [u8; 8]) {
+    graph_digests(&info.graph())
+}
+
 impl SessionParams {
-    /// Derives the parameters both parties must agree on from the public
-    /// model description, the chosen activation variant, and the batch
-    /// size.
+    /// Derives the parameters both parties must agree on from the layer
+    /// graph a model lowers to, the chosen activation variant, and the
+    /// batch size. This is the canonical derivation; the model-facing
+    /// constructors delegate here.
     #[must_use]
-    pub fn for_model(info: &PublicModelInfo, variant: ReluVariant, batch: usize) -> Self {
-        let (scheme_digest, model_digest) = model_digests(info);
+    pub fn for_graph(graph: &LayerGraph, variant: ReluVariant, batch: usize) -> Self {
+        let (scheme_digest, model_digest) = graph_digests(graph);
         SessionParams {
             version: PROTOCOL_VERSION,
-            ring_bits: info.config.ring.bits(),
-            frac_bits: info.config.frac_bits,
-            weight_frac_bits: info.config.weight_frac_bits,
+            ring_bits: graph.config.ring.bits(),
+            frac_bits: graph.config.frac_bits,
+            weight_frac_bits: graph.config.weight_frac_bits,
             scheme_digest,
             variant: variant_code(variant),
             batch: batch as u32,
             model_digest,
         }
+    }
+
+    /// Derives the parameters from a public model of any topology.
+    #[must_use]
+    pub fn for_public(model: &PublicModel, variant: ReluVariant, batch: usize) -> Self {
+        Self::for_graph(&model.graph(), variant, batch)
+    }
+
+    /// Derives the parameters both parties must agree on from the public
+    /// MLP description, the chosen activation variant, and the batch
+    /// size.
+    #[must_use]
+    pub fn for_model(info: &PublicModelInfo, variant: ReluVariant, batch: usize) -> Self {
+        Self::for_graph(&info.graph(), variant, batch)
     }
 
     fn encode(&self, flags: u8, token: &ResumeToken) -> [u8; HELLO_LEN] {

@@ -1,30 +1,38 @@
-//! End-to-end secure inference (Fig 2 of the paper).
+//! End-to-end secure inference (Fig 2 of the paper) — thin adapters over
+//! the [`crate::graph`] planner/executor.
 //!
 //! The server holds a [`QuantizedNetwork`]; the client holds inputs and the
 //! public [`PublicModelInfo`] (architecture + fixed-point hyper-parameters —
-//! never the weights). The pipeline splits into:
+//! never the weights). Both lower the model to the shared
+//! [`LayerGraph`] IR and drive the graph executor:
 //!
-//! * **offline** — data-independent: for every linear layer, dot-product
-//!   triplets `U + V = W·R` are generated from client-chosen randomness `R`
-//!   via the §4.1 OT protocols;
-//! * **online** — the client blinds its input with `R⁰`, each linear layer
+//! * **offline** — data-independent: the planner emits one dot-product
+//!   triplet requirement `U + V = W·R` per linear op, generated from
+//!   client-chosen randomness `R` via the §4.1 OT protocols;
+//! * **online** — the client blinds its input with `R⁰`, each linear op
 //!   costs one local matrix product plus the precomputed triplet, each
-//!   activation runs a §4.2 garbled circuit whose fresh client share *is*
-//!   the next layer's `R`, and the last layer's shares are opened toward
-//!   the client.
+//!   re-sharing op runs a §4.2 garbled circuit whose fresh client share
+//!   *is* the next linear op's `R`, and the graph's terminal `Output` op
+//!   opens the final shares toward the client.
 //!
 //! The client's reconstructed outputs equal
-//! [`QuantizedNetwork::forward_exact`] bit for bit.
+//! [`QuantizedNetwork::forward_exact`] bit for bit. The same adapters
+//! serve CNNs through [`crate::graph::ServedModel`]; see [`crate::cnn`]
+//! for the topology-specific convenience wrappers.
 
 use crate::bundle::{ClientBundle, ServerBundle};
 use crate::config::ExecConfig;
+use crate::graph::{
+    client_offline_with, client_online_to_logits, server_offline_with, server_online_to_logits,
+    PublicModel, SecureGraph, ServedModel,
+};
 use crate::handshake::{handshake_client, handshake_server, SessionParams};
-use crate::matmul::{triplet_client_with, triplet_server_with};
-use crate::relu::{relu_client, relu_server, ReluVariant};
+use crate::relu::ReluVariant;
 use crate::session::{ClientSession, ServerSession};
 use crate::ProtocolError;
 use abnn2_math::{Matrix, Ring};
 use abnn2_net::Transport;
+use abnn2_nn::graph::LayerGraph;
 use abnn2_nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -45,27 +53,25 @@ impl From<&QuantizedNetwork> for PublicModelInfo {
     }
 }
 
-/// `W·X + b + U` — the server's online share of a linear layer. Exposed so
-/// baseline protocols (MiniONN, QUOTIENT) can share the identical online
-/// linear step while substituting their own offline triplets.
-#[must_use]
-pub fn layer_share(layer: &QuantizedDense, x: &Matrix, u: &Matrix, ring: Ring) -> Matrix {
-    let batch = x.cols();
-    let mut y = Matrix::zeros(layer.out_dim, batch);
-    for i in 0..layer.out_dim {
-        let row = layer.row(i);
-        for k in 0..batch {
-            let mut acc = ring.add(layer.bias[i], u.get(i, k));
-            for (j, &w) in row.iter().enumerate() {
-                acc = acc.wrapping_add(x.get(j, k).wrapping_mul(w as u64));
-            }
-            y.set(i, k, ring.reduce(acc));
-        }
+impl PublicModelInfo {
+    /// The layer graph this architecture lowers to.
+    #[must_use]
+    pub fn graph(&self) -> LayerGraph {
+        LayerGraph::mlp(&self.dims, self.config.clone())
     }
-    y
 }
 
-/// Server-side state after the offline phase.
+/// `W·X + b + U` — the server's online share of a dense layer; delegates to
+/// the op-generic [`crate::graph::linear_share`]. Exposed so baseline
+/// protocols (MiniONN, QUOTIENT) can share the identical online linear step
+/// while substituting their own offline triplets.
+#[must_use]
+pub fn layer_share(layer: &QuantizedDense, x: &Matrix, u: &Matrix, ring: Ring) -> Matrix {
+    crate::graph::linear_share(&layer.weights, &layer.bias, layer.out_dim, layer.in_dim, x, u, ring)
+}
+
+/// Server-side state after the offline phase: one triplet share `U` per
+/// linear op of the graph, in graph order.
 #[derive(Debug)]
 pub struct ServerOffline {
     pub(crate) session: ServerSession,
@@ -91,7 +97,9 @@ impl ServerOffline {
     }
 }
 
-/// Client-side state after the offline phase.
+/// Client-side state after the offline phase: the masks `R` (input mask
+/// plus one fresh mask per re-sharing op) and one triplet share `V` per
+/// linear op, in graph order.
 #[derive(Debug)]
 pub struct ClientOffline {
     pub(crate) session: ClientSession,
@@ -115,18 +123,26 @@ impl ClientOffline {
     }
 }
 
-/// The model-serving party.
+/// The model-serving party. Holds any [`ServedModel`] topology; the MLP
+/// constructor [`SecureServer::new`] and the CNN-aware
+/// [`SecureServer::for_model`] drive the identical graph executor.
 #[derive(Debug, Clone)]
 pub struct SecureServer {
-    net: QuantizedNetwork,
+    pub(crate) model: ServedModel,
     pub(crate) exec: ExecConfig,
 }
 
 impl SecureServer {
-    /// Serves `net` with the default (fully oblivious) activation protocol.
+    /// Serves an MLP with the default (fully oblivious) activation protocol.
     #[must_use]
     pub fn new(net: QuantizedNetwork) -> Self {
-        SecureServer { net, exec: ExecConfig::new() }
+        Self::for_model(net)
+    }
+
+    /// Serves any supported model topology.
+    #[must_use]
+    pub fn for_model(model: impl Into<ServedModel>) -> Self {
+        SecureServer { model: model.into(), exec: ExecConfig::new() }
     }
 
     /// Replaces the whole execution configuration.
@@ -155,18 +171,36 @@ impl SecureServer {
         self
     }
 
-    /// The public model description to hand to clients.
+    /// The public MLP description to hand to clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the served model is not an MLP — use
+    /// [`public_model`](Self::public_model) for topology-generic code.
     #[must_use]
     pub fn public_info(&self) -> PublicModelInfo {
-        PublicModelInfo::from(&self.net)
+        match &self.model {
+            ServedModel::Mlp(net) => PublicModelInfo::from(net),
+            ServedModel::Cnn(_) => panic!("public_info is MLP-only; use public_model"),
+        }
     }
 
-    /// Offline phase: handshake, session setup, and per-layer triplet
+    /// The public description of the served model, any topology.
+    #[must_use]
+    pub fn public_model(&self) -> PublicModel {
+        self.model.public()
+    }
+
+    pub(crate) fn secure_graph(&self, batch: usize) -> Result<SecureGraph, ProtocolError> {
+        SecureGraph::new(self.model.graph(), batch)
+    }
+
+    /// Offline phase: handshake, session setup, and per-op triplet
     /// generation for a batch of `batch` predictions.
     ///
     /// The handshake pins down protocol version, ring, fixed-point and
     /// fragmentation parameters, activation variant, batch size and model
-    /// shape *before* any base OT flows, so a misconfigured pairing fails
+    /// graph *before* any base OT flows, so a misconfigured pairing fails
     /// with [`ProtocolError::Negotiation`] at connect time instead of
     /// garbling mid-protocol.
     ///
@@ -179,13 +213,11 @@ impl SecureServer {
         batch: usize,
         rng: &mut R,
     ) -> Result<ServerOffline, ProtocolError> {
-        if batch == 0 {
-            return Err(ProtocolError::Dimension("batch must be positive"));
-        }
+        let sg = self.secure_graph(batch)?;
         // The server derives its parameters for *its own* expected batch:
         // a client announcing a different batch is a negotiation failure,
         // not something to silently adopt.
-        let ours = SessionParams::for_model(&self.public_info(), self.exec.variant, batch);
+        let ours = SessionParams::for_graph(sg.graph(), self.exec.variant, batch);
         handshake_server(ch, |_| ours, |_| false)?;
         self.offline_after_handshake(ch, batch, rng)
     }
@@ -214,57 +246,11 @@ impl SecureServer {
     pub fn offline_with<T: Transport>(
         &self,
         ch: &mut T,
-        mut session: ServerSession,
+        session: ServerSession,
         batch: usize,
     ) -> Result<ServerOffline, ProtocolError> {
-        let ring = self.net.config.ring;
-        let scheme = &self.net.config.scheme;
-        let cfg = self.exec.triplet_for_batch(batch);
-        let mut us = Vec::with_capacity(self.net.layers.len());
-        for layer in &self.net.layers {
-            us.push(triplet_server_with(
-                ch,
-                &mut session.kk,
-                &layer.weights,
-                layer.out_dim,
-                layer.in_dim,
-                batch,
-                scheme,
-                ring,
-                cfg,
-            )?);
-        }
-        Ok(ServerOffline { session, us, batch })
-    }
-
-    /// Runs the hidden layers, returning the session and the server's
-    /// share of the final-layer outputs.
-    fn online_to_logits<T: Transport>(
-        &self,
-        ch: &mut T,
-        state: ServerOffline,
-    ) -> Result<(ServerSession, Matrix), ProtocolError> {
-        let ServerOffline { mut session, us, batch } = state;
-        let ring = self.net.config.ring;
-        let fw = self.net.config.weight_frac_bits;
-        let n0 = self.net.layers[0].in_dim;
-
-        let x0_bytes = ch.recv()?;
-        if x0_bytes.len() != n0 * batch * ring.byte_len() {
-            return Err(ProtocolError::Malformed("blinded input length"));
-        }
-        let mut cur = Matrix::new(n0, batch, ring.decode_slice(&x0_bytes));
-
-        let last = self.net.layers.len() - 1;
-        for (l, layer) in self.net.layers.iter().enumerate() {
-            let y0 = layer_share(layer, &cur, &us[l], ring);
-            if l == last {
-                return Ok((session, y0));
-            }
-            let z0 = relu_server(ch, &mut session.yao, y0.as_slice(), ring, fw, self.exec.variant)?;
-            cur = Matrix::new(layer.out_dim, batch, z0);
-        }
-        unreachable!("loop returns at the last layer")
+        let sg = self.secure_graph(batch)?;
+        server_offline_with(ch, session, &self.model, &sg, self.exec)
     }
 
     /// Online phase: consumes offline state, processes one batch, opening
@@ -278,8 +264,9 @@ impl SecureServer {
         ch: &mut T,
         state: ServerOffline,
     ) -> Result<(), ProtocolError> {
-        let ring = self.net.config.ring;
-        let (_, y0) = self.online_to_logits(ch, state)?;
+        let ring = self.model.config().ring;
+        let sg = self.secure_graph(state.batch)?;
+        let (_, y0) = server_online_to_logits(ch, state, &self.model, &sg, self.exec)?;
         ch.send(&ring.encode_slice(y0.as_slice()))?;
         Ok(())
     }
@@ -296,9 +283,10 @@ impl SecureServer {
         ch: &mut T,
         state: ServerOffline,
     ) -> Result<(), ProtocolError> {
-        let ring = self.net.config.ring;
+        let ring = self.model.config().ring;
         let batch = state.batch;
-        let (mut session, y0) = self.online_to_logits(ch, state)?;
+        let sg = self.secure_graph(batch)?;
+        let (mut session, y0) = server_online_to_logits(ch, state, &self.model, &sg, self.exec)?;
         for k in 0..batch {
             crate::argmax::argmax_server(ch, &mut session.yao, &y0.col(k), ring)?;
         }
@@ -321,18 +309,25 @@ impl SecureServer {
     }
 }
 
-/// The data-owning party.
+/// The data-owning party. Holds any [`PublicModel`] topology; see
+/// [`SecureClient::new`] (MLP) and [`SecureClient::for_model`].
 #[derive(Debug, Clone)]
 pub struct SecureClient {
-    pub(crate) info: PublicModelInfo,
+    pub(crate) model: PublicModel,
     pub(crate) exec: ExecConfig,
 }
 
 impl SecureClient {
-    /// Creates a client for a served model.
+    /// Creates a client for a served MLP.
     #[must_use]
     pub fn new(info: PublicModelInfo) -> Self {
-        SecureClient { info, exec: ExecConfig::new() }
+        Self::for_model(info)
+    }
+
+    /// Creates a client for a served model of any supported topology.
+    #[must_use]
+    pub fn for_model(model: impl Into<PublicModel>) -> Self {
+        SecureClient { model: model.into(), exec: ExecConfig::new() }
     }
 
     /// Replaces the whole execution configuration.
@@ -349,8 +344,7 @@ impl SecureClient {
         self
     }
 
-    /// Enables multi-core triplet generation; independent of the server's
-    /// thread count.
+    /// Multi-core triplet generation.
     ///
     /// # Panics
     ///
@@ -361,30 +355,44 @@ impl SecureClient {
         self
     }
 
-    /// The public model description this client was built for.
+    /// The MLP description this client was built for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not an MLP — use
+    /// [`public_model`](Self::public_model) for topology-generic code.
     #[must_use]
     pub fn public_info(&self) -> &PublicModelInfo {
-        &self.info
+        match &self.model {
+            PublicModel::Mlp(info) => info,
+            PublicModel::Cnn(_) => panic!("public_info is MLP-only; use public_model"),
+        }
     }
 
-    /// Offline phase: handshake, session setup, choose per-layer randomness
-    /// `R`, run the triplet protocols.
+    /// The public model description, any topology.
+    #[must_use]
+    pub fn public_model(&self) -> &PublicModel {
+        &self.model
+    }
+
+    pub(crate) fn secure_graph(&self, batch: usize) -> Result<SecureGraph, ProtocolError> {
+        SecureGraph::new(self.model.graph(), batch)
+    }
+
+    /// Offline phase: handshake, session setup, and per-op triplet
+    /// generation (see the server counterpart).
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError`] on any subprotocol failure, including
-    /// [`ProtocolError::Negotiation`] when the server's session parameters
-    /// disagree with ours.
+    /// Returns [`ProtocolError`] on any subprotocol failure.
     pub fn offline<T: Transport, R: Rng + ?Sized>(
         &self,
         ch: &mut T,
         batch: usize,
         rng: &mut R,
     ) -> Result<ClientOffline, ProtocolError> {
-        if batch == 0 {
-            return Err(ProtocolError::Dimension("batch must be positive"));
-        }
-        let ours = SessionParams::for_model(&self.info, self.exec.variant, batch);
+        let sg = self.secure_graph(batch)?;
+        let ours = SessionParams::for_graph(sg.graph(), self.exec.variant, batch);
         handshake_client(ch, ours, &[0u8; 16], false)?;
         self.offline_after_handshake(ch, batch, rng)
     }
@@ -410,43 +418,16 @@ impl SecureClient {
     pub fn offline_with<T: Transport, R: Rng + ?Sized>(
         &self,
         ch: &mut T,
-        mut session: ClientSession,
+        session: ClientSession,
         batch: usize,
         rng: &mut R,
     ) -> Result<ClientOffline, ProtocolError> {
-        let ring = self.info.config.ring;
-        let scheme = &self.info.config.scheme;
-        let cfg = self.exec.triplet_for_batch(batch);
-        let n_layers = self.info.dims.len() - 1;
-        let mut rs = Vec::with_capacity(n_layers);
-        let mut vs = Vec::with_capacity(n_layers);
-        for l in 0..n_layers {
-            let r = Matrix::random(self.info.dims[l], batch, &ring, rng);
-            let v = triplet_client_with(
-                ch,
-                &mut session.kk,
-                &r,
-                self.info.dims[l + 1],
-                scheme,
-                ring,
-                cfg,
-                rng,
-            )?;
-            rs.push(r);
-            vs.push(v);
-        }
-        Ok(ClientOffline { session, rs, vs, batch })
+        let sg = self.secure_graph(batch)?;
+        client_offline_with(ch, session, &sg, self.exec, rng)
     }
 
-    /// Online phase over ring-encoded inputs: returns the raw output shares
-    /// reconstructed into ring elements (`out_dim × batch`, at
-    /// `f + f_w` fractional bits).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ProtocolError`] on failure or if inputs mismatch the batch.
-    /// Runs the hidden layers, returning the session and the client's
-    /// share of the final-layer outputs.
+    /// Runs the graph, returning the session and the client's share of the
+    /// final-layer outputs.
     fn online_to_logits<T: Transport, R: Rng + ?Sized>(
         &self,
         ch: &mut T,
@@ -454,10 +435,10 @@ impl SecureClient {
         inputs_fp: &[Vec<u64>],
         rng: &mut R,
     ) -> Result<(ClientSession, Matrix), ProtocolError> {
-        let ClientOffline { mut session, rs, vs, batch } = state;
-        let ring = self.info.config.ring;
-        let fw = self.info.config.weight_frac_bits;
-        let n0 = self.info.dims[0];
+        let batch = state.batch;
+        let sg = self.secure_graph(batch)?;
+        let ring = self.model.config().ring;
+        let n0 = sg.graph().input_len();
         if inputs_fp.len() != batch {
             return Err(ProtocolError::Dimension("input count must equal batch"));
         }
@@ -472,24 +453,7 @@ impl SecureClient {
                 x.set(j, k, ring.reduce(v));
             }
         }
-        let x0 = x.sub(&rs[0], &ring);
-        ch.send(&ring.encode_slice(x0.as_slice()))?;
-
-        let n_layers = self.info.dims.len() - 1;
-        for l in 0..n_layers - 1 {
-            relu_client(
-                ch,
-                &mut session.yao,
-                vs[l].as_slice(),
-                rs[l + 1].as_slice(),
-                ring,
-                fw,
-                self.exec.variant,
-                rng,
-            )?;
-        }
-        let y1 = vs.into_iter().next_back().expect("at least one layer");
-        Ok((session, y1))
+        client_online_to_logits(ch, state, &sg, self.exec, &x, rng)
     }
 
     /// Online phase over ring-encoded inputs: returns the raw output shares
@@ -506,10 +470,10 @@ impl SecureClient {
         inputs_fp: &[Vec<u64>],
         rng: &mut R,
     ) -> Result<Matrix, ProtocolError> {
-        let ring = self.info.config.ring;
+        let ring = self.model.config().ring;
         let batch = state.batch;
+        let m = self.model.graph().output_len();
         let (_, y1) = self.online_to_logits(ch, state, inputs_fp, rng)?;
-        let m = *self.info.dims.last().expect("non-empty dims");
         let y0_bytes = ch.recv()?;
         if y0_bytes.len() != m * batch * ring.byte_len() {
             return Err(ProtocolError::Malformed("output share length"));
@@ -531,7 +495,7 @@ impl SecureClient {
         inputs_fp: &[Vec<u64>],
         rng: &mut R,
     ) -> Result<Vec<usize>, ProtocolError> {
-        let ring = self.info.config.ring;
+        let ring = self.model.config().ring;
         let batch = state.batch;
         let (mut session, y1) = self.online_to_logits(ch, state, inputs_fp, rng)?;
         (0..batch)
@@ -551,8 +515,8 @@ impl SecureClient {
         inputs: &[Vec<f64>],
         rng: &mut R,
     ) -> Result<Vec<Vec<f64>>, ProtocolError> {
-        let in_codec = self.info.config.activation_codec();
-        let out_codec = self.info.config.output_codec();
+        let in_codec = self.model.config().activation_codec();
+        let out_codec = self.model.config().output_codec();
         let inputs_fp: Vec<Vec<u64>> = inputs.iter().map(|x| in_codec.encode_vec(x)).collect();
         let y = self.online_raw(ch, state, &inputs_fp, rng)?;
         Ok((0..y.cols()).map(|k| out_codec.decode_vec(&y.col(k))).collect())
@@ -573,7 +537,6 @@ impl SecureClient {
         self.online(ch, state, inputs, rng)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,11 @@
 //!   that sends N−1 instead of N messages (§4.1.3),
 //! * [`relu`] — the online activation protocols of §4.2: Algorithm 2 (fully
 //!   oblivious) and the optimized comparison-first ReLU,
-//! * [`inference`] — the end-to-end offline/online pipeline of Fig 2,
+//! * [`graph`] — the secure planner and executor over the
+//!   [`abnn2_nn::LayerGraph`] IR: one offline plan and one online walk
+//!   shared by every served topology (MLP and CNN),
+//! * [`inference`] — the end-to-end offline/online pipeline of Fig 2, as
+//!   thin adapters over [`graph`],
 //! * [`complexity`] — the closed-form OT/communication counts of Table 1,
 //! * [`handshake`] — the versioned session hello exchanged before any base
 //!   OT, turning configuration mismatches into typed
@@ -40,6 +44,7 @@ pub mod cnn;
 pub mod complexity;
 pub mod config;
 pub mod error;
+pub mod graph;
 pub mod handshake;
 pub mod inference;
 pub mod matmul;
@@ -48,9 +53,12 @@ pub mod resilient;
 pub mod session;
 pub mod sharing;
 
-pub use bundle::{dealer_bundle, BundleKey, ClientBundle, ServerBundle};
+pub use bundle::{
+    dealer_bundle, dealer_bundle_for, BundleKey, ClientBundle, ServerBundle, BUNDLE_LAYOUT_VERSION,
+};
 pub use config::{ExecConfig, SessionDeadlines};
 pub use error::ProtocolError;
+pub use graph::{PublicModel, SecureGraph, ServedModel, TripletPlan};
 pub use handshake::{HelloReply, HelloRequest, ResumeToken, SessionParams, PROTOCOL_VERSION};
 pub use inference::{PublicModelInfo, SecureClient, SecureServer};
 pub use matmul::TripletMode;

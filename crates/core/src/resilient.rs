@@ -218,7 +218,7 @@ impl ResilientClient {
         if batch == 0 {
             return Err(ProtocolError::Dimension("batch must be positive"));
         }
-        let ours = SessionParams::for_model(&self.client.info, self.client.exec.variant, batch);
+        let ours = SessionParams::for_public(&self.client.model, self.client.exec.variant, batch);
         let mut token: ResumeToken = [0; 16];
         rng.fill(&mut token);
 
@@ -364,13 +364,13 @@ impl ResilientServer {
             attempts = attempt + 1;
             apply_read_timeout(ch, &self.deadlines)?;
 
-            let info = self.server.public_info();
+            let public = self.server.public_model();
             let mut claimed: Option<ServerBundle> = None;
             let (batch, token, resume_ok) = handshake_server(
                 ch,
                 // Adopt the client's announced batch: the server side of a
                 // prediction service has no a-priori batch expectation.
-                |b| SessionParams::for_model(&info, self.server.exec.variant, b),
+                |b| SessionParams::for_public(&public, self.server.exec.variant, b),
                 |t| {
                     claimed = self.store.claim(t);
                     claimed.is_some()

@@ -12,7 +12,7 @@
 //! * [`circuits`] — ring-arithmetic circuit library: ℓ-bit adder/subtractor
 //!   (carry-drop = mod 2^ℓ), MUX, comparison, and the ReLU circuits of §4.2
 //!   (Algorithm 2 and the optimized comparison-first variant),
-//! * [`garble`] — half-gates garbling \[ZRE15\] with free-XOR and
+//! * [`mod@garble`] — half-gates garbling \[ZRE15\] with free-XOR and
 //!   point-and-permute (2 ciphertexts per AND, 0 per XOR/INV),
 //! * [`yao`] — the two-party protocol: garbler sends material, evaluator
 //!   obtains its input labels via IKNP OT and returns the decoded outputs.

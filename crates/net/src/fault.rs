@@ -302,6 +302,10 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.inner.set_phase_budget(budget)
     }
 
+    fn mark_phase(&mut self, label: &str) {
+        self.inner.mark_phase(label);
+    }
+
     fn snapshot(&self) -> CommSnapshot {
         self.inner.snapshot()
     }

@@ -228,6 +228,10 @@ impl<T: Transport> Transport for InstrumentedTransport<T> {
         self.inner.set_phase_budget(budget)
     }
 
+    fn mark_phase(&mut self, label: &str) {
+        self.enter_phase(label);
+    }
+
     fn snapshot(&self) -> CommSnapshot {
         self.inner.snapshot()
     }

@@ -13,7 +13,7 @@
 //! The OT and GC layers emit thousands of small messages (often single
 //! `u64`s). Issuing one `write(2)` per 8-byte message would dominate runtime
 //! with syscalls, so outgoing frames accumulate in a buffer flushed when it
-//! exceeds [`FLUSH_THRESHOLD`], before any blocking [`recv`], and on drop.
+//! exceeds a fixed threshold, before any blocking receive, and on drop.
 //! Flushing before a receive keeps the protocol deadlock-free: each party's
 //! pending requests always reach the peer before either side blocks.
 //!

@@ -155,6 +155,15 @@ pub trait Transport {
         Ok(())
     }
 
+    /// Labels subsequent traffic for instrumentation purposes (e.g.
+    /// `"offline:op2/relu"`). A no-op everywhere except metering
+    /// decorators, which attribute bytes/messages/time to the label;
+    /// protocol code may call it freely without changing the transcript.
+    /// Decorators that wrap another transport MUST forward this call.
+    fn mark_phase(&mut self, label: &str) {
+        let _ = label;
+    }
+
     /// Sends a single `u64` (little-endian).
     ///
     /// # Errors

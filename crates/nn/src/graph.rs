@@ -1,0 +1,364 @@
+//! Layer-graph descriptor: the topology-neutral IR behind secure inference.
+//!
+//! Both served topologies — the paper's fully-connected stack
+//! ([`QuantizedNetwork`]) and the CNN
+//! extension ([`QuantizedCnn`]) — lower to the
+//! same sequence of typed ops: linear layers ([`LayerOp::Dense`],
+//! [`LayerOp::Conv`] via the im2col rewrite), re-sharing non-linearities
+//! ([`LayerOp::Relu`], [`LayerOp::MaxPool`]) and one terminal
+//! [`LayerOp::Output`]. The descriptor carries dimensions only — never
+//! weights — so it is safe to derive on the client side from a public model
+//! description and to feed into handshake/bundle digests.
+//!
+//! The secure planner and executor over this IR live in
+//! `abnn2-core::graph`; this module owns only the shape.
+
+use crate::conv::{conv_out_dims, ConvShape, QuantizedCnn};
+use crate::quant::{QuantConfig, QuantizedNetwork};
+
+/// One typed node of the inference pipeline. Ops form a straight-line
+/// sequence; each consumes the previous op's output (`in_len` elements per
+/// sample) and produces `out_len` elements per sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerOp {
+    /// Fully-connected layer `W·x + b`, `out_dim × in_dim`.
+    Dense {
+        /// Output rows.
+        out_dim: usize,
+        /// Input rows.
+        in_dim: usize,
+    },
+    /// Convolution lowered to a matrix product through im2col: weights are
+    /// `out_channels × (channels·kh·kw)`, the input column matrix has one
+    /// column per output position.
+    Conv {
+        /// Filter count.
+        out_channels: usize,
+        /// Input feature-map shape.
+        in_shape: ConvShape,
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Truncate by the weight fraction bits, then ReLU; re-shares its
+    /// output under a fresh client mask.
+    Relu {
+        /// Elements per sample.
+        dim: usize,
+    },
+    /// Non-overlapping `window × window` max-pool over a CHW map;
+    /// re-shares each window maximum under a fresh client mask.
+    MaxPool {
+        /// Input feature-map shape.
+        shape: ConvShape,
+        /// Pooling window.
+        window: usize,
+    },
+    /// Terminal op: the server opens its share of the final linear layer
+    /// toward the client. Executors terminate here by construction.
+    Output {
+        /// Elements per sample.
+        dim: usize,
+    },
+}
+
+impl LayerOp {
+    /// Elements consumed per sample.
+    #[must_use]
+    pub fn in_len(&self) -> usize {
+        match *self {
+            LayerOp::Dense { in_dim, .. } => in_dim,
+            LayerOp::Conv { in_shape, .. } => in_shape.len(),
+            LayerOp::Relu { dim } | LayerOp::Output { dim } => dim,
+            LayerOp::MaxPool { shape, .. } => shape.len(),
+        }
+    }
+
+    /// Elements produced per sample.
+    #[must_use]
+    pub fn out_len(&self) -> usize {
+        match *self {
+            LayerOp::Dense { out_dim, .. } => out_dim,
+            LayerOp::Conv { out_channels, in_shape, kh, kw, stride } => {
+                let (oh, ow) = conv_out_dims(in_shape, kh, kw, stride);
+                out_channels * oh * ow
+            }
+            LayerOp::Relu { dim } | LayerOp::Output { dim } => dim,
+            LayerOp::MaxPool { shape, window } => ConvShape {
+                channels: shape.channels,
+                height: shape.height / window,
+                width: shape.width / window,
+            }
+            .len(),
+        }
+    }
+
+    /// Whether this op consumes an offline dot-product triplet.
+    #[must_use]
+    pub fn is_linear(&self) -> bool {
+        matches!(self, LayerOp::Dense { .. } | LayerOp::Conv { .. })
+    }
+
+    /// Whether this op re-shares its output under a fresh client mask.
+    #[must_use]
+    pub fn is_reshare(&self) -> bool {
+        matches!(self, LayerOp::Relu { .. } | LayerOp::MaxPool { .. })
+    }
+
+    /// Whether this op is tied to a spatial (CHW) layout and therefore to
+    /// single-sample execution.
+    #[must_use]
+    pub fn is_spatial(&self) -> bool {
+        matches!(self, LayerOp::Conv { .. } | LayerOp::MaxPool { .. })
+    }
+
+    /// Short kind tag used in per-op instrumentation phase labels.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LayerOp::Dense { .. } => "dense",
+            LayerOp::Conv { .. } => "conv",
+            LayerOp::Relu { .. } => "relu",
+            LayerOp::MaxPool { .. } => "pool",
+            LayerOp::Output { .. } => "output",
+        }
+    }
+
+    /// Canonical description fragment (feeds handshake/bundle digests).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match *self {
+            LayerOp::Dense { out_dim, in_dim } => format!("dense({out_dim}x{in_dim})"),
+            LayerOp::Conv { out_channels, in_shape, kh, kw, stride } => format!(
+                "conv({out_channels}@{kh}x{kw}/{stride}:{}x{}x{})",
+                in_shape.channels, in_shape.height, in_shape.width
+            ),
+            LayerOp::Relu { dim } => format!("relu({dim})"),
+            LayerOp::MaxPool { shape, window } => {
+                format!("pool({window}:{}x{}x{})", shape.channels, shape.height, shape.width)
+            }
+            LayerOp::Output { dim } => format!("out({dim})"),
+        }
+    }
+}
+
+/// A straight-line graph of [`LayerOp`]s plus the fixed-point
+/// hyper-parameters the pipeline runs under. Construct via
+/// [`LayerGraph::mlp`], [`LayerGraph::cnn`], or the `From` impls on the
+/// quantized model types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerGraph {
+    /// Fixed-point pipeline hyper-parameters.
+    pub config: QuantConfig,
+    /// The op sequence, ending in [`LayerOp::Output`].
+    pub ops: Vec<LayerOp>,
+}
+
+impl LayerGraph {
+    /// The paper's fully-connected pipeline: `dense → relu → … → dense →
+    /// output` over `dims = [in, hidden…, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` has fewer than two entries.
+    #[must_use]
+    pub fn mlp(dims: &[usize], config: QuantConfig) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least one layer");
+        let mut ops = Vec::with_capacity(2 * (dims.len() - 1));
+        for l in 0..dims.len() - 1 {
+            ops.push(LayerOp::Dense { out_dim: dims[l + 1], in_dim: dims[l] });
+            if l + 2 < dims.len() {
+                ops.push(LayerOp::Relu { dim: dims[l + 1] });
+            }
+        }
+        ops.push(LayerOp::Output { dim: *dims.last().expect("non-empty dims") });
+        LayerGraph { config, ops }
+    }
+
+    /// The CNN extension: `conv → relu → maxpool → dense stack → output`.
+    /// `dense_dims` includes the flattened pool output as its first entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense_dims` has fewer than two entries.
+    #[must_use]
+    pub fn cnn(
+        in_shape: ConvShape,
+        out_channels: usize,
+        kernel: (usize, usize, usize),
+        pool_window: usize,
+        dense_dims: &[usize],
+        config: QuantConfig,
+    ) -> Self {
+        assert!(dense_dims.len() >= 2, "a CNN needs at least one dense layer");
+        let (kh, kw, stride) = kernel;
+        let (oh, ow) = conv_out_dims(in_shape, kh, kw, stride);
+        let conv_out = ConvShape { channels: out_channels, height: oh, width: ow };
+        let mut ops = vec![
+            LayerOp::Conv { out_channels, in_shape, kh, kw, stride },
+            LayerOp::Relu { dim: conv_out.len() },
+            LayerOp::MaxPool { shape: conv_out, window: pool_window },
+        ];
+        for l in 0..dense_dims.len() - 1 {
+            ops.push(LayerOp::Dense { out_dim: dense_dims[l + 1], in_dim: dense_dims[l] });
+            if l + 2 < dense_dims.len() {
+                ops.push(LayerOp::Relu { dim: dense_dims[l + 1] });
+            }
+        }
+        ops.push(LayerOp::Output { dim: *dense_dims.last().expect("non-empty dims") });
+        LayerGraph { config, ops }
+    }
+
+    /// Elements per input sample.
+    #[must_use]
+    pub fn input_len(&self) -> usize {
+        self.ops.first().map_or(0, LayerOp::in_len)
+    }
+
+    /// Elements per output sample.
+    #[must_use]
+    pub fn output_len(&self) -> usize {
+        self.ops.last().map_or(0, LayerOp::out_len)
+    }
+
+    /// Number of triplet-consuming (linear) ops.
+    #[must_use]
+    pub fn linear_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_linear()).count()
+    }
+
+    /// Number of client masks the pipeline consumes: one for the input
+    /// blinding plus one per re-sharing op.
+    #[must_use]
+    pub fn mask_count(&self) -> usize {
+        1 + self.ops.iter().filter(|op| op.is_reshare()).count()
+    }
+
+    /// Whether the graph contains spatially-laid-out ops (conv/max-pool),
+    /// which pin execution to batch size 1.
+    #[must_use]
+    pub fn has_spatial_ops(&self) -> bool {
+        self.ops.iter().any(LayerOp::is_spatial)
+    }
+
+    /// Checks structural well-formedness: non-empty, every op's input
+    /// length matches its predecessor's output length, exactly one
+    /// [`LayerOp::Output`] and it comes last.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first violation.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.ops.is_empty() {
+            return Err("graph has no ops");
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            let terminal = matches!(op, LayerOp::Output { .. });
+            if terminal != (i == self.ops.len() - 1) {
+                return Err("output op must be exactly the last op");
+            }
+            if i > 0 && self.ops[i - 1].out_len() != op.in_len() {
+                return Err("op input length does not match predecessor output");
+            }
+            if let LayerOp::MaxPool { shape, window } = *op {
+                if window == 0 || shape.height % window != 0 || shape.width % window != 0 {
+                    return Err("pool window must evenly divide the map");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical architecture string (op descriptions joined with `>`);
+    /// the digest input shared by the handshake and bundle keys.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        self.ops.iter().map(LayerOp::describe).collect::<Vec<_>>().join(">")
+    }
+}
+
+impl From<&QuantizedNetwork> for LayerGraph {
+    fn from(net: &QuantizedNetwork) -> Self {
+        LayerGraph::mlp(&net.dims(), net.config.clone())
+    }
+}
+
+impl From<&QuantizedCnn> for LayerGraph {
+    fn from(net: &QuantizedCnn) -> Self {
+        let mut dense_dims = vec![net.dense[0].in_dim];
+        dense_dims.extend(net.dense.iter().map(|l| l.out_dim));
+        LayerGraph::cnn(
+            net.conv.in_shape,
+            net.conv.out_channels,
+            (net.conv.kh, net.conv.kw, net.conv.stride),
+            net.pool_window,
+            &dense_dims,
+            net.config.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abnn2_math::{FragmentScheme, Ring};
+
+    fn config() -> QuantConfig {
+        QuantConfig {
+            ring: Ring::new(32),
+            frac_bits: 8,
+            weight_frac_bits: 2,
+            scheme: FragmentScheme::signed_bit_fields(&[2, 2]),
+        }
+    }
+
+    #[test]
+    fn mlp_graph_shape() {
+        let g = LayerGraph::mlp(&[12, 8, 6, 4], config());
+        assert_eq!(g.ops.len(), 6); // 3 dense + 2 relu + output
+        assert!(g.validate().is_ok());
+        assert_eq!(g.input_len(), 12);
+        assert_eq!(g.output_len(), 4);
+        assert_eq!(g.linear_count(), 3);
+        assert_eq!(g.mask_count(), 3);
+        assert!(!g.has_spatial_ops());
+        assert_eq!(g.describe(), "dense(8x12)>relu(8)>dense(6x8)>relu(6)>dense(4x6)>out(4)");
+    }
+
+    #[test]
+    fn cnn_graph_shape() {
+        let in_shape = ConvShape { channels: 1, height: 8, width: 8 };
+        let g = LayerGraph::cnn(in_shape, 2, (3, 3, 1), 2, &[18, 6, 4], config());
+        // conv, relu, pool, dense, relu, dense, output
+        assert_eq!(g.ops.len(), 7);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.input_len(), 64);
+        assert_eq!(g.output_len(), 4);
+        assert_eq!(g.linear_count(), 3);
+        assert_eq!(g.mask_count(), 4); // input + conv-relu + pool + dense-relu
+        assert!(g.has_spatial_ops());
+        // conv out 2×6×6 = 72 feeds relu; pool 2 halves each spatial dim.
+        assert_eq!(g.ops[1], LayerOp::Relu { dim: 72 });
+        assert_eq!(g.ops[2].out_len(), 18);
+    }
+
+    #[test]
+    fn mismatched_dims_fail_validation() {
+        let mut g = LayerGraph::mlp(&[12, 8, 4], config());
+        g.ops[1] = LayerOp::Relu { dim: 7 };
+        assert!(g.validate().is_err());
+        let mut g2 = LayerGraph::mlp(&[12, 8, 4], config());
+        g2.ops.pop();
+        assert_eq!(g2.validate(), Err("output op must be exactly the last op"));
+    }
+
+    #[test]
+    fn describe_distinguishes_topologies() {
+        let a = LayerGraph::mlp(&[12, 8, 4], config());
+        let b = LayerGraph::mlp(&[12, 6, 4], config());
+        assert_ne!(a.describe(), b.describe());
+    }
+}

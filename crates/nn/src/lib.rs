@@ -16,14 +16,19 @@
 //!   pass ([`quant::QuantizedNetwork::forward_exact`]) that secure inference
 //!   must reproduce share-for-share,
 //! * [`conv`] — the CNN extension: im2col convolution, max-pooling and
-//!   [`conv::QuantizedCnn`] (its secure counterpart is `abnn2_core::cnn`).
+//!   [`conv::QuantizedCnn`] (its secure counterpart is `abnn2_core::cnn`),
+//! * [`graph`] — the topology-neutral [`graph::LayerGraph`] IR both model
+//!   kinds lower to; the secure planner/executor over it lives in
+//!   `abnn2_core::graph`.
 
 pub mod conv;
 pub mod data;
+pub mod graph;
 pub mod model;
 pub mod quant;
 
 pub use conv::{ConvShape, QuantizedCnn, QuantizedConv};
 pub use data::SyntheticMnist;
+pub use graph::{LayerGraph, LayerOp};
 pub use model::{Dense, Network};
 pub use quant::{QuantConfig, QuantizedDense, QuantizedNetwork};

@@ -11,7 +11,10 @@ use abnn2_core::bundle::ClientBundle;
 use abnn2_core::handshake::{handshake_client_ext, HelloRequest, ResumeToken, SessionParams};
 use abnn2_core::inference::ClientOffline;
 use abnn2_core::session::ClientSession;
-use abnn2_core::{ProtocolError, PublicModelInfo, ReluVariant, SecureClient, SessionDeadlines};
+use abnn2_core::{
+    ProtocolError, PublicModel, PublicModelInfo, ReluVariant, SecureClient, SecureGraph,
+    SessionDeadlines,
+};
 use abnn2_math::Matrix;
 use abnn2_net::{
     InstrumentHandle, InstrumentedTransport, PhaseStats, ResilientDriver, RetryPolicy,
@@ -36,9 +39,20 @@ pub struct ServeReport {
 
 impl ServeReport {
     /// Total traffic for the phase, zero if the phase never ran.
+    ///
+    /// Matches the exact phase name *and* any sub-phase labelled
+    /// `"{name}:..."`, so `phase("offline")` still covers the per-op
+    /// labels (`offline:op0/dense`, …) the graph executor emits.
     #[must_use]
     pub fn phase(&self, name: &str) -> PhaseStats {
-        self.phases.iter().find(|(n, _)| n == name).map(|(_, s)| *s).unwrap_or_default()
+        let prefix = format!("{name}:");
+        let mut total = PhaseStats::default();
+        for (n, s) in &self.phases {
+            if n == name || n.starts_with(&prefix) {
+                total.merge(s);
+            }
+        }
+        total
     }
 }
 
@@ -53,15 +67,23 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Client for the model described by `info`, requesting warm bundles,
+    /// Client for the MLP described by `info`, requesting warm bundles,
     /// with the default retry policy and LAN deadlines.
     #[must_use]
     pub fn new(info: PublicModelInfo) -> Self {
+        Self::for_model(info)
+    }
+
+    /// Client for any served topology (MLP or CNN) described by a
+    /// [`PublicModel`], requesting warm bundles, with the default retry
+    /// policy and LAN deadlines.
+    #[must_use]
+    pub fn for_model(model: impl Into<PublicModel>) -> Self {
         // Match ServeConfig's default ExecConfig so a default client and a
         // default server negotiate successfully out of the box.
         let variant = abnn2_core::ExecConfig::new().variant;
         ServeClient {
-            client: SecureClient::new(info).with_variant(variant),
+            client: SecureClient::for_model(model).with_variant(variant),
             variant,
             policy: RetryPolicy::default(),
             deadlines: SessionDeadlines::lan(),
@@ -120,7 +142,8 @@ impl ServeClient {
         if batch == 0 {
             return Err(ProtocolError::Dimension("batch must be positive"));
         }
-        let ours = SessionParams::for_model(self.client.public_info(), self.variant, batch);
+        let ours = SessionParams::for_public(self.client.public_model(), self.variant, batch);
+        let graph = SecureGraph::new(self.client.public_model().graph(), batch)?;
         let mut token: ResumeToken = [0; 16];
         rng.fill(&mut token);
 
@@ -157,7 +180,7 @@ impl ServeClient {
                     warm = true;
                     ch.enter_phase("bundle");
                     let bytes = ch.recv()?;
-                    let bundle = ClientBundle::decode(&bytes, self.client.public_info(), batch)?;
+                    let bundle = ClientBundle::decode(&bytes, &graph)?;
                     checkpoint = Some(bundle.clone());
                     ClientOffline::from_bundle(session, bundle)
                 } else {

@@ -3,7 +3,7 @@
 //! One [`MetricsRegistry`] serves a whole [`Server`](crate::Server):
 //! admission counters are lock-free atomics, and per-phase traffic is
 //! aggregated lazily from each connection's
-//! [`InstrumentHandle`](abnn2_net::InstrumentHandle). Handles whose
+//! [`InstrumentHandle`]. Handles whose
 //! transport has finished are folded into a frozen accumulator on the next
 //! registration, so the registry's memory stays proportional to *live*
 //! sessions, not total sessions served.
@@ -38,9 +38,20 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Total traffic for the phase, zero if the phase never ran.
+    ///
+    /// Matches the exact phase name *and* any sub-phase labelled
+    /// `"{name}:..."`, so `phase("offline")` still covers the per-op
+    /// labels (`offline:op0/dense`, …) the graph executor emits.
     #[must_use]
     pub fn phase(&self, name: &str) -> PhaseStats {
-        self.phases.iter().find(|(n, _)| n == name).map(|(_, s)| *s).unwrap_or_default()
+        let prefix = format!("{name}:");
+        let mut total = PhaseStats::default();
+        for (n, s) in &self.phases {
+            if n == name || n.starts_with(&prefix) {
+                total.merge(s);
+            }
+        }
+        total
     }
 }
 

@@ -1,16 +1,15 @@
 //! Background precompute pool for offline-triplet bundles.
 //!
 //! A dedicated producer thread manufactures dealer-mode bundle pairs
-//! ([`abnn2_core::bundle::dealer_bundle`]) and parks them in a bounded
+//! ([`abnn2_core::bundle::dealer_bundle_for`]) and parks them in a bounded
 //! per-key buffer. The serving path consumes pairs with a non-blocking
 //! [`take`](PrecomputePool::take): a hit means the session skips the
 //! interactive offline phase; a miss simply falls back to the cold path —
 //! the pool can only make requests faster, never wrong, because warm and
 //! cold bundles satisfy the same triplet invariant `U + V = W·R`.
 
-use abnn2_core::bundle::{dealer_bundle, BundleKey, ClientBundle, ServerBundle};
-use abnn2_core::PublicModelInfo;
-use abnn2_nn::quant::QuantizedNetwork;
+use abnn2_core::bundle::{dealer_bundle_for, BundleKey, ClientBundle, ServerBundle};
+use abnn2_core::{SecureGraph, ServedModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -68,20 +67,29 @@ impl std::fmt::Debug for PrecomputePool {
 
 impl PrecomputePool {
     /// Starts a pool keeping up to `depth` ready pairs for each batch size
-    /// in `batches`, producing from `net` with a deterministic RNG seeded
-    /// by `seed`.
+    /// in `batches`, producing from `model` (MLP or CNN) with a
+    /// deterministic RNG seeded by `seed`.
     ///
     /// # Panics
     ///
-    /// Panics if `depth` is zero or `batches` is empty — a pool that can
-    /// hold nothing is a configuration bug, not a runtime condition.
+    /// Panics if `depth` is zero, `batches` is empty, or a batch size does
+    /// not fit the model's graph (spatial graphs run with batch 1) — a
+    /// pool that can hold nothing is a configuration bug, not a runtime
+    /// condition.
     #[must_use]
-    pub fn start(net: Arc<QuantizedNetwork>, batches: &[usize], depth: usize, seed: u64) -> Self {
+    pub fn start(model: Arc<ServedModel>, batches: &[usize], depth: usize, seed: u64) -> Self {
         assert!(depth > 0, "pool depth must be positive");
         assert!(!batches.is_empty(), "pool needs at least one batch size");
-        let info = PublicModelInfo::from(net.as_ref());
-        let keys: Vec<BundleKey> =
-            batches.iter().map(|&b| BundleKey::for_model(&info, b)).collect();
+        let graph = model.graph();
+        let entries: Vec<(BundleKey, SecureGraph)> = batches
+            .iter()
+            .map(|&b| {
+                let sg = SecureGraph::new(graph.clone(), b)
+                    .expect("pool batch size must fit the served graph");
+                (BundleKey::for_graph(&graph, b), sg)
+            })
+            .collect();
+        let keys: Vec<BundleKey> = entries.iter().map(|(k, _)| *k).collect();
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState { buffers: HashMap::new(), shutdown: false }),
             changed: Condvar::new(),
@@ -92,13 +100,11 @@ impl PrecomputePool {
 
         let producer = {
             let shared = Arc::clone(&shared);
-            let batches: Vec<usize> = batches.to_vec();
-            let keys = keys.clone();
             std::thread::Builder::new()
                 .name("abnn2-pool".into())
                 .spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed);
-                    producer_loop(&shared, &net, &keys, &batches, depth, &mut rng);
+                    producer_loop(&shared, &model, &entries, depth, &mut rng);
                 })
                 .expect("spawn pool producer")
         };
@@ -187,9 +193,8 @@ impl Drop for PrecomputePool {
 
 fn producer_loop(
     shared: &PoolShared,
-    net: &QuantizedNetwork,
-    keys: &[BundleKey],
-    batches: &[usize],
+    model: &ServedModel,
+    entries: &[(BundleKey, SecureGraph)],
     depth: usize,
     rng: &mut StdRng,
 ) {
@@ -202,14 +207,13 @@ fn producer_loop(
                 if state.shutdown {
                     return;
                 }
-                let next = keys
+                let next = entries
                     .iter()
-                    .zip(batches)
-                    .map(|(k, &b)| (state.buffers.get(k).map_or(0, Vec::len), k, b))
+                    .map(|(k, sg)| (state.buffers.get(k).map_or(0, Vec::len), k, sg))
                     .filter(|&(len, _, _)| len < depth)
                     .min_by_key(|&(len, _, _)| len);
                 match next {
-                    Some((_, key, batch)) => break (*key, batch),
+                    Some((_, key, sg)) => break (*key, sg),
                     None => state = shared.changed.wait(state).expect("pool lock"),
                 }
             }
@@ -217,8 +221,8 @@ fn producer_loop(
 
         // Generate outside the lock: dealer bundles are pure local compute
         // and must not block takers.
-        let (key, batch) = todo;
-        let pair = dealer_bundle(net, batch, rng);
+        let (key, sg) = todo;
+        let pair = dealer_bundle_for(model, sg, rng);
         let mut state = shared.state.lock().expect("pool lock");
         if state.shutdown {
             return;
@@ -234,7 +238,7 @@ fn producer_loop(
 mod tests {
     use super::*;
     use abnn2_math::{FragmentScheme, Ring};
-    use abnn2_nn::quant::QuantConfig;
+    use abnn2_nn::quant::{QuantConfig, QuantizedNetwork};
     use abnn2_nn::Network;
 
     fn tiny() -> QuantizedNetwork {
@@ -252,11 +256,11 @@ mod tests {
 
     #[test]
     fn pool_fills_serves_hits_and_refills() {
-        let net = Arc::new(tiny());
-        let info = PublicModelInfo::from(net.as_ref());
-        let pool = PrecomputePool::start(Arc::clone(&net), &[1, 2], 2, 99);
-        let k1 = BundleKey::for_model(&info, 1);
-        let k2 = BundleKey::for_model(&info, 2);
+        let model = Arc::new(ServedModel::from(tiny()));
+        let graph = model.graph();
+        let pool = PrecomputePool::start(Arc::clone(&model), &[1, 2], 2, 99);
+        let k1 = BundleKey::for_graph(&graph, 1);
+        let k2 = BundleKey::for_graph(&graph, 2);
 
         assert!(pool.wait_ready(&k1, 2, Duration::from_secs(10)), "pool must fill");
         assert!(pool.wait_ready(&k2, 2, Duration::from_secs(10)), "pool must fill");
@@ -283,9 +287,9 @@ mod tests {
 
     #[test]
     fn shutdown_unblocks_promptly() {
-        let pool = PrecomputePool::start(Arc::new(tiny()), &[1], 1, 7);
-        let info = PublicModelInfo::from(&tiny());
-        let key = BundleKey::for_model(&info, 1);
+        let model = Arc::new(ServedModel::from(tiny()));
+        let key = BundleKey::for_graph(&model.graph(), 1);
+        let pool = PrecomputePool::start(Arc::clone(&model), &[1], 1, 7);
         assert!(pool.wait_ready(&key, 1, Duration::from_secs(10)));
         pool.shutdown();
         // Post-shutdown takes drain what is buffered, then miss.

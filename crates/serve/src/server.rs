@@ -9,11 +9,11 @@
 //!    client surfaces [`ProtocolError::Overloaded`]. Otherwise the raw
 //!    stream is queued.
 //! 2. A worker dequeues it, wraps it in an
-//!    [`InstrumentedTransport`](abnn2_net::InstrumentedTransport), and runs
+//!    [`InstrumentedTransport`], and runs
 //!    one protocol session: handshake (resume and warm-bundle negotiation)
 //!    → base-OT setup → offline phase *or* pooled-bundle handoff → online
 //!    phase. Checkpoints go through the same bounded
-//!    [`CheckpointStore`](abnn2_core::CheckpointStore) the PR-2 resilient
+//!    [`CheckpointStore`] the PR-2 resilient
 //!    drivers use, so a client can disconnect and resume against any
 //!    worker.
 //! 3. [`Server::begin_drain`] flips admission off while in-flight sessions
@@ -27,9 +27,10 @@ use abnn2_core::handshake::{handshake_server_ext, reject_busy, SessionParams};
 use abnn2_core::inference::ServerOffline;
 use abnn2_core::resilient::DEFAULT_CHECKPOINT_CAPACITY;
 use abnn2_core::session::ServerSession;
-use abnn2_core::{CheckpointStore, ExecConfig, ProtocolError, SecureServer, SessionDeadlines};
+use abnn2_core::{
+    CheckpointStore, ExecConfig, ProtocolError, SecureServer, ServedModel, SessionDeadlines,
+};
 use abnn2_net::{InstrumentedTransport, TcpTransport, Transport};
-use abnn2_nn::quant::QuantizedNetwork;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -95,13 +96,13 @@ struct Shared {
 /// Pre-captured pieces for building `SessionParams` per announced batch
 /// without re-deriving digests on every connection.
 struct SessionParamsFactory {
-    info: abnn2_core::PublicModelInfo,
+    model: abnn2_core::PublicModel,
     variant: abnn2_core::ReluVariant,
 }
 
 impl SessionParamsFactory {
     fn for_batch(&self, batch: usize) -> SessionParams {
-        SessionParams::for_model(&self.info, self.variant, batch)
+        SessionParams::for_public(&self.model, self.variant, batch)
     }
 }
 
@@ -122,13 +123,19 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the acceptor, worker, and pool threads.
+    /// starts the acceptor, worker, and pool threads. Accepts any served
+    /// topology — a `QuantizedNetwork` (MLP) or a `QuantizedCnn`.
     ///
     /// # Errors
     ///
     /// I/O errors from binding the listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.pool_batches` holds a batch size the model's
+    /// graph rejects (spatial graphs run with batch 1).
     pub fn start(
-        net: QuantizedNetwork,
+        model: impl Into<ServedModel>,
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> std::io::Result<Self> {
@@ -138,23 +145,23 @@ impl Server {
         let bound = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
-        let net = Arc::new(net);
+        let model = Arc::new(model.into());
         let pool = (config.pool_depth > 0).then(|| {
             PrecomputePool::start(
-                Arc::clone(&net),
+                Arc::clone(&model),
                 &config.pool_batches,
                 config.pool_depth,
                 config.seed ^ 0x706F_6F6C, // distinct stream from the workers
             )
         });
-        let info = abnn2_core::PublicModelInfo::from(net.as_ref());
-        let server = SecureServer::new(net.as_ref().clone()).with_exec(config.exec);
+        let public = model.public();
+        let server = SecureServer::for_model(model.as_ref().clone()).with_exec(config.exec);
         let store = Arc::new(CheckpointStore::new(config.checkpoint_capacity));
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState { conns: VecDeque::new(), draining: false }),
             work: Condvar::new(),
             server,
-            info_params: SessionParamsFactory { info, variant: config.exec.variant },
+            info_params: SessionParamsFactory { model: public, variant: config.exec.variant },
             config: config.clone(),
             store,
             pool,
@@ -210,7 +217,7 @@ impl Server {
         let Some(pool) = self.shared.pool.as_ref() else {
             return false;
         };
-        let key = BundleKey::for_model(&self.shared.info_params.info, batch);
+        let key = BundleKey::for_graph(&self.shared.info_params.model.graph(), batch);
         pool.wait_ready(&key, count, timeout)
     }
 
@@ -248,6 +255,21 @@ impl Drop for Server {
     }
 }
 
+/// Whether the acceptor may stop listening: draining was requested AND
+/// every queued and in-flight session has finished. Exiting any earlier
+/// would close the listener while sessions are still running, turning a
+/// late dialer's typed busy rejection into a raw connection reset.
+fn drain_complete(shared: &Shared) -> bool {
+    let queued = {
+        let q = shared.queue.lock().expect("queue lock");
+        if !q.draining {
+            return false;
+        }
+        q.conns.len()
+    };
+    queued == 0 && shared.metrics.snapshot(PoolSnapshot::default()).active == 0
+}
+
 fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
     loop {
         match listener.accept() {
@@ -275,14 +297,8 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
                     }
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if shared.queue.lock().expect("queue lock").draining {
-                    return;
-                }
-                std::thread::sleep(Duration::from_millis(2));
-            }
             Err(_) => {
-                if shared.queue.lock().expect("queue lock").draining {
+                if drain_complete(shared) {
                     return;
                 }
                 std::thread::sleep(Duration::from_millis(2));
@@ -307,6 +323,9 @@ fn worker_loop(shared: &Shared, seed: u64) {
             let mut q = shared.queue.lock().expect("queue lock");
             loop {
                 if let Some(s) = q.conns.pop_front() {
+                    // Counted before the lock drops so `drain_complete`
+                    // never sees an empty queue with the pop unaccounted.
+                    shared.metrics.session_started();
                     break Some(s);
                 }
                 if q.draining {
@@ -318,7 +337,6 @@ fn worker_loop(shared: &Shared, seed: u64) {
         let Some(stream) = stream else {
             return;
         };
-        shared.metrics.session_started();
         let ok = serve_connection(shared, stream, &mut rng).is_ok();
         shared.metrics.session_ended(ok);
     }
@@ -371,7 +389,7 @@ fn serve_connection(
         } else if reply.bundle {
             let (sb, cb) = pooled.take().expect("accepted bundle implies a pooled pair");
             ch.enter_phase("bundle");
-            ch.send(&cb.encode(shared.info_params.info.config.ring))?;
+            ch.send(&cb.encode(shared.info_params.model.config().ring))?;
             ch.flush()?;
             let state = ServerOffline::from_bundle(session, sb);
             checkpoint = Some(state.to_bundle());

@@ -1,21 +1,26 @@
 //! Load generator for the serving frontend: N concurrent clients fire M
-//! requests each at one [`Server`], every logit is checked against
-//! [`QuantizedNetwork::forward_exact`], and the run ends with the server's
+//! requests each at one [`Server`], every logit is checked against the
+//! plaintext oracle (`forward_exact`), and the run ends with the server's
 //! metrics — admission counters, pool hit rate, per-phase traffic.
 //!
 //! ```sh
 //! cargo run --release --example serve_load -- --clients 8 --requests 2
+//! cargo run --release --example serve_load -- --cnn --clients 4 --requests 2
 //! ```
 //!
+//! `--cnn` serves a conv→pool→dense model instead of the MLP — same
+//! frontend, same pool, same graph executor underneath.
+//!
 //! Exits nonzero on any mismatch or failed request, so CI can use it as a
-//! smoke test (`./scripts/check.sh --serve-smoke`).
+//! smoke test (`./scripts/check.sh --serve-smoke` / `--cnn-serve-smoke`).
 
+use abnn2::core::cnn::PublicCnnInfo;
 use abnn2::core::PublicModelInfo;
 use abnn2::math::{FragmentScheme, Ring};
-use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
-use abnn2::nn::{Network, SyntheticMnist};
+use abnn2::nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
+use abnn2::nn::{ConvShape, Network, QuantizedCnn, QuantizedConv, SyntheticMnist};
 use abnn2::serve::{ServeClient, ServeConfig, Server};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 fn build_model() -> QuantizedNetwork {
@@ -33,9 +38,43 @@ fn build_model() -> QuantizedNetwork {
     )
 }
 
-fn parse_args() -> (usize, usize) {
+/// A conv→pool→dense model in the paper's CNN shape, scaled down so the
+/// smoke test stays fast: 1×8×8 input, conv 2@3×3 → 2×6×6, pool 2 →
+/// 2×3×3 = 18, dense 18→8→10.
+fn build_cnn() -> QuantizedCnn {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(802);
+    let scheme = FragmentScheme::signed_bit_fields(&[2, 2]);
+    let (lo, hi) = scheme.weight_range();
+    let in_shape = ConvShape { channels: 1, height: 8, width: 8 };
+    let conv = QuantizedConv {
+        out_channels: 2,
+        in_shape,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        weights: (0..2 * 9).map(|_| rng.gen_range(lo..=hi)).collect(),
+        bias: vec![5, 3],
+    };
+    let mk_dense = |out_dim: usize, in_dim: usize, rng: &mut rand::rngs::StdRng| QuantizedDense {
+        out_dim,
+        in_dim,
+        weights: (0..out_dim * in_dim).map(|_| rng.gen_range(lo..=hi)).collect(),
+        bias: (0..out_dim as u64).collect(),
+    };
+    let d1 = mk_dense(8, 18, &mut rng);
+    let d2 = mk_dense(10, 8, &mut rng);
+    QuantizedCnn {
+        config: QuantConfig { ring: Ring::new(32), frac_bits: 6, weight_frac_bits: 3, scheme },
+        conv,
+        pool_window: 2,
+        dense: vec![d1, d2],
+    }
+}
+
+fn parse_args() -> (usize, usize, bool) {
     let mut clients = 8usize;
     let mut requests = 2usize;
+    let mut cnn = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut grab = |name: &str| {
@@ -46,15 +85,48 @@ fn parse_args() -> (usize, usize) {
         match arg.as_str() {
             "--clients" => clients = grab("--clients"),
             "--requests" => requests = grab("--requests"),
-            other => panic!("unknown argument: {other} (use --clients N --requests M)"),
+            "--cnn" => cnn = true,
+            other => panic!("unknown argument: {other} (use [--cnn] --clients N --requests M)"),
         }
     }
     assert!(clients > 0 && requests > 0, "need at least one client and one request");
-    (clients, requests)
+    (clients, requests, cnn)
 }
 
-fn main() {
-    let (n_clients, n_requests) = parse_args();
+/// Waits for the workers' session bookkeeping to settle, prints the
+/// server's metrics, and asserts a clean run.
+fn report_metrics(server: &Server, total: usize, n_clients: usize, n_requests: usize) {
+    let settle = Instant::now();
+    while server.metrics().completed < (total as u64) && settle.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let m = server.metrics();
+    println!("\nserver metrics:");
+    println!(
+        "  accepted {} | rejected {} | completed {} | failed {}",
+        m.accepted, m.rejected, m.completed, m.failed
+    );
+    println!(
+        "  pool: produced {} | hits {} | misses {} | ready {}",
+        m.pool.produced, m.pool.hits, m.pool.misses, m.pool.ready
+    );
+    println!("  per-phase traffic (server side):");
+    for (name, s) in &m.phases {
+        println!(
+            "    {name:<16} {:>10} B sent {:>10} B recv {:>6} msgs",
+            s.bytes_sent,
+            s.bytes_received,
+            s.messages_sent + s.messages_received
+        );
+    }
+
+    assert_eq!(m.failed, 0, "no session may fail under clean load");
+    assert_eq!(total, n_clients * n_requests);
+    println!("\nserve load test passed.");
+}
+
+/// Drives `n_clients × n_requests` MLP requests and checks every logit.
+fn run_mlp(n_clients: usize, n_requests: usize) {
     let q = build_model();
     let info = PublicModelInfo::from(&q);
     let codec = q.config.activation_codec();
@@ -67,7 +139,7 @@ fn main() {
     };
     let server = Server::start(q.clone(), "127.0.0.1:0", config).expect("start server");
     let addr = server.addr();
-    println!("serving on {addr} with 4 workers, pool depth {}", n_clients.min(8));
+    println!("serving MLP on {addr} with 4 workers, pool depth {}", n_clients.min(8));
 
     // Give the pool a head start so at least the first wave runs warm.
     let warmed = server.warm_up(1, n_clients.min(8), Duration::from_secs(30));
@@ -118,34 +190,81 @@ fn main() {
     println!(
         "\n{total} requests from {n_clients} clients in {elapsed:?} — all bit-exact, {warm} warm"
     );
+    report_metrics(&server, total, n_clients, n_requests);
+}
 
-    // Clients return on their last recv; give the workers a beat to finish
-    // their session bookkeeping before snapshotting.
-    let settle = Instant::now();
-    while server.metrics().completed < (total as u64) && settle.elapsed() < Duration::from_secs(5) {
-        std::thread::sleep(Duration::from_millis(2));
-    }
-    let m = server.metrics();
-    println!("\nserver metrics:");
-    println!(
-        "  accepted {} | rejected {} | completed {} | failed {}",
-        m.accepted, m.rejected, m.completed, m.failed
-    );
-    println!(
-        "  pool: produced {} | hits {} | misses {} | ready {}",
-        m.pool.produced, m.pool.hits, m.pool.misses, m.pool.ready
-    );
-    println!("  per-phase traffic (server side):");
-    for (name, s) in &m.phases {
-        println!(
-            "    {name:<10} {:>10} B sent {:>10} B recv {:>6} msgs",
-            s.bytes_sent,
-            s.bytes_received,
-            s.messages_sent + s.messages_received
-        );
-    }
+/// Drives `n_clients × n_requests` CNN requests through the same frontend
+/// and checks every logit — exercising graph-keyed pool bundles and the
+/// unified executor over a spatial topology.
+fn run_cnn(n_clients: usize, n_requests: usize) {
+    let cnn = build_cnn();
+    let ring = cnn.config.ring;
+    let info = PublicCnnInfo::from(&cnn);
 
-    assert_eq!(m.failed, 0, "no session may fail under clean load");
-    assert_eq!(total, n_clients * n_requests);
-    println!("\nserve load test passed.");
+    let config = ServeConfig {
+        workers: 4,
+        queue_capacity: 2 * n_clients.max(4),
+        pool_depth: n_clients.min(8),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cnn.clone(), "127.0.0.1:0", config).expect("start server");
+    let addr = server.addr();
+    println!("serving CNN on {addr} with 4 workers, pool depth {}", n_clients.min(8));
+
+    let warmed = server.warm_up(1, n_clients.min(8), Duration::from_secs(30));
+    println!("pool warm: {warmed}");
+
+    let started = Instant::now();
+    let per_client: Vec<(usize, usize, u32)> = std::thread::scope(|scope| {
+        (0..n_clients)
+            .map(|c| {
+                let client = ServeClient::for_model(info.clone());
+                let cnn = &cnn;
+                scope.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(950 + c as u64);
+                    let mut exact = 0usize;
+                    let mut warm = 0usize;
+                    let mut attempts = 0u32;
+                    for r in 0..n_requests {
+                        let image: Vec<u64> = (0..cnn.conv.in_shape.len())
+                            .map(|_| ring.reduce(rng.gen_range(0..1u64 << cnn.config.frac_bits)))
+                            .collect();
+                        let expected = cnn.forward_exact(&image);
+                        let (y, report) = client
+                            .run(addr, std::slice::from_ref(&image), &mut rng)
+                            .expect("request failed");
+                        assert_eq!(
+                            y.col(0),
+                            expected,
+                            "client {c} request {r}: served CNN logits diverge from forward_exact"
+                        );
+                        exact += 1;
+                        warm += usize::from(report.warm);
+                        attempts += report.attempts;
+                    }
+                    (exact, warm, attempts)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let total: usize = per_client.iter().map(|(e, _, _)| e).sum();
+    let warm: usize = per_client.iter().map(|(_, w, _)| w).sum();
+    println!(
+        "\n{total} CNN requests from {n_clients} clients in {elapsed:?} — all bit-exact, {warm} warm"
+    );
+    report_metrics(&server, total, n_clients, n_requests);
+}
+
+fn main() {
+    let (n_clients, n_requests, cnn) = parse_args();
+    if cnn {
+        run_cnn(n_clients, n_requests);
+    } else {
+        run_mlp(n_clients, n_requests);
+    }
 }

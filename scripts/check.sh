@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full local CI gate: build, test, formatting, lints. Run from the repo root.
 #
-#   ./scripts/check.sh [--chaos-seeds N] [--serve-smoke]
+#   ./scripts/check.sh [--chaos-seeds N] [--serve-smoke] [--cnn-serve-smoke]
 #
 # --chaos-seeds N widens the seeded chaos suite (tests/chaos.rs) from its
 # default of 64 seeds without recompiling.
@@ -9,6 +9,9 @@
 # --serve-smoke additionally drives the serving frontend end to end:
 # examples/serve_load.rs starts a server and fires 8 concurrent TCP
 # clients at it, checking every logit against forward_exact.
+#
+# --cnn-serve-smoke does the same with a conv→pool→dense model, proving
+# the graph executor serves spatial topologies through the same frontend.
 #
 # The container has no network access to crates.io; all dependencies are
 # vendored as stubs under stubs/ (see stubs/README.md), so every cargo
@@ -25,6 +28,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --serve-smoke)
       SERVE_SMOKE=1
+      shift
+      ;;
+    --cnn-serve-smoke)
+      CNN_SERVE_SMOKE=1
       shift
       ;;
     *)
@@ -48,9 +55,17 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 if [[ "${SERVE_SMOKE:-0}" == "1" ]]; then
   echo "==> serve smoke: 8 concurrent clients x 2 requests"
   cargo run --release --example serve_load -- --clients 8 --requests 2
+fi
+
+if [[ "${CNN_SERVE_SMOKE:-0}" == "1" ]]; then
+  echo "==> CNN serve smoke: 4 concurrent clients x 2 requests"
+  cargo run --release --example serve_load -- --cnn --clients 4 --requests 2
 fi
 
 echo "All checks passed."

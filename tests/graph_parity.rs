@@ -1,0 +1,190 @@
+//! Graph-executor parity: logits must be bit-exact against the plaintext
+//! oracle (`forward_exact`) and transcripts must move exactly as many
+//! bytes as the pre-refactor hand-rolled pipelines did, across bitwidths
+//! η ∈ {2, 3, 4, 8} including the mixed (3,3,2) fragment scheme, for both
+//! an MLP and a CNN.
+//!
+//! The golden byte counts below were measured against the pre-graph
+//! protocol code (commit 7861c07) with these exact models and seeds. The
+//! MLP counts must match bit-for-bit; the CNN counts carry a fixed
+//! `+2 × HELLO_LEN` delta because the graph refactor gives CNN sessions
+//! the same version/parameter handshake the MLP always had.
+
+use abnn2::core::cnn::{CnnClient, CnnServer};
+use abnn2::core::{PublicModelInfo, SecureClient, SecureServer};
+use abnn2::math::{FragmentScheme, Ring};
+use abnn2::net::{run_pair, NetworkModel};
+use abnn2::nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
+use abnn2::nn::{ConvShape, Network, QuantizedCnn, QuantizedConv};
+use rand::{Rng, SeedableRng};
+
+/// The η ∈ {2, 3, 4, 8} sweep, with 8 bits in both the uniform (2,2,2,2)
+/// and mixed (3,3,2) fragmentations.
+fn schemes() -> Vec<(&'static str, FragmentScheme)> {
+    vec![
+        ("eta2-ternary", FragmentScheme::ternary()),
+        ("eta3", FragmentScheme::signed_bit_fields(&[3])),
+        ("eta4", FragmentScheme::signed_bit_fields(&[2, 2])),
+        ("eta8", FragmentScheme::signed_bit_fields(&[2, 2, 2, 2])),
+        ("eta8-mixed-332", FragmentScheme::signed_bit_fields(&[3, 3, 2])),
+    ]
+}
+
+fn mlp_model(seed: u64, scheme: FragmentScheme) -> QuantizedNetwork {
+    let net = Network::new(&[12, 8, 6, 4], seed);
+    let config = QuantConfig {
+        ring: Ring::new(32),
+        frac_bits: 8,
+        weight_frac_bits: if scheme.eta() <= 2 { 0 } else { 2 },
+        scheme,
+    };
+    QuantizedNetwork::quantize(&net, config)
+}
+
+fn cnn_model(seed: u64, scheme: FragmentScheme) -> QuantizedCnn {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (lo, hi) = scheme.weight_range();
+    let in_shape = ConvShape { channels: 1, height: 8, width: 8 };
+    let conv = QuantizedConv {
+        out_channels: 2,
+        in_shape,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        weights: (0..2 * 9).map(|_| rng.gen_range(lo..=hi)).collect(),
+        bias: vec![5, 3],
+    };
+    // conv out 2×6×6 → pool 2 → 2×3×3 = 18 → dense 18→6→4.
+    let mk_dense = |out_dim: usize, in_dim: usize, rng: &mut rand::rngs::StdRng| QuantizedDense {
+        out_dim,
+        in_dim,
+        weights: (0..out_dim * in_dim).map(|_| rng.gen_range(lo..=hi)).collect(),
+        bias: (0..out_dim as u64).collect(),
+    };
+    let d1 = mk_dense(6, 18, &mut rng);
+    let d2 = mk_dense(4, 6, &mut rng);
+    let config = QuantConfig {
+        ring: Ring::new(32),
+        frac_bits: 6,
+        weight_frac_bits: if scheme.eta() <= 2 { 0 } else { 3 },
+        scheme,
+    };
+    QuantizedCnn { config, conv, pool_window: 2, dense: vec![d1, d2] }
+}
+
+/// Runs one full MLP session (batch 2) and returns the transcript's total
+/// payload bytes, asserting logits equal `forward_exact` on the way.
+fn mlp_total_bytes(seed: u64, scheme: FragmentScheme) -> u64 {
+    let q = mlp_model(seed, scheme);
+    let ring = q.config.ring;
+    let batch = 2usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+    let inputs_fp: Vec<Vec<u64>> = (0..batch)
+        .map(|_| (0..12).map(|_| ring.reduce(rng.gen_range(0..1u64 << 10))).collect())
+        .collect();
+    let expected: Vec<Vec<u64>> = inputs_fp.iter().map(|x| q.forward_exact(x)).collect();
+
+    let server = SecureServer::new(q.clone());
+    let client = SecureClient::new(PublicModelInfo::from(&q));
+    let inputs2 = inputs_fp.clone();
+    let (srv, y, report) = run_pair(
+        NetworkModel::instant(),
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);
+            server.run(ch, batch, &mut rng)
+        },
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 3);
+            let state = client.offline(ch, batch, &mut rng).expect("offline");
+            client.online_raw(ch, state, &inputs2, &mut rng).expect("online")
+        },
+    );
+    srv.expect("server");
+    for (k, want) in expected.iter().enumerate() {
+        assert_eq!(&y.col(k), want, "MLP sample {k} logits diverge from forward_exact");
+    }
+    report.total_bytes()
+}
+
+/// Runs one full CNN session and returns the transcript's total payload
+/// bytes, asserting logits equal `forward_exact` on the way.
+fn cnn_total_bytes(seed: u64, scheme: FragmentScheme) -> u64 {
+    let cnn = cnn_model(seed, scheme);
+    let ring = cnn.config.ring;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+    let image: Vec<u64> = (0..cnn.conv.in_shape.len())
+        .map(|_| ring.reduce(rng.gen_range(0..1u64 << cnn.config.frac_bits)))
+        .collect();
+    let expect = cnn.forward_exact(&image);
+
+    let server = CnnServer::new(cnn.clone());
+    let client = CnnClient::new(server.public_info());
+    let image2 = image.clone();
+    let (srv, got, report) = run_pair(
+        NetworkModel::instant(),
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);
+            server.run(ch, &mut rng)
+        },
+        move |ch| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 3);
+            client.run(ch, &image2, &mut rng).expect("client")
+        },
+    );
+    srv.expect("server");
+    assert_eq!(got, expect, "secure CNN logits diverge from forward_exact");
+    report.total_bytes()
+}
+
+/// Pre-refactor transcript payload bytes, measured at commit 7861c07 with
+/// the models and seeds above, keyed by scheme name.
+const GOLDEN_MLP: [(&str, u64); 5] = [
+    ("eta2-ternary", 202_656),
+    ("eta3", 209_376),
+    ("eta4", 214_752),
+    ("eta8", 236_256),
+    ("eta8-mixed-332", 236_256),
+];
+
+const GOLDEN_CNN: [(&str, u64); 5] = [
+    ("eta2-ternary", 842_448),
+    ("eta3", 858_048),
+    ("eta4", 862_640),
+    ("eta8", 896_784),
+    ("eta8-mixed-332", 904_672),
+];
+
+/// The pre-refactor CNN pipeline had no hello exchange; the graph
+/// executor runs CNN sessions through the same handshake as MLPs, adding
+/// exactly one 56-byte hello frame in each direction.
+const CNN_HANDSHAKE_DELTA: u64 = 2 * 56;
+
+fn golden(table: &[(&str, u64); 5], name: &str) -> u64 {
+    table.iter().find(|(n, _)| *n == name).map(|&(_, b)| b).expect("scheme in golden table")
+}
+
+#[test]
+fn mlp_transcript_matches_pre_refactor_golden() {
+    for (name, scheme) in schemes() {
+        let bytes = mlp_total_bytes(0x41, scheme);
+        assert_eq!(
+            bytes,
+            golden(&GOLDEN_MLP, name),
+            "MLP {name}: graph executor moved a different number of bytes \
+             than the hand-rolled pipeline"
+        );
+    }
+}
+
+#[test]
+fn cnn_transcript_matches_pre_refactor_golden_plus_handshake() {
+    for (name, scheme) in schemes() {
+        let bytes = cnn_total_bytes(0x42, scheme);
+        assert_eq!(
+            bytes,
+            golden(&GOLDEN_CNN, name) + CNN_HANDSHAKE_DELTA,
+            "CNN {name}: graph executor moved a different number of bytes \
+             than the hand-rolled pipeline (modulo the new handshake)"
+        );
+    }
+}

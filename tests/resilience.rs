@@ -4,6 +4,7 @@
 //! mid-online connection loss must be survivable with bit-identical
 //! logits via reconnect-and-resume.
 
+use abnn2::core::cnn::PublicCnnInfo;
 use abnn2::core::handshake::{handshake_client, SessionParams};
 use abnn2::core::inference::{PublicModelInfo, SecureClient, SecureServer};
 use abnn2::core::resilient::{ResilientClient, ResilientServer};
@@ -13,10 +14,10 @@ use abnn2::math::{FragmentScheme, Ring};
 use abnn2::net::{
     run_pair, sim_link, Fault, FaultyTransport, NetworkModel, RetryPolicy, TcpTransport, Transport,
 };
-use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
-use abnn2::nn::Network;
+use abnn2::nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
+use abnn2::nn::{ConvShape, Network, QuantizedCnn, QuantizedConv};
 use abnn2::ot::{KkChooser, OtError};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::net::TcpListener;
 use std::time::{Duration, Instant};
 
@@ -225,6 +226,87 @@ fn reconnect_resume_is_bit_identical() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         let (y, report) = client.run_raw(|_| dialer.dial(), &inputs, &mut rng).unwrap();
         assert_eq!(y.col(0), expected, "resumed logits must equal forward_exact");
+        assert!(report.attempts >= 2 && report.resumed, "got {report:?}");
+        let srv_report = srv.join().unwrap().unwrap();
+        assert!(srv_report.resumed);
+    });
+}
+
+/// A small conv→pool→dense CNN: conv out 2×4×4 → pool 2 → 2×2×2 = 8 →
+/// dense 8→5→3.
+fn tiny_cnn(seed: u64) -> QuantizedCnn {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let scheme = FragmentScheme::signed_bit_fields(&[2, 2]);
+    let (lo, hi) = scheme.weight_range();
+    let in_shape = ConvShape { channels: 1, height: 6, width: 6 };
+    let conv = QuantizedConv {
+        out_channels: 2,
+        in_shape,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        weights: (0..2 * 9).map(|_| rng.gen_range(lo..=hi)).collect(),
+        bias: vec![7, 2],
+    };
+    let mk_dense = |out_dim: usize, in_dim: usize, rng: &mut rand::rngs::StdRng| QuantizedDense {
+        out_dim,
+        in_dim,
+        weights: (0..out_dim * in_dim).map(|_| rng.gen_range(lo..=hi)).collect(),
+        bias: (0..out_dim as u64).collect(),
+    };
+    let d1 = mk_dense(5, 8, &mut rng);
+    let d2 = mk_dense(3, 5, &mut rng);
+    QuantizedCnn {
+        config: QuantConfig { ring: Ring::new(32), frac_bits: 6, weight_frac_bits: 3, scheme },
+        conv,
+        pool_window: 2,
+        dense: vec![d1, d2],
+    }
+}
+
+/// The same mid-online cut-and-resume property for a CNN session — new in
+/// the graph-executor refactor, which runs CNNs through the same
+/// handshake, checkpoint, and resume machinery as MLPs.
+#[test]
+fn cnn_reconnect_resume_is_bit_identical() {
+    let cnn = tiny_cnn(40);
+    let ring = cnn.config.ring;
+    let mut img_rng = rand::rngs::StdRng::seed_from_u64(41);
+    let image: Vec<u64> = (0..cnn.conv.in_shape.len())
+        .map(|_| ring.reduce(img_rng.gen_range(0..1u64 << cnn.config.frac_bits)))
+        .collect();
+    let expected = cnn.forward_exact(&image);
+
+    let deadlines = SessionDeadlines::uniform(Duration::from_secs(2));
+    let (dialer, listener) = sim_link(NetworkModel::instant());
+    let server = ResilientServer::new(SecureServer::for_model(cnn.clone()))
+        .with_policy(RetryPolicy::no_delay(3))
+        .with_deadlines(deadlines);
+    let client = ResilientClient::new(SecureClient::for_model(PublicCnnInfo::from(&cnn)))
+        .with_policy(RetryPolicy::no_delay(3))
+        .with_deadlines(deadlines);
+
+    std::thread::scope(|scope| {
+        let srv = scope.spawn(move || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            server.serve_one_with(
+                |_| {
+                    listener
+                        .accept_timeout(Duration::from_secs(5))
+                        .map(|ep| FaultyTransport::new(ep, Fault::None))
+                },
+                |ch, attempt| {
+                    if attempt == 0 {
+                        ch.set_fault(Fault::CutAfterMessages(ch.sends() + 2));
+                    }
+                },
+                &mut rng,
+            )
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let inputs = vec![image.clone()];
+        let (y, report) = client.run_raw(|_| dialer.dial(), &inputs, &mut rng).unwrap();
+        assert_eq!(y.col(0), expected, "resumed CNN logits must equal forward_exact");
         assert!(report.attempts >= 2 && report.resumed, "got {report:?}");
         let srv_report = srv.join().unwrap().unwrap();
         assert!(srv_report.resumed);

@@ -5,16 +5,17 @@
 //! state across sessions.
 
 use abnn2::core::bundle::{dealer_bundle, ClientBundle};
+use abnn2::core::cnn::PublicCnnInfo;
 use abnn2::core::handshake::{handshake_client_ext, HelloRequest, SessionParams};
 use abnn2::core::inference::ClientOffline;
 use abnn2::core::session::ClientSession;
 use abnn2::core::{ExecConfig, ProtocolError, PublicModelInfo, SecureClient, SessionDeadlines};
 use abnn2::math::{FragmentScheme, Ring};
 use abnn2::net::{RetryPolicy, TcpTransport, Transport};
-use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
-use abnn2::nn::Network;
+use abnn2::nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
+use abnn2::nn::{ConvShape, Network, QuantizedCnn, QuantizedConv};
 use abnn2::serve::{ServeClient, ServeConfig, Server};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -155,6 +156,79 @@ fn warm_pool_skips_offline_phase_entirely() {
     assert!(metrics.pool.hits >= 1, "pool must record the warm hit");
     assert_eq!(metrics.phase("offline").total_bytes(), cold.phase("offline").total_bytes());
     assert_eq!(metrics.phase("bundle").total_bytes(), report.phase("bundle").total_bytes());
+}
+
+/// A small conv→pool→dense CNN: conv out 2×4×4 → pool 2 → 2×2×2 = 8 →
+/// dense 8→5→3.
+fn tiny_cnn(seed: u64) -> QuantizedCnn {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let scheme = FragmentScheme::signed_bit_fields(&[2, 2]);
+    let (lo, hi) = scheme.weight_range();
+    let in_shape = ConvShape { channels: 1, height: 6, width: 6 };
+    let conv = QuantizedConv {
+        out_channels: 2,
+        in_shape,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        weights: (0..2 * 9).map(|_| rng.gen_range(lo..=hi)).collect(),
+        bias: vec![7, 2],
+    };
+    let mk_dense = |out_dim: usize, in_dim: usize, rng: &mut rand::rngs::StdRng| QuantizedDense {
+        out_dim,
+        in_dim,
+        weights: (0..out_dim * in_dim).map(|_| rng.gen_range(lo..=hi)).collect(),
+        bias: (0..out_dim as u64).collect(),
+    };
+    let d1 = mk_dense(5, 8, &mut rng);
+    let d2 = mk_dense(3, 5, &mut rng);
+    QuantizedCnn {
+        config: QuantConfig { ring: Ring::new(32), frac_bits: 6, weight_frac_bits: 3, scheme },
+        conv,
+        pool_window: 2,
+        dense: vec![d1, d2],
+    }
+}
+
+/// A CNN rides the same pool: the dealer thread manufactures graph-keyed
+/// conv bundles, and a warm request skips the interactive offline phase
+/// entirely — new in the graph-executor refactor.
+#[test]
+fn warm_pool_serves_cnn_with_zero_offline_bytes() {
+    let cnn = tiny_cnn(260);
+    let ring = cnn.config.ring;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(261);
+    let image: Vec<u64> = (0..cnn.conv.in_shape.len())
+        .map(|_| ring.reduce(rng.gen_range(0..1u64 << cnn.config.frac_bits)))
+        .collect();
+    let expected = cnn.forward_exact(&image);
+    let config = ServeConfig {
+        workers: 2,
+        pool_depth: 2,
+        pool_batches: vec![1],
+        deadlines: fast_deadlines(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cnn.clone(), "127.0.0.1:0", config).expect("start server");
+    assert!(
+        server.warm_up(1, 1, Duration::from_secs(30)),
+        "pool must produce a CNN bundle for batch 1"
+    );
+
+    let client = ServeClient::for_model(PublicCnnInfo::from(&cnn)).with_deadlines(fast_deadlines());
+    let (y, report) =
+        client.run(server.addr(), std::slice::from_ref(&image), &mut rng).expect("warm request");
+    assert_eq!(y.col(0), expected, "served CNN logits must equal forward_exact");
+    assert!(report.warm, "pool was warmed, request must ride a bundle");
+    assert_eq!(
+        report.phase("offline").total_bytes(),
+        0,
+        "warm CNN path must move zero offline-phase bytes, got {:?}",
+        report.phase("offline")
+    );
+    assert!(report.phase("bundle").bytes_received > 0, "client must receive its bundle half");
+    assert!(report.phase("online").total_bytes() > 0);
+    assert!(server.metrics().pool.hits >= 1, "pool must record the warm hit");
 }
 
 #[test]
