@@ -8,6 +8,7 @@
 //! learns `argmax ⊕ mask` — uniformly random to it — forwards it, and the
 //! client removes its mask. Neither party sees a single logit.
 
+use crate::frames::MaskedClass;
 use crate::ProtocolError;
 use abnn2_gc::circuit::{bits_to_u64, u64_to_bits};
 use abnn2_gc::{circuits, YaoEvaluator, YaoGarbler};
@@ -35,7 +36,7 @@ pub fn argmax_server<T: Transport>(
     let circuit = circuits::argmax_mask_circuit(bits, n);
     let my_bits: Vec<bool> = y0.iter().flat_map(|&v| u64_to_bits(v, bits)).collect();
     let out = yao.run(ch, &circuit, &my_bits)?;
-    ch.send(&[bits_to_u64(&out) as u8])?;
+    ch.send_frame(&MaskedClass(vec![bits_to_u64(&out) as u8]))?;
     Ok(())
 }
 
@@ -66,10 +67,8 @@ pub fn argmax_client<T: Transport, RNG: Rng + ?Sized>(
         my_bits.extend(u64_to_bits(i, idx_bits));
     }
     yao.run(ch, &circuit, &my_bits, rng)?;
-    let masked = ch.recv()?;
-    if masked.len() != 1 {
-        return Err(ProtocolError::Malformed("masked class index length"));
-    }
+    // The frame layer enforces the exact one-byte payload.
+    let MaskedClass(masked) = ch.recv_frame()?;
     Ok(((u64::from(masked[0])) ^ mask) as usize)
 }
 

@@ -9,6 +9,7 @@
 //! machinery as the SecureML baseline — and provide the standard masked
 //! multiplication on top.
 
+use crate::frames::BeaverOpenings;
 use crate::ProtocolError;
 use abnn2_math::Ring;
 use abnn2_net::Transport;
@@ -149,8 +150,8 @@ pub fn mul_shares<T: Transport>(
         opening.push(ring.sub(xs[i], triples[i].a));
         opening.push(ring.sub(ys[i], triples[i].b));
     }
-    ch.send(&ring.encode_slice(&opening))?;
-    let theirs_bytes = ch.recv()?;
+    ch.send_frame(&BeaverOpenings(ring.encode_slice(&opening)))?;
+    let BeaverOpenings(theirs_bytes) = ch.recv_frame()?;
     if theirs_bytes.len() != 2 * n * ring.byte_len() {
         return Err(ProtocolError::Malformed("beaver opening length"));
     }

@@ -1,0 +1,68 @@
+//! Typed wire frames for the ABNN² protocol layer.
+//!
+//! Every message the handshake, offline phase, and online phase exchange is
+//! one of the frames below, moved exclusively through
+//! [`Transport::send_frame`]/[`Transport::recv_frame`]. Frame-level checks
+//! cover each payload's *shape* (the hello is exactly [`HELLO_LEN`] bytes,
+//! the masked class index is one byte); batch- and ring-dependent exact
+//! lengths stay with the protocol code, which reports them as
+//! [`ProtocolError::Malformed`](crate::ProtocolError::Malformed).
+//!
+//! [`Transport::send_frame`]: abnn2_net::Transport::send_frame
+//! [`Transport::recv_frame`]: abnn2_net::Transport::recv_frame
+//! [`HELLO_LEN`]: crate::handshake::HELLO_LEN
+
+use crate::handshake::HELLO_LEN;
+use abnn2_net::byte_frame;
+use abnn2_net::wire::tags;
+
+byte_frame! {
+    /// A handshake hello: magic, version, negotiated parameters, and the
+    /// resume token ([`crate::handshake`] documents the layout).
+    pub struct Hello, tag = tags::HELLO, name = "hello", exact = HELLO_LEN
+}
+
+byte_frame! {
+    /// The client's masked triplet messages for one fragment group:
+    /// `per_ot` ring-element vectors per OT (the paper's γ(N−1) count in
+    /// one-batch mode).
+    pub struct TripletMasked, tag = tags::TRIPLET_MASKED, name = "triplet ciphertext batch", unit = 1
+}
+
+byte_frame! {
+    /// The client's blinded input matrix `x − R`, ring-encoded.
+    pub struct BlindedInput, tag = tags::BLINDED_INPUT, name = "blinded input", unit = 1
+}
+
+byte_frame! {
+    /// The server's logit shares `y₀`, opened toward the client at the end
+    /// of the online phase.
+    pub struct OutputShares, tag = tags::OUTPUT_SHARES, name = "output share batch", unit = 1
+}
+
+byte_frame! {
+    /// Packed per-neuron sign bits revealed by the optimized ReLU's
+    /// comparison phase.
+    pub struct SignBits, tag = tags::SIGN_BITS, name = "sign-bit batch", unit = 1
+}
+
+byte_frame! {
+    /// The client's re-shares `−z₁` for the negative-neuron subset in the
+    /// optimized ReLU.
+    pub struct NegShares, tag = tags::NEG_SHARES, name = "negative-neuron share batch", unit = 1
+}
+
+byte_frame! {
+    /// The masked argmax output: one byte, `class ⊕ mask`.
+    pub struct MaskedClass, tag = tags::MASKED_CLASS, name = "masked class index", exact = 1
+}
+
+byte_frame! {
+    /// One party's Beaver-triple openings `(d, e)`, ring-encoded.
+    pub struct BeaverOpenings, tag = tags::BEAVER_OPENINGS, name = "beaver opening batch", unit = 1
+}
+
+byte_frame! {
+    /// A serialized offline bundle (dealer mode / warm-pool transfer).
+    pub struct Bundle, tag = tags::BUNDLE, name = "offline bundle", unit = 1
+}

@@ -32,6 +32,7 @@
 
 use crate::cnn::{maxpool_client, maxpool_server, PublicCnnInfo};
 use crate::config::ExecConfig;
+use crate::frames::BlindedInput;
 use crate::inference::{ClientOffline, PublicModelInfo, ServerOffline};
 use crate::matmul::{triplet_client_with, triplet_server_with, TripletMode};
 use crate::relu::{relu_client, relu_server};
@@ -469,7 +470,7 @@ pub fn server_online_to_logits<T: Transport>(
 
     ch.mark_phase("online:input");
     let n0 = sg.graph().input_len();
-    let x0_bytes = ch.recv()?;
+    let BlindedInput(x0_bytes) = ch.recv_frame()?;
     if x0_bytes.len() != n0 * batch * ring.byte_len() {
         return Err(ProtocolError::Malformed("blinded input length"));
     }
@@ -538,7 +539,7 @@ pub fn client_online_to_logits<T: Transport, R: Rng + ?Sized>(
 
     ch.mark_phase("online:input");
     let x0 = x.sub(&rs[0], &ring);
-    ch.send(&ring.encode_slice(x0.as_slice()))?;
+    ch.send_frame(&BlindedInput(ring.encode_slice(x0.as_slice())))?;
 
     let (mut li, mut mi) = (0usize, 1usize);
     let mut cur = &rs[0];

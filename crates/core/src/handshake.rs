@@ -34,12 +34,13 @@
 //! [`ProtocolError::Negotiation`] rather than one of them seeing a bare
 //! `Closed`.
 
+use crate::frames::Hello;
 use crate::graph::PublicModel;
 use crate::inference::PublicModelInfo;
 use crate::relu::ReluVariant;
 use crate::ProtocolError;
 use abnn2_crypto::sha256::sha256;
-use abnn2_net::Transport;
+use abnn2_net::{Transport, TransportError};
 use abnn2_nn::graph::LayerGraph;
 
 /// First four bytes of every hello frame.
@@ -51,7 +52,10 @@ pub const HANDSHAKE_MAGIC: [u8; 4] = *b"ABN2";
 /// v2: model digests are derived from the canonical [`LayerGraph`]
 /// description (covering CNN topologies), and offline bundles carry a
 /// leading layout-version byte.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// v3: every protocol message carries a one-byte frame tag
+/// ([`abnn2_net::wire::tags`]) ahead of its payload, checked on receive.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Length of the hello frame in bytes.
 pub const HELLO_LEN: usize = 56;
@@ -207,6 +211,17 @@ const FLAG_RESUME: u8 = 1;
 const FLAG_BUNDLE: u8 = 2;
 const FLAG_BUSY: u8 = 4;
 
+/// A hello that fails wire-level framing (wrong tag, wrong length) means
+/// the peer is not speaking this protocol: classify it as
+/// [`ProtocolError::Handshake`] rather than the generic `Malformed` used
+/// for post-handshake traffic.
+fn hello_err(e: TransportError) -> ProtocolError {
+    match e {
+        TransportError::Malformed(what) => ProtocolError::Handshake(what),
+        other => other.into(),
+    }
+}
+
 /// What the client asks of a session beyond the baseline protocol run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HelloRequest {
@@ -251,8 +266,8 @@ pub fn handshake_client_ext<T: Transport>(
     if request.bundle {
         flags |= FLAG_BUNDLE;
     }
-    ch.send(&ours.encode(flags, token))?;
-    let reply = ch.recv()?;
+    ch.send_frame(&Hello(ours.encode(flags, token).to_vec()))?;
+    let Hello(reply) = ch.recv_frame().map_err(hello_err)?;
     let (theirs, reply_flags, _token) = SessionParams::decode(&reply)?;
     // Admission rejection outranks the parameter check: an overloaded
     // server replies with a minimal busy frame, not its real parameters.
@@ -316,7 +331,7 @@ pub fn handshake_server_ext<T: Transport>(
     can_resume: impl FnOnce(&ResumeToken) -> bool,
     offer_bundle: impl FnOnce(&SessionParams) -> bool,
 ) -> Result<(usize, ResumeToken, HelloReply), ProtocolError> {
-    let hello = ch.recv()?;
+    let Hello(hello) = ch.recv_frame().map_err(hello_err)?;
     let (theirs, flags, token) = SessionParams::decode(&hello)?;
     let batch = theirs.batch as usize;
     let ours = ours_for(batch);
@@ -332,7 +347,7 @@ pub fn handshake_server_ext<T: Transport>(
     if bundle_ok {
         reply_flags |= FLAG_BUNDLE;
     }
-    ch.send(&ours.encode(reply_flags, &token))?;
+    ch.send_frame(&Hello(ours.encode(reply_flags, &token).to_vec()))?;
     ch.flush()?;
     if !matched {
         return Err(ProtocolError::Negotiation { ours, theirs });
@@ -372,7 +387,7 @@ pub fn handshake_server<T: Transport>(
 /// Transport-level errors only; a peer that vanished mid-rejection is not
 /// worth reporting beyond that.
 pub fn reject_busy<T: Transport>(ch: &mut T, ours: SessionParams) -> Result<(), ProtocolError> {
-    ch.send(&ours.encode(FLAG_BUSY, &[0u8; 16]))?;
+    ch.send_frame(&Hello(ours.encode(FLAG_BUSY, &[0u8; 16]).to_vec()))?;
     ch.flush()?;
     Ok(())
 }
@@ -512,8 +527,9 @@ mod tests {
                     .unwrap();
                 // Drain the client's hello so the link stays open until the
                 // client has sent it (a real acceptor closes after reject;
-                // the hello sits in the socket buffer either way).
-                let _ = s.recv();
+                // the hello sits in the socket buffer either way). Raw
+                // recv on purpose: the frame is discarded unparsed.
+                let _ = Transport::recv(&mut s);
             });
             let err = handshake_client(&mut c, ours, &[0; 16], false).unwrap_err();
             assert_eq!(err, ProtocolError::Overloaded);
@@ -617,25 +633,26 @@ mod tests {
     #[test]
     fn garbage_hello_is_handshake_error() {
         let (mut c, mut s) = Endpoint::pair(NetworkModel::instant());
-        c.send(b"GET / HTTP/1.1\r\n").unwrap();
-        let err = handshake_server(
-            &mut s,
-            |_| SessionParams::for_model(&info(&[2, 2], 32), ReluVariant::Oblivious, 1),
-            |_| false,
-        )
-        .unwrap_err();
+        let our_params =
+            |_: usize| SessionParams::for_model(&info(&[2, 2], 32), ReluVariant::Oblivious, 1);
+
+        // Raw sends on purpose: these messages simulate a peer that does
+        // not speak the framed protocol at all.
+        Transport::send(&mut c, b"GET / HTTP/1.1\r\n").unwrap();
+        let err = handshake_server(&mut s, our_params, |_| false).unwrap_err();
+        assert_eq!(err, ProtocolError::Handshake("hello frame tag"));
+
+        // Right tag, wrong payload length.
+        Transport::send(&mut c, &[abnn2_net::wire::tags::HELLO, 1, 2, 3]).unwrap();
+        let err = handshake_server(&mut s, our_params, |_| false).unwrap_err();
         assert_eq!(err, ProtocolError::Handshake("hello frame length"));
 
-        // Right length, wrong magic.
-        let mut frame = [0u8; HELLO_LEN];
-        frame[0..4].copy_from_slice(b"HTTP");
-        c.send(&frame).unwrap();
-        let err = handshake_server(
-            &mut s,
-            |_| SessionParams::for_model(&info(&[2, 2], 32), ReluVariant::Oblivious, 1),
-            |_| false,
-        )
-        .unwrap_err();
+        // Right tag and length, wrong magic.
+        let mut msg = vec![abnn2_net::wire::tags::HELLO];
+        msg.extend_from_slice(&[0u8; HELLO_LEN]);
+        msg[1..5].copy_from_slice(b"HTTP");
+        Transport::send(&mut c, &msg).unwrap();
+        let err = handshake_server(&mut s, our_params, |_| false).unwrap_err();
         assert_eq!(err, ProtocolError::Handshake("bad magic (peer is not ABNN2)"));
     }
 }

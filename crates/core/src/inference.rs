@@ -22,6 +22,7 @@
 
 use crate::bundle::{ClientBundle, ServerBundle};
 use crate::config::ExecConfig;
+use crate::frames::OutputShares;
 use crate::graph::{
     client_offline_with, client_online_to_logits, server_offline_with, server_online_to_logits,
     PublicModel, SecureGraph, ServedModel,
@@ -267,7 +268,7 @@ impl SecureServer {
         let ring = self.model.config().ring;
         let sg = self.secure_graph(state.batch)?;
         let (_, y0) = server_online_to_logits(ch, state, &self.model, &sg, self.exec)?;
-        ch.send(&ring.encode_slice(y0.as_slice()))?;
+        ch.send_frame(&OutputShares(ring.encode_slice(y0.as_slice())))?;
         Ok(())
     }
 
@@ -474,7 +475,7 @@ impl SecureClient {
         let batch = state.batch;
         let m = self.model.graph().output_len();
         let (_, y1) = self.online_to_logits(ch, state, inputs_fp, rng)?;
-        let y0_bytes = ch.recv()?;
+        let OutputShares(y0_bytes) = ch.recv_frame()?;
         if y0_bytes.len() != m * batch * ring.byte_len() {
             return Err(ProtocolError::Malformed("output share length"));
         }

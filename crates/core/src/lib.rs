@@ -44,6 +44,7 @@ pub mod cnn;
 pub mod complexity;
 pub mod config;
 pub mod error;
+pub mod frames;
 pub mod graph;
 pub mod handshake;
 pub mod inference;

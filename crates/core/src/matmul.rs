@@ -13,6 +13,7 @@
 //! message is *derived from the chooser's own mask* instead of being sent,
 //! reducing traffic to N−1 ciphertexts per OT.
 
+use crate::frames::TripletMasked;
 use crate::ProtocolError;
 use abnn2_math::{FragmentScheme, Matrix, Ring};
 use abnn2_net::Transport;
@@ -143,7 +144,7 @@ pub fn triplet_server_with<T: Transport>(
     for (g, frag) in scheme.fragments().iter().enumerate() {
         let choices: Vec<u64> = digits.iter().map(|d| d[g]).collect();
         let keys = kk.extend(ch, &choices, frag.n)?;
-        let data = ch.recv()?;
+        let TripletMasked(data) = ch.recv_frame()?;
         let per_ot = match mode {
             TripletMode::MultiBatch => frag.n as usize,
             TripletMode::OneBatch => frag.n as usize - 1,
@@ -330,7 +331,7 @@ pub fn triplet_client_with<T: Transport, RNG: Rng + ?Sized>(
             data.extend_from_slice(&buf);
             v = v.add(&v_part, &ring);
         }
-        ch.send(&data)?;
+        ch.send_frame(&TripletMasked(data))?;
     }
     Ok(v)
 }

@@ -15,6 +15,7 @@
 //!   **Trade-off**: the sign of every pre-activation leaks to both parties
 //!   (the paper accepts this; we default to `Oblivious`).
 
+use crate::frames::{NegShares, SignBits};
 use crate::ProtocolError;
 use abnn2_gc::circuit::{bits_to_u64, u64_to_bits};
 use abnn2_gc::{circuits, YaoEvaluator, YaoGarbler};
@@ -70,11 +71,11 @@ pub fn relu_server<T: Transport>(
             // Phase 1: comparison circuit reveals per-neuron signs.
             let sign_circuit = circuits::relu_sign_vec_circuit(bits, n);
             let non_neg = yao.run(ch, &sign_circuit, &words_to_bits(y0, bits))?;
-            ch.send(&pack_bits(&non_neg))?;
+            ch.send_frame(&SignBits(pack_bits(&non_neg)))?;
 
             // Negative neurons: the client re-shares zero by sending −z1.
             let neg_count = non_neg.iter().filter(|&&b| !b).count();
-            let neg_bytes = ch.recv()?;
+            let NegShares(neg_bytes) = ch.recv_frame()?;
             if neg_bytes.len() != neg_count * ring.byte_len() {
                 return Err(ProtocolError::Malformed("negative-neuron share batch length"));
             }
@@ -150,7 +151,7 @@ pub fn relu_client<T: Transport, RNG: Rng + ?Sized>(
         ReluVariant::Optimized => {
             let sign_circuit = circuits::relu_sign_vec_circuit(bits, n);
             yao.run(ch, &sign_circuit, &words_to_bits(y1, bits), rng)?;
-            let sign_bytes = ch.recv()?;
+            let SignBits(sign_bytes) = ch.recv_frame()?;
             if sign_bytes.len() != n.div_ceil(8) {
                 return Err(ProtocolError::Malformed("sign-bit batch length"));
             }
@@ -159,7 +160,7 @@ pub fn relu_client<T: Transport, RNG: Rng + ?Sized>(
             // z = 0 for negative neurons: z0 must equal −z1.
             let neg_shares: Vec<u64> =
                 (0..n).filter(|&j| !non_neg[j]).map(|j| ring.neg(z1[j])).collect();
-            ch.send(&ring.encode_slice(&neg_shares))?;
+            ch.send_frame(&NegShares(ring.encode_slice(&neg_shares)))?;
 
             let pos: Vec<usize> = (0..n).filter(|&j| non_neg[j]).collect();
             if !pos.is_empty() {

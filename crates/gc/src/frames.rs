@@ -1,0 +1,28 @@
+//! Typed wire frames for the garbled-circuit transfer.
+//!
+//! The garbler ships three frames per circuit execution — its own input
+//! labels, the AND-gate tables, and the output decode bits — and the
+//! evaluator receives them through
+//! [`Transport::recv_frame`](abnn2_net::Transport::recv_frame). Frame-level
+//! checks cover block granularity; circuit-dependent exact counts stay with
+//! [`YaoEvaluator`](crate::yao::YaoEvaluator), which reports them as
+//! [`GcError::Malformed`](crate::GcError::Malformed).
+
+use abnn2_net::wire::tags;
+use abnn2_net::{block_frame, byte_frame};
+
+block_frame! {
+    /// The garbler's selected input labels, one block per garbler wire.
+    pub struct GcLabels, tag = tags::GC_LABELS, name = "garbler input labels", unit = 1
+}
+
+block_frame! {
+    /// The garbled AND tables: two ciphertext blocks per AND gate.
+    pub struct GcTables, tag = tags::GC_TABLES, name = "garbled table stream", unit = 2
+}
+
+byte_frame! {
+    /// The output decode map: packed point-and-permute bits, one bit per
+    /// circuit output.
+    pub struct GcDecodeMap, tag = tags::GC_DECODE_MAP, name = "output decode map", unit = 1
+}

@@ -20,6 +20,7 @@
 pub mod circuit;
 pub mod circuits;
 pub mod error;
+pub mod frames;
 pub mod garble;
 pub mod yao;
 

@@ -7,6 +7,7 @@
 //! share `z₀`).
 
 use crate::circuit::Circuit;
+use crate::frames::{GcDecodeMap, GcLabels, GcTables};
 use crate::garble::{evaluate, garble};
 use crate::GcError;
 use abnn2_crypto::Block;
@@ -65,15 +66,15 @@ impl YaoGarbler {
     ) -> Result<(), GcError> {
         let (gc, labels) = garble(circuit, rng);
         let own = labels.select_garbler(my_bits);
-        ch.send_blocks(&own)?;
+        ch.send_frame(&GcLabels(own))?;
         let mut tables = Vec::with_capacity(gc.and_tables.len() * 2);
         for (tg, te) in &gc.and_tables {
             tables.push(*tg);
             tables.push(*te);
         }
-        ch.send_blocks(&tables)?;
-        ch.send(&pack_bits(&gc.output_decode))?;
-        self.ot.send(ch, &labels.evaluator_inputs)?;
+        ch.send_frame(&GcTables(tables))?;
+        ch.send_frame(&GcDecodeMap(pack_bits(&gc.output_decode)))?;
+        self.ot.send_chosen(ch, &labels.evaluator_inputs)?;
         Ok(())
     }
 }
@@ -107,12 +108,12 @@ impl YaoEvaluator {
         circuit: &Circuit,
         my_bits: &[bool],
     ) -> Result<Vec<bool>, GcError> {
-        let garbler_labels = ch.recv_blocks()?;
-        let table_blocks = ch.recv_blocks()?;
+        let GcLabels(garbler_labels) = ch.recv_frame()?;
+        let GcTables(table_blocks) = ch.recv_frame()?;
         if table_blocks.len() != 2 * circuit.and_count() {
             return Err(GcError::Malformed("AND table stream length"));
         }
-        let decode_bytes = ch.recv()?;
+        let GcDecodeMap(decode_bytes) = ch.recv_frame()?;
         if decode_bytes.len() != circuit.outputs().len().div_ceil(8) {
             return Err(GcError::Malformed("output decode length"));
         }

@@ -2,7 +2,6 @@
 
 use crate::transport::{Transport, TransportError};
 use crate::NetworkModel;
-use abnn2_crypto::Block;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::time::{Duration, Instant};
 
@@ -70,6 +69,8 @@ pub struct Endpoint {
     /// equivalent of the TCP transport's wall-clock budget — a phase that
     /// would overrun its budget on the modelled network times out here too.
     vdeadline: Option<f64>,
+    /// Reusable frame-serialization buffer (see [`Transport::take_scratch`]).
+    scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -99,6 +100,7 @@ impl Endpoint {
             messages_sent: 0,
             read_timeout: None,
             vdeadline: None,
+            scratch: Vec::new(),
         };
         (mk(tx_ab, rx_ba), mk(tx_ba, rx_ab))
     }
@@ -170,59 +172,6 @@ impl Endpoint {
         Ok(pkt.payload)
     }
 
-    /// Sends a single `u64` (little-endian).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TransportError::Closed`] if the peer endpoint was dropped.
-    pub fn send_u64(&mut self, v: u64) -> Result<(), TransportError> {
-        self.send(&v.to_le_bytes())
-    }
-
-    /// Receives a single `u64`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TransportError::Closed`] if the peer disconnected, or
-    /// [`TransportError::Malformed`] on a message of the wrong length.
-    pub fn recv_u64(&mut self) -> Result<u64, TransportError> {
-        let b = self.recv()?;
-        let arr: [u8; 8] =
-            b.try_into().map_err(|_| TransportError::Malformed("u64 message length"))?;
-        Ok(u64::from_le_bytes(arr))
-    }
-
-    /// Sends a slice of 128-bit blocks.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TransportError::Closed`] if the peer endpoint was dropped.
-    pub fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), TransportError> {
-        let mut buf = Vec::with_capacity(blocks.len() * 16);
-        for b in blocks {
-            buf.extend_from_slice(&b.to_bytes());
-        }
-        self.send_owned(buf)
-    }
-
-    /// Receives a slice of 128-bit blocks.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TransportError::Closed`] if the peer disconnected, or
-    /// [`TransportError::Malformed`] if the payload is not a multiple of 16
-    /// bytes.
-    pub fn recv_blocks(&mut self) -> Result<Vec<Block>, TransportError> {
-        let buf = self.recv()?;
-        if buf.len() % 16 != 0 {
-            return Err(TransportError::Malformed("block message length"));
-        }
-        Ok(buf
-            .chunks_exact(16)
-            .map(|c| Block::from_bytes(c.try_into().expect("16 bytes")))
-            .collect())
-    }
-
     /// Current communication statistics.
     #[must_use]
     pub fn snapshot(&self) -> CommSnapshot {
@@ -274,12 +223,14 @@ impl Transport for Endpoint {
         Ok(())
     }
 
-    fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), TransportError> {
-        Endpoint::send_blocks(self, blocks)
+    fn take_scratch(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.scratch)
     }
 
-    fn recv_blocks(&mut self) -> Result<Vec<Block>, TransportError> {
-        Endpoint::recv_blocks(self)
+    fn store_scratch(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > self.scratch.capacity() {
+            self.scratch = buf;
+        }
     }
 }
 
@@ -348,6 +299,8 @@ pub fn sim_link(model: NetworkModel) -> (SimDialer, SimListener) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::tags;
+    use abnn2_crypto::Block;
 
     #[test]
     fn ping_pong_bytes_counted() {
@@ -367,6 +320,8 @@ mod tests {
         let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
         a.send_u64(0xdead_beef).unwrap();
         assert_eq!(b.recv_u64().unwrap(), 0xdead_beef);
+        // One tag byte plus the 8-byte payload.
+        assert_eq!(a.snapshot().bytes_sent, 9);
     }
 
     #[test]
@@ -375,6 +330,7 @@ mod tests {
         let blocks = vec![Block::from(1u128), Block::from(2u128)];
         a.send_blocks(&blocks).unwrap();
         assert_eq!(b.recv_blocks().unwrap(), blocks);
+        assert_eq!(a.snapshot().bytes_sent, 33);
     }
 
     #[test]
@@ -386,17 +342,26 @@ mod tests {
     }
 
     #[test]
-    fn malformed_u64_rejected() {
+    fn mistagged_u64_rejected() {
         let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
         a.send(b"abc").unwrap();
-        assert_eq!(b.recv_u64(), Err(TransportError::Malformed("u64 message length")));
+        assert_eq!(b.recv_u64(), Err(TransportError::Malformed("u64 frame tag")));
+    }
+
+    #[test]
+    fn short_u64_payload_rejected() {
+        let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
+        a.send(&[tags::U64, 1, 2, 3]).unwrap();
+        assert_eq!(b.recv_u64(), Err(TransportError::Malformed("u64 frame length")));
     }
 
     #[test]
     fn malformed_blocks_rejected() {
         let (mut a, mut b) = Endpoint::pair(NetworkModel::instant());
-        a.send(&[0u8; 17]).unwrap();
-        assert_eq!(b.recv_blocks(), Err(TransportError::Malformed("block message length")));
+        let mut ragged = vec![tags::BLOCKS];
+        ragged.extend_from_slice(&[0u8; 17]);
+        a.send(&ragged).unwrap();
+        assert_eq!(b.recv_blocks(), Err(TransportError::Malformed("block batch frame length")));
     }
 
     #[test]

@@ -53,6 +53,15 @@ pub enum Fault {
         /// Byte offset to flip (reduced modulo the message length).
         byte: usize,
     },
+    /// Deliver send index `n` with byte 0 — the frame's tag byte —
+    /// XOR-flipped. Unlike a payload corruption (undetectable in the
+    /// semi-honest model without MACs), a flipped tag is *always* caught by
+    /// the typed wire layer: the receiver's `recv_frame` fails with a
+    /// `Malformed` error naming the frame it expected.
+    FlipTag {
+        /// 0-based index of the send whose tag byte to flip.
+        index: u64,
+    },
     /// Stall send index `n` for `millis` before handing it to the inner
     /// transport (a congestion spike; trips read timeouts on the peer).
     DelaySend {
@@ -132,12 +141,13 @@ impl FaultPlan {
         let mut faults = Vec::with_capacity(n_faults as usize);
         for _ in 0..n_faults {
             let index = rng.gen_range(0..horizon);
-            faults.push(match rng.gen_range(0u32..6) {
+            faults.push(match rng.gen_range(0u32..7) {
                 0 => Fault::CutAfterMessages(index),
                 1 => Fault::CutAfterBytes(rng.gen_range(0..horizon * 64)),
                 2 => Fault::CutRecvAfterMessages(index),
                 3 => Fault::TruncateMessage { index, keep: rng.gen_range(0..64) },
                 4 => Fault::CorruptMessage { index, byte: rng.gen_range(0..64) },
+                5 => Fault::FlipTag { index },
                 _ => Fault::DelaySend { index, millis: rng.gen_range(1..50) },
             });
         }
@@ -231,6 +241,13 @@ impl<T: Transport> FaultyTransport<T> {
                     }
                     replacement = Some(cur);
                 }
+                Fault::FlipTag { index: target } if index == target => {
+                    let mut cur = replacement.take().unwrap_or_else(|| payload.to_vec());
+                    if !cur.is_empty() {
+                        cur[0] ^= 0xA5;
+                    }
+                    replacement = Some(cur);
+                }
                 Fault::DelaySend { index: target, millis } if index == target => {
                     std::thread::sleep(Duration::from_millis(millis));
                 }
@@ -309,6 +326,14 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn snapshot(&self) -> CommSnapshot {
         self.inner.snapshot()
     }
+
+    fn take_scratch(&mut self) -> Vec<u8> {
+        self.inner.take_scratch()
+    }
+
+    fn store_scratch(&mut self, buf: Vec<u8>) {
+        self.inner.store_scratch(buf);
+    }
 }
 
 #[cfg(test)]
@@ -326,7 +351,7 @@ mod tests {
         let (mut a, mut b) = faulty_pair(Fault::None);
         a.send_u64(5).unwrap();
         assert_eq!(b.recv_u64().unwrap(), 5);
-        assert_eq!(a.snapshot().bytes_sent, 8);
+        assert_eq!(a.snapshot().bytes_sent, 9);
     }
 
     #[test]
@@ -366,11 +391,23 @@ mod tests {
 
     #[test]
     fn helpers_route_through_fault_plan() {
-        // send_u64 / send_blocks must hit the same interception point.
+        // send_u64 / send_blocks must hit the same interception point. The
+        // truncated frame keeps its tag byte, so the payload check fires.
         let (mut a, mut b) = faulty_pair(Fault::TruncateMessage { index: 0, keep: 4 });
         a.send_u64(u64::MAX).unwrap();
-        assert_eq!(b.recv_u64(), Err(TransportError::Malformed("u64 message length")));
+        assert_eq!(b.recv_u64(), Err(TransportError::Malformed("u64 frame length")));
         let _ = a;
+    }
+
+    #[test]
+    fn flipped_tag_is_a_typed_frame_error() {
+        let (mut a, mut b) = faulty_pair(Fault::FlipTag { index: 1 });
+        a.send_u64(1).unwrap();
+        a.send_u64(2).unwrap();
+        assert_eq!(b.recv_u64().unwrap(), 1);
+        // The payload is intact but the tag no longer matches: typed error
+        // naming the expected frame, not a garbage value.
+        assert_eq!(b.recv_u64(), Err(TransportError::Malformed("u64 frame tag")));
     }
 
     #[test]

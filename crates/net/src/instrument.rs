@@ -15,6 +15,7 @@
 
 use crate::channel::CommSnapshot;
 use crate::transport::{Transport, TransportError};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -50,6 +51,40 @@ impl PhaseStats {
     }
 }
 
+/// Traffic attributed to one frame tag (see [`crate::wire::tags`]).
+///
+/// Unlike [`PhaseStats`], byte counts here **exclude** the one-byte frame
+/// tag: they are the frames' payload bytes, directly comparable to the
+/// paper's per-message counts (e.g. the γ(N−1) masked-message bytes of
+/// §4.1.3 for the KK13 triplet frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TagStats {
+    /// Payload bytes sent under this tag (tag byte excluded).
+    pub bytes_sent: u64,
+    /// Payload bytes received under this tag (tag byte excluded).
+    pub bytes_received: u64,
+    /// Frames sent under this tag.
+    pub messages_sent: u64,
+    /// Frames received under this tag.
+    pub messages_received: u64,
+}
+
+impl TagStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &TagStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.messages_sent += other.messages_sent;
+        self.messages_received += other.messages_received;
+    }
+
+    /// Total payload bytes under this tag in both directions.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
 /// Shared, cloneable read handle onto an [`InstrumentedTransport`]'s phase
 /// counters. Snapshots never block the transport for longer than a counter
 /// update, and remain valid after the transport is dropped (they report the
@@ -57,12 +92,15 @@ impl PhaseStats {
 #[derive(Debug, Clone, Default)]
 pub struct InstrumentHandle {
     phases: Arc<Mutex<Vec<(String, PhaseStats)>>>,
+    /// Per-frame-tag counters, keyed by each message's leading tag byte.
+    tags: Arc<Mutex<BTreeMap<u8, TagStats>>>,
 }
 
 impl InstrumentHandle {
     fn new() -> Self {
         InstrumentHandle {
             phases: Arc::new(Mutex::new(vec![("setup".to_string(), PhaseStats::default())])),
+            tags: Arc::new(Mutex::new(BTreeMap::new())),
         }
     }
 
@@ -117,9 +155,43 @@ impl InstrumentHandle {
         Arc::strong_count(&self.phases) == 1
     }
 
+    /// Counters for one frame tag (zero if the tag never crossed the wire).
+    #[must_use]
+    pub fn tag(&self, tag: u8) -> TagStats {
+        self.tags.lock().expect("instrument lock").get(&tag).copied().unwrap_or_default()
+    }
+
+    /// Every tag observed on the wire with its counters, in tag order.
+    #[must_use]
+    pub fn tags(&self) -> Vec<(u8, TagStats)> {
+        self.tags.lock().expect("instrument lock").iter().map(|(&t, &s)| (t, s)).collect()
+    }
+
     fn with_current<F: FnOnce(&mut PhaseStats)>(&self, f: F) {
         let mut phases = self.phases.lock().expect("instrument lock");
         f(&mut phases.last_mut().expect("at least one phase").1)
+    }
+
+    /// Attributes one sent message to its leading tag byte. Payload bytes
+    /// are counted without the tag byte itself; empty (untagged) messages
+    /// are skipped.
+    fn record_tag_send(&self, payload: &[u8]) {
+        if let Some((&tag, rest)) = payload.split_first() {
+            let mut tags = self.tags.lock().expect("instrument lock");
+            let entry = tags.entry(tag).or_default();
+            entry.bytes_sent += rest.len() as u64;
+            entry.messages_sent += 1;
+        }
+    }
+
+    /// Attributes one received message to its leading tag byte.
+    fn record_tag_recv(&self, payload: &[u8]) {
+        if let Some((&tag, rest)) = payload.split_first() {
+            let mut tags = self.tags.lock().expect("instrument lock");
+            let entry = tags.entry(tag).or_default();
+            entry.bytes_received += rest.len() as u64;
+            entry.messages_received += 1;
+        }
     }
 
     fn push(&self, name: &str) {
@@ -192,17 +264,25 @@ impl<T: Transport> Transport for InstrumentedTransport<T> {
             s.bytes_sent += payload.len() as u64;
             s.messages_sent += 1;
         });
+        self.handle.record_tag_send(payload);
         Ok(())
     }
 
     fn send_owned(&mut self, payload: Vec<u8>) -> Result<(), TransportError> {
         let len = payload.len() as u64;
+        let tag_prefix: Option<u8> = payload.first().copied();
         self.inner.send_owned(payload)?;
         self.roll_clock();
         self.handle.with_current(|s| {
             s.bytes_sent += len;
             s.messages_sent += 1;
         });
+        if let Some(tag) = tag_prefix {
+            let mut tags = self.handle.tags.lock().expect("instrument lock");
+            let entry = tags.entry(tag).or_default();
+            entry.bytes_sent += len - 1;
+            entry.messages_sent += 1;
+        }
         Ok(())
     }
 
@@ -213,6 +293,7 @@ impl<T: Transport> Transport for InstrumentedTransport<T> {
             s.bytes_received += payload.len() as u64;
             s.messages_received += 1;
         });
+        self.handle.record_tag_recv(&payload);
         Ok(payload)
     }
 
@@ -234,6 +315,14 @@ impl<T: Transport> Transport for InstrumentedTransport<T> {
 
     fn snapshot(&self) -> CommSnapshot {
         self.inner.snapshot()
+    }
+
+    fn take_scratch(&mut self) -> Vec<u8> {
+        self.inner.take_scratch()
+    }
+
+    fn store_scratch(&mut self, buf: Vec<u8>) {
+        self.inner.store_scratch(buf);
     }
 }
 
@@ -259,13 +348,41 @@ mod tests {
         assert_eq!(setup.bytes_received, 0);
 
         let online = a.phase("online").unwrap();
-        assert_eq!(online.bytes_sent, 16);
+        assert_eq!(online.bytes_sent, 18, "two u64 frames: 2 × (1 tag + 8 payload)");
         assert_eq!(online.messages_sent, 2);
         assert_eq!(online.bytes_received, 5);
         assert_eq!(online.messages_received, 1);
 
         // Global counters come from the inner transport, unchanged.
-        assert_eq!(a.snapshot().bytes_sent, 18);
+        assert_eq!(a.snapshot().bytes_sent, 20);
+    }
+
+    #[test]
+    fn traffic_is_attributed_to_frame_tags() {
+        use crate::wire::tags;
+        let (a, mut b) = Endpoint::pair(NetworkModel::instant());
+        let mut a = InstrumentedTransport::new(a);
+        let handle = a.handle();
+        a.send_u64(1).unwrap();
+        a.send_u64(2).unwrap();
+        a.send_blocks(&[abnn2_crypto::Block::from(7u128)]).unwrap();
+        b.send_u64(3).unwrap();
+        let _ = a.recv_u64().unwrap();
+
+        // Tag counters exclude the tag byte: pure payload bytes.
+        let u64s = handle.tag(tags::U64);
+        assert_eq!(u64s.bytes_sent, 16);
+        assert_eq!(u64s.messages_sent, 2);
+        assert_eq!(u64s.bytes_received, 8);
+        assert_eq!(u64s.messages_received, 1);
+        let blocks = handle.tag(tags::BLOCKS);
+        assert_eq!(blocks.bytes_sent, 16);
+        assert_eq!(blocks.messages_sent, 1);
+        assert_eq!(handle.tag(tags::HELLO), TagStats::default());
+        assert_eq!(handle.tags().len(), 2);
+        for _ in 0..3 {
+            let _ = b.recv().unwrap();
+        }
     }
 
     #[test]
@@ -308,8 +425,8 @@ mod tests {
 
         let handle2 = handle.clone();
         drop(a);
-        assert_eq!(handle2.phase("offline").unwrap().bytes_sent, 24);
-        assert_eq!(handle2.total().bytes_sent, 24);
+        assert_eq!(handle2.phase("offline").unwrap().bytes_sent, 27);
+        assert_eq!(handle2.total().bytes_sent, 27);
     }
 
     #[test]

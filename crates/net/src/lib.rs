@@ -40,6 +40,11 @@
 //! transport, so a protocol moves exactly the same counted bytes over the
 //! simulator and over TCP.
 //!
+//! Protocol payloads themselves travel as typed, tagged frames through the
+//! [`wire`] module ([`Frame`], [`Transport::send_frame`],
+//! [`Transport::recv_frame`]); raw `send`/`recv` below the frame layer are
+//! reserved for transport-internal traffic and tests in this crate.
+//!
 //! ```
 //! use abnn2_net::{run_pair, NetworkModel};
 //! let (a, b, report) = run_pair(NetworkModel::lan(), |ch| {
@@ -62,11 +67,13 @@ pub mod model;
 pub mod runner;
 pub mod tcp;
 pub mod transport;
+pub mod wire;
 
 pub use channel::{sim_link, CommSnapshot, Endpoint, SimDialer, SimListener};
 pub use fault::{Fault, FaultPlan, FaultyTransport};
-pub use instrument::{InstrumentHandle, InstrumentedTransport, PhaseStats};
+pub use instrument::{InstrumentHandle, InstrumentedTransport, PhaseStats, TagStats};
 pub use model::NetworkModel;
 pub use runner::{run_pair, ResilientDriver, RetryPolicy, Retryable, TrafficReport};
 pub use tcp::TcpTransport;
 pub use transport::{Transport, TransportError};
+pub use wire::{Frame, WireError, WireGot};

@@ -222,6 +222,7 @@ impl ResilientDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::Transport;
 
     #[test]
     fn results_and_report() {
@@ -239,7 +240,8 @@ mod tests {
         );
         assert_eq!(a, 42);
         assert_eq!(b, 21);
-        assert_eq!(report.total_bytes(), 16);
+        // Two u64 frames: 2 × (1 tag + 8 payload) bytes.
+        assert_eq!(report.total_bytes(), 18);
         assert!(report.simulated_time() <= report.wall + Duration::from_millis(50));
     }
 

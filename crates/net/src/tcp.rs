@@ -26,7 +26,6 @@
 
 use crate::channel::CommSnapshot;
 use crate::transport::{Transport, TransportError};
-use abnn2_crypto::Block;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -59,7 +58,7 @@ pub struct TcpTransport {
     stream: TcpStream,
     /// Pending framed bytes not yet written to the socket.
     wbuf: Vec<u8>,
-    /// Reusable serialization buffer for `send_blocks`.
+    /// Reusable frame-serialization buffer (see [`Transport::take_scratch`]).
     scratch: Vec<u8>,
     bytes_sent: u64,
     bytes_received: u64,
@@ -299,18 +298,14 @@ impl Transport for TcpTransport {
         }
     }
 
-    fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), TransportError> {
-        // Serialize through the reusable scratch buffer instead of
-        // allocating a fresh Vec per call.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        scratch.reserve(blocks.len() * 16);
-        for b in blocks {
-            scratch.extend_from_slice(&b.to_bytes());
+    fn take_scratch(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.scratch)
+    }
+
+    fn store_scratch(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > self.scratch.capacity() {
+            self.scratch = buf;
         }
-        let result = self.enqueue_frame(&scratch);
-        self.scratch = scratch;
-        result
     }
 }
 
@@ -329,6 +324,7 @@ impl Drop for TcpTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use abnn2_crypto::Block;
     use std::net::TcpListener;
     use std::thread;
 
@@ -358,10 +354,11 @@ mod tests {
             s.send(b"pong").unwrap();
             s.flush().unwrap();
         });
-        // Payload-only accounting: 4 + 8 + 16 bytes sent by the client.
-        assert_eq!(c.snapshot().bytes_sent, 28);
+        // Payload-only accounting: 4 raw + (1+8) u64 frame + (1+16) block
+        // frame bytes sent by the client.
+        assert_eq!(c.snapshot().bytes_sent, 30);
         assert_eq!(c.snapshot().messages_sent, 3);
-        assert_eq!(s.snapshot().bytes_received, 28);
+        assert_eq!(s.snapshot().bytes_received, 30);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! are identical across transports by construction.
 
 use crate::channel::CommSnapshot;
+use crate::wire::{Blocks, Frame, U64Frame, WireError, WireGot};
 use abnn2_crypto::Block;
+use std::borrow::Cow;
 use std::time::Duration;
 
 /// Transport-level failure, split by root cause so protocol layers can
@@ -81,15 +83,21 @@ pub trait Transport {
     ///
     /// Implementations that queue messages (the in-process [`Endpoint`]
     /// moves the buffer straight into the channel) override this to avoid a
-    /// copy; the default simply borrows.
+    /// copy. The default borrows for the send, then recycles the buffer
+    /// into the connection's scratch slot ([`store_scratch`]) so the next
+    /// [`send_frame`] does not have to allocate.
     ///
     /// [`Endpoint`]: crate::Endpoint
+    /// [`store_scratch`]: Transport::store_scratch
+    /// [`send_frame`]: Transport::send_frame
     ///
     /// # Errors
     ///
     /// [`TransportError::Closed`] if the peer is gone.
     fn send_owned(&mut self, payload: Vec<u8>) -> Result<(), TransportError> {
-        self.send(&payload)
+        let result = self.send(&payload);
+        self.store_scratch(payload);
+        result
     }
 
     /// Receives the next message from the peer, blocking until it arrives.
@@ -164,56 +172,125 @@ pub trait Transport {
         let _ = label;
     }
 
-    /// Sends a single `u64` (little-endian).
+    /// Takes the connection's reusable scratch buffer (empty capacity if
+    /// none is stored). Transports with a real per-connection buffer
+    /// override this pair; decorators MUST forward both calls so the frame
+    /// layer reuses the innermost transport's buffer.
+    fn take_scratch(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Returns a buffer to the scratch slot for reuse by the next
+    /// [`send_frame`](Transport::send_frame). The default discards it.
+    fn store_scratch(&mut self, buf: Vec<u8>) {
+        let _ = buf;
+    }
+
+    /// Sends one typed [`Frame`]: the frame's one-byte tag followed by its
+    /// encoded payload, serialized through the connection's scratch buffer
+    /// so hot loops do not allocate per message.
+    ///
+    /// This — with [`recv_frame`](Transport::recv_frame) — is the only
+    /// sanctioned way to move protocol payloads; raw
+    /// [`send`](Transport::send)/[`recv`](Transport::recv) are reserved for
+    /// transport-internal uses in this crate.
     ///
     /// # Errors
     ///
     /// [`TransportError::Closed`] if the peer is gone.
-    fn send_u64(&mut self, v: u64) -> Result<(), TransportError> {
-        self.send(&v.to_le_bytes())
+    fn send_frame<F: Frame>(&mut self, frame: &F) -> Result<(), TransportError>
+    where
+        Self: Sized,
+    {
+        let mut buf = self.take_scratch();
+        buf.clear();
+        buf.push(F::TAG);
+        frame.encode_into(&mut buf);
+        let result = self.send(&buf);
+        self.store_scratch(buf);
+        result
     }
 
-    /// Receives a single `u64`.
+    /// Receives one typed [`Frame`], verifying the tag byte before handing
+    /// the payload to [`Frame::decode`].
     ///
     /// # Errors
     ///
     /// [`TransportError::Closed`] if the peer is gone;
-    /// [`TransportError::Malformed`] if the message is not exactly 8 bytes.
-    fn recv_u64(&mut self) -> Result<u64, TransportError> {
-        let b = self.recv()?;
-        let arr: [u8; 8] =
-            b.try_into().map_err(|_| TransportError::Malformed("u64 message length"))?;
-        Ok(u64::from_le_bytes(arr))
+    /// [`TransportError::Malformed`] — carrying the expected frame's name —
+    /// if the message is empty, tagged as a different frame, or fails the
+    /// frame's payload validation.
+    fn recv_frame<F: Frame>(&mut self) -> Result<F, TransportError>
+    where
+        Self: Sized,
+    {
+        let msg = self.recv()?;
+        let Some((&tag, payload)) = msg.split_first() else {
+            return Err(
+                WireError { expected: F::NAME, got: WireGot::Empty, context: F::TAG_ERR }.into()
+            );
+        };
+        if tag != F::TAG {
+            return Err(WireError {
+                expected: F::NAME,
+                got: WireGot::Tag(tag),
+                context: F::TAG_ERR,
+            }
+            .into());
+        }
+        F::decode(payload).map_err(TransportError::from)
     }
 
-    /// Sends a slice of 128-bit blocks as one message.
+    /// Sends a single `u64` as a tagged [`U64Frame`].
     ///
     /// # Errors
     ///
     /// [`TransportError::Closed`] if the peer is gone.
-    fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), TransportError> {
-        let mut buf = Vec::with_capacity(blocks.len() * 16);
-        for b in blocks {
-            buf.extend_from_slice(&b.to_bytes());
-        }
-        self.send_owned(buf)
+    fn send_u64(&mut self, v: u64) -> Result<(), TransportError>
+    where
+        Self: Sized,
+    {
+        self.send_frame(&U64Frame(v))
     }
 
-    /// Receives a message of 128-bit blocks.
+    /// Receives a single `u64` frame.
     ///
     /// # Errors
     ///
     /// [`TransportError::Closed`] if the peer is gone;
-    /// [`TransportError::Malformed`] if the payload length is not a multiple
-    /// of 16 bytes.
-    fn recv_blocks(&mut self) -> Result<Vec<Block>, TransportError> {
-        let buf = self.recv()?;
-        if buf.len() % 16 != 0 {
-            return Err(TransportError::Malformed("block message length"));
-        }
-        Ok(buf
-            .chunks_exact(16)
-            .map(|c| Block::from_bytes(c.try_into().expect("16 bytes")))
-            .collect())
+    /// [`TransportError::Malformed`] on a wrong tag or a payload that is
+    /// not exactly 8 bytes.
+    fn recv_u64(&mut self) -> Result<u64, TransportError>
+    where
+        Self: Sized,
+    {
+        Ok(self.recv_frame::<U64Frame>()?.0)
+    }
+
+    /// Sends a slice of 128-bit blocks as one tagged [`Blocks`] frame
+    /// (borrowing the slice; no copy besides serialization).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the peer is gone.
+    fn send_blocks(&mut self, blocks: &[Block]) -> Result<(), TransportError>
+    where
+        Self: Sized,
+    {
+        self.send_frame(&Blocks(Cow::Borrowed(blocks)))
+    }
+
+    /// Receives a tagged [`Blocks`] frame.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the peer is gone;
+    /// [`TransportError::Malformed`] on a wrong tag or a payload length
+    /// that is not a multiple of 16 bytes.
+    fn recv_blocks(&mut self) -> Result<Vec<Block>, TransportError>
+    where
+        Self: Sized,
+    {
+        Ok(self.recv_frame::<Blocks>()?.0.into_owned())
     }
 }

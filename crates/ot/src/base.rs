@@ -15,6 +15,7 @@
 //! Diffie–Hellman on the curve (semi-honest parties; the chooser's `Rᵢ` is a
 //! uniformly random point for either choice).
 
+use crate::frames::{BaseCtBatch, BasePoint, BasePointBatch};
 use crate::OtError;
 use abnn2_crypto::curve::EdwardsPoint;
 use abnn2_crypto::{sha256::sha256, Block};
@@ -52,9 +53,9 @@ pub fn send<T: Transport, R: Rng + ?Sized>(
     let base = EdwardsPoint::base();
     let a = base.scalar_mul(&y);
     let t = a.scalar_mul(&y);
-    ch.send(&a.to_bytes())?;
+    ch.send_frame(&BasePoint(a.to_bytes().to_vec()))?;
 
-    let r_bytes = ch.recv()?;
+    let BasePointBatch(r_bytes) = ch.recv_frame()?;
     if r_bytes.len() != 64 * pairs.len() {
         return Err(OtError::Malformed("chooser point batch has wrong length"));
     }
@@ -69,7 +70,7 @@ pub fn send<T: Transport, R: Rng + ?Sized>(
         cts.extend_from_slice(&(pair.0 ^ k0).to_bytes());
         cts.extend_from_slice(&(pair.1 ^ k1).to_bytes());
     }
-    ch.send_owned(cts)?;
+    ch.send_frame(&BaseCtBatch(cts))?;
     Ok(())
 }
 
@@ -83,9 +84,8 @@ pub fn recv<T: Transport, R: Rng + ?Sized>(
     choices: &[bool],
     rng: &mut R,
 ) -> Result<Vec<Block>, OtError> {
-    let a_bytes = ch.recv()?;
-    let a_arr: [u8; 64] =
-        a_bytes.as_slice().try_into().map_err(|_| OtError::Malformed("setup point length"))?;
+    let BasePoint(a_bytes) = ch.recv_frame()?;
+    let a_arr: [u8; 64] = a_bytes.as_slice().try_into().expect("frame-validated 64 bytes");
     let a = EdwardsPoint::from_bytes(&a_arr).map_err(|_| OtError::InvalidPoint)?;
     let base = EdwardsPoint::base();
 
@@ -98,9 +98,9 @@ pub fn recv<T: Transport, R: Rng + ?Sized>(
         r_batch.extend_from_slice(&r.to_bytes());
         xs.push(x);
     }
-    ch.send_owned(r_batch)?;
+    ch.send_frame(&BasePointBatch(r_batch))?;
 
-    let cts = ch.recv()?;
+    let BaseCtBatch(cts) = ch.recv_frame()?;
     if cts.len() != 32 * choices.len() {
         return Err(OtError::Malformed("ciphertext batch has wrong length"));
     }

@@ -1,0 +1,59 @@
+//! Typed wire frames for the OT stack.
+//!
+//! Every message the base-OT, IKNP, and KK13 protocols exchange is one of
+//! the frames below, moved exclusively through
+//! [`Transport::send_frame`]/[`Transport::recv_frame`]. Frame-level checks
+//! cover each payload's *shape* (fixed point sizes, block granularity);
+//! exact batch lengths depend on runtime parameters (OT count, ring width)
+//! and remain with the protocol code, which reports them as
+//! [`OtError::Malformed`](crate::OtError::Malformed).
+//!
+//! [`Transport::send_frame`]: abnn2_net::Transport::send_frame
+//! [`Transport::recv_frame`]: abnn2_net::Transport::recv_frame
+
+use crate::KAPPA;
+use abnn2_net::wire::tags;
+use abnn2_net::{block_frame, byte_frame};
+
+byte_frame! {
+    /// The base-OT sender's setup point `A = yB` (64-byte Edwards point).
+    pub struct BasePoint, tag = tags::BASE_POINT, name = "base-OT setup point", exact = 64
+}
+
+byte_frame! {
+    /// The base-OT chooser's batch of blinded points `Rᵢ`, 64 bytes each.
+    pub struct BasePointBatch, tag = tags::BASE_POINT_BATCH, name = "base-OT point batch", unit = 64
+}
+
+byte_frame! {
+    /// The base-OT sender's ciphertext pairs, 32 bytes (two blocks) per OT.
+    pub struct BaseCtBatch, tag = tags::BASE_CT_BATCH, name = "base-OT ciphertext batch", unit = 32
+}
+
+byte_frame! {
+    /// The IKNP receiver's masked `u` column matrix: κ columns of
+    /// ⌈m/8⌉ bytes each, so always a multiple of κ bytes.
+    pub struct IknpColumns, tag = tags::IKNP_COLUMNS, name = "IKNP column matrix", unit = KAPPA
+}
+
+block_frame! {
+    /// The IKNP sender's masked message pairs: two blocks per OT.
+    pub struct IknpCts, tag = tags::IKNP_CTS, name = "IKNP ciphertext batch", unit = 2
+}
+
+byte_frame! {
+    /// Correlated-OT corrections: one ring element per OT (width set by
+    /// the ring, validated at the call site).
+    pub struct OtCorrections, tag = tags::OT_CORRECTIONS, name = "C-OT correction batch", unit = 1
+}
+
+byte_frame! {
+    /// Vector-correlated-OT corrections: one ring-element vector per OT.
+    pub struct OtVecPayload, tag = tags::OT_VEC_PAYLOAD, name = "vector C-OT payload", unit = 1
+}
+
+byte_frame! {
+    /// The KK13 chooser's masked column matrix: 2κ = 256 columns of
+    /// ⌈m/8⌉ bytes each, so always a multiple of 256 bytes.
+    pub struct KkColumns, tag = tags::KK_COLUMNS, name = "KK13 column matrix", unit = crate::kk13::CODE_LEN
+}

@@ -7,6 +7,7 @@
 //! ℓ-bit correction word crosses the wire.
 
 use crate::bits::{pack_bits, transpose_columns, xor_in_place};
+use crate::frames::{IknpColumns, IknpCts, OtCorrections, OtVecPayload};
 use crate::{base, OtError, KAPPA};
 use abnn2_crypto::{Block, Prg, RoHash};
 use abnn2_math::Ring;
@@ -65,7 +66,7 @@ impl IknpSender {
     /// values `q_j`, from which both message keys derive.
     fn extend_rows<T: Transport>(&mut self, ch: &mut T, m: usize) -> Result<Vec<Block>, OtError> {
         let col_bytes = m.div_ceil(8);
-        let u = ch.recv()?;
+        let IknpColumns(u) = ch.recv_frame()?;
         if u.len() != KAPPA * col_bytes {
             return Err(OtError::Malformed("IKNP column batch has wrong length"));
         }
@@ -89,7 +90,7 @@ impl IknpSender {
     /// # Errors
     ///
     /// Returns an error on disconnection or malformed receiver messages.
-    pub fn send<T: Transport>(
+    pub fn send_chosen<T: Transport>(
         &mut self,
         ch: &mut T,
         pairs: &[(Block, Block)],
@@ -102,7 +103,7 @@ impl IknpSender {
             cts.push(pair.0 ^ self.hash.hash_block(t, *q));
             cts.push(pair.1 ^ self.hash.hash_block(t, *q ^ self.s_block));
         }
-        ch.send_blocks(&cts)?;
+        ch.send_frame(&IknpCts(cts))?;
         Ok(())
     }
 
@@ -155,7 +156,7 @@ impl IknpSender {
             corrections.push(ring.sub(ring.add(x0, delta), mask1));
             x0s.push(x0);
         }
-        ch.send_owned(ring.encode_slice(&corrections))?;
+        ch.send_frame(&OtCorrections(ring.encode_slice(&corrections)))?;
         Ok(x0s)
     }
 
@@ -198,7 +199,7 @@ impl IknpSender {
             }
             x0s.push(x0);
         }
-        ch.send_owned(payload)?;
+        ch.send_frame(&OtVecPayload(payload))?;
         Ok(x0s)
     }
 
@@ -251,7 +252,7 @@ impl IknpReceiver {
             u.extend_from_slice(&ui);
             t_cols.push(t0);
         }
-        ch.send_owned(u)?;
+        ch.send_frame(&IknpColumns(u))?;
         let rows = transpose_columns(&t_cols, m);
         Ok(rows
             .into_iter()
@@ -271,7 +272,7 @@ impl IknpReceiver {
     ) -> Result<Vec<Block>, OtError> {
         let ts = self.extend_rows(ch, choices)?;
         let base_tweak = self.bump_tweak(choices.len());
-        let cts = ch.recv_blocks()?;
+        let IknpCts(cts) = ch.recv_frame()?;
         if cts.len() != 2 * choices.len() {
             return Err(OtError::Malformed("IKNP ciphertext batch has wrong length"));
         }
@@ -318,7 +319,7 @@ impl IknpReceiver {
     ) -> Result<Vec<u64>, OtError> {
         let ts = self.extend_rows(ch, choices)?;
         let base_tweak = self.bump_tweak(choices.len());
-        let corr_bytes = ch.recv()?;
+        let OtCorrections(corr_bytes) = ch.recv_frame()?;
         if corr_bytes.len() != ring.byte_len() * choices.len() {
             return Err(OtError::Malformed("C-OT correction batch has wrong length"));
         }
@@ -356,7 +357,7 @@ impl IknpReceiver {
         let ts = self.extend_rows(ch, choices)?;
         let base_tweak = self.bump_tweak(choices.len());
         let elem_len = width * ring.byte_len();
-        let payload = ch.recv()?;
+        let OtVecPayload(payload) = ch.recv_frame()?;
         if payload.len() != elem_len * choices.len() {
             return Err(OtError::Malformed("vector C-OT correction batch length"));
         }
@@ -428,7 +429,7 @@ mod tests {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(4);
                 let pairs: Vec<(Block, Block)> =
                     (0..m).map(|_| (Block::random(&mut rng), Block::random(&mut rng))).collect();
-                s.send(ch, &pairs).expect("send");
+                s.send_chosen(ch, &pairs).expect("send");
                 pairs
             },
             choices2,
@@ -503,8 +504,8 @@ mod tests {
                 let pairs: Vec<(Block, Block)> = (0..3)
                     .map(|i| (Block::from(i as u128), Block::from((i + 10) as u128)))
                     .collect();
-                s.send(ch, &pairs).expect("send 1");
-                s.send(ch, &pairs).expect("send 2");
+                s.send_chosen(ch, &pairs).expect("send 1");
+                s.send_chosen(ch, &pairs).expect("send 2");
                 (pairs.clone(), pairs)
             },
             move |r, ch| {
@@ -527,7 +528,7 @@ mod tests {
                 let pairs: Vec<(Block, Block)> = (0..13)
                     .map(|i| (Block::from(i as u128), Block::from((100 + i) as u128)))
                     .collect();
-                s.send(ch, &pairs).expect("send");
+                s.send_chosen(ch, &pairs).expect("send");
                 pairs
             },
             choices,

@@ -14,6 +14,7 @@
 //! (§4.1.3), where the mask for symbol 0 is itself the sender's share.
 
 use crate::bits::{get_bit, transpose_columns, xor_in_place};
+use crate::frames::KkColumns;
 use crate::{base, OtError};
 use abnn2_crypto::{Block, Prg, RoHash};
 use abnn2_net::Transport;
@@ -113,7 +114,7 @@ impl KkSender {
     /// Returns an error on disconnection or malformed chooser messages.
     pub fn extend<T: Transport>(&mut self, ch: &mut T, m: usize) -> Result<KkSenderKeys, OtError> {
         let col_bytes = m.div_ceil(8);
-        let u = ch.recv()?;
+        let KkColumns(u) = ch.recv_frame()?;
         if u.len() != CODE_LEN * col_bytes {
             return Err(OtError::Malformed("KK13 column batch has wrong length"));
         }
@@ -252,7 +253,7 @@ impl KkChooser {
             u.extend_from_slice(&ui);
             t0_cols.push(t0);
         }
-        ch.send_owned(u)?;
+        ch.send_frame(&KkColumns(u))?;
 
         let rows = transpose_columns(&t0_cols, m)
             .into_iter()

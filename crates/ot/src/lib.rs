@@ -21,6 +21,7 @@
 pub mod base;
 pub mod bits;
 pub mod error;
+pub mod frames;
 pub mod iknp;
 pub mod kk13;
 

@@ -8,6 +8,7 @@
 //! tests) can verify a warm request moved *zero* offline-phase bytes.
 
 use abnn2_core::bundle::ClientBundle;
+use abnn2_core::frames::Bundle;
 use abnn2_core::handshake::{handshake_client_ext, HelloRequest, ResumeToken, SessionParams};
 use abnn2_core::inference::ClientOffline;
 use abnn2_core::session::ClientSession;
@@ -179,7 +180,7 @@ impl ServeClient {
                 } else if reply.bundle {
                     warm = true;
                     ch.enter_phase("bundle");
-                    let bytes = ch.recv()?;
+                    let Bundle(bytes) = ch.recv_frame()?;
                     let bundle = ClientBundle::decode(&bytes, &graph)?;
                     checkpoint = Some(bundle.clone());
                     ClientOffline::from_bundle(session, bundle)

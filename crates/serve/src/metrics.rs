@@ -8,8 +8,8 @@
 //! registration, so the registry's memory stays proportional to *live*
 //! sessions, not total sessions served.
 
-use abnn2_net::{InstrumentHandle, PhaseStats};
-use std::collections::HashMap;
+use abnn2_net::{InstrumentHandle, PhaseStats, TagStats};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -34,6 +34,10 @@ pub struct MetricsSnapshot {
     /// first-seen phase order (`handshake`, `setup`, `bundle`/`offline`,
     /// `online` for a typical server).
     pub phases: Vec<(String, PhaseStats)>,
+    /// Per-frame-tag traffic summed over every session ever registered,
+    /// ordered by tag byte ([`abnn2_net::wire::tags`] names them). Byte
+    /// counts exclude the tag byte itself.
+    pub tags: Vec<(u8, TagStats)>,
 }
 
 impl MetricsSnapshot {
@@ -53,6 +57,13 @@ impl MetricsSnapshot {
         }
         total
     }
+
+    /// Total traffic carried under the frame tag, zero if the tag was
+    /// never seen.
+    #[must_use]
+    pub fn tag(&self, tag: u8) -> TagStats {
+        self.tags.iter().find(|&&(t, _)| t == tag).map(|&(_, s)| s).unwrap_or_default()
+    }
 }
 
 #[derive(Default)]
@@ -60,6 +71,8 @@ struct PhaseAggregate {
     /// Folded totals of finished sessions, keyed by phase name; the value's
     /// second field is the first-seen rank, for stable reporting order.
     frozen: HashMap<String, (PhaseStats, usize)>,
+    /// Folded per-frame-tag totals of finished sessions.
+    frozen_tags: BTreeMap<u8, TagStats>,
     /// Handles of sessions that may still be producing traffic.
     live: Vec<InstrumentHandle>,
 }
@@ -69,6 +82,9 @@ impl PhaseAggregate {
         for (name, stats) in handle.phases() {
             let rank = self.frozen.len();
             self.frozen.entry(name).or_insert((PhaseStats::default(), rank)).0.merge(&stats);
+        }
+        for (tag, stats) in handle.tags() {
+            self.frozen_tags.entry(tag).or_default().merge(&stats);
         }
     }
 
@@ -96,6 +112,16 @@ impl PhaseAggregate {
             merged.into_iter().map(|(n, (s, rank))| (n, s, rank)).collect();
         out.sort_by_key(|&(_, _, rank)| rank);
         out.into_iter().map(|(n, s, _)| (n, s)).collect()
+    }
+
+    fn tag_totals(&self) -> Vec<(u8, TagStats)> {
+        let mut merged = self.frozen_tags.clone();
+        for handle in &self.live {
+            for (tag, stats) in handle.tags() {
+                merged.entry(tag).or_default().merge(&stats);
+            }
+        }
+        merged.into_iter().collect()
     }
 }
 
@@ -163,6 +189,7 @@ impl MetricsRegistry {
     /// (pass `PoolSnapshot::default()` when no pool is attached).
     #[must_use]
     pub fn snapshot(&self, pool: PoolSnapshot) -> MetricsSnapshot {
+        let agg = self.phases.lock().expect("metrics lock");
         MetricsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -170,7 +197,8 @@ impl MetricsRegistry {
             failed: self.failed.load(Ordering::Relaxed),
             active: self.active.load(Ordering::Relaxed),
             pool,
-            phases: self.phases.lock().expect("metrics lock").totals(),
+            phases: agg.totals(),
+            tags: agg.tag_totals(),
         }
     }
 }
@@ -195,8 +223,8 @@ mod tests {
         let mut t = InstrumentedTransport::new(a);
         reg.register(t.handle());
         t.enter_phase("online");
-        t.send(b"12345").unwrap();
-        let _ = b.recv().unwrap();
+        t.send_u64(12345).unwrap();
+        let _ = b.recv_u64().unwrap();
 
         let snap = reg.snapshot(PoolSnapshot::default());
         assert_eq!(snap.accepted, 2);
@@ -204,8 +232,13 @@ mod tests {
         assert_eq!(snap.completed, 1);
         assert_eq!(snap.failed, 1);
         assert_eq!(snap.active, 0);
-        assert_eq!(snap.phase("online").bytes_sent, 5);
+        // One u64 frame: 1 tag byte + 8 payload bytes.
+        assert_eq!(snap.phase("online").bytes_sent, 9);
         assert_eq!(snap.phase("nonexistent"), PhaseStats::default());
+        // Per-tag counters exclude the tag byte.
+        assert_eq!(snap.tag(abnn2_net::wire::tags::U64).bytes_sent, 8);
+        assert_eq!(snap.tag(abnn2_net::wire::tags::U64).messages_sent, 1);
+        assert_eq!(snap.tag(abnn2_net::wire::tags::BLOCKS), TagStats::default());
     }
 
     #[test]
@@ -216,8 +249,8 @@ mod tests {
             let mut t = InstrumentedTransport::new(a);
             reg.register(t.handle());
             t.enter_phase("online");
-            t.send(b"xx").unwrap();
-            let _ = b.recv().unwrap();
+            t.send_u64(7).unwrap();
+            let _ = b.recv_u64().unwrap();
             // Dropping the transport finishes its handle.
         }
         // Registration compacts; a fresh live session keeps counting.
@@ -230,7 +263,9 @@ mod tests {
             assert!(!agg.frozen.is_empty());
         }
         let snap = reg.snapshot(PoolSnapshot::default());
-        assert_eq!(snap.phase("online").bytes_sent, 6);
+        assert_eq!(snap.phase("online").bytes_sent, 27);
         assert_eq!(snap.phase("online").messages_sent, 3);
+        // Frozen tag totals survive compaction: 3 × 8 payload bytes.
+        assert_eq!(snap.tag(abnn2_net::wire::tags::U64).bytes_sent, 24);
     }
 }

@@ -23,6 +23,7 @@
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::pool::{PoolSnapshot, PrecomputePool};
 use abnn2_core::bundle::{BundleKey, ClientBundle, ServerBundle};
+use abnn2_core::frames::Bundle;
 use abnn2_core::handshake::{handshake_server_ext, reject_busy, SessionParams};
 use abnn2_core::inference::ServerOffline;
 use abnn2_core::resilient::DEFAULT_CHECKPOINT_CAPACITY;
@@ -389,7 +390,7 @@ fn serve_connection(
         } else if reply.bundle {
             let (sb, cb) = pooled.take().expect("accepted bundle implies a pooled pair");
             ch.enter_phase("bundle");
-            ch.send(&cb.encode(shared.info_params.model.config().ring))?;
+            ch.send_frame(&Bundle(cb.encode(shared.info_params.model.config().ring)))?;
             ch.flush()?;
             let state = ServerOffline::from_bundle(session, sb);
             checkpoint = Some(state.to_bundle());

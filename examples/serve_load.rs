@@ -119,6 +119,16 @@ fn report_metrics(server: &Server, total: usize, n_clients: usize, n_requests: u
             s.messages_sent + s.messages_received
         );
     }
+    println!("  per-frame-tag traffic (server side, tag byte excluded):");
+    for (tag, s) in &m.tags {
+        println!(
+            "    0x{tag:02x} {:<24} {:>10} B sent {:>10} B recv {:>6} frames",
+            abnn2::net::wire::tags::name(*tag),
+            s.bytes_sent,
+            s.bytes_received,
+            s.messages_sent + s.messages_received
+        );
+    }
 
     assert_eq!(m.failed, 0, "no session may fail under clean load");
     assert_eq!(total, n_clients * n_requests);

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full local CI gate: build, test, formatting, lints. Run from the repo root.
 #
-#   ./scripts/check.sh [--chaos-seeds N] [--serve-smoke] [--cnn-serve-smoke]
+#   ./scripts/check.sh [--chaos-seeds N] [--serve-smoke] [--cnn-serve-smoke] [--wire-fuzz-smoke]
 #
 # --chaos-seeds N widens the seeded chaos suite (tests/chaos.rs) from its
 # default of 64 seeds without recompiling.
@@ -12,6 +12,12 @@
 #
 # --cnn-serve-smoke does the same with a conv→pool→dense model, proving
 # the graph executor serves spatial topologies through the same frontend.
+#
+# --wire-fuzz-smoke runs the typed-wire-layer adversarial suites in
+# release mode: frame round-trip/truncation/corruption totality
+# (tests/wire_roundtrip.rs), the tag-flip sweep over a live session
+# (tests/chaos.rs), and the per-transport malformed-frame contract
+# (tests/transport_contract.rs).
 #
 # The container has no network access to crates.io; all dependencies are
 # vendored as stubs under stubs/ (see stubs/README.md), so every cargo
@@ -32,6 +38,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --cnn-serve-smoke)
       CNN_SERVE_SMOKE=1
+      shift
+      ;;
+    --wire-fuzz-smoke)
+      WIRE_FUZZ_SMOKE=1
       shift
       ;;
     *)
@@ -66,6 +76,13 @@ fi
 if [[ "${CNN_SERVE_SMOKE:-0}" == "1" ]]; then
   echo "==> CNN serve smoke: 4 concurrent clients x 2 requests"
   cargo run --release --example serve_load -- --cnn --clients 4 --requests 2
+fi
+
+if [[ "${WIRE_FUZZ_SMOKE:-0}" == "1" ]]; then
+  echo "==> wire fuzz smoke: frame totality, tag-flip sweep, transport contract"
+  cargo test --release --test wire_roundtrip
+  cargo test --release --test chaos tag_flip_at_every_entry_point_names_the_expected_frame
+  cargo test --release --test transport_contract
 fi
 
 echo "All checks passed."

@@ -31,7 +31,9 @@ use abnn2::core::inference::{PublicModelInfo, SecureClient, SecureServer};
 use abnn2::core::resilient::{ResilientClient, ResilientServer};
 use abnn2::core::{ProtocolError, SessionDeadlines};
 use abnn2::math::{FragmentScheme, Ring};
-use abnn2::net::{sim_link, FaultPlan, FaultyTransport, NetworkModel, RetryPolicy};
+use abnn2::net::{
+    sim_link, Endpoint, Fault, FaultPlan, FaultyTransport, NetworkModel, RetryPolicy,
+};
 use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
 use abnn2::nn::Network;
 use rand::SeedableRng;
@@ -201,6 +203,74 @@ fn chaos_seeds_complete_exactly_or_fail_typed() {
         failures.len(),
         failures.join("\n")
     );
+}
+
+/// A flipped frame tag at *any* point in the session — swept over every
+/// send index on both sides — must surface as a typed error whose message
+/// names the frame the victim expected (`"… frame tag"`), never as a hang,
+/// a panic, or a wrong answer. This is the typed-wire-layer guarantee the
+/// one-byte tag buys: a desynchronized or corrupted stream is caught at the
+/// first mis-tagged frame, at whichever protocol entry point receives it.
+#[test]
+fn tag_flip_at_every_entry_point_names_the_expected_frame() {
+    let q = tiny_model();
+    let inputs: Vec<Vec<u64>> = vec![vec![700, 1 << 8, 3, 90, 0, 5, 2 << 7, 33, 12, 256]];
+    let expected = q.forward_exact(&inputs[0]);
+
+    /// Enough send indices to sweep past the end of the tiny session on
+    /// either side, so the suite also witnesses clean completions.
+    const SWEEP: u64 = 20;
+    let names_frame = |e: &ProtocolError| e.to_string().contains("frame tag");
+
+    for side in 0..2u64 {
+        let mut landed = 0u32;
+        let mut clean = 0u32;
+        for index in 0..SWEEP {
+            let (a, b) = Endpoint::pair(NetworkModel::instant());
+            let flip = Fault::FlipTag { index };
+            let mut sch = FaultyTransport::new(a, if side == 0 { flip } else { Fault::None });
+            let mut cch = FaultyTransport::new(b, if side == 1 { flip } else { Fault::None });
+            let server = SecureServer::new(q.clone());
+            let client = SecureClient::new(PublicModelInfo::from(&q));
+            let inputs2 = inputs.clone();
+            let (sres, cres) = std::thread::scope(|scope| {
+                let srv = scope.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(index + 9);
+                    server.run(&mut sch, 1, &mut rng)
+                });
+                let mut rng = rand::rngs::StdRng::seed_from_u64(index + 77);
+                let cres = client
+                    .offline(&mut cch, 1, &mut rng)
+                    .and_then(|state| client.online_raw(&mut cch, state, &inputs2, &mut rng));
+                // Close the client's endpoint before joining: a server
+                // still waiting on a client that already errored out must
+                // see `Closed`, not block forever.
+                drop(cch);
+                (srv.join().expect("server thread must not panic"), cres)
+            });
+            match (&sres, &cres) {
+                (Ok(()), Ok(y)) => {
+                    clean += 1;
+                    assert_eq!(y.col(0), expected, "side {side} index {index}: wrong logits");
+                }
+                _ => {
+                    landed += 1;
+                    // The victim of the flipped tag must report a typed
+                    // error naming the expected frame; the flipping side
+                    // may only see the resulting disconnection.
+                    let named = sres.as_ref().err().is_some_and(names_frame)
+                        || cres.as_ref().err().is_some_and(names_frame);
+                    assert!(
+                        named,
+                        "side {side} index {index}: no typed frame-tag error \
+                         (server: {sres:?}, client: {cres:?})"
+                    );
+                }
+            }
+        }
+        assert!(landed >= 5, "side {side}: only {landed} flips landed — sweep too short?");
+        assert!(clean >= 1, "side {side}: no clean run — raise SWEEP to cover the session");
+    }
 }
 
 /// The same contract under a latency-bearing network model: virtual-clock

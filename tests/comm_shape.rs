@@ -5,7 +5,7 @@
 
 use abnn2::core::matmul::{triplet_client, triplet_server, TripletMode};
 use abnn2::math::{FragmentScheme, Matrix, Ring};
-use abnn2::net::{run_pair, NetworkModel};
+use abnn2::net::{run_pair, Endpoint, InstrumentedTransport, NetworkModel};
 use abnn2::ot::{IknpReceiver, IknpSender, KkChooser, KkSender};
 use rand::SeedableRng;
 
@@ -154,6 +154,60 @@ fn minionn_comm_is_bitwidth_independent_ours_is_not() {
         ot_ratio > 2.0,
         "ABNN² bytes must scale with bitwidth: binary {ours_binary} vs 8-bit {ours_8bit}"
     );
+}
+
+/// Section 4.2's message count, now measurable *per frame tag* on the
+/// wire: in one-batch mode the client answers each KK13 OT with N−1
+/// masked messages, so for η = 8 under the (2,2,2,2) scheme the
+/// `TRIPLET_MASKED` tag must carry exactly γ batches totalling
+/// γ·(N−1)·m·n·elem bytes — and nothing else may ride under that tag.
+#[test]
+fn kk13_masked_message_bytes_match_the_papers_gamma_n_minus_one_count() {
+    use abnn2::net::wire::tags;
+    let scheme = FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]);
+    let ring = Ring::new(32);
+    let (m, n, o) = (16usize, 32usize, 1usize);
+
+    let weights = {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (lo, hi) = scheme.weight_range();
+        (0..m * n).map(|_| rng.gen_range(lo..=hi)).collect::<Vec<i64>>()
+    };
+    let (server_ep, client_ep) = Endpoint::pair(NetworkModel::instant());
+    let mut client_ch = InstrumentedTransport::new(client_ep);
+    let handle = client_ch.handle();
+    let (s1, s2) = (scheme.clone(), scheme.clone());
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut ch = server_ep;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+            let mut kk = KkChooser::setup(&mut ch, &mut rng).expect("setup");
+            triplet_server(&mut ch, &mut kk, &weights, m, n, o, &s1, ring, TripletMode::OneBatch)
+                .expect("server");
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut kk = KkSender::setup(&mut client_ch, &mut rng).expect("setup");
+        let r = Matrix::random(n, o, &ring, &mut rng);
+        triplet_client(&mut client_ch, &mut kk, &r, m, &s2, ring, TripletMode::OneBatch, &mut rng)
+            .expect("client");
+    });
+
+    let stats = handle.tag(tags::TRIPLET_MASKED);
+    // One TRIPLET_MASKED frame per fragment group…
+    let gamma = scheme.fragments().len() as u64;
+    assert_eq!(gamma, 4);
+    assert_eq!(stats.messages_sent, gamma);
+    // …carrying the paper's γ(N−1) masked messages of m·n·elem bytes.
+    let elem = (o * ring.byte_len()) as u64;
+    let expected: u64 =
+        scheme.fragments().iter().map(|frag| (frag.n - 1) * (m * n) as u64 * elem).sum();
+    assert_eq!(stats.bytes_sent, expected);
+    // Pinned absolute count for this shape: 4 groups × 3 masked messages
+    // × 512 OTs × 4 bytes.
+    assert_eq!(stats.bytes_sent, 24_576);
+    // The count is exclusive: triplet traffic under no other core tag.
+    assert_eq!(handle.tag(tags::BLINDED_INPUT).bytes_sent, 0);
 }
 
 /// WAN latency shows up in simulated time but not in LAN runs — the

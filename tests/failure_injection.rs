@@ -143,7 +143,7 @@ fn faulty_truncated_gc_table_is_malformed() {
     });
     assert_eq!(
         evaluator_result.err(),
-        Some(GcError::Malformed("block message length")),
+        Some(GcError::Malformed("garbled table stream frame length")),
         "truncation must be typed as Malformed, not Closed"
     );
     // The garbler may or may not notice (the evaluator hangs up); it must
@@ -194,10 +194,11 @@ fn wrong_length_triplet_payload_rejected() {
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(8);
             let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
-            // Participate in the OT extension but then send garbage of the
-            // wrong length instead of the ciphertext batch.
+            // Participate in the OT extension but then send a correctly
+            // tagged ciphertext batch of the wrong length: the frame layer
+            // passes it through, the triplet length check must reject it.
             let _ = kk.extend(ch, 2).expect("extend");
-            ch.send(&[0u8; 3]).expect("send");
+            ch.send(&[abnn2::net::wire::tags::TRIPLET_MASKED, 0, 0, 0]).expect("send");
         },
     );
     assert_eq!(
@@ -217,10 +218,13 @@ fn invalid_curve_point_rejected_by_base_ot() {
         });
         let h2 = s.spawn(move || {
             let mut ch = pair_b;
-            // Receive the setup point, then reply with 64 bytes that are
-            // not a curve point.
+            // Receive the setup point, then reply with a well-framed
+            // 64-byte batch that is not a curve point: framing passes,
+            // curve validation must reject it.
             let _ = ch.recv().expect("setup point");
-            ch.send(&[0xFFu8; 64]).expect("send junk");
+            let mut junk = vec![abnn2::net::wire::tags::BASE_POINT_BATCH];
+            junk.extend_from_slice(&[0xFFu8; 64]);
+            ch.send(&junk).expect("send junk");
         });
         (h1.join().expect("sender"), h2.join().expect("receiver"))
     });
@@ -233,14 +237,14 @@ fn transport_errors_convert_through_the_stack() {
     // Closed/Malformed distinction and display meaningfully.
     let p: ProtocolError = TransportError::Closed.into();
     assert_eq!(p, ProtocolError::Channel);
-    let p: ProtocolError = TransportError::Malformed("u64 message length").into();
-    assert_eq!(p, ProtocolError::Malformed("u64 message length"));
+    let p: ProtocolError = TransportError::Malformed("u64 frame length").into();
+    assert_eq!(p, ProtocolError::Malformed("u64 frame length"));
     let p: ProtocolError = OtError::Channel.into();
     assert!(p.to_string().contains("oblivious transfer"));
     let p: ProtocolError = GcError::Malformed("x").into();
     assert!(p.to_string().contains("garbled circuit"));
-    let g: GcError = TransportError::Malformed("block message length").into();
-    assert_eq!(g, GcError::Malformed("block message length"));
+    let g: GcError = TransportError::Malformed("block batch frame length").into();
+    assert_eq!(g, GcError::Malformed("block batch frame length"));
     let o: OtError = TransportError::Closed.into();
     assert_eq!(o, OtError::Channel);
 }

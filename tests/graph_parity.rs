@@ -136,8 +136,8 @@ fn cnn_total_bytes(seed: u64, scheme: FragmentScheme) -> u64 {
     report.total_bytes()
 }
 
-/// Pre-refactor transcript payload bytes, measured at commit 7861c07 with
-/// the models and seeds above, keyed by scheme name.
+/// Pre-frame (protocol v2) transcript payload bytes, measured at commit
+/// 7861c07 with the models and seeds above, keyed by scheme name.
 const GOLDEN_MLP: [(&str, u64); 5] = [
     ("eta2-ternary", 202_656),
     ("eta3", 209_376),
@@ -155,36 +155,77 @@ const GOLDEN_CNN: [(&str, u64); 5] = [
 ];
 
 /// The pre-refactor CNN pipeline had no hello exchange; the graph
-/// executor runs CNN sessions through the same handshake as MLPs, adding
-/// exactly one 56-byte hello frame in each direction.
+/// executor runs CNN sessions through the same version/parameter
+/// handshake the MLP always had, adding one 56-byte hello payload in each
+/// direction.
 const CNN_HANDSHAKE_DELTA: u64 = 2 * 56;
+
+/// Per-frame-type tag overhead of protocol v3: every message now carries
+/// a one-byte frame tag, so a session's transcript grows by exactly its
+/// frame count over the v2 goldens. Rows are (frame type, frames per
+/// session); `gamma` is the scheme's fragment-group count γ,
+/// `linear_layers` the number of Dense/Conv ops, and `gc_rounds` the
+/// number of garbled-circuit executions (one per ReLU layer, plus one per
+/// MaxPool for the CNN). The MLP here runs 3 linear layers and 2 ReLU
+/// rounds; the CNN 3 linear layers and 3 GC rounds (2 ReLU + 1 MaxPool).
+fn frames_per_session(gamma: u64, linear_layers: u64, gc_rounds: u64) -> [(&'static str, u64); 13] {
+    [
+        // Handshake: one hello each way.
+        ("hello", 2),
+        // Base OTs seed IKNP and KK13 once per session (sender side).
+        ("base-OT setup point", 2),
+        ("base-OT point batch", 2),
+        ("base-OT ciphertext batch", 2),
+        // One IKNP extension per GC round (evaluator input labels).
+        ("IKNP column matrix", gc_rounds),
+        ("IKNP ciphertext batch", gc_rounds),
+        // One KK13 extension + one masked batch per fragment group per
+        // linear layer (the paper's γ(N−1) messages ride in the latter).
+        ("KK13 column matrix", gamma * linear_layers),
+        ("masked triplet batch", gamma * linear_layers),
+        // Garbled-circuit material, once per GC round.
+        ("garbler input labels", gc_rounds),
+        ("garbled AND tables", gc_rounds),
+        ("output decode map", gc_rounds),
+        // Online phase: blinded input in, logit shares out.
+        ("blinded input shares", 1),
+        ("output shares", 1),
+    ]
+}
+
+/// Total tag bytes a session adds over its v2 golden: one per frame.
+fn tag_overhead(gamma: u64, linear_layers: u64, gc_rounds: u64) -> u64 {
+    frames_per_session(gamma, linear_layers, gc_rounds).iter().map(|&(_, n)| n).sum()
+}
 
 fn golden(table: &[(&str, u64); 5], name: &str) -> u64 {
     table.iter().find(|(n, _)| *n == name).map(|&(_, b)| b).expect("scheme in golden table")
 }
 
 #[test]
-fn mlp_transcript_matches_pre_refactor_golden() {
+fn mlp_transcript_matches_pre_refactor_golden_plus_frame_tags() {
     for (name, scheme) in schemes() {
+        let gamma = scheme.fragments().len() as u64;
         let bytes = mlp_total_bytes(0x41, scheme);
         assert_eq!(
             bytes,
-            golden(&GOLDEN_MLP, name),
-            "MLP {name}: graph executor moved a different number of bytes \
-             than the hand-rolled pipeline"
+            golden(&GOLDEN_MLP, name) + tag_overhead(gamma, 3, 2),
+            "MLP {name}: transcript must equal the v2 golden plus exactly \
+             one tag byte per frame"
         );
     }
 }
 
 #[test]
-fn cnn_transcript_matches_pre_refactor_golden_plus_handshake() {
+fn cnn_transcript_matches_pre_refactor_golden_plus_handshake_and_tags() {
     for (name, scheme) in schemes() {
+        let gamma = scheme.fragments().len() as u64;
         let bytes = cnn_total_bytes(0x42, scheme);
         assert_eq!(
             bytes,
-            golden(&GOLDEN_CNN, name) + CNN_HANDSHAKE_DELTA,
-            "CNN {name}: graph executor moved a different number of bytes \
-             than the hand-rolled pipeline (modulo the new handshake)"
+            golden(&GOLDEN_CNN, name) + CNN_HANDSHAKE_DELTA + tag_overhead(gamma, 3, 3),
+            "CNN {name}: transcript must equal the v2 golden plus the \
+             handshake delta plus exactly one tag byte per frame"
         );
     }
 }

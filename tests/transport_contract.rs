@@ -30,24 +30,33 @@ fn check_round_trip_and_stats<A: Transport, B: Transport>(a: &mut A, b: &mut B) 
     b.flush().unwrap();
     assert_eq!(a.recv().unwrap(), vec![7u8; 3]);
 
-    // Application payload bytes only: 4 + 8 + 32 + 0 one way, 3 the other.
+    // Application payload bytes only: raw sends are untagged (4 + 0),
+    // typed helpers are frames with a one-byte tag (9 + 33); 3 the other
+    // way.
     let snap_a = a.snapshot();
-    assert_eq!(snap_a.bytes_sent, 44);
+    assert_eq!(snap_a.bytes_sent, 46);
     assert_eq!(snap_a.messages_sent, 4);
     assert_eq!(snap_a.bytes_received, 3);
-    assert_eq!(b.snapshot().bytes_received, 44);
+    assert_eq!(b.snapshot().bytes_received, 46);
 }
 
-/// Typed receive helpers must reject wrong-length payloads as `Malformed`,
-/// naming the violated frame kind, and leave the connection usable.
+/// Typed receive helpers must reject mistagged and wrong-length messages
+/// as `Malformed`, naming the violated frame kind, and leave the
+/// connection usable.
 fn check_malformed_frames<A: Transport, B: Transport>(a: &mut A, b: &mut B) {
     a.send(b"123").unwrap();
     a.flush().unwrap();
-    assert_eq!(b.recv_u64(), Err(TransportError::Malformed("u64 message length")));
+    assert_eq!(b.recv_u64(), Err(TransportError::Malformed("u64 frame tag")));
 
-    a.send(&[0u8; 17]).unwrap();
+    a.send(&[abnn2::net::wire::tags::U64, 1, 2, 3]).unwrap();
     a.flush().unwrap();
-    assert_eq!(b.recv_blocks(), Err(TransportError::Malformed("block message length")));
+    assert_eq!(b.recv_u64(), Err(TransportError::Malformed("u64 frame length")));
+
+    let mut blocks = vec![abnn2::net::wire::tags::BLOCKS];
+    blocks.extend_from_slice(&[0u8; 17]);
+    a.send(&blocks).unwrap();
+    a.flush().unwrap();
+    assert_eq!(b.recv_blocks(), Err(TransportError::Malformed("block batch frame length")));
 
     // A framing violation is not a disconnection: traffic continues.
     a.send_u64(99).unwrap();
@@ -149,5 +158,7 @@ fn faulty_over_tcp_truncates_one_message() {
     let mut c = c;
     s.send_u64(u64::MAX).unwrap();
     s.flush().unwrap();
-    assert_eq!(c.recv_u64(), Err(TransportError::Malformed("u64 message length")));
+    // keep = 2 leaves the tag byte plus one payload byte: the tag check
+    // passes, the length check rejects.
+    assert_eq!(c.recv_u64(), Err(TransportError::Malformed("u64 frame length")));
 }
