@@ -1,0 +1,676 @@
+//! Suspendable server-side session engine (§3g of DESIGN.md).
+//!
+//! [`SessionDriver`] re-expresses the server side of the protocol —
+//! hello/handshake → base OT → IKNP/KK13 offline → blinded-input/online →
+//! output — as a resumable state machine whose only I/O is a stream of
+//! [`DriverEffect`]s: frames to send, flushes, and phase marks. Inbound
+//! frames are [`fed`](SessionDriver::feed) in whole; when the driver needs
+//! a frame that has not arrived it parks with [`DriverStep::NeedRecv`]
+//! instead of blocking a thread, which lets one event-loop worker
+//! multiplex many live sessions over readiness-based I/O.
+//!
+//! # How suspension works
+//!
+//! The protocol stack (base OT, IKNP, KK13, garbled circuits) is written
+//! as straight-line blocking code against the [`Transport`] trait, and
+//! rewriting it in continuation-passing style would fork every
+//! cryptographic code path. The driver instead exploits three properties
+//! of the *server* side:
+//!
+//! 1. every phase is a **deterministic** function of its entry state, the
+//!    RNG stream, and the prefix of inbound frames it consumes (the server
+//!    phases after base-OT setup consume no randomness at all);
+//! 2. all server session state ([`ServerSession`], [`ServerOffline`]) is
+//!    cheaply cloneable, so each phase keeps its entry snapshot;
+//! 3. the protocol is strictly turn-based, so a phase consumes a small,
+//!    bounded number of frames.
+//!
+//! Each [`step`](SessionDriver::step) therefore *replays* the current
+//! phase from its entry snapshot against the buffered inbox. A recv past
+//! the end of the inbox raises [`TransportError::WouldBlock`], marks the
+//! attempt starved, and parks the driver; effects performed before the
+//! starvation point are externalized once and suppressed by count on the
+//! next attempt. When the phase function returns `Ok`, its consumed
+//! frames leave the inbox and the machine advances. The transcript this
+//! produces is byte-identical to the blocking path — `tests/graph_parity.rs`
+//! pins that equivalence against pre-refactor goldens — and
+//! [`drive_blocking`] reimplements the blocking flow as a thin adapter
+//! over the driver.
+
+use crate::bundle::{ClientBundle, ServerBundle};
+use crate::frames::Bundle;
+use crate::handshake::{handshake_server_ext, HelloReply, ResumeToken, SessionParams};
+use crate::inference::{SecureServer, ServerOffline};
+use crate::session::ServerSession;
+use crate::ProtocolError;
+use abnn2_net::{CommSnapshot, Transport, TransportError};
+use rand::rngs::StdRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where a session's side data (parameters, resume checkpoints, warm
+/// bundles) comes from. The serving layer implements this over its
+/// per-worker stores; [`NullHost`] declines everything for the plain
+/// blocking flow.
+///
+/// The driver consults each method at most once per session, during the
+/// handshake phase, and only for a parameter-matched peer — so a claim or
+/// take may have side effects (removal from a store) without risking
+/// double consumption on replay.
+pub trait SessionHost {
+    /// Our session parameters for the batch size the client announced.
+    fn params_for(&self, batch: usize) -> SessionParams;
+
+    /// Claims (removes) the resume checkpoint for `token`, if held.
+    fn claim_checkpoint(&self, token: &ResumeToken) -> Option<ServerBundle>;
+
+    /// Takes a warm precomputed bundle pair matching the negotiated
+    /// parameters, if one is ready. Answering `Some` commits the session
+    /// to sending the client half right after base-OT setup.
+    fn take_bundle(&self, params: &SessionParams) -> Option<(ServerBundle, ClientBundle)>;
+}
+
+/// A host that never resumes and never deals bundles: the
+/// [`SecureServer::run`] flow, where the server announces fixed
+/// parameters regardless of the client's batch (a mismatch is a
+/// negotiation failure, not something to adopt).
+#[derive(Debug, Clone)]
+pub struct NullHost {
+    /// The parameters announced to every client.
+    pub ours: SessionParams,
+}
+
+impl SessionHost for NullHost {
+    fn params_for(&self, _batch: usize) -> SessionParams {
+        self.ours
+    }
+    fn claim_checkpoint(&self, _token: &ResumeToken) -> Option<ServerBundle> {
+        None
+    }
+    fn take_bundle(&self, _params: &SessionParams) -> Option<(ServerBundle, ClientBundle)> {
+        None
+    }
+}
+
+/// One externally visible I/O action of a driver step, in execution
+/// order. `Send` and `Flush` must be performed against the peer
+/// connection; `Recv` and `Mark` are bookkeeping mirrors (a frame was
+/// consumed from the inbox / the session entered an instrumentation
+/// phase) so an event loop can meter per-phase traffic and arm phase
+/// budgets without looking inside the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverEffect {
+    /// Send this frame (tag byte + payload) to the peer.
+    Send(Vec<u8>),
+    /// Push any write-coalescing buffer down to the wire.
+    Flush,
+    /// The driver consumed one inbound frame with this leading tag byte
+    /// and this total length (tag byte included).
+    Recv {
+        /// The frame's leading tag byte (0 for an empty frame).
+        tag: u8,
+        /// The frame's total length in bytes.
+        len: usize,
+    },
+    /// The session entered the named instrumentation phase.
+    Mark(String),
+}
+
+/// Outcome of one [`SessionDriver::step`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverStep {
+    /// Parked: the driver needs at least one more inbound frame
+    /// ([`SessionDriver::feed`]) before it can advance.
+    NeedRecv,
+    /// The session ran to completion.
+    Done,
+    /// The session failed. Pending effects (e.g. the hello reply of a
+    /// failed negotiation) must still be externalized.
+    Failed(ProtocolError),
+}
+
+/// Deterministic replay channel: protocol code runs against the buffered
+/// inbox; a recv past its end raises [`TransportError::WouldBlock`] and
+/// flags starvation, and outbound traffic is captured as
+/// [`DriverEffect`]s. Events performed by an earlier starved attempt of
+/// the same phase are suppressed by count on replay — sound because each
+/// phase is a deterministic function of its entry snapshot and the inbox
+/// prefix it reads.
+#[derive(Debug, Default)]
+struct ReplayTransport {
+    /// Buffered inbound frames; consumed only when a phase completes.
+    inbox: Vec<Vec<u8>>,
+    /// Next inbox index the current attempt will read.
+    cursor: usize,
+    /// Events already externalized by earlier attempts of this phase.
+    committed: usize,
+    /// Events performed so far by the current attempt.
+    events: usize,
+    /// Fresh effects from the current attempt, in order.
+    effects: Vec<DriverEffect>,
+    /// The current attempt read past the end of the inbox.
+    starved: bool,
+    sent: u64,
+    received: u64,
+    messages_sent: u64,
+}
+
+impl ReplayTransport {
+    fn begin_attempt(&mut self) {
+        debug_assert!(self.effects.is_empty(), "effects drained between attempts");
+        self.cursor = 0;
+        self.events = 0;
+        self.starved = false;
+    }
+
+    /// Counts one event; returns whether it is fresh (not yet
+    /// externalized by an earlier attempt) and records its effect if so.
+    fn note_event(&mut self, effect: impl FnOnce() -> DriverEffect) -> bool {
+        let fresh = self.events >= self.committed;
+        self.events += 1;
+        if fresh {
+            self.effects.push(effect());
+        }
+        fresh
+    }
+}
+
+impl Transport for ReplayTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        let len = payload.len() as u64;
+        if self.note_event(|| DriverEffect::Send(payload.to_vec())) {
+            self.sent += len;
+            self.messages_sent += 1;
+        }
+        Ok(())
+    }
+
+    fn send_owned(&mut self, payload: Vec<u8>) -> Result<(), TransportError> {
+        let len = payload.len() as u64;
+        if self.note_event(|| DriverEffect::Send(payload)) {
+            self.sent += len;
+            self.messages_sent += 1;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        let Some(frame) = self.inbox.get(self.cursor) else {
+            self.starved = true;
+            return Err(TransportError::WouldBlock);
+        };
+        let frame = frame.clone();
+        self.cursor += 1;
+        let (tag, len) = (frame.first().copied().unwrap_or(0), frame.len());
+        if self.note_event(|| DriverEffect::Recv { tag, len }) {
+            self.received += len as u64;
+        }
+        Ok(frame)
+    }
+
+    fn flush(&mut self) -> Result<(), TransportError> {
+        self.note_event(|| DriverEffect::Flush);
+        Ok(())
+    }
+
+    fn snapshot(&self) -> CommSnapshot {
+        CommSnapshot {
+            bytes_sent: self.sent,
+            bytes_received: self.received,
+            messages_sent: self.messages_sent,
+            vtime: Duration::ZERO,
+        }
+    }
+
+    fn mark_phase(&mut self, label: &str) {
+        let label = label.to_string();
+        self.note_event(|| DriverEffect::Mark(label));
+    }
+}
+
+/// The machine's position in the protocol. Each live variant holds the
+/// entry snapshot its phase replays from.
+enum State {
+    Handshake,
+    Setup {
+        batch: usize,
+        reply: HelloReply,
+        claimed: Option<ServerBundle>,
+        pooled: Option<(ServerBundle, ClientBundle)>,
+    },
+    Offline {
+        session: ServerSession,
+        batch: usize,
+    },
+    Online {
+        state: ServerOffline,
+    },
+    Done,
+    Failed(ProtocolError),
+}
+
+/// Resumable server-side protocol session. See the module docs for the
+/// replay mechanics; see [`drive_blocking`] for the synchronous adapter
+/// and `abnn2-serve` for the event-loop host.
+pub struct SessionDriver<H: SessionHost> {
+    server: Arc<SecureServer>,
+    host: H,
+    rng: StdRng,
+    replay: ReplayTransport,
+    state: State,
+    token: Option<ResumeToken>,
+    checkpoint: Option<ServerBundle>,
+    pending: Vec<DriverEffect>,
+    /// Inbox length at the last starvation, to skip no-progress replays.
+    parked_at: Option<usize>,
+}
+
+impl<H: SessionHost> std::fmt::Debug for SessionDriver<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionDriver")
+            .field("phase", &self.phase())
+            .field("inbox", &self.replay.inbox.len())
+            .field("pending_effects", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<H: SessionHost> SessionDriver<H> {
+    /// A driver at the start of the handshake. `rng` feeds base-OT setup
+    /// (the only server phase that consumes randomness).
+    #[must_use]
+    pub fn new(server: Arc<SecureServer>, host: H, rng: StdRng) -> Self {
+        SessionDriver {
+            server,
+            host,
+            rng,
+            replay: ReplayTransport::default(),
+            state: State::Handshake,
+            token: None,
+            checkpoint: None,
+            pending: Vec::new(),
+            parked_at: None,
+        }
+    }
+
+    /// Buffers one complete inbound frame for the next [`step`](Self::step).
+    pub fn feed(&mut self, frame: Vec<u8>) {
+        self.replay.inbox.push(frame);
+    }
+
+    /// Drains the effects produced so far, in execution order. `Send` and
+    /// `Flush` effects must be applied to the peer connection — including
+    /// after [`DriverStep::Failed`], which may leave a negotiation reply
+    /// pending.
+    pub fn take_effects(&mut self) -> Vec<DriverEffect> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// The resume token the client presented (known once the handshake
+    /// phase has completed).
+    #[must_use]
+    pub fn token(&self) -> Option<ResumeToken> {
+        self.token
+    }
+
+    /// Removes and returns the connection-independent offline state a
+    /// reconnecting client could resume from. The hosting layer inserts
+    /// it into a checkpoint store when the session dies retryably.
+    pub fn take_checkpoint(&mut self) -> Option<ServerBundle> {
+        self.checkpoint.take()
+    }
+
+    /// The error a failed driver stopped with.
+    #[must_use]
+    pub fn error(&self) -> Option<ProtocolError> {
+        match self.state {
+            State::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The top-level phase the machine is in: `"handshake"`, `"setup"`,
+    /// `"offline"`, `"online"`, `"done"`, or `"failed"`. Event loops key
+    /// phase deadline budgets off this.
+    #[must_use]
+    pub fn phase(&self) -> &'static str {
+        match self.state {
+            State::Handshake => "handshake",
+            State::Setup { .. } => "setup",
+            State::Offline { .. } => "offline",
+            State::Online { .. } => "online",
+            State::Done => "done",
+            State::Failed(_) => "failed",
+        }
+    }
+
+    /// Advances the machine as far as the buffered inbox allows: phases
+    /// complete and chain until one parks on a missing frame, fails, or
+    /// the session finishes. Idempotent once `Done`/`Failed` is reached.
+    pub fn step(&mut self) -> DriverStep {
+        loop {
+            match self.state {
+                State::Done => return DriverStep::Done,
+                State::Failed(e) => return DriverStep::Failed(e),
+                _ => {}
+            }
+            // Replaying with no new frames since the last starvation
+            // cannot make progress; skip the wasted work.
+            if let Some(n) = self.parked_at {
+                if self.replay.inbox.len() == n {
+                    return DriverStep::NeedRecv;
+                }
+            }
+            self.parked_at = None;
+
+            // Each attempt runs on a clone of the RNG so a starved
+            // attempt leaves the stream untouched and the replay is
+            // bit-reproducible.
+            let mut rng = self.rng.clone();
+            self.replay.begin_attempt();
+            let outcome = self.run_phase(&mut rng);
+            let cursor = self.replay.cursor;
+            let events = self.replay.events;
+            self.pending.append(&mut self.replay.effects);
+            match outcome {
+                Ok(next) => {
+                    self.replay.inbox.drain(..cursor);
+                    self.replay.committed = 0;
+                    self.rng = rng;
+                    self.state = next;
+                }
+                Err(_) if self.replay.starved => {
+                    self.replay.committed = events;
+                    self.parked_at = Some(self.replay.inbox.len());
+                    return DriverStep::NeedRecv;
+                }
+                Err(e) => {
+                    self.state = State::Failed(e);
+                }
+            }
+        }
+    }
+
+    /// Runs the current phase over the replay channel, returning the next
+    /// state. Mutations of driver fields other than the replay channel
+    /// happen only after the phase's last recv, so starved attempts leave
+    /// the driver unchanged.
+    fn run_phase(&mut self, rng: &mut StdRng) -> Result<State, ProtocolError> {
+        let ch = &mut self.replay;
+        match &mut self.state {
+            State::Handshake => {
+                ch.mark_phase("handshake");
+                let host = &self.host;
+                let mut claimed = None;
+                let mut pooled = None;
+                // The host closures run exactly once: the handshake's
+                // only suspension point is its initial recv, before they
+                // are consulted, and everything after that recv is
+                // non-blocking.
+                let (batch, token, reply) = handshake_server_ext(
+                    ch,
+                    |b| host.params_for(b),
+                    |t| {
+                        claimed = host.claim_checkpoint(t);
+                        claimed.is_some()
+                    },
+                    |p| {
+                        pooled = host.take_bundle(p);
+                        pooled.is_some()
+                    },
+                )?;
+                self.token = Some(token);
+                Ok(State::Setup { batch, reply, claimed, pooled })
+            }
+            State::Setup { batch, reply, claimed, pooled } => {
+                let (batch, reply) = (*batch, *reply);
+                ch.mark_phase("setup");
+                let session = ServerSession::setup(ch, rng)?;
+                if reply.resume {
+                    let bundle =
+                        claimed.clone().expect("accepted resume implies a claimed checkpoint");
+                    if bundle.batch != batch {
+                        return Err(ProtocolError::Malformed("resumed checkpoint batch mismatch"));
+                    }
+                    self.checkpoint = Some(bundle.clone());
+                    Ok(State::Online { state: ServerOffline::from_bundle(session, bundle) })
+                } else if reply.bundle {
+                    let (sb, cb) = pooled.clone().expect("accepted bundle implies a pooled pair");
+                    ch.mark_phase("bundle");
+                    ch.send_frame(&Bundle(cb.encode(self.server.model.config().ring)))?;
+                    ch.flush()?;
+                    let state = ServerOffline::from_bundle(session, sb);
+                    self.checkpoint = Some(state.to_bundle());
+                    Ok(State::Online { state })
+                } else {
+                    Ok(State::Offline { session, batch })
+                }
+            }
+            State::Offline { session, batch } => {
+                let batch = *batch;
+                ch.mark_phase("offline");
+                let state = self.server.offline_with(ch, session.clone(), batch)?;
+                self.checkpoint = Some(state.to_bundle());
+                Ok(State::Online { state })
+            }
+            State::Online { state } => {
+                ch.mark_phase("online");
+                self.server.online(ch, state.clone())?;
+                ch.flush()?;
+                Ok(State::Done)
+            }
+            State::Done | State::Failed(_) => unreachable!("step() returns before run_phase"),
+        }
+    }
+}
+
+/// Runs a [`SessionDriver`] to completion over a blocking transport: the
+/// pre-event-loop server flow, now a thin adapter. Effects map one-to-one
+/// onto transport calls, so the wire transcript is byte-identical to the
+/// historical straight-line implementation.
+///
+/// # Errors
+///
+/// Returns the driver's [`ProtocolError`] or any transport failure.
+pub fn drive_blocking<T: Transport, H: SessionHost>(
+    ch: &mut T,
+    driver: &mut SessionDriver<H>,
+) -> Result<(), ProtocolError> {
+    loop {
+        let step = driver.step();
+        for effect in driver.take_effects() {
+            match effect {
+                DriverEffect::Send(bytes) => ch.send_owned(bytes)?,
+                DriverEffect::Flush => ch.flush()?,
+                DriverEffect::Mark(label) => ch.mark_phase(&label),
+                DriverEffect::Recv { .. } => {}
+            }
+        }
+        match step {
+            DriverStep::Done => return Ok(()),
+            DriverStep::Failed(e) => return Err(e),
+            DriverStep::NeedRecv => driver.feed(ch.recv()?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::handshake_client;
+    use crate::inference::SecureClient;
+    use abnn2_math::{FragmentScheme, Ring};
+    use abnn2_net::{wire, Endpoint, NetworkModel};
+    use abnn2_nn::quant::{QuantConfig, QuantizedNetwork};
+    use abnn2_nn::Network;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> QuantizedNetwork {
+        let net = Network::new(&[10, 6, 4], 77);
+        QuantizedNetwork::quantize(
+            &net,
+            QuantConfig {
+                ring: Ring::new(32),
+                frac_bits: 8,
+                weight_frac_bits: 2,
+                scheme: FragmentScheme::signed_bit_fields(&[2, 2]),
+            },
+        )
+    }
+
+    fn params_for(server: &SecureServer, batch: usize) -> SessionParams {
+        let sg = server.secure_graph(batch).expect("graph");
+        SessionParams::for_graph(sg.graph(), server.exec.variant, batch)
+    }
+
+    fn driver_for(server: &Arc<SecureServer>, seed: u64) -> SessionDriver<NullHost> {
+        let ours = params_for(server, 1);
+        SessionDriver::new(Arc::clone(server), NullHost { ours }, StdRng::seed_from_u64(seed))
+    }
+
+    /// A fresh driver with nothing fed parks immediately, emitting only
+    /// the handshake phase mark, and re-stepping without new frames
+    /// neither loops nor duplicates effects.
+    #[test]
+    fn empty_driver_parks_on_the_hello() {
+        let server = Arc::new(SecureServer::new(tiny_model()));
+        let mut driver = driver_for(&server, 1);
+        assert_eq!(driver.step(), DriverStep::NeedRecv);
+        assert_eq!(driver.take_effects(), vec![DriverEffect::Mark("handshake".into())]);
+        assert_eq!(driver.phase(), "handshake");
+        assert_eq!(driver.step(), DriverStep::NeedRecv);
+        assert!(driver.take_effects().is_empty());
+    }
+
+    /// Frame-at-a-time event pump: every inbound frame is fed
+    /// individually, so the driver suspends at each protocol recv and
+    /// replays each phase many times — yet the session produces
+    /// bit-exact logits and sends the hello reply exactly once.
+    #[test]
+    fn suspension_at_every_recv_is_bit_exact() {
+        let q = tiny_model();
+        let x: Vec<u64> = (0..10).map(|j| (j * 37 + 5) & 0xFFF).collect();
+        let expected = q.forward_exact(&x);
+        let server = Arc::new(SecureServer::new(q));
+        let client = SecureClient::new(server.public_info());
+        let (mut sch, mut cch) = Endpoint::pair(NetworkModel::instant());
+
+        let (suspensions, hello_replies, y) = std::thread::scope(|scope| {
+            let x2 = x.clone();
+            let cli = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(11);
+                let state = client.offline(&mut cch, 1, &mut rng).expect("offline");
+                client
+                    .online_raw(&mut cch, state, std::slice::from_ref(&x2), &mut rng)
+                    .expect("online")
+            });
+            let mut driver = driver_for(&server, 10);
+            let mut suspensions = 0u32;
+            let mut hello_replies = 0u32;
+            loop {
+                let step = driver.step();
+                for effect in driver.take_effects() {
+                    match effect {
+                        DriverEffect::Send(bytes) => {
+                            if bytes.first() == Some(&wire::tags::HELLO) {
+                                hello_replies += 1;
+                            }
+                            Transport::send_owned(&mut sch, bytes).expect("send");
+                        }
+                        DriverEffect::Flush => Transport::flush(&mut sch).expect("flush"),
+                        DriverEffect::Mark(_) | DriverEffect::Recv { .. } => {}
+                    }
+                }
+                match step {
+                    DriverStep::Done => break,
+                    DriverStep::Failed(e) => panic!("driver failed: {e}"),
+                    DriverStep::NeedRecv => {
+                        suspensions += 1;
+                        driver.feed(Transport::recv(&mut sch).expect("recv"));
+                    }
+                }
+            }
+            (suspensions, hello_replies, cli.join().expect("client thread"))
+        });
+
+        assert_eq!(y.col(0), expected, "driver-served logits must equal forward_exact");
+        assert_eq!(hello_replies, 1, "replay must suppress duplicate hello replies");
+        // The session has real protocol depth: hello, base OTs, KK13
+        // extensions, GC rounds, blinded input — each a separate park.
+        assert!(suspensions >= 8, "expected many suspension points, got {suspensions}");
+    }
+
+    /// `drive_blocking` replaces the old straight-line server flow.
+    #[test]
+    fn drive_blocking_completes_a_session() {
+        let q = tiny_model();
+        let x: Vec<u64> = (0..10).map(|j| (j * 13 + 1) & 0xFFF).collect();
+        let expected = q.forward_exact(&x);
+        let server = Arc::new(SecureServer::new(q));
+        let client = SecureClient::new(server.public_info());
+        let (mut sch, mut cch) = Endpoint::pair(NetworkModel::instant());
+        let y = std::thread::scope(|scope| {
+            let x2 = x.clone();
+            let cli = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(21);
+                let state = client.offline(&mut cch, 1, &mut rng).expect("offline");
+                client
+                    .online_raw(&mut cch, state, std::slice::from_ref(&x2), &mut rng)
+                    .expect("online")
+            });
+            let mut driver = driver_for(&server, 20);
+            drive_blocking(&mut sch, &mut driver).expect("server");
+            cli.join().expect("client thread")
+        });
+        assert_eq!(y.col(0), expected);
+    }
+
+    /// A mismatched client fails negotiation on both sides, and the
+    /// driver still externalizes the hello reply after `Failed` so the
+    /// peer observes the symmetric error instead of hanging.
+    #[test]
+    fn negotiation_failure_externalizes_the_reply() {
+        let server = Arc::new(SecureServer::new(tiny_model()));
+        let other = SecureServer::new(QuantizedNetwork::quantize(
+            &Network::new(&[10, 8, 4], 78),
+            QuantConfig {
+                ring: Ring::new(32),
+                frac_bits: 8,
+                weight_frac_bits: 2,
+                scheme: FragmentScheme::signed_bit_fields(&[2, 2]),
+            },
+        ));
+        let theirs = params_for(&other, 1);
+        let (mut sch, mut cch) = Endpoint::pair(NetworkModel::instant());
+        std::thread::scope(|scope| {
+            let cli = scope.spawn(move || handshake_client(&mut cch, theirs, &[0u8; 16], false));
+            let mut driver = driver_for(&server, 30);
+            let mut sent_reply = false;
+            let err = loop {
+                let step = driver.step();
+                for effect in driver.take_effects() {
+                    match effect {
+                        DriverEffect::Send(bytes) => {
+                            sent_reply = true;
+                            Transport::send_owned(&mut sch, bytes).expect("send");
+                        }
+                        DriverEffect::Flush => Transport::flush(&mut sch).expect("flush"),
+                        DriverEffect::Mark(_) | DriverEffect::Recv { .. } => {}
+                    }
+                }
+                match step {
+                    DriverStep::Failed(e) => break e,
+                    DriverStep::NeedRecv => {
+                        driver.feed(Transport::recv(&mut sch).expect("recv"));
+                    }
+                    DriverStep::Done => panic!("mismatched session completed"),
+                }
+            };
+            assert!(matches!(err, ProtocolError::Negotiation { .. }), "server got {err}");
+            assert!(sent_reply, "failed negotiation must still send the hello reply");
+            assert_eq!(driver.phase(), "failed");
+            let cli_err = cli.join().expect("client thread").expect_err("client must fail too");
+            assert!(matches!(cli_err, ProtocolError::Negotiation { .. }), "client got {cli_err}");
+        });
+    }
+}

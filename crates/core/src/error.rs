@@ -100,7 +100,10 @@ impl From<TransportError> for ProtocolError {
     fn from(e: TransportError) -> Self {
         match e {
             TransportError::Closed => ProtocolError::Channel,
-            TransportError::TimedOut => ProtocolError::TimedOut,
+            // WouldBlock is an event-loop starvation signal; the session
+            // driver intercepts it before it can escape, so mapping the
+            // stray case to the retryable TimedOut is honest.
+            TransportError::TimedOut | TransportError::WouldBlock => ProtocolError::TimedOut,
             TransportError::Malformed(what) => ProtocolError::Malformed(what),
         }
     }

@@ -35,7 +35,7 @@ use abnn2_math::{Matrix, Ring};
 use abnn2_net::Transport;
 use abnn2_nn::graph::LayerGraph;
 use abnn2_nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// The public description of a served model: everything the client needs to
@@ -73,7 +73,7 @@ pub fn layer_share(layer: &QuantizedDense, x: &Matrix, u: &Matrix, ring: Ring) -
 
 /// Server-side state after the offline phase: one triplet share `U` per
 /// linear op of the graph, in graph order.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ServerOffline {
     pub(crate) session: ServerSession,
     pub(crate) us: Vec<Matrix>,
@@ -294,7 +294,11 @@ impl SecureServer {
         Ok(())
     }
 
-    /// Convenience: offline followed by online.
+    /// Convenience: offline followed by online, run through the
+    /// suspendable [`SessionDriver`](crate::driver::SessionDriver) so the
+    /// blocking and event-loop paths exercise one protocol
+    /// implementation (the wire transcript is unchanged — see
+    /// `tests/graph_parity.rs`).
     ///
     /// # Errors
     ///
@@ -305,8 +309,14 @@ impl SecureServer {
         batch: usize,
         rng: &mut R,
     ) -> Result<(), ProtocolError> {
-        let state = self.offline(ch, batch, rng)?;
-        self.online(ch, state)
+        let sg = self.secure_graph(batch)?;
+        let ours = SessionParams::for_graph(sg.graph(), self.exec.variant, batch);
+        let mut driver = crate::driver::SessionDriver::new(
+            std::sync::Arc::new(self.clone()),
+            crate::driver::NullHost { ours },
+            rand::rngs::StdRng::seed_from_u64(rng.next_u64()),
+        );
+        crate::driver::drive_blocking(ch, &mut driver)
     }
 }
 

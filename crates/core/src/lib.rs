@@ -19,6 +19,12 @@
 //! * [`handshake`] — the versioned session hello exchanged before any base
 //!   OT, turning configuration mismatches into typed
 //!   [`ProtocolError::Negotiation`] errors at connect time,
+//! * [`driver`] — the suspendable session engine: the server-side
+//!   protocol re-expressed as a resumable state machine
+//!   ([`driver::SessionDriver`]) whose only I/O is an effect stream, so
+//!   one event-loop thread can multiplex many sessions over
+//!   readiness-based I/O, with the blocking path a thin
+//!   [`driver::drive_blocking`] adapter,
 //! * [`resilient`] — reconnect-and-resume drivers that checkpoint the
 //!   offline phase and replay the online phase after a connection loss,
 //!   producing logits bit-identical to an uninterrupted run,
@@ -43,6 +49,7 @@ pub mod bundle;
 pub mod cnn;
 pub mod complexity;
 pub mod config;
+pub mod driver;
 pub mod error;
 pub mod frames;
 pub mod graph;
@@ -58,6 +65,7 @@ pub use bundle::{
     dealer_bundle, dealer_bundle_for, BundleKey, ClientBundle, ServerBundle, BUNDLE_LAYOUT_VERSION,
 };
 pub use config::{ExecConfig, SessionDeadlines};
+pub use driver::{drive_blocking, DriverEffect, DriverStep, NullHost, SessionDriver, SessionHost};
 pub use error::ProtocolError;
 pub use graph::{PublicModel, SecureGraph, ServedModel, TripletPlan};
 pub use handshake::{HelloReply, HelloRequest, ResumeToken, SessionParams, PROTOCOL_VERSION};

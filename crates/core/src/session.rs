@@ -18,7 +18,7 @@ use abnn2_ot::{KkChooser, KkSender};
 use rand::Rng;
 
 /// Server-side session state (model holder).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ServerSession {
     /// 1-out-of-N OT chooser used by the matmul triplet protocol.
     pub kk: KkChooser,

@@ -54,7 +54,9 @@ impl From<TransportError> for GcError {
     fn from(e: TransportError) -> Self {
         match e {
             TransportError::Closed => GcError::Channel,
-            TransportError::TimedOut => GcError::TimedOut,
+            // WouldBlock is intercepted by the session driver's replay
+            // channel; the stray case maps to the retryable TimedOut.
+            TransportError::TimedOut | TransportError::WouldBlock => GcError::TimedOut,
             TransportError::Malformed(what) => GcError::Malformed(what),
         }
     }

@@ -24,7 +24,7 @@ pub struct YaoGarbler {
 }
 
 /// The evaluating party (ABNN²'s server). Owns the OT-receiver state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct YaoEvaluator {
     ot: IknpReceiver,
 }

@@ -248,6 +248,13 @@ impl<T: Transport> InstrumentedTransport<T> {
         self.inner
     }
 
+    /// Mutable access to the inner transport — e.g. to stage data a
+    /// subsequent metered `recv` will observe. Operations through this
+    /// reference bypass the counters.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
     fn roll_clock(&mut self) {
         let now = Instant::now();
         let delta = now.duration_since(self.phase_started);

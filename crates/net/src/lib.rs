@@ -19,6 +19,9 @@
 //!   the engine of the chaos test harness,
 //! * [`InstrumentedTransport`] — a decorator attributing traffic to named
 //!   protocol phases over any inner transport,
+//! * [`FrameBuffer`] — incremental, non-blocking reassembly and draining
+//!   of the same length-prefixed frames over a readiness-driven socket,
+//!   for event-loop servers that multiplex many sessions per thread,
 //! * [`NetworkModel`] — latency/bandwidth profiles ([`NetworkModel::lan`],
 //!   [`NetworkModel::wan_secureml`], [`NetworkModel::wan_quotient`]) for the
 //!   simulated endpoint,
@@ -64,6 +67,7 @@ pub mod channel;
 pub mod fault;
 pub mod instrument;
 pub mod model;
+pub mod pump;
 pub mod runner;
 pub mod tcp;
 pub mod transport;
@@ -73,6 +77,7 @@ pub use channel::{sim_link, CommSnapshot, Endpoint, SimDialer, SimListener};
 pub use fault::{Fault, FaultPlan, FaultyTransport};
 pub use instrument::{InstrumentHandle, InstrumentedTransport, PhaseStats, TagStats};
 pub use model::NetworkModel;
+pub use pump::FrameBuffer;
 pub use runner::{run_pair, ResilientDriver, RetryPolicy, Retryable, TrafficReport};
 pub use tcp::TcpTransport;
 pub use transport::{Transport, TransportError};

@@ -1,0 +1,316 @@
+//! Non-blocking frame pump for readiness-based event loops.
+//!
+//! [`FrameBuffer`] speaks the same wire format as
+//! [`TcpTransport`](crate::TcpTransport) — a 4-byte little-endian payload
+//! length followed by the payload, bounded by
+//! [`MAX_FRAME_LEN`] — but over a socket in
+//! non-blocking mode. Instead of looping until a frame is complete, it
+//! accumulates whatever bytes the kernel has and reports `None` when a
+//! frame is still partial, so one event-loop thread can sweep many
+//! connections without ever parking on any single one. The outbound side
+//! mirrors `TcpTransport`'s write coalescing: queued frames accumulate in
+//! one buffer that drains with as few `write(2)` calls as the socket
+//! accepts, surviving partial writes across sweeps.
+//!
+//! Errors are latched ("sticky") exactly like the blocking transport:
+//! once a connection reports `Closed` or `Malformed`, every later poll
+//! reports the same error.
+
+use crate::tcp::MAX_FRAME_LEN;
+use crate::transport::TransportError;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Inbound reassembly position: which part of the current frame the next
+/// readable bytes belong to.
+#[derive(Debug)]
+enum ReadState {
+    /// Accumulating the 4-byte length prefix.
+    Header { buf: [u8; 4], filled: usize },
+    /// Accumulating the payload of a frame whose length is known.
+    Payload { buf: Vec<u8>, filled: usize },
+}
+
+/// Incremental length-prefixed framing over a non-blocking [`TcpStream`].
+///
+/// ```text
+/// loop {                         // one event-loop sweep
+///     while let Some(frame) = fb.poll_read()? { driver.feed(frame); }
+///     ... step the session driver, queue its Send effects ...
+///     fb.poll_write()?;          // drain as much as the socket takes
+/// }
+/// ```
+#[derive(Debug)]
+pub struct FrameBuffer {
+    stream: TcpStream,
+    read: ReadState,
+    /// Framed outbound bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// Prefix of `wbuf` already written (compacted when fully drained).
+    wpos: usize,
+    /// First fatal error observed; latched and re-reported thereafter.
+    sticky: Option<TransportError>,
+}
+
+impl FrameBuffer {
+    /// Wraps `stream`, switching it to non-blocking mode and disabling
+    /// Nagle's algorithm (queued frames are already coalesced).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] if the socket options cannot be
+    /// set (the stream is unusable).
+    pub fn new(stream: TcpStream) -> Result<Self, TransportError> {
+        stream.set_nonblocking(true).map_err(|_| TransportError::Closed)?;
+        stream.set_nodelay(true).map_err(|_| TransportError::Closed)?;
+        Ok(FrameBuffer {
+            stream,
+            read: ReadState::Header { buf: [0; 4], filled: 0 },
+            wbuf: Vec::new(),
+            wpos: 0,
+            sticky: None,
+        })
+    }
+
+    /// The underlying stream (e.g. to inspect the peer address).
+    #[must_use]
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    fn fail(&mut self, err: TransportError) -> TransportError {
+        if self.sticky.is_none() {
+            self.sticky = Some(err);
+        }
+        err
+    }
+
+    fn check_sticky(&self) -> Result<(), TransportError> {
+        match self.sticky {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Reads whatever the socket has toward the current frame. Returns
+    /// `Ok(Some(payload))` when a frame completed, `Ok(None)` when the
+    /// socket has no more bytes right now (the event loop parks the
+    /// connection until it is readable again). Call in a loop: several
+    /// frames may be ready in one sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] on EOF or a socket error,
+    /// [`TransportError::Malformed`] on an oversized length prefix. Both
+    /// are sticky.
+    pub fn poll_read(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        self.check_sticky()?;
+        loop {
+            match &mut self.read {
+                ReadState::Header { buf, filled } => {
+                    while *filled < buf.len() {
+                        match self.stream.read(&mut buf[*filled..]) {
+                            Ok(0) => return Err(self.fail(TransportError::Closed)),
+                            Ok(n) => *filled += n,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                            Err(_) => return Err(self.fail(TransportError::Closed)),
+                        }
+                    }
+                    let len = u32::from_le_bytes(*buf) as usize;
+                    if len > MAX_FRAME_LEN {
+                        return Err(
+                            self.fail(TransportError::Malformed("frame length exceeds maximum"))
+                        );
+                    }
+                    self.read = ReadState::Payload { buf: vec![0u8; len], filled: 0 };
+                }
+                ReadState::Payload { buf, filled } => {
+                    while *filled < buf.len() {
+                        match self.stream.read(&mut buf[*filled..]) {
+                            Ok(0) => return Err(self.fail(TransportError::Closed)),
+                            Ok(n) => *filled += n,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                            Err(_) => return Err(self.fail(TransportError::Closed)),
+                        }
+                    }
+                    let ReadState::Payload { buf, .. } = std::mem::replace(
+                        &mut self.read,
+                        ReadState::Header { buf: [0; 4], filled: 0 },
+                    ) else {
+                        unreachable!("state checked above");
+                    };
+                    return Ok(Some(buf));
+                }
+            }
+        }
+    }
+
+    /// Queues one frame (length prefix added here) for a later
+    /// [`poll_write`](Self::poll_write).
+    pub fn queue_send(&mut self, payload: &[u8]) {
+        debug_assert!(payload.len() <= MAX_FRAME_LEN, "oversized frame");
+        self.wbuf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(payload);
+    }
+
+    /// Writes as much queued output as the socket accepts. Returns whether
+    /// the queue fully drained; `false` means the connection should be
+    /// watched for writability and polled again.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] (sticky) on a socket error.
+    pub fn poll_write(&mut self) -> Result<bool, TransportError> {
+        self.check_sticky()?;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(self.fail(TransportError::Closed)),
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(_) => return Err(self.fail(TransportError::Closed)),
+            }
+        }
+        // Fully drained: recycle the buffer's capacity for the next batch.
+        self.wbuf.clear();
+        self.wpos = 0;
+        Ok(true)
+    }
+
+    /// Whether queued output is still waiting for the socket.
+    #[must_use]
+    pub fn has_pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::{Duration, Instant};
+
+    fn pair() -> (FrameBuffer, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let peer = TcpStream::connect(addr).expect("connect");
+        let (stream, _) = listener.accept().expect("accept");
+        (FrameBuffer::new(stream).expect("wrap"), peer)
+    }
+
+    /// Polls until a frame arrives, with a wall-clock bound so a broken
+    /// pump fails the test instead of hanging it.
+    fn read_frame(fb: &mut FrameBuffer) -> Vec<u8> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(frame) = fb.poll_read().expect("poll_read") {
+                return frame;
+            }
+            assert!(Instant::now() < deadline, "no frame within deadline");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn empty_socket_polls_none_without_blocking() {
+        let (mut fb, _peer) = pair();
+        let start = Instant::now();
+        assert_eq!(fb.poll_read().expect("poll"), None);
+        assert!(start.elapsed() < Duration::from_secs(1), "poll_read must not block");
+    }
+
+    #[test]
+    fn frame_split_across_many_writes_is_reassembled() {
+        let (mut fb, mut peer) = pair();
+        let payload = b"hello pump";
+        let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(payload);
+        for (i, chunk) in framed.chunks(3).enumerate() {
+            peer.write_all(chunk).expect("write");
+            peer.flush().expect("flush");
+            // Give the kernel a moment so most chunks arrive separately;
+            // correctness does not depend on the timing.
+            std::thread::sleep(Duration::from_millis(2));
+            if i == 0 {
+                assert_eq!(fb.poll_read().expect("poll"), None, "frame is still partial");
+            }
+        }
+        assert_eq!(read_frame(&mut fb), payload);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_sweep() {
+        let (mut fb, mut peer) = pair();
+        for payload in [b"one".as_slice(), b"two", b"three"] {
+            peer.write_all(&(payload.len() as u32).to_le_bytes()).expect("len");
+            peer.write_all(payload).expect("payload");
+        }
+        peer.flush().expect("flush");
+        assert_eq!(read_frame(&mut fb), b"one");
+        assert_eq!(read_frame(&mut fb), b"two");
+        assert_eq!(read_frame(&mut fb), b"three");
+        assert_eq!(fb.poll_read().expect("poll"), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_malformed_and_sticky() {
+        let (mut fb, mut peer) = pair();
+        peer.write_all(&u32::MAX.to_le_bytes()).expect("write");
+        peer.flush().expect("flush");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let err = loop {
+            match fb.poll_read() {
+                Ok(Some(_)) => panic!("oversized frame must not complete"),
+                Ok(None) => {
+                    assert!(Instant::now() < deadline, "no error within deadline");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, TransportError::Malformed("frame length exceeds maximum"));
+        assert_eq!(fb.poll_read(), Err(TransportError::Malformed("frame length exceeds maximum")));
+    }
+
+    #[test]
+    fn peer_eof_is_closed() {
+        let (mut fb, peer) = pair();
+        drop(peer);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match fb.poll_read() {
+                Ok(None) => {
+                    assert!(Instant::now() < deadline, "no EOF within deadline");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(Some(_)) => panic!("no frame was sent"),
+                Err(e) => {
+                    assert_eq!(e, TransportError::Closed);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queued_frames_drain_and_round_trip() {
+        let (mut fb, mut peer) = pair();
+        fb.queue_send(b"alpha");
+        fb.queue_send(b"beta");
+        assert!(fb.has_pending_write());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !fb.poll_write().expect("poll_write") {
+            assert!(Instant::now() < deadline, "write did not drain");
+        }
+        assert!(!fb.has_pending_write());
+        for expected in [b"alpha".as_slice(), b"beta"] {
+            let mut len = [0u8; 4];
+            peer.read_exact(&mut len).expect("len");
+            let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+            peer.read_exact(&mut payload).expect("payload");
+            assert_eq!(payload, expected);
+        }
+    }
+}

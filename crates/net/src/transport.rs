@@ -39,6 +39,11 @@ pub enum TransportError {
     /// phase deadline budget was exhausted. The connection may still be
     /// alive: a silent peer is distinguishable from a dead one.
     TimedOut,
+    /// A non-blocking transport has no message available *right now*. Only
+    /// raised by readiness-driven transports (the session driver's replay
+    /// channel); blocking transports never surface it. Event loops treat it
+    /// as "park and retry when readable", never as a failure.
+    WouldBlock,
 }
 
 impl TransportError {
@@ -47,7 +52,10 @@ impl TransportError {
     /// indicates a protocol bug or a hostile peer and is fatal.
     #[must_use]
     pub fn is_retryable(&self) -> bool {
-        matches!(self, TransportError::Closed | TransportError::TimedOut)
+        matches!(
+            self,
+            TransportError::Closed | TransportError::TimedOut | TransportError::WouldBlock
+        )
     }
 }
 
@@ -57,6 +65,7 @@ impl std::fmt::Display for TransportError {
             TransportError::Closed => write!(f, "peer transport closed"),
             TransportError::Malformed(what) => write!(f, "malformed message: {what}"),
             TransportError::TimedOut => write!(f, "peer silent past deadline"),
+            TransportError::WouldBlock => write!(f, "no message available (would block)"),
         }
     }
 }

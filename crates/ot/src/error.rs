@@ -40,7 +40,9 @@ impl From<TransportError> for OtError {
     fn from(e: TransportError) -> Self {
         match e {
             TransportError::Closed => OtError::Channel,
-            TransportError::TimedOut => OtError::TimedOut,
+            // WouldBlock is intercepted by the session driver's replay
+            // channel; the stray case maps to the retryable TimedOut.
+            TransportError::TimedOut | TransportError::WouldBlock => OtError::TimedOut,
             TransportError::Malformed(what) => OtError::Malformed(what),
         }
     }

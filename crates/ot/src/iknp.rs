@@ -30,6 +30,7 @@ impl std::fmt::Debug for IknpSender {
 }
 
 /// Receiver side of IKNP extension (holds the choice bits).
+#[derive(Clone)]
 pub struct IknpReceiver {
     prg_pairs: Vec<(Prg, Prg)>,
     hash: RoHash,

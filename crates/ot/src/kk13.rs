@@ -59,6 +59,7 @@ impl std::fmt::Debug for KkSender {
 
 /// OT-extension **chooser**: learns only the mask of its chosen symbol per
 /// OT. In ABNN² this is the server (model owner) choosing weight fragments.
+#[derive(Clone)]
 pub struct KkChooser {
     prg_pairs: Vec<(Prg, Prg)>,
     tweak: u64,

@@ -6,15 +6,22 @@
 //! pieces:
 //!
 //! * [`Server`] — a TCP frontend with a bounded accept queue and a fixed
-//!   worker pool. Each accepted connection runs one protocol session
-//!   (handshake → base-OT setup → offline-or-bundle → online) on a worker
-//!   thread, reusing the PR-2 handshake, deadline, and resume machinery.
-//!   When the queue is full or the server is draining, new connections are
-//!   rejected *in protocol* (a busy hello frame) so clients see a typed
-//!   [`ProtocolError::Overloaded`], never a hang.
+//!   set of **event-loop workers**. Each worker multiplexes up to
+//!   `sessions_per_worker` live sessions, each a suspendable
+//!   [`SessionDriver`](abnn2_core::driver::SessionDriver) state machine
+//!   (handshake → base-OT setup → offline-or-bundle → online) fed by a
+//!   non-blocking [`FrameBuffer`](abnn2_net::FrameBuffer), so peak thread
+//!   count scales with workers, not connected clients. When the queue is
+//!   full or the server is draining, new connections are rejected *in
+//!   protocol* (a busy hello frame) so clients see a typed
+//!   [`ProtocolError::Overloaded`], never a hang. Resume checkpoints live
+//!   in a [`ShardedCheckpointStore`] (one shard per worker, tokens hashed
+//!   to shards) reachable from any worker.
 //! * [`PrecomputePool`] — a background producer thread that keeps a
 //!   bounded buffer of ready offline-triplet bundle pairs per
-//!   [`BundleKey`] (model digest, scheme digest, batch). A client that
+//!   [`BundleKey`] (model digest, scheme digest, batch). The server runs
+//!   one pool shard per worker; a worker takes from its own shard first
+//!   and steals from siblings on a miss. A client that
 //!   asks for a bundle in its hello skips the interactive offline phase
 //!   entirely: the server pops a pair, sends the client half in a
 //!   dedicated `"bundle"` instrumentation phase, and proceeds straight to
@@ -43,4 +50,4 @@ pub use abnn2_core::bundle::BundleKey;
 pub use client::{ServeClient, ServeReport};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use pool::{PoolSnapshot, PrecomputePool};
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, ShardedCheckpointStore};

@@ -64,6 +64,148 @@ impl MetricsSnapshot {
     pub fn tag(&self, tag: u8) -> TagStats {
         self.tags.iter().find(|&&(t, _)| t == tag).map(|&(_, s)| s).unwrap_or_default()
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): admission counters, the active-session and
+    /// pool-ready gauges, and per-phase / per-frame-tag traffic as
+    /// labelled counters. Tags are labelled with both the raw byte and the
+    /// wire name from [`abnn2_net::wire::tags::name`]; tag byte counts
+    /// exclude the tag byte itself, exactly as [`MetricsSnapshot::tags`]
+    /// reports them.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "abnn2_serve_connections_accepted_total",
+            "Connections admitted into the accept queue.",
+            self.accepted,
+        );
+        counter(
+            "abnn2_serve_connections_rejected_total",
+            "Connections refused with a busy frame.",
+            self.rejected,
+        );
+        counter(
+            "abnn2_serve_sessions_completed_total",
+            "Sessions that ran the protocol to completion.",
+            self.completed,
+        );
+        counter(
+            "abnn2_serve_sessions_failed_total",
+            "Sessions that ended in a protocol or transport error.",
+            self.failed,
+        );
+        counter(
+            "abnn2_serve_pool_produced_total",
+            "Offline bundle pairs manufactured by the precompute pool.",
+            self.pool.produced,
+        );
+        counter(
+            "abnn2_serve_pool_hits_total",
+            "Sessions served from a warm pool bundle.",
+            self.pool.hits,
+        );
+        counter(
+            "abnn2_serve_pool_misses_total",
+            "Bundle requests that fell back to the cold offline phase.",
+            self.pool.misses,
+        );
+
+        let _ =
+            writeln!(out, "# HELP abnn2_serve_sessions_active Sessions currently being served.");
+        let _ = writeln!(out, "# TYPE abnn2_serve_sessions_active gauge");
+        let _ = writeln!(out, "abnn2_serve_sessions_active {}", self.active);
+        let _ = writeln!(
+            out,
+            "# HELP abnn2_serve_pool_ready Bundle pairs currently buffered in the pool."
+        );
+        let _ = writeln!(out, "# TYPE abnn2_serve_pool_ready gauge");
+        let _ = writeln!(out, "abnn2_serve_pool_ready {}", self.pool.ready);
+
+        let _ = writeln!(
+            out,
+            "# HELP abnn2_serve_phase_bytes_total Payload bytes per protocol phase and direction."
+        );
+        let _ = writeln!(out, "# TYPE abnn2_serve_phase_bytes_total counter");
+        for (name, s) in &self.phases {
+            let _ = writeln!(
+                out,
+                "abnn2_serve_phase_bytes_total{{phase=\"{name}\",direction=\"sent\"}} {}",
+                s.bytes_sent
+            );
+            let _ = writeln!(
+                out,
+                "abnn2_serve_phase_bytes_total{{phase=\"{name}\",direction=\"received\"}} {}",
+                s.bytes_received
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP abnn2_serve_phase_messages_total Messages per protocol phase and direction."
+        );
+        let _ = writeln!(out, "# TYPE abnn2_serve_phase_messages_total counter");
+        for (name, s) in &self.phases {
+            let _ = writeln!(
+                out,
+                "abnn2_serve_phase_messages_total{{phase=\"{name}\",direction=\"sent\"}} {}",
+                s.messages_sent
+            );
+            let _ = writeln!(
+                out,
+                "abnn2_serve_phase_messages_total{{phase=\"{name}\",direction=\"received\"}} {}",
+                s.messages_received
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP abnn2_serve_tag_bytes_total Frame payload bytes per wire tag and direction \
+             (tag byte excluded)."
+        );
+        let _ = writeln!(out, "# TYPE abnn2_serve_tag_bytes_total counter");
+        for &(tag, s) in &self.tags {
+            let name = abnn2_net::wire::tags::name(tag);
+            let _ = writeln!(
+                out,
+                "abnn2_serve_tag_bytes_total{{tag=\"0x{tag:02x}\",name=\"{name}\",\
+                 direction=\"sent\"}} {}",
+                s.bytes_sent
+            );
+            let _ = writeln!(
+                out,
+                "abnn2_serve_tag_bytes_total{{tag=\"0x{tag:02x}\",name=\"{name}\",\
+                 direction=\"received\"}} {}",
+                s.bytes_received
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP abnn2_serve_tag_messages_total Frames per wire tag and direction."
+        );
+        let _ = writeln!(out, "# TYPE abnn2_serve_tag_messages_total counter");
+        for &(tag, s) in &self.tags {
+            let name = abnn2_net::wire::tags::name(tag);
+            let _ = writeln!(
+                out,
+                "abnn2_serve_tag_messages_total{{tag=\"0x{tag:02x}\",name=\"{name}\",\
+                 direction=\"sent\"}} {}",
+                s.messages_sent
+            );
+            let _ = writeln!(
+                out,
+                "abnn2_serve_tag_messages_total{{tag=\"0x{tag:02x}\",name=\"{name}\",\
+                 direction=\"received\"}} {}",
+                s.messages_received
+            );
+        }
+        out
+    }
 }
 
 #[derive(Default)]
@@ -239,6 +381,46 @@ mod tests {
         assert_eq!(snap.tag(abnn2_net::wire::tags::U64).bytes_sent, 8);
         assert_eq!(snap.tag(abnn2_net::wire::tags::U64).messages_sent, 1);
         assert_eq!(snap.tag(abnn2_net::wire::tags::BLOCKS), TagStats::default());
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_every_counter_family() {
+        let reg = MetricsRegistry::new();
+        reg.connection_accepted();
+        reg.connection_rejected();
+        reg.session_started();
+        reg.session_ended(true);
+
+        let (a, mut b) = Endpoint::pair(NetworkModel::instant());
+        let mut t = InstrumentedTransport::new(a);
+        reg.register(t.handle());
+        t.enter_phase("online");
+        t.send_u64(42).unwrap();
+        let _ = b.recv_u64().unwrap();
+
+        let text = reg.snapshot(PoolSnapshot::default()).render_prometheus();
+        assert!(text.contains("abnn2_serve_connections_accepted_total 1"));
+        assert!(text.contains("abnn2_serve_connections_rejected_total 1"));
+        assert!(text.contains("abnn2_serve_sessions_completed_total 1"));
+        assert!(text.contains("abnn2_serve_sessions_active 0"));
+        // One u64 frame in the online phase: 9 bytes with the tag byte...
+        assert!(
+            text.contains("abnn2_serve_phase_bytes_total{phase=\"online\",direction=\"sent\"} 9")
+        );
+        // ...and 8 without it under the tag family, labelled by wire name.
+        let tag = abnn2_net::wire::tags::U64;
+        let name = abnn2_net::wire::tags::name(tag);
+        assert!(text.contains(&format!(
+            "abnn2_serve_tag_bytes_total{{tag=\"0x{tag:02x}\",name=\"{name}\",direction=\"sent\"}} 8"
+        )));
+        // Every sample line belongs to a HELPed family.
+        for family in [
+            "abnn2_serve_phase_messages_total",
+            "abnn2_serve_tag_messages_total",
+            "abnn2_serve_pool_ready",
+        ] {
+            assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
+        }
     }
 
     #[test]

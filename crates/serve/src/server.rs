@@ -1,61 +1,81 @@
-//! The TCP serving frontend: bounded accept queue, worker pool, admission
-//! control, and graceful drain.
+//! The TCP serving frontend: bounded accept queue, event-loop workers
+//! multiplexing suspendable sessions, admission control, and graceful
+//! drain.
 //!
 //! Life of a connection:
 //!
-//! 1. The acceptor thread takes it off the listener. If the server is
-//!    draining or the accept queue is full, it answers with a busy hello
-//!    frame ([`abnn2_core::handshake::reject_busy`]) and closes — the
-//!    client surfaces [`ProtocolError::Overloaded`]. Otherwise the raw
-//!    stream is queued.
-//! 2. A worker dequeues it, wraps it in an
-//!    [`InstrumentedTransport`], and runs
-//!    one protocol session: handshake (resume and warm-bundle negotiation)
-//!    → base-OT setup → offline phase *or* pooled-bundle handoff → online
-//!    phase. Checkpoints go through the same bounded
-//!    [`CheckpointStore`] the PR-2 resilient
-//!    drivers use, so a client can disconnect and resume against any
-//!    worker.
-//! 3. [`Server::begin_drain`] flips admission off while in-flight sessions
-//!    run to completion; [`Server::shutdown`] additionally joins every
-//!    thread.
+//! 1. The acceptor thread takes it off the (blocking) listener. If the
+//!    server is draining or the accept queue is full, it answers with a
+//!    busy hello frame ([`abnn2_core::handshake::reject_busy`]) and closes
+//!    — the client surfaces [`ProtocolError::Overloaded`]. Otherwise the
+//!    raw stream is queued.
+//! 2. An **event-loop worker** claims it, wraps the socket in a
+//!    non-blocking [`FrameBuffer`], and hosts one
+//!    [`SessionDriver`] — the server-side protocol as a resumable state
+//!    machine. Each worker sweeps up to `sessions_per_worker` live
+//!    drivers: complete inbound frames are fed in, the driver advances as
+//!    far as it can, and its effects (sends, phase marks) are applied to
+//!    the socket and the metrics meter. A driver waiting on the peer
+//!    costs no thread — it is simply parked until its socket turns
+//!    readable — so peak thread count scales with *workers*, not clients.
+//! 3. The [`PrecomputePool`] and the resume [`CheckpointStore`] are
+//!    sharded per worker: each worker prefers its own pool shard (and
+//!    steals from siblings rather than strand warm bundles), and
+//!    checkpoints hash onto a shard by token, so any worker can resume a
+//!    session that died on another.
+//! 4. [`Server::begin_drain`] flips admission off while in-flight
+//!    sessions run to completion; the acceptor is woken by a throwaway
+//!    self-connection when the drain completes — no sleep-polling —
+//!    and [`Server::shutdown`] additionally joins every thread.
+//!
+//! Byte accounting is preserved exactly: every driver effect is mirrored
+//! through a per-session [`InstrumentedTransport`] meter, so per-phase
+//! and per-tag counters equal the pre-event-loop blocking server's.
+//!
+//! [`CheckpointStore`]: abnn2_core::CheckpointStore
 
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::pool::{PoolSnapshot, PrecomputePool};
 use abnn2_core::bundle::{BundleKey, ClientBundle, ServerBundle};
-use abnn2_core::frames::Bundle;
-use abnn2_core::handshake::{handshake_server_ext, reject_busy, SessionParams};
-use abnn2_core::inference::ServerOffline;
+use abnn2_core::driver::{DriverEffect, DriverStep, SessionDriver, SessionHost};
+use abnn2_core::handshake::{reject_busy, ResumeToken, SessionParams};
 use abnn2_core::resilient::DEFAULT_CHECKPOINT_CAPACITY;
-use abnn2_core::session::ServerSession;
 use abnn2_core::{
     CheckpointStore, ExecConfig, ProtocolError, SecureServer, ServedModel, SessionDeadlines,
 };
-use abnn2_net::{InstrumentedTransport, TcpTransport, Transport};
+use abnn2_net::{
+    CommSnapshot, FrameBuffer, InstrumentedTransport, TcpTransport, Transport, TransportError,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads running protocol sessions.
+    /// Event-loop worker threads running protocol sessions.
     pub workers: usize,
     /// Accepted-but-unclaimed connections allowed to wait; beyond this the
     /// acceptor busy-rejects.
     pub queue_capacity: usize,
-    /// Ready bundle pairs to keep per batch size; zero disables the
-    /// precompute pool (every session pays the interactive offline phase).
+    /// Live sessions each worker multiplexes concurrently. Total session
+    /// capacity is `workers * sessions_per_worker`; the default of 1
+    /// reproduces the classic one-session-per-worker admission behaviour.
+    pub sessions_per_worker: usize,
+    /// Ready bundle pairs to keep per batch size *per worker shard*; zero
+    /// disables the precompute pool (every session pays the interactive
+    /// offline phase).
     pub pool_depth: usize,
     /// Batch sizes the pool precomputes for.
     pub pool_batches: Vec<usize>,
     /// Per-session transport deadlines.
     pub deadlines: SessionDeadlines,
-    /// Capacity of the shared resume-checkpoint store.
+    /// Total capacity of the resume-checkpoint store, split across one
+    /// shard per worker (each shard holds at least one entry).
     pub checkpoint_capacity: usize,
     /// Execution options (activation variant must match the clients').
     pub exec: ExecConfig,
@@ -68,6 +88,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 4,
             queue_capacity: 8,
+            sessions_per_worker: 1,
             pool_depth: 2,
             pool_batches: vec![1],
             deadlines: SessionDeadlines::lan(),
@@ -75,6 +96,71 @@ impl Default for ServeConfig {
             exec: ExecConfig::new(),
             seed: 0xAB22_5E21,
         }
+    }
+}
+
+/// Resume checkpoints sharded by token hash: one
+/// [`CheckpointStore`] per worker, so checkpoint traffic from different
+/// sessions contends on different locks. A token always hashes to the
+/// same shard, which means any worker can claim a checkpoint no matter
+/// which worker inserted it, and per-shard LRU eviction is deterministic
+/// per token.
+#[derive(Debug)]
+pub struct ShardedCheckpointStore {
+    shards: Vec<CheckpointStore>,
+}
+
+impl ShardedCheckpointStore {
+    /// `capacity` is the total budget; each of the `shards` stores gets an
+    /// equal slice (at least one entry each).
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedCheckpointStore {
+            shards: (0..shards).map(|_| CheckpointStore::new(per_shard)).collect(),
+        }
+    }
+
+    fn shard(&self, token: &ResumeToken) -> &CheckpointStore {
+        let lo = u64::from_le_bytes(token[..8].try_into().expect("8 bytes"));
+        let hi = u64::from_le_bytes(token[8..].try_into().expect("8 bytes"));
+        // Multiply-fold the halves so shard choice uses every token byte.
+        let mixed = (lo ^ hi).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed % self.shards.len() as u64) as usize]
+    }
+
+    /// Inserts (or refreshes) the checkpoint for `token` in its shard.
+    pub fn insert(&self, token: ResumeToken, bundle: ServerBundle) {
+        self.shard(&token).insert(token, bundle);
+    }
+
+    /// Removes and returns the checkpoint for `token`, if present.
+    pub fn claim(&self, token: &ResumeToken) -> Option<ServerBundle> {
+        self.shard(token).claim(token)
+    }
+
+    /// Drops the checkpoint for `token`, if present.
+    pub fn remove(&self, token: &ResumeToken) {
+        self.shard(token).remove(token);
+    }
+
+    /// Whether a checkpoint for `token` is currently held.
+    #[must_use]
+    pub fn contains(&self, token: &ResumeToken) -> bool {
+        self.shard(token).contains(token)
+    }
+
+    /// Total checkpoints held across every shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(CheckpointStore::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(CheckpointStore::is_empty)
     }
 }
 
@@ -86,12 +172,15 @@ struct QueueState {
 struct Shared {
     queue: Mutex<QueueState>,
     work: Condvar,
-    server: SecureServer,
+    server: Arc<SecureServer>,
     info_params: SessionParamsFactory,
     config: ServeConfig,
-    store: Arc<CheckpointStore>,
-    pool: Option<PrecomputePool>,
+    store: ShardedCheckpointStore,
+    /// One pool shard per worker (empty when `pool_depth` is zero).
+    pools: Vec<PrecomputePool>,
     metrics: MetricsRegistry,
+    /// The bound listen address, used for the drain-complete wake dial.
+    addr: SocketAddr,
 }
 
 /// Pre-captured pieces for building `SessionParams` per announced batch
@@ -124,8 +213,9 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the acceptor, worker, and pool threads. Accepts any served
-    /// topology — a `QuantizedNetwork` (MLP) or a `QuantizedCnn`.
+    /// starts the acceptor, event-loop worker, and pool threads. Accepts
+    /// any served topology — a `QuantizedNetwork` (MLP) or a
+    /// `QuantizedCnn`.
     ///
     /// # Errors
     ///
@@ -142,22 +232,30 @@ impl Server {
     ) -> std::io::Result<Self> {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.queue_capacity > 0, "need a positive accept queue");
+        assert!(config.sessions_per_worker > 0, "need at least one session per worker");
         let listener = TcpListener::bind(addr)?;
         let bound = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
 
         let model = Arc::new(model.into());
-        let pool = (config.pool_depth > 0).then(|| {
-            PrecomputePool::start(
-                Arc::clone(&model),
-                &config.pool_batches,
-                config.pool_depth,
-                config.seed ^ 0x706F_6F6C, // distinct stream from the workers
-            )
-        });
+        let pools = if config.pool_depth > 0 {
+            (0..config.workers)
+                .map(|i| {
+                    PrecomputePool::start(
+                        Arc::clone(&model),
+                        &config.pool_batches,
+                        config.pool_depth,
+                        // Distinct stream from the workers, distinct per shard.
+                        (config.seed ^ 0x706F_6F6C).wrapping_add(i as u64),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let public = model.public();
-        let server = SecureServer::for_model(model.as_ref().clone()).with_exec(config.exec);
-        let store = Arc::new(CheckpointStore::new(config.checkpoint_capacity));
+        let server =
+            Arc::new(SecureServer::for_model(model.as_ref().clone()).with_exec(config.exec));
+        let store = ShardedCheckpointStore::new(config.checkpoint_capacity, config.workers);
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState { conns: VecDeque::new(), draining: false }),
             work: Condvar::new(),
@@ -165,8 +263,9 @@ impl Server {
             info_params: SessionParamsFactory { model: public, variant: config.exec.variant },
             config: config.clone(),
             store,
-            pool,
+            pools,
             metrics: MetricsRegistry::new(),
+            addr: bound,
         });
 
         let acceptor = {
@@ -182,7 +281,7 @@ impl Server {
                 let seed = config.seed.wrapping_add(1 + i as u64);
                 std::thread::Builder::new()
                     .name(format!("abnn2-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, seed))
+                    .spawn(move || worker_loop(&shared, i, seed))
                     .expect("spawn worker")
             })
             .collect();
@@ -196,30 +295,34 @@ impl Server {
         self.addr
     }
 
-    /// Live metrics, including pool gauges when a pool is attached.
+    /// Live metrics, with pool gauges summed across every worker shard.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        let pool = self.shared.pool.as_ref().map_or(PoolSnapshot::default(), |p| p.snapshot());
-        self.shared.metrics.snapshot(pool)
+        self.shared.metrics.snapshot(pool_totals(&self.shared))
     }
 
-    /// The resume-checkpoint store shared by all workers.
+    /// The sharded resume-checkpoint store reachable from all workers.
     #[must_use]
-    pub fn checkpoint_store(&self) -> &Arc<CheckpointStore> {
+    pub fn checkpoint_store(&self) -> &ShardedCheckpointStore {
         &self.shared.store
     }
 
-    /// Blocks until the pool holds `count` ready pairs for batch size
-    /// `batch` (or `timeout` passes). Returns false when no pool is
-    /// attached or the target was not reached — callers use this to
-    /// guarantee a warm first request.
+    /// Blocks until **every worker's pool shard** holds `count` ready
+    /// pairs for batch size `batch` (or `timeout` passes). Returns false
+    /// when no pool is attached or the target was not reached — callers
+    /// use this to guarantee a warm first request on whichever worker
+    /// claims it.
     #[must_use]
     pub fn warm_up(&self, batch: usize, count: usize, timeout: Duration) -> bool {
-        let Some(pool) = self.shared.pool.as_ref() else {
+        if self.shared.pools.is_empty() {
             return false;
-        };
+        }
         let key = BundleKey::for_graph(&self.shared.info_params.model.graph(), batch);
-        pool.wait_ready(&key, count, timeout)
+        let deadline = Instant::now() + timeout;
+        self.shared.pools.iter().all(|p| {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            p.wait_ready(&key, count, remaining)
+        })
     }
 
     /// Stops admitting connections (new arrivals get a busy rejection)
@@ -231,8 +334,13 @@ impl Server {
             q.draining = true;
         }
         self.shared.work.notify_all();
-        if let Some(pool) = self.shared.pool.as_ref() {
+        for pool in &self.shared.pools {
             pool.shutdown();
+        }
+        // If nothing is in flight the drain is already complete; wake the
+        // acceptor so it can observe that and exit without polling.
+        if drain_complete(&self.shared) {
+            wake_acceptor(&self.shared);
         }
     }
 
@@ -256,6 +364,18 @@ impl Drop for Server {
     }
 }
 
+fn pool_totals(shared: &Shared) -> PoolSnapshot {
+    shared.pools.iter().fold(PoolSnapshot::default(), |acc, p| {
+        let s = p.snapshot();
+        PoolSnapshot {
+            produced: acc.produced + s.produced,
+            hits: acc.hits + s.hits,
+            misses: acc.misses + s.misses,
+            ready: acc.ready + s.ready,
+        }
+    })
+}
+
 /// Whether the acceptor may stop listening: draining was requested AND
 /// every queued and in-flight session has finished. Exiting any earlier
 /// would close the listener while sessions are still running, turning a
@@ -271,13 +391,23 @@ fn drain_complete(shared: &Shared) -> bool {
     queued == 0 && shared.metrics.snapshot(PoolSnapshot::default()).active == 0
 }
 
+/// Unblocks the acceptor's blocking `accept` with a throwaway
+/// self-connection so it re-checks the drain state event-driven instead
+/// of sleep-polling. Failures are ignored: if the listener is already
+/// gone, there is nothing left to wake.
+fn wake_acceptor(shared: &Shared) {
+    let _ = TcpStream::connect(shared.addr);
+}
+
 fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                // Accepted sockets must be blocking regardless of what
-                // they inherited from the nonblocking listener.
-                let _ = stream.set_nonblocking(false);
+                // Drain-complete wake (or a final straggler): stop
+                // listening. The wake connection is simply dropped.
+                if drain_complete(shared) {
+                    return;
+                }
                 let rejected = {
                     let mut q = shared.queue.lock().expect("queue lock");
                     if q.draining || q.conns.len() >= shared.config.queue_capacity {
@@ -299,6 +429,9 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
                 }
             }
             Err(_) => {
+                // Transient accept failure (aborted handshake, fd
+                // pressure): back off briefly; drain wake-ups arrive as
+                // successful accepts, not errors.
                 if drain_complete(shared) {
                     return;
                 }
@@ -312,114 +445,301 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
 /// busy frame, so the peer sees a typed `Overloaded` instead of a reset.
 /// Failures are ignored — the peer is being turned away either way.
 fn send_busy(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
     if let Ok(mut ch) = TcpTransport::from_stream(stream) {
         let _ = reject_busy(&mut ch, shared.info_params.for_batch(0));
     }
 }
 
-fn worker_loop(shared: &Shared, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    loop {
-        let stream = {
-            let mut q = shared.queue.lock().expect("queue lock");
-            loop {
-                if let Some(s) = q.conns.pop_front() {
-                    // Counted before the lock drops so `drain_complete`
-                    // never sees an empty queue with the pop unaccounted.
-                    shared.metrics.session_started();
-                    break Some(s);
-                }
-                if q.draining {
-                    break None;
-                }
-                q = shared.work.wait(q).expect("queue lock");
-            }
-        };
-        let Some(stream) = stream else {
-            return;
-        };
-        let ok = serve_connection(shared, stream, &mut rng).is_ok();
-        shared.metrics.session_ended(ok);
+/// Sink inner transport for the per-session metrics meter: sends vanish
+/// (the real bytes ride the [`FrameBuffer`]), and `recv` serves the one
+/// frame the event loop stuffed in to mirror a driver `Recv` effect.
+#[derive(Debug, Default)]
+struct SinkTransport {
+    queued: Option<Vec<u8>>,
+}
+
+impl Transport for SinkTransport {
+    fn send(&mut self, _payload: &[u8]) -> Result<(), TransportError> {
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        self.queued.take().ok_or(TransportError::WouldBlock)
+    }
+
+    fn snapshot(&self) -> CommSnapshot {
+        CommSnapshot { bytes_sent: 0, bytes_received: 0, messages_sent: 0, vtime: Duration::ZERO }
     }
 }
 
-/// Runs one full protocol session over an accepted stream.
-fn serve_connection(
-    shared: &Shared,
-    stream: TcpStream,
-    rng: &mut StdRng,
-) -> Result<(), ProtocolError> {
-    let tcp = TcpTransport::from_stream(stream)?;
-    let mut ch = InstrumentedTransport::new(tcp);
-    shared.metrics.register(ch.handle());
-    ch.set_read_timeout(shared.config.deadlines.read_timeout)?;
+/// Per-worker [`SessionHost`]: parameters from the shared factory,
+/// checkpoints from the token-sharded store, warm bundles from this
+/// worker's pool shard first, stealing from siblings on a miss so a busy
+/// worker cannot strand warm bundles in an idle worker's shard.
+struct WorkerHost<'a> {
+    shared: &'a Shared,
+    worker: usize,
+}
 
-    ch.enter_phase("handshake");
-    let mut claimed: Option<ServerBundle> = None;
-    let mut pooled: Option<(ServerBundle, ClientBundle)> = None;
-    let (batch, token, reply) = handshake_server_ext(
-        &mut ch,
-        |b| shared.info_params.for_batch(b),
-        |t| {
-            claimed = shared.store.claim(t);
-            claimed.is_some()
-        },
-        |params| {
-            pooled = shared.pool.as_ref().and_then(|p| p.take(&BundleKey::from_params(params)));
-            pooled.is_some()
-        },
-    )?;
+impl SessionHost for WorkerHost<'_> {
+    fn params_for(&self, batch: usize) -> SessionParams {
+        self.shared.info_params.for_batch(batch)
+    }
 
-    // `checkpoint` holds the connection-independent state a reconnecting
-    // client could resume from. It stays *out* of the store while this
-    // session is live — that is what makes a concurrently presented
-    // duplicate token downgrade to a fresh run instead of sharing triplets
-    // — and goes back only if the session dies retryably.
-    let mut checkpoint: Option<ServerBundle> = claimed;
-    let outcome = (|| -> Result<(), ProtocolError> {
-        ch.set_phase_budget(shared.config.deadlines.offline_budget)?;
-        ch.enter_phase("setup");
-        let session = ServerSession::setup(&mut ch, rng)?;
+    fn claim_checkpoint(&self, token: &ResumeToken) -> Option<ServerBundle> {
+        self.shared.store.claim(token)
+    }
 
-        let state = if reply.resume {
-            let bundle = checkpoint.clone().expect("accepted resume implies a claimed checkpoint");
-            if bundle.batch != batch {
-                return Err(ProtocolError::Malformed("resumed checkpoint batch mismatch"));
-            }
-            ServerOffline::from_bundle(session, bundle)
-        } else if reply.bundle {
-            let (sb, cb) = pooled.take().expect("accepted bundle implies a pooled pair");
-            ch.enter_phase("bundle");
-            ch.send_frame(&Bundle(cb.encode(shared.info_params.model.config().ring)))?;
-            ch.flush()?;
-            let state = ServerOffline::from_bundle(session, sb);
-            checkpoint = Some(state.to_bundle());
-            state
-        } else {
-            ch.enter_phase("offline");
-            let state = shared.server.offline_with(&mut ch, session, batch)?;
-            checkpoint = Some(state.to_bundle());
-            state
-        };
-
-        ch.enter_phase("online");
-        ch.set_phase_budget(shared.config.deadlines.online_budget)?;
-        shared.server.online(&mut ch, state)?;
-        ch.set_phase_budget(None)?;
-        Ok(())
-    })();
-    match outcome {
-        Ok(()) => {
-            shared.store.remove(&token);
-            Ok(())
+    fn take_bundle(&self, params: &SessionParams) -> Option<(ServerBundle, ClientBundle)> {
+        let pools = &self.shared.pools;
+        if pools.is_empty() {
+            return None;
         }
-        Err(e) => {
-            if e.is_retryable() {
-                if let Some(bundle) = checkpoint.take() {
-                    shared.store.insert(token, bundle);
+        let key = BundleKey::from_params(params);
+        (0..pools.len()).find_map(|i| pools[(self.worker + i) % pools.len()].take(&key))
+    }
+}
+
+/// Outcome of one sweep of one live session.
+enum Sweep {
+    /// Still parked waiting for the peer; nothing happened.
+    Idle,
+    /// Frames moved or the driver advanced; still live.
+    Progress,
+    /// The session ended (`true` = completed successfully).
+    Finished(bool),
+}
+
+/// One multiplexed session: a suspendable driver, its non-blocking frame
+/// pump, and the metrics meter that mirrors the driver's effects.
+struct LiveSession<'a> {
+    driver: SessionDriver<WorkerHost<'a>>,
+    fb: FrameBuffer,
+    meter: InstrumentedTransport<SinkTransport>,
+    /// Wall-clock of the last inbound frame, for the read timeout while
+    /// the driver is parked.
+    last_inbound: Instant,
+    /// Deadline of the current phase budget (`Mark("setup")` arms the
+    /// offline budget across setup+bundle+offline, `Mark("online")` the
+    /// online budget — mirroring the blocking server's placement).
+    phase_deadline: Option<Instant>,
+}
+
+impl<'a> LiveSession<'a> {
+    fn new(
+        shared: &'a Shared,
+        worker: usize,
+        stream: TcpStream,
+        rng: &mut StdRng,
+    ) -> Result<Self, TransportError> {
+        let fb = FrameBuffer::new(stream)?;
+        let meter = InstrumentedTransport::new(SinkTransport::default());
+        shared.metrics.register(meter.handle());
+        let driver = SessionDriver::new(
+            Arc::clone(&shared.server),
+            WorkerHost { shared, worker },
+            StdRng::seed_from_u64(rng.next_u64()),
+        );
+        Ok(LiveSession { driver, fb, meter, last_inbound: Instant::now(), phase_deadline: None })
+    }
+
+    /// Feeds readable frames, advances the driver, applies its effects,
+    /// and enforces deadlines. Returns what happened.
+    fn sweep(&mut self, shared: &Shared) -> Sweep {
+        // Pull every complete inbound frame the kernel has for us. A read
+        // error (EOF, reset) is noted but NOT acted on yet: the final
+        // frames of a session routinely arrive in the same sweep as the
+        // peer's close, and the driver must consume them before the error
+        // is allowed to matter — exactly when the blocking path would have
+        // seen it, at the next starved recv.
+        let mut fed = false;
+        let mut read_err: Option<ProtocolError> = None;
+        loop {
+            match self.fb.poll_read() {
+                Ok(Some(frame)) => {
+                    self.last_inbound = Instant::now();
+                    self.driver.feed(frame);
+                    fed = true;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    read_err = Some(e.into());
+                    break;
                 }
             }
-            Err(e)
+        }
+
+        let step = self.driver.step();
+        self.apply_effects(shared);
+        // Push freshly queued (and any previously unfinished) output.
+        let write_err: Option<ProtocolError> = self.fb.poll_write().err().map(Into::into);
+
+        match step {
+            // A post-completion read error is moot — the protocol never
+            // reads again after the output shares — but a failed final
+            // write is a failed session, as it was on the blocking path.
+            DriverStep::Done => match write_err {
+                Some(e) => self.finish_err(shared, e),
+                None => self.finish_ok(shared),
+            },
+            DriverStep::Failed(e) => self.finish_err(shared, e),
+            DriverStep::NeedRecv => {
+                if let Some(e) = read_err.or(write_err) {
+                    return self.finish_err(shared, e);
+                }
+                let now = Instant::now();
+                if self.phase_deadline.is_some_and(|dl| now >= dl) {
+                    return self.finish_err(shared, ProtocolError::TimedOut);
+                }
+                if let Some(rt) = shared.config.deadlines.read_timeout {
+                    if now.duration_since(self.last_inbound) >= rt {
+                        return self.finish_err(shared, ProtocolError::TimedOut);
+                    }
+                }
+                if fed {
+                    Sweep::Progress
+                } else {
+                    Sweep::Idle
+                }
+            }
+        }
+    }
+
+    /// Mirrors the driver's effects onto the socket (sends) and the
+    /// metrics meter (everything), and arms phase budgets off the marks.
+    fn apply_effects(&mut self, shared: &Shared) {
+        for effect in self.driver.take_effects() {
+            match effect {
+                DriverEffect::Send(bytes) => {
+                    self.fb.queue_send(&bytes);
+                    // The sink cannot fail; metering counts phase + tag.
+                    let _ = self.meter.send(&bytes);
+                }
+                DriverEffect::Flush => {}
+                DriverEffect::Recv { tag, len } => {
+                    // Synthesize a frame of the consumed shape: phase
+                    // stats count the full payload, tag stats key off the
+                    // leading byte.
+                    let mut frame = vec![0u8; len];
+                    if let Some(first) = frame.first_mut() {
+                        *first = tag;
+                    }
+                    self.meter.inner_mut().queued = Some(frame);
+                    let _ = self.meter.recv();
+                }
+                DriverEffect::Mark(label) => {
+                    self.meter.enter_phase(&label);
+                    let deadlines = &shared.config.deadlines;
+                    match label.as_str() {
+                        "setup" => {
+                            self.phase_deadline =
+                                deadlines.offline_budget.map(|b| Instant::now() + b);
+                        }
+                        "online" => {
+                            self.phase_deadline =
+                                deadlines.online_budget.map(|b| Instant::now() + b);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_ok(&mut self, shared: &Shared) -> Sweep {
+        if let Some(token) = self.driver.token() {
+            shared.store.remove(&token);
+        }
+        self.flush_outbound();
+        Sweep::Finished(true)
+    }
+
+    fn finish_err(&mut self, shared: &Shared, e: ProtocolError) -> Sweep {
+        // Mirror the blocking server: a retryably dead session parks its
+        // connection-independent offline state for a future resume.
+        if e.is_retryable() {
+            if let (Some(token), Some(bundle)) =
+                (self.driver.token(), self.driver.take_checkpoint())
+            {
+                shared.store.insert(token, bundle);
+            }
+        }
+        self.flush_outbound();
+        Sweep::Finished(false)
+    }
+
+    /// Best-effort bounded drain of queued output (the negotiation reply,
+    /// the final logit shares) before the socket closes.
+    fn flush_outbound(&mut self) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.fb.has_pending_write() && Instant::now() < deadline {
+            match self.fb.poll_write() {
+                Ok(true) | Err(_) => break,
+                Ok(false) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sessions: Vec<LiveSession<'_>> = Vec::new();
+    loop {
+        // Claim queued connections up to the multiplexing cap; block on
+        // the condvar only when there is nothing at all to do.
+        {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                while sessions.len() < shared.config.sessions_per_worker {
+                    let Some(stream) = q.conns.pop_front() else {
+                        break;
+                    };
+                    // Counted before the lock drops so `drain_complete`
+                    // never sees an empty queue with the pop unaccounted.
+                    shared.metrics.session_started();
+                    match LiveSession::new(shared, worker, stream, &mut rng) {
+                        Ok(live) => sessions.push(live),
+                        Err(_) => shared.metrics.session_ended(false),
+                    }
+                }
+                if !sessions.is_empty() {
+                    break;
+                }
+                if q.draining {
+                    drop(q);
+                    if drain_complete(shared) {
+                        wake_acceptor(shared);
+                    }
+                    return;
+                }
+                q = shared.work.wait(q).expect("queue lock");
+            }
+        }
+
+        // Sweep every live session once.
+        let mut progressed = false;
+        let mut ended = 0usize;
+        sessions.retain_mut(|live| match live.sweep(shared) {
+            Sweep::Idle => true,
+            Sweep::Progress => {
+                progressed = true;
+                true
+            }
+            Sweep::Finished(ok) => {
+                shared.metrics.session_ended(ok);
+                progressed = true;
+                ended += 1;
+                false
+            }
+        });
+        if ended > 0 && drain_complete(shared) {
+            wake_acceptor(shared);
+        }
+        if !progressed {
+            // Every session is parked on its socket: yield briefly
+            // instead of spinning the sweep loop hot.
+            std::thread::sleep(Duration::from_micros(500));
         }
     }
 }

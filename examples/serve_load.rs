@@ -6,7 +6,19 @@
 //! ```sh
 //! cargo run --release --example serve_load -- --clients 8 --requests 2
 //! cargo run --release --example serve_load -- --cnn --clients 4 --requests 2
+//! cargo run --release --example serve_load -- --clients 4 --requests 1 --metrics-out metrics.prom
 //! ```
+//!
+//! `--metrics-out FILE` additionally writes the final server metrics in
+//! the Prometheus text exposition format
+//! ([`MetricsSnapshot::render_prometheus`](abnn2::serve::MetricsSnapshot::render_prometheus)),
+//! including the per-frame-tag byte counters.
+//!
+//! `--sessions-per-worker N` lets each event-loop worker multiplex N
+//! suspendable sessions at once (default 1); deadlines are widened when
+//! multiplexing, since sessions legitimately time-share their worker.
+//! `./scripts/check.sh --async-serve-smoke` uses this to drive more
+//! concurrent clients than worker threads through the frontend.
 //!
 //! `--cnn` serves a conv→pool→dense model instead of the MLP — same
 //! frontend, same pool, same graph executor underneath.
@@ -21,6 +33,7 @@ use abnn2::nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
 use abnn2::nn::{ConvShape, Network, QuantizedCnn, QuantizedConv, SyntheticMnist};
 use abnn2::serve::{ServeClient, ServeConfig, Server};
 use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 fn build_model() -> QuantizedNetwork {
@@ -71,10 +84,17 @@ fn build_cnn() -> QuantizedCnn {
     }
 }
 
-fn parse_args() -> (usize, usize, bool) {
-    let mut clients = 8usize;
-    let mut requests = 2usize;
-    let mut cnn = false;
+struct Args {
+    clients: usize,
+    requests: usize,
+    cnn: bool,
+    metrics_out: Option<PathBuf>,
+    sessions_per_worker: usize,
+}
+
+fn parse_args() -> Args {
+    let mut parsed =
+        Args { clients: 8, requests: 2, cnn: false, metrics_out: None, sessions_per_worker: 1 };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut grab = |name: &str| {
@@ -83,19 +103,52 @@ fn parse_args() -> (usize, usize, bool) {
                 .unwrap_or_else(|| panic!("{name} requires a positive integer"))
         };
         match arg.as_str() {
-            "--clients" => clients = grab("--clients"),
-            "--requests" => requests = grab("--requests"),
-            "--cnn" => cnn = true,
-            other => panic!("unknown argument: {other} (use [--cnn] --clients N --requests M)"),
+            "--clients" => parsed.clients = grab("--clients"),
+            "--requests" => parsed.requests = grab("--requests"),
+            "--sessions-per-worker" => {
+                parsed.sessions_per_worker = grab("--sessions-per-worker");
+            }
+            "--cnn" => parsed.cnn = true,
+            "--metrics-out" => {
+                parsed.metrics_out =
+                    Some(args.next().expect("--metrics-out requires a file path").into());
+            }
+            other => panic!(
+                "unknown argument: {other} \
+                 (use [--cnn] --clients N --requests M \
+                 [--sessions-per-worker K] [--metrics-out FILE])"
+            ),
         }
     }
-    assert!(clients > 0 && requests > 0, "need at least one client and one request");
-    (clients, requests, cnn)
+    assert!(
+        parsed.clients > 0 && parsed.requests > 0 && parsed.sessions_per_worker > 0,
+        "need at least one client, one request, and one session per worker"
+    );
+    parsed
+}
+
+/// Deadlines for the run: the LAN defaults when every worker runs one
+/// session at a time, widened when sessions multiplex — a session can
+/// legitimately wait far longer than a LAN round trip for its worker's
+/// attention while other sessions time-share the event loop.
+fn deadlines_for(sessions_per_worker: usize) -> abnn2::core::SessionDeadlines {
+    if sessions_per_worker > 1 {
+        abnn2::core::SessionDeadlines::uniform(Duration::from_secs(120))
+    } else {
+        abnn2::core::SessionDeadlines::lan()
+    }
 }
 
 /// Waits for the workers' session bookkeeping to settle, prints the
-/// server's metrics, and asserts a clean run.
-fn report_metrics(server: &Server, total: usize, n_clients: usize, n_requests: usize) {
+/// server's metrics (optionally also dumping the Prometheus exposition to
+/// `metrics_out`), and asserts a clean run.
+fn report_metrics(
+    server: &Server,
+    total: usize,
+    n_clients: usize,
+    n_requests: usize,
+    metrics_out: Option<&Path>,
+) {
     let settle = Instant::now();
     while server.metrics().completed < (total as u64) && settle.elapsed() < Duration::from_secs(5) {
         std::thread::sleep(Duration::from_millis(2));
@@ -130,26 +183,37 @@ fn report_metrics(server: &Server, total: usize, n_clients: usize, n_requests: u
         );
     }
 
+    if let Some(path) = metrics_out {
+        std::fs::write(path, m.render_prometheus()).expect("write --metrics-out file");
+        println!("  wrote Prometheus metrics to {}", path.display());
+    }
+
     assert_eq!(m.failed, 0, "no session may fail under clean load");
     assert_eq!(total, n_clients * n_requests);
     println!("\nserve load test passed.");
 }
 
 /// Drives `n_clients × n_requests` MLP requests and checks every logit.
-fn run_mlp(n_clients: usize, n_requests: usize) {
+fn run_mlp(n_clients: usize, n_requests: usize, spw: usize, metrics_out: Option<&Path>) {
     let q = build_model();
     let info = PublicModelInfo::from(&q);
     let codec = q.config.activation_codec();
 
+    let deadlines = deadlines_for(spw);
     let config = ServeConfig {
         workers: 4,
         queue_capacity: 2 * n_clients.max(4),
+        sessions_per_worker: spw,
         pool_depth: n_clients.min(8),
+        deadlines,
         ..ServeConfig::default()
     };
     let server = Server::start(q.clone(), "127.0.0.1:0", config).expect("start server");
     let addr = server.addr();
-    println!("serving MLP on {addr} with 4 workers, pool depth {}", n_clients.min(8));
+    println!(
+        "serving MLP on {addr} with 4 workers x {spw} sessions, pool depth {}",
+        n_clients.min(8)
+    );
 
     // Give the pool a head start so at least the first wave runs warm.
     let warmed = server.warm_up(1, n_clients.min(8), Duration::from_secs(30));
@@ -160,7 +224,7 @@ fn run_mlp(n_clients: usize, n_requests: usize) {
     let per_client: Vec<(usize, usize, u32)> = std::thread::scope(|scope| {
         (0..n_clients)
             .map(|c| {
-                let client = ServeClient::new(info.clone());
+                let client = ServeClient::new(info.clone()).with_deadlines(deadlines);
                 let q = &q;
                 let codec = &codec;
                 let samples = &data.train;
@@ -200,26 +264,32 @@ fn run_mlp(n_clients: usize, n_requests: usize) {
     println!(
         "\n{total} requests from {n_clients} clients in {elapsed:?} — all bit-exact, {warm} warm"
     );
-    report_metrics(&server, total, n_clients, n_requests);
+    report_metrics(&server, total, n_clients, n_requests, metrics_out);
 }
 
 /// Drives `n_clients × n_requests` CNN requests through the same frontend
 /// and checks every logit — exercising graph-keyed pool bundles and the
 /// unified executor over a spatial topology.
-fn run_cnn(n_clients: usize, n_requests: usize) {
+fn run_cnn(n_clients: usize, n_requests: usize, spw: usize, metrics_out: Option<&Path>) {
     let cnn = build_cnn();
     let ring = cnn.config.ring;
     let info = PublicCnnInfo::from(&cnn);
 
+    let deadlines = deadlines_for(spw);
     let config = ServeConfig {
         workers: 4,
         queue_capacity: 2 * n_clients.max(4),
+        sessions_per_worker: spw,
         pool_depth: n_clients.min(8),
+        deadlines,
         ..ServeConfig::default()
     };
     let server = Server::start(cnn.clone(), "127.0.0.1:0", config).expect("start server");
     let addr = server.addr();
-    println!("serving CNN on {addr} with 4 workers, pool depth {}", n_clients.min(8));
+    println!(
+        "serving CNN on {addr} with 4 workers x {spw} sessions, pool depth {}",
+        n_clients.min(8)
+    );
 
     let warmed = server.warm_up(1, n_clients.min(8), Duration::from_secs(30));
     println!("pool warm: {warmed}");
@@ -228,7 +298,7 @@ fn run_cnn(n_clients: usize, n_requests: usize) {
     let per_client: Vec<(usize, usize, u32)> = std::thread::scope(|scope| {
         (0..n_clients)
             .map(|c| {
-                let client = ServeClient::for_model(info.clone());
+                let client = ServeClient::for_model(info.clone()).with_deadlines(deadlines);
                 let cnn = &cnn;
                 scope.spawn(move || {
                     let mut rng = rand::rngs::StdRng::seed_from_u64(950 + c as u64);
@@ -267,14 +337,15 @@ fn run_cnn(n_clients: usize, n_requests: usize) {
     println!(
         "\n{total} CNN requests from {n_clients} clients in {elapsed:?} — all bit-exact, {warm} warm"
     );
-    report_metrics(&server, total, n_clients, n_requests);
+    report_metrics(&server, total, n_clients, n_requests, metrics_out);
 }
 
 fn main() {
-    let (n_clients, n_requests, cnn) = parse_args();
-    if cnn {
-        run_cnn(n_clients, n_requests);
+    let args = parse_args();
+    let spw = args.sessions_per_worker;
+    if args.cnn {
+        run_cnn(args.clients, args.requests, spw, args.metrics_out.as_deref());
     } else {
-        run_mlp(n_clients, n_requests);
+        run_mlp(args.clients, args.requests, spw, args.metrics_out.as_deref());
     }
 }

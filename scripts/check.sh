@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local CI gate: build, test, formatting, lints. Run from the repo root.
 #
-#   ./scripts/check.sh [--chaos-seeds N] [--serve-smoke] [--cnn-serve-smoke] [--wire-fuzz-smoke]
+#   ./scripts/check.sh [--chaos-seeds N] [--serve-smoke] [--cnn-serve-smoke] \
+#                      [--async-serve-smoke] [--wire-fuzz-smoke]
 #
 # --chaos-seeds N widens the seeded chaos suite (tests/chaos.rs) from its
 # default of 64 seeds without recompiling.
@@ -12,6 +13,13 @@
 #
 # --cnn-serve-smoke does the same with a conv→pool→dense model, proving
 # the graph executor serves spatial topologies through the same frontend.
+#
+# --async-serve-smoke exercises the event-driven session engine: the
+# sessions-per-worker scaling test (64 clients multiplexed over 4
+# event-loop workers, O(workers) protocol threads), the event-loop chaos
+# tests (mid-session cut while the driver is parked -> checkpoint ->
+# bit-exact resume; delayed frames), and the load generator with more
+# clients than workers so warm-pool sessions time-share the event loops.
 #
 # --wire-fuzz-smoke runs the typed-wire-layer adversarial suites in
 # release mode: frame round-trip/truncation/corruption totality
@@ -38,6 +46,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --cnn-serve-smoke)
       CNN_SERVE_SMOKE=1
+      shift
+      ;;
+    --async-serve-smoke)
+      ASYNC_SERVE_SMOKE=1
       shift
       ;;
     --wire-fuzz-smoke)
@@ -76,6 +88,13 @@ fi
 if [[ "${CNN_SERVE_SMOKE:-0}" == "1" ]]; then
   echo "==> CNN serve smoke: 4 concurrent clients x 2 requests"
   cargo run --release --example serve_load -- --cnn --clients 4 --requests 2
+fi
+
+if [[ "${ASYNC_SERVE_SMOKE:-0}" == "1" ]]; then
+  echo "==> async serve smoke: multiplexed event-loop serving, cut/resume, warm pool"
+  cargo test --release --test serve_scale
+  cargo test --release --test chaos event_loop
+  cargo run --release --example serve_load -- --clients 12 --requests 2 --sessions-per-worker 4
 fi
 
 if [[ "${WIRE_FUZZ_SMOKE:-0}" == "1" ]]; then

@@ -27,18 +27,22 @@
 //! CHAOS_SEEDS=256 cargo test --test chaos
 //! ```
 
-use abnn2::core::inference::{PublicModelInfo, SecureClient, SecureServer};
+use abnn2::core::handshake::{handshake_client_ext, HelloRequest, SessionParams};
+use abnn2::core::inference::{ClientOffline, PublicModelInfo, SecureClient, SecureServer};
 use abnn2::core::resilient::{ResilientClient, ResilientServer};
-use abnn2::core::{ProtocolError, SessionDeadlines};
+use abnn2::core::session::ClientSession;
+use abnn2::core::{ExecConfig, ProtocolError, SessionDeadlines};
 use abnn2::math::{FragmentScheme, Ring};
 use abnn2::net::{
-    sim_link, Endpoint, Fault, FaultPlan, FaultyTransport, NetworkModel, RetryPolicy,
+    sim_link, Endpoint, Fault, FaultPlan, FaultyTransport, NetworkModel, RetryPolicy, TcpTransport,
+    Transport,
 };
 use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
 use abnn2::nn::Network;
+use abnn2::serve::{ServeConfig, Server};
 use rand::SeedableRng;
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn chaos_seed_count() -> u64 {
     std::env::var("CHAOS_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
@@ -271,6 +275,140 @@ fn tag_flip_at_every_entry_point_names_the_expected_frame() {
         assert!(landed >= 5, "side {side}: only {landed} flips landed — sweep too short?");
         assert!(clean >= 1, "side {side}: no clean run — raise SWEEP to cover the session");
     }
+}
+
+/// A client that completes the offline phase and then vanishes leaves the
+/// serving frontend's session driver **suspended in the event loop** at
+/// the first online recv. The cut must surface as a retryable failure
+/// that parks the offline state in the checkpoint store, and a reconnect
+/// with the same token must resume to logits bit-identical to an
+/// uninterrupted blocking run — the suspended-state path may not diverge
+/// from the thread-per-session path it replaced.
+#[test]
+fn event_loop_cut_while_parked_checkpoints_and_resumes_bit_exact() {
+    let q = tiny_model();
+    let x: Vec<u64> = vec![700, 1 << 8, 3, 90, 0, 5, 2 << 7, 33, 12, 256];
+    let expected = q.forward_exact(&x);
+    let info = PublicModelInfo::from(&q);
+    let server = Server::start(
+        q.clone(),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            sessions_per_worker: 4,
+            pool_depth: 0,
+            deadlines: SessionDeadlines::uniform(Duration::from_secs(5)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    let client = SecureClient::new(info.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+    let token: [u8; 16] = [0x5A; 16];
+    let ours = SessionParams::for_model(&info, ExecConfig::new().variant, 1);
+
+    // Attempt 1: run through the offline phase, then cut the connection
+    // while the server's driver is parked awaiting the first online frame.
+    let checkpoint = {
+        let mut ch = TcpTransport::connect(addr).expect("connect");
+        ch.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let reply = handshake_client_ext(
+            &mut ch,
+            ours,
+            &token,
+            HelloRequest { resume: false, bundle: false },
+        )
+        .expect("handshake");
+        assert!(!reply.resume && !reply.bundle);
+        let session = ClientSession::setup(&mut ch, &mut rng).expect("setup");
+        let state = client.offline_with(&mut ch, session, 1, &mut rng).expect("offline");
+        // Flush the coalesced tail of the offline exchange so the server
+        // finishes its offline phase and parks at the first online recv;
+        // TCP orders the data ahead of the EOF from the drop below.
+        ch.flush().expect("flush");
+        state.to_bundle()
+        // `ch` drops here: mid-session cut.
+    };
+
+    // The parked driver observes the cut, fails retryably, and parks its
+    // connection-independent state in the sharded checkpoint store.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !server.checkpoint_store().contains(&token) {
+        assert!(Instant::now() < deadline, "server never checkpointed the cut session");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.metrics().failed, 1, "the cut session must count as failed");
+
+    // Attempt 2: reconnect with the same token and resume.
+    let mut ch = TcpTransport::connect(addr).expect("reconnect");
+    ch.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let reply =
+        handshake_client_ext(&mut ch, ours, &token, HelloRequest { resume: true, bundle: false })
+            .expect("resume handshake");
+    assert!(reply.resume, "server must offer to resume the checkpointed session");
+    let session = ClientSession::setup(&mut ch, &mut rng).expect("setup");
+    let state = ClientOffline::from_bundle(session, checkpoint);
+    let y = client.online_raw(&mut ch, state, std::slice::from_ref(&x), &mut rng).expect("online");
+    assert_eq!(y.col(0), expected, "resumed logits diverge from forward_exact");
+}
+
+/// Delay faults on the client side stall individual frames while the
+/// server's driver sits suspended in the event loop. As long as every
+/// stall stays under the read timeout, the dribbling session must
+/// complete bit-exact — repeated park/resume cycles may not perturb the
+/// protocol stream.
+#[test]
+fn event_loop_rides_out_delayed_frames_while_parked() {
+    let q = tiny_model();
+    let x: Vec<u64> = vec![9, 200, 31, 4, 1 << 9, 55, 6, 77, 801, 12];
+    let expected = q.forward_exact(&x);
+    let info = PublicModelInfo::from(&q);
+    let server = Server::start(
+        q.clone(),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            sessions_per_worker: 2,
+            pool_depth: 0,
+            deadlines: SessionDeadlines::uniform(Duration::from_secs(5)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    let client = SecureClient::new(info.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4711);
+    let token: [u8; 16] = [0x77; 16];
+    let ours = SessionParams::for_model(&info, ExecConfig::new().variant, 1);
+
+    // Stall a spread of frames in both directions: the hello (driver parks
+    // before any protocol state), mid-setup, and deep in the offline phase.
+    let plan = FaultPlan::of(vec![
+        Fault::DelaySend { index: 0, millis: 200 },
+        Fault::DelaySend { index: 2, millis: 150 },
+        Fault::DelaySend { index: 5, millis: 150 },
+        Fault::DelayRecv { index: 3, millis: 150 },
+    ]);
+    let mut ch = FaultyTransport::with_plan(TcpTransport::connect(addr).expect("connect"), plan);
+    ch.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let reply =
+        handshake_client_ext(&mut ch, ours, &token, HelloRequest { resume: false, bundle: false })
+            .expect("handshake");
+    assert!(!reply.resume && !reply.bundle);
+    let session = ClientSession::setup(&mut ch, &mut rng).expect("setup");
+    let state = client.offline_with(&mut ch, session, 1, &mut rng).expect("offline");
+    let y = client.online_raw(&mut ch, state, std::slice::from_ref(&x), &mut rng).expect("online");
+    assert_eq!(y.col(0), expected, "delayed session diverges from forward_exact");
+
+    // Bookkeeping settles after the client's last recv; wait briefly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics().completed < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let m = server.metrics();
+    assert_eq!(m.completed, 1);
+    assert_eq!(m.failed, 0, "delays under the read timeout must not fail the session");
 }
 
 /// The same contract under a latency-bearing network model: virtual-clock
