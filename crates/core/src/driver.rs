@@ -259,6 +259,7 @@ pub struct SessionDriver<H: SessionHost> {
     replay: ReplayTransport,
     state: State,
     token: Option<ResumeToken>,
+    batch: Option<usize>,
     checkpoint: Option<ServerBundle>,
     pending: Vec<DriverEffect>,
     /// Inbox length at the last starvation, to skip no-progress replays.
@@ -287,6 +288,7 @@ impl<H: SessionHost> SessionDriver<H> {
             replay: ReplayTransport::default(),
             state: State::Handshake,
             token: None,
+            batch: None,
             checkpoint: None,
             pending: Vec::new(),
             parked_at: None,
@@ -311,6 +313,14 @@ impl<H: SessionHost> SessionDriver<H> {
     #[must_use]
     pub fn token(&self) -> Option<ResumeToken> {
         self.token
+    }
+
+    /// The batch size the client negotiated (known once the handshake
+    /// phase has completed). Serving governors key per-session resource
+    /// quotas off the plan this batch selects.
+    #[must_use]
+    pub fn batch(&self) -> Option<usize> {
+        self.batch
     }
 
     /// Removes and returns the connection-independent offline state a
@@ -420,6 +430,7 @@ impl<H: SessionHost> SessionDriver<H> {
                     },
                 )?;
                 self.token = Some(token);
+                self.batch = Some(batch);
                 Ok(State::Setup { batch, reply, claimed, pooled })
             }
             State::Setup { batch, reply, claimed, pooled } => {
@@ -464,21 +475,38 @@ impl<H: SessionHost> SessionDriver<H> {
     }
 }
 
-/// Runs a [`SessionDriver`] to completion over a blocking transport: the
-/// pre-event-loop server flow, now a thin adapter. Effects map one-to-one
-/// onto transport calls, so the wire transcript is byte-identical to the
-/// historical straight-line implementation.
+/// What a completed [`drive_frames`] run observed about the driver's
+/// suspension behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DriveStats {
+    /// How many times the driver parked on a missing frame and was fed
+    /// one from the transport.
+    pub suspensions: u32,
+}
+
+/// Runs a [`SessionDriver`] to completion over a blocking transport,
+/// applying every externalized effect and feeding every parked recv. A
+/// peer fault — negotiation mismatch, malformed frame, disconnect —
+/// surfaces as a typed [`ProtocolError`] return; this loop never panics
+/// on peer behavior. `observe` sees each effect before it is applied
+/// (pass `|_| {}` when the caller does not care).
 ///
 /// # Errors
 ///
-/// Returns the driver's [`ProtocolError`] or any transport failure.
-pub fn drive_blocking<T: Transport, H: SessionHost>(
+/// Returns the driver's [`ProtocolError`] or any transport failure. The
+/// driver's pending effects — including a negotiation reply produced
+/// *after* the failure — are applied before the error is returned, so
+/// the peer observes the symmetric error instead of hanging.
+pub fn drive_frames<T: Transport, H: SessionHost>(
     ch: &mut T,
     driver: &mut SessionDriver<H>,
-) -> Result<(), ProtocolError> {
+    mut observe: impl FnMut(&DriverEffect),
+) -> Result<DriveStats, ProtocolError> {
+    let mut stats = DriveStats::default();
     loop {
         let step = driver.step();
         for effect in driver.take_effects() {
+            observe(&effect);
             match effect {
                 DriverEffect::Send(bytes) => ch.send_owned(bytes)?,
                 DriverEffect::Flush => ch.flush()?,
@@ -487,11 +515,29 @@ pub fn drive_blocking<T: Transport, H: SessionHost>(
             }
         }
         match step {
-            DriverStep::Done => return Ok(()),
+            DriverStep::Done => return Ok(stats),
             DriverStep::Failed(e) => return Err(e),
-            DriverStep::NeedRecv => driver.feed(ch.recv()?),
+            DriverStep::NeedRecv => {
+                stats.suspensions += 1;
+                driver.feed(ch.recv()?);
+            }
         }
     }
+}
+
+/// Runs a [`SessionDriver`] to completion over a blocking transport: the
+/// pre-event-loop server flow, now a thin adapter over [`drive_frames`].
+/// Effects map one-to-one onto transport calls, so the wire transcript is
+/// byte-identical to the historical straight-line implementation.
+///
+/// # Errors
+///
+/// Returns the driver's [`ProtocolError`] or any transport failure.
+pub fn drive_blocking<T: Transport, H: SessionHost>(
+    ch: &mut T,
+    driver: &mut SessionDriver<H>,
+) -> Result<(), ProtocolError> {
+    drive_frames(ch, driver, |_| {}).map(|_| ())
 }
 
 #[cfg(test)]
@@ -565,32 +611,16 @@ mod tests {
                     .expect("online")
             });
             let mut driver = driver_for(&server, 10);
-            let mut suspensions = 0u32;
             let mut hello_replies = 0u32;
-            loop {
-                let step = driver.step();
-                for effect in driver.take_effects() {
-                    match effect {
-                        DriverEffect::Send(bytes) => {
-                            if bytes.first() == Some(&wire::tags::HELLO) {
-                                hello_replies += 1;
-                            }
-                            Transport::send_owned(&mut sch, bytes).expect("send");
-                        }
-                        DriverEffect::Flush => Transport::flush(&mut sch).expect("flush"),
-                        DriverEffect::Mark(_) | DriverEffect::Recv { .. } => {}
+            let stats = drive_frames(&mut sch, &mut driver, |effect| {
+                if let DriverEffect::Send(bytes) = effect {
+                    if bytes.first() == Some(&wire::tags::HELLO) {
+                        hello_replies += 1;
                     }
                 }
-                match step {
-                    DriverStep::Done => break,
-                    DriverStep::Failed(e) => panic!("driver failed: {e}"),
-                    DriverStep::NeedRecv => {
-                        suspensions += 1;
-                        driver.feed(Transport::recv(&mut sch).expect("recv"));
-                    }
-                }
-            }
-            (suspensions, hello_replies, cli.join().expect("client thread"))
+            })
+            .expect("server");
+            (stats.suspensions, hello_replies, cli.join().expect("client thread"))
         });
 
         assert_eq!(y.col(0), expected, "driver-served logits must equal forward_exact");
@@ -625,9 +655,10 @@ mod tests {
         assert_eq!(y.col(0), expected);
     }
 
-    /// A mismatched client fails negotiation on both sides, and the
-    /// driver still externalizes the hello reply after `Failed` so the
-    /// peer observes the symmetric error instead of hanging.
+    /// A mismatched client fails negotiation on both sides: the drive
+    /// loop returns the typed error — it never panics on a peer fault —
+    /// and still externalizes the hello reply after `Failed` so the peer
+    /// observes the symmetric error instead of hanging.
     #[test]
     fn negotiation_failure_externalizes_the_reply() {
         let server = Arc::new(SecureServer::new(tiny_model()));
@@ -646,26 +677,12 @@ mod tests {
             let cli = scope.spawn(move || handshake_client(&mut cch, theirs, &[0u8; 16], false));
             let mut driver = driver_for(&server, 30);
             let mut sent_reply = false;
-            let err = loop {
-                let step = driver.step();
-                for effect in driver.take_effects() {
-                    match effect {
-                        DriverEffect::Send(bytes) => {
-                            sent_reply = true;
-                            Transport::send_owned(&mut sch, bytes).expect("send");
-                        }
-                        DriverEffect::Flush => Transport::flush(&mut sch).expect("flush"),
-                        DriverEffect::Mark(_) | DriverEffect::Recv { .. } => {}
-                    }
+            let err = drive_frames(&mut sch, &mut driver, |effect| {
+                if matches!(effect, DriverEffect::Send(_)) {
+                    sent_reply = true;
                 }
-                match step {
-                    DriverStep::Failed(e) => break e,
-                    DriverStep::NeedRecv => {
-                        driver.feed(Transport::recv(&mut sch).expect("recv"));
-                    }
-                    DriverStep::Done => panic!("mismatched session completed"),
-                }
-            };
+            })
+            .expect_err("mismatched session must fail, not complete");
             assert!(matches!(err, ProtocolError::Negotiation { .. }), "server got {err}");
             assert!(sent_reply, "failed negotiation must still send the hello reply");
             assert_eq!(driver.phase(), "failed");

@@ -35,8 +35,14 @@ pub enum ProtocolError {
     /// draining for shutdown. Deliberately *not* retryable under the
     /// resilient drivers' immediate reconnect loop — hammering an
     /// overloaded server makes the overload worse; callers that want to
-    /// retry should schedule their own, later attempt.
-    Overloaded,
+    /// retry should wait at least the server's hint first.
+    Overloaded {
+        /// Server-suggested wait before the next admission attempt,
+        /// derived from its live-session occupancy and precompute-pool
+        /// depth. `0` means the server offered no hint (e.g. an older
+        /// peer); callers fall back to their own backoff.
+        retry_after_ms: u32,
+    },
 }
 
 impl ProtocolError {
@@ -54,7 +60,7 @@ impl ProtocolError {
             | ProtocolError::Negotiation { .. }
             | ProtocolError::Malformed(_)
             | ProtocolError::Dimension(_)
-            | ProtocolError::Overloaded => false,
+            | ProtocolError::Overloaded { .. } => false,
         }
     }
 }
@@ -79,8 +85,11 @@ impl std::fmt::Display for ProtocolError {
             ),
             ProtocolError::Malformed(what) => write!(f, "malformed protocol message: {what}"),
             ProtocolError::Dimension(what) => write!(f, "dimension mismatch: {what}"),
-            ProtocolError::Overloaded => {
-                write!(f, "server refused admission (overloaded or draining)")
+            ProtocolError::Overloaded { retry_after_ms } => {
+                write!(
+                    f,
+                    "server refused admission (overloaded or draining; retry after {retry_after_ms} ms)"
+                )
             }
         }
     }

@@ -264,6 +264,72 @@ impl SecureGraph {
     pub fn triplet_shapes(&self) -> Vec<(usize, usize)> {
         self.plan().iter().map(|p| (p.m, p.o)).collect()
     }
+
+    /// Analytic ceiling on the traffic a *well-behaved* client sends the
+    /// server over one full cold session under this plan. Serving
+    /// governors use it as the per-session inbound quota: the planner
+    /// knows every op's communication shape (the same γ(N−1)·m·n·elem
+    /// counts `tests/comm_shape.rs` pins), so a peer whose inbound volume
+    /// exceeds the ceiling is provably not running the protocol and can
+    /// be evicted.
+    ///
+    /// The bound is deliberately generous — each term is an over-estimate
+    /// of the corresponding protocol phase, and the total carries a 4×
+    /// slack factor — because a false eviction of an honest client is far
+    /// worse than letting a flood run a few times longer than necessary.
+    #[must_use]
+    pub fn inbound_ceiling(&self) -> CommCeiling {
+        let cfg = &self.graph.config;
+        let ring_bytes = cfg.ring.byte_len() as u64;
+        let ring_bits = u64::from(cfg.ring.bits());
+        let gamma = cfg.scheme.gamma() as u64;
+        // Hello, base-OT setup (κ Edwards points + ciphertexts), and
+        // per-phase framing slop.
+        let mut frames: u64 = 64;
+        let mut bytes: u64 = 1 << 16;
+        for p in self.plan() {
+            // KK13 fragment OTs: the client sends its masked triplet
+            // messages — Σ over fragments of (N−1)·m·n messages of
+            // `o`-element length (comm_shape.rs pins this count exactly) —
+            // plus per-extension column/correction overhead folded into
+            // the slack below.
+            let elem = p.o as u64 * ring_bytes;
+            let masked: u64 = cfg
+                .scheme
+                .fragments()
+                .iter()
+                .map(|f| (f.n - 1) * (p.m as u64) * (p.n as u64) * elem)
+                .sum();
+            bytes += masked;
+            frames += gamma + 8;
+        }
+        for op in &self.graph.ops {
+            if op.is_reshare() {
+                // GC evaluation: the client's OT-extension traffic for its
+                // input labels scales with the op's output wires; 64 bytes
+                // per wire dominates the IKNP column matrices (16·wires)
+                // plus corrections and per-round framing.
+                let wires = (op.out_len() * self.batch) as u64 * ring_bits;
+                bytes += wires * 64;
+                frames += 32;
+            }
+        }
+        // Online: blinded input shares plus small per-op exchanges.
+        bytes += (self.graph.input_len() * self.batch) as u64 * ring_bytes;
+        bytes += self.graph.ops.len() as u64 * 4096;
+        frames += self.graph.ops.len() as u64 * 8;
+        CommCeiling { frames: frames * 4, bytes: bytes * 4 }
+    }
+}
+
+/// Upper bound on one direction of a session's traffic, as computed by
+/// [`SecureGraph::inbound_ceiling`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommCeiling {
+    /// Maximum number of frames.
+    pub frames: u64,
+    /// Maximum total payload bytes.
+    pub bytes: u64,
 }
 
 /// `W·X + b + U` — the server's online share of any linear op. `weights`

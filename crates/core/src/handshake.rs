@@ -268,11 +268,15 @@ pub fn handshake_client_ext<T: Transport>(
     }
     ch.send_frame(&Hello(ours.encode(flags, token).to_vec()))?;
     let Hello(reply) = ch.recv_frame().map_err(hello_err)?;
-    let (theirs, reply_flags, _token) = SessionParams::decode(&reply)?;
+    let (theirs, reply_flags, reply_token) = SessionParams::decode(&reply)?;
     // Admission rejection outranks the parameter check: an overloaded
     // server replies with a minimal busy frame, not its real parameters.
+    // The token field of a busy frame is repurposed to carry the server's
+    // retry-after hint in its leading four bytes (zero from older peers).
     if reply_flags & FLAG_BUSY != 0 {
-        return Err(ProtocolError::Overloaded);
+        let retry_after_ms =
+            u32::from_le_bytes(reply_token[..4].try_into().expect("token is 16 bytes"));
+        return Err(ProtocolError::Overloaded { retry_after_ms });
     }
     if theirs != ours {
         return Err(ProtocolError::Negotiation { ours, theirs });
@@ -387,7 +391,28 @@ pub fn handshake_server<T: Transport>(
 /// Transport-level errors only; a peer that vanished mid-rejection is not
 /// worth reporting beyond that.
 pub fn reject_busy<T: Transport>(ch: &mut T, ours: SessionParams) -> Result<(), ProtocolError> {
-    ch.send_frame(&Hello(ours.encode(FLAG_BUSY, &[0u8; 16]).to_vec()))?;
+    reject_busy_with(ch, ours, 0)
+}
+
+/// [`reject_busy`] with a load-shedding hint: the client should wait at
+/// least `retry_after_ms` before its next admission attempt. The hint
+/// rides in the leading four bytes of the busy frame's otherwise-unused
+/// token field, so the frame format and protocol version are unchanged;
+/// clients that predate the hint see only the busy flag they already
+/// understand.
+///
+/// # Errors
+///
+/// Transport-level errors only; a peer that vanished mid-rejection is not
+/// worth reporting beyond that.
+pub fn reject_busy_with<T: Transport>(
+    ch: &mut T,
+    ours: SessionParams,
+    retry_after_ms: u32,
+) -> Result<(), ProtocolError> {
+    let mut token = [0u8; 16];
+    token[..4].copy_from_slice(&retry_after_ms.to_le_bytes());
+    ch.send_frame(&Hello(ours.encode(FLAG_BUSY, &token).to_vec()))?;
     ch.flush()?;
     Ok(())
 }
@@ -523,8 +548,12 @@ mod tests {
         let i2 = i.clone();
         std::thread::scope(|scope| {
             scope.spawn(move || {
-                reject_busy(&mut s, SessionParams::for_model(&i2, ReluVariant::Oblivious, 0))
-                    .unwrap();
+                reject_busy_with(
+                    &mut s,
+                    SessionParams::for_model(&i2, ReluVariant::Oblivious, 0),
+                    250,
+                )
+                .unwrap();
                 // Drain the client's hello so the link stays open until the
                 // client has sent it (a real acceptor closes after reject;
                 // the hello sits in the socket buffer either way). Raw
@@ -532,7 +561,24 @@ mod tests {
                 let _ = Transport::recv(&mut s);
             });
             let err = handshake_client(&mut c, ours, &[0; 16], false).unwrap_err();
-            assert_eq!(err, ProtocolError::Overloaded);
+            assert_eq!(err, ProtocolError::Overloaded { retry_after_ms: 250 });
+        });
+    }
+
+    #[test]
+    fn plain_busy_rejection_carries_no_hint() {
+        let i = info(&[8, 4, 2], 32);
+        let (mut c, mut s) = Endpoint::pair(NetworkModel::instant());
+        let ours = SessionParams::for_model(&i, ReluVariant::Oblivious, 1);
+        let i2 = i.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                reject_busy(&mut s, SessionParams::for_model(&i2, ReluVariant::Oblivious, 0))
+                    .unwrap();
+                let _ = Transport::recv(&mut s);
+            });
+            let err = handshake_client(&mut c, ours, &[0; 16], false).unwrap_err();
+            assert_eq!(err, ProtocolError::Overloaded { retry_after_ms: 0 });
         });
     }
 

@@ -196,6 +196,20 @@ impl SecureServer {
         SecureGraph::new(self.model.graph(), batch)
     }
 
+    /// Per-session inbound traffic quota for a negotiated batch size —
+    /// [`SecureGraph::inbound_ceiling`] for this model's plan. Serving
+    /// layers evict sessions that exceed it.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Dimension`] if `batch` is invalid for the model.
+    pub fn inbound_ceiling(
+        &self,
+        batch: usize,
+    ) -> Result<crate::graph::CommCeiling, ProtocolError> {
+        Ok(self.secure_graph(batch)?.inbound_ceiling())
+    }
+
     /// Offline phase: handshake, session setup, and per-op triplet
     /// generation for a batch of `batch` predictions.
     ///

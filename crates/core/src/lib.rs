@@ -65,9 +65,12 @@ pub use bundle::{
     dealer_bundle, dealer_bundle_for, BundleKey, ClientBundle, ServerBundle, BUNDLE_LAYOUT_VERSION,
 };
 pub use config::{ExecConfig, SessionDeadlines};
-pub use driver::{drive_blocking, DriverEffect, DriverStep, NullHost, SessionDriver, SessionHost};
+pub use driver::{
+    drive_blocking, drive_frames, DriveStats, DriverEffect, DriverStep, NullHost, SessionDriver,
+    SessionHost,
+};
 pub use error::ProtocolError;
-pub use graph::{PublicModel, SecureGraph, ServedModel, TripletPlan};
+pub use graph::{CommCeiling, PublicModel, SecureGraph, ServedModel, TripletPlan};
 pub use handshake::{HelloReply, HelloRequest, ResumeToken, SessionParams, PROTOCOL_VERSION};
 pub use inference::{PublicModelInfo, SecureClient, SecureServer};
 pub use matmul::TripletMode;

@@ -27,7 +27,11 @@ use std::net::TcpStream;
 enum ReadState {
     /// Accumulating the 4-byte length prefix.
     Header { buf: [u8; 4], filled: usize },
-    /// Accumulating the payload of a frame whose length is known.
+    /// Length known; awaiting the tag byte so the payload allocation can
+    /// be bounded by the tag's registry ceiling before it happens.
+    Tag { len: usize },
+    /// Accumulating the payload of a frame whose length and tag passed
+    /// their bounds.
     Payload { buf: Vec<u8>, filled: usize },
 }
 
@@ -101,8 +105,10 @@ impl FrameBuffer {
     /// # Errors
     ///
     /// [`TransportError::Closed`] on EOF or a socket error,
-    /// [`TransportError::Malformed`] on an oversized length prefix. Both
-    /// are sticky.
+    /// [`TransportError::Malformed`] on an oversized length prefix or a
+    /// payload larger than its tag's registry ceiling
+    /// ([`wire::tags::max_len`](crate::wire::tags::max_len)). All are
+    /// sticky.
     pub fn poll_read(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
         self.check_sticky()?;
         loop {
@@ -123,7 +129,35 @@ impl FrameBuffer {
                             self.fail(TransportError::Malformed("frame length exceeds maximum"))
                         );
                     }
-                    self.read = ReadState::Payload { buf: vec![0u8; len], filled: 0 };
+                    if len == 0 {
+                        // Empty message: no tag byte to bound against; the
+                        // decoder surfaces it as a typed Empty error.
+                        self.read = ReadState::Header { buf: [0; 4], filled: 0 };
+                        return Ok(Some(Vec::new()));
+                    }
+                    self.read = ReadState::Tag { len };
+                }
+                ReadState::Tag { len } => {
+                    let len = *len;
+                    let mut tag = [0u8; 1];
+                    loop {
+                        match self.stream.read(&mut tag) {
+                            Ok(0) => return Err(self.fail(TransportError::Closed)),
+                            Ok(_) => break,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                            Err(_) => return Err(self.fail(TransportError::Closed)),
+                        }
+                    }
+                    let ceiling = crate::wire::tags::max_len(tag[0])
+                        .unwrap_or(crate::wire::tags::UNREGISTERED_MAX_LEN);
+                    if len - 1 > ceiling {
+                        return Err(self
+                            .fail(TransportError::Malformed("frame length exceeds tag ceiling")));
+                    }
+                    let mut buf = vec![0u8; len];
+                    buf[0] = tag[0];
+                    self.read = ReadState::Payload { buf, filled: 1 };
                 }
                 ReadState::Payload { buf, filled } => {
                     while *filled < buf.len() {
@@ -183,6 +217,14 @@ impl FrameBuffer {
     #[must_use]
     pub fn has_pending_write(&self) -> bool {
         self.wpos < self.wbuf.len()
+    }
+
+    /// Bytes of framed output queued but not yet accepted by the socket —
+    /// the quantity a serving governor bounds to evict peers that stop
+    /// draining their connection.
+    #[must_use]
+    pub fn pending_write_bytes(&self) -> usize {
+        self.wbuf.len() - self.wpos
     }
 }
 
@@ -272,6 +314,45 @@ mod tests {
         };
         assert_eq!(err, TransportError::Malformed("frame length exceeds maximum"));
         assert_eq!(fb.poll_read(), Err(TransportError::Malformed("frame length exceeds maximum")));
+    }
+
+    #[test]
+    fn payload_above_tag_ceiling_is_malformed_before_allocation() {
+        let (mut fb, mut peer) = pair();
+        // A u64 frame (8-byte ceiling) claiming half a gigabyte must be
+        // rejected from the five header+tag bytes alone — the payload
+        // buffer is never allocated.
+        peer.write_all(&((1u32 << 29) + 1).to_le_bytes()).expect("len");
+        peer.write_all(&[crate::wire::tags::U64]).expect("tag");
+        peer.flush().expect("flush");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let err = loop {
+            match fb.poll_read() {
+                Ok(Some(_)) => panic!("oversized frame must not complete"),
+                Ok(None) => {
+                    assert!(Instant::now() < deadline, "no error within deadline");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, TransportError::Malformed("frame length exceeds tag ceiling"));
+        assert_eq!(
+            fb.poll_read(),
+            Err(TransportError::Malformed("frame length exceeds tag ceiling")),
+            "tag-ceiling rejection must latch"
+        );
+    }
+
+    #[test]
+    fn frame_at_its_tag_ceiling_still_completes() {
+        let (mut fb, mut peer) = pair();
+        let mut payload = vec![crate::wire::tags::U64];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        peer.write_all(&(payload.len() as u32).to_le_bytes()).expect("len");
+        peer.write_all(&payload).expect("payload");
+        peer.flush().expect("flush");
+        assert_eq!(read_frame(&mut fb), payload);
     }
 
     #[test]

@@ -265,8 +265,23 @@ impl Transport for TcpTransport {
         if len > MAX_FRAME_LEN {
             return Err(TransportError::Malformed("frame length exceeds maximum"));
         }
-        let mut payload = vec![0u8; len];
-        self.read_full(&mut payload, true)?;
+        let payload = if len == 0 {
+            Vec::new()
+        } else {
+            // Read the tag byte first so the allocation is bounded by the
+            // tag's registry ceiling, not the blanket MAX_FRAME_LEN.
+            let mut tag = [0u8; 1];
+            self.read_full(&mut tag, true)?;
+            let ceiling = crate::wire::tags::max_len(tag[0])
+                .unwrap_or(crate::wire::tags::UNREGISTERED_MAX_LEN);
+            if len - 1 > ceiling {
+                return Err(TransportError::Malformed("frame length exceeds tag ceiling"));
+            }
+            let mut payload = vec![0u8; len];
+            payload[0] = tag[0];
+            self.read_full(&mut payload[1..], true)?;
+            payload
+        };
         self.bytes_received += len as u64;
         Ok(payload)
     }

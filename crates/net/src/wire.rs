@@ -204,6 +204,40 @@ pub mod tags {
     pub fn name(tag: u8) -> &'static str {
         ALL.iter().find(|&&(t, _)| t == tag).map_or("unregistered", |&(_, n)| n)
     }
+
+    /// Allocation ceiling applied to frames whose tag is not in [`ALL`]:
+    /// decoders reject unregistered tags anyway, so the pump only needs a
+    /// bound tight enough to stop a hostile length prefix from reserving
+    /// gigabytes before the tag check fires.
+    pub const UNREGISTERED_MAX_LEN: usize = 1 << 20;
+
+    /// Per-tag ceiling on the payload bytes that may follow the tag byte.
+    ///
+    /// These are denial-of-service allocation bounds, not protocol shapes:
+    /// each ceiling is sized well above any legitimate payload for that tag
+    /// (matrix-shaped frames scale with model size and get generous room)
+    /// while staying far below the blanket
+    /// [`MAX_FRAME_LEN`](crate::tcp::MAX_FRAME_LEN) so a forged length prefix can
+    /// no longer reserve a gigabyte. Exact-size frames (hello, scalars,
+    /// single bytes) are pinned to their wire size. Returns `None` for tags
+    /// outside [`ALL`]; receivers bound those with
+    /// [`UNREGISTERED_MAX_LEN`].
+    #[must_use]
+    pub const fn max_len(tag: u8) -> Option<usize> {
+        match tag {
+            U64 => Some(8),
+            BASE_POINT => Some(64),
+            HELLO => Some(56),
+            MASKED_CLASS => Some(1),
+            GC_DECODE_MAP => Some(1 << 24),
+            BASE_POINT_BATCH | BASE_CT_BATCH => Some(1 << 20),
+            OUTPUT_SHARES | SIGN_BITS => Some(1 << 24),
+            BLINDED_INPUT | NEG_SHARES | BEAVER_OPENINGS => Some(1 << 26),
+            BLOCKS | IKNP_COLUMNS | IKNP_CTS | OT_CORRECTIONS | OT_VEC_PAYLOAD | KK_COLUMNS
+            | GC_LABELS | GC_TABLES | TRIPLET_MASKED | BUNDLE => Some(1 << 28),
+            _ => None,
+        }
+    }
 }
 
 /// Defines a frame whose payload is a raw byte vector with a length

@@ -23,6 +23,7 @@ use abnn2_net::{
 };
 use rand::Rng;
 use std::net::SocketAddr;
+use std::time::Duration;
 
 /// Outcome of one served request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,9 +131,13 @@ impl ServeClient {
     /// # Errors
     ///
     /// [`ProtocolError::Overloaded`] when the server refuses admission
-    /// (never retried here — schedule your own backoff); otherwise the
-    /// first fatal error or the last transient one once the retry policy
-    /// is exhausted.
+    /// and the retry budget is exhausted. A busy rejection carries the
+    /// server's `retry_after_ms` hint; this driver honors it — sleeping
+    /// the hinted amount (or its own jittered backoff when the hint is
+    /// zero) before re-dialing, each wait consuming one attempt from the
+    /// retry policy — so turned-away clients back off instead of
+    /// hot-looping against a full queue. Otherwise the first fatal error
+    /// or the last transient one once the retry policy is exhausted.
     pub fn run<R: Rng + ?Sized>(
         &self,
         addr: SocketAddr,
@@ -153,12 +158,73 @@ impl ServeClient {
         let mut resumed = false;
         let mut warm = false;
         let mut handles: Vec<InstrumentHandle> = Vec::new();
+        let mut shed_waits = 0u32;
 
+        // Admission loop: a busy rejection is not retryable inside the
+        // resilient driver (re-dialing instantly would hammer a full
+        // queue), so it is retried out here, after honoring the server's
+        // backoff hint.
+        let result = loop {
+            match self.run_once(
+                addr,
+                ours,
+                &graph,
+                &token,
+                inputs_fp,
+                rng,
+                &mut checkpoint,
+                &mut attempts,
+                &mut resumed,
+                &mut warm,
+                &mut handles,
+            ) {
+                Err(ProtocolError::Overloaded { retry_after_ms })
+                    if shed_waits + 1 < self.policy.max_attempts.max(1) =>
+                {
+                    let wait = if retry_after_ms > 0 {
+                        Duration::from_millis(u64::from(retry_after_ms))
+                    } else {
+                        self.policy.backoff(shed_waits)
+                    };
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                    shed_waits += 1;
+                }
+                other => break other,
+            }
+        };
+
+        let phases = merge_handles(&handles);
+        let logits = result?;
+        Ok((logits, ServeReport { attempts, resumed, warm, phases }))
+    }
+
+    /// One pass of the resilient (reconnect-and-resume) driver; the
+    /// admission loop in [`run`](Self::run) re-invokes this after a busy
+    /// rejection.
+    #[allow(clippy::too_many_arguments)]
+    fn run_once<R: Rng + ?Sized>(
+        &self,
+        addr: SocketAddr,
+        ours: SessionParams,
+        graph: &SecureGraph,
+        token: &ResumeToken,
+        inputs_fp: &[Vec<u64>],
+        rng: &mut R,
+        checkpoint: &mut Option<ClientBundle>,
+        attempts: &mut u32,
+        resumed: &mut bool,
+        warm: &mut bool,
+        handles: &mut Vec<InstrumentHandle>,
+    ) -> Result<Matrix, ProtocolError> {
+        let batch = inputs_fp.len();
+        let base_attempts = *attempts;
         let driver = ResilientDriver::new(self.policy);
-        let result = driver.run(
+        driver.run(
             |_attempt| TcpTransport::connect(addr).map(InstrumentedTransport::new),
             |ch, attempt| -> Result<Matrix, ProtocolError> {
-                attempts = attempt + 1;
+                *attempts = base_attempts + attempt + 1;
                 handles.push(ch.handle());
                 ch.set_read_timeout(self.deadlines.read_timeout)?;
 
@@ -167,31 +233,31 @@ impl ServeClient {
                     resume: checkpoint.is_some(),
                     bundle: self.request_bundle && checkpoint.is_none(),
                 };
-                let reply = handshake_client_ext(ch, ours, &token, request)?;
+                let reply = handshake_client_ext(ch, ours, token, request)?;
 
                 ch.set_phase_budget(self.deadlines.offline_budget)?;
                 ch.enter_phase("setup");
                 let session = ClientSession::setup(ch, rng)?;
 
                 let state = if reply.resume {
-                    resumed = true;
+                    *resumed = true;
                     let bundle = checkpoint.clone().expect("resume implies checkpoint");
                     ClientOffline::from_bundle(session, bundle)
                 } else if reply.bundle {
-                    warm = true;
+                    *warm = true;
                     ch.enter_phase("bundle");
                     let Bundle(bytes) = ch.recv_frame()?;
-                    let bundle = ClientBundle::decode(&bytes, &graph)?;
-                    checkpoint = Some(bundle.clone());
+                    let bundle = ClientBundle::decode(&bytes, graph)?;
+                    *checkpoint = Some(bundle.clone());
                     ClientOffline::from_bundle(session, bundle)
                 } else {
                     // Cold path: the server had neither our checkpoint nor
                     // a pooled bundle.
-                    warm = false;
-                    checkpoint = None;
+                    *warm = false;
+                    *checkpoint = None;
                     ch.enter_phase("offline");
                     let state = self.client.offline_with(ch, session, batch, rng)?;
-                    checkpoint = Some(state.to_bundle());
+                    *checkpoint = Some(state.to_bundle());
                     state
                 };
 
@@ -201,11 +267,7 @@ impl ServeClient {
                 ch.set_phase_budget(None)?;
                 Ok(y)
             },
-        );
-
-        let phases = merge_handles(&handles);
-        let logits = result?;
-        Ok((logits, ServeReport { attempts, resumed, warm, phases }))
+        )
     }
 }
 

@@ -27,6 +27,15 @@
 //!   dedicated `"bundle"` instrumentation phase, and proceeds straight to
 //!   the online phase. See DESIGN.md §6 for the dealer trust model this
 //!   implies — the pool is an opt-in trade of offline latency for trust.
+//! * [`GovernorConfig`] — per-session resource budgets enforced by every
+//!   worker sweep (idle-park eviction, outbound-queue byte cap,
+//!   plan-keyed inbound quotas) plus the supervisor rules: each session
+//!   step runs under `catch_unwind` so a panicking session is
+//!   quarantined — torn down, its checkpoint discarded — while its worker
+//!   and sibling sessions keep running, and a supervisor thread respawns
+//!   dead or wedged workers. Overload rejections carry a
+//!   `retry_after_ms` hint derived from queue depth and occupancy, which
+//!   [`ServeClient`] honors with bounded backoff.
 //! * [`MetricsRegistry`] — thread-safe serving metrics: admission
 //!   counters, live session gauge, pool hit/miss counters, and per-phase
 //!   traffic aggregated across every connection's
@@ -42,12 +51,14 @@
 //! [`ProtocolError::Overloaded`]: abnn2_core::ProtocolError::Overloaded
 
 pub mod client;
+pub mod governor;
 pub mod metrics;
 pub mod pool;
 pub mod server;
 
 pub use abnn2_core::bundle::BundleKey;
 pub use client::{ServeClient, ServeReport};
+pub use governor::GovernorConfig;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use pool::{PoolSnapshot, PrecomputePool};
 pub use server::{ServeConfig, Server, ShardedCheckpointStore};

@@ -26,6 +26,16 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Sessions that ended in a protocol or transport error.
     pub failed: u64,
+    /// Sessions the governor evicted for exceeding a resource budget
+    /// (idle park deadline, outbound-queue cap, or inbound quota). Also
+    /// counted in `failed`.
+    pub evicted: u64,
+    /// Sessions quarantined after panicking mid-protocol; their worker
+    /// and sibling sessions kept running. Also counted in `failed`.
+    pub panicked: u64,
+    /// Event-loop workers the supervisor respawned after detecting a
+    /// dead or wedged worker thread.
+    pub worker_respawns: u64,
     /// Sessions currently being served by a worker.
     pub active: u64,
     /// Precompute-pool counters (zeroed when the pool is disabled).
@@ -100,6 +110,21 @@ impl MetricsSnapshot {
             "abnn2_serve_sessions_failed_total",
             "Sessions that ended in a protocol or transport error.",
             self.failed,
+        );
+        counter(
+            "abnn2_serve_sessions_evicted_total",
+            "Sessions evicted by the governor for exceeding a resource budget.",
+            self.evicted,
+        );
+        counter(
+            "abnn2_serve_sessions_panicked_total",
+            "Sessions quarantined after panicking mid-protocol.",
+            self.panicked,
+        );
+        counter(
+            "abnn2_serve_worker_respawns_total",
+            "Event-loop workers respawned by the supervisor.",
+            self.worker_respawns,
         );
         counter(
             "abnn2_serve_pool_produced_total",
@@ -274,6 +299,9 @@ pub struct MetricsRegistry {
     rejected: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    evicted: AtomicU64,
+    panicked: AtomicU64,
+    worker_respawns: AtomicU64,
     active: AtomicU64,
     phases: Mutex<PhaseAggregate>,
 }
@@ -318,6 +346,23 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records a governor eviction (the session also ends as failed via
+    /// [`session_ended`](Self::session_ended)).
+    pub fn session_evicted(&self) {
+        self.evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a quarantined panicking session (the session also ends as
+    /// failed via [`session_ended`](Self::session_ended)).
+    pub fn session_panicked(&self) {
+        self.panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker respawn by the supervisor.
+    pub fn worker_respawned(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Adds a session's instrument handle to the per-phase aggregation.
     /// Finished sessions are folded into the frozen totals as a side
     /// effect, bounding live-handle growth.
@@ -337,6 +382,9 @@ impl MetricsRegistry {
             rejected: self.rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             active: self.active.load(Ordering::Relaxed),
             pool,
             phases: agg.totals(),

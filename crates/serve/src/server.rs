@@ -27,6 +27,17 @@
 //!    sessions run to completion; the acceptor is woken by a throwaway
 //!    self-connection when the drain completes — no sleep-polling —
 //!    and [`Server::shutdown`] additionally joins every thread.
+//! 5. A **governor** ([`GovernorConfig`]) budgets every sweep: idle-parked
+//!    sessions, non-draining peers, and inbound-quota violators are
+//!    checkpointed (when resumable) and evicted, so one bad peer cannot
+//!    pin a slot its warm siblings need. Each session sweep runs under
+//!    `catch_unwind`: a panicking session is quarantined — torn down, its
+//!    possibly-poisoned checkpoint discarded — while the worker and its
+//!    sibling sessions keep running. A **supervisor** thread watches
+//!    per-worker heartbeats and respawns dead or wedged workers; the
+//!    respawned worker reuses its index, so its pool shard and checkpoint
+//!    shard re-home automatically. Busy rejections carry a
+//!    `retry_after_ms` hint derived from queue depth and occupancy.
 //!
 //! Byte accounting is preserved exactly: every driver effect is mirrored
 //! through a per-session [`InstrumentedTransport`] meter, so per-phase
@@ -34,14 +45,16 @@
 //!
 //! [`CheckpointStore`]: abnn2_core::CheckpointStore
 
+use crate::governor::{GovernorConfig, PRE_HANDSHAKE_BYTES, PRE_HANDSHAKE_FRAMES};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::pool::{PoolSnapshot, PrecomputePool};
 use abnn2_core::bundle::{BundleKey, ClientBundle, ServerBundle};
 use abnn2_core::driver::{DriverEffect, DriverStep, SessionDriver, SessionHost};
-use abnn2_core::handshake::{reject_busy, ResumeToken, SessionParams};
+use abnn2_core::handshake::{reject_busy_with, ResumeToken, SessionParams};
 use abnn2_core::resilient::DEFAULT_CHECKPOINT_CAPACITY;
 use abnn2_core::{
-    CheckpointStore, ExecConfig, ProtocolError, SecureServer, ServedModel, SessionDeadlines,
+    CheckpointStore, CommCeiling, ExecConfig, ProtocolError, SecureServer, ServedModel,
+    SessionDeadlines,
 };
 use abnn2_net::{
     CommSnapshot, FrameBuffer, InstrumentedTransport, TcpTransport, Transport, TransportError,
@@ -50,6 +63,8 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -79,6 +94,8 @@ pub struct ServeConfig {
     pub checkpoint_capacity: usize,
     /// Execution options (activation variant must match the clients').
     pub exec: ExecConfig,
+    /// Per-session resource budgets and supervisor rules.
+    pub governor: GovernorConfig,
     /// Seed for the per-worker and pool RNGs.
     pub seed: u64,
 }
@@ -94,6 +111,7 @@ impl Default for ServeConfig {
             deadlines: SessionDeadlines::lan(),
             checkpoint_capacity: DEFAULT_CHECKPOINT_CAPACITY,
             exec: ExecConfig::new(),
+            governor: GovernorConfig::default(),
             seed: 0xAB22_5E21,
         }
     }
@@ -181,6 +199,20 @@ struct Shared {
     metrics: MetricsRegistry,
     /// The bound listen address, used for the drain-complete wake dial.
     addr: SocketAddr,
+    /// Per-worker heartbeat: millis since `started`, bumped every loop
+    /// iteration, read by the supervisor to detect wedged workers.
+    hearts: Vec<AtomicU64>,
+    /// Epoch for the heartbeat clock.
+    started: Instant,
+    /// Admission ordinal assigned to each live session, keyed by the
+    /// governor's chaos knobs.
+    session_seq: AtomicU64,
+    /// Latch so a chaos injection (session or worker panic) fires once.
+    chaos_fired: AtomicBool,
+}
+
+fn now_millis(shared: &Shared) -> u64 {
+    u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX)
 }
 
 /// Pre-captured pieces for building `SessionParams` per announced batch
@@ -202,7 +234,10 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker handle table shared with the supervisor, which swaps in
+    /// fresh handles when it respawns a worker.
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -266,6 +301,10 @@ impl Server {
             pools,
             metrics: MetricsRegistry::new(),
             addr: bound,
+            hearts: (0..config.workers).map(|_| AtomicU64::new(0)).collect(),
+            started: Instant::now(),
+            session_seq: AtomicU64::new(0),
+            chaos_fired: AtomicBool::new(false),
         });
 
         let acceptor = {
@@ -275,18 +314,27 @@ impl Server {
                 .spawn(move || acceptor_loop(&listener, &shared))
                 .expect("spawn acceptor")
         };
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let seed = config.seed.wrapping_add(1 + i as u64);
-                std::thread::Builder::new()
-                    .name(format!("abnn2-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i, seed))
-                    .expect("spawn worker")
-            })
-            .collect();
+        let workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>> = Arc::new(Mutex::new(
+            (0..config.workers)
+                .map(|i| Some(spawn_worker(&shared, i, config.seed.wrapping_add(1 + i as u64))))
+                .collect(),
+        ));
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let table = Arc::clone(&workers);
+            std::thread::Builder::new()
+                .name("abnn2-supervisor".into())
+                .spawn(move || supervisor_loop(&shared, &table))
+                .expect("spawn supervisor")
+        };
 
-        Ok(Server { addr: bound, shared, acceptor: Some(acceptor), workers })
+        Ok(Server {
+            addr: bound,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            supervisor: Some(supervisor),
+        })
     }
 
     /// The bound listen address.
@@ -352,7 +400,12 @@ impl Server {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        // The supervisor joins every worker once the drain completes.
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        let mut table = self.workers.lock().expect("worker table");
+        for h in table.iter_mut().filter_map(Option::take) {
             let _ = h.join();
         }
     }
@@ -443,12 +496,29 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
 
 /// Answers a connection the server will not serve with an in-protocol
 /// busy frame, so the peer sees a typed `Overloaded` instead of a reset.
-/// Failures are ignored — the peer is being turned away either way.
+/// The frame carries a `retry_after_ms` hint sized to how loaded the
+/// server actually is, so turned-away clients spread their retries
+/// instead of hammering a full queue in lockstep. Failures are ignored —
+/// the peer is being turned away either way.
 fn send_busy(shared: &Shared, stream: TcpStream) {
+    let hint = retry_after_hint(shared);
     let _ = stream.set_nonblocking(false);
     if let Ok(mut ch) = TcpTransport::from_stream(stream) {
-        let _ = reject_busy(&mut ch, shared.info_params.for_batch(0));
+        let _ = reject_busy_with(&mut ch, shared.info_params.for_batch(0), hint);
     }
+}
+
+/// Load-derived backoff hint: roughly one session-service quantum (25 ms)
+/// per connection ahead of the rejected peer, plus a cold-pool penalty,
+/// capped so a hint can never park a client for more than five seconds.
+fn retry_after_hint(shared: &Shared) -> u32 {
+    let active = shared.metrics.snapshot(PoolSnapshot::default()).active;
+    let queued = shared.queue.lock().expect("queue lock").conns.len() as u64;
+    let mut hint = 25 * (active + queued + 1);
+    if !shared.pools.is_empty() && pool_totals(shared).ready == 0 {
+        hint += 100;
+    }
+    u32::try_from(hint.min(5_000)).expect("capped at 5000")
 }
 
 /// Sink inner transport for the per-session metrics meter: sends vanish
@@ -511,6 +581,82 @@ enum Sweep {
     Finished(bool),
 }
 
+fn spawn_worker(shared: &Arc<Shared>, worker: usize, seed: u64) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("abnn2-worker-{worker}"))
+        .spawn(move || worker_loop(&shared, worker, seed))
+        .expect("spawn worker")
+}
+
+/// Watches worker liveness and respawns casualties. A worker thread that
+/// finished while the server is not draining died abnormally (an injected
+/// chaos panic, or a bug severe enough to escape the per-session
+/// `catch_unwind`); its replacement reuses the same worker index, so the
+/// pool shard and checkpoint shard re-home automatically and queued
+/// connections are simply claimed by the new thread. A worker whose
+/// heartbeat is older than `wedge_timeout` while its thread is still
+/// alive is presumed stuck inside a sweep; it is detached (a truly wedged
+/// thread never reaches the claim loop again) and replaced the same way.
+/// On drain the supervisor joins every worker and exits.
+fn supervisor_loop(shared: &Arc<Shared>, table: &Mutex<Vec<Option<JoinHandle<()>>>>) {
+    let mut generation: u64 = 0;
+    loop {
+        std::thread::sleep(Duration::from_millis(25));
+        let draining = shared.queue.lock().expect("queue lock").draining;
+        let mut t = table.lock().expect("worker table");
+        if draining {
+            // Workers exit on their own during a drain; once the last one
+            // is finished, reap them all and retire.
+            if t.iter().all(|h| h.as_ref().is_none_or(JoinHandle::is_finished)) {
+                for h in t.iter_mut().filter_map(Option::take) {
+                    let _ = h.join();
+                }
+                return;
+            }
+            continue;
+        }
+        for i in 0..t.len() {
+            let dead = t[i].as_ref().is_some_and(JoinHandle::is_finished);
+            let wedged = !dead
+                && t[i].is_some()
+                && shared.config.governor.wedge_timeout.is_some_and(|w| {
+                    let age =
+                        now_millis(shared).saturating_sub(shared.hearts[i].load(Ordering::Relaxed));
+                    age > u64::try_from(w.as_millis()).unwrap_or(u64::MAX)
+                });
+            if !(dead || wedged) {
+                continue;
+            }
+            // Draining is monotonic: re-check so a worker that exited
+            // legitimately between the snapshot above and here is not
+            // resurrected mid-drain.
+            if shared.queue.lock().expect("queue lock").draining {
+                break;
+            }
+            if dead {
+                if let Some(h) = t[i].take() {
+                    let _ = h.join();
+                }
+            } else {
+                // Wedged but alive: detach the stuck thread. It holds no
+                // lock (heartbeats are bumped right after lock release),
+                // so the replacement can serve immediately.
+                drop(t[i].take());
+            }
+            generation += 1;
+            shared.hearts[i].store(now_millis(shared), Ordering::Relaxed);
+            let seed = shared
+                .config
+                .seed
+                .wrapping_add(1 + i as u64)
+                .wrapping_add(0x5750_0000_0000_0000_u64.wrapping_mul(generation));
+            t[i] = Some(spawn_worker(shared, i, seed));
+            shared.metrics.worker_respawned();
+        }
+    }
+}
+
 /// One multiplexed session: a suspendable driver, its non-blocking frame
 /// pump, and the metrics meter that mirrors the driver's effects.
 struct LiveSession<'a> {
@@ -524,6 +670,18 @@ struct LiveSession<'a> {
     /// offline budget across setup+bundle+offline, `Mark("online")` the
     /// online budget — mirroring the blocking server's placement).
     phase_deadline: Option<Instant>,
+    /// Admission ordinal, keyed by the governor's chaos knobs.
+    ordinal: u64,
+    /// Inbound frames accepted so far, against the governor quota.
+    inbound_frames: u64,
+    /// Inbound bytes accepted so far, against the governor quota.
+    inbound_bytes: u64,
+    /// Plan-keyed inbound ceiling, computed once the handshake fixes the
+    /// batch; `None` until then (the pre-handshake allowance applies).
+    quota: Option<CommCeiling>,
+    /// Whether the driver has entered the online phase (`Mark("online")`
+    /// observed), for the chaos session-panic injection.
+    online: bool,
 }
 
 impl<'a> LiveSession<'a> {
@@ -541,12 +699,32 @@ impl<'a> LiveSession<'a> {
             WorkerHost { shared, worker },
             StdRng::seed_from_u64(rng.next_u64()),
         );
-        Ok(LiveSession { driver, fb, meter, last_inbound: Instant::now(), phase_deadline: None })
+        Ok(LiveSession {
+            driver,
+            fb,
+            meter,
+            last_inbound: Instant::now(),
+            phase_deadline: None,
+            ordinal: shared.session_seq.fetch_add(1, Ordering::Relaxed),
+            inbound_frames: 0,
+            inbound_bytes: 0,
+            quota: None,
+            online: false,
+        })
     }
 
     /// Feeds readable frames, advances the driver, applies its effects,
-    /// and enforces deadlines. Returns what happened.
+    /// and enforces deadlines and governor budgets. Returns what happened.
     fn sweep(&mut self, shared: &Shared) -> Sweep {
+        // Chaos: the governed session panics at the top of its first
+        // online-phase sweep, exercising the worker's quarantine path.
+        if shared.config.governor.inject_panic_session == Some(self.ordinal)
+            && self.online
+            && !shared.chaos_fired.swap(true, Ordering::SeqCst)
+        {
+            panic!("governor chaos: injected session panic in online phase");
+        }
+
         // Pull every complete inbound frame the kernel has for us. A read
         // error (EOF, reset) is noted but NOT acted on yet: the final
         // frames of a session routinely arrive in the same sweep as the
@@ -559,6 +737,8 @@ impl<'a> LiveSession<'a> {
             match self.fb.poll_read() {
                 Ok(Some(frame)) => {
                     self.last_inbound = Instant::now();
+                    self.inbound_frames += 1;
+                    self.inbound_bytes += frame.len() as u64;
                     self.driver.feed(frame);
                     fed = true;
                 }
@@ -597,11 +777,50 @@ impl<'a> LiveSession<'a> {
                         return self.finish_err(shared, ProtocolError::TimedOut);
                     }
                 }
+                let governor = &shared.config.governor;
+                // Idle park budget: a parked session whose peer has sent
+                // nothing for idle_timeout gives its slot back. Distinct
+                // from read_timeout so operators can run generous blocking
+                // deadlines with a tight multiplexing budget.
+                if let Some(it) = governor.idle_timeout {
+                    if now.duration_since(self.last_inbound) >= it {
+                        return self.finish_evict(shared);
+                    }
+                }
+                // Outbound cap: the peer is not draining its socket and
+                // the frame buffer is absorbing the difference.
+                if let Some(cap) = governor.max_outbound_bytes {
+                    if self.fb.pending_write_bytes() as u64 > cap {
+                        return self.finish_evict(shared);
+                    }
+                }
+                if governor.inbound_quota && self.over_inbound_quota(shared) {
+                    return self.finish_evict(shared);
+                }
                 if fed {
                     Sweep::Progress
                 } else {
                     Sweep::Idle
                 }
+            }
+        }
+    }
+
+    /// Whether the session has received more than the planner says a
+    /// well-formed peer could ever send. Before the handshake fixes the
+    /// batch a small fixed allowance applies; after it, the plan-keyed
+    /// [`CommCeiling`] (computed once and cached).
+    fn over_inbound_quota(&mut self, shared: &Shared) -> bool {
+        if self.quota.is_none() {
+            if let Some(batch) = self.driver.batch() {
+                self.quota = shared.server.inbound_ceiling(batch).ok();
+            }
+        }
+        match self.quota {
+            Some(q) => self.inbound_frames > q.frames || self.inbound_bytes > q.bytes,
+            None => {
+                self.inbound_frames > PRE_HANDSHAKE_FRAMES
+                    || self.inbound_bytes > PRE_HANDSHAKE_BYTES
             }
         }
     }
@@ -637,6 +856,7 @@ impl<'a> LiveSession<'a> {
                                 deadlines.offline_budget.map(|b| Instant::now() + b);
                         }
                         "online" => {
+                            self.online = true;
                             self.phase_deadline =
                                 deadlines.online_budget.map(|b| Instant::now() + b);
                         }
@@ -669,6 +889,20 @@ impl<'a> LiveSession<'a> {
         Sweep::Finished(false)
     }
 
+    /// Governor eviction: park the resumable offline state for a future
+    /// resume, count the eviction, and give the slot back. Unlike
+    /// [`finish_err`](Self::finish_err) this does NOT wait on
+    /// `flush_outbound` — the peer being evicted is by definition not
+    /// draining, and a 5-second courtesy flush per eviction would let
+    /// slow peers serialize the very sweep the governor protects.
+    fn finish_evict(&mut self, shared: &Shared) -> Sweep {
+        if let (Some(token), Some(bundle)) = (self.driver.token(), self.driver.take_checkpoint()) {
+            shared.store.insert(token, bundle);
+        }
+        shared.metrics.session_evicted();
+        Sweep::Finished(false)
+    }
+
     /// Best-effort bounded drain of queued output (the negotiation reply,
     /// the final logit shares) before the socket closes.
     fn flush_outbound(&mut self) {
@@ -686,8 +920,21 @@ fn worker_loop(shared: &Shared, worker: usize, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sessions: Vec<LiveSession<'_>> = Vec::new();
     loop {
+        shared.hearts[worker].store(now_millis(shared), Ordering::Relaxed);
+
+        // Chaos: die right before claiming, while the queue is non-empty
+        // and no lock is held — the queued connection must survive the
+        // crash and be served by the supervisor's replacement worker.
+        if shared.config.governor.inject_worker_panic == Some(worker) {
+            let armed = !shared.queue.lock().expect("queue lock").conns.is_empty();
+            if armed && !shared.chaos_fired.swap(true, Ordering::SeqCst) {
+                panic!("governor chaos: injected worker panic");
+            }
+        }
+
         // Claim queued connections up to the multiplexing cap; block on
-        // the condvar only when there is nothing at all to do.
+        // the condvar only when there is nothing at all to do — and only
+        // in bounded slices, so the heartbeat keeps beating while idle.
         {
             let mut q = shared.queue.lock().expect("queue lock");
             loop {
@@ -713,21 +960,36 @@ fn worker_loop(shared: &Shared, worker: usize, seed: u64) {
                     }
                     return;
                 }
-                q = shared.work.wait(q).expect("queue lock");
+                q = shared.work.wait_timeout(q, Duration::from_millis(100)).expect("queue lock").0;
+                shared.hearts[worker].store(now_millis(shared), Ordering::Relaxed);
             }
         }
 
-        // Sweep every live session once.
+        // Sweep every live session once, each under its own unwind guard:
+        // a panicking session is quarantined — its possibly-poisoned
+        // checkpoint discarded so a resume can never replay the state
+        // that panicked — while this worker and the sibling sessions in
+        // this very Vec keep running.
         let mut progressed = false;
         let mut ended = 0usize;
-        sessions.retain_mut(|live| match live.sweep(shared) {
-            Sweep::Idle => true,
-            Sweep::Progress => {
+        sessions.retain_mut(|live| match catch_unwind(AssertUnwindSafe(|| live.sweep(shared))) {
+            Ok(Sweep::Idle) => true,
+            Ok(Sweep::Progress) => {
                 progressed = true;
                 true
             }
-            Sweep::Finished(ok) => {
+            Ok(Sweep::Finished(ok)) => {
                 shared.metrics.session_ended(ok);
+                progressed = true;
+                ended += 1;
+                false
+            }
+            Err(_) => {
+                if let Some(token) = live.driver.token() {
+                    shared.store.remove(&token);
+                }
+                shared.metrics.session_panicked();
+                shared.metrics.session_ended(false);
                 progressed = true;
                 ended += 1;
                 false

@@ -31,7 +31,7 @@ use abnn2::core::PublicModelInfo;
 use abnn2::math::{FragmentScheme, Ring};
 use abnn2::nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
 use abnn2::nn::{ConvShape, Network, QuantizedCnn, QuantizedConv, SyntheticMnist};
-use abnn2::serve::{ServeClient, ServeConfig, Server};
+use abnn2::serve::{GovernorConfig, ServeClient, ServeConfig, Server};
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -90,11 +90,20 @@ struct Args {
     cnn: bool,
     metrics_out: Option<PathBuf>,
     sessions_per_worker: usize,
+    governor: bool,
+    inject_panic: Option<u64>,
 }
 
 fn parse_args() -> Args {
-    let mut parsed =
-        Args { clients: 8, requests: 2, cnn: false, metrics_out: None, sessions_per_worker: 1 };
+    let mut parsed = Args {
+        clients: 8,
+        requests: 2,
+        cnn: false,
+        metrics_out: None,
+        sessions_per_worker: 1,
+        governor: false,
+        inject_panic: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut grab = |name: &str| {
@@ -109,6 +118,8 @@ fn parse_args() -> Args {
                 parsed.sessions_per_worker = grab("--sessions-per-worker");
             }
             "--cnn" => parsed.cnn = true,
+            "--governor" => parsed.governor = true,
+            "--inject-panic" => parsed.inject_panic = Some(grab("--inject-panic") as u64),
             "--metrics-out" => {
                 parsed.metrics_out =
                     Some(args.next().expect("--metrics-out requires a file path").into());
@@ -116,7 +127,8 @@ fn parse_args() -> Args {
             other => panic!(
                 "unknown argument: {other} \
                  (use [--cnn] --clients N --requests M \
-                 [--sessions-per-worker K] [--metrics-out FILE])"
+                 [--sessions-per-worker K] [--governor] [--inject-panic ORDINAL] \
+                 [--metrics-out FILE])"
             ),
         }
     }
@@ -125,6 +137,26 @@ fn parse_args() -> Args {
         "need at least one client, one request, and one session per worker"
     );
     parsed
+}
+
+/// Governor budgets for the run. `--governor` tightens every limit well
+/// below the defaults (while staying above what an honest multiplexed
+/// load needs); `--inject-panic N` kills the Nth admitted session at the
+/// top of its first online sweep, which a clean run must absorb via
+/// quarantine + client retry — zero worker deaths either way.
+fn governor_for(args: &Args) -> GovernorConfig {
+    let mut g = if args.governor {
+        GovernorConfig {
+            idle_timeout: Some(Duration::from_secs(30)),
+            max_outbound_bytes: Some(8 * 1024 * 1024),
+            inbound_quota: true,
+            ..GovernorConfig::default()
+        }
+    } else {
+        GovernorConfig::default()
+    };
+    g.inject_panic_session = args.inject_panic;
+    g
 }
 
 /// Deadlines for the run: the LAN defaults when every worker runs one
@@ -160,6 +192,10 @@ fn report_metrics(
         m.accepted, m.rejected, m.completed, m.failed
     );
     println!(
+        "  governor: evicted {} | panicked {} | worker respawns {}",
+        m.evicted, m.panicked, m.worker_respawns
+    );
+    println!(
         "  pool: produced {} | hits {} | misses {} | ready {}",
         m.pool.produced, m.pool.hits, m.pool.misses, m.pool.ready
     );
@@ -188,13 +224,18 @@ fn report_metrics(
         println!("  wrote Prometheus metrics to {}", path.display());
     }
 
-    assert_eq!(m.failed, 0, "no session may fail under clean load");
+    // Clean load fails no session; with an injected panic, exactly the
+    // quarantined sessions fail — never a neighbor, never a worker.
+    assert_eq!(m.failed, m.panicked, "only quarantined sessions may fail under clean load");
+    assert_eq!(m.evicted, 0, "no honest session may trip a governor budget");
+    assert_eq!(m.worker_respawns, 0, "a session panic must never cost a worker");
     assert_eq!(total, n_clients * n_requests);
     println!("\nserve load test passed.");
 }
 
 /// Drives `n_clients × n_requests` MLP requests and checks every logit.
-fn run_mlp(n_clients: usize, n_requests: usize, spw: usize, metrics_out: Option<&Path>) {
+fn run_mlp(args: &Args, metrics_out: Option<&Path>) {
+    let (n_clients, n_requests, spw) = (args.clients, args.requests, args.sessions_per_worker);
     let q = build_model();
     let info = PublicModelInfo::from(&q);
     let codec = q.config.activation_codec();
@@ -206,6 +247,7 @@ fn run_mlp(n_clients: usize, n_requests: usize, spw: usize, metrics_out: Option<
         sessions_per_worker: spw,
         pool_depth: n_clients.min(8),
         deadlines,
+        governor: governor_for(args),
         ..ServeConfig::default()
     };
     let server = Server::start(q.clone(), "127.0.0.1:0", config).expect("start server");
@@ -270,7 +312,8 @@ fn run_mlp(n_clients: usize, n_requests: usize, spw: usize, metrics_out: Option<
 /// Drives `n_clients × n_requests` CNN requests through the same frontend
 /// and checks every logit — exercising graph-keyed pool bundles and the
 /// unified executor over a spatial topology.
-fn run_cnn(n_clients: usize, n_requests: usize, spw: usize, metrics_out: Option<&Path>) {
+fn run_cnn(args: &Args, metrics_out: Option<&Path>) {
+    let (n_clients, n_requests, spw) = (args.clients, args.requests, args.sessions_per_worker);
     let cnn = build_cnn();
     let ring = cnn.config.ring;
     let info = PublicCnnInfo::from(&cnn);
@@ -282,6 +325,7 @@ fn run_cnn(n_clients: usize, n_requests: usize, spw: usize, metrics_out: Option<
         sessions_per_worker: spw,
         pool_depth: n_clients.min(8),
         deadlines,
+        governor: governor_for(args),
         ..ServeConfig::default()
     };
     let server = Server::start(cnn.clone(), "127.0.0.1:0", config).expect("start server");
@@ -342,10 +386,9 @@ fn run_cnn(n_clients: usize, n_requests: usize, spw: usize, metrics_out: Option<
 
 fn main() {
     let args = parse_args();
-    let spw = args.sessions_per_worker;
     if args.cnn {
-        run_cnn(args.clients, args.requests, spw, args.metrics_out.as_deref());
+        run_cnn(&args, args.metrics_out.as_deref());
     } else {
-        run_mlp(args.clients, args.requests, spw, args.metrics_out.as_deref());
+        run_mlp(&args, args.metrics_out.as_deref());
     }
 }

@@ -2,7 +2,7 @@
 # Full local CI gate: build, test, formatting, lints. Run from the repo root.
 #
 #   ./scripts/check.sh [--chaos-seeds N] [--serve-smoke] [--cnn-serve-smoke] \
-#                      [--async-serve-smoke] [--wire-fuzz-smoke]
+#                      [--async-serve-smoke] [--wire-fuzz-smoke] [--governor-smoke]
 #
 # --chaos-seeds N widens the seeded chaos suite (tests/chaos.rs) from its
 # default of 64 seeds without recompiling.
@@ -26,6 +26,14 @@
 # (tests/wire_roundtrip.rs), the tag-flip sweep over a live session
 # (tests/chaos.rs), and the per-transport malformed-frame contract
 # (tests/transport_contract.rs).
+#
+# --governor-smoke exercises the session governor and worker supervisor:
+# the hostile-peer chaos tests (slowloris eviction, never-draining
+# reader hitting the outbound cap, mid-online panic quarantined while
+# bit-exact siblings finish), the retry_after_ms load-shed round-trip,
+# and the load generator with governor budgets on plus an injected
+# mid-online panic — the clean siblings must still verify bit-exact and
+# the metrics must show exactly one quarantined session.
 #
 # The container has no network access to crates.io; all dependencies are
 # vendored as stubs under stubs/ (see stubs/README.md), so every cargo
@@ -54,6 +62,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --wire-fuzz-smoke)
       WIRE_FUZZ_SMOKE=1
+      shift
+      ;;
+    --governor-smoke)
+      GOVERNOR_SMOKE=1
       shift
       ;;
     *)
@@ -102,6 +114,15 @@ if [[ "${WIRE_FUZZ_SMOKE:-0}" == "1" ]]; then
   cargo test --release --test wire_roundtrip
   cargo test --release --test chaos tag_flip_at_every_entry_point_names_the_expected_frame
   cargo test --release --test transport_contract
+fi
+
+if [[ "${GOVERNOR_SMOKE:-0}" == "1" ]]; then
+  echo "==> governor smoke: hostile-peer eviction, panic quarantine, load shedding"
+  cargo test --release --test chaos governor_
+  cargo test --release --test chaos mid_online_panic
+  cargo test --release --test serve retry_after
+  cargo run --release --example serve_load -- \
+    --clients 8 --requests 2 --sessions-per-worker 4 --governor --inject-panic 3
 fi
 
 echo "All checks passed."

@@ -39,8 +39,9 @@ use abnn2::net::{
 };
 use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
 use abnn2::nn::Network;
-use abnn2::serve::{ServeConfig, Server};
-use rand::SeedableRng;
+use abnn2::serve::{GovernorConfig, ServeClient, ServeConfig, Server};
+use rand::{Rng, SeedableRng};
+use std::io::Write;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -456,4 +457,243 @@ fn chaos_smoke_on_lan_model() {
             }
         });
     }
+}
+
+/// A seeded slowloris — a peer dribbling one byte at a time, never
+/// completing a frame — must be evicted by the governor's idle budget
+/// while a warm sibling multiplexed on the *same worker* rides a pooled
+/// bundle to bit-exact logits with zero offline-phase bytes. The
+/// transport deadlines are deliberately generous: the eviction under test
+/// is the multiplexing budget, not the blocking read timeout.
+#[test]
+fn governor_evicts_slowloris_while_warm_sibling_completes() {
+    let q = tiny_model();
+    let x: Vec<u64> = vec![700, 1 << 8, 3, 90, 0, 5, 2 << 7, 33, 12, 256];
+    let expected = q.forward_exact(&x);
+    let info = PublicModelInfo::from(&q);
+    let server = Server::start(
+        q.clone(),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            sessions_per_worker: 2,
+            pool_depth: 1,
+            pool_batches: vec![1],
+            deadlines: SessionDeadlines::uniform(Duration::from_secs(60)),
+            governor: GovernorConfig {
+                idle_timeout: Some(Duration::from_millis(300)),
+                ..GovernorConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    assert!(server.warm_up(1, 1, Duration::from_secs(30)), "pool must warm");
+
+    let server = &server;
+    std::thread::scope(|scope| {
+        // Slowloris: seeded dribble, one byte per 40 ms, never a complete
+        // frame — `last_inbound` never advances, so the idle budget fires
+        // however busily the bytes trickle.
+        scope.spawn(move || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0x510_1035);
+            let mut sock = std::net::TcpStream::connect(addr).expect("slowloris connect");
+            // A plausible hello-sized header so the dribble is not
+            // rejected as malformed, then garbage it never finishes.
+            let mut bytes = vec![57u8, 0, 0, 0];
+            bytes.extend((0..24).map(|_| rng.gen::<u8>()));
+            for b in bytes {
+                if server.metrics().evicted >= 1 {
+                    break;
+                }
+                if sock.write_all(&[b]).is_err() {
+                    break; // evicted server-side: the socket is gone
+                }
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        });
+
+        // Wait until the slowloris occupies a session slot, then run a
+        // real warm request on the same single worker.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.metrics().active < 1 {
+            assert!(Instant::now() < deadline, "slowloris never admitted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let client = ServeClient::new(info.clone())
+            .with_deadlines(SessionDeadlines::uniform(Duration::from_secs(60)));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x51B_1146);
+        let (y, report) =
+            client.run(addr, std::slice::from_ref(&x), &mut rng).expect("warm sibling");
+        assert_eq!(y.col(0), expected, "sibling logits diverge");
+        assert!(report.warm, "sibling must ride the pooled bundle");
+        assert_eq!(
+            report.phase("offline").total_bytes(),
+            0,
+            "warm sibling must move zero offline-phase bytes"
+        );
+
+        // The governor must reclaim the slot within its budget.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.metrics().evicted < 1 {
+            assert!(Instant::now() < deadline, "slowloris never evicted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+
+    let m = server.metrics();
+    assert!(m.evicted >= 1, "idle budget must evict the slowloris");
+    assert_eq!(m.panicked, 0);
+    let prom = m.render_prometheus();
+    assert!(prom.contains("abnn2_serve_sessions_evicted_total"), "eviction family must render");
+}
+
+/// A peer that completes the handshake and base-OT setup, then never
+/// drains its socket while the server pushes the offline phase, must be
+/// evicted by the governor's outbound-queue byte cap — the frame buffer
+/// must not absorb the whole offline phase for a dead reader. The model
+/// is sized so the server's offline send volume dwarfs anything the
+/// kernel's socket buffers can hide.
+#[test]
+fn governor_evicts_never_draining_reader_on_outbound_cap() {
+    let net = Network::new(&[1024, 256, 4], 777);
+    let q = QuantizedNetwork::quantize(
+        &net,
+        QuantConfig {
+            ring: Ring::new(32),
+            frac_bits: 8,
+            weight_frac_bits: 2,
+            scheme: FragmentScheme::signed_bit_fields(&[2, 2]),
+        },
+    );
+    let info = PublicModelInfo::from(&q);
+    let server = Server::start(
+        q,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            sessions_per_worker: 2,
+            pool_depth: 0,
+            deadlines: SessionDeadlines::uniform(Duration::from_secs(60)),
+            governor: GovernorConfig {
+                max_outbound_bytes: Some(64 * 1024),
+                ..GovernorConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+
+    // Handshake + setup, then go silent: the server's driver queues the
+    // offline OT-extension columns, the socket stops draining, and the
+    // frame buffer's backlog crosses the cap.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xDEAD_BEEF);
+    let token: [u8; 16] = [0x44; 16];
+    let ours = SessionParams::for_model(&info, ExecConfig::new().variant, 1);
+    let ch = {
+        let mut ch = TcpTransport::connect(server.addr()).expect("connect");
+        ch.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+        let reply = handshake_client_ext(
+            &mut ch,
+            ours,
+            &token,
+            HelloRequest { resume: false, bundle: false },
+        )
+        .expect("handshake");
+        assert!(!reply.resume && !reply.bundle);
+        let _session = ClientSession::setup(&mut ch, &mut rng).expect("setup");
+        ch // hold the connection open, never read again
+    };
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.metrics().evicted < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "server never evicted the non-draining peer: {:?}",
+            server.metrics()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(ch);
+    let m = server.metrics();
+    assert!(m.evicted >= 1, "outbound cap must evict the dead reader");
+    assert_eq!(m.completed, 0);
+    assert_eq!(m.panicked, 0);
+}
+
+/// A session that panics mid-online must be quarantined: its worker and
+/// the sibling sessions multiplexed on it keep running, the poisoned
+/// checkpoint is discarded, and every client — including the one whose
+/// session was killed, via its resilient retry — still ends bit-exact.
+/// No worker respawn may occur: quarantine is per-session.
+#[test]
+fn mid_online_panic_quarantines_session_but_siblings_finish_bit_exact() {
+    let q = tiny_model();
+    let info = PublicModelInfo::from(&q);
+    let server = Server::start(
+        q.clone(),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            sessions_per_worker: 4,
+            queue_capacity: 8,
+            pool_depth: 0,
+            deadlines: SessionDeadlines::uniform(Duration::from_secs(30)),
+            governor: GovernorConfig {
+                // The second admitted session dies at the top of its first
+                // online-phase sweep.
+                inject_panic_session: Some(1),
+                ..GovernorConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    let exact: usize = std::thread::scope(|scope| {
+        (0..3u64)
+            .map(|c| {
+                let client = ServeClient::new(info.clone())
+                    .with_bundles(false)
+                    .with_deadlines(SessionDeadlines::uniform(Duration::from_secs(30)))
+                    .with_policy(RetryPolicy::no_delay(3));
+                let q = &q;
+                scope.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(9_000 + c);
+                    let input: Vec<u64> = (0..10).map(|j| (c * 31 + j * 7) & 0xFFFF).collect();
+                    let expected = q.forward_exact(&input);
+                    let (y, _report) = client
+                        .run(addr, std::slice::from_ref(&input), &mut rng)
+                        .expect("client must survive the injected panic via retry");
+                    assert_eq!(y.col(0), expected, "client {c}: logits diverge");
+                    1usize
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
+    });
+    assert_eq!(exact, 3, "every client must end bit-exact");
+
+    // Settle the worker-side bookkeeping, then pin the quarantine story:
+    // exactly one panic, zero worker deaths, and the victim's retry
+    // reconnected fresh (its checkpoint was discarded as poisoned).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while (server.metrics().completed < 3 || server.metrics().active > 0)
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let m = server.metrics();
+    assert_eq!(m.panicked, 1, "exactly the injected session may panic");
+    assert_eq!(m.worker_respawns, 0, "quarantine must not cost a worker");
+    assert_eq!(m.completed, 3);
+    assert_eq!(m.failed, 1, "the quarantined session counts as failed");
+    assert_eq!(m.active, 0, "the worker must still be sweeping, not wedged");
+    let prom = m.render_prometheus();
+    assert!(prom.contains("abnn2_serve_sessions_panicked_total 1"), "panic family must render");
+    assert!(prom.contains("abnn2_serve_sessions_evicted_total 0"), "eviction family must render");
 }

@@ -260,9 +260,61 @@ fn overloaded_server_rejects_with_typed_error() {
     let x = sample_input(12, 222);
     let start = Instant::now();
     let err = client.run(addr, &[x], &mut rng).unwrap_err();
-    assert_eq!(err, ProtocolError::Overloaded);
+    assert!(
+        matches!(err, ProtocolError::Overloaded { retry_after_ms } if retry_after_ms >= 25),
+        "busy rejection must carry a load-derived backoff hint, got {err:?}"
+    );
     assert!(start.elapsed() < Duration::from_secs(5), "rejection must be prompt");
     assert!(server.metrics().rejected >= 1);
+}
+
+/// Satellite of the governor PR: the busy frame's `retry_after_ms` hint
+/// must round-trip to the client, and a client with retries left must
+/// honor it — sleeping between dials instead of hot-looping against a
+/// full queue.
+#[test]
+fn client_honors_retry_after_hint_instead_of_hot_looping() {
+    let q = tiny_model(225);
+    let info = PublicModelInfo::from(&q);
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        pool_depth: 0,
+        deadlines: fast_deadlines(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(q, "127.0.0.1:0", config).expect("start server");
+    let addr = server.addr();
+
+    // Hold the worker and the queue slot for the whole test, so every
+    // admission attempt is shed with a hint.
+    let _stall_worker = TcpStream::connect(addr).expect("stall 1");
+    wait_until("worker to pick up the first stall", || server.metrics().active >= 1);
+    let _stall_queue = TcpStream::connect(addr).expect("stall 2");
+    wait_until("second stall to be queued", || server.metrics().accepted >= 2);
+
+    // Zero client-side base delay: any spacing between dials comes from
+    // the server's hint, not the policy.
+    let client = ServeClient::new(info)
+        .with_deadlines(fast_deadlines())
+        .with_policy(RetryPolicy::no_delay(4));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(226);
+    let x = sample_input(12, 227);
+    let start = Instant::now();
+    let err = client.run(addr, &[x], &mut rng).unwrap_err();
+    let elapsed = start.elapsed();
+
+    // active=1 + queued=1 + self → hint ≥ 75 ms per shed; three waits
+    // precede the final (returned) rejection.
+    assert!(
+        matches!(err, ProtocolError::Overloaded { retry_after_ms } if retry_after_ms >= 75),
+        "hint must survive the wire round-trip, got {err:?}"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(3 * 75),
+        "client must sleep the hinted backoff between dials, only waited {elapsed:?}"
+    );
+    assert!(server.metrics().rejected >= 4, "all four admission attempts must be shed");
 }
 
 #[test]
@@ -309,7 +361,10 @@ fn graceful_drain_completes_in_flight_and_rejects_new() {
     let (y, report) = in_flight.expect("in-flight session must complete through the drain");
     assert_eq!(y.col(0), expected, "drained-through session must stay bit-exact");
     assert_eq!(report.attempts, 1, "drain must not sever the in-flight session");
-    assert_eq!(rejected_err, ProtocolError::Overloaded);
+    assert!(
+        matches!(rejected_err, ProtocolError::Overloaded { .. }),
+        "drain rejection must stay typed, got {rejected_err:?}"
+    );
 
     // Shutdown joins every thread: bounded, no hang.
     let start = Instant::now();

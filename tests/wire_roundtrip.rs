@@ -15,8 +15,10 @@
 
 use abnn2::crypto::Block;
 use abnn2::net::wire::{tags, Blocks, Frame, U64Frame, WireGot};
-use abnn2::net::{Endpoint, NetworkModel, Transport, TransportError};
+use abnn2::net::{Endpoint, NetworkModel, TcpTransport, Transport, TransportError};
 use std::borrow::Cow;
+use std::io::Write;
+use std::time::Duration;
 
 /// Small deterministic byte generator (xorshift64*), enough entropy to
 /// exercise the codecs without pulling a SeedableRng into every helper.
@@ -248,6 +250,49 @@ fn mismatched_frame_types_surface_as_tag_errors() {
     a.send_frame(&U64Frame(99)).unwrap();
     a.flush().unwrap();
     assert_eq!(b.recv_frame::<U64Frame>(), Ok(U64Frame(99)));
+}
+
+/// Every tag in the central registry must declare a per-tag payload
+/// ceiling: the decode path sizes its allocation from the length prefix,
+/// so a registered frame without a ceiling would let a malicious peer
+/// demand up to the global frame cap per message. Unregistered tags fall
+/// back to a deliberately tight default.
+#[test]
+fn every_registered_tag_declares_a_decode_ceiling() {
+    for &(tag, name) in tags::ALL {
+        let ceiling = tags::max_len(tag);
+        assert!(ceiling.is_some(), "{name} (tag 0x{tag:02x}) declares no payload ceiling");
+        assert!(ceiling.unwrap() >= 1, "{name}: ceiling must admit at least a bare tag frame");
+    }
+    // Unknown tags must get a tight ceiling, not the global frame cap.
+    const { assert!(tags::UNREGISTERED_MAX_LEN <= 1 << 20) };
+    // Spot-pin the fixed-size frames so the table cannot silently loosen.
+    assert_eq!(tags::max_len(tags::U64), Some(8));
+    assert_eq!(tags::max_len(tags::HELLO), Some(abnn2::core::handshake::HELLO_LEN));
+    assert_eq!(tags::max_len(tags::MASKED_CLASS), Some(1));
+}
+
+/// A length prefix claiming a payload far above its tag's ceiling must be
+/// rejected as a typed [`TransportError::Malformed`] at the framing layer
+/// — *before* the receiver allocates the claimed buffer. The claimed
+/// length here sits inside the global frame cap, so only the per-tag
+/// ceiling can be the thing that catches it.
+#[test]
+fn oversized_frame_is_rejected_by_tag_ceiling_before_allocation() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut sender = std::net::TcpStream::connect(addr).expect("connect");
+    let (stream, _) = listener.accept().expect("accept");
+    let mut ch = TcpTransport::from_stream(stream).expect("transport");
+    ch.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+
+    // A u64 frame (ceiling: 8 payload bytes) claiming just under 1 GiB.
+    let len: u32 = (1 << 30) - 1;
+    sender.write_all(&len.to_le_bytes()).expect("header");
+    sender.write_all(&[tags::U64]).expect("tag");
+    sender.flush().expect("flush");
+    let err = Transport::recv(&mut ch).expect_err("oversized frame must not decode");
+    assert_eq!(err, TransportError::Malformed("frame length exceeds tag ceiling"));
 }
 
 /// A flipped tag byte on an otherwise valid frame is caught before the
