@@ -12,7 +12,7 @@ use abnn2_gc::circuit::CircuitBuilder;
 use abnn2_gc::{circuits, garble, YaoEvaluator, YaoGarbler};
 use abnn2_math::{FragmentScheme, Matrix, Ring};
 use abnn2_net::{run_pair, NetworkModel};
-use abnn2_ot::{KkChooser, KkSender};
+use abnn2_ot::{FragmentChooser, FragmentSender, OfflineMode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 
@@ -29,12 +29,12 @@ fn run_triplet(scheme: &FragmentScheme, m: usize, n: usize, o: usize, mode: Trip
         NetworkModel::instant(),
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-            let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+            let mut kk = FragmentChooser::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
             triplet_server(ch, &mut kk, &weights, m, n, o, &s1, ring, mode).expect("server")
         },
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-            let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+            let mut kk = FragmentSender::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
             let r = Matrix::random(n, o, &ring, &mut rng);
             triplet_client(ch, &mut kk, &r, m, &s2, ring, mode, &mut rng).expect("client")
         },
@@ -194,13 +194,15 @@ fn ablation_threads(c: &mut Criterion) {
                     NetworkModel::instant(),
                     move |ch| {
                         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-                        let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+                        let mut kk =
+                            FragmentChooser::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                         triplet_server_with(ch, &mut kk, &weights, m, n, 1, &s1, ring, cfg)
                             .expect("server")
                     },
                     move |ch| {
                         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
-                        let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+                        let mut kk =
+                            FragmentSender::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                         let r = Matrix::random(n, 1, &ring, &mut rng);
                         triplet_client_with(ch, &mut kk, &r, m, &s2, ring, cfg, &mut rng)
                             .expect("client")

@@ -7,7 +7,7 @@ use abnn2_crypto::{sha256::sha256, Aes128, Block, Prg, RoHash};
 use abnn2_gc::{circuits, garble};
 use abnn2_math::{FragmentScheme, Matrix, Ring};
 use abnn2_net::{run_pair, NetworkModel};
-use abnn2_ot::{KkChooser, KkSender};
+use abnn2_ot::{FragmentChooser, FragmentSender, OfflineMode};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::SeedableRng;
 
@@ -87,7 +87,8 @@ fn bench_triplets(c: &mut Criterion) {
                     NetworkModel::instant(),
                     move |ch| {
                         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-                        let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+                        let mut kk =
+                            FragmentChooser::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                         triplet_server(
                             ch,
                             &mut kk,
@@ -103,7 +104,8 @@ fn bench_triplets(c: &mut Criterion) {
                     },
                     move |ch| {
                         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-                        let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+                        let mut kk =
+                            FragmentSender::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                         let r = Matrix::random(n, 1, &ring, &mut rng);
                         triplet_client(
                             ch,

@@ -1,0 +1,250 @@
+//! Machine-readable benchmark emitter: writes a `BENCH_*.json` with one
+//! entry per table workload (offline/online bytes plus wall-clock), and —
+//! as the **first entry** — the silent-vs-IKNP offline comparison, with
+//! the ≥10× OT-extension reduction enforced at generation time so a
+//! regression can never be committed inside a fresh benchmark file.
+//!
+//! Run via `scripts/check.sh --bench`, or directly:
+//!
+//! ```text
+//! cargo run --release -p abnn2-bench --bin bench_json -- BENCH_foo.json
+//! ```
+//!
+//! The output path is the first non-flag argument (default
+//! `BENCH_latest.json` in the current directory). The JSON is
+//! hand-serialized — the workspace deliberately carries no serde
+//! dependency.
+
+use abnn2_bench::{paper_quantized, run_abnn2_e2e, run_offline_triplets_with, run_quotient_e2e};
+use abnn2_core::complexity;
+use abnn2_core::matmul::{triplet_client, triplet_server, TripletMode};
+use abnn2_core::relu::ReluVariant;
+use abnn2_math::{FragmentScheme, Matrix, Ring};
+use abnn2_net::wire::tags;
+use abnn2_net::{Endpoint, InstrumentedTransport, NetworkModel};
+use abnn2_ot::{FragmentChooser, FragmentSender, OfflineMode};
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Formats a metric value: integers stay integers, everything else gets
+/// four decimals (enough for seconds and reduction factors).
+fn num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// One JSON entry; `metrics` keys are emitted in order.
+fn entry(name: &str, workload: &str, kind: &str, metrics: &[(&str, f64)]) -> String {
+    let body: Vec<String> =
+        metrics.iter().map(|(k, v)| format!("      \"{k}\": {}", num(*v))).collect();
+    format!(
+        "    {{\n      \"name\": \"{name}\",\n      \"workload\": \"{workload}\",\n      \
+         \"kind\": \"{kind}\",\n{}\n    }}",
+        body.join(",\n")
+    )
+}
+
+/// Per-tag traffic of one triplet generation on a single `m×n` layer
+/// (batch `o`) under `ot`: (extension bytes, total bytes).
+fn triplet_tagged(ot: OfflineMode, m: usize, n: usize, o: usize) -> (u64, u64) {
+    let scheme = FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]);
+    let ring = Ring::new(32);
+    let weights = {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let (lo, hi) = scheme.weight_range();
+        (0..m * n).map(|_| rng.gen_range(lo..=hi)).collect::<Vec<i64>>()
+    };
+    let (server_ep, client_ep) = Endpoint::pair(NetworkModel::instant());
+    let mut client_ch = InstrumentedTransport::new(client_ep);
+    let handle = client_ch.handle();
+    let (s1, s2) = (scheme.clone(), scheme);
+    let mode = TripletMode::for_batch(o);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut ch = server_ep;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            let mut kk = FragmentChooser::setup(&mut ch, ot, &mut rng).expect("setup");
+            triplet_server(&mut ch, &mut kk, &weights, m, n, o, &s1, ring, mode).expect("server");
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let mut kk = FragmentSender::setup(&mut client_ch, ot, &mut rng).expect("setup");
+        let r = Matrix::random(n, o, &ring, &mut rng);
+        triplet_client(&mut client_ch, &mut kk, &r, m, &s2, ring, mode, &mut rng).expect("client");
+    });
+    let ext = match ot {
+        OfflineMode::Iknp => handle.tag(tags::KK_COLUMNS).total_bytes(),
+        OfflineMode::Silent => [
+            tags::SILENT_BASE_COLUMNS,
+            tags::SILENT_DERAND,
+            tags::SILENT_SPCOT_MASKS,
+            tags::SILENT_SPCOT_SUMS,
+        ]
+        .iter()
+        .map(|&t| handle.tag(t).total_bytes())
+        .sum(),
+    };
+    (ext, handle.total().total_bytes())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_latest.json".to_owned());
+    let mut entries = Vec::new();
+
+    // First entry: the silent subsystem's headline, on the Fig-4 first
+    // layer (128×784) at η = 8. The ≥10× extension-bytes reduction is
+    // asserted here so every generated BENCH file re-proves the claim.
+    {
+        let (m, n, o) = (128usize, 784usize, 1usize);
+        let t0 = Instant::now();
+        let (iknp_ext, iknp_total) = triplet_tagged(OfflineMode::Iknp, m, n, o);
+        let iknp_wall = t0.elapsed();
+        let t1 = Instant::now();
+        let (silent_ext, silent_total) = triplet_tagged(OfflineMode::Silent, m, n, o);
+        let silent_wall = t1.elapsed();
+        let ext_reduction = iknp_ext as f64 / silent_ext as f64;
+        assert!(
+            silent_ext * 10 <= iknp_ext,
+            "silent extension bytes regressed below 10x: {silent_ext} vs {iknp_ext}"
+        );
+        eprintln!(
+            "[silent_vs_iknp_offline] extension {iknp_ext} -> {silent_ext} B ({ext_reduction:.1}x), \
+             offline total {iknp_total} -> {silent_total} B"
+        );
+        entries.push(entry(
+            "silent_vs_iknp_offline",
+            "Fig-4 layer 1 (128x784), eta 8 (2,2,2,2), ring 2^32, batch 1",
+            "pinned",
+            &[
+                ("iknp_extension_bytes", iknp_ext as f64),
+                ("silent_extension_bytes", silent_ext as f64),
+                ("extension_reduction", ext_reduction),
+                ("iknp_offline_bytes", iknp_total as f64),
+                ("silent_offline_bytes", silent_total as f64),
+                ("offline_reduction", iknp_total as f64 / silent_total as f64),
+                ("iknp_wall_secs", iknp_wall.as_secs_f64()),
+                ("silent_wall_secs", silent_wall.as_secs_f64()),
+            ],
+        ));
+    }
+
+    // Table 1: analytic OT complexity — no wire traffic to measure.
+    {
+        let (m, n, l) = (128usize, 784usize, 32u32);
+        let sml = complexity::secureml(m, n, 1, l);
+        let ours = complexity::ours_one_batch(m, n, l, 4, 4);
+        entries.push(entry(
+            "table1_analytic_complexity",
+            "128x784 matrix-vector, ring 2^32, eta 8 (gamma=4, N=4)",
+            "analytic",
+            &[
+                ("secureml_comm_bytes", sml.comm_bits / 8.0),
+                ("ours_comm_bytes", ours.comm_bits / 8.0),
+                ("secureml_ot_count", sml.ot_count),
+                ("ours_ot_count", ours.ot_count),
+            ],
+        ));
+    }
+
+    // Table 2: offline triplet generation for the whole Fig-4 network.
+    {
+        let net = paper_quantized(FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]), 32);
+        let t0 = Instant::now();
+        let iknp =
+            run_offline_triplets_with(&net, 1, NetworkModel::instant(), OfflineMode::Iknp, 51);
+        let iknp_wall = t0.elapsed();
+        let t1 = Instant::now();
+        let silent =
+            run_offline_triplets_with(&net, 1, NetworkModel::instant(), OfflineMode::Silent, 51);
+        let silent_wall = t1.elapsed();
+        eprintln!("[table2_offline_triplets] iknp {} B, silent {} B", iknp.bytes, silent.bytes);
+        entries.push(entry(
+            "table2_offline_triplets",
+            "Fig-4 network (784-128-128-10), eta 8 (2,2,2,2), ring 2^32, batch 1",
+            "measured",
+            &[
+                ("iknp_offline_bytes", iknp.bytes as f64),
+                ("silent_offline_bytes", silent.bytes as f64),
+                ("iknp_simulated_secs", iknp.time.as_secs_f64()),
+                ("silent_simulated_secs", silent.time.as_secs_f64()),
+                ("iknp_wall_secs", iknp_wall.as_secs_f64()),
+                ("silent_wall_secs", silent_wall.as_secs_f64()),
+            ],
+        ));
+    }
+
+    // Table 3: single-layer matmul microbenchmark (quick shape d=100).
+    {
+        let t0 = Instant::now();
+        let (_, bytes) = triplet_tagged(OfflineMode::Iknp, 128, 100, 1);
+        let wall = t0.elapsed();
+        entries.push(entry(
+            "table3_matmul_microbench",
+            "128x100 matrix-vector triplet, eta 8 (2,2,2,2), ring 2^32",
+            "measured",
+            &[("offline_bytes", bytes as f64), ("wall_secs", wall.as_secs_f64())],
+        ));
+    }
+
+    // Table 4: end-to-end secure prediction (quick shape: batch 1, LAN).
+    {
+        let net = paper_quantized(FragmentScheme::signed_bit_fields(&[2, 2]), 32);
+        let t0 = Instant::now();
+        let st = run_abnn2_e2e(&net, 1, NetworkModel::lan(), ReluVariant::Oblivious, 61);
+        let wall = t0.elapsed();
+        eprintln!(
+            "[table4_e2e] offline {} B + online {} B, simulated {:.2}s",
+            st.offline_bytes,
+            st.online_bytes,
+            st.total().as_secs_f64()
+        );
+        entries.push(entry(
+            "table4_e2e_prediction",
+            "Fig-4 network, eta 4 (2,2), ring 2^32, batch 1, LAN",
+            "measured",
+            &[
+                ("offline_bytes", st.offline_bytes as f64),
+                ("online_bytes", st.online_bytes as f64),
+                ("total_bytes", st.bytes as f64),
+                ("offline_simulated_secs", st.offline.as_secs_f64()),
+                ("online_simulated_secs", st.online.as_secs_f64()),
+                ("wall_secs", wall.as_secs_f64()),
+            ],
+        ));
+    }
+
+    // Table 5: QUOTIENT comparison at ternary weights (quick shape).
+    {
+        let net = paper_quantized(FragmentScheme::ternary(), 32);
+        let t0 = Instant::now();
+        let ours = run_abnn2_e2e(&net, 1, NetworkModel::lan(), ReluVariant::Oblivious, 71);
+        let quo = run_quotient_e2e(&net, 1, NetworkModel::lan(), 72);
+        let wall = t0.elapsed();
+        entries.push(entry(
+            "table5_quotient_comparison",
+            "Fig-4 network, ternary, ring 2^32, batch 1, LAN",
+            "measured",
+            &[
+                ("ours_offline_bytes", ours.offline_bytes as f64),
+                ("ours_online_bytes", ours.online_bytes as f64),
+                ("ours_simulated_secs", ours.total().as_secs_f64()),
+                ("quotient_total_bytes", quo.bytes as f64),
+                ("quotient_simulated_secs", quo.total().as_secs_f64()),
+                ("wall_secs", wall.as_secs_f64()),
+            ],
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"abnn2-bench/v1\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    println!("wrote {out_path}");
+}

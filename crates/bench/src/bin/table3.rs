@@ -6,7 +6,7 @@ use abnn2_bench::{fmt_mib, fmt_secs, print_table, quick_mode, random_weights};
 use abnn2_core::matmul::{triplet_client, triplet_server, TripletMode};
 use abnn2_math::{FragmentScheme, Matrix, Ring};
 use abnn2_net::{run_pair, NetworkModel};
-use abnn2_ot::{IknpReceiver, IknpSender, KkChooser, KkSender};
+use abnn2_ot::{FragmentChooser, FragmentSender, IknpReceiver, IknpSender, OfflineMode};
 use rand::SeedableRng;
 use std::time::Duration;
 
@@ -20,14 +20,14 @@ fn run_abnn2(scheme: &FragmentScheme, d: usize, model: NetworkModel, seed: u64) 
         model,
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
-            let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+            let mut kk = FragmentChooser::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
             let _ =
                 triplet_server(ch, &mut kk, &weights, M, d, 1, &s1, ring, TripletMode::OneBatch)
                     .expect("server");
         },
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);
-            let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+            let mut kk = FragmentSender::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
             let r = Matrix::random(d, 1, &ring, &mut rng);
             let _ = triplet_client(ch, &mut kk, &r, M, &s2, ring, TripletMode::OneBatch, &mut rng)
                 .expect("client");

@@ -87,7 +87,8 @@ pub struct PhaseStats {
     pub bytes: u64,
 }
 
-/// Runs the ABNN² offline triplet generation for a whole network's layers.
+/// Runs the ABNN² offline triplet generation for a whole network's layers
+/// over the IKNP/KK13 backend.
 #[must_use]
 pub fn run_offline_triplets(
     net: &QuantizedNetwork,
@@ -95,8 +96,21 @@ pub fn run_offline_triplets(
     model: NetworkModel,
     seed: u64,
 ) -> PhaseStats {
+    run_offline_triplets_with(net, batch, model, abnn2_ot::OfflineMode::Iknp, seed)
+}
+
+/// As [`run_offline_triplets`], but over the selected offline OT backend,
+/// so callers can put silent-OT and IKNP traffic side by side.
+#[must_use]
+pub fn run_offline_triplets_with(
+    net: &QuantizedNetwork,
+    batch: usize,
+    model: NetworkModel,
+    ot: abnn2_ot::OfflineMode,
+    seed: u64,
+) -> PhaseStats {
     use abnn2_core::matmul::{triplet_client, triplet_server, TripletMode};
-    use abnn2_ot::{KkChooser, KkSender};
+    use abnn2_ot::{FragmentChooser, FragmentSender};
     let ring = net.config.ring;
     let scheme = net.config.scheme.clone();
     let scheme2 = scheme.clone();
@@ -109,7 +123,7 @@ pub fn run_offline_triplets(
         model,
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let mut kk = KkChooser::setup(ch, &mut rng).expect("chooser setup");
+            let mut kk = FragmentChooser::setup(ch, ot, &mut rng).expect("chooser setup");
             for (w, m, n) in &layers {
                 let _ = triplet_server(ch, &mut kk, w, *m, *n, batch, &scheme, ring, mode)
                     .expect("server");
@@ -117,7 +131,7 @@ pub fn run_offline_triplets(
         },
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
-            let mut kk = KkSender::setup(ch, &mut rng).expect("sender setup");
+            let mut kk = FragmentSender::setup(ch, ot, &mut rng).expect("sender setup");
             for (n, m) in dims_in.iter().zip(&dims_out) {
                 let r = Matrix::random(*n, batch, &ring, &mut rng);
                 let _ = triplet_client(ch, &mut kk, &r, *m, &scheme2, ring, mode, &mut rng)
@@ -137,6 +151,10 @@ pub struct E2eStats {
     pub online: Duration,
     /// Total bytes on the wire.
     pub bytes: u64,
+    /// Bytes on the wire during the offline phase only.
+    pub offline_bytes: u64,
+    /// Bytes on the wire during the online phase only.
+    pub online_bytes: u64,
 }
 
 impl E2eStats {
@@ -246,6 +264,8 @@ pub fn run_quotient_e2e(
         offline: report.simulated_time(),
         online: Duration::ZERO,
         bytes: report.total_bytes(),
+        offline_bytes: report.total_bytes(),
+        online_bytes: 0,
     }
 }
 
@@ -260,5 +280,12 @@ pub fn split_phases(
 ) -> E2eStats {
     let offline = s_mid.vtime.max(c_mid.vtime);
     let total = s_end.vtime.max(c_end.vtime);
-    E2eStats { offline, online: total.saturating_sub(offline), bytes: total_bytes }
+    let offline_bytes = s_mid.bytes_sent + c_mid.bytes_sent;
+    E2eStats {
+        offline,
+        online: total.saturating_sub(offline),
+        bytes: total_bytes,
+        offline_bytes,
+        online_bytes: total_bytes.saturating_sub(offline_bytes),
+    }
 }

@@ -37,6 +37,7 @@ use abnn2_math::{Matrix, Ring};
 use abnn2_nn::conv::im2col;
 use abnn2_nn::graph::{LayerGraph, LayerOp};
 use abnn2_nn::quant::QuantizedNetwork;
+use abnn2_ot::OfflineMode;
 use rand::Rng;
 
 /// Version byte leading every encoded [`ClientBundle`]. v2 introduced the
@@ -58,15 +59,22 @@ pub struct BundleKey {
     pub scheme_digest: [u8; 8],
     /// Number of samples per prediction batch the bundle was sized for.
     pub batch: u32,
+    /// The negotiated offline OT mode. Part of the key so an IKNP session
+    /// can never consume a bundle pooled for silent sessions (or vice
+    /// versa): the dealer content is identical, but accounting, pool
+    /// sizing, and audit trails key on the mode a bundle was promised to.
+    pub mode: OfflineMode,
 }
 
 impl BundleKey {
-    /// The key for a layer graph at a given batch size — the canonical
-    /// derivation; the model-facing constructor delegates here.
+    /// The key for a layer graph at a given batch size, in the portable
+    /// IKNP mode — the canonical derivation; the model-facing constructor
+    /// delegates here. Use [`with_mode`](Self::with_mode) for silent
+    /// sessions.
     #[must_use]
     pub fn for_graph(graph: &LayerGraph, batch: usize) -> Self {
         let (scheme_digest, model_digest) = graph_digests(graph);
-        BundleKey { model_digest, scheme_digest, batch: batch as u32 }
+        BundleKey { model_digest, scheme_digest, batch: batch as u32, mode: OfflineMode::Iknp }
     }
 
     /// The key for a served MLP at a given batch size.
@@ -75,14 +83,24 @@ impl BundleKey {
         Self::for_graph(&info.graph(), batch)
     }
 
-    /// The key implied by a handshake's negotiated session parameters.
+    /// The key implied by a handshake's negotiated session parameters
+    /// (portable IKNP mode; combine with [`with_mode`](Self::with_mode)
+    /// for the reply's negotiated mode).
     #[must_use]
     pub fn from_params(params: &SessionParams) -> Self {
         BundleKey {
             model_digest: params.model_digest,
             scheme_digest: params.scheme_digest,
             batch: params.batch,
+            mode: OfflineMode::Iknp,
         }
+    }
+
+    /// The same key under a different offline mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: OfflineMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
@@ -386,5 +404,19 @@ mod tests {
         // The handshake's view and the pool's view agree.
         let params = SessionParams::for_model(&info, crate::relu::ReluVariant::Oblivious, 1);
         assert_eq!(BundleKey::from_params(&params), base);
+    }
+
+    #[test]
+    fn keys_separate_offline_modes() {
+        // A bundle pooled for silent sessions must be invisible to an IKNP
+        // session with otherwise identical parameters, and vice versa.
+        let q = tiny(17);
+        let info = PublicModelInfo::from(&q);
+        let iknp = BundleKey::for_model(&info, 1);
+        let silent = iknp.with_mode(OfflineMode::Silent);
+        assert_eq!(iknp.mode, OfflineMode::Iknp);
+        assert_eq!(silent.mode, OfflineMode::Silent);
+        assert_ne!(iknp, silent);
+        assert_eq!(silent.with_mode(OfflineMode::Iknp), iknp);
     }
 }

@@ -44,6 +44,7 @@ use crate::inference::{SecureServer, ServerOffline};
 use crate::session::ServerSession;
 use crate::ProtocolError;
 use abnn2_net::{CommSnapshot, Transport, TransportError};
+use abnn2_ot::OfflineMode;
 use rand::rngs::StdRng;
 use std::sync::Arc;
 use std::time::Duration;
@@ -65,9 +66,16 @@ pub trait SessionHost {
     fn claim_checkpoint(&self, token: &ResumeToken) -> Option<ServerBundle>;
 
     /// Takes a warm precomputed bundle pair matching the negotiated
-    /// parameters, if one is ready. Answering `Some` commits the session
-    /// to sending the client half right after base-OT setup.
-    fn take_bundle(&self, params: &SessionParams) -> Option<(ServerBundle, ClientBundle)>;
+    /// parameters *and offline mode*, if one is ready. Answering `Some`
+    /// commits the session to sending the client half right after base-OT
+    /// setup. Bundles pooled for silent sessions must never be handed to
+    /// IKNP sessions (the pool keys on [`crate::bundle::BundleKey`], which
+    /// includes the mode).
+    fn take_bundle(
+        &self,
+        params: &SessionParams,
+        mode: OfflineMode,
+    ) -> Option<(ServerBundle, ClientBundle)>;
 }
 
 /// A host that never resumes and never deals bundles: the
@@ -87,7 +95,11 @@ impl SessionHost for NullHost {
     fn claim_checkpoint(&self, _token: &ResumeToken) -> Option<ServerBundle> {
         None
     }
-    fn take_bundle(&self, _params: &SessionParams) -> Option<(ServerBundle, ClientBundle)> {
+    fn take_bundle(
+        &self,
+        _params: &SessionParams,
+        _mode: OfflineMode,
+    ) -> Option<(ServerBundle, ClientBundle)> {
         None
     }
 }
@@ -424,8 +436,8 @@ impl<H: SessionHost> SessionDriver<H> {
                         claimed = host.claim_checkpoint(t);
                         claimed.is_some()
                     },
-                    |p| {
-                        pooled = host.take_bundle(p);
+                    |p, mode| {
+                        pooled = host.take_bundle(p, mode);
                         pooled.is_some()
                     },
                 )?;
@@ -436,7 +448,7 @@ impl<H: SessionHost> SessionDriver<H> {
             State::Setup { batch, reply, claimed, pooled } => {
                 let (batch, reply) = (*batch, *reply);
                 ch.mark_phase("setup");
-                let session = ServerSession::setup(ch, rng)?;
+                let session = ServerSession::setup_with(ch, reply.mode(), rng)?;
                 if reply.resume {
                     let bundle =
                         claimed.clone().expect("accepted resume implies a claimed checkpoint");

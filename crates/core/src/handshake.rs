@@ -55,7 +55,14 @@ pub const HANDSHAKE_MAGIC: [u8; 4] = *b"ABN2";
 ///
 /// v3: every protocol message carries a one-byte frame tag
 /// ([`abnn2_net::wire::tags`]) ahead of its payload, checked on receive.
-pub const PROTOCOL_VERSION: u16 = 3;
+///
+/// v4: the hello flags carry a silent-OT capability bit; sessions where
+/// both sides set it run the offline phase over the LPN-based silent
+/// extension (new frame tags `0x40..=0x43`) instead of IKNP/KK13. The
+/// frame layout is unchanged — a v3 peer simply never sets the bit — but
+/// the version is bumped because a v4 transcript with the bit set is
+/// unreadable to v3.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Length of the hello frame in bytes.
 pub const HELLO_LEN: usize = 56;
@@ -210,6 +217,7 @@ impl SessionParams {
 const FLAG_RESUME: u8 = 1;
 const FLAG_BUNDLE: u8 = 2;
 const FLAG_BUSY: u8 = 4;
+const FLAG_SILENT: u8 = 8;
 
 /// A hello that fails wire-level framing (wrong tag, wrong length) means
 /// the peer is not speaking this protocol: classify it as
@@ -231,6 +239,9 @@ pub struct HelloRequest {
     /// interactive offline phase can be skipped. Ignored by the server when
     /// a resume was requested and accepted.
     pub bundle: bool,
+    /// This client can run the offline phase over the silent (LPN) OT
+    /// extension; the session uses it only if the server sets the bit too.
+    pub silent: bool,
 }
 
 /// The server's answer to a [`HelloRequest`], read from the reply flags.
@@ -241,6 +252,21 @@ pub struct HelloReply {
     /// The server has a warm precomputed bundle and will send it right
     /// after session setup.
     pub bundle: bool,
+    /// Both sides are silent-OT capable: the offline phase (and any pooled
+    /// bundle) uses [`abnn2_ot::OfflineMode::Silent`].
+    pub silent: bool,
+}
+
+impl HelloReply {
+    /// The negotiated offline mode this reply implies.
+    #[must_use]
+    pub fn mode(&self) -> abnn2_ot::OfflineMode {
+        if self.silent {
+            abnn2_ot::OfflineMode::Silent
+        } else {
+            abnn2_ot::OfflineMode::Iknp
+        }
+    }
 }
 
 /// Client side of the handshake: sends our hello carrying the
@@ -266,6 +292,9 @@ pub fn handshake_client_ext<T: Transport>(
     if request.bundle {
         flags |= FLAG_BUNDLE;
     }
+    if request.silent {
+        flags |= FLAG_SILENT;
+    }
     ch.send_frame(&Hello(ours.encode(flags, token).to_vec()))?;
     let Hello(reply) = ch.recv_frame().map_err(hello_err)?;
     let (theirs, reply_flags, reply_token) = SessionParams::decode(&reply)?;
@@ -284,6 +313,7 @@ pub fn handshake_client_ext<T: Transport>(
     Ok(HelloReply {
         resume: request.resume && reply_flags & FLAG_RESUME != 0,
         bundle: request.bundle && reply_flags & FLAG_BUNDLE != 0,
+        silent: request.silent && reply_flags & FLAG_SILENT != 0,
     })
 }
 
@@ -305,7 +335,8 @@ pub fn handshake_client<T: Transport>(
     token: &ResumeToken,
     resume: bool,
 ) -> Result<bool, ProtocolError> {
-    let reply = handshake_client_ext(ch, ours, token, HelloRequest { resume, bundle: false })?;
+    let request = HelloRequest { resume, ..HelloRequest::default() };
+    let reply = handshake_client_ext(ch, ours, token, request)?;
     Ok(reply.resume)
 }
 
@@ -315,9 +346,11 @@ pub fn handshake_client<T: Transport>(
 ///
 /// `offer_bundle` is consulted only when the client asked for a bundle and
 /// no resume was accepted (a resumed session already has its offline
-/// state); it receives the negotiated parameters so it can look up the
-/// matching pool key — and, when it answers `true`, it has *committed* to
-/// sending the bundle right after session setup.
+/// state); it receives the negotiated parameters *and the negotiated
+/// offline mode* so it can look up the matching pool key — bundles pooled
+/// for silent sessions are keyed apart from IKNP ones — and, when it
+/// answers `true`, it has *committed* to sending the bundle right after
+/// session setup.
 ///
 /// The reply is sent *before* the mismatch check so a disagreeing client
 /// observes the same [`ProtocolError::Negotiation`] we do.
@@ -333,7 +366,7 @@ pub fn handshake_server_ext<T: Transport>(
     ch: &mut T,
     ours_for: impl FnOnce(usize) -> SessionParams,
     can_resume: impl FnOnce(&ResumeToken) -> bool,
-    offer_bundle: impl FnOnce(&SessionParams) -> bool,
+    offer_bundle: impl FnOnce(&SessionParams, abnn2_ot::OfflineMode) -> bool,
 ) -> Result<(usize, ResumeToken, HelloReply), ProtocolError> {
     let Hello(hello) = ch.recv_frame().map_err(hello_err)?;
     let (theirs, flags, token) = SessionParams::decode(&hello)?;
@@ -342,8 +375,13 @@ pub fn handshake_server_ext<T: Transport>(
     // Only honor requests from a matching peer: a client that is about to
     // fail negotiation must not consume a checkpoint or a pooled bundle.
     let matched = theirs == ours;
+    // The server is always silent-capable; the client's bit decides. A
+    // mixed fleet thus degrades per-connection: silent clients get silent
+    // sessions, IKNP clients keep the KK13 path, on one server.
+    let silent_ok = matched && flags & FLAG_SILENT != 0;
+    let mode = if silent_ok { abnn2_ot::OfflineMode::Silent } else { abnn2_ot::OfflineMode::Iknp };
     let resume_ok = matched && flags & FLAG_RESUME != 0 && can_resume(&token);
-    let bundle_ok = matched && !resume_ok && flags & FLAG_BUNDLE != 0 && offer_bundle(&ours);
+    let bundle_ok = matched && !resume_ok && flags & FLAG_BUNDLE != 0 && offer_bundle(&ours, mode);
     let mut reply_flags = 0;
     if resume_ok {
         reply_flags |= FLAG_RESUME;
@@ -351,12 +389,15 @@ pub fn handshake_server_ext<T: Transport>(
     if bundle_ok {
         reply_flags |= FLAG_BUNDLE;
     }
+    if silent_ok {
+        reply_flags |= FLAG_SILENT;
+    }
     ch.send_frame(&Hello(ours.encode(reply_flags, &token).to_vec()))?;
     ch.flush()?;
     if !matched {
         return Err(ProtocolError::Negotiation { ours, theirs });
     }
-    Ok((batch, token, HelloReply { resume: resume_ok, bundle: bundle_ok }))
+    Ok((batch, token, HelloReply { resume: resume_ok, bundle: bundle_ok, silent: silent_ok }))
 }
 
 /// Server side of the handshake: receives the client hello, derives our
@@ -375,7 +416,7 @@ pub fn handshake_server<T: Transport>(
     ours_for: impl FnOnce(usize) -> SessionParams,
     can_resume: impl FnOnce(&ResumeToken) -> bool,
 ) -> Result<(usize, ResumeToken, bool), ProtocolError> {
-    let (batch, token, reply) = handshake_server_ext(ch, ours_for, can_resume, |_| false)?;
+    let (batch, token, reply) = handshake_server_ext(ch, ours_for, can_resume, |_, _| false)?;
     Ok((batch, token, reply.resume))
 }
 
@@ -594,17 +635,17 @@ mod tests {
                     &mut s,
                     |batch| SessionParams::for_model(&i2, ReluVariant::Oblivious, batch),
                     |_| false,
-                    |params| params.batch == 2,
+                    |params, _| params.batch == 2,
                 )
             });
             let reply = handshake_client_ext(
                 &mut c,
                 ours,
                 &[0; 16],
-                HelloRequest { resume: false, bundle: true },
+                HelloRequest { bundle: true, ..HelloRequest::default() },
             )
             .unwrap();
-            assert_eq!(reply, HelloReply { resume: false, bundle: true });
+            assert_eq!(reply, HelloReply { bundle: true, ..HelloReply::default() });
             let (_, _, srv_reply) = server.join().unwrap().unwrap();
             assert_eq!(srv_reply, reply);
         });
@@ -624,19 +665,54 @@ mod tests {
                     &mut s,
                     |batch| SessionParams::for_model(&i2, ReluVariant::Oblivious, batch),
                     |_| true,
-                    |_| true,
+                    |_, _| true,
                 )
             });
             let reply = handshake_client_ext(
                 &mut c,
                 ours,
                 &[5; 16],
-                HelloRequest { resume: true, bundle: true },
+                HelloRequest { resume: true, bundle: true, ..HelloRequest::default() },
             )
             .unwrap();
-            assert_eq!(reply, HelloReply { resume: true, bundle: false });
+            assert_eq!(reply, HelloReply { resume: true, bundle: false, silent: false });
             server.join().unwrap().unwrap();
         });
+    }
+
+    #[test]
+    fn silent_capability_negotiates_per_connection() {
+        use abnn2_ot::OfflineMode;
+        // A silent-capable client gets a silent session; a legacy client on
+        // the same server silently (pun intended) keeps the KK13 path.
+        let i = info(&[8, 4, 2], 32);
+        for client_silent in [true, false] {
+            let (mut c, mut s) = Endpoint::pair(NetworkModel::instant());
+            let ours = SessionParams::for_model(&i, ReluVariant::Oblivious, 1);
+            let i2 = i.clone();
+            std::thread::scope(|scope| {
+                let server = scope.spawn(move || {
+                    handshake_server_ext(
+                        &mut s,
+                        |batch| SessionParams::for_model(&i2, ReluVariant::Oblivious, batch),
+                        |_| false,
+                        |_, _| false,
+                    )
+                });
+                let reply = handshake_client_ext(
+                    &mut c,
+                    ours,
+                    &[0; 16],
+                    HelloRequest { silent: client_silent, ..HelloRequest::default() },
+                )
+                .unwrap();
+                assert_eq!(reply.silent, client_silent);
+                let expect = if client_silent { OfflineMode::Silent } else { OfflineMode::Iknp };
+                assert_eq!(reply.mode(), expect);
+                let (_, _, srv_reply) = server.join().unwrap().unwrap();
+                assert_eq!(srv_reply, reply);
+            });
+        }
     }
 
     #[test]
@@ -655,7 +731,7 @@ mod tests {
                         consulted.set(true);
                         true
                     },
-                    |_| {
+                    |_, _| {
                         consulted.set(true);
                         true
                     },
@@ -666,7 +742,7 @@ mod tests {
                 &mut c,
                 ours,
                 &[9; 16],
-                HelloRequest { resume: true, bundle: true },
+                HelloRequest { resume: true, bundle: true, ..HelloRequest::default() },
             )
             .unwrap_err();
             assert!(matches!(err, ProtocolError::Negotiation { .. }));

@@ -27,7 +27,7 @@ use crate::graph::{
     client_offline_with, client_online_to_logits, server_offline_with, server_online_to_logits,
     PublicModel, SecureGraph, ServedModel,
 };
-use crate::handshake::{handshake_client, handshake_server, SessionParams};
+use crate::handshake::{handshake_client_ext, handshake_server_ext, HelloRequest, SessionParams};
 use crate::relu::ReluVariant;
 use crate::session::{ClientSession, ServerSession};
 use crate::ProtocolError;
@@ -35,6 +35,7 @@ use abnn2_math::{Matrix, Ring};
 use abnn2_net::Transport;
 use abnn2_nn::graph::LayerGraph;
 use abnn2_nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
+use abnn2_ot::OfflineMode;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -233,8 +234,8 @@ impl SecureServer {
         // a client announcing a different batch is a negotiation failure,
         // not something to silently adopt.
         let ours = SessionParams::for_graph(sg.graph(), self.exec.variant, batch);
-        handshake_server(ch, |_| ours, |_| false)?;
-        self.offline_after_handshake(ch, batch, rng)
+        let (_, _, reply) = handshake_server_ext(ch, |_| ours, |_| false, |_, _| false)?;
+        self.offline_after_handshake(ch, batch, reply.mode(), rng)
     }
 
     /// The post-handshake portion of the offline phase: base-OT session
@@ -244,9 +245,10 @@ impl SecureServer {
         &self,
         ch: &mut T,
         batch: usize,
+        mode: OfflineMode,
         rng: &mut R,
     ) -> Result<ServerOffline, ProtocolError> {
-        let session = ServerSession::setup(ch, rng)?;
+        let session = ServerSession::setup_with(ch, mode, rng)?;
         self.offline_with(ch, session, batch)
     }
 
@@ -340,6 +342,7 @@ impl SecureServer {
 pub struct SecureClient {
     pub(crate) model: PublicModel,
     pub(crate) exec: ExecConfig,
+    pub(crate) silent: bool,
 }
 
 impl SecureClient {
@@ -352,7 +355,17 @@ impl SecureClient {
     /// Creates a client for a served model of any supported topology.
     #[must_use]
     pub fn for_model(model: impl Into<PublicModel>) -> Self {
-        SecureClient { model: model.into(), exec: ExecConfig::new() }
+        SecureClient { model: model.into(), exec: ExecConfig::new(), silent: false }
+    }
+
+    /// Opts into the silent (LPN) OT extension for the offline phase. The
+    /// session actually uses it only when the server is silent-capable
+    /// too; otherwise it falls back to the portable IKNP/KK13 path. Off by
+    /// default so existing transcripts stay byte-identical.
+    #[must_use]
+    pub fn with_silent(mut self, silent: bool) -> Self {
+        self.silent = silent;
+        self
     }
 
     /// Replaces the whole execution configuration.
@@ -418,8 +431,9 @@ impl SecureClient {
     ) -> Result<ClientOffline, ProtocolError> {
         let sg = self.secure_graph(batch)?;
         let ours = SessionParams::for_graph(sg.graph(), self.exec.variant, batch);
-        handshake_client(ch, ours, &[0u8; 16], false)?;
-        self.offline_after_handshake(ch, batch, rng)
+        let request = HelloRequest { silent: self.silent, ..HelloRequest::default() };
+        let reply = handshake_client_ext(ch, ours, &[0u8; 16], request)?;
+        self.offline_after_handshake(ch, batch, reply.mode(), rng)
     }
 
     /// The post-handshake portion of the offline phase (see the server
@@ -428,9 +442,10 @@ impl SecureClient {
         &self,
         ch: &mut T,
         batch: usize,
+        mode: OfflineMode,
         rng: &mut R,
     ) -> Result<ClientOffline, ProtocolError> {
-        let session = ClientSession::setup(ch, rng)?;
+        let session = ClientSession::setup_with(ch, mode, rng)?;
         self.offline_with(ch, session, batch, rng)
     }
 

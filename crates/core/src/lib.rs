@@ -61,6 +61,10 @@ pub mod resilient;
 pub mod session;
 pub mod sharing;
 
+/// Offline OT-extension backend selection, re-exported for frontends
+/// that key pools and negotiate capability without depending on
+/// `abnn2-ot` directly.
+pub use abnn2_ot::OfflineMode;
 pub use bundle::{
     dealer_bundle, dealer_bundle_for, BundleKey, ClientBundle, ServerBundle, BUNDLE_LAYOUT_VERSION,
 };

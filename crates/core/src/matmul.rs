@@ -17,7 +17,7 @@ use crate::frames::TripletMasked;
 use crate::ProtocolError;
 use abnn2_math::{FragmentScheme, Matrix, Ring};
 use abnn2_net::Transport;
-use abnn2_ot::{KkChooser, KkSender};
+use abnn2_ot::{FragmentChooser, FragmentSender};
 use rand::Rng;
 
 /// Which §4.1 message layout to use.
@@ -101,7 +101,7 @@ impl From<TripletMode> for TripletConfig {
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn triplet_server<T: Transport>(
     ch: &mut T,
-    kk: &mut KkChooser,
+    kk: &mut FragmentChooser,
     weights: &[i64],
     m: usize,
     n: usize,
@@ -121,7 +121,7 @@ pub fn triplet_server<T: Transport>(
 #[allow(clippy::too_many_arguments)]
 pub fn triplet_server_with<T: Transport>(
     ch: &mut T,
-    kk: &mut KkChooser,
+    kk: &mut FragmentChooser,
     weights: &[i64],
     m: usize,
     n: usize,
@@ -232,7 +232,7 @@ where
 #[allow(clippy::too_many_arguments)]
 pub fn triplet_client<T: Transport, RNG: Rng + ?Sized>(
     ch: &mut T,
-    kk: &mut KkSender,
+    kk: &mut FragmentSender,
     r: &Matrix,
     m: usize,
     scheme: &FragmentScheme,
@@ -251,7 +251,7 @@ pub fn triplet_client<T: Transport, RNG: Rng + ?Sized>(
 #[allow(clippy::too_many_arguments)]
 pub fn triplet_client_with<T: Transport, RNG: Rng + ?Sized>(
     ch: &mut T,
-    kk: &mut KkSender,
+    kk: &mut FragmentSender,
     r: &Matrix,
     m: usize,
     scheme: &FragmentScheme,
@@ -267,7 +267,7 @@ pub fn triplet_client_with<T: Transport, RNG: Rng + ?Sized>(
 
     for frag in scheme.fragments() {
         let nn = frag.n as usize;
-        let keys = kk.extend(ch, m * n)?;
+        let keys = kk.extend(ch, m * n, frag.n)?;
         let per_ot = match mode {
             TripletMode::MultiBatch => nn,
             TripletMode::OneBatch => nn - 1,
@@ -344,7 +344,7 @@ pub fn triplet_client_with<T: Transport, RNG: Rng + ?Sized>(
 /// Propagates [`triplet_server`] failures.
 pub fn dot_product_server<T: Transport>(
     ch: &mut T,
-    kk: &mut KkChooser,
+    kk: &mut FragmentChooser,
     w: &[i64],
     scheme: &FragmentScheme,
     ring: Ring,
@@ -360,7 +360,7 @@ pub fn dot_product_server<T: Transport>(
 /// Propagates [`triplet_client`] failures.
 pub fn dot_product_client<T: Transport, RNG: Rng + ?Sized>(
     ch: &mut T,
-    kk: &mut KkSender,
+    kk: &mut FragmentSender,
     r: &[u64],
     scheme: &FragmentScheme,
     ring: Ring,
@@ -375,11 +375,28 @@ pub fn dot_product_client<T: Transport, RNG: Rng + ?Sized>(
 mod tests {
     use super::*;
     use abnn2_net::{run_pair, NetworkModel, TrafficReport};
+    use abnn2_ot::OfflineMode;
     use rand::SeedableRng;
 
-    /// Runs the full triplet protocol (including session setup) and returns
-    /// (U, V, traffic).
+    /// Runs the full triplet protocol (including session setup) over the
+    /// portable KK13 backend and returns (U, V, R, traffic).
     fn run_triplet(
+        weights: Vec<i64>,
+        m: usize,
+        n: usize,
+        o: usize,
+        scheme: FragmentScheme,
+        ring: Ring,
+        mode: TripletMode,
+        seed: u64,
+    ) -> (Matrix, Matrix, Matrix, TrafficReport) {
+        run_triplet_over(OfflineMode::Iknp, weights, m, n, o, scheme, ring, mode, seed)
+    }
+
+    /// [`run_triplet`] with an explicit OT backend.
+    #[allow(clippy::too_many_arguments)]
+    fn run_triplet_over(
+        ot: OfflineMode,
         weights: Vec<i64>,
         m: usize,
         n: usize,
@@ -397,12 +414,12 @@ mod tests {
             NetworkModel::instant(),
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
-                let mut kk = KkChooser::setup(ch, &mut rng).expect("chooser setup");
+                let mut kk = FragmentChooser::setup(ch, ot, &mut rng).expect("chooser setup");
                 triplet_server(ch, &mut kk, &weights, m, n, o, &scheme, ring, mode).expect("server")
             },
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 2);
-                let mut kk = KkSender::setup(ch, &mut rng).expect("sender setup");
+                let mut kk = FragmentSender::setup(ch, ot, &mut rng).expect("sender setup");
                 triplet_client(ch, &mut kk, &r2, m, &scheme2, ring, mode, &mut rng).expect("client")
             },
         );
@@ -507,6 +524,32 @@ mod tests {
     }
 
     #[test]
+    fn silent_backend_produces_correct_triplets() {
+        // Same protocol, silent (LPN) OT backend: both §4.1 layouts must
+        // still reconstruct W·R exactly.
+        let ring = Ring::new(32);
+        let scheme = FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (m, n) = (3, 5);
+        let weights: Vec<i64> = (0..m * n).map(|_| rng.gen_range(-128i64..128)).collect();
+        for (o, mode) in [(1usize, TripletMode::OneBatch), (2, TripletMode::MultiBatch)] {
+            let (u, v, r, _) = run_triplet_over(
+                OfflineMode::Silent,
+                weights.clone(),
+                m,
+                n,
+                o,
+                scheme.clone(),
+                ring,
+                mode,
+                700 + o as u64,
+            );
+            let expect = expected_product(&weights, m, n, &r, ring);
+            assert_eq!(u.add(&v, &ring), expect, "mode {mode:?}");
+        }
+    }
+
+    #[test]
     fn one_batch_saves_communication() {
         let ring = Ring::new(32);
         let scheme = FragmentScheme::signed_bit_fields(&[4, 4]); // N = 16: big gap
@@ -537,12 +580,13 @@ mod tests {
             NetworkModel::instant(),
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(8);
-                let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+                let mut kk =
+                    FragmentChooser::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                 dot_product_server(ch, &mut kk, &w2, &scheme, ring).expect("server")
             },
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-                let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+                let mut kk = FragmentSender::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                 dot_product_client(ch, &mut kk, &r2, &scheme2, ring, &mut rng).expect("client")
             },
         );
@@ -561,12 +605,13 @@ mod tests {
             NetworkModel::instant(),
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-                let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+                let mut kk =
+                    FragmentChooser::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                 triplet_server(ch, &mut kk, &[7], 1, 1, 1, &scheme, ring, TripletMode::OneBatch)
             },
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-                let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+                let mut kk = FragmentSender::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                 let r = Matrix::column(vec![5]);
                 triplet_client(ch, &mut kk, &r, 1, &scheme2, ring, TripletMode::OneBatch, &mut rng)
             },
@@ -602,13 +647,15 @@ mod tests {
                 NetworkModel::instant(),
                 move |ch| {
                     let mut rng = rand::rngs::StdRng::seed_from_u64(78);
-                    let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+                    let mut kk =
+                        FragmentChooser::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                     let cfg = TripletConfig::new(TripletMode::MultiBatch).with_threads(st);
                     triplet_server_with(ch, &mut kk, &w2, m, n, o, &s1, ring, cfg).expect("server")
                 },
                 move |ch| {
                     let mut rng = rand::rngs::StdRng::seed_from_u64(79);
-                    let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+                    let mut kk =
+                        FragmentSender::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                     let cfg = TripletConfig::new(TripletMode::MultiBatch).with_threads(ct);
                     triplet_client_with(ch, &mut kk, &r2, m, &s2, ring, cfg, &mut rng)
                         .expect("client")

@@ -22,7 +22,9 @@
 
 use crate::bundle::{ClientBundle, ServerBundle};
 use crate::config::SessionDeadlines;
-use crate::handshake::{handshake_client, handshake_server, ResumeToken, SessionParams};
+use crate::handshake::{
+    handshake_client_ext, handshake_server_ext, HelloRequest, ResumeToken, SessionParams,
+};
 use crate::inference::{ClientOffline, SecureClient, SecureServer, ServerOffline};
 use crate::session::{ClientSession, ServerSession};
 use crate::ProtocolError;
@@ -234,19 +236,24 @@ impl ResilientClient {
             apply_read_timeout(ch, &self.deadlines)?;
 
             let want_resume = checkpoint.is_some();
-            let accepted = handshake_client(ch, ours, &token, want_resume)?;
+            let request = HelloRequest {
+                resume: want_resume,
+                silent: self.client.silent,
+                ..HelloRequest::default()
+            };
+            let reply = handshake_client_ext(ch, ours, &token, request)?;
 
             ch.set_phase_budget(self.deadlines.offline_budget)?;
-            let state = if accepted {
+            let state = if reply.resume {
                 resumed = true;
                 let bundle = checkpoint.clone().expect("resume implies checkpoint");
-                let session = ClientSession::setup(ch, rng)?;
+                let session = ClientSession::setup_with(ch, reply.mode(), rng)?;
                 ClientOffline::from_bundle(session, bundle)
             } else {
                 // Server has no matching checkpoint (fresh run, or it lost
                 // state): drop ours and pay for a full offline phase.
                 checkpoint = None;
-                let state = self.client.offline_after_handshake(ch, batch, rng)?;
+                let state = self.client.offline_after_handshake(ch, batch, reply.mode(), rng)?;
                 checkpoint = Some(state.to_bundle());
                 state
             };
@@ -366,7 +373,7 @@ impl ResilientServer {
 
             let public = self.server.public_model();
             let mut claimed: Option<ServerBundle> = None;
-            let (batch, token, resume_ok) = handshake_server(
+            let (batch, token, reply) = handshake_server_ext(
                 ch,
                 // Adopt the client's announced batch: the server side of a
                 // prediction service has no a-priori batch expectation.
@@ -375,6 +382,7 @@ impl ResilientServer {
                     claimed = self.store.claim(t);
                     claimed.is_some()
                 },
+                |_, _| false,
             )?;
 
             // From here on, `checkpoint` holds the connection-independent
@@ -383,13 +391,14 @@ impl ResilientServer {
             let mut checkpoint: Option<ServerBundle> = claimed;
             let outcome = (|| -> Result<(), ProtocolError> {
                 ch.set_phase_budget(self.deadlines.offline_budget)?;
-                let state = if resume_ok {
+                let state = if reply.resume {
                     resumed = true;
                     let bundle = checkpoint.clone().expect("resume implies claimed checkpoint");
-                    let session = ServerSession::setup(ch, rng)?;
+                    let session = ServerSession::setup_with(ch, reply.mode(), rng)?;
                     ServerOffline::from_bundle(session, bundle)
                 } else {
-                    let state = self.server.offline_after_handshake(ch, batch, rng)?;
+                    let state =
+                        self.server.offline_after_handshake(ch, batch, reply.mode(), rng)?;
                     checkpoint = Some(state.to_bundle());
                     state
                 };

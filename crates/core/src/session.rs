@@ -2,9 +2,10 @@
 //!
 //! ABNN² uses two OT sessions with opposite roles:
 //!
-//! * the **KK13** session for linear layers, where the *server* (model
-//!   holder) is the chooser — its weight fragments are the choice symbols —
-//!   and the *client* is the sender;
+//! * the **fragment-OT** session for linear layers, where the *server*
+//!   (model holder) is the chooser — its weight fragments are the choice
+//!   symbols — and the *client* is the sender. The backend is the
+//!   negotiated [`OfflineMode`]: KK13 extension or silent (LPN) expansion;
 //! * the **IKNP** session inside Yao's protocol for activations, where the
 //!   client garbles and the server evaluates (so the server is the OT
 //!   receiver for its input labels).
@@ -14,14 +15,14 @@
 use crate::ProtocolError;
 use abnn2_gc::{YaoEvaluator, YaoGarbler};
 use abnn2_net::Transport;
-use abnn2_ot::{KkChooser, KkSender};
+use abnn2_ot::{FragmentChooser, FragmentSender, OfflineMode};
 use rand::Rng;
 
 /// Server-side session state (model holder).
 #[derive(Debug, Clone)]
 pub struct ServerSession {
     /// 1-out-of-N OT chooser used by the matmul triplet protocol.
-    pub kk: KkChooser,
+    pub kk: FragmentChooser,
     /// Garbled-circuit evaluator used by activation layers.
     pub yao: YaoEvaluator,
 }
@@ -30,14 +31,14 @@ pub struct ServerSession {
 #[derive(Debug)]
 pub struct ClientSession {
     /// 1-out-of-N OT sender used by the matmul triplet protocol.
-    pub kk: KkSender,
+    pub kk: FragmentSender,
     /// Garbled-circuit garbler used by activation layers.
     pub yao: YaoGarbler,
 }
 
 impl ServerSession {
-    /// Runs both base-OT setups; must pair with [`ClientSession::setup`] on
-    /// the other endpoint.
+    /// Runs both base-OT setups with the portable KK13 backend; must pair
+    /// with [`ClientSession::setup`] on the other endpoint.
     ///
     /// # Errors
     ///
@@ -46,14 +47,35 @@ impl ServerSession {
         ch: &mut T,
         rng: &mut R,
     ) -> Result<Self, ProtocolError> {
-        let kk = KkChooser::setup(ch, rng)?;
+        Self::setup_with(ch, OfflineMode::Iknp, rng)
+    }
+
+    /// Runs both base-OT setups with an explicit offline mode; must pair
+    /// with [`ClientSession::setup_with`] using the *same* mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    pub fn setup_with<T: Transport, R: Rng + ?Sized>(
+        ch: &mut T,
+        mode: OfflineMode,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
+        let kk = FragmentChooser::setup(ch, mode, rng)?;
         let yao = YaoEvaluator::setup(ch, rng)?;
         Ok(ServerSession { kk, yao })
+    }
+
+    /// The offline mode this session was established with.
+    #[must_use]
+    pub fn mode(&self) -> OfflineMode {
+        self.kk.mode()
     }
 }
 
 impl ClientSession {
-    /// Runs both base-OT setups; must pair with [`ServerSession::setup`].
+    /// Runs both base-OT setups with the portable KK13 backend; must pair
+    /// with [`ServerSession::setup`].
     ///
     /// # Errors
     ///
@@ -62,9 +84,29 @@ impl ClientSession {
         ch: &mut T,
         rng: &mut R,
     ) -> Result<Self, ProtocolError> {
-        let kk = KkSender::setup(ch, rng)?;
+        Self::setup_with(ch, OfflineMode::Iknp, rng)
+    }
+
+    /// Runs both base-OT setups with an explicit offline mode; must pair
+    /// with [`ServerSession::setup_with`] using the *same* mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    pub fn setup_with<T: Transport, R: Rng + ?Sized>(
+        ch: &mut T,
+        mode: OfflineMode,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
+        let kk = FragmentSender::setup(ch, mode, rng)?;
         let yao = YaoGarbler::setup(ch, rng)?;
         Ok(ClientSession { kk, yao })
+    }
+
+    /// The offline mode this session was established with.
+    #[must_use]
+    pub fn mode(&self) -> OfflineMode {
+        self.kk.mode()
     }
 }
 
@@ -90,5 +132,26 @@ mod tests {
         assert!(s && c);
         // 2κ + κ base OTs worth of points crossed the wire.
         assert!(report.total_bytes() > 0);
+    }
+
+    #[test]
+    fn silent_sessions_establish() {
+        let (s, c, _) = run_pair(
+            NetworkModel::instant(),
+            |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+                ServerSession::setup_with(ch, OfflineMode::Silent, &mut rng)
+                    .map(|s| s.mode())
+                    .expect("server setup")
+            },
+            |ch| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+                ClientSession::setup_with(ch, OfflineMode::Silent, &mut rng)
+                    .map(|c| c.mode())
+                    .expect("client setup")
+            },
+        );
+        assert_eq!(s, OfflineMode::Silent);
+        assert_eq!(c, OfflineMode::Silent);
     }
 }

@@ -171,6 +171,15 @@ pub mod tags {
     pub const BEAVER_OPENINGS: u8 = 0x37;
     /// Precomputed triplet bundle (warm-pool serving).
     pub const BUNDLE: u8 = 0x38;
+    /// Silent-OT bootstrap column matrix (raw IKNP COT extension).
+    pub const SILENT_BASE_COLUMNS: u8 = 0x40;
+    /// Silent-OT derandomization bit vector (SPCOT paths and fragment
+    /// choices).
+    pub const SILENT_DERAND: u8 = 0x41;
+    /// SPCOT per-level masked GGM sums (two blocks per tree level).
+    pub const SILENT_SPCOT_MASKS: u8 = 0x42;
+    /// SPCOT per-tree punctured correction blocks.
+    pub const SILENT_SPCOT_SUMS: u8 = 0x43;
 
     /// Every registered tag with its frame name, in tag order. The
     /// wire-format table in DESIGN.md §3f mirrors this list.
@@ -197,6 +206,10 @@ pub mod tags {
         (MASKED_CLASS, "masked class index"),
         (BEAVER_OPENINGS, "beaver openings"),
         (BUNDLE, "triplet bundle"),
+        (SILENT_BASE_COLUMNS, "silent bootstrap column matrix"),
+        (SILENT_DERAND, "silent derandomization bits"),
+        (SILENT_SPCOT_MASKS, "SPCOT level masks"),
+        (SILENT_SPCOT_SUMS, "SPCOT punctured sums"),
     ];
 
     /// Frame name for a tag, `"unregistered"` if the tag is not in [`ALL`].
@@ -231,6 +244,9 @@ pub mod tags {
             MASKED_CLASS => Some(1),
             GC_DECODE_MAP => Some(1 << 24),
             BASE_POINT_BATCH | BASE_CT_BATCH => Some(1 << 20),
+            SILENT_BASE_COLUMNS | SILENT_DERAND | SILENT_SPCOT_MASKS | SILENT_SPCOT_SUMS => {
+                Some(1 << 20)
+            }
             OUTPUT_SHARES | SIGN_BITS => Some(1 << 24),
             BLINDED_INPUT | NEG_SHARES | BEAVER_OPENINGS => Some(1 << 26),
             BLOCKS | IKNP_COLUMNS | IKNP_CTS | OT_CORRECTIONS | OT_VEC_PAYLOAD | KK_COLUMNS

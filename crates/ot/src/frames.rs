@@ -57,3 +57,26 @@ byte_frame! {
     /// ⌈m/8⌉ bytes each, so always a multiple of 256 bytes.
     pub struct KkColumns, tag = tags::KK_COLUMNS, name = "KK13 column matrix", unit = crate::kk13::CODE_LEN
 }
+
+byte_frame! {
+    /// The silent-OT bootstrap's raw-COT column matrix: the one IKNP-style
+    /// extension that seeds the first refill, under its own tag so silent
+    /// traffic is fully self-labelled.
+    pub struct SilentBaseColumns, tag = tags::SILENT_BASE_COLUMNS, name = "silent bootstrap column matrix", unit = KAPPA
+}
+
+byte_frame! {
+    /// Packed derandomization bits: SPCOT path corrections during a refill,
+    /// or fragment-choice corrections in the derandomization adapter.
+    pub struct SilentDerand, tag = tags::SILENT_DERAND, name = "silent derandomization bits", unit = 1
+}
+
+byte_frame! {
+    /// SPCOT masked GGM level sums: two 16-byte blocks per tree level.
+    pub struct SilentSpcotMasks, tag = tags::SILENT_SPCOT_MASKS, name = "SPCOT level masks", unit = 32
+}
+
+byte_frame! {
+    /// SPCOT punctured correction blocks: one 16-byte block per tree.
+    pub struct SilentSpcotSums, tag = tags::SILENT_SPCOT_SUMS, name = "SPCOT punctured sums", unit = 16
+}

@@ -7,7 +7,7 @@
 //! ℓ-bit correction word crosses the wire.
 
 use crate::bits::{pack_bits, transpose_columns, xor_in_place};
-use crate::frames::{IknpColumns, IknpCts, OtCorrections, OtVecPayload};
+use crate::frames::{IknpColumns, IknpCts, OtCorrections, OtVecPayload, SilentBaseColumns};
 use crate::{base, OtError, KAPPA};
 use abnn2_crypto::{Block, Prg, RoHash};
 use abnn2_math::Ring;
@@ -63,11 +63,41 @@ impl IknpSender {
         })
     }
 
+    /// The global correlation block `s`: for every extension row,
+    /// `q_j = t_j ⊕ c_j·s`. The silent-OT bootstrap reads this as its Δ.
+    #[must_use]
+    pub fn delta(&self) -> Block {
+        self.s_block
+    }
+
     /// Core extension step: receives the masked columns and returns the row
     /// values `q_j`, from which both message keys derive.
     fn extend_rows<T: Transport>(&mut self, ch: &mut T, m: usize) -> Result<Vec<Block>, OtError> {
-        let col_bytes = m.div_ceil(8);
         let IknpColumns(u) = ch.recv_frame()?;
+        self.rows_from_columns(&u, m)
+    }
+
+    /// Raw correlated-OT extension for the silent-OT bootstrap: returns the
+    /// *unhashed* rows `q_j = t_j ⊕ c_j·Δ` (Δ = [`delta`](Self::delta)),
+    /// moved under the dedicated silent bootstrap frame so silent traffic
+    /// stays fully self-labelled on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or malformed receiver messages.
+    pub fn extend_cot<T: Transport>(
+        &mut self,
+        ch: &mut T,
+        m: usize,
+    ) -> Result<Vec<Block>, OtError> {
+        let SilentBaseColumns(u) = ch.recv_frame()?;
+        let rows = self.rows_from_columns(&u, m)?;
+        self.bump_tweak(m);
+        Ok(rows)
+    }
+
+    fn rows_from_columns(&mut self, u: &[u8], m: usize) -> Result<Vec<Block>, OtError> {
+        let col_bytes = m.div_ceil(8);
         if u.len() != KAPPA * col_bytes {
             return Err(OtError::Malformed("IKNP column batch has wrong length"));
         }
@@ -239,6 +269,30 @@ impl IknpReceiver {
         ch: &mut T,
         choices: &[bool],
     ) -> Result<Vec<Block>, OtError> {
+        let (u, rows) = self.derive_rows(choices);
+        ch.send_frame(&IknpColumns(u))?;
+        Ok(rows)
+    }
+
+    /// Raw correlated-OT extension for the silent-OT bootstrap: returns the
+    /// *unhashed* rows `t_j` with `q_j = t_j ⊕ c_j·Δ` on the sender side,
+    /// moved under the dedicated silent bootstrap frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection.
+    pub fn extend_cot<T: Transport>(
+        &mut self,
+        ch: &mut T,
+        choices: &[bool],
+    ) -> Result<Vec<Block>, OtError> {
+        let (u, rows) = self.derive_rows(choices);
+        ch.send_frame(&SilentBaseColumns(u))?;
+        self.bump_tweak(choices.len());
+        Ok(rows)
+    }
+
+    fn derive_rows(&mut self, choices: &[bool]) -> (Vec<u8>, Vec<Block>) {
         let m = choices.len();
         let col_bytes = m.div_ceil(8);
         let b = pack_bits(choices);
@@ -253,12 +307,11 @@ impl IknpReceiver {
             u.extend_from_slice(&ui);
             t_cols.push(t0);
         }
-        ch.send_frame(&IknpColumns(u))?;
-        let rows = transpose_columns(&t_cols, m);
-        Ok(rows
+        let rows = transpose_columns(&t_cols, m)
             .into_iter()
             .map(|r| Block::from_bytes(r.try_into().expect("16-byte row")))
-            .collect())
+            .collect();
+        (u, rows)
     }
 
     /// Receives chosen-message OTs: one block per choice bit.
@@ -518,6 +571,25 @@ mod tests {
         for (j, &c) in choices.iter().enumerate() {
             assert_eq!(g1[j], if c { p1[j].1 } else { p1[j].0 });
             assert_eq!(g2[j], if c { p2[j].1 } else { p2[j].0 });
+        }
+    }
+
+    #[test]
+    fn raw_cot_rows_satisfy_the_correlation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(70);
+        let m = 77;
+        let choices: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+        let choices2 = choices.clone();
+        let ((qs, delta), ts) = run_two(
+            move |s, ch| {
+                let qs = s.extend_cot(ch, m).expect("sender cot");
+                (qs, s.delta())
+            },
+            move |r, ch| r.extend_cot(ch, &choices2).expect("receiver cot"),
+        );
+        for (j, &c) in choices.iter().enumerate() {
+            let want = if c { qs[j] ^ delta } else { qs[j] };
+            assert_eq!(ts[j], want, "ot {j}");
         }
     }
 

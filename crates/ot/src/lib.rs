@@ -17,17 +17,31 @@
 //! messages, the **chooser** (receiver) learns exactly one. Note the role
 //! reversal in ABNN² itself: the *client* is the OT sender and the *server*
 //! (model holder) is the chooser.
+//!
+//! A fourth layer, [`silent`], removes the per-OT wire cost entirely: an
+//! LPN-based pseudorandom correlation generator (Ferret-style SPCOT/MPCOT
+//! trees plus primal-LPN expansion) stretches one small seed exchange into
+//! thousands of random COTs, and a derandomization adapter turns those into
+//! the same chosen-input fragment OTs KK13 produces. The [`fragment`]
+//! enums dispatch the triplet protocol over whichever backend the session
+//! negotiated.
 
 pub mod base;
 pub mod bits;
 pub mod error;
+pub mod fragment;
 pub mod frames;
 pub mod iknp;
 pub mod kk13;
+pub mod silent;
 
 pub use error::OtError;
+pub use fragment::{
+    FragmentChooser, FragmentChooserKeys, FragmentSender, FragmentSenderKeys, OfflineMode,
+};
 pub use iknp::{IknpReceiver, IknpSender};
 pub use kk13::{KkChooser, KkSender};
+pub use silent::{SilentCotReceiver, SilentCotSender, SilentKkChooser, SilentKkSender};
 
 /// Computational security parameter κ (bits).
 pub const KAPPA: usize = 128;

@@ -1,0 +1,369 @@
+//! The silent random-COT generator: bootstrap, SPCOT/MPCOT refills, and
+//! primal-LPN expansion.
+//!
+//! Both sides hold a pool of random correlated OTs over 128-bit blocks —
+//! the receiver `(x, z)`, the sender `(Δ, y)` with `z = y ⊕ x·Δ` — and
+//! consume from it in lockstep via [`take`](SilentCotSender::take). When the
+//! pool runs dry both sides deterministically run one refill, so no control
+//! messages are needed: the only wire traffic is the one-time bootstrap
+//! column matrix, then per refill ⌈t·d/8⌉ derandomization bytes, `t·d`
+//! masked sum pairs, and `t` correction blocks.
+//!
+//! The receiver carries its own seeded [`StdRng`]: after setup it draws no
+//! external randomness, so a cloned receiver replays bit-identically — the
+//! property the session driver's checkpoint/resume machinery relies on.
+
+use super::{spcot, LPN_D, LPN_K, LPN_N, LPN_T, RESERVE, TREE_DEPTH};
+use crate::bits::{get_bit, pack_bits};
+use crate::frames::{SilentDerand, SilentSpcotMasks, SilentSpcotSums};
+use crate::iknp::{IknpReceiver, IknpSender};
+use crate::OtError;
+use abnn2_crypto::{Block, Prg, RoHash};
+use abnn2_net::Transport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Tweak domain for SPCOT level masks: bit 127 set, bits 126/125 clear.
+const SPCOT_TWEAK: u128 = 1 << 127;
+
+/// Fixed public seed of the LPN local code ("ABNN2 LPN code." as bytes).
+const LPN_CODE_SEED: [u8; 16] = *b"ABNN2 LPN code.\0";
+
+/// The public `D`-local code: `LPN_D` base indices per output position,
+/// derived from a fixed PRG seed so both parties expand identically.
+fn lpn_indices() -> Vec<u16> {
+    let bytes = Prg::from_seed(Block::from_bytes(LPN_CODE_SEED)).bytes(LPN_N * LPN_D * 2);
+    bytes.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]]) & (LPN_K as u16 - 1)).collect()
+}
+
+/// Sender side of the silent COT generator: holds Δ and one `y` block per
+/// produced COT. In ABNN² this is the client (the fragment-OT sender).
+pub struct SilentCotSender {
+    iknp: IknpSender,
+    delta: Block,
+    hash: RoHash,
+    rng: StdRng,
+    reserve: Vec<Block>,
+    pool: VecDeque<Block>,
+    tweak: u64,
+}
+
+impl std::fmt::Debug for SilentCotSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SilentCotSender")
+            .field("tweak", &self.tweak)
+            .field("pool", &self.pool.len())
+            .finish()
+    }
+}
+
+/// Receiver side of the silent COT generator: holds one `(x, z)` pair per
+/// produced COT. In ABNN² this is the server (the fragment-OT chooser).
+#[derive(Clone)]
+pub struct SilentCotReceiver {
+    iknp: IknpReceiver,
+    hash: RoHash,
+    rng: StdRng,
+    reserve: Vec<(bool, Block)>,
+    pool: VecDeque<(bool, Block)>,
+    tweak: u64,
+}
+
+impl std::fmt::Debug for SilentCotReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SilentCotReceiver")
+            .field("tweak", &self.tweak)
+            .field("pool", &self.pool.len())
+            .finish()
+    }
+}
+
+impl SilentCotSender {
+    /// One-time setup: κ base OTs seeding the bootstrap IKNP extension,
+    /// whose global secret becomes the silent correlation Δ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    pub fn setup<T: Transport, R: Rng + ?Sized>(ch: &mut T, rng: &mut R) -> Result<Self, OtError> {
+        let iknp = IknpSender::setup(ch, rng)?;
+        let delta = iknp.delta();
+        Ok(SilentCotSender {
+            iknp,
+            delta,
+            hash: RoHash::new(),
+            rng: StdRng::seed_from_u64(rng.next_u64()),
+            reserve: Vec::new(),
+            pool: VecDeque::new(),
+            tweak: 0,
+        })
+    }
+
+    /// The global correlation block: `z = y ⊕ x·Δ` for every COT produced.
+    #[must_use]
+    pub fn delta(&self) -> Block {
+        self.delta
+    }
+
+    /// Takes `count` COT sender blocks from the pool, running refills as
+    /// needed (in lockstep with the receiver's identical decision).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or malformed refill messages.
+    pub fn take<T: Transport>(&mut self, ch: &mut T, count: usize) -> Result<Vec<Block>, OtError> {
+        while self.pool.len() < count {
+            self.refill(ch)?;
+        }
+        Ok(self.pool.drain(..count).collect())
+    }
+
+    fn refill<T: Transport>(&mut self, ch: &mut T) -> Result<(), OtError> {
+        if self.reserve.is_empty() {
+            self.reserve = self.iknp.extend_cot(ch, RESERVE)?;
+        }
+        let base = std::mem::take(&mut self.reserve);
+        let (v, ys) = base.split_at(LPN_K);
+
+        let SilentDerand(derand) = ch.recv_frame()?;
+        if derand.len() != (LPN_T * TREE_DEPTH).div_ceil(8) {
+            return Err(OtError::Malformed("SPCOT derandomization batch has wrong length"));
+        }
+        let mut masks = Vec::with_capacity(LPN_T * TREE_DEPTH * 32);
+        let mut sums = Vec::with_capacity(LPN_T * 16);
+        let mut s = Vec::with_capacity(LPN_N);
+        for tree in 0..LPN_T {
+            let root = Block::random(&mut self.rng);
+            let (leaves, level_sums) = spcot::expand(&self.hash, root, TREE_DEPTH);
+            let mut correction = self.delta;
+            for &leaf in &leaves {
+                correction ^= leaf;
+            }
+            for (l, &(k0, k1)) in level_sums.iter().enumerate() {
+                let d = get_bit(&derand, tree * TREE_DEPTH + l);
+                let y = ys[tree * TREE_DEPTH + l];
+                let tw = SPCOT_TWEAK | u128::from(self.bump_tweak());
+                let m0 = k0 ^ self.hash.hash_block(tw, if d { y ^ self.delta } else { y });
+                let m1 = k1 ^ self.hash.hash_block(tw, if d { y } else { y ^ self.delta });
+                masks.extend_from_slice(&m0.to_bytes());
+                masks.extend_from_slice(&m1.to_bytes());
+            }
+            sums.extend_from_slice(&correction.to_bytes());
+            s.extend(leaves);
+        }
+        ch.send_frame(&SilentSpcotMasks(masks))?;
+        ch.send_frame(&SilentSpcotSums(sums))?;
+
+        let idx = lpn_indices();
+        let mut out = Vec::with_capacity(LPN_N);
+        for (j, &sj) in s.iter().enumerate() {
+            let mut y = sj;
+            for &i in &idx[j * LPN_D..(j + 1) * LPN_D] {
+                y ^= v[i as usize];
+            }
+            out.push(y);
+        }
+        self.reserve = out.split_off(LPN_N - RESERVE);
+        self.pool.extend(out);
+        Ok(())
+    }
+
+    fn bump_tweak(&mut self) -> u64 {
+        let t = self.tweak;
+        self.tweak += 1;
+        t
+    }
+}
+
+impl SilentCotReceiver {
+    /// One-time setup: κ base OTs seeding the bootstrap IKNP extension plus
+    /// an internal replay-deterministic RNG drawn once from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    pub fn setup<T: Transport, R: Rng + ?Sized>(ch: &mut T, rng: &mut R) -> Result<Self, OtError> {
+        let iknp = IknpReceiver::setup(ch, rng)?;
+        Ok(SilentCotReceiver {
+            iknp,
+            hash: RoHash::new(),
+            rng: StdRng::seed_from_u64(rng.next_u64()),
+            reserve: Vec::new(),
+            pool: VecDeque::new(),
+            tweak: 0,
+        })
+    }
+
+    /// Takes `count` COT receiver pairs `(x, z)` from the pool, running
+    /// refills as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or malformed refill messages.
+    pub fn take<T: Transport>(
+        &mut self,
+        ch: &mut T,
+        count: usize,
+    ) -> Result<Vec<(bool, Block)>, OtError> {
+        while self.pool.len() < count {
+            self.refill(ch)?;
+        }
+        Ok(self.pool.drain(..count).collect())
+    }
+
+    fn refill<T: Transport>(&mut self, ch: &mut T) -> Result<(), OtError> {
+        if self.reserve.is_empty() {
+            let choices: Vec<bool> = (0..RESERVE).map(|_| self.rng.gen()).collect();
+            let ts = self.iknp.extend_cot(ch, &choices)?;
+            self.reserve = choices.into_iter().zip(ts).collect();
+        }
+        let base = std::mem::take(&mut self.reserve);
+        let (uw, xz) = base.split_at(LPN_K);
+
+        let alphas: Vec<usize> =
+            (0..LPN_T).map(|_| self.rng.gen_range(0..1u64 << TREE_DEPTH) as usize).collect();
+        let mut bits = vec![false; LPN_T * TREE_DEPTH];
+        for (tree, &alpha) in alphas.iter().enumerate() {
+            for l in 0..TREE_DEPTH {
+                let complement = ((alpha >> (TREE_DEPTH - 1 - l)) & 1) ^ 1;
+                bits[tree * TREE_DEPTH + l] = xz[tree * TREE_DEPTH + l].0 ^ (complement == 1);
+            }
+        }
+        ch.send_frame(&SilentDerand(pack_bits(&bits)))?;
+
+        let SilentSpcotMasks(masks) = ch.recv_frame()?;
+        if masks.len() != LPN_T * TREE_DEPTH * 32 {
+            return Err(OtError::Malformed("SPCOT mask batch has wrong length"));
+        }
+        let SilentSpcotSums(sums) = ch.recv_frame()?;
+        if sums.len() != LPN_T * 16 {
+            return Err(OtError::Malformed("SPCOT correction batch has wrong length"));
+        }
+
+        let mut sparse: Vec<(bool, Block)> = Vec::with_capacity(LPN_N);
+        for (tree, &alpha) in alphas.iter().enumerate() {
+            let mut ks = Vec::with_capacity(TREE_DEPTH);
+            for l in 0..TREE_DEPTH {
+                let complement = ((alpha >> (TREE_DEPTH - 1 - l)) & 1) ^ 1;
+                let z = xz[tree * TREE_DEPTH + l].1;
+                let tw = SPCOT_TWEAK | u128::from(self.bump_tweak());
+                let off = (tree * TREE_DEPTH + l) * 32 + complement * 16;
+                let m = Block::from_bytes(masks[off..off + 16].try_into().expect("16 bytes"));
+                ks.push(m ^ self.hash.hash_block(tw, z));
+            }
+            let mut leaves = spcot::reconstruct(&self.hash, alpha, TREE_DEPTH, &ks);
+            let mut punctured =
+                Block::from_bytes(sums[tree * 16..(tree + 1) * 16].try_into().expect("16 bytes"));
+            for (j, &leaf) in leaves.iter().enumerate() {
+                if j != alpha {
+                    punctured ^= leaf;
+                }
+            }
+            leaves[alpha] = punctured;
+            for (j, leaf) in leaves.into_iter().enumerate() {
+                sparse.push((j == alpha, leaf));
+            }
+        }
+
+        let idx = lpn_indices();
+        let mut out = Vec::with_capacity(LPN_N);
+        for (j, &(e, r)) in sparse.iter().enumerate() {
+            let mut x = e;
+            let mut z = r;
+            for &i in &idx[j * LPN_D..(j + 1) * LPN_D] {
+                let (u, w) = uw[i as usize];
+                x ^= u;
+                z ^= w;
+            }
+            out.push((x, z));
+        }
+        self.reserve = out.split_off(LPN_N - RESERVE);
+        self.pool.extend(out);
+        Ok(())
+    }
+
+    fn bump_tweak(&mut self) -> u64 {
+        let t = self.tweak;
+        self.tweak += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::silent::REFILL_YIELD;
+    use abnn2_net::{run_pair, Endpoint, NetworkModel};
+
+    fn run_cot<A: Send, B: Send>(
+        f_s: impl FnOnce(&mut SilentCotSender, &mut Endpoint) -> A + Send,
+        f_r: impl FnOnce(&mut SilentCotReceiver, &mut Endpoint) -> B + Send,
+    ) -> (A, B) {
+        let (a, b, _) = run_pair(
+            NetworkModel::instant(),
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(21);
+                let mut s = SilentCotSender::setup(ch, &mut rng).expect("sender setup");
+                f_s(&mut s, ch)
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(22);
+                let mut r = SilentCotReceiver::setup(ch, &mut rng).expect("receiver setup");
+                f_r(&mut r, ch)
+            },
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn expanded_cots_satisfy_the_correlation() {
+        let m = 100;
+        let ((ys, delta), xzs) = run_cot(
+            move |s, ch| {
+                let ys = s.take(ch, m).expect("sender take");
+                (ys, s.delta())
+            },
+            move |r, ch| r.take(ch, m).expect("receiver take"),
+        );
+        let mut ones = 0;
+        for (j, (&y, &(x, z))) in ys.iter().zip(&xzs).enumerate() {
+            let want = if x { y ^ delta } else { y };
+            assert_eq!(z, want, "cot {j}");
+            ones += usize::from(x);
+        }
+        // Choice bits are pseudorandom, not constant.
+        assert!(ones > m / 4 && ones < 3 * m / 4, "suspicious bit balance: {ones}/{m}");
+    }
+
+    #[test]
+    fn pool_survives_multiple_refills() {
+        // Drain past one refill's yield so a second refill (self-seeded
+        // from the reserve, no new bootstrap) must run.
+        let m = REFILL_YIELD + 10;
+        let ((ys, delta), xzs) = run_cot(
+            move |s, ch| {
+                let a = s.take(ch, m).expect("take 1");
+                let b = s.take(ch, 5).expect("take 2");
+                (([a, b].concat()), s.delta())
+            },
+            move |r, ch| {
+                let a = r.take(ch, m).expect("take 1");
+                let b = r.take(ch, 5).expect("take 2");
+                [a, b].concat()
+            },
+        );
+        for (j, (&y, &(x, z))) in ys.iter().zip(&xzs).enumerate() {
+            assert_eq!(z, if x { y ^ delta } else { y }, "cot {j}");
+        }
+    }
+
+    #[test]
+    fn lpn_code_is_deterministic_and_in_range() {
+        let a = lpn_indices();
+        let b = lpn_indices();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), LPN_N * LPN_D);
+        assert!(a.iter().all(|&i| (i as usize) < LPN_K));
+    }
+}

@@ -1,0 +1,89 @@
+//! Silent OT: LPN-based correlation expansion (Ferret-style).
+//!
+//! The IKNP/KK13 extensions pay Θ(κ) wire bits per OT — the offline phase's
+//! dominant cost. Silent OT replaces that with a *pseudorandom correlation
+//! generator*: a tiny seed exchange expands locally into a long vector of
+//! random correlated OTs (COTs), after which only derandomization bits cross
+//! the wire. The pipeline, bottom to top:
+//!
+//! 1. **Bootstrap** — one raw IKNP COT extension ([`IknpSender::extend_cot`])
+//!    seeds the first refill with [`RESERVE`] base COTs; the IKNP sender's
+//!    global secret `s` becomes the silent correlation Δ. Every later refill
+//!    reseeds itself from its own output (self-bootstrapping), so the IKNP
+//!    column matrix is paid exactly once per session.
+//! 2. **SPCOT** (single-point COT) — per tree, the sender GGM-expands a
+//!    random root to `2^d` leaves and transfers, per level, the XOR of all
+//!    left / all right children masked under one consumed base COT. The
+//!    receiver derandomizes its base-COT choice bit toward the *complement*
+//!    of its secret path bit, unmasks exactly one sum per level, and
+//!    reconstructs every leaf except its secret index α. A final correction
+//!    `c* = Δ ⊕ ⊕ᵥ vⱼ` gives it `v_α ⊕ Δ` at the punctured point: a COT
+//!    vector whose choice vector is the weight-1 indicator of α.
+//! 3. **MPCOT** — [`LPN_T`] independent trees, one secret point per
+//!    `2^d`-leaf block (regular noise), concatenate to a weight-[`LPN_T`]
+//!    sparse COT of length [`LPN_N`].
+//! 4. **Primal LPN** — a public `D`-local linear code (fixed PRG seed)
+//!    compresses [`LPN_K`] reserved base COTs with the sparse vector:
+//!    `x_j = (⊕_{i∈S_j} u_i) ⊕ e_j` is pseudorandom under LPN with regular
+//!    noise, and the blocks combine linearly so the COT correlation is
+//!    preserved.
+//!
+//! On top sits a **derandomization adapter** ([`SilentKkSender`] /
+//! [`SilentKkChooser`]) that converts `⌈log₂ N⌉` random COTs into one
+//! chosen-input 1-of-N fragment OT with the same key-handle API as KK13 —
+//! so ABNN²'s γ(N−1) masked-triplet protocol runs unchanged on top.
+//!
+//! # Parameters
+//!
+//! The fixed parameter set (`k = 512, t = 16, n = 8192, D = 8`) is a *toy*
+//! instantiation sized for tests and the repo's CI budget, not a
+//! production-hardened LPN choice; see DESIGN.md §3i for the wire-cost
+//! accounting and the security discussion. Each refill consumes
+//! [`RESERVE`]` = k + t·d` of its own outputs and nets [`REFILL_YIELD`]
+//! fresh COTs for ≈ 4.9 KB on the wire — two orders of magnitude below the
+//! 16 B/COT an IKNP extension would move.
+//!
+//! [`IknpSender::extend_cot`]: crate::iknp::IknpSender::extend_cot
+
+mod cot;
+mod frag;
+mod spcot;
+
+pub use cot::{SilentCotReceiver, SilentCotSender};
+pub use frag::{SilentChooserKeys, SilentKkChooser, SilentKkSender, SilentSenderKeys};
+
+/// LPN dimension: base COTs compressed by the local code per refill.
+pub const LPN_K: usize = 512;
+
+/// Regular-noise weight: SPCOT trees (= secret points) per refill.
+pub const LPN_T: usize = 16;
+
+/// LPN output length: COTs produced by one refill before the reserve is
+/// set aside.
+pub const LPN_N: usize = 8192;
+
+/// GGM tree depth: each tree covers `2^TREE_DEPTH = LPN_N / LPN_T` leaves.
+pub const TREE_DEPTH: usize = 9;
+
+/// Code locality: base positions XORed into each LPN output.
+pub const LPN_D: usize = 8;
+
+/// Base COTs one refill consumes: `LPN_K` for the code plus one per tree
+/// level for the SPCOT masks. Reserved out of the previous refill's output.
+pub const RESERVE: usize = LPN_K + LPN_T * TREE_DEPTH;
+
+/// Net fresh COTs one refill adds to the consumable pool.
+pub const REFILL_YIELD: usize = LPN_N - RESERVE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters_are_consistent() {
+        assert_eq!(LPN_T << TREE_DEPTH, LPN_N, "trees must tile the output");
+        assert!(LPN_K.is_power_of_two(), "unbiased index sampling needs 2^k");
+        assert_eq!(RESERVE, 656);
+        assert_eq!(REFILL_YIELD, 7536);
+    }
+}

@@ -66,6 +66,7 @@ pub struct ServeClient {
     policy: RetryPolicy,
     deadlines: SessionDeadlines,
     request_bundle: bool,
+    silent: bool,
 }
 
 impl ServeClient {
@@ -90,6 +91,7 @@ impl ServeClient {
             policy: RetryPolicy::default(),
             deadlines: SessionDeadlines::lan(),
             request_bundle: true,
+            silent: false,
         }
     }
 
@@ -120,6 +122,16 @@ impl ServeClient {
     #[must_use]
     pub fn with_bundles(mut self, request: bool) -> Self {
         self.request_bundle = request;
+        self
+    }
+
+    /// Whether to advertise silent-OT capability in the hello (default
+    /// false). When the server grants it, the cold offline phase expands
+    /// OT correlations locally from LPN instead of streaming IKNP columns;
+    /// falls back to IKNP transparently against older servers.
+    #[must_use]
+    pub fn with_silent(mut self, silent: bool) -> Self {
+        self.silent = silent;
         self
     }
 
@@ -232,12 +244,13 @@ impl ServeClient {
                 let request = HelloRequest {
                     resume: checkpoint.is_some(),
                     bundle: self.request_bundle && checkpoint.is_none(),
+                    silent: self.silent,
                 };
                 let reply = handshake_client_ext(ch, ours, token, request)?;
 
                 ch.set_phase_budget(self.deadlines.offline_budget)?;
                 ch.enter_phase("setup");
-                let session = ClientSession::setup(ch, rng)?;
+                let session = ClientSession::setup_with(ch, reply.mode(), rng)?;
 
                 let state = if reply.resume {
                     *resumed = true;

@@ -9,6 +9,7 @@
 //! cold bundles satisfy the same triplet invariant `U + V = W·R`.
 
 use abnn2_core::bundle::{dealer_bundle_for, BundleKey, ClientBundle, ServerBundle};
+use abnn2_core::OfflineMode;
 use abnn2_core::{SecureGraph, ServedModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -78,15 +79,40 @@ impl PrecomputePool {
     /// condition.
     #[must_use]
     pub fn start(model: Arc<ServedModel>, batches: &[usize], depth: usize, seed: u64) -> Self {
+        Self::start_with_modes(model, batches, &[OfflineMode::Iknp], depth, seed)
+    }
+
+    /// Like [`start`](Self::start), but keys bundles under every offline
+    /// mode in `modes` (cross product with `batches`). The dealer bundle
+    /// *content* is mode-independent — only the key differs — but keying
+    /// per mode means a session can only ever drain a bundle pooled for
+    /// its own negotiated mode.
+    ///
+    /// # Panics
+    ///
+    /// As [`start`](Self::start); additionally panics when `modes` is
+    /// empty.
+    #[must_use]
+    pub fn start_with_modes(
+        model: Arc<ServedModel>,
+        batches: &[usize],
+        modes: &[OfflineMode],
+        depth: usize,
+        seed: u64,
+    ) -> Self {
         assert!(depth > 0, "pool depth must be positive");
         assert!(!batches.is_empty(), "pool needs at least one batch size");
+        assert!(!modes.is_empty(), "pool needs at least one offline mode");
         let graph = model.graph();
         let entries: Vec<(BundleKey, SecureGraph)> = batches
             .iter()
-            .map(|&b| {
+            .flat_map(|&b| {
                 let sg = SecureGraph::new(graph.clone(), b)
                     .expect("pool batch size must fit the served graph");
-                (BundleKey::for_graph(&graph, b), sg)
+                let graph = &graph;
+                modes
+                    .iter()
+                    .map(move |&m| (BundleKey::for_graph(graph, b).with_mode(m), sg.clone()))
             })
             .collect();
         let keys: Vec<BundleKey> = entries.iter().map(|(k, _)| *k).collect();

@@ -52,6 +52,7 @@ use abnn2_core::bundle::{BundleKey, ClientBundle, ServerBundle};
 use abnn2_core::driver::{DriverEffect, DriverStep, SessionDriver, SessionHost};
 use abnn2_core::handshake::{reject_busy_with, ResumeToken, SessionParams};
 use abnn2_core::resilient::DEFAULT_CHECKPOINT_CAPACITY;
+use abnn2_core::OfflineMode;
 use abnn2_core::{
     CheckpointStore, CommCeiling, ExecConfig, ProtocolError, SecureServer, ServedModel,
     SessionDeadlines,
@@ -87,6 +88,12 @@ pub struct ServeConfig {
     pub pool_depth: usize,
     /// Batch sizes the pool precomputes for.
     pub pool_batches: Vec<usize>,
+    /// Offline modes the pool keys bundles under. Dealer bundles are
+    /// mode-independent *content*, but a session may only consume a
+    /// bundle pooled under its own negotiated mode, so a deployment
+    /// expecting silent-capable clients lists [`OfflineMode::Silent`]
+    /// here too.
+    pub pool_modes: Vec<OfflineMode>,
     /// Per-session transport deadlines.
     pub deadlines: SessionDeadlines,
     /// Total capacity of the resume-checkpoint store, split across one
@@ -108,6 +115,7 @@ impl Default for ServeConfig {
             sessions_per_worker: 1,
             pool_depth: 2,
             pool_batches: vec![1],
+            pool_modes: vec![OfflineMode::Iknp],
             deadlines: SessionDeadlines::lan(),
             checkpoint_capacity: DEFAULT_CHECKPOINT_CAPACITY,
             exec: ExecConfig::new(),
@@ -275,9 +283,10 @@ impl Server {
         let pools = if config.pool_depth > 0 {
             (0..config.workers)
                 .map(|i| {
-                    PrecomputePool::start(
+                    PrecomputePool::start_with_modes(
                         Arc::clone(&model),
                         &config.pool_batches,
+                        &config.pool_modes,
                         config.pool_depth,
                         // Distinct stream from the workers, distinct per shard.
                         (config.seed ^ 0x706F_6F6C).wrapping_add(i as u64),
@@ -356,20 +365,22 @@ impl Server {
     }
 
     /// Blocks until **every worker's pool shard** holds `count` ready
-    /// pairs for batch size `batch` (or `timeout` passes). Returns false
-    /// when no pool is attached or the target was not reached — callers
-    /// use this to guarantee a warm first request on whichever worker
-    /// claims it.
+    /// pairs for batch size `batch` under every configured offline mode
+    /// (or `timeout` passes). Returns false when no pool is attached or
+    /// the target was not reached — callers use this to guarantee a warm
+    /// first request on whichever worker claims it.
     #[must_use]
     pub fn warm_up(&self, batch: usize, count: usize, timeout: Duration) -> bool {
         if self.shared.pools.is_empty() {
             return false;
         }
-        let key = BundleKey::for_graph(&self.shared.info_params.model.graph(), batch);
+        let base = BundleKey::for_graph(&self.shared.info_params.model.graph(), batch);
         let deadline = Instant::now() + timeout;
         self.shared.pools.iter().all(|p| {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            p.wait_ready(&key, count, remaining)
+            self.shared.config.pool_modes.iter().all(|&mode| {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                p.wait_ready(&base.with_mode(mode), count, remaining)
+            })
         })
     }
 
@@ -561,12 +572,19 @@ impl SessionHost for WorkerHost<'_> {
         self.shared.store.claim(token)
     }
 
-    fn take_bundle(&self, params: &SessionParams) -> Option<(ServerBundle, ClientBundle)> {
+    fn take_bundle(
+        &self,
+        params: &SessionParams,
+        mode: OfflineMode,
+    ) -> Option<(ServerBundle, ClientBundle)> {
         let pools = &self.shared.pools;
         if pools.is_empty() {
             return None;
         }
-        let key = BundleKey::from_params(params);
+        // Keyed on the negotiated offline mode: an IKNP session can never
+        // drain a silent-keyed bundle (or vice versa), so per-mode pool
+        // accounting stays truthful under a mixed fleet.
+        let key = BundleKey::from_params(params).with_mode(mode);
         (0..pools.len()).find_map(|i| pools[(self.worker + i) % pools.len()].take(&key))
     }
 }

@@ -12,7 +12,7 @@ use abnn2::math::{FragmentScheme, Matrix, Ring};
 use abnn2::net::{run_pair, NetworkModel};
 use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
 use abnn2::nn::{Network, SyntheticMnist};
-use abnn2::ot::{KkChooser, KkSender};
+use abnn2::ot::{FragmentChooser, FragmentSender, OfflineMode};
 use rand::SeedableRng;
 
 fn scheme_for(eta: u32) -> FragmentScheme {
@@ -66,7 +66,8 @@ fn main() {
             NetworkModel::lan(),
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(31);
-                let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+                let mut kk =
+                    FragmentChooser::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                 let _ = triplet_server(
                     ch,
                     &mut kk,
@@ -82,7 +83,7 @@ fn main() {
             },
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(32);
-                let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+                let mut kk = FragmentSender::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                 let r = Matrix::random(n, 1, &ring, &mut rng);
                 let _ =
                     triplet_client(ch, &mut kk, &r, m, &s2, ring, TripletMode::OneBatch, &mut rng)

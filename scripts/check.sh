@@ -2,7 +2,8 @@
 # Full local CI gate: build, test, formatting, lints. Run from the repo root.
 #
 #   ./scripts/check.sh [--chaos-seeds N] [--serve-smoke] [--cnn-serve-smoke] \
-#                      [--async-serve-smoke] [--wire-fuzz-smoke] [--governor-smoke]
+#                      [--async-serve-smoke] [--wire-fuzz-smoke] [--governor-smoke] \
+#                      [--silent-ot-smoke] [--bench]
 #
 # --chaos-seeds N widens the seeded chaos suite (tests/chaos.rs) from its
 # default of 64 seeds without recompiling.
@@ -35,6 +36,18 @@
 # mid-online panic — the clean siblings must still verify bit-exact and
 # the metrics must show exactly one quarantined session.
 #
+# --silent-ot-smoke exercises the silent-OT offline subsystem in release
+# mode: the η-sweep bit-exactness acceptance (tests/silent_ot.rs), the
+# silent chaos batch (seeded cuts, tag flips over the 0x40–0x43 frames,
+# cut-after-expansion checkpoint/resume, mixed silent+IKNP fleet), and
+# the pinned silent-vs-KK13 byte-count comparison (tests/comm_shape.rs).
+#
+# --bench regenerates the machine-readable benchmark file
+# (BENCH_silent_ot.json by default): offline/online bytes and wall-clock
+# per table workload, with the silent-vs-IKNP offline comparison pinned
+# as the first entry (the ≥10× OT-extension reduction is asserted at
+# generation time).
+#
 # The container has no network access to crates.io; all dependencies are
 # vendored as stubs under stubs/ (see stubs/README.md), so every cargo
 # invocation runs offline.
@@ -66,6 +79,14 @@ while [[ $# -gt 0 ]]; do
       ;;
     --governor-smoke)
       GOVERNOR_SMOKE=1
+      shift
+      ;;
+    --silent-ot-smoke)
+      SILENT_OT_SMOKE=1
+      shift
+      ;;
+    --bench)
+      RUN_BENCH=1
       shift
       ;;
     *)
@@ -123,6 +144,18 @@ if [[ "${GOVERNOR_SMOKE:-0}" == "1" ]]; then
   cargo test --release --test serve retry_after
   cargo run --release --example serve_load -- \
     --clients 8 --requests 2 --sessions-per-worker 4 --governor --inject-panic 3
+fi
+
+if [[ "${SILENT_OT_SMOKE:-0}" == "1" ]]; then
+  echo "==> silent-OT smoke: eta-sweep bit-exactness, silent chaos, pinned byte counts"
+  cargo test --release --test silent_ot
+  cargo test --release --test chaos silent
+  cargo test --release --test comm_shape silent_extension_bytes_beat_kk13_by_an_order_of_magnitude
+fi
+
+if [[ "${RUN_BENCH:-0}" == "1" ]]; then
+  echo "==> bench: regenerating BENCH_silent_ot.json"
+  cargo run --release -p abnn2-bench --bin bench_json -- BENCH_silent_ot.json
 fi
 
 echo "All checks passed."

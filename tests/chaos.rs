@@ -105,6 +105,7 @@ fn run_seed(
     q: &QuantizedNetwork,
     inputs: &[Vec<u64>],
     expected: &[u64],
+    silent: bool,
 ) -> Result<(), String> {
     let deadlines = SessionDeadlines::uniform(Duration::from_secs(2));
     let policy = RetryPolicy::no_delay(3);
@@ -113,9 +114,10 @@ fn run_seed(
     let server = ResilientServer::new(SecureServer::new(q.clone()))
         .with_policy(policy)
         .with_deadlines(deadlines);
-    let client = ResilientClient::new(SecureClient::new(PublicModelInfo::from(q)))
-        .with_policy(policy)
-        .with_deadlines(deadlines);
+    let client =
+        ResilientClient::new(SecureClient::new(PublicModelInfo::from(q)).with_silent(silent))
+            .with_policy(policy)
+            .with_deadlines(deadlines);
 
     std::thread::scope(|scope| {
         let srv = scope.spawn(move || {
@@ -168,15 +170,15 @@ fn run_seed(
 /// Per-seed watchdog: the whole trial must finish well before this.
 const SEED_DEADLINE: Duration = Duration::from_secs(30);
 
-#[test]
-fn chaos_seeds_complete_exactly_or_fail_typed() {
+/// Runs `n` seeds starting at `offset` under a per-seed watchdog,
+/// collecting contract violations.
+fn chaos_batch(offset: u64, n: u64, silent: bool) -> Vec<String> {
     let q = tiny_model();
     let inputs: Vec<Vec<u64>> = vec![vec![700, 1 << 8, 3, 90, 0, 5, 2 << 7, 33, 12, 256]];
     let expected = q.forward_exact(&inputs[0]);
 
-    let n = chaos_seed_count();
     let mut failures = Vec::new();
-    for seed in 0..n {
+    for seed in offset..offset + n {
         // Watchdog: run the trial on a helper thread; a hang turns into a
         // typed test failure instead of a stuck CI job.
         let (tx, rx) = mpsc::channel();
@@ -184,7 +186,7 @@ fn chaos_seeds_complete_exactly_or_fail_typed() {
         let inputs2 = inputs.clone();
         let expected2 = expected.clone();
         let trial = std::thread::spawn(move || {
-            let outcome = run_seed(seed, &q2, &inputs2, &expected2);
+            let outcome = run_seed(seed, &q2, &inputs2, &expected2, silent);
             let _ = tx.send(outcome);
         });
         match rx.recv_timeout(SEED_DEADLINE) {
@@ -202,9 +204,33 @@ fn chaos_seeds_complete_exactly_or_fail_typed() {
             }
         }
     }
+    failures
+}
+
+#[test]
+fn chaos_seeds_complete_exactly_or_fail_typed() {
+    let n = chaos_seed_count();
+    let failures = chaos_batch(0, n, false);
     assert!(
         failures.is_empty(),
         "{} of {n} chaos seeds violated the contract:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The same seeded cut/corrupt/truncate/delay catalogue over sessions
+/// negotiated onto the **silent** offline backend — faults now land on
+/// SILENT_* frames (base columns, SPCOT masks/sums, derandomization bits)
+/// as well as the shared ones. The contract is unchanged: exact answer or
+/// typed error, no hangs, no panics.
+#[test]
+fn silent_chaos_seeds_complete_exactly_or_fail_typed() {
+    let n = chaos_seed_count().div_ceil(2);
+    let failures = chaos_batch(10_000, n, true);
+    assert!(
+        failures.is_empty(),
+        "{} of {n} silent chaos seeds violated the contract:\n{}",
         failures.len(),
         failures.join("\n")
     );
@@ -218,25 +244,37 @@ fn chaos_seeds_complete_exactly_or_fail_typed() {
 /// first mis-tagged frame, at whichever protocol entry point receives it.
 #[test]
 fn tag_flip_at_every_entry_point_names_the_expected_frame() {
+    flip_sweep(false, 20);
+}
+
+/// The same sweep over a silent session: the first twenty send indices on
+/// either side cover the hello, base-OT bootstrap (SILENT_BASE_COLUMNS),
+/// SPCOT mask/sum refills and derandomization frames, so a flipped tag on
+/// any of the new 0x40–0x43 frames must also die typed, naming the frame.
+#[test]
+fn silent_tag_flip_at_every_entry_point_names_the_expected_frame() {
+    flip_sweep(true, 26);
+}
+
+/// `sweep` send indices must reach past the end of the session on either
+/// side, so the suite also witnesses clean completions.
+fn flip_sweep(silent: bool, sweep: u64) {
     let q = tiny_model();
     let inputs: Vec<Vec<u64>> = vec![vec![700, 1 << 8, 3, 90, 0, 5, 2 << 7, 33, 12, 256]];
     let expected = q.forward_exact(&inputs[0]);
 
-    /// Enough send indices to sweep past the end of the tiny session on
-    /// either side, so the suite also witnesses clean completions.
-    const SWEEP: u64 = 20;
     let names_frame = |e: &ProtocolError| e.to_string().contains("frame tag");
 
     for side in 0..2u64 {
         let mut landed = 0u32;
         let mut clean = 0u32;
-        for index in 0..SWEEP {
+        for index in 0..sweep {
             let (a, b) = Endpoint::pair(NetworkModel::instant());
             let flip = Fault::FlipTag { index };
             let mut sch = FaultyTransport::new(a, if side == 0 { flip } else { Fault::None });
             let mut cch = FaultyTransport::new(b, if side == 1 { flip } else { Fault::None });
             let server = SecureServer::new(q.clone());
-            let client = SecureClient::new(PublicModelInfo::from(&q));
+            let client = SecureClient::new(PublicModelInfo::from(&q)).with_silent(silent);
             let inputs2 = inputs.clone();
             let (sres, cres) = std::thread::scope(|scope| {
                 let srv = scope.spawn(move || {
@@ -274,7 +312,7 @@ fn tag_flip_at_every_entry_point_names_the_expected_frame() {
             }
         }
         assert!(landed >= 5, "side {side}: only {landed} flips landed — sweep too short?");
-        assert!(clean >= 1, "side {side}: no clean run — raise SWEEP to cover the session");
+        assert!(clean >= 1, "side {side}: no clean run — raise the sweep to cover the session");
     }
 }
 
@@ -318,7 +356,7 @@ fn event_loop_cut_while_parked_checkpoints_and_resumes_bit_exact() {
             &mut ch,
             ours,
             &token,
-            HelloRequest { resume: false, bundle: false },
+            HelloRequest { resume: false, bundle: false, silent: false },
         )
         .expect("handshake");
         assert!(!reply.resume && !reply.bundle);
@@ -344,9 +382,13 @@ fn event_loop_cut_while_parked_checkpoints_and_resumes_bit_exact() {
     // Attempt 2: reconnect with the same token and resume.
     let mut ch = TcpTransport::connect(addr).expect("reconnect");
     ch.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
-    let reply =
-        handshake_client_ext(&mut ch, ours, &token, HelloRequest { resume: true, bundle: false })
-            .expect("resume handshake");
+    let reply = handshake_client_ext(
+        &mut ch,
+        ours,
+        &token,
+        HelloRequest { resume: true, bundle: false, silent: false },
+    )
+    .expect("resume handshake");
     assert!(reply.resume, "server must offer to resume the checkpointed session");
     let session = ClientSession::setup(&mut ch, &mut rng).expect("setup");
     let state = ClientOffline::from_bundle(session, checkpoint);
@@ -393,9 +435,13 @@ fn event_loop_rides_out_delayed_frames_while_parked() {
     ]);
     let mut ch = FaultyTransport::with_plan(TcpTransport::connect(addr).expect("connect"), plan);
     ch.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
-    let reply =
-        handshake_client_ext(&mut ch, ours, &token, HelloRequest { resume: false, bundle: false })
-            .expect("handshake");
+    let reply = handshake_client_ext(
+        &mut ch,
+        ours,
+        &token,
+        HelloRequest { resume: false, bundle: false, silent: false },
+    )
+    .expect("handshake");
     assert!(!reply.resume && !reply.bundle);
     let session = ClientSession::setup(&mut ch, &mut rng).expect("setup");
     let state = client.offline_with(&mut ch, session, 1, &mut rng).expect("offline");
@@ -598,7 +644,7 @@ fn governor_evicts_never_draining_reader_on_outbound_cap() {
             &mut ch,
             ours,
             &token,
-            HelloRequest { resume: false, bundle: false },
+            HelloRequest { resume: false, bundle: false, silent: false },
         )
         .expect("handshake");
         assert!(!reply.resume && !reply.bundle);
@@ -696,4 +742,135 @@ fn mid_online_panic_quarantines_session_but_siblings_finish_bit_exact() {
     let prom = m.render_prometheus();
     assert!(prom.contains("abnn2_serve_sessions_panicked_total 1"), "panic family must render");
     assert!(prom.contains("abnn2_serve_sessions_evicted_total 0"), "eviction family must render");
+}
+
+/// A silent session cut after its offline phase — the LPN expansion has
+/// run, the client parked its state — must checkpoint server-side like an
+/// IKNP session does, and a reconnect **renegotiating silent** must
+/// resume to bit-exact logits. The resumed setup re-runs the base-OT
+/// bootstrap in the negotiated mode on both sides, so the replayed
+/// driver's transcript stays aligned.
+#[test]
+fn silent_cut_after_expansion_checkpoints_and_resumes_bit_exact() {
+    let q = tiny_model();
+    let x: Vec<u64> = vec![700, 1 << 8, 3, 90, 0, 5, 2 << 7, 33, 12, 256];
+    let expected = q.forward_exact(&x);
+    let info = PublicModelInfo::from(&q);
+    let server = Server::start(
+        q.clone(),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            sessions_per_worker: 4,
+            pool_depth: 0,
+            deadlines: SessionDeadlines::uniform(Duration::from_secs(5)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    let client = SecureClient::new(info.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41337);
+    let token: [u8; 16] = [0xA5; 16];
+    let ours = SessionParams::for_model(&info, ExecConfig::new().variant, 1);
+
+    // Attempt 1: negotiate silent, run the offline phase (base-OT
+    // bootstrap + SPCOT/LPN expansion), then cut while the server's
+    // driver is parked at the first online frame.
+    let checkpoint = {
+        let mut ch = TcpTransport::connect(addr).expect("connect");
+        ch.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let reply = handshake_client_ext(
+            &mut ch,
+            ours,
+            &token,
+            HelloRequest { resume: false, bundle: false, silent: true },
+        )
+        .expect("handshake");
+        assert!(reply.silent, "server must grant silent capability");
+        let session = ClientSession::setup_with(&mut ch, reply.mode(), &mut rng).expect("setup");
+        let state = client.offline_with(&mut ch, session, 1, &mut rng).expect("offline");
+        ch.flush().expect("flush");
+        state.to_bundle()
+        // `ch` drops here: mid-session cut.
+    };
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !server.checkpoint_store().contains(&token) {
+        assert!(Instant::now() < deadline, "server never checkpointed the cut silent session");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Attempt 2: reconnect, renegotiate silent, resume.
+    let mut ch = TcpTransport::connect(addr).expect("reconnect");
+    ch.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let reply = handshake_client_ext(
+        &mut ch,
+        ours,
+        &token,
+        HelloRequest { resume: true, bundle: false, silent: true },
+    )
+    .expect("resume handshake");
+    assert!(reply.resume, "server must offer to resume the checkpointed session");
+    assert!(reply.silent, "resumed session must stay on the silent backend");
+    let session = ClientSession::setup_with(&mut ch, reply.mode(), &mut rng).expect("setup");
+    let state = ClientOffline::from_bundle(session, checkpoint);
+    let y = client.online_raw(&mut ch, state, std::slice::from_ref(&x), &mut rng).expect("online");
+    assert_eq!(y.col(0), expected, "resumed silent logits diverge from forward_exact");
+}
+
+/// A mixed fleet on one server: silent-capable and legacy IKNP clients
+/// interleaved against the same event-loop workers, every session cold
+/// (no pool), every answer bit-exact. Capability is per-connection — one
+/// client's mode may not leak into a sibling session multiplexed on the
+/// same worker.
+#[test]
+fn mixed_fleet_silent_and_iknp_clients_one_server() {
+    let q = tiny_model();
+    let info = PublicModelInfo::from(&q);
+    let server = Server::start(
+        q.clone(),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            sessions_per_worker: 3,
+            queue_capacity: 8,
+            pool_depth: 0,
+            deadlines: SessionDeadlines::uniform(Duration::from_secs(30)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    let exact: usize = std::thread::scope(|scope| {
+        (0..6u64)
+            .map(|c| {
+                let silent = c % 2 == 0;
+                let client = ServeClient::new(info.clone())
+                    .with_bundles(false)
+                    .with_silent(silent)
+                    .with_deadlines(SessionDeadlines::uniform(Duration::from_secs(30)))
+                    .with_policy(RetryPolicy::no_delay(3));
+                let q = &q;
+                scope.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(17_000 + c);
+                    let input: Vec<u64> = (0..10).map(|j| (c * 37 + j * 11) & 0xFFFF).collect();
+                    let expected = q.forward_exact(&input);
+                    let (y, _report) = client
+                        .run(addr, std::slice::from_ref(&input), &mut rng)
+                        .expect("mixed-fleet client");
+                    assert_eq!(y.col(0), expected, "client {c} (silent={silent}): logits diverge");
+                    1usize
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
+    });
+    assert_eq!(exact, 6, "every client in the mixed fleet must end bit-exact");
+    let m = server.metrics();
+    assert_eq!(m.panicked, 0);
+    assert_eq!(m.failed, 0, "no mixed-fleet session may fail: {m:?}");
 }

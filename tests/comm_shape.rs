@@ -6,7 +6,7 @@
 use abnn2::core::matmul::{triplet_client, triplet_server, TripletMode};
 use abnn2::math::{FragmentScheme, Matrix, Ring};
 use abnn2::net::{run_pair, Endpoint, InstrumentedTransport, NetworkModel};
-use abnn2::ot::{IknpReceiver, IknpSender, KkChooser, KkSender};
+use abnn2::ot::{FragmentChooser, FragmentSender, IknpReceiver, IknpSender, OfflineMode};
 use rand::SeedableRng;
 
 fn offline_bytes(scheme: &FragmentScheme, m: usize, n: usize, o: usize, ring_bits: u32) -> u64 {
@@ -23,12 +23,12 @@ fn offline_bytes(scheme: &FragmentScheme, m: usize, n: usize, o: usize, ring_bit
         NetworkModel::instant(),
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-            let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+            let mut kk = FragmentChooser::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
             triplet_server(ch, &mut kk, &weights, m, n, o, &s1, ring, mode).expect("server")
         },
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-            let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+            let mut kk = FragmentSender::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
             let r = Matrix::random(n, o, &ring, &mut rng);
             triplet_client(ch, &mut kk, &r, m, &s2, ring, mode, &mut rng).expect("client")
         },
@@ -182,12 +182,14 @@ fn kk13_masked_message_bytes_match_the_papers_gamma_n_minus_one_count() {
         scope.spawn(move || {
             let mut ch = server_ep;
             let mut rng = rand::rngs::StdRng::seed_from_u64(12);
-            let mut kk = KkChooser::setup(&mut ch, &mut rng).expect("setup");
+            let mut kk =
+                FragmentChooser::setup(&mut ch, OfflineMode::Iknp, &mut rng).expect("setup");
             triplet_server(&mut ch, &mut kk, &weights, m, n, o, &s1, ring, TripletMode::OneBatch)
                 .expect("server");
         });
         let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-        let mut kk = KkSender::setup(&mut client_ch, &mut rng).expect("setup");
+        let mut kk =
+            FragmentSender::setup(&mut client_ch, OfflineMode::Iknp, &mut rng).expect("setup");
         let r = Matrix::random(n, o, &ring, &mut rng);
         triplet_client(&mut client_ch, &mut kk, &r, m, &s2, ring, TripletMode::OneBatch, &mut rng)
             .expect("client");
@@ -223,7 +225,8 @@ fn wan_simulation_adds_latency() {
             model,
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-                let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+                let mut kk =
+                    FragmentChooser::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                 triplet_server(
                     ch,
                     &mut kk,
@@ -239,7 +242,7 @@ fn wan_simulation_adds_latency() {
             },
             move |ch| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(10);
-                let mut kk = KkSender::setup(ch, &mut rng).expect("setup");
+                let mut kk = FragmentSender::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
                 let r = Matrix::random(2, 1, &ring, &mut rng);
                 triplet_client(ch, &mut kk, &r, 2, &s2, ring, TripletMode::OneBatch, &mut rng)
                     .expect("client")
@@ -250,4 +253,84 @@ fn wan_simulation_adds_latency() {
     let lan = run(NetworkModel::lan());
     let wan = run(NetworkModel::wan_secureml());
     assert!(wan > lan + std::time::Duration::from_millis(50), "wan {wan:?} vs lan {lan:?}");
+}
+
+/// Runs one triplet generation under `ot` with the client channel
+/// instrumented, returning the tag/phase handle.
+fn triplet_traffic(ot: OfflineMode, m: usize, n: usize, o: usize) -> abnn2::net::InstrumentHandle {
+    let scheme = FragmentScheme::signed_bit_fields(&[2, 2, 2, 2]);
+    let ring = Ring::new(32);
+    let weights = {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let (lo, hi) = scheme.weight_range();
+        (0..m * n).map(|_| rng.gen_range(lo..=hi)).collect::<Vec<i64>>()
+    };
+    let (server_ep, client_ep) = Endpoint::pair(NetworkModel::instant());
+    let mut client_ch = InstrumentedTransport::new(client_ep);
+    let handle = client_ch.handle();
+    let (s1, s2) = (scheme.clone(), scheme);
+    let mode = TripletMode::for_batch(o);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut ch = server_ep;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+            let mut kk = FragmentChooser::setup(&mut ch, ot, &mut rng).expect("setup");
+            triplet_server(&mut ch, &mut kk, &weights, m, n, o, &s1, ring, mode).expect("server");
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut kk = FragmentSender::setup(&mut client_ch, ot, &mut rng).expect("setup");
+        let r = Matrix::random(n, o, &ring, &mut rng);
+        triplet_client(&mut client_ch, &mut kk, &r, m, &s2, ring, mode, &mut rng).expect("client");
+    });
+    handle
+}
+
+/// The silent subsystem's headline: the OT-extension component of the
+/// offline phase shrinks by more than an order of magnitude. For the
+/// (2,2,2,2) scheme at m=48, n=96 the IKNP/KK13 path streams KK_COLUMNS
+/// for every fragment OT, while the silent path ships only the one-time
+/// base-OT columns plus per-refill SPCOT masks/sums and derandomization
+/// bits.
+#[test]
+fn silent_extension_bytes_beat_kk13_by_an_order_of_magnitude() {
+    use abnn2::net::wire::tags;
+    let (m, n, o) = (48usize, 96usize, 1usize);
+
+    let iknp = triplet_traffic(OfflineMode::Iknp, m, n, o);
+    let silent = triplet_traffic(OfflineMode::Silent, m, n, o);
+
+    let kk_ext = iknp.tag(tags::KK_COLUMNS).total_bytes();
+    let silent_ext = [
+        tags::SILENT_BASE_COLUMNS,
+        tags::SILENT_DERAND,
+        tags::SILENT_SPCOT_MASKS,
+        tags::SILENT_SPCOT_SUMS,
+    ]
+    .iter()
+    .map(|&t| silent.tag(t).total_bytes())
+    .sum::<u64>();
+
+    // Pinned, next to the KK13 pin above: 4 fragment groups × 4·m·n
+    // chosen-input OTs, each costing 2^η/8 = 32 column bytes under IKNP.
+    assert_eq!(kk_ext, 589_824);
+    // Silent replaces the columns with: one-time base-OT bootstrap
+    // (10,496 B), five pool refills of SPCOT masks (5 × 4,608 B) and
+    // level sums (5 × 256 B), and derandomization bits (2 bits per
+    // fragment OT plus 18 B per refill ⇒ 4,698 B).
+    assert_eq!(silent.tag(tags::SILENT_BASE_COLUMNS).total_bytes(), 10_496);
+    assert_eq!(silent.tag(tags::SILENT_SPCOT_MASKS).total_bytes(), 23_040);
+    assert_eq!(silent.tag(tags::SILENT_SPCOT_SUMS).total_bytes(), 1_280);
+    assert_eq!(silent.tag(tags::SILENT_DERAND).total_bytes(), 4_698);
+    assert_eq!(silent_ext, 39_514);
+    // A silent session never streams KK columns at all.
+    assert_eq!(silent.tag(tags::KK_COLUMNS).total_bytes(), 0);
+
+    // ≥10× on the OT-extension component (measured: 14.9×)…
+    assert!(silent_ext * 10 <= kk_ext, "extension: silent {silent_ext} vs kk {kk_ext}");
+    // …and a ≥2× win on the whole offline exchange even though the
+    // γ(N−1) masked-triplet payload is unchanged (measured: 3.06×).
+    let iknp_total = iknp.total().total_bytes();
+    let silent_total = silent.total().total_bytes();
+    assert!(silent_total * 2 <= iknp_total, "total: silent {silent_total} vs iknp {iknp_total}");
 }

@@ -181,14 +181,14 @@ fn faulty_corrupted_ot_message_detected() {
 #[test]
 fn wrong_length_triplet_payload_rejected() {
     use abnn2::core::matmul::{triplet_server, TripletMode};
-    use abnn2::ot::{KkChooser, KkSender};
+    use abnn2::ot::{FragmentChooser, KkSender, OfflineMode};
     let ring = Ring::new(32);
     let scheme = FragmentScheme::binary();
     let (server_result, (), _) = run_pair(
         NetworkModel::instant(),
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-            let mut kk = KkChooser::setup(ch, &mut rng).expect("setup");
+            let mut kk = FragmentChooser::setup(ch, OfflineMode::Iknp, &mut rng).expect("setup");
             triplet_server(ch, &mut kk, &[1, 0], 1, 2, 1, &scheme, ring, TripletMode::OneBatch)
         },
         move |ch| {

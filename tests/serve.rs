@@ -392,8 +392,12 @@ fn manual_resume_request(
     let mut ch = TcpTransport::connect(addr)?;
     ch.set_read_timeout(Some(Duration::from_secs(5)))?;
     let ours = SessionParams::for_model(info, ExecConfig::new().variant, 1);
-    let reply =
-        handshake_client_ext(&mut ch, ours, &token, HelloRequest { resume: true, bundle: false })?;
+    let reply = handshake_client_ext(
+        &mut ch,
+        ours,
+        &token,
+        HelloRequest { resume: true, bundle: false, silent: false },
+    )?;
     let session = ClientSession::setup(&mut ch, &mut rng)?;
     let state = if reply.resume {
         ClientOffline::from_bundle(session, bundle)

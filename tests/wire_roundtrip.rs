@@ -150,6 +150,10 @@ fn ot_frames_round_trip_and_are_total() {
     check_byte_frame(OtCorrections, 1, 0x15);
     check_byte_frame(OtVecPayload, 1, 0x16);
     check_byte_frame(KkColumns, 256, 0x17);
+    check_byte_frame(SilentBaseColumns, abnn2::ot::KAPPA, 0x18);
+    check_byte_frame(SilentDerand, 1, 0x19);
+    check_byte_frame(SilentSpcotMasks, 32, 0x1A);
+    check_byte_frame(SilentSpcotSums, 16, 0x1B);
 }
 
 #[test]
@@ -200,6 +204,10 @@ fn frame_tags_match_the_registry() {
         check::<OtCorrections>();
         check::<OtVecPayload>();
         check::<KkColumns>();
+        check::<SilentBaseColumns>();
+        check::<SilentDerand>();
+        check::<SilentSpcotMasks>();
+        check::<SilentSpcotSums>();
     }
     {
         use abnn2::gc::frames::*;
