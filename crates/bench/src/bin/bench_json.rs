@@ -14,16 +14,27 @@
 //! `BENCH_latest.json` in the current directory). The JSON is
 //! hand-serialized — the workspace deliberately carries no serde
 //! dependency.
+//!
+//! With `--transformer` the file instead carries the quantized-encoder
+//! workload: cold (interactive matrix-triple) and warm (dealer-bundle)
+//! offline costs plus the online phase of one transformer prediction,
+//! bit-exactness against the plaintext oracle asserted at generation
+//! time. `scripts/check.sh --bench` writes both files.
 
 use abnn2_bench::{paper_quantized, run_abnn2_e2e, run_offline_triplets_with, run_quotient_e2e};
+use abnn2_core::bundle::dealer_bundle_for;
 use abnn2_core::complexity;
+use abnn2_core::graph::{SecureGraph, ServedModel};
+use abnn2_core::inference::{PublicTransformerInfo, SecureClient, SecureServer};
 use abnn2_core::matmul::{triplet_client, triplet_server, TripletMode};
 use abnn2_core::relu::ReluVariant;
 use abnn2_math::{FragmentScheme, Matrix, Ring};
 use abnn2_net::wire::tags;
 use abnn2_net::{Endpoint, InstrumentedTransport, NetworkModel};
+use abnn2_nn::quant::QuantConfig;
+use abnn2_nn::transformer::QuantizedTransformer;
 use abnn2_ot::{FragmentChooser, FragmentSender, OfflineMode};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Formats a metric value: integers stay integers, everything else gets
@@ -90,12 +101,114 @@ fn triplet_tagged(ot: OfflineMode, m: usize, n: usize, o: usize) -> (u64, u64) {
     (ext, handle.total().total_bytes())
 }
 
+/// The transformer workload: one quantized encoder block (4 tokens of
+/// width 4, feed-forward 8, 3 classes) predicted end to end, measured
+/// cold (interactive Gilboa matrix triples) and warm (dealer bundle).
+fn transformer_entries(entries: &mut Vec<String>) {
+    let config = QuantConfig {
+        ring: Ring::new(16),
+        frac_bits: 6,
+        weight_frac_bits: 2,
+        scheme: FragmentScheme::optimal(4),
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(81);
+    let model = QuantizedTransformer::random(4, 4, 8, 3, config, &mut rng).expect("transformer");
+    let x: Vec<u64> = (0..model.seq * model.d)
+        .map(|_| model.config.ring.reduce(rng.gen_range(-64i64..64) as u64))
+        .collect();
+    let expected = model.forward_exact(&x);
+    let workload = "encoder block seq 4, d 4, d_ff 8, 3 classes, eta 4, ring 2^16, batch 1";
+
+    // Cold path: interactive offline (matrix Beaver triples over Gilboa
+    // cross-products) then the online phase, instrumented client-side.
+    let (server_ep, client_ep) = Endpoint::pair(NetworkModel::instant());
+    let mut cch = InstrumentedTransport::new(client_ep);
+    let handle = cch.handle();
+    let server = SecureServer::for_model(model.clone());
+    let client = SecureClient::for_model(PublicTransformerInfo::from(&model));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut ch = server_ep;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(82);
+            server.run(&mut ch, 1, &mut rng).expect("bench server");
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(83);
+        let state = client.offline(&mut cch, 1, &mut rng).expect("bench offline");
+        let y = client
+            .online_raw(&mut cch, state, std::slice::from_ref(&x), &mut rng)
+            .expect("bench online");
+        assert_eq!(y.col(0), expected, "bench transformer must be bit-exact");
+    });
+    let wall = t0.elapsed();
+    // The executors mark per-op sub-phases (`offline:op3/matmulss`, …);
+    // fold them back into the two headline phases by label prefix.
+    let sum_prefix = |prefix: &str| -> u64 {
+        handle
+            .phases()
+            .iter()
+            .filter(|(n, _)| n.split(':').next() == Some(prefix))
+            .map(|(_, s)| s.total_bytes())
+            .sum()
+    };
+    let offline = sum_prefix("offline");
+    let online = sum_prefix("online");
+    let openings = handle.tag(tags::MATMUL_OPENINGS).total_bytes();
+    eprintln!(
+        "[transformer_e2e_cold] offline {offline} B + online {online} B \
+         (matmul openings {openings} B)"
+    );
+    entries.push(entry(
+        "transformer_e2e_cold",
+        workload,
+        "measured",
+        &[
+            ("offline_bytes", offline as f64),
+            ("online_bytes", online as f64),
+            ("matmul_opening_bytes", openings as f64),
+            ("wall_secs", wall.as_secs_f64()),
+        ],
+    ));
+
+    // Warm path: the dealer bundle a precompute pool would hand over in
+    // place of the whole interactive offline phase.
+    let served = ServedModel::from(model.clone());
+    let sg = SecureGraph::new(model.graph().clone(), 1).expect("secure graph");
+    let t1 = Instant::now();
+    let (_, cb) = dealer_bundle_for(&served, &sg, &mut rng);
+    let deal_wall = t1.elapsed();
+    let bundle_bytes = cb.encode(model.config.ring).len() as u64;
+    eprintln!("[transformer_warm_bundle] bundle {bundle_bytes} B vs cold offline {offline} B");
+    entries.push(entry(
+        "transformer_warm_bundle",
+        workload,
+        "measured",
+        &[
+            ("bundle_bytes", bundle_bytes as f64),
+            ("cold_offline_bytes", offline as f64),
+            ("offline_reduction", offline as f64 / bundle_bytes as f64),
+            ("deal_wall_secs", deal_wall.as_secs_f64()),
+        ],
+    ));
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| "BENCH_latest.json".to_owned());
+    let transformer = std::env::args().any(|a| a == "--transformer");
+    let out_path = std::env::args().skip(1).find(|a| !a.starts_with("--")).unwrap_or_else(|| {
+        if transformer { "BENCH_transformer.json" } else { "BENCH_latest.json" }.to_owned()
+    });
     let mut entries = Vec::new();
+
+    if transformer {
+        transformer_entries(&mut entries);
+        let json = format!(
+            "{{\n  \"schema\": \"abnn2-bench/v1\",\n  \"entries\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
+        );
+        std::fs::write(&out_path, &json).expect("write BENCH json");
+        println!("wrote {out_path}");
+        return;
+    }
 
     // First entry: the silent subsystem's headline, on the Fig-4 first
     // layer (128×784) at η = 8. The ≥10× extension-bytes reduction is

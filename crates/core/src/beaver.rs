@@ -29,7 +29,8 @@ pub struct BeaverTriple {
 
 /// Gilboa OT product: this party holds `xs`; the peer holds `ys`; outputs
 /// are shares of `xs[i]·ys[i]`. This side is the *chooser* on its bits.
-fn gilboa_chooser<T: Transport>(
+/// Shared with the matrix-Beaver generation in [`crate::matbeaver`].
+pub(crate) fn gilboa_chooser<T: Transport>(
     ch: &mut T,
     ot: &mut IknpReceiver,
     xs: &[u64],
@@ -46,7 +47,8 @@ fn gilboa_chooser<T: Transport>(
 }
 
 /// Gilboa OT product, sender side: supplies correlations `2^b·ys[i]`.
-fn gilboa_sender<T: Transport>(
+/// Shared with the matrix-Beaver generation in [`crate::matbeaver`].
+pub(crate) fn gilboa_sender<T: Transport>(
     ch: &mut T,
     ot: &mut IknpSender,
     ys: &[u64],

@@ -32,6 +32,7 @@
 use crate::graph::{weight_product, SecureGraph, ServedModel};
 use crate::handshake::{graph_digests, SessionParams};
 use crate::inference::PublicModelInfo;
+use crate::matbeaver::{deal_matrix_triple, MatrixTriple};
 use crate::ProtocolError;
 use abnn2_math::{Matrix, Ring};
 use abnn2_nn::conv::im2col;
@@ -40,11 +41,14 @@ use abnn2_nn::quant::QuantizedNetwork;
 use abnn2_ot::OfflineMode;
 use rand::Rng;
 
-/// Version byte leading every encoded [`ClientBundle`]. v2 introduced the
-/// mask-major layout (all masks, then all triplet shares) covering
-/// arbitrary layer graphs; v1 bundles (unversioned, per-layer interleaved)
-/// are no longer accepted.
-pub const BUNDLE_LAYOUT_VERSION: u8 = 2;
+/// Version byte leading every encoded [`ClientBundle`]. v3 appends, after
+/// the masks and triplet shares, one `X‖Y‖Z` matrix-triple section per
+/// secret×secret matmul op in graph-walk order (empty for MLP/CNN graphs,
+/// whose payload is byte-identical to v2 apart from this version byte).
+/// v2 introduced the mask-major layout (all masks, then all triplet
+/// shares); v1 bundles (unversioned, per-layer interleaved) are no longer
+/// accepted.
+pub const BUNDLE_LAYOUT_VERSION: u8 = 3;
 
 /// Everything an offline-triplet bundle depends on: bundles are
 /// interchangeable exactly when their keys are equal.
@@ -110,6 +114,8 @@ impl BundleKey {
 pub struct ServerBundle {
     /// Per-linear-op server triplet shares (`m × o` each, per the plan).
     pub us: Vec<Matrix>,
+    /// Per-matmul-op matrix-triple shares, in graph order.
+    pub mats: Vec<MatrixTriple>,
     /// Batch size the bundle was generated for.
     pub batch: usize,
 }
@@ -123,19 +129,23 @@ pub struct ClientBundle {
     pub rs: Vec<Matrix>,
     /// Per-linear-op client triplet shares, in graph order.
     pub vs: Vec<Matrix>,
+    /// Per-matmul-op matrix-triple shares, in graph order.
+    pub mats: Vec<MatrixTriple>,
     /// Batch size the bundle was generated for.
     pub batch: usize,
 }
 
 impl ClientBundle {
-    /// Serializes the bundle for the wire (layout v2): the
+    /// Serializes the bundle for the wire (layout v3): the
     /// [`BUNDLE_LAYOUT_VERSION`] byte, then every mask `R`, then every
-    /// triplet share `V`, as ring-encoded elements in graph order. Shapes
-    /// are implied by the graph both parties agreed on in the handshake,
-    /// so no lengths are embedded.
+    /// triplet share `V`, then every matrix triple as `X‖Y‖Z`, as
+    /// ring-encoded elements in graph order. Shapes are implied by the
+    /// graph both parties agreed on in the handshake, so no lengths are
+    /// embedded.
     #[must_use]
     pub fn encode(&self, ring: Ring) -> Vec<u8> {
-        let total: usize = self.rs.iter().chain(self.vs.iter()).map(Matrix::len).sum();
+        let total: usize = self.rs.iter().chain(self.vs.iter()).map(Matrix::len).sum::<usize>()
+            + self.mats.iter().map(|t| t.x.len() + t.y.len() + t.z.len()).sum::<usize>();
         let mut out = Vec::with_capacity(1 + total * ring.byte_len());
         out.push(BUNDLE_LAYOUT_VERSION);
         for r in &self.rs {
@@ -143,6 +153,11 @@ impl ClientBundle {
         }
         for v in &self.vs {
             out.extend_from_slice(&ring.encode_slice(v.as_slice()));
+        }
+        for t in &self.mats {
+            out.extend_from_slice(&ring.encode_slice(t.x.as_slice()));
+            out.extend_from_slice(&ring.encode_slice(t.y.as_slice()));
+            out.extend_from_slice(&ring.encode_slice(t.z.as_slice()));
         }
         out
     }
@@ -165,8 +180,13 @@ impl ClientBundle {
         }
         let mask_shapes = sg.mask_shapes();
         let triplet_shapes = sg.triplet_shapes();
-        let expect: usize =
-            mask_shapes.iter().chain(&triplet_shapes).map(|&(rows, cols)| rows * cols * bl).sum();
+        let matmul_plans = sg.matmul_plans();
+        let expect: usize = mask_shapes
+            .iter()
+            .chain(&triplet_shapes)
+            .map(|&(rows, cols)| rows * cols * bl)
+            .sum::<usize>()
+            + matmul_plans.iter().map(|p| (p.m * p.k + p.k * p.n + p.m * p.n) * bl).sum::<usize>();
         if bytes.len() != 1 + expect {
             return Err(ProtocolError::Malformed("client bundle length"));
         }
@@ -179,7 +199,11 @@ impl ClientBundle {
         };
         let rs = mask_shapes.iter().map(|&(r, c)| take(r, c)).collect();
         let vs = triplet_shapes.iter().map(|&(r, c)| take(r, c)).collect();
-        Ok(ClientBundle { rs, vs, batch: sg.batch() })
+        let mats = matmul_plans
+            .iter()
+            .map(|p| MatrixTriple { x: take(p.m, p.k), y: take(p.k, p.n), z: take(p.m, p.n) })
+            .collect();
+        Ok(ClientBundle { rs, vs, mats, batch: sg.batch() })
     }
 }
 
@@ -205,40 +229,65 @@ pub fn dealer_bundle_for<R: Rng + ?Sized>(
     let mut rs = Vec::with_capacity(sg.graph().mask_count());
     let mut vs = Vec::with_capacity(sg.graph().linear_count());
     let mut us = Vec::with_capacity(sg.graph().linear_count());
-    let mut cur = Matrix::random(sg.graph().input_len(), batch, &ring, rng);
-    rs.push(cur.clone());
+    let mut mats0 = Vec::with_capacity(sg.graph().matmul_count());
+    let mut mats1 = Vec::with_capacity(sg.graph().matmul_count());
+    let mut tape: Vec<Matrix> = Vec::with_capacity(sg.graph().ops.len() + 1);
+    tape.push(Matrix::random(sg.graph().input_len(), batch, &ring, rng));
+    rs.push(tape[0].clone());
     let mut li = 0usize;
-    for op in &sg.graph().ops {
-        match *op {
+    for (i, op) in sg.graph().ops.iter().enumerate() {
+        let out = match *op {
             LayerOp::Dense { out_dim, in_dim } => {
                 let (weights, _) = model.linear_params(li);
                 let v = Matrix::random(out_dim, batch, &ring, rng);
-                let u = weight_product(weights, out_dim, in_dim, &cur, ring).sub(&v, &ring);
+                let u = weight_product(weights, out_dim, in_dim, &tape[i], ring).sub(&v, &ring);
                 us.push(u);
                 vs.push(v.clone());
-                cur = v;
                 li += 1;
+                v
+            }
+            LayerOp::Linear { out_dim, in_dim, src } => {
+                let (weights, _) = model.linear_params(li);
+                let v = Matrix::random(out_dim, batch, &ring, rng);
+                let u = weight_product(weights, out_dim, in_dim, &tape[src], ring).sub(&v, &ring);
+                us.push(u);
+                vs.push(v.clone());
+                li += 1;
+                v
             }
             LayerOp::Conv { out_channels, in_shape, kh, kw, stride } => {
                 let (weights, _) = model.linear_params(li);
-                let r_col = im2col(cur.as_slice(), in_shape, kh, kw, stride);
+                let r_col = im2col(tape[i].as_slice(), in_shape, kh, kw, stride);
                 let patch = in_shape.channels * kh * kw;
                 let v = Matrix::random(out_channels, r_col.cols(), &ring, rng);
                 let u = weight_product(weights, out_channels, patch, &r_col, ring).sub(&v, &ring);
                 us.push(u);
                 vs.push(v.clone());
-                cur = v;
                 li += 1;
+                v
             }
-            LayerOp::Relu { .. } | LayerOp::MaxPool { .. } => {
+            LayerOp::MatMulSS { m, k, n, .. } => {
+                let (t0, t1) = deal_matrix_triple(m, k, n, ring, rng);
+                mats0.push(t0);
+                mats1.push(t1);
+                let fresh = Matrix::random(m * n, batch, &ring, rng);
+                rs.push(fresh.clone());
+                fresh
+            }
+            LayerOp::Relu { .. }
+            | LayerOp::MaxPool { .. }
+            | LayerOp::Softmax { .. }
+            | LayerOp::Gelu { .. }
+            | LayerOp::LayerNorm { .. } => {
                 let fresh = Matrix::random(op.out_len(), batch, &ring, rng);
                 rs.push(fresh.clone());
-                cur = fresh;
+                fresh
             }
             LayerOp::Output { .. } => break,
-        }
+        };
+        tape.push(out);
     }
-    (ServerBundle { us, batch }, ClientBundle { rs, vs, batch })
+    (ServerBundle { us, mats: mats0, batch }, ClientBundle { rs, vs, mats: mats1, batch })
 }
 
 /// [`dealer_bundle_for`] specialized to the paper's MLP topology.

@@ -194,7 +194,7 @@ impl CnnServer {
     pub fn public_info(&self) -> PublicCnnInfo {
         match self.inner.public_model() {
             crate::graph::PublicModel::Cnn(info) => info,
-            crate::graph::PublicModel::Mlp(_) => unreachable!("CnnServer serves a CNN"),
+            _ => unreachable!("CnnServer serves a CNN"),
         }
     }
 

@@ -472,7 +472,7 @@ impl<H: SessionHost> SessionDriver<H> {
             State::Offline { session, batch } => {
                 let batch = *batch;
                 ch.mark_phase("offline");
-                let state = self.server.offline_with(ch, session.clone(), batch)?;
+                let state = self.server.offline_with(ch, session.clone(), batch, rng)?;
                 self.checkpoint = Some(state.to_bundle());
                 Ok(State::Online { state })
             }

@@ -66,3 +66,9 @@ byte_frame! {
     /// A serialized offline bundle (dealer mode / warm-pool transfer).
     pub struct Bundle, tag = tags::BUNDLE, name = "offline bundle", unit = 1
 }
+
+byte_frame! {
+    /// One party's matrix-Beaver openings `D‖E` (`D = A − X`, `E = B − Y`,
+    /// row-major, ring-encoded) for one secret×secret matmul op.
+    pub struct MatmulOpenings, tag = tags::MATMUL_OPENINGS, name = "matmul opening batch", unit = 1
+}

@@ -33,17 +33,24 @@
 use crate::cnn::{maxpool_client, maxpool_server, PublicCnnInfo};
 use crate::config::ExecConfig;
 use crate::frames::BlindedInput;
-use crate::inference::{ClientOffline, PublicModelInfo, ServerOffline};
+use crate::inference::{ClientOffline, PublicModelInfo, PublicTransformerInfo, ServerOffline};
+use crate::matbeaver::{generate_matrix_p0, generate_matrix_p1, mul_matrix_shares, MatrixTriple};
 use crate::matmul::{triplet_client_with, triplet_server_with, TripletMode};
+use crate::nonlinear::{
+    gelu_client, gelu_server, layernorm_client, layernorm_server, matmul_close_client,
+    matmul_close_server, softmax_client, softmax_server,
+};
 use crate::relu::{relu_client, relu_server};
 use crate::session::{ClientSession, ServerSession};
 use crate::ProtocolError;
 use abnn2_math::{Matrix, Ring};
 use abnn2_net::Transport;
 use abnn2_nn::conv::im2col;
-use abnn2_nn::graph::{LayerGraph, LayerOp};
-use abnn2_nn::quant::{QuantConfig, QuantizedNetwork};
+use abnn2_nn::graph::{LayerGraph, LayerOp, OpResource};
+use abnn2_nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
+use abnn2_nn::transformer::QuantizedTransformer;
 use abnn2_nn::QuantizedCnn;
+use abnn2_ot::{IknpReceiver, IknpSender};
 use rand::Rng;
 
 /// A server-side model of any supported topology, with its weights.
@@ -53,6 +60,17 @@ pub enum ServedModel {
     Mlp(QuantizedNetwork),
     /// Convolutional extension: conv → ReLU → max-pool → dense stack.
     Cnn(QuantizedCnn),
+    /// Quantized transformer encoder (attention + GELU feed-forward +
+    /// LayerNorm), served through the extended op family.
+    Transformer {
+        /// The model, with its per-token projection weights (boxed: the
+        /// transformer carries far more inline state than the other arms).
+        model: Box<QuantizedTransformer>,
+        /// Per-linear-op dense layers in graph order, with the per-token
+        /// projections expanded block-diagonally once at construction so
+        /// the executor's weight lookups can return borrows.
+        expanded: Vec<QuantizedDense>,
+    },
 }
 
 impl From<QuantizedNetwork> for ServedModel {
@@ -67,6 +85,14 @@ impl From<QuantizedCnn> for ServedModel {
     }
 }
 
+impl From<QuantizedTransformer> for ServedModel {
+    fn from(model: QuantizedTransformer) -> Self {
+        let expanded =
+            (0..model.graph().linear_count()).map(|li| model.linear_params(li)).collect();
+        ServedModel::Transformer { model: Box::new(model), expanded }
+    }
+}
+
 impl ServedModel {
     /// The layer graph this model lowers to.
     #[must_use]
@@ -74,6 +100,7 @@ impl ServedModel {
         match self {
             ServedModel::Mlp(net) => LayerGraph::from(net),
             ServedModel::Cnn(net) => LayerGraph::from(net),
+            ServedModel::Transformer { model, .. } => LayerGraph::from(model.as_ref()),
         }
     }
 
@@ -83,6 +110,7 @@ impl ServedModel {
         match self {
             ServedModel::Mlp(net) => &net.config,
             ServedModel::Cnn(net) => &net.config,
+            ServedModel::Transformer { model, .. } => &model.config,
         }
     }
 
@@ -92,6 +120,9 @@ impl ServedModel {
         match self {
             ServedModel::Mlp(net) => PublicModel::Mlp(PublicModelInfo::from(net)),
             ServedModel::Cnn(net) => PublicModel::Cnn(PublicCnnInfo::from(net)),
+            ServedModel::Transformer { model, .. } => {
+                PublicModel::Transformer(PublicTransformerInfo::from(model.as_ref()))
+            }
         }
     }
 
@@ -111,6 +142,10 @@ impl ServedModel {
                     (&l.weights, &l.bias)
                 }
             }
+            ServedModel::Transformer { expanded, .. } => {
+                let l = &expanded[index];
+                (&l.weights, &l.bias)
+            }
         }
     }
 }
@@ -123,6 +158,8 @@ pub enum PublicModel {
     Mlp(PublicModelInfo),
     /// Convolutional extension.
     Cnn(PublicCnnInfo),
+    /// Quantized transformer encoder.
+    Transformer(PublicTransformerInfo),
 }
 
 impl From<PublicModelInfo> for PublicModel {
@@ -137,6 +174,12 @@ impl From<PublicCnnInfo> for PublicModel {
     }
 }
 
+impl From<PublicTransformerInfo> for PublicModel {
+    fn from(info: PublicTransformerInfo) -> Self {
+        PublicModel::Transformer(info)
+    }
+}
+
 impl PublicModel {
     /// The layer graph this model lowers to.
     #[must_use]
@@ -144,6 +187,7 @@ impl PublicModel {
         match self {
             PublicModel::Mlp(info) => info.graph(),
             PublicModel::Cnn(info) => info.graph(),
+            PublicModel::Transformer(info) => info.graph(),
         }
     }
 
@@ -153,6 +197,7 @@ impl PublicModel {
         match self {
             PublicModel::Mlp(info) => &info.config,
             PublicModel::Cnn(info) => &info.config,
+            PublicModel::Transformer(info) => info.config(),
         }
     }
 }
@@ -179,6 +224,23 @@ pub struct TripletPlan {
     pub kind: &'static str,
 }
 
+/// One secret×secret matmul op's offline matrix-triple requirement:
+/// generate `(X, Y, Z = X·Y)` with `X` of shape `m × k` and `Y` of shape
+/// `k × n` (effective, post-transpose dimensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatmulPlan {
+    /// Index of the op in the graph's op sequence.
+    pub op: usize,
+    /// Ordinal among the graph's matmul ops (indexes the `mats` vectors).
+    pub index: usize,
+    /// Left rows.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Right cols.
+    pub n: usize,
+}
+
 /// A validated [`LayerGraph`] pinned to a batch size — the unit the
 /// planner and both executor halves operate on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -193,16 +255,20 @@ impl SecureGraph {
     /// # Errors
     ///
     /// [`ProtocolError::Dimension`] if the batch is zero, the graph is
-    /// structurally ill-formed, or a spatial graph (conv/max-pool) is asked
-    /// for multi-sample batching (those ops are laid out per-CHW-map and
-    /// run one sample at a time).
+    /// structurally ill-formed, or a spatial graph (conv/max-pool) or a
+    /// graph with extended tape ops (transformer family) is asked for
+    /// multi-sample batching (those ops are laid out per-map/per-tape-slot
+    /// and run one sample at a time).
     pub fn new(graph: LayerGraph, batch: usize) -> Result<Self, ProtocolError> {
         if batch == 0 {
             return Err(ProtocolError::Dimension("batch must be positive"));
         }
-        graph.validate().map_err(ProtocolError::Dimension)?;
+        graph.validate().map_err(|e| ProtocolError::Dimension(e.message()))?;
         if batch > 1 && graph.has_spatial_ops() {
             return Err(ProtocolError::Dimension("spatial graphs run with batch 1"));
+        }
+        if batch > 1 && graph.has_extended_ops() {
+            return Err(ProtocolError::Dimension("extended graphs run with batch 1"));
         }
         Ok(SecureGraph { graph, batch })
     }
@@ -226,7 +292,9 @@ impl SecureGraph {
         let mut plans = Vec::with_capacity(self.graph.linear_count());
         for (i, op) in self.graph.ops.iter().enumerate() {
             let (m, n, o) = match *op {
-                LayerOp::Dense { out_dim, in_dim } => (out_dim, in_dim, self.batch),
+                LayerOp::Dense { out_dim, in_dim } | LayerOp::Linear { out_dim, in_dim, .. } => {
+                    (out_dim, in_dim, self.batch)
+                }
                 LayerOp::Conv { out_channels, in_shape, kh, kw, .. } => {
                     let positions = op.out_len() / out_channels;
                     (out_channels, in_shape.channels * kh * kw, positions)
@@ -242,6 +310,21 @@ impl SecureGraph {
                 mode: TripletMode::for_batch(o),
                 kind: op.kind(),
             });
+        }
+        plans
+    }
+
+    /// The matrix-triple plan: one [`MatmulPlan`] per secret×secret matmul
+    /// op, in graph order. Dimensions are *effective* (post-transpose):
+    /// the triple always lives in `(m × k) · (k × n)` space regardless of
+    /// how the graph stores the right operand.
+    #[must_use]
+    pub fn matmul_plans(&self) -> Vec<MatmulPlan> {
+        let mut plans = Vec::with_capacity(self.graph.matmul_count());
+        for (i, op) in self.graph.ops.iter().enumerate() {
+            if let OpResource::MatTriple { m, k, n } = op.resource() {
+                plans.push(MatmulPlan { op: i, index: plans.len(), m, k, n });
+            }
         }
         plans
     }
@@ -303,14 +386,30 @@ impl SecureGraph {
             bytes += masked;
             frames += gamma + 8;
         }
+        for p in self.matmul_plans() {
+            // Interactive matrix-triple generation: m·n·k scalar Gilboa
+            // products at ℓ correlated OTs each. The client's IKNP column
+            // matrices (16 bytes per OT), corrections (one ring element per
+            // OT) and base-OT setup stay under 64 bytes per OT.
+            let ots = (p.m * p.k * p.n) as u64 * ring_bits;
+            bytes += ots * 64;
+            // Online openings `D‖E` plus framing.
+            bytes += (p.m * p.k + p.k * p.n) as u64 * ring_bytes;
+            frames += 16;
+        }
         for op in &self.graph.ops {
             if op.is_reshare() {
-                // GC evaluation: the client's OT-extension traffic for its
-                // input labels scales with the op's output wires; 64 bytes
-                // per wire dominates the IKNP column matrices (16·wires)
-                // plus corrections and per-round framing.
+                // GC evaluation: the client garbles, so its tables and the
+                // OT-extension traffic for the server's input labels flow
+                // inbound. For the cheap comparison-style circuits (ReLU,
+                // max-pool, the matmul closing trunc-reshare) 64 bytes per
+                // output wire dominates; the extended nonlinearities
+                // (softmax/GELU/LayerNorm) garble multiply/divide/isqrt
+                // cores of O(ℓ²) AND gates per element, bounded by an extra
+                // 256·ℓ bytes per wire.
+                let per_wire = if op.is_extended() { 64 + 256 * ring_bits } else { 64 };
                 let wires = (op.out_len() * self.batch) as u64 * ring_bits;
-                bytes += wires * 64;
+                bytes += wires * per_wire;
                 frames += 32;
             }
         }
@@ -404,47 +503,99 @@ fn check_shapes(
     Ok(())
 }
 
-/// Offline phase, server half: walks the plan generating one §4.1 triplet
-/// per linear op over an established session.
+fn check_mat_shapes(mats: &[MatrixTriple], plans: &[MatmulPlan]) -> Result<(), ProtocolError> {
+    if mats.len() != plans.len() || mats.iter().zip(plans).any(|(t, p)| !t.fits(p.m, p.k, p.n)) {
+        return Err(ProtocolError::Malformed("offline state does not fit the graph"));
+    }
+    Ok(())
+}
+
+/// Reshapes a party's flat tape slot into the effective `k × n` right
+/// operand of a secret×secret matmul. With `transpose_b` the slot stores
+/// `B` row-major as `n × k`; transposition is linear, so each party
+/// transposes its share locally and the matrix triple never sees the
+/// storage layout.
+fn reshape_rhs(slot: &Matrix, k: usize, n: usize, transpose_b: bool) -> Matrix {
+    let data = slot.as_slice().to_vec();
+    if transpose_b {
+        Matrix::new(n, k, data).transpose()
+    } else {
+        Matrix::new(k, n, data)
+    }
+}
+
+/// Offline phase, server half: walks the op sequence generating one §4.1
+/// triplet per linear op and one matrix Beaver triple per secret×secret
+/// matmul op over an established session. The Gilboa cross products behind
+/// matrix triples run over a dedicated IKNP pair, set up lazily at the
+/// first matmul op — graphs without matmul ops (MLP/CNN) send exactly the
+/// same bytes as before the extension.
 ///
 /// # Errors
 ///
 /// Returns [`ProtocolError`] on any subprotocol failure.
-pub fn server_offline_with<T: Transport>(
+pub fn server_offline_with<T: Transport, R: Rng + ?Sized>(
     ch: &mut T,
     mut session: ServerSession,
     model: &ServedModel,
     sg: &SecureGraph,
     exec: ExecConfig,
+    rng: &mut R,
 ) -> Result<ServerOffline, ProtocolError> {
     let config = &sg.graph().config;
     let (ring, scheme) = (config.ring, config.scheme.clone());
+    let plans = sg.plan();
+    let mut pi = 0usize;
     let mut us = Vec::with_capacity(sg.graph().linear_count());
-    for plan in sg.plan() {
-        let (weights, _) = model.linear_params(plan.linear);
-        if weights.len() != plan.m * plan.n {
-            return Err(ProtocolError::Dimension("model does not match graph"));
+    let mut mats = Vec::with_capacity(sg.graph().matmul_count());
+    let mut ots: Option<(IknpReceiver, IknpSender)> = None;
+    for (i, op) in sg.graph().ops.iter().enumerate() {
+        match op.resource() {
+            OpResource::Triplet { m, n } => {
+                let plan = plans[pi];
+                pi += 1;
+                let (weights, _) = model.linear_params(plan.linear);
+                if weights.len() != m * n {
+                    return Err(ProtocolError::Dimension("model does not match graph"));
+                }
+                ch.mark_phase(&format!("offline:op{i}/{}", plan.kind));
+                us.push(triplet_server_with(
+                    ch,
+                    &mut session.kk,
+                    weights,
+                    plan.m,
+                    plan.n,
+                    plan.o,
+                    &scheme,
+                    ring,
+                    exec.triplet(plan.mode),
+                )?);
+            }
+            OpResource::MatTriple { m, k, n } => {
+                ch.mark_phase(&format!("offline:op{i}/matmulss"));
+                let pair = match &mut ots {
+                    Some(pair) => pair,
+                    slot @ None => {
+                        let r = IknpReceiver::setup(ch, rng)?;
+                        let s = IknpSender::setup(ch, rng)?;
+                        slot.insert((r, s))
+                    }
+                };
+                mats.push(generate_matrix_p0(ch, &mut pair.0, &mut pair.1, m, k, n, ring, rng)?);
+            }
+            OpResource::FreshMask { .. } | OpResource::Output => {}
         }
-        ch.mark_phase(&format!("offline:op{}/{}", plan.op, plan.kind));
-        us.push(triplet_server_with(
-            ch,
-            &mut session.kk,
-            weights,
-            plan.m,
-            plan.n,
-            plan.o,
-            &scheme,
-            ring,
-            exec.triplet(plan.mode),
-        )?);
     }
-    Ok(ServerOffline { session, us, batch: sg.batch() })
+    Ok(ServerOffline { session, us, mats, batch: sg.batch() })
 }
 
-/// Offline phase, client half: walks the graph sampling the input mask,
-/// one fresh mask per re-sharing op, and one §4.1 triplet per linear op —
-/// the triplet randomness for each linear op is the client's share of its
-/// input (im2col'ed for conv), which the walk carries along.
+/// Offline phase, client half: walks the graph as a tape machine sampling
+/// the input mask, one fresh mask per re-sharing op, one §4.1 triplet per
+/// linear op, and one matrix Beaver triple per secret×secret matmul op.
+/// The tape carries the client's offline-known share of every activation:
+/// the input mask `R⁰`, `V` after each linear op (im2col'ed for conv), and
+/// the fresh mask after each re-sharing op — which is exactly the triplet
+/// randomness each downstream linear op consumes.
 ///
 /// # Errors
 ///
@@ -461,16 +612,19 @@ pub fn client_offline_with<T: Transport, R: Rng + ?Sized>(
     let batch = sg.batch();
     let mut rs = Vec::with_capacity(sg.graph().mask_count());
     let mut vs = Vec::with_capacity(sg.graph().linear_count());
-    let mut cur = Matrix::random(sg.graph().input_len(), batch, &ring, rng);
-    rs.push(cur.clone());
+    let mut mats = Vec::with_capacity(sg.graph().matmul_count());
+    let mut ots: Option<(IknpSender, IknpReceiver)> = None;
+    let mut tape: Vec<Matrix> = Vec::with_capacity(sg.graph().ops.len() + 1);
+    tape.push(Matrix::random(sg.graph().input_len(), batch, &ring, rng));
+    rs.push(tape[0].clone());
     for (i, op) in sg.graph().ops.iter().enumerate() {
-        match *op {
+        let out = match *op {
             LayerOp::Dense { out_dim, .. } => {
                 ch.mark_phase(&format!("offline:op{i}/dense"));
                 let v = triplet_client_with(
                     ch,
                     &mut session.kk,
-                    &cur,
+                    &tape[i],
                     out_dim,
                     &scheme,
                     ring,
@@ -478,11 +632,26 @@ pub fn client_offline_with<T: Transport, R: Rng + ?Sized>(
                     rng,
                 )?;
                 vs.push(v.clone());
-                cur = v;
+                v
+            }
+            LayerOp::Linear { out_dim, src, .. } => {
+                ch.mark_phase(&format!("offline:op{i}/linear"));
+                let v = triplet_client_with(
+                    ch,
+                    &mut session.kk,
+                    &tape[src],
+                    out_dim,
+                    &scheme,
+                    ring,
+                    exec.triplet(TripletMode::for_batch(batch)),
+                    rng,
+                )?;
+                vs.push(v.clone());
+                v
             }
             LayerOp::Conv { out_channels, in_shape, kh, kw, stride } => {
                 ch.mark_phase(&format!("offline:op{i}/conv"));
-                let r_col = im2col(cur.as_slice(), in_shape, kh, kw, stride);
+                let r_col = im2col(tape[i].as_slice(), in_shape, kh, kw, stride);
                 let mode = TripletMode::for_batch(r_col.cols());
                 let v = triplet_client_with(
                     ch,
@@ -495,17 +664,38 @@ pub fn client_offline_with<T: Transport, R: Rng + ?Sized>(
                     rng,
                 )?;
                 vs.push(v.clone());
-                cur = v;
+                v
             }
-            LayerOp::Relu { .. } | LayerOp::MaxPool { .. } => {
+            LayerOp::MatMulSS { m, k, n, .. } => {
+                ch.mark_phase(&format!("offline:op{i}/matmulss"));
+                let pair = match &mut ots {
+                    Some(pair) => pair,
+                    slot @ None => {
+                        // Mirror of the server's lazy setup: sender first.
+                        let s = IknpSender::setup(ch, rng)?;
+                        let r = IknpReceiver::setup(ch, rng)?;
+                        slot.insert((s, r))
+                    }
+                };
+                mats.push(generate_matrix_p1(ch, &mut pair.0, &mut pair.1, m, k, n, ring, rng)?);
+                let fresh = Matrix::random(m * n, batch, &ring, rng);
+                rs.push(fresh.clone());
+                fresh
+            }
+            LayerOp::Relu { .. }
+            | LayerOp::MaxPool { .. }
+            | LayerOp::Softmax { .. }
+            | LayerOp::Gelu { .. }
+            | LayerOp::LayerNorm { .. } => {
                 let fresh = Matrix::random(op.out_len(), batch, &ring, rng);
                 rs.push(fresh.clone());
-                cur = fresh;
+                fresh
             }
             LayerOp::Output { .. } => break,
-        }
+        };
+        tape.push(out);
     }
-    Ok(ClientOffline { session, rs, vs, batch })
+    Ok(ClientOffline { session, rs, vs, mats, batch })
 }
 
 /// Online phase, server half: receives the blinded input, walks the graph
@@ -526,13 +716,14 @@ pub fn server_online_to_logits<T: Transport>(
     sg: &SecureGraph,
     exec: ExecConfig,
 ) -> Result<(ServerSession, Matrix), ProtocolError> {
-    let ServerOffline { mut session, us, batch } = state;
+    let ServerOffline { mut session, us, mats, batch } = state;
     let config = &sg.graph().config;
-    let (ring, fw) = (config.ring, config.weight_frac_bits);
+    let (ring, f, fw) = (config.ring, config.frac_bits, config.weight_frac_bits);
     if batch != sg.batch() {
         return Err(ProtocolError::Malformed("offline state batch mismatch"));
     }
     check_shapes(&us, &sg.triplet_shapes(), "offline state does not fit the graph")?;
+    check_mat_shapes(&mats, &sg.matmul_plans())?;
 
     ch.mark_phase("online:input");
     let n0 = sg.graph().input_len();
@@ -540,35 +731,86 @@ pub fn server_online_to_logits<T: Transport>(
     if x0_bytes.len() != n0 * batch * ring.byte_len() {
         return Err(ProtocolError::Malformed("blinded input length"));
     }
-    let mut cur = Matrix::new(n0, batch, ring.decode_slice(&x0_bytes));
+    let mut tape: Vec<Matrix> = Vec::with_capacity(sg.graph().ops.len() + 1);
+    tape.push(Matrix::new(n0, batch, ring.decode_slice(&x0_bytes)));
 
-    let mut li = 0usize;
+    let (mut li, mut qi) = (0usize, 0usize);
     for (i, op) in sg.graph().ops.iter().enumerate() {
         ch.mark_phase(&format!("online:op{i}/{}", op.kind()));
-        match *op {
+        let out = match *op {
             LayerOp::Dense { out_dim, in_dim } => {
                 let (weights, bias) = model.linear_params(li);
-                cur = linear_share(weights, bias, out_dim, in_dim, &cur, &us[li], ring);
+                let y = linear_share(weights, bias, out_dim, in_dim, &tape[i], &us[li], ring);
                 li += 1;
+                y
+            }
+            LayerOp::Linear { out_dim, in_dim, src } => {
+                let (weights, bias) = model.linear_params(li);
+                let y = linear_share(weights, bias, out_dim, in_dim, &tape[src], &us[li], ring);
+                li += 1;
+                y
             }
             LayerOp::Conv { out_channels, in_shape, kh, kw, stride } => {
                 let (weights, bias) = model.linear_params(li);
-                let x_col = im2col(cur.as_slice(), in_shape, kh, kw, stride);
+                let x_col = im2col(tape[i].as_slice(), in_shape, kh, kw, stride);
                 let patch = in_shape.channels * kh * kw;
-                cur = linear_share(weights, bias, out_channels, patch, &x_col, &us[li], ring);
+                let y = linear_share(weights, bias, out_channels, patch, &x_col, &us[li], ring);
                 li += 1;
+                y
             }
             LayerOp::Relu { dim } => {
-                let z0 = relu_server(ch, &mut session.yao, cur.as_slice(), ring, fw, exec.variant)?;
-                cur = Matrix::new(dim, batch, z0);
+                let z0 =
+                    relu_server(ch, &mut session.yao, tape[i].as_slice(), ring, fw, exec.variant)?;
+                Matrix::new(dim, batch, z0)
             }
             LayerOp::MaxPool { shape, window } => {
                 let pooled =
-                    maxpool_server(ch, &mut session.yao, cur.as_slice(), shape, window, ring)?;
-                cur = Matrix::column(pooled);
+                    maxpool_server(ch, &mut session.yao, tape[i].as_slice(), shape, window, ring)?;
+                Matrix::column(pooled)
             }
-            LayerOp::Output { .. } => return Ok((session, cur)),
-        }
+            LayerOp::MatMulSS { m, k, n, transpose_b, shift, a_src, b_src } => {
+                let a = Matrix::new(m, k, tape[a_src].as_slice().to_vec());
+                let b = reshape_rhs(&tape[b_src], k, n, transpose_b);
+                let p0 = mul_matrix_shares(ch, &mats[qi], &a, &b, ring, 0)?;
+                qi += 1;
+                let z0 = matmul_close_server(ch, &mut session.yao, p0.as_slice(), ring, shift)?;
+                Matrix::new(m * n, batch, z0)
+            }
+            LayerOp::Softmax { rows, cols, shift } => {
+                let z0 = softmax_server(
+                    ch,
+                    &mut session.yao,
+                    tape[i].as_slice(),
+                    rows,
+                    cols,
+                    ring,
+                    shift,
+                    f,
+                )?;
+                Matrix::new(rows * cols, batch, z0)
+            }
+            LayerOp::Gelu { dim, shift } => {
+                let z0 = gelu_server(ch, &mut session.yao, tape[i].as_slice(), ring, shift, f)?;
+                Matrix::new(dim, batch, z0)
+            }
+            LayerOp::LayerNorm { tokens, dim, a_src, b_src, shift_a, shift_b } => {
+                let z0 = layernorm_server(
+                    ch,
+                    &mut session.yao,
+                    tape[a_src].as_slice(),
+                    tape[b_src].as_slice(),
+                    tokens,
+                    dim,
+                    ring,
+                    shift_a,
+                    shift_b,
+                    f,
+                )?;
+                Matrix::new(tokens * dim, batch, z0)
+            }
+            LayerOp::Output { .. } => return Ok((session, tape[i].clone())),
+        };
+        tape.push(out);
     }
     Err(ProtocolError::Dimension("graph missing output op"))
 }
@@ -591,14 +833,15 @@ pub fn client_online_to_logits<T: Transport, R: Rng + ?Sized>(
     x: &Matrix,
     rng: &mut R,
 ) -> Result<(ClientSession, Matrix), ProtocolError> {
-    let ClientOffline { mut session, rs, vs, batch } = state;
+    let ClientOffline { mut session, rs, vs, mats, batch } = state;
     let config = &sg.graph().config;
-    let (ring, fw) = (config.ring, config.weight_frac_bits);
+    let (ring, f, fw) = (config.ring, config.frac_bits, config.weight_frac_bits);
     if batch != sg.batch() {
         return Err(ProtocolError::Malformed("offline state batch mismatch"));
     }
     check_shapes(&rs, &sg.mask_shapes(), "offline state does not fit the graph")?;
     check_shapes(&vs, &sg.triplet_shapes(), "offline state does not fit the graph")?;
+    check_mat_shapes(&mats, &sg.matmul_plans())?;
     if x.rows() != sg.graph().input_len() || x.cols() != batch {
         return Err(ProtocolError::Dimension("input dimension mismatch"));
     }
@@ -607,48 +850,115 @@ pub fn client_online_to_logits<T: Transport, R: Rng + ?Sized>(
     let x0 = x.sub(&rs[0], &ring);
     ch.send_frame(&BlindedInput(ring.encode_slice(x0.as_slice())))?;
 
-    let (mut li, mut mi) = (0usize, 1usize);
-    let mut cur = &rs[0];
+    let (mut li, mut mi, mut qi) = (0usize, 1usize, 0usize);
+    let mut tape: Vec<&Matrix> = Vec::with_capacity(sg.graph().ops.len() + 1);
+    tape.push(&rs[0]);
     for (i, op) in sg.graph().ops.iter().enumerate() {
         ch.mark_phase(&format!("online:op{i}/{}", op.kind()));
-        match *op {
-            LayerOp::Dense { .. } | LayerOp::Conv { .. } => {
-                cur = &vs[li];
+        let out = match *op {
+            LayerOp::Dense { .. } | LayerOp::Linear { .. } | LayerOp::Conv { .. } => {
                 li += 1;
+                &vs[li - 1]
             }
             LayerOp::Relu { .. } => {
                 relu_client(
                     ch,
                     &mut session.yao,
-                    cur.as_slice(),
+                    tape[i].as_slice(),
                     rs[mi].as_slice(),
                     ring,
                     fw,
                     exec.variant,
                     rng,
                 )?;
-                cur = &rs[mi];
                 mi += 1;
+                &rs[mi - 1]
             }
             LayerOp::MaxPool { shape, window } => {
                 maxpool_client(
                     ch,
                     &mut session.yao,
-                    cur.as_slice(),
+                    tape[i].as_slice(),
                     rs[mi].as_slice(),
                     shape,
                     window,
                     ring,
                     rng,
                 )?;
-                cur = &rs[mi];
                 mi += 1;
+                &rs[mi - 1]
+            }
+            LayerOp::MatMulSS { m, k, n, transpose_b, shift, a_src, b_src } => {
+                let a = Matrix::new(m, k, tape[a_src].as_slice().to_vec());
+                let b = reshape_rhs(tape[b_src], k, n, transpose_b);
+                let p1 = mul_matrix_shares(ch, &mats[qi], &a, &b, ring, 1)?;
+                qi += 1;
+                matmul_close_client(
+                    ch,
+                    &mut session.yao,
+                    p1.as_slice(),
+                    rs[mi].as_slice(),
+                    ring,
+                    shift,
+                    rng,
+                )?;
+                mi += 1;
+                &rs[mi - 1]
+            }
+            LayerOp::Softmax { rows, cols, shift } => {
+                softmax_client(
+                    ch,
+                    &mut session.yao,
+                    tape[i].as_slice(),
+                    rs[mi].as_slice(),
+                    rows,
+                    cols,
+                    ring,
+                    shift,
+                    f,
+                    rng,
+                )?;
+                mi += 1;
+                &rs[mi - 1]
+            }
+            LayerOp::Gelu { shift, .. } => {
+                gelu_client(
+                    ch,
+                    &mut session.yao,
+                    tape[i].as_slice(),
+                    rs[mi].as_slice(),
+                    ring,
+                    shift,
+                    f,
+                    rng,
+                )?;
+                mi += 1;
+                &rs[mi - 1]
+            }
+            LayerOp::LayerNorm { tokens, dim, a_src, b_src, shift_a, shift_b } => {
+                layernorm_client(
+                    ch,
+                    &mut session.yao,
+                    tape[a_src].as_slice(),
+                    tape[b_src].as_slice(),
+                    rs[mi].as_slice(),
+                    tokens,
+                    dim,
+                    ring,
+                    shift_a,
+                    shift_b,
+                    f,
+                    rng,
+                )?;
+                mi += 1;
+                &rs[mi - 1]
             }
             LayerOp::Output { .. } => {
-                let y1 = cur.clone();
+                let y1 = tape[i].clone();
                 return Ok((session, y1));
             }
-        }
+        };
+        tape.push(out);
     }
     Err(ProtocolError::Dimension("graph missing output op"))
 }

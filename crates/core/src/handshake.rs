@@ -62,7 +62,13 @@ pub const HANDSHAKE_MAGIC: [u8; 4] = *b"ABN2";
 /// frame layout is unchanged — a v3 peer simply never sets the bit — but
 /// the version is bumped because a v4 transcript with the bit set is
 /// unreadable to v3.
-pub const PROTOCOL_VERSION: u16 = 4;
+///
+/// v5: the op pipeline is extensible — graphs may contain secret×secret
+/// matmul (matrix Beaver triplets, `MATMUL_OPENINGS` frames), softmax,
+/// GELU, and layer-norm ops, and offline bundles use layout version 3
+/// (matrix-triple sections). MLP/CNN transcripts are byte-identical to
+/// v4 apart from the version field and the bundle layout byte.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Length of the hello frame in bytes.
 pub const HELLO_LEN: usize = 56;

@@ -28,6 +28,7 @@ use crate::graph::{
     PublicModel, SecureGraph, ServedModel,
 };
 use crate::handshake::{handshake_client_ext, handshake_server_ext, HelloRequest, SessionParams};
+use crate::matbeaver::MatrixTriple;
 use crate::relu::ReluVariant;
 use crate::session::{ClientSession, ServerSession};
 use crate::ProtocolError;
@@ -35,6 +36,7 @@ use abnn2_math::{Matrix, Ring};
 use abnn2_net::Transport;
 use abnn2_nn::graph::LayerGraph;
 use abnn2_nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
+use abnn2_nn::transformer::QuantizedTransformer;
 use abnn2_ot::OfflineMode;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -63,6 +65,50 @@ impl PublicModelInfo {
     }
 }
 
+/// The public description of a served transformer encoder: shape
+/// hyper-parameters and the validated layer graph, never weights. Unlike
+/// [`PublicModelInfo`] it stores the graph it was derived from (transformer
+/// graph construction is fallible; deriving once keeps `graph()`
+/// infallible and the handshake digests stable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicTransformerInfo {
+    /// Sequence length (tokens).
+    pub seq: usize,
+    /// Model width per token.
+    pub d: usize,
+    /// Feed-forward hidden width per token.
+    pub d_ff: usize,
+    /// Classifier output classes.
+    pub n_classes: usize,
+    graph: LayerGraph,
+}
+
+impl From<&QuantizedTransformer> for PublicTransformerInfo {
+    fn from(model: &QuantizedTransformer) -> Self {
+        PublicTransformerInfo {
+            seq: model.seq,
+            d: model.d,
+            d_ff: model.d_ff,
+            n_classes: model.n_classes,
+            graph: model.graph().clone(),
+        }
+    }
+}
+
+impl PublicTransformerInfo {
+    /// The layer graph this architecture lowers to.
+    #[must_use]
+    pub fn graph(&self) -> LayerGraph {
+        self.graph.clone()
+    }
+
+    /// Fixed-point pipeline hyper-parameters.
+    #[must_use]
+    pub fn config(&self) -> &QuantConfig {
+        &self.graph.config
+    }
+}
+
 /// `W·X + b + U` — the server's online share of a dense layer; delegates to
 /// the op-generic [`crate::graph::linear_share`]. Exposed so baseline
 /// protocols (MiniONN, QUOTIENT) can share the identical online linear step
@@ -78,6 +124,7 @@ pub fn layer_share(layer: &QuantizedDense, x: &Matrix, u: &Matrix, ring: Ring) -
 pub struct ServerOffline {
     pub(crate) session: ServerSession,
     pub(crate) us: Vec<Matrix>,
+    pub(crate) mats: Vec<MatrixTriple>,
     pub(crate) batch: usize,
 }
 
@@ -88,14 +135,14 @@ impl ServerOffline {
     /// a connection loss; the cheap per-connection session setup does not.
     #[must_use]
     pub fn from_bundle(session: ServerSession, bundle: ServerBundle) -> Self {
-        ServerOffline { session, us: bundle.us, batch: bundle.batch }
+        ServerOffline { session, us: bundle.us, mats: bundle.mats, batch: bundle.batch }
     }
 
     /// Copies the connection-independent part of this state into a bundle
     /// (for checkpointing; the session is consumed by the online phase).
     #[must_use]
     pub fn to_bundle(&self) -> ServerBundle {
-        ServerBundle { us: self.us.clone(), batch: self.batch }
+        ServerBundle { us: self.us.clone(), mats: self.mats.clone(), batch: self.batch }
     }
 }
 
@@ -107,6 +154,7 @@ pub struct ClientOffline {
     pub(crate) session: ClientSession,
     pub(crate) rs: Vec<Matrix>,
     pub(crate) vs: Vec<Matrix>,
+    pub(crate) mats: Vec<MatrixTriple>,
     pub(crate) batch: usize,
 }
 
@@ -115,13 +163,24 @@ impl ClientOffline {
     /// bundle (the reconnect-and-resume path, or a server-dealt bundle).
     #[must_use]
     pub fn from_bundle(session: ClientSession, bundle: ClientBundle) -> Self {
-        ClientOffline { session, rs: bundle.rs, vs: bundle.vs, batch: bundle.batch }
+        ClientOffline {
+            session,
+            rs: bundle.rs,
+            vs: bundle.vs,
+            mats: bundle.mats,
+            batch: bundle.batch,
+        }
     }
 
     /// Copies the connection-independent part of this state into a bundle.
     #[must_use]
     pub fn to_bundle(&self) -> ClientBundle {
-        ClientBundle { rs: self.rs.clone(), vs: self.vs.clone(), batch: self.batch }
+        ClientBundle {
+            rs: self.rs.clone(),
+            vs: self.vs.clone(),
+            mats: self.mats.clone(),
+            batch: self.batch,
+        }
     }
 }
 
@@ -183,7 +242,9 @@ impl SecureServer {
     pub fn public_info(&self) -> PublicModelInfo {
         match &self.model {
             ServedModel::Mlp(net) => PublicModelInfo::from(net),
-            ServedModel::Cnn(_) => panic!("public_info is MLP-only; use public_model"),
+            ServedModel::Cnn(_) | ServedModel::Transformer { .. } => {
+                panic!("public_info is MLP-only; use public_model")
+            }
         }
     }
 
@@ -249,25 +310,28 @@ impl SecureServer {
         rng: &mut R,
     ) -> Result<ServerOffline, ProtocolError> {
         let session = ServerSession::setup_with(ch, mode, rng)?;
-        self.offline_with(ch, session, batch)
+        self.offline_with(ch, session, batch, rng)
     }
 
     /// Triplet generation over an already-established session. Split from
     /// session setup so a serving layer can attribute the two to separate
     /// instrumentation phases (base OTs are per-connection and cheap;
-    /// triplets are the expensive, poolable part).
+    /// triplets are the expensive, poolable part). The `rng` feeds the
+    /// server's matrix-triple shares for secret×secret matmul ops; plain
+    /// MLP/CNN graphs never draw from it.
     ///
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on any subprotocol failure.
-    pub fn offline_with<T: Transport>(
+    pub fn offline_with<T: Transport, R: Rng + ?Sized>(
         &self,
         ch: &mut T,
         session: ServerSession,
         batch: usize,
+        rng: &mut R,
     ) -> Result<ServerOffline, ProtocolError> {
         let sg = self.secure_graph(batch)?;
-        server_offline_with(ch, session, &self.model, &sg, self.exec)
+        server_offline_with(ch, session, &self.model, &sg, self.exec, rng)
     }
 
     /// Online phase: consumes offline state, processes one batch, opening
@@ -403,7 +467,9 @@ impl SecureClient {
     pub fn public_info(&self) -> &PublicModelInfo {
         match &self.model {
             PublicModel::Mlp(info) => info,
-            PublicModel::Cnn(_) => panic!("public_info is MLP-only; use public_model"),
+            PublicModel::Cnn(_) | PublicModel::Transformer(_) => {
+                panic!("public_info is MLP-only; use public_model")
+            }
         }
     }
 

@@ -55,7 +55,9 @@ pub mod frames;
 pub mod graph;
 pub mod handshake;
 pub mod inference;
+pub mod matbeaver;
 pub mod matmul;
+pub mod nonlinear;
 pub mod relu;
 pub mod resilient;
 pub mod session;
@@ -76,7 +78,8 @@ pub use driver::{
 pub use error::ProtocolError;
 pub use graph::{CommCeiling, PublicModel, SecureGraph, ServedModel, TripletPlan};
 pub use handshake::{HelloReply, HelloRequest, ResumeToken, SessionParams, PROTOCOL_VERSION};
-pub use inference::{PublicModelInfo, SecureClient, SecureServer};
+pub use inference::{PublicModelInfo, PublicTransformerInfo, SecureClient, SecureServer};
+pub use matbeaver::MatrixTriple;
 pub use matmul::TripletMode;
 pub use relu::ReluVariant;
 pub use resilient::{CheckpointStore, ResilientClient, ResilientServer, RunReport};

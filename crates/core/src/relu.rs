@@ -34,11 +34,15 @@ pub enum ReluVariant {
     Optimized,
 }
 
-fn words_to_bits(words: &[u64], bits: usize) -> Vec<bool> {
+/// Flattens ring words into the little-endian bit vector a Yao circuit
+/// consumes. Shared with the nonlinear-op family in [`crate::nonlinear`].
+pub(crate) fn words_to_bits(words: &[u64], bits: usize) -> Vec<bool> {
     words.iter().flat_map(|&w| u64_to_bits(w, bits)).collect()
 }
 
-fn bits_to_words(bits_vec: &[bool], bits: usize) -> Vec<u64> {
+/// Inverse of [`words_to_bits`]: repacks circuit output bits into ring
+/// words. Shared with [`crate::nonlinear`].
+pub(crate) fn bits_to_words(bits_vec: &[bool], bits: usize) -> Vec<u64> {
     bits_vec.chunks(bits).map(bits_to_u64).collect()
 }
 

@@ -536,7 +536,7 @@ mod tests {
     }
 
     fn dummy_bundle(tag: u64) -> ServerBundle {
-        ServerBundle { us: vec![Matrix::new(1, 1, vec![tag])], batch: 1 }
+        ServerBundle { us: vec![Matrix::new(1, 1, vec![tag])], mats: Vec::new(), batch: 1 }
     }
 
     #[test]

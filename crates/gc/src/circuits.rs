@@ -385,6 +385,348 @@ pub fn max(b: &mut CircuitBuilder, x: &Word, y: &Word) -> Word {
     mux(b, x_less, y, x)
 }
 
+// ---------------------------------------------------------------------------
+// Arithmetic word library for the nonlinear op family (Softmax/GELU/
+// LayerNorm). Every builder here mirrors, bit for bit, a reference function
+// in `abnn2_math::fixedops`, which is what makes secure evaluation of the
+// transformer ops exact against the plaintext oracle.
+// ---------------------------------------------------------------------------
+
+/// A constant-0 wire derived from any existing wire (`w ⊕ w`). Free: XOR.
+pub fn zero_wire(b: &mut CircuitBuilder, anchor: WireId) -> WireId {
+    b.xor(anchor, anchor)
+}
+
+/// A word holding the public constant `value`. The circuit model has no
+/// constant wires, but `w ⊕ w = 0` and `¬0 = 1` synthesize them for free —
+/// no garbler-supplied inputs needed (unlike the argmax index constants,
+/// which predate this helper).
+pub fn const_word(b: &mut CircuitBuilder, anchor: WireId, value: u64, bits: usize) -> Word {
+    let zero = zero_wire(b, anchor);
+    let one = b.inv(zero);
+    Word((0..bits).map(|i| if (value >> i) & 1 == 1 { one } else { zero }).collect())
+}
+
+/// Left shift by `k` with zero fill, wrapping at the word width. Free.
+///
+/// # Panics
+///
+/// Panics if `k >= bits` (nothing would remain).
+pub fn shl_word(b: &mut CircuitBuilder, x: &Word, k: usize) -> Word {
+    let n = x.bits();
+    assert!(k < n, "shift {k} must be smaller than width {n}");
+    let zero = zero_wire(b, x.0[0]);
+    let mut out = vec![zero; k];
+    out.extend_from_slice(&x.0[..n - k]);
+    Word(out)
+}
+
+/// ℓ-bit wrapping product (schoolbook shift-and-add, ~ℓ²/2 + ℓ² AND gates).
+///
+/// # Panics
+///
+/// Panics if the word widths differ.
+pub fn mul_word(b: &mut CircuitBuilder, x: &Word, y: &Word) -> Word {
+    assert_eq!(x.bits(), y.bits(), "word width mismatch");
+    let n = x.bits();
+    let zero = zero_wire(b, x.0[0]);
+    let mut acc = Word(vec![zero; n]);
+    for i in 0..n {
+        let mut pp = vec![zero; n];
+        for j in 0..n - i {
+            pp[i + j] = b.and(y.0[i], x.0[j]);
+        }
+        acc = add(b, &acc, &Word(pp));
+    }
+    acc
+}
+
+/// Unsigned ℓ-bit restoring division. A zero divisor yields the all-ones
+/// quotient (every trial subtraction succeeds), matching
+/// `fixedops::udiv`.
+///
+/// # Panics
+///
+/// Panics if the word widths differ.
+pub fn udiv_word(b: &mut CircuitBuilder, x: &Word, y: &Word) -> Word {
+    assert_eq!(x.bits(), y.bits(), "word width mismatch");
+    let n = x.bits();
+    let zero = zero_wire(b, x.0[0]);
+    let mut rem = Word(vec![zero; n]);
+    let mut q = vec![zero; n];
+    for i in (0..n).rev() {
+        // Shift the next dividend bit into the remainder; the bit shifted
+        // out the top still matters, so compare in n+2 bits (both operands
+        // zero-extended — the subtraction then cannot wrap).
+        let top = rem.0[n - 1];
+        let mut sh = Vec::with_capacity(n);
+        sh.push(x.0[i]);
+        sh.extend_from_slice(&rem.0[..n - 1]);
+        let sh = Word(sh);
+        let a_ext = Word(sh.0.iter().copied().chain([top, zero]).collect());
+        let y_ext = Word(y.0.iter().copied().chain([zero, zero]).collect());
+        let d = sub(b, &a_ext, &y_ext);
+        let ge = b.inv(d.msb());
+        q[i] = ge;
+        let d_low = Word(d.0[..n].to_vec());
+        rem = mux(b, ge, &d_low, &sh);
+    }
+    Word(q)
+}
+
+/// Signed division truncating toward zero, as a sign/magnitude wrapper
+/// around [`udiv_word`]. The divisor is interpreted unsigned, matching
+/// `fixedops::sdiv`.
+pub fn sdiv_word(b: &mut CircuitBuilder, x: &Word, y: &Word) -> Word {
+    let n = x.bits();
+    let neg = x.msb();
+    let zero = const_word(b, x.0[0], 0, n);
+    let neg_x = sub(b, &zero, x);
+    let mag = mux(b, neg, &neg_x, x);
+    let q = udiv_word(b, &mag, y);
+    let neg_q = sub(b, &zero, &q);
+    mux(b, neg, &neg_q, &q)
+}
+
+/// Floor square root of the unsigned lift (digit-by-digit base-4 method,
+/// the same algorithm `fixedops::isqrt` runs in plain integers). Output is
+/// an ℓ-bit word whose high half is zero.
+pub fn isqrt_word(b: &mut CircuitBuilder, x: &Word) -> Word {
+    let n = x.bits();
+    let half = n.div_ceil(2);
+    // Working width: rem ≤ 2·root keeps every intermediate under 2^(half+3).
+    let w = half + 3;
+    let zero = zero_wire(b, x.0[0]);
+    let one = b.inv(zero);
+    let mut rem = Word(vec![zero; w]);
+    let mut root = Word(vec![zero; w]);
+    for i in (0..half).rev() {
+        let b1 = if 2 * i + 1 < n { x.0[2 * i + 1] } else { zero };
+        let b0 = x.0[2 * i];
+        let mut rem2 = vec![b0, b1];
+        rem2.extend_from_slice(&rem.0[..w - 2]);
+        let rem2 = Word(rem2);
+        let mut trial = vec![one, zero];
+        trial.extend_from_slice(&root.0[..w - 2]);
+        let trial = Word(trial);
+        let a_ext = Word(rem2.0.iter().copied().chain([zero]).collect());
+        let t_ext = Word(trial.0.iter().copied().chain([zero]).collect());
+        let d = sub(b, &a_ext, &t_ext);
+        let ge = b.inv(d.msb());
+        rem = mux(b, ge, &Word(d.0[..w].to_vec()), &rem2);
+        let mut r2 = vec![ge];
+        r2.extend_from_slice(&root.0[..w - 1]);
+        root = Word(r2);
+    }
+    let mut out: Vec<WireId> = root.0.iter().copied().take(n).collect();
+    out.resize(n, zero);
+    Word(out)
+}
+
+/// Clamp `x` into the signed interval `[lo, hi]` (2ℓ comparisons + muxes).
+pub fn clamp_word(b: &mut CircuitBuilder, x: &Word, lo: &Word, hi: &Word) -> Word {
+    let below = lt_signed(b, x, lo);
+    let t = mux(b, below, lo, x);
+    let above = lt_signed(b, hi, &t);
+    mux(b, above, hi, &t)
+}
+
+/// `e^u ≈ ((1 + u/4)⁺)⁴` for `u ≤ 0` at `f` fraction bits — the circuit
+/// twin of `fixedops::exp_pos`.
+fn exp_pos_word(b: &mut CircuitBuilder, u: &Word, f: usize) -> Word {
+    let n = u.bits();
+    let one = const_word(b, u.0[0], 1 << f, n);
+    let q = sar_word(u, 2);
+    let s = add(b, &one, &q);
+    let t = relu(b, &s);
+    let t2full = mul_word(b, &t, &t);
+    let t2 = sar_word(&t2full, f);
+    let t4full = mul_word(b, &t2, &t2);
+    sar_word(&t4full, f)
+}
+
+/// Fixed-point GELU via hard sigmoid — the circuit twin of
+/// `fixedops::gelu`.
+fn gelu_word(b: &mut CircuitBuilder, v: &Word, f: usize) -> Word {
+    let n = v.bits();
+    let one = const_word(b, v.0[0], 1 << f, n);
+    let three = const_word(b, v.0[0], 3 << f, n);
+    let inv6 = const_word(b, v.0[0], ((1u64 << f) + 3) / 6, n);
+    let zero = const_word(b, v.0[0], 0, n);
+    let a = add(b, v, &three);
+    let prod = mul_word(b, &a, &inv6);
+    let s = sar_word(&prod, f);
+    let s = clamp_word(b, &s, &zero, &one);
+    let g = mul_word(b, v, &s);
+    sar_word(&g, f)
+}
+
+/// Fixed-point softmax over one row — the circuit twin of
+/// `fixedops::softmax_row`.
+fn softmax_row_words(b: &mut CircuitBuilder, vs: &[Word], f: usize) -> Vec<Word> {
+    let mut m = vs[0].clone();
+    for v in &vs[1..] {
+        m = max(b, &m, v);
+    }
+    let es: Vec<Word> = vs
+        .iter()
+        .map(|v| {
+            let u = sub(b, v, &m);
+            exp_pos_word(b, &u, f)
+        })
+        .collect();
+    let mut sum = es[0].clone();
+    for e in &es[1..] {
+        sum = add(b, &sum, e);
+    }
+    es.iter()
+        .map(|e| {
+            let num = shl_word(b, e, f);
+            udiv_word(b, &num, &sum)
+        })
+        .collect()
+}
+
+/// Fixed-point LayerNorm over one token — the circuit twin of
+/// `fixedops::layernorm_token`. `xs` are the already-reconstructed,
+/// already-shifted token values.
+fn layernorm_token_words(b: &mut CircuitBuilder, xs: &[Word], f: usize) -> Vec<Word> {
+    let d = xs.len();
+    assert!(d.is_power_of_two(), "layernorm width must be a power of two");
+    let log2d = d.trailing_zeros() as usize;
+    let n = xs[0].bits();
+    let mut sum = xs[0].clone();
+    for x in &xs[1..] {
+        sum = add(b, &sum, x);
+    }
+    let mu = sar_word(&sum, log2d);
+    let cs: Vec<Word> = xs.iter().map(|x| sub(b, x, &mu)).collect();
+    let mut sq: Option<Word> = None;
+    for c in &cs {
+        let c2 = mul_word(b, c, c);
+        sq = Some(match sq {
+            None => c2,
+            Some(acc) => add(b, &acc, &c2),
+        });
+    }
+    let var = sar_word(&sq.expect("token non-empty"), log2d);
+    let one = const_word(b, xs[0].0[0], 1, n);
+    let vp1 = add(b, &var, &one);
+    let sigma = isqrt_word(b, &vp1);
+    cs.iter()
+        .map(|c| {
+            let num = shl_word(b, c, f);
+            sdiv_word(b, &num, &sigma)
+        })
+        .collect()
+}
+
+/// Softmax-and-reshare circuit for the `Softmax` op: reconstructs
+/// `rows × cols` shared logits, truncates each by `shift`, applies the
+/// fixed-point row softmax at `f` fraction bits, and re-shares.
+///
+/// Garbler inputs: all `y₁` words (row-major), then all `z₁` mask words;
+/// evaluator inputs: all `y₀` words; outputs: all `z₀ = p − z₁` words.
+#[must_use]
+pub fn softmax_reshare_vec_circuit(
+    bits: usize,
+    rows: usize,
+    cols: usize,
+    shift: usize,
+    f: usize,
+) -> Circuit {
+    assert!(rows > 0 && cols > 0, "softmax needs a non-empty matrix");
+    let n = rows * cols;
+    let mut b = CircuitBuilder::new();
+    let y1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let z1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let y0: Vec<Word> = (0..n).map(|_| b.evaluator_word(bits)).collect();
+    let mut outs = Vec::with_capacity(n * bits);
+    for r in 0..rows {
+        let vs: Vec<Word> = (0..cols)
+            .map(|c| {
+                let j = r * cols + c;
+                let y = add(&mut b, &y0[j], &y1[j]);
+                sar_word(&y, shift)
+            })
+            .collect();
+        let ps = softmax_row_words(&mut b, &vs, f);
+        for (c, p) in ps.iter().enumerate() {
+            let z0 = sub(&mut b, p, &z1[r * cols + c]);
+            outs.extend(z0.0.clone());
+        }
+    }
+    b.build(outs)
+}
+
+/// GELU-and-reshare circuit for the `Gelu` op:
+/// `z₀ = gelu((y₀ + y₁) ≫ₐ shift) − z₁` per neuron, gelu at `f` fraction
+/// bits.
+///
+/// Garbler inputs: all `y₁` then all `z₁`; evaluator: all `y₀`.
+#[must_use]
+pub fn gelu_trunc_reshare_vec_circuit(bits: usize, n: usize, shift: usize, f: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let y1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let z1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let y0: Vec<Word> = (0..n).map(|_| b.evaluator_word(bits)).collect();
+    let mut outs = Vec::with_capacity(n * bits);
+    for j in 0..n {
+        let y = add(&mut b, &y0[j], &y1[j]);
+        let v = sar_word(&y, shift);
+        let g = gelu_word(&mut b, &v, f);
+        let z0 = sub(&mut b, &g, &z1[j]);
+        outs.extend(z0.0);
+    }
+    b.build(outs)
+}
+
+/// LayerNorm-and-reshare circuit for the `LayerNorm` op over `tokens`
+/// tokens of `d` values each (`d` a power of two). The op folds a residual
+/// add at mismatched scales into the normalization:
+/// `x = ((a₀+a₁) ≫ₐ shift_a) + ((b₀+b₁) ≫ₐ shift_b)` per element, then each
+/// token is normalized at `f` fraction bits and re-shared.
+///
+/// Garbler inputs: all `a₁`, all `b₁`, then all `z₁` (token-major);
+/// evaluator inputs: all `a₀`, then all `b₀`.
+#[must_use]
+pub fn layernorm_reshare_vec_circuit(
+    bits: usize,
+    tokens: usize,
+    d: usize,
+    shift_a: usize,
+    shift_b: usize,
+    f: usize,
+) -> Circuit {
+    assert!(tokens > 0 && d > 0, "layernorm needs a non-empty matrix");
+    let n = tokens * d;
+    let mut b = CircuitBuilder::new();
+    let a1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let b1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let z1: Vec<Word> = (0..n).map(|_| b.garbler_word(bits)).collect();
+    let a0: Vec<Word> = (0..n).map(|_| b.evaluator_word(bits)).collect();
+    let b0: Vec<Word> = (0..n).map(|_| b.evaluator_word(bits)).collect();
+    let mut outs = Vec::with_capacity(n * bits);
+    for t in 0..tokens {
+        let xs: Vec<Word> = (0..d)
+            .map(|i| {
+                let j = t * d + i;
+                let a = add(&mut b, &a0[j], &a1[j]);
+                let bb = add(&mut b, &b0[j], &b1[j]);
+                let at = sar_word(&a, shift_a);
+                let bt = sar_word(&bb, shift_b);
+                add(&mut b, &at, &bt)
+            })
+            .collect();
+        let ys = layernorm_token_words(&mut b, &xs, f);
+        for (i, y) in ys.iter().enumerate() {
+            let z0 = sub(&mut b, y, &z1[t * d + i]);
+            outs.extend(z0.0.clone());
+        }
+    }
+    b.build(outs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -575,6 +917,171 @@ mod tests {
                     .max()
                     .expect("non-empty");
                 prop_assert_eq!(ring.to_i64(ring.add(z0, z1[w])), expect, "window {}", w);
+            }
+        }
+
+        #[test]
+        fn mul_matches_ring(bits in 2usize..=16, a: u64, b: u64) {
+            let ring = Ring::new(bits as u32);
+            let (a, b) = (ring.reduce(a), ring.reduce(b));
+            let mut builder = CircuitBuilder::new();
+            let x = builder.garbler_word(bits);
+            let y = builder.evaluator_word(bits);
+            let m = mul_word(&mut builder, &x, &y);
+            let c = builder.build(m.0);
+            prop_assert_eq!(eval_two_words(&c, &[a], &[b], bits), ring.mul(a, b));
+        }
+
+        #[test]
+        fn udiv_matches_fixedops(bits in 2usize..=16, a: u64, b: u64) {
+            let ring = Ring::new(bits as u32);
+            let (a, b) = (ring.reduce(a), ring.reduce(b));
+            let mut builder = CircuitBuilder::new();
+            let x = builder.garbler_word(bits);
+            let y = builder.evaluator_word(bits);
+            let q = udiv_word(&mut builder, &x, &y);
+            let c = builder.build(q.0);
+            prop_assert_eq!(
+                eval_two_words(&c, &[a], &[b], bits),
+                abnn2_math::fixedops::udiv(&ring, a, b)
+            );
+        }
+
+        #[test]
+        fn sdiv_matches_fixedops(bits in 2usize..=16, a: u64, b: u64) {
+            let ring = Ring::new(bits as u32);
+            let (a, b) = (ring.reduce(a), ring.reduce(b));
+            let mut builder = CircuitBuilder::new();
+            let x = builder.garbler_word(bits);
+            let y = builder.evaluator_word(bits);
+            let q = sdiv_word(&mut builder, &x, &y);
+            let c = builder.build(q.0);
+            prop_assert_eq!(
+                eval_two_words(&c, &[a], &[b], bits),
+                abnn2_math::fixedops::sdiv(&ring, a, b)
+            );
+        }
+
+        #[test]
+        fn isqrt_matches_fixedops(bits in 2usize..=20, a: u64) {
+            let ring = Ring::new(bits as u32);
+            let a = ring.reduce(a);
+            let mut builder = CircuitBuilder::new();
+            let x = builder.garbler_word(bits);
+            let _ = builder.evaluator_word(1);
+            let r = isqrt_word(&mut builder, &x);
+            let c = builder.build(r.0);
+            let gbits = u64_to_bits(a, bits);
+            let got = bits_to_u64(&c.eval(&gbits, &[false]));
+            prop_assert_eq!(got, abnn2_math::fixedops::isqrt(&ring, a));
+        }
+
+        #[test]
+        fn clamp_and_const_match_fixedops(bits in 4usize..=16, a: u64) {
+            let ring = Ring::new(bits as u32);
+            let a = ring.reduce(a);
+            let lo = ring.from_i64(-3);
+            let hi = ring.from_i64(5);
+            let mut builder = CircuitBuilder::new();
+            let x = builder.garbler_word(bits);
+            let _ = builder.evaluator_word(1);
+            let low = const_word(&mut builder, x.0[0], lo, bits);
+            let high = const_word(&mut builder, x.0[0], hi, bits);
+            let r = clamp_word(&mut builder, &x, &low, &high);
+            let c = builder.build(r.0);
+            let got = bits_to_u64(&c.eval(&u64_to_bits(a, bits), &[false]));
+            prop_assert_eq!(got, abnn2_math::fixedops::clamp(&ring, a, lo, hi));
+        }
+
+        #[test]
+        fn gelu_reshare_matches_fixedops(y0: u64, y1: u64, z1: u64) {
+            let bits = 16;
+            let (f, shift) = (6usize, 2usize);
+            let ring = Ring::new(bits as u32);
+            let (y0, y1, z1) = (ring.reduce(y0), ring.reduce(y1), ring.reduce(z1));
+            let c = gelu_trunc_reshare_vec_circuit(bits, 1, shift, f);
+            let z0 = eval_two_words(&c, &[y1, z1], &[y0], bits);
+            let v = abnn2_math::fixedops::sar(&ring, ring.add(y0, y1), shift as u32);
+            let expect = abnn2_math::fixedops::gelu(&ring, f as u32, v);
+            prop_assert_eq!(ring.add(z0, z1), expect);
+        }
+
+        #[test]
+        fn softmax_reshare_matches_fixedops(seed: u64) {
+            use rand::SeedableRng;
+            let bits = 16;
+            let (rows, cols, f, shift) = (2usize, 3usize, 6usize, 1usize);
+            let ring = Ring::new(bits as u32);
+            let n = rows * cols;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // Keep logits in a sane fixed-point range (±8.0 at f=6).
+            let v: Vec<u64> = (0..n)
+                .map(|_| ring.from_i64((ring.sample(&mut rng) as i64 % 512) - 256))
+                .collect();
+            let y1: Vec<u64> = ring.sample_vec(&mut rng, n);
+            let shifted: Vec<u64> = v.iter().map(|&x| ring.reduce(x << shift)).collect();
+            let y0: Vec<u64> = ring.sub_vec(&shifted, &y1);
+            let z1: Vec<u64> = ring.sample_vec(&mut rng, n);
+            let c = softmax_reshare_vec_circuit(bits, rows, cols, shift, f);
+            let mut g: Vec<u64> = y1.clone();
+            g.extend(&z1);
+            let gbits: Vec<bool> = g.iter().flat_map(|&x| u64_to_bits(x, bits)).collect();
+            let ebits: Vec<bool> = y0.iter().flat_map(|&x| u64_to_bits(x, bits)).collect();
+            let out = c.eval(&gbits, &ebits);
+            for r in 0..rows {
+                let expect =
+                    abnn2_math::fixedops::softmax_row(&ring, f as u32, &v[r * cols..(r + 1) * cols]);
+                for cc in 0..cols {
+                    let j = r * cols + cc;
+                    let z0 = bits_to_u64(&out[j * bits..(j + 1) * bits]);
+                    prop_assert_eq!(ring.add(z0, z1[j]), expect[cc], "row {} col {}", r, cc);
+                }
+            }
+        }
+
+        #[test]
+        fn layernorm_reshare_matches_fixedops(seed: u64) {
+            use rand::SeedableRng;
+            let bits = 16;
+            let (tokens, d, f) = (2usize, 4usize, 6usize);
+            let (shift_a, shift_b) = (2usize, 0usize);
+            let ring = Ring::new(bits as u32);
+            let n = tokens * d;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a: Vec<u64> = (0..n)
+                .map(|_| ring.from_i64((ring.sample(&mut rng) as i64 % 1024) - 512))
+                .collect();
+            let bv: Vec<u64> = (0..n)
+                .map(|_| ring.from_i64((ring.sample(&mut rng) as i64 % 256) - 128))
+                .collect();
+            let a1: Vec<u64> = ring.sample_vec(&mut rng, n);
+            let a0: Vec<u64> = ring.sub_vec(&a, &a1);
+            let b1: Vec<u64> = ring.sample_vec(&mut rng, n);
+            let b0: Vec<u64> = ring.sub_vec(&bv, &b1);
+            let z1: Vec<u64> = ring.sample_vec(&mut rng, n);
+            let c = layernorm_reshare_vec_circuit(bits, tokens, d, shift_a, shift_b, f);
+            let mut g: Vec<u64> = a1.clone();
+            g.extend(&b1);
+            g.extend(&z1);
+            let mut e: Vec<u64> = a0.clone();
+            e.extend(&b0);
+            let gbits: Vec<bool> = g.iter().flat_map(|&x| u64_to_bits(x, bits)).collect();
+            let ebits: Vec<bool> = e.iter().flat_map(|&x| u64_to_bits(x, bits)).collect();
+            let out = c.eval(&gbits, &ebits);
+            for t in 0..tokens {
+                let expect = abnn2_math::fixedops::layernorm_token(
+                    &ring,
+                    f as u32,
+                    &a[t * d..(t + 1) * d],
+                    &bv[t * d..(t + 1) * d],
+                    shift_a as u32,
+                    shift_b as u32,
+                );
+                for i in 0..d {
+                    let j = t * d + i;
+                    let z0 = bits_to_u64(&out[j * bits..(j + 1) * bits]);
+                    prop_assert_eq!(ring.add(z0, z1[j]), expect[i], "token {} elem {}", t, i);
+                }
             }
         }
 

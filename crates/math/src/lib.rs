@@ -20,6 +20,7 @@
 //! ```
 
 pub mod fixed;
+pub mod fixedops;
 pub mod fragment;
 pub mod matrix;
 pub mod ring;

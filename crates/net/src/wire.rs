@@ -171,6 +171,8 @@ pub mod tags {
     pub const BEAVER_OPENINGS: u8 = 0x37;
     /// Precomputed triplet bundle (warm-pool serving).
     pub const BUNDLE: u8 = 0x38;
+    /// Matrix-Beaver openings `D‖E` for one secret×secret matmul.
+    pub const MATMUL_OPENINGS: u8 = 0x39;
     /// Silent-OT bootstrap column matrix (raw IKNP COT extension).
     pub const SILENT_BASE_COLUMNS: u8 = 0x40;
     /// Silent-OT derandomization bit vector (SPCOT paths and fragment
@@ -206,6 +208,7 @@ pub mod tags {
         (MASKED_CLASS, "masked class index"),
         (BEAVER_OPENINGS, "beaver openings"),
         (BUNDLE, "triplet bundle"),
+        (MATMUL_OPENINGS, "matmul openings"),
         (SILENT_BASE_COLUMNS, "silent bootstrap column matrix"),
         (SILENT_DERAND, "silent derandomization bits"),
         (SILENT_SPCOT_MASKS, "SPCOT level masks"),
@@ -248,7 +251,7 @@ pub mod tags {
                 Some(1 << 20)
             }
             OUTPUT_SHARES | SIGN_BITS => Some(1 << 24),
-            BLINDED_INPUT | NEG_SHARES | BEAVER_OPENINGS => Some(1 << 26),
+            BLINDED_INPUT | NEG_SHARES | BEAVER_OPENINGS | MATMUL_OPENINGS => Some(1 << 26),
             BLOCKS | IKNP_COLUMNS | IKNP_CTS | OT_CORRECTIONS | OT_VEC_PAYLOAD | KK_COLUMNS
             | GC_LABELS | GC_TABLES | TRIPLET_MASKED | BUNDLE => Some(1 << 28),
             _ => None,

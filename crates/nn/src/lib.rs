@@ -17,7 +17,11 @@
 //!   must reproduce share-for-share,
 //! * [`conv`] — the CNN extension: im2col convolution, max-pooling and
 //!   [`conv::QuantizedCnn`] (its secure counterpart is `abnn2_core::cnn`),
-//! * [`graph`] — the topology-neutral [`graph::LayerGraph`] IR both model
+//! * [`transformer`] — the transformer extension: a quantized single-block
+//!   BERT-style encoder ([`transformer::QuantizedTransformer`]) whose
+//!   forward pass interprets the layer graph with the
+//!   `abnn2_math::fixedops` reference operators,
+//! * [`graph`] — the topology-neutral [`graph::LayerGraph`] IR all model
 //!   kinds lower to; the secure planner/executor over it lives in
 //!   `abnn2_core::graph`.
 
@@ -26,9 +30,11 @@ pub mod data;
 pub mod graph;
 pub mod model;
 pub mod quant;
+pub mod transformer;
 
 pub use conv::{ConvShape, QuantizedCnn, QuantizedConv};
 pub use data::SyntheticMnist;
-pub use graph::{LayerGraph, LayerOp};
+pub use graph::{GraphError, LayerGraph, LayerOp, OpResource};
 pub use model::{Dense, Network};
 pub use quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
+pub use transformer::QuantizedTransformer;

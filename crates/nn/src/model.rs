@@ -133,14 +133,15 @@ impl Network {
         let mut acts: Vec<Vec<f64>> = vec![x.to_vec()];
         let mut pre: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
         for (i, layer) in self.layers.iter().enumerate() {
-            let z = layer.forward(acts.last().expect("non-empty"));
+            let z = layer.forward(&acts[i]);
             pre.push(z.clone());
             let a = if i + 1 < n_layers { z.iter().map(|&v| v.max(0.0)).collect() } else { z };
             acts.push(a);
         }
 
-        // Softmax cross-entropy on the logits.
-        let logits = acts.last().expect("non-empty");
+        // Softmax cross-entropy on the logits (acts[0] = x, so this is
+        // total even for a zero-layer network).
+        let logits = &acts[n_layers];
         let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
         let sum: f64 = exps.iter().sum();
@@ -187,19 +188,21 @@ impl Network {
     }
 }
 
-/// Index of the maximum element (first on ties).
-///
-/// # Panics
-///
-/// Panics if the slice is empty.
+/// Index of the maximum element (first on ties). Total: an empty slice
+/// yields 0, and NaN entries are skipped rather than panicking, so a
+/// degenerate model cannot take down a serving worker through its
+/// prediction path.
 #[must_use]
 pub fn argmax(xs: &[f64]) -> usize {
-    assert!(!xs.is_empty(), "argmax of empty slice");
-    xs.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
-        .expect("non-empty")
-        .0
+    let mut best = 0;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
 }
 
 fn gaussian(rng: &mut StdRng) -> f64 {

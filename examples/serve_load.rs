@@ -23,13 +23,19 @@
 //! `--cnn` serves a conv→pool→dense model instead of the MLP — same
 //! frontend, same pool, same graph executor underneath.
 //!
+//! `--transformer` serves a quantized encoder block (secret×secret
+//! matmuls, softmax, GELU, layer-norm) through the identical event-loop
+//! workers and pool, checked against the same oracle.
+//!
 //! Exits nonzero on any mismatch or failed request, so CI can use it as a
-//! smoke test (`./scripts/check.sh --serve-smoke` / `--cnn-serve-smoke`).
+//! smoke test (`./scripts/check.sh --serve-smoke` / `--cnn-serve-smoke` /
+//! `--transformer-smoke`).
 
 use abnn2::core::cnn::PublicCnnInfo;
-use abnn2::core::PublicModelInfo;
+use abnn2::core::{PublicModelInfo, PublicTransformerInfo};
 use abnn2::math::{FragmentScheme, Ring};
 use abnn2::nn::quant::{QuantConfig, QuantizedDense, QuantizedNetwork};
+use abnn2::nn::transformer::QuantizedTransformer;
 use abnn2::nn::{ConvShape, Network, QuantizedCnn, QuantizedConv, SyntheticMnist};
 use abnn2::serve::{GovernorConfig, ServeClient, ServeConfig, Server};
 use rand::{Rng, SeedableRng};
@@ -88,6 +94,7 @@ struct Args {
     clients: usize,
     requests: usize,
     cnn: bool,
+    transformer: bool,
     metrics_out: Option<PathBuf>,
     sessions_per_worker: usize,
     governor: bool,
@@ -99,6 +106,7 @@ fn parse_args() -> Args {
         clients: 8,
         requests: 2,
         cnn: false,
+        transformer: false,
         metrics_out: None,
         sessions_per_worker: 1,
         governor: false,
@@ -118,6 +126,7 @@ fn parse_args() -> Args {
                 parsed.sessions_per_worker = grab("--sessions-per-worker");
             }
             "--cnn" => parsed.cnn = true,
+            "--transformer" => parsed.transformer = true,
             "--governor" => parsed.governor = true,
             "--inject-panic" => parsed.inject_panic = Some(grab("--inject-panic") as u64),
             "--metrics-out" => {
@@ -126,7 +135,7 @@ fn parse_args() -> Args {
             }
             other => panic!(
                 "unknown argument: {other} \
-                 (use [--cnn] --clients N --requests M \
+                 (use [--cnn | --transformer] --clients N --requests M \
                  [--sessions-per-worker K] [--governor] [--inject-panic ORDINAL] \
                  [--metrics-out FILE])"
             ),
@@ -384,9 +393,103 @@ fn run_cnn(args: &Args, metrics_out: Option<&Path>) {
     report_metrics(&server, total, n_clients, n_requests, metrics_out);
 }
 
+/// A quantized encoder block sized for the smoke test: 4 tokens of width
+/// 4, feed-forward 8, 3 classes — both secret×secret matmuls plus
+/// softmax, GELU and two layer-norms on every request's execution path.
+fn build_transformer() -> QuantizedTransformer {
+    let config = QuantConfig {
+        ring: Ring::new(16),
+        frac_bits: 6,
+        weight_frac_bits: 2,
+        scheme: FragmentScheme::optimal(4),
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(803);
+    QuantizedTransformer::random(4, 4, 8, 3, config, &mut rng).expect("valid transformer")
+}
+
+/// Drives `n_clients × n_requests` transformer requests through the same
+/// event-loop frontend — matrix-triple bundles from the pool for warm
+/// sessions, interactive Gilboa generation for cold ones.
+fn run_transformer(args: &Args, metrics_out: Option<&Path>) {
+    let (n_clients, n_requests, spw) = (args.clients, args.requests, args.sessions_per_worker);
+    let model = build_transformer();
+    let ring = model.config.ring;
+    let info = PublicTransformerInfo::from(&model);
+
+    let deadlines = deadlines_for(spw);
+    let config = ServeConfig {
+        workers: 4,
+        queue_capacity: 2 * n_clients.max(4),
+        sessions_per_worker: spw,
+        pool_depth: n_clients.min(8),
+        deadlines,
+        governor: governor_for(args),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(model.clone(), "127.0.0.1:0", config).expect("start server");
+    let addr = server.addr();
+    println!(
+        "serving transformer on {addr} with 4 workers x {spw} sessions, pool depth {}",
+        n_clients.min(8)
+    );
+
+    let warmed = server.warm_up(1, n_clients.min(8), Duration::from_secs(30));
+    println!("pool warm: {warmed}");
+
+    let started = Instant::now();
+    let per_client: Vec<(usize, usize, u32)> = std::thread::scope(|scope| {
+        (0..n_clients)
+            .map(|c| {
+                let client = ServeClient::for_model(info.clone()).with_deadlines(deadlines);
+                let model = &model;
+                scope.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(970 + c as u64);
+                    let mut exact = 0usize;
+                    let mut warm = 0usize;
+                    let mut attempts = 0u32;
+                    for r in 0..n_requests {
+                        let tokens: Vec<u64> = (0..model.seq * model.d)
+                            .map(|_| ring.reduce(rng.gen_range(-64i64..64) as u64))
+                            .collect();
+                        let expected = model.forward_exact(&tokens);
+                        let (y, report) = client
+                            .run(addr, std::slice::from_ref(&tokens), &mut rng)
+                            .expect("request failed");
+                        assert_eq!(
+                            y.col(0),
+                            expected,
+                            "client {c} request {r}: served transformer logits diverge \
+                             from forward_exact"
+                        );
+                        exact += 1;
+                        warm += usize::from(report.warm);
+                        attempts += report.attempts;
+                    }
+                    (exact, warm, attempts)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let total: usize = per_client.iter().map(|(e, _, _)| e).sum();
+    let warm: usize = per_client.iter().map(|(_, w, _)| w).sum();
+    println!(
+        "\n{total} transformer requests from {n_clients} clients in {elapsed:?} — \
+         all bit-exact, {warm} warm"
+    );
+    report_metrics(&server, total, n_clients, n_requests, metrics_out);
+}
+
 fn main() {
     let args = parse_args();
-    if args.cnn {
+    assert!(!(args.cnn && args.transformer), "--cnn and --transformer are mutually exclusive");
+    if args.transformer {
+        run_transformer(&args, args.metrics_out.as_deref());
+    } else if args.cnn {
         run_cnn(&args, args.metrics_out.as_deref());
     } else {
         run_mlp(&args, args.metrics_out.as_deref());

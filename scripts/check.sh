@@ -3,7 +3,7 @@
 #
 #   ./scripts/check.sh [--chaos-seeds N] [--serve-smoke] [--cnn-serve-smoke] \
 #                      [--async-serve-smoke] [--wire-fuzz-smoke] [--governor-smoke] \
-#                      [--silent-ot-smoke] [--bench]
+#                      [--silent-ot-smoke] [--transformer-smoke] [--bench]
 #
 # --chaos-seeds N widens the seeded chaos suite (tests/chaos.rs) from its
 # default of 64 seeds without recompiling.
@@ -42,11 +42,21 @@
 # cut-after-expansion checkpoint/resume, mixed silent+IKNP fleet), and
 # the pinned silent-vs-KK13 byte-count comparison (tests/comm_shape.rs).
 #
-# --bench regenerates the machine-readable benchmark file
-# (BENCH_silent_ot.json by default): offline/online bytes and wall-clock
-# per table workload, with the silent-vs-IKNP offline comparison pinned
-# as the first entry (the ≥10× OT-extension reduction is asserted at
-# generation time).
+# --transformer-smoke exercises the generalized op pipeline in release
+# mode: the transformer acceptance suite (logits bit-exact vs the
+# plaintext oracle across eta in {2,3,4,8}; warm-from-pool with zero
+# offline-phase bytes), the transformer chaos tests (tag-flip sweep over
+# the new frames; cut during a MATMUL_OPENINGS exchange -> checkpoint ->
+# bit-exact resume), and the load generator serving the encoder block
+# through the event-loop workers.
+#
+# --bench regenerates the machine-readable benchmark files:
+# BENCH_silent_ot.json (offline/online bytes and wall-clock per table
+# workload, with the silent-vs-IKNP offline comparison pinned as the
+# first entry — the ≥10× OT-extension reduction is asserted at
+# generation time) and BENCH_transformer.json (cold vs warm offline and
+# online costs of one encoder-block prediction, bit-exactness asserted
+# at generation time).
 #
 # The container has no network access to crates.io; all dependencies are
 # vendored as stubs under stubs/ (see stubs/README.md), so every cargo
@@ -83,6 +93,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --silent-ot-smoke)
       SILENT_OT_SMOKE=1
+      shift
+      ;;
+    --transformer-smoke)
+      TRANSFORMER_SMOKE=1
       shift
       ;;
     --bench)
@@ -153,9 +167,19 @@ if [[ "${SILENT_OT_SMOKE:-0}" == "1" ]]; then
   cargo test --release --test comm_shape silent_extension_bytes_beat_kk13_by_an_order_of_magnitude
 fi
 
+if [[ "${TRANSFORMER_SMOKE:-0}" == "1" ]]; then
+  echo "==> transformer smoke: eta-sweep bit-exactness, warm pool, chaos, served load"
+  cargo test --release --test transformer
+  cargo test --release --test chaos transformer_tag_flip
+  cargo test --release --test chaos cut_during_matmul
+  cargo run --release --example serve_load -- --transformer --clients 4 --requests 2
+fi
+
 if [[ "${RUN_BENCH:-0}" == "1" ]]; then
   echo "==> bench: regenerating BENCH_silent_ot.json"
   cargo run --release -p abnn2-bench --bin bench_json -- BENCH_silent_ot.json
+  echo "==> bench: regenerating BENCH_transformer.json"
+  cargo run --release -p abnn2-bench --bin bench_json -- --transformer BENCH_transformer.json
 fi
 
 echo "All checks passed."

@@ -28,7 +28,9 @@
 //! ```
 
 use abnn2::core::handshake::{handshake_client_ext, HelloRequest, SessionParams};
-use abnn2::core::inference::{ClientOffline, PublicModelInfo, SecureClient, SecureServer};
+use abnn2::core::inference::{
+    ClientOffline, PublicModelInfo, PublicTransformerInfo, SecureClient, SecureServer,
+};
 use abnn2::core::resilient::{ResilientClient, ResilientServer};
 use abnn2::core::session::ClientSession;
 use abnn2::core::{ExecConfig, ProtocolError, SessionDeadlines};
@@ -38,6 +40,7 @@ use abnn2::net::{
     Transport,
 };
 use abnn2::nn::quant::{QuantConfig, QuantizedNetwork};
+use abnn2::nn::transformer::QuantizedTransformer;
 use abnn2::nn::Network;
 use abnn2::serve::{GovernorConfig, ServeClient, ServeConfig, Server};
 use rand::{Rng, SeedableRng};
@@ -817,6 +820,187 @@ fn silent_cut_after_expansion_checkpoints_and_resumes_bit_exact() {
     let state = ClientOffline::from_bundle(session, checkpoint);
     let y = client.online_raw(&mut ch, state, std::slice::from_ref(&x), &mut rng).expect("online");
     assert_eq!(y.col(0), expected, "resumed silent logits diverge from forward_exact");
+}
+
+/// A tiny but complete transformer encoder for the extended-op chaos
+/// suite: every new frame kind (matrix-triple Gilboa traffic, matmul
+/// openings, softmax/GELU/layer-norm GC exchanges) is on the session's
+/// wire path.
+fn tiny_chaos_transformer() -> (QuantizedTransformer, Vec<u64>) {
+    let config = QuantConfig {
+        ring: Ring::new(16),
+        frac_bits: 6,
+        weight_frac_bits: 2,
+        scheme: FragmentScheme::optimal(2),
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7F0);
+    let model = QuantizedTransformer::random(4, 4, 8, 3, config, &mut rng).expect("transformer");
+    let x: Vec<u64> = (0..model.seq * model.d)
+        .map(|_| model.config.ring.reduce(rng.gen_range(-64i64..64) as u64))
+        .collect();
+    (model, x)
+}
+
+/// Runs one interactive transformer session with an optional flipped tag
+/// on one side, returning both parties' send counts and outcomes.
+#[allow(clippy::type_complexity)]
+fn transformer_trial(
+    model: &QuantizedTransformer,
+    x: &[u64],
+    flip: Option<(u64, u64)>,
+    seed: u64,
+) -> ((u64, u64), Result<(), ProtocolError>, Result<abnn2::math::Matrix, ProtocolError>) {
+    let (a, b) = Endpoint::pair(NetworkModel::instant());
+    let fault = |s: u64| match flip {
+        Some((side, index)) if side == s => Fault::FlipTag { index },
+        _ => Fault::None,
+    };
+    let mut sch = FaultyTransport::new(a, fault(0));
+    let mut cch = FaultyTransport::new(b, fault(1));
+    let server = SecureServer::for_model(model.clone());
+    let client = SecureClient::for_model(PublicTransformerInfo::from(model));
+    let input = x.to_vec();
+    std::thread::scope(|scope| {
+        let srv = scope.spawn(move || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 9);
+            let res = server.run(&mut sch, 1, &mut rng);
+            (res, sch.sends())
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 77);
+        let cres = client.offline(&mut cch, 1, &mut rng).and_then(|state| {
+            client.online_raw(&mut cch, state, std::slice::from_ref(&input), &mut rng)
+        });
+        let csends = cch.sends();
+        // Close the client's endpoint before joining (see `flip_sweep`).
+        drop(cch);
+        let (sres, ssends) = srv.join().expect("server thread must not panic");
+        ((ssends, csends), sres, cres)
+    })
+}
+
+/// The tag-flip guarantee extends to every frame kind the op-pipeline
+/// generalization added: a clean probe run measures each side's send
+/// count, then the sweep flips a strided sample of indices across the
+/// whole session — Gilboa matrix-triple traffic in the offline phase —
+/// plus the final stretch exhaustively, which covers both
+/// `MATMUL_OPENINGS` exchanges and the softmax/GELU/layer-norm GC frames
+/// at the session's tail. Every landed flip must die as a typed error
+/// naming a frame, never a hang, panic, or wrong logits.
+#[test]
+fn transformer_tag_flip_sweep_names_the_expected_frame() {
+    let (model, x) = tiny_chaos_transformer();
+    let expected = model.forward_exact(&x);
+
+    let (sends, sres, cres) = transformer_trial(&model, &x, None, 0xC1EA);
+    sres.expect("clean probe: server");
+    let y = cres.expect("clean probe: client");
+    assert_eq!(y.col(0), expected, "clean probe diverges from forward_exact");
+
+    let names_frame = |e: &ProtocolError| e.to_string().contains("frame tag");
+    for side in 0..2u64 {
+        let total = if side == 0 { sends.0 } else { sends.1 };
+        assert!(total > 8, "side {side}: probe counted only {total} sends");
+        let stride = (total / 10).max(1);
+        let indices: std::collections::BTreeSet<u64> =
+            (0..total).step_by(stride as usize).chain(total.saturating_sub(4)..total).collect();
+        for index in indices {
+            let (_, sres, cres) = transformer_trial(&model, &x, Some((side, index)), index + 31);
+            match (&sres, &cres) {
+                (Ok(()), Ok(y)) => {
+                    // Send counts vary slightly with RNG-dependent GC
+                    // sizes; a flip past this run's end is a clean run.
+                    assert_eq!(y.col(0), expected, "side {side} index {index}: wrong logits");
+                }
+                _ => {
+                    let named = sres.as_ref().err().is_some_and(names_frame)
+                        || cres.as_ref().err().is_some_and(names_frame);
+                    assert!(
+                        named,
+                        "side {side} index {index}: no typed frame-tag error \
+                         (server: {sres:?}, client: {cres:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A client cut **during the secret×secret matmul opening** — the first
+/// online `MATMUL_OPENINGS` frame dies on the wire — must leave the
+/// serving frontend with a parked matrix-triple checkpoint, and a
+/// reconnect with the same token must replay the online phase from that
+/// checkpoint to logits bit-identical to the plaintext oracle. Matrix
+/// triples survive the cut exactly like scalar triplets and masks do.
+#[test]
+fn cut_during_matmul_opening_checkpoints_and_resumes_bit_exact() {
+    let (model, x) = tiny_chaos_transformer();
+    let expected = model.forward_exact(&x);
+    let info = PublicTransformerInfo::from(&model);
+    let server = Server::start(
+        model.clone(),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            sessions_per_worker: 4,
+            pool_depth: 0,
+            deadlines: SessionDeadlines::uniform(Duration::from_secs(5)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    let client = SecureClient::for_model(info.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xAB1E);
+    let token: [u8; 16] = [0x3C; 16];
+    let ours = SessionParams::for_graph(&model.graph().clone(), ExecConfig::new().variant, 1);
+
+    // Attempt 1: interactive offline (matrix triples included), then start
+    // the online phase and cut on the client's second online send — the
+    // blinded input goes through, the QKᵀ opening frame does not.
+    let checkpoint = {
+        let mut ch = TcpTransport::connect(addr).expect("connect");
+        ch.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let reply = handshake_client_ext(
+            &mut ch,
+            ours,
+            &token,
+            HelloRequest { resume: false, bundle: false, silent: false },
+        )
+        .expect("handshake");
+        assert!(!reply.resume && !reply.bundle);
+        let session = ClientSession::setup(&mut ch, &mut rng).expect("setup");
+        let state = client.offline_with(&mut ch, session, 1, &mut rng).expect("offline");
+        let checkpoint = state.to_bundle();
+        let mut fch = FaultyTransport::new(ch, Fault::CutAfterMessages(1));
+        client
+            .online_raw(&mut fch, state, std::slice::from_ref(&x), &mut rng)
+            .expect_err("the cut opening must abort the online attempt");
+        checkpoint
+        // `fch` drops here: the server sees the disconnection.
+    };
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !server.checkpoint_store().contains(&token) {
+        assert!(Instant::now() < deadline, "server never checkpointed the cut session");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Attempt 2: reconnect with the same token and replay the online
+    // phase from the checkpointed masks and matrix triples.
+    let mut ch = TcpTransport::connect(addr).expect("reconnect");
+    ch.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let reply = handshake_client_ext(
+        &mut ch,
+        ours,
+        &token,
+        HelloRequest { resume: true, bundle: false, silent: false },
+    )
+    .expect("resume handshake");
+    assert!(reply.resume, "server must offer to resume the checkpointed session");
+    let session = ClientSession::setup(&mut ch, &mut rng).expect("setup");
+    let state = ClientOffline::from_bundle(session, checkpoint);
+    let y = client.online_raw(&mut ch, state, std::slice::from_ref(&x), &mut rng).expect("online");
+    assert_eq!(y.col(0), expected, "resumed transformer logits diverge from forward_exact");
 }
 
 /// A mixed fleet on one server: silent-capable and legacy IKNP clients

@@ -176,6 +176,7 @@ fn core_frames_round_trip_and_are_total() {
     check_exact_frame(MaskedClass, 1, 0x36);
     check_byte_frame(BeaverOpenings, 1, 0x37);
     check_byte_frame(Bundle, 1, 0x38);
+    check_byte_frame(MatmulOpenings, 1, 0x39);
 }
 
 /// Frame TAGs must agree with the central registry — a frame whose TAG
@@ -226,6 +227,7 @@ fn frame_tags_match_the_registry() {
         check::<MaskedClass>();
         check::<BeaverOpenings>();
         check::<Bundle>();
+        check::<MatmulOpenings>();
     }
 }
 
@@ -278,6 +280,9 @@ fn every_registered_tag_declares_a_decode_ceiling() {
     assert_eq!(tags::max_len(tags::U64), Some(8));
     assert_eq!(tags::max_len(tags::HELLO), Some(abnn2::core::handshake::HELLO_LEN));
     assert_eq!(tags::max_len(tags::MASKED_CLASS), Some(1));
+    // The matmul-openings ceiling must admit a D‖E opening pair for the
+    // largest supported secret×secret matmul, same class as Beaver openings.
+    assert_eq!(tags::max_len(tags::MATMUL_OPENINGS), Some(1 << 26));
 }
 
 /// A length prefix claiming a payload far above its tag's ceiling must be
