@@ -19,7 +19,16 @@
 //! workload: cold (interactive matrix-triple) and warm (dealer-bundle)
 //! offline costs plus the online phase of one transformer prediction,
 //! bit-exactness against the plaintext oracle asserted at generation
-//! time. `scripts/check.sh --bench` writes both files.
+//! time.
+//!
+//! With `--crypto` the file carries the primitive-layer microbench:
+//! blocks/sec per [`CryptoBackend`] for raw
+//! AES, MMO hashing, and CTR-mode PRG fill, plus the IKNP bit-matrix
+//! transpose wall time at one and four worker threads. When the CPU has
+//! AES-NI the ≥ 4× speedup over the portable backend on AES and MMO is
+//! asserted at generation time, so a regression in the accelerated path
+//! can never be committed inside a fresh benchmark file.
+//! `scripts/check.sh --bench` writes all three files.
 
 use abnn2_bench::{paper_quantized, run_abnn2_e2e, run_offline_triplets_with, run_quotient_e2e};
 use abnn2_core::bundle::dealer_bundle_for;
@@ -28,6 +37,7 @@ use abnn2_core::graph::{SecureGraph, ServedModel};
 use abnn2_core::inference::{PublicTransformerInfo, SecureClient, SecureServer};
 use abnn2_core::matmul::{triplet_client, triplet_server, TripletMode};
 use abnn2_core::relu::ReluVariant;
+use abnn2_crypto::{aes_ni_available, choose_backend, Aes128, Block, CryptoBackend};
 use abnn2_math::{FragmentScheme, Matrix, Ring};
 use abnn2_net::wire::tags;
 use abnn2_net::{Endpoint, InstrumentedTransport, NetworkModel};
@@ -192,15 +202,143 @@ fn transformer_entries(entries: &mut Vec<String>) {
     ));
 }
 
+/// Blocks per primitive-microbench batch: large enough that the 8-lane
+/// AES-NI main loop dominates, small enough to stay L2-resident.
+const CRYPTO_BATCH: usize = 1 << 14;
+
+/// Runs `op` on a fresh `CRYPTO_BATCH`-block buffer, doubling the
+/// repetition count until the timed region exceeds 50 ms, and returns
+/// blocks/sec from the final (longest, least noisy) run.
+fn blocks_per_sec(mut op: impl FnMut(&mut [Block])) -> f64 {
+    let mut reps = 1usize;
+    loop {
+        let mut buf: Vec<Block> = (0..CRYPTO_BATCH)
+            .map(|i| Block::from(0x9e37_79b9_7f4a_7c15u128.wrapping_mul(i as u128 + 1)))
+            .collect();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            op(&mut buf);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        if secs >= 0.05 || reps >= 1 << 20 {
+            return (reps * CRYPTO_BATCH) as f64 / secs;
+        }
+        reps *= 2;
+    }
+}
+
+/// Times one IKNP-shaped bit-matrix transpose (κ = 128 columns of `m`
+/// bits) under `threads` workers, returning seconds per transpose.
+fn transpose_secs(m: usize, threads: usize) -> f64 {
+    let cols: Vec<Vec<u8>> = (0..abnn2_ot::KAPPA)
+        .map(|i| (0..m.div_ceil(8)).map(|j| (i * 31 + j * 7) as u8).collect())
+        .collect();
+    let mut reps = 1usize;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(abnn2_ot::bits::transpose_columns_par(
+                std::hint::black_box(&cols),
+                m,
+                threads,
+            ));
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        if secs >= 0.05 || reps >= 1 << 20 {
+            return secs / reps as f64;
+        }
+        reps *= 2;
+    }
+}
+
+/// The `--crypto` workload: per-backend blocks/sec for the three
+/// [`CryptoBackend`] primitives plus the IKNP transpose wall time. With
+/// AES-NI present, asserts the ≥ 4× AES/MMO speedup the backend exists
+/// to deliver.
+fn crypto_entries(entries: &mut Vec<String>) {
+    let workload = format!("{CRYPTO_BATCH} blocks/batch, fixed key, single core per backend");
+    let mut throughput = Vec::new(); // (backend name, aes, mmo, prg)
+    let mut backends: Vec<&'static dyn CryptoBackend> = vec![choose_backend(Some("portable"))];
+    if aes_ni_available() {
+        backends.push(choose_backend(Some("aesni")));
+    }
+    for be in backends {
+        let aes = Aes128::new(Block::from(0x2b7e_1516_28ae_d2a6_abf7_1588_09cf_4f3cu128));
+        let aes_bps = blocks_per_sec(|buf| be.aes_encrypt_blocks(&aes, buf));
+        let mmo_bps = blocks_per_sec(|buf| be.mmo_hash_blocks(&aes, buf));
+        let prg_bps = blocks_per_sec(|buf| be.prg_fill(&aes, 7, buf));
+        eprintln!(
+            "[crypto_backend_{}] aes {:.1} Mblk/s, mmo {:.1} Mblk/s, prg {:.1} Mblk/s",
+            be.name(),
+            aes_bps / 1e6,
+            mmo_bps / 1e6,
+            prg_bps / 1e6
+        );
+        entries.push(entry(
+            &format!("crypto_backend_{}", be.name()),
+            &workload,
+            "measured",
+            &[
+                ("aes_blocks_per_sec", aes_bps),
+                ("mmo_blocks_per_sec", mmo_bps),
+                ("prg_blocks_per_sec", prg_bps),
+            ],
+        ));
+        throughput.push((be.name(), aes_bps, mmo_bps, prg_bps));
+    }
+
+    if let [(_, p_aes, p_mmo, _), (_, n_aes, n_mmo, _)] = throughput[..] {
+        let (aes_x, mmo_x) = (n_aes / p_aes, n_mmo / p_mmo);
+        assert!(
+            aes_x >= 4.0 && mmo_x >= 4.0,
+            "AES-NI backend must be >= 4x portable: aes {aes_x:.2}x, mmo {mmo_x:.2}x"
+        );
+        entries.push(entry(
+            "crypto_backend_speedup",
+            &workload,
+            "pinned",
+            &[("aes_speedup", aes_x), ("mmo_speedup", mmo_x)],
+        ));
+    } else {
+        eprintln!("[crypto_backend_speedup] skipped: CPU has no AES-NI");
+    }
+
+    // The other half of the offline hot path: the KAPPA-column bit-matrix
+    // transpose, at the silent-OT refill size, single-threaded and with
+    // the parallel schedule's sharded workers.
+    let m = 1 << 13;
+    let t1 = transpose_secs(m, 1);
+    let t4 = transpose_secs(m, 4);
+    eprintln!("[iknp_transpose] {m} OTs: {:.3} ms at 1 thread, {:.3} ms at 4", t1 * 1e3, t4 * 1e3);
+    entries.push(entry(
+        "iknp_transpose",
+        &format!("128 columns x {m} bits, sharded rows"),
+        "measured",
+        &[("wall_secs_1_thread", t1), ("wall_secs_4_threads", t4)],
+    ));
+}
+
 fn main() {
     let transformer = std::env::args().any(|a| a == "--transformer");
+    let crypto = std::env::args().any(|a| a == "--crypto");
     let out_path = std::env::args().skip(1).find(|a| !a.starts_with("--")).unwrap_or_else(|| {
-        if transformer { "BENCH_transformer.json" } else { "BENCH_latest.json" }.to_owned()
+        if transformer {
+            "BENCH_transformer.json"
+        } else if crypto {
+            "BENCH_crypto.json"
+        } else {
+            "BENCH_latest.json"
+        }
+        .to_owned()
     });
     let mut entries = Vec::new();
 
-    if transformer {
-        transformer_entries(&mut entries);
+    if transformer || crypto {
+        if transformer {
+            transformer_entries(&mut entries);
+        } else {
+            crypto_entries(&mut entries);
+        }
         let json = format!(
             "{{\n  \"schema\": \"abnn2-bench/v1\",\n  \"entries\": [\n{}\n  ]\n}}\n",
             entries.join(",\n")

@@ -544,6 +544,9 @@ pub fn server_offline_with<T: Transport, R: Rng + ?Sized>(
 ) -> Result<ServerOffline, ProtocolError> {
     let config = &sg.graph().config;
     let (ring, scheme) = (config.ring, config.scheme.clone());
+    // Parallel offline schedule: worker threads for local OT compute only,
+    // the wire transcript is byte-identical for any thread count.
+    session.kk.set_threads(exec.threads);
     let plans = sg.plan();
     let mut pi = 0usize;
     let mut us = Vec::with_capacity(sg.graph().linear_count());
@@ -576,8 +579,10 @@ pub fn server_offline_with<T: Transport, R: Rng + ?Sized>(
                 let pair = match &mut ots {
                     Some(pair) => pair,
                     slot @ None => {
-                        let r = IknpReceiver::setup(ch, rng)?;
-                        let s = IknpSender::setup(ch, rng)?;
+                        let mut r = IknpReceiver::setup(ch, rng)?;
+                        let mut s = IknpSender::setup(ch, rng)?;
+                        r.set_threads(exec.threads);
+                        s.set_threads(exec.threads);
                         slot.insert((r, s))
                     }
                 };
@@ -609,6 +614,9 @@ pub fn client_offline_with<T: Transport, R: Rng + ?Sized>(
 ) -> Result<ClientOffline, ProtocolError> {
     let config = &sg.graph().config;
     let (ring, scheme) = (config.ring, config.scheme.clone());
+    // Parallel offline schedule: worker threads for local OT compute only,
+    // the wire transcript is byte-identical for any thread count.
+    session.kk.set_threads(exec.threads);
     let batch = sg.batch();
     let mut rs = Vec::with_capacity(sg.graph().mask_count());
     let mut vs = Vec::with_capacity(sg.graph().linear_count());
@@ -672,8 +680,10 @@ pub fn client_offline_with<T: Transport, R: Rng + ?Sized>(
                     Some(pair) => pair,
                     slot @ None => {
                         // Mirror of the server's lazy setup: sender first.
-                        let s = IknpSender::setup(ch, rng)?;
-                        let r = IknpReceiver::setup(ch, rng)?;
+                        let mut s = IknpSender::setup(ch, rng)?;
+                        let mut r = IknpReceiver::setup(ch, rng)?;
+                        s.set_threads(exec.threads);
+                        r.set_threads(exec.threads);
                         slot.insert((s, r))
                     }
                 };

@@ -196,6 +196,15 @@ pub fn triplet_server_with<T: Transport>(
     Ok(u)
 }
 
+/// SplitMix64 finalizer: decorrelates the per-OT mask streams derived
+/// from one group seed in [`triplet_client_with`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Splits `0..total` into up to `threads` contiguous ranges and runs `f`
 /// on each (on scoped worker threads when `threads > 1`), returning the
 /// results in range order.
@@ -273,16 +282,14 @@ pub fn triplet_client_with<T: Transport, RNG: Rng + ?Sized>(
             TripletMode::OneBatch => nn - 1,
         };
 
-        // Message packing per OT is independent; shard across workers with
-        // per-shard mask seeds and concatenate the buffers in index order.
-        let shards = cfg.threads.max(1);
-        let seeds: Vec<u64> = (0..shards).map(|_| rng.gen()).collect();
-        let chunk = (m * n).div_ceil(shards);
+        // Message packing per OT is independent; shard across workers and
+        // concatenate the buffers in index order. One group seed is drawn
+        // here — exactly one `rng` call for any thread count — and each
+        // OT derives its own mask stream from (seed, index), so the frame
+        // is byte-identical no matter how the index range is sharded.
+        let mask_seed: u64 = rng.gen();
         let pack_range = |range: std::ops::Range<usize>| -> (Vec<u8>, Matrix) {
             use rand::SeedableRng;
-            let shard = range.start / chunk.max(1);
-            let mut shard_rng =
-                rand::rngs::StdRng::seed_from_u64(seeds[shard.min(seeds.len() - 1)]);
             let mut v_part = Matrix::zeros(m, o);
             let mut data = Vec::with_capacity(range.len() * per_ot * elem_len);
             for idx in range {
@@ -291,7 +298,12 @@ pub fn triplet_client_with<T: Transport, RNG: Rng + ?Sized>(
                 let r_row = r.row(j);
                 // The client's per-OT masks s_k and the symbols it encrypts.
                 let (s_vec, t_start) = match mode {
-                    TripletMode::MultiBatch => (ring.sample_vec(&mut shard_rng, o), 0u64),
+                    TripletMode::MultiBatch => {
+                        let mut ot_rng = rand::rngs::StdRng::seed_from_u64(splitmix64(
+                            mask_seed ^ splitmix64(idx as u64),
+                        ));
+                        (ring.sample_vec(&mut ot_rng, o), 0u64)
+                    }
                     TripletMode::OneBatch => {
                         // s_k := contribution(0, r_k) − decode(mask₀)_k, so
                         // the chooser's symbol-0 plaintext equals its own

@@ -104,7 +104,25 @@ impl Aes128 {
         Aes128 { round_keys, round_key_words }
     }
 
+    /// The 11 expanded round keys, each in AES state byte order. Exposed
+    /// for batched backends ([`mod@crate::backend`]) that re-load the schedule
+    /// into vector registers.
+    #[must_use]
+    pub fn round_keys(&self) -> &[[u8; 16]; 11] {
+        &self.round_keys
+    }
+
+    /// Encrypts a batch of blocks in place through the selected
+    /// [`crate::backend::CryptoBackend`]. Bit-identical to per-block
+    /// [`encrypt_block`](Self::encrypt_block) on every backend.
+    pub fn encrypt_blocks(&self, blocks: &mut [Block]) {
+        crate::backend::backend().aes_encrypt_blocks(self, blocks);
+    }
+
     /// Encrypts one 16-byte block.
+    ///
+    /// Always the portable T-table path — scalar call sites keep zero
+    /// dispatch overhead and double as the oracle for the batched API.
     #[must_use]
     pub fn encrypt_block(&self, pt: Block) -> Block {
         let te = te_tables();

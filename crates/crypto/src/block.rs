@@ -13,6 +13,7 @@ use std::ops::{BitAnd, BitXor, BitXorAssign};
 /// assert_eq!((a ^ b).as_u128(), 2);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(transparent)]
 pub struct Block(u128);
 
 impl Block {

@@ -9,6 +9,9 @@
 //! * [`RoHash`] — a fixed-key Matyas–Meyer–Oseas random-oracle instantiation
 //!   with tweaks, as used by OT extension and garbling,
 //! * [`Prg`] — an AES-CTR pseudorandom generator,
+//! * [`mod@backend`] — slice-batched AES/MMO/PRG primitives behind a
+//!   runtime-selected [`CryptoBackend`] (portable T-tables everywhere,
+//!   AES-NI where the CPU has it; `ABNN2_CRYPTO_BACKEND` overrides),
 //! * [`sha256`] — SHA-256 (FIPS 180-4 tested) for base-OT key derivation,
 //! * [`curve`] — Curve25519 in twisted-Edwards form for the Chou–Orlandi
 //!   base OT.
@@ -20,6 +23,7 @@
 //! have not been audited. Do not reuse for production secrets.
 
 pub mod aes;
+pub mod backend;
 pub mod block;
 pub mod curve;
 pub mod hash;
@@ -27,6 +31,7 @@ pub mod prg;
 pub mod sha256;
 
 pub use aes::Aes128;
+pub use backend::{aes_ni_available, backend, choose_backend, CryptoBackend};
 pub use block::Block;
 pub use hash::RoHash;
 pub use prg::Prg;

@@ -63,14 +63,19 @@ pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> (GarbledCircui
                 and_idx += 1;
                 let (za, zb) = (zero[a], zero[b]);
                 let (pa, pb) = (za.lsb(), zb.lsb());
+                // All four half-gate hashes in one backend batch.
+                let mut h = [
+                    za ^ Block::from(t0),
+                    za ^ delta ^ Block::from(t0),
+                    zb ^ Block::from(t1),
+                    zb ^ delta ^ Block::from(t1),
+                ];
+                hash.hash_blocks(&mut h);
+                let [ha0, ha1, hb0, hb1] = h;
                 // Generator half gate.
-                let ha0 = hash.hash_block(t0, za);
-                let ha1 = hash.hash_block(t0, za ^ delta);
                 let tg = ha0 ^ ha1 ^ if pb { delta } else { Block::ZERO };
                 let wg = ha0 ^ if pa { tg } else { Block::ZERO };
                 // Evaluator half gate.
-                let hb0 = hash.hash_block(t1, zb);
-                let hb1 = hash.hash_block(t1, zb ^ delta);
                 let te = hb0 ^ hb1 ^ za;
                 let we = hb0 ^ if pb { te ^ za } else { Block::ZERO };
                 zero[out] = wg ^ we;
@@ -133,8 +138,10 @@ pub fn evaluate(
                 let (tg, te) = garbled.and_tables[and_idx as usize];
                 and_idx += 1;
                 let (wa, wb) = (label[a], label[b]);
-                let wg = hash.hash_block(t0, wa) ^ if wa.lsb() { tg } else { Block::ZERO };
-                let we = hash.hash_block(t1, wb) ^ if wb.lsb() { te ^ wa } else { Block::ZERO };
+                let mut h = [wa ^ Block::from(t0), wb ^ Block::from(t1)];
+                hash.hash_blocks(&mut h);
+                let wg = h[0] ^ if wa.lsb() { tg } else { Block::ZERO };
+                let we = h[1] ^ if wb.lsb() { te ^ wa } else { Block::ZERO };
                 label[out] = wg ^ we;
             }
         }

@@ -70,6 +70,52 @@ pub fn transpose_columns(cols: &[Vec<u8>], m: usize) -> Vec<Vec<u8>> {
     rows
 }
 
+/// [`transpose_columns`] with the output rows sharded across `threads`
+/// scoped workers.
+///
+/// Each worker owns a contiguous row range and reads all columns, so the
+/// result is byte-identical to the sequential transpose for any thread
+/// count — this is the local-compute half of the parallel offline
+/// schedule; nothing about the wire transcript can change. Small matrices
+/// stay on the calling thread.
+///
+/// # Panics
+///
+/// Panics if any column is shorter than ⌈m/8⌉ bytes.
+#[must_use]
+pub fn transpose_columns_par(cols: &[Vec<u8>], m: usize, threads: usize) -> Vec<Vec<u8>> {
+    /// Below this many rows the spawn/join overhead dominates the work.
+    const MIN_PAR_ROWS: usize = 512;
+    if threads <= 1 || m < MIN_PAR_ROWS {
+        return transpose_columns(cols, m);
+    }
+    let k = cols.len();
+    let row_bytes = k.div_ceil(8);
+    let col_bytes = m.div_ceil(8);
+    for (i, c) in cols.iter().enumerate() {
+        assert!(c.len() >= col_bytes, "column {i} too short: {} < {col_bytes}", c.len());
+    }
+    let mut rows = vec![vec![0u8; row_bytes]; m];
+    let shard = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (w, chunk) in rows.chunks_mut(shard).enumerate() {
+            let start = w * shard;
+            scope.spawn(move || {
+                for (i, col) in cols.iter().enumerate() {
+                    let (byte_i, mask_i) = (i / 8, 1u8 << (i % 8));
+                    for (jj, row) in chunk.iter_mut().enumerate() {
+                        let j = start + jj;
+                        if (col[j / 8] >> (j % 8)) & 1 == 1 {
+                            row[byte_i] |= mask_i;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +152,21 @@ mod tests {
         xor_in_place(&mut a, &b);
         xor_in_place(&mut a, &b);
         assert_eq!(a, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_transpose_is_byte_identical() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // Above and below the parallel threshold, ragged thread splits.
+        for m in [13usize, 511, 512, 700, 2048, 2049] {
+            let cols: Vec<Vec<u8>> =
+                (0..128).map(|_| (0..m.div_ceil(8)).map(|_| rng.gen()).collect()).collect();
+            let want = transpose_columns(&cols, m);
+            for threads in [1, 2, 3, 4, 7] {
+                assert_eq!(transpose_columns_par(&cols, m, threads), want, "m={m} t={threads}");
+            }
+        }
     }
 
     proptest! {

@@ -90,6 +90,16 @@ impl FragmentSender {
         }
     }
 
+    /// Sets the worker-thread count for local offline compute. The silent
+    /// backend's GGM expansion is sequential by construction (each level
+    /// feeds the next), so only the KK13 path fans out; transcripts are
+    /// byte-identical for any value either way.
+    pub fn set_threads(&mut self, threads: usize) {
+        if let FragmentSender::Kk(s) = self {
+            s.set_threads(threads);
+        }
+    }
+
     /// Extends to `m` fresh 1-out-of-`n` fragment OTs.
     ///
     /// # Errors
@@ -137,6 +147,16 @@ impl FragmentChooser {
         match self {
             FragmentChooser::Kk(_) => OfflineMode::Iknp,
             FragmentChooser::Silent(_) => OfflineMode::Silent,
+        }
+    }
+
+    /// Sets the worker-thread count for local offline compute. The silent
+    /// backend's GGM expansion is sequential by construction (each level
+    /// feeds the next), so only the KK13 path fans out; transcripts are
+    /// byte-identical for any value either way.
+    pub fn set_threads(&mut self, threads: usize) {
+        if let FragmentChooser::Kk(c) = self {
+            c.set_threads(threads);
         }
     }
 

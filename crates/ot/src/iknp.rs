@@ -6,13 +6,18 @@
 //! generation uses: the sender's first message is pseudorandom and only an
 //! ℓ-bit correction word crosses the wire.
 
-use crate::bits::{pack_bits, transpose_columns, xor_in_place};
+use crate::bits::{pack_bits, transpose_columns_par, xor_in_place};
 use crate::frames::{IknpColumns, IknpCts, OtCorrections, OtVecPayload, SilentBaseColumns};
 use crate::{base, OtError, KAPPA};
 use abnn2_crypto::{Block, Prg, RoHash};
 use abnn2_math::Ring;
 use abnn2_net::Transport;
 use rand::Rng;
+
+/// Extensions below this many OTs run single-threaded regardless of the
+/// configured worker count: spawn/join overhead would dominate. The gate
+/// depends only on the batch size, so the schedule stays deterministic.
+pub(crate) const PAR_MIN_OTS: usize = 4096;
 
 /// Sender side of IKNP extension (holds the message pairs).
 pub struct IknpSender {
@@ -21,6 +26,7 @@ pub struct IknpSender {
     prgs: Vec<Prg>,
     hash: RoHash,
     tweak: u64,
+    threads: usize,
 }
 
 impl std::fmt::Debug for IknpSender {
@@ -35,6 +41,7 @@ pub struct IknpReceiver {
     prg_pairs: Vec<(Prg, Prg)>,
     hash: RoHash,
     tweak: u64,
+    threads: usize,
 }
 
 impl std::fmt::Debug for IknpReceiver {
@@ -60,7 +67,15 @@ impl IknpSender {
             prgs: seeds.into_iter().map(Prg::from_seed).collect(),
             hash: RoHash::new(),
             tweak: 0,
+            threads: 1,
         })
+    }
+
+    /// Sets the worker-thread count for column expansion, transposes and
+    /// per-OT hashing. Local compute only: the transcript is byte-identical
+    /// for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// The global correlation block `s`: for every extension row,
@@ -101,15 +116,53 @@ impl IknpSender {
         if u.len() != KAPPA * col_bytes {
             return Err(OtError::Malformed("IKNP column batch has wrong length"));
         }
-        let mut cols = Vec::with_capacity(KAPPA);
-        for (i, prg) in self.prgs.iter_mut().enumerate() {
-            let mut col = prg.bytes(col_bytes);
-            if self.s_bits[i] {
-                xor_in_place(&mut col, &u[i * col_bytes..(i + 1) * col_bytes]);
-            }
-            cols.push(col);
+        if m == 0 {
+            return Ok(Vec::new());
         }
-        let rows = transpose_columns(&cols, m);
+        let threads = if m < PAR_MIN_OTS { 1 } else { self.threads };
+        let mut cols: Vec<Vec<u8>> = vec![Vec::new(); KAPPA];
+        if threads <= 1 {
+            for ((prg, &bit), (out, ui)) in self
+                .prgs
+                .iter_mut()
+                .zip(&self.s_bits)
+                .zip(cols.iter_mut().zip(u.chunks_exact(col_bytes)))
+            {
+                let mut col = prg.bytes(col_bytes);
+                if bit {
+                    xor_in_place(&mut col, ui);
+                }
+                *out = col;
+            }
+        } else {
+            // Each worker owns a contiguous column shard: PRG states,
+            // output slots and `u` slices split identically, so the result
+            // matches the sequential loop byte for byte.
+            let shard = KAPPA.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for ((prgs, bits), (outs, us)) in self
+                    .prgs
+                    .chunks_mut(shard)
+                    .zip(self.s_bits.chunks(shard))
+                    .zip(cols.chunks_mut(shard).zip(u.chunks(shard * col_bytes)))
+                {
+                    scope.spawn(move || {
+                        for ((prg, &bit), (out, ui)) in prgs
+                            .iter_mut()
+                            .zip(bits)
+                            .zip(outs.iter_mut().zip(us.chunks_exact(col_bytes)))
+                        {
+                            let mut col = prg.bytes(col_bytes);
+                            if bit {
+                                xor_in_place(&mut col, ui);
+                            }
+                            *out = col;
+                        }
+                    });
+                }
+            });
+        }
+        let rows = transpose_columns_par(&cols, m, threads);
         Ok(rows
             .into_iter()
             .map(|r| Block::from_bytes(r.try_into().expect("16-byte row")))
@@ -128,14 +181,27 @@ impl IknpSender {
     ) -> Result<(), OtError> {
         let qs = self.extend_rows(ch, pairs.len())?;
         let base_tweak = self.bump_tweak(pairs.len());
-        let mut cts = Vec::with_capacity(pairs.len() * 2);
-        for (j, (q, pair)) in qs.iter().zip(pairs).enumerate() {
-            let t = (base_tweak + j as u64) as u128;
-            cts.push(pair.0 ^ self.hash.hash_block(t, *q));
-            cts.push(pair.1 ^ self.hash.hash_block(t, *q ^ self.s_block));
-        }
+        let hs = self.hash_both(&qs, base_tweak);
+        let cts = pairs
+            .iter()
+            .zip(hs.chunks_exact(2))
+            .flat_map(|(pair, h)| [pair.0 ^ h[0], pair.1 ^ h[1]])
+            .collect();
         ch.send_frame(&IknpCts(cts))?;
         Ok(())
+    }
+
+    /// One batched hash pass over `H(t, q)` and `H(t, q ⊕ s)` for every
+    /// row, interleaved `[h0, h1, h0, h1, …]`.
+    fn hash_both(&self, qs: &[Block], base_tweak: u64) -> Vec<Block> {
+        let mut sigmas = Vec::with_capacity(qs.len() * 2);
+        for (j, q) in qs.iter().enumerate() {
+            let t = Block::from((base_tweak + j as u64) as u128);
+            sigmas.push(*q ^ t);
+            sigmas.push(*q ^ self.s_block ^ t);
+        }
+        self.hash.hash_blocks_par(&mut sigmas, self.threads);
+        sigmas
     }
 
     /// Random OT: returns `m` pseudorandom pairs with no extra message
@@ -151,14 +217,8 @@ impl IknpSender {
     ) -> Result<Vec<(Block, Block)>, OtError> {
         let qs = self.extend_rows(ch, m)?;
         let base_tweak = self.bump_tweak(m);
-        Ok(qs
-            .iter()
-            .enumerate()
-            .map(|(j, q)| {
-                let t = (base_tweak + j as u64) as u128;
-                (self.hash.hash_block(t, *q), self.hash.hash_block(t, *q ^ self.s_block))
-            })
-            .collect())
+        let hs = self.hash_both(&qs, base_tweak);
+        Ok(hs.chunks_exact(2).map(|h| (h[0], h[1])).collect())
     }
 
     /// Correlated OT over a ring: for each `delta`, the sender learns a
@@ -176,12 +236,12 @@ impl IknpSender {
     ) -> Result<Vec<u64>, OtError> {
         let qs = self.extend_rows(ch, deltas.len())?;
         let base_tweak = self.bump_tweak(deltas.len());
+        let hs = self.hash_both(&qs, base_tweak);
         let mut x0s = Vec::with_capacity(deltas.len());
         let mut corrections = Vec::with_capacity(deltas.len());
-        for (j, (q, &delta)) in qs.iter().zip(deltas).enumerate() {
-            let t = (base_tweak + j as u64) as u128;
-            let x0 = ring.reduce(self.hash.hash_block(t, *q).as_u128() as u64);
-            let mask1 = ring.reduce(self.hash.hash_block(t, *q ^ self.s_block).as_u128() as u64);
+        for (h, &delta) in hs.chunks_exact(2).zip(deltas) {
+            let x0 = ring.reduce(h[0].as_u128() as u64);
+            let mask1 = ring.reduce(h[1].as_u128() as u64);
             // correction = x0 + delta − H(q ⊕ s): receiver with bit 1 adds its
             // mask back to recover x0 + delta.
             corrections.push(ring.sub(ring.add(x0, delta), mask1));
@@ -259,7 +319,15 @@ impl IknpReceiver {
                 .collect(),
             hash: RoHash::new(),
             tweak: 0,
+            threads: 1,
         })
+    }
+
+    /// Sets the worker-thread count for column expansion, transposes and
+    /// per-OT hashing. Local compute only: the transcript is byte-identical
+    /// for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Core extension step: sends masked columns, returns per-row blocks
@@ -294,24 +362,68 @@ impl IknpReceiver {
 
     fn derive_rows(&mut self, choices: &[bool]) -> (Vec<u8>, Vec<Block>) {
         let m = choices.len();
+        if m == 0 {
+            return (Vec::new(), Vec::new());
+        }
         let col_bytes = m.div_ceil(8);
         let b = pack_bits(choices);
-        let mut t_cols = Vec::with_capacity(KAPPA);
-        let mut u = Vec::with_capacity(KAPPA * col_bytes);
-        for (prg0, prg1) in &mut self.prg_pairs {
-            let t0 = prg0.bytes(col_bytes);
-            let t1 = prg1.bytes(col_bytes);
-            let mut ui = t0.clone();
-            xor_in_place(&mut ui, &t1);
-            xor_in_place(&mut ui, &b);
-            u.extend_from_slice(&ui);
-            t_cols.push(t0);
+        let threads = if m < PAR_MIN_OTS { 1 } else { self.threads };
+        let mut t_cols: Vec<Vec<u8>> = vec![Vec::new(); KAPPA];
+        let mut u = vec![0u8; KAPPA * col_bytes];
+        if threads <= 1 {
+            for ((prg0, prg1), (out, ui)) in
+                self.prg_pairs.iter_mut().zip(t_cols.iter_mut().zip(u.chunks_exact_mut(col_bytes)))
+            {
+                let t0 = prg0.bytes(col_bytes);
+                let t1 = prg1.bytes(col_bytes);
+                ui.copy_from_slice(&t0);
+                xor_in_place(ui, &t1);
+                xor_in_place(ui, &b);
+                *out = t0;
+            }
+        } else {
+            // Each worker owns a contiguous column shard: PRG states,
+            // output slots and `u` slices split identically, so the result
+            // matches the sequential loop byte for byte.
+            let shard = KAPPA.div_ceil(threads);
+            let b = &b;
+            std::thread::scope(|scope| {
+                for (prgs, (outs, us)) in self
+                    .prg_pairs
+                    .chunks_mut(shard)
+                    .zip(t_cols.chunks_mut(shard).zip(u.chunks_mut(shard * col_bytes)))
+                {
+                    scope.spawn(move || {
+                        for ((prg0, prg1), (out, ui)) in
+                            prgs.iter_mut().zip(outs.iter_mut().zip(us.chunks_exact_mut(col_bytes)))
+                        {
+                            let t0 = prg0.bytes(col_bytes);
+                            let t1 = prg1.bytes(col_bytes);
+                            ui.copy_from_slice(&t0);
+                            xor_in_place(ui, &t1);
+                            xor_in_place(ui, b);
+                            *out = t0;
+                        }
+                    });
+                }
+            });
         }
-        let rows = transpose_columns(&t_cols, m)
+        let rows = transpose_columns_par(&t_cols, m, threads)
             .into_iter()
             .map(|r| Block::from_bytes(r.try_into().expect("16-byte row")))
             .collect();
         (u, rows)
+    }
+
+    /// One batched hash pass over `H(t, t_j)` for every row.
+    fn hash_rows(&self, ts: &[Block], base_tweak: u64) -> Vec<Block> {
+        let mut sigmas: Vec<Block> = ts
+            .iter()
+            .enumerate()
+            .map(|(j, t)| *t ^ Block::from((base_tweak + j as u64) as u128))
+            .collect();
+        self.hash.hash_blocks_par(&mut sigmas, self.threads);
+        sigmas
     }
 
     /// Receives chosen-message OTs: one block per choice bit.
@@ -330,14 +442,12 @@ impl IknpReceiver {
         if cts.len() != 2 * choices.len() {
             return Err(OtError::Malformed("IKNP ciphertext batch has wrong length"));
         }
-        Ok(ts
+        let hs = self.hash_rows(&ts, base_tweak);
+        Ok(hs
             .iter()
             .zip(choices)
             .enumerate()
-            .map(|(j, (t, &c))| {
-                let tw = (base_tweak + j as u64) as u128;
-                cts[2 * j + c as usize] ^ self.hash.hash_block(tw, *t)
-            })
+            .map(|(j, (h, &c))| cts[2 * j + c as usize] ^ *h)
             .collect())
     }
 
@@ -353,11 +463,7 @@ impl IknpReceiver {
     ) -> Result<Vec<Block>, OtError> {
         let ts = self.extend_rows(ch, choices)?;
         let base_tweak = self.bump_tweak(choices.len());
-        Ok(ts
-            .iter()
-            .enumerate()
-            .map(|(j, t)| self.hash.hash_block((base_tweak + j as u64) as u128, *t))
-            .collect())
+        Ok(self.hash_rows(&ts, base_tweak))
     }
 
     /// Correlated OT receiver: learns `x0 + c·delta` per OT.
@@ -378,14 +484,13 @@ impl IknpReceiver {
             return Err(OtError::Malformed("C-OT correction batch has wrong length"));
         }
         let corrections = ring.decode_slice(&corr_bytes);
-        Ok(ts
+        let hs = self.hash_rows(&ts, base_tweak);
+        Ok(hs
             .iter()
             .zip(choices)
             .zip(&corrections)
-            .enumerate()
-            .map(|(j, ((t, &c), &corr))| {
-                let tw = (base_tweak + j as u64) as u128;
-                let mask = ring.reduce(self.hash.hash_block(tw, *t).as_u128() as u64);
+            .map(|((h, &c), &corr)| {
+                let mask = ring.reduce(h.as_u128() as u64);
                 if c {
                     ring.add(corr, mask)
                 } else {

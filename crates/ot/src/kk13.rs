@@ -13,8 +13,9 @@
 //! symbol masks to implement the one-batch "N−1 messages" optimization
 //! (§4.1.3), where the mask for symbol 0 is itself the sender's share.
 
-use crate::bits::{get_bit, transpose_columns, xor_in_place};
+use crate::bits::{get_bit, transpose_columns_par, xor_in_place};
 use crate::frames::KkColumns;
+use crate::iknp::PAR_MIN_OTS;
 use crate::{base, OtError};
 use abnn2_crypto::{Block, Prg, RoHash};
 use abnn2_net::Transport;
@@ -49,6 +50,7 @@ pub struct KkSender {
     s: [u8; 32],
     prgs: Vec<Prg>,
     tweak: u64,
+    threads: usize,
 }
 
 impl std::fmt::Debug for KkSender {
@@ -63,6 +65,7 @@ impl std::fmt::Debug for KkSender {
 pub struct KkChooser {
     prg_pairs: Vec<(Prg, Prg)>,
     tweak: u64,
+    threads: usize,
 }
 
 impl std::fmt::Debug for KkChooser {
@@ -104,7 +107,18 @@ impl KkSender {
                 s[i / 8] |= 1 << (i % 8);
             }
         }
-        Ok(KkSender { s, prgs: seeds.into_iter().map(Prg::from_seed).collect(), tweak: 0 })
+        Ok(KkSender {
+            s,
+            prgs: seeds.into_iter().map(Prg::from_seed).collect(),
+            tweak: 0,
+            threads: 1,
+        })
+    }
+
+    /// Sets the worker-thread count for column expansion and transposes.
+    /// Local compute only: the transcript is byte-identical for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Extends to `m` fresh 1-out-of-N OTs (any N ≤ 256 at mask time),
@@ -119,15 +133,48 @@ impl KkSender {
         if u.len() != CODE_LEN * col_bytes {
             return Err(OtError::Malformed("KK13 column batch has wrong length"));
         }
-        let mut cols = Vec::with_capacity(CODE_LEN);
-        for (i, prg) in self.prgs.iter_mut().enumerate() {
-            let mut col = prg.bytes(col_bytes);
-            if get_bit(&self.s, i) {
-                xor_in_place(&mut col, &u[i * col_bytes..(i + 1) * col_bytes]);
+        let threads = if m < PAR_MIN_OTS { 1 } else { self.threads };
+        let mut cols: Vec<Vec<u8>> = vec![Vec::new(); CODE_LEN];
+        if threads <= 1 {
+            for (i, (prg, out)) in self.prgs.iter_mut().zip(cols.iter_mut()).enumerate() {
+                let mut col = prg.bytes(col_bytes);
+                if get_bit(&self.s, i) {
+                    xor_in_place(&mut col, &u[i * col_bytes..(i + 1) * col_bytes]);
+                }
+                *out = col;
             }
-            cols.push(col);
+        } else {
+            // Contiguous column shards per worker: identical output to the
+            // sequential loop, so the derived keys (and hence any masked
+            // traffic) cannot change.
+            let shard = CODE_LEN.div_ceil(threads);
+            let s = &self.s;
+            std::thread::scope(|scope| {
+                for (w, (prgs, (outs, us))) in self
+                    .prgs
+                    .chunks_mut(shard)
+                    .zip(cols.chunks_mut(shard).zip(u.chunks(shard * col_bytes)))
+                    .enumerate()
+                {
+                    let start = w * shard;
+                    scope.spawn(move || {
+                        for (k, ((prg, out), ui)) in prgs
+                            .iter_mut()
+                            .zip(outs.iter_mut())
+                            .zip(us.chunks(col_bytes))
+                            .enumerate()
+                        {
+                            let mut col = prg.bytes(col_bytes);
+                            if get_bit(s, start + k) {
+                                xor_in_place(&mut col, ui);
+                            }
+                            *out = col;
+                        }
+                    });
+                }
+            });
         }
-        let rows = transpose_columns(&cols, m)
+        let rows = transpose_columns_par(&cols, m, threads)
             .into_iter()
             .map(|r| {
                 let arr: [u8; 32] = r.try_into().expect("32-byte row");
@@ -213,7 +260,14 @@ impl KkChooser {
                 .map(|(a, b)| (Prg::from_seed(a), Prg::from_seed(b)))
                 .collect(),
             tweak: 0,
+            threads: 1,
         })
+    }
+
+    /// Sets the worker-thread count for column expansion and transposes.
+    /// Local compute only: the transcript is byte-identical for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Extends with one choice symbol per OT; all symbols must be below `n`.
@@ -238,25 +292,60 @@ impl KkChooser {
 
         // D matrix: row j is codeword(w_j); build its columns directly.
         let codewords: Vec<[u8; 32]> = (0..n).map(codeword).collect();
-        let mut t0_cols = Vec::with_capacity(CODE_LEN);
-        let mut u = Vec::with_capacity(CODE_LEN * col_bytes);
-        for (i, (prg0, prg1)) in self.prg_pairs.iter_mut().enumerate() {
-            let t0 = prg0.bytes(col_bytes);
-            let t1 = prg1.bytes(col_bytes);
-            let mut ui = t0.clone();
-            xor_in_place(&mut ui, &t1);
-            // XOR in column i of D.
-            for (j, &w) in choices.iter().enumerate() {
-                if get_bit(&codewords[w as usize], i) {
-                    ui[j / 8] ^= 1 << (j % 8);
+        let threads = if m < PAR_MIN_OTS { 1 } else { self.threads };
+        let mut t0_cols: Vec<Vec<u8>> = vec![Vec::new(); CODE_LEN];
+        let mut u = vec![0u8; CODE_LEN * col_bytes];
+        let expand_col =
+            |i: usize, prg0: &mut Prg, prg1: &mut Prg, out: &mut Vec<u8>, ui: &mut [u8]| {
+                let t0 = prg0.bytes(col_bytes);
+                let t1 = prg1.bytes(col_bytes);
+                ui.copy_from_slice(&t0);
+                xor_in_place(ui, &t1);
+                // XOR in column i of D.
+                for (j, &w) in choices.iter().enumerate() {
+                    if get_bit(&codewords[w as usize], i) {
+                        ui[j / 8] ^= 1 << (j % 8);
+                    }
                 }
+                *out = t0;
+            };
+        if threads <= 1 {
+            for (i, ((prg0, prg1), (out, ui))) in self
+                .prg_pairs
+                .iter_mut()
+                .zip(t0_cols.iter_mut().zip(u.chunks_exact_mut(col_bytes)))
+                .enumerate()
+            {
+                expand_col(i, prg0, prg1, out, ui);
             }
-            u.extend_from_slice(&ui);
-            t0_cols.push(t0);
+        } else {
+            // Contiguous column shards per worker: identical to the
+            // sequential loop, so the wire message is byte-identical.
+            let shard = CODE_LEN.div_ceil(threads);
+            let expand_col = &expand_col;
+            std::thread::scope(|scope| {
+                for (w, (prgs, (outs, us))) in self
+                    .prg_pairs
+                    .chunks_mut(shard)
+                    .zip(t0_cols.chunks_mut(shard).zip(u.chunks_mut(shard * col_bytes)))
+                    .enumerate()
+                {
+                    let start = w * shard;
+                    scope.spawn(move || {
+                        for (k, ((prg0, prg1), (out, ui))) in prgs
+                            .iter_mut()
+                            .zip(outs.iter_mut().zip(us.chunks_exact_mut(col_bytes)))
+                            .enumerate()
+                        {
+                            expand_col(start + k, prg0, prg1, out, ui);
+                        }
+                    });
+                }
+            });
         }
         ch.send_frame(&KkColumns(u))?;
 
-        let rows = transpose_columns(&t0_cols, m)
+        let rows = transpose_columns_par(&t0_cols, m, threads)
             .into_iter()
             .map(|r| {
                 let arr: [u8; 32] = r.try_into().expect("32-byte row");
@@ -384,6 +473,7 @@ mod tests {
                 })
                 .collect(),
             tweak: 0,
+            threads: 1,
         };
         let _ = chooser.extend(&mut a, &[4], 4);
     }

@@ -13,7 +13,7 @@
 //! external randomness, so a cloned receiver replays bit-identically — the
 //! property the session driver's checkpoint/resume machinery relies on.
 
-use super::{spcot, LPN_D, LPN_K, LPN_N, LPN_T, RESERVE, TREE_DEPTH};
+use super::{spcot, LpnParams};
 use crate::bits::{get_bit, pack_bits};
 use crate::frames::{SilentDerand, SilentSpcotMasks, SilentSpcotSums};
 use crate::iknp::{IknpReceiver, IknpSender};
@@ -30,17 +30,19 @@ const SPCOT_TWEAK: u128 = 1 << 127;
 /// Fixed public seed of the LPN local code ("ABNN2 LPN code." as bytes).
 const LPN_CODE_SEED: [u8; 16] = *b"ABNN2 LPN code.\0";
 
-/// The public `D`-local code: `LPN_D` base indices per output position,
+/// The public `D`-local code: `params.d` base indices per output position,
 /// derived from a fixed PRG seed so both parties expand identically.
-fn lpn_indices() -> Vec<u16> {
-    let bytes = Prg::from_seed(Block::from_bytes(LPN_CODE_SEED)).bytes(LPN_N * LPN_D * 2);
-    bytes.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]]) & (LPN_K as u16 - 1)).collect()
+fn lpn_indices(params: LpnParams) -> Vec<u16> {
+    let bytes = Prg::from_seed(Block::from_bytes(LPN_CODE_SEED)).bytes(params.n * params.d * 2);
+    let mask = (params.k - 1) as u16;
+    bytes.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]]) & mask).collect()
 }
 
 /// Sender side of the silent COT generator: holds Δ and one `y` block per
 /// produced COT. In ABNN² this is the client (the fragment-OT sender).
 pub struct SilentCotSender {
     iknp: IknpSender,
+    params: LpnParams,
     delta: Block,
     hash: RoHash,
     rng: StdRng,
@@ -63,6 +65,7 @@ impl std::fmt::Debug for SilentCotSender {
 #[derive(Clone)]
 pub struct SilentCotReceiver {
     iknp: IknpReceiver,
+    params: LpnParams,
     hash: RoHash,
     rng: StdRng,
     reserve: Vec<(bool, Block)>,
@@ -87,10 +90,31 @@ impl SilentCotSender {
     ///
     /// Propagates base-OT failures.
     pub fn setup<T: Transport, R: Rng + ?Sized>(ch: &mut T, rng: &mut R) -> Result<Self, OtError> {
+        Self::setup_with_params(ch, LpnParams::default(), rng)
+    }
+
+    /// [`setup`](Self::setup) with an explicit [`LpnParams`] preset. Both
+    /// parties must pass the same preset — the refill schedule and every
+    /// frame size derive from it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the preset violates [`LpnParams::validate`].
+    pub fn setup_with_params<T: Transport, R: Rng + ?Sized>(
+        ch: &mut T,
+        params: LpnParams,
+        rng: &mut R,
+    ) -> Result<Self, OtError> {
+        params.validate();
         let iknp = IknpSender::setup(ch, rng)?;
         let delta = iknp.delta();
         Ok(SilentCotSender {
             iknp,
+            params,
             delta,
             hash: RoHash::new(),
             rng: StdRng::seed_from_u64(rng.next_u64()),
@@ -120,34 +144,41 @@ impl SilentCotSender {
     }
 
     fn refill<T: Transport>(&mut self, ch: &mut T) -> Result<(), OtError> {
+        let p = self.params;
         if self.reserve.is_empty() {
-            self.reserve = self.iknp.extend_cot(ch, RESERVE)?;
+            self.reserve = self.iknp.extend_cot(ch, p.reserve())?;
         }
         let base = std::mem::take(&mut self.reserve);
-        let (v, ys) = base.split_at(LPN_K);
+        let (v, ys) = base.split_at(p.k);
 
         let SilentDerand(derand) = ch.recv_frame()?;
-        if derand.len() != (LPN_T * TREE_DEPTH).div_ceil(8) {
+        if derand.len() != (p.t * p.tree_depth).div_ceil(8) {
             return Err(OtError::Malformed("SPCOT derandomization batch has wrong length"));
         }
-        let mut masks = Vec::with_capacity(LPN_T * TREE_DEPTH * 32);
-        let mut sums = Vec::with_capacity(LPN_T * 16);
-        let mut s = Vec::with_capacity(LPN_N);
-        for tree in 0..LPN_T {
+        let mut masks = Vec::with_capacity(p.t * p.tree_depth * 32);
+        let mut sums = Vec::with_capacity(p.t * 16);
+        let mut s = Vec::with_capacity(p.n);
+        for tree in 0..p.t {
             let root = Block::random(&mut self.rng);
-            let (leaves, level_sums) = spcot::expand(&self.hash, root, TREE_DEPTH);
+            let (leaves, level_sums) = spcot::expand(&self.hash, root, p.tree_depth);
             let mut correction = self.delta;
             for &leaf in &leaves {
                 correction ^= leaf;
             }
-            for (l, &(k0, k1)) in level_sums.iter().enumerate() {
-                let d = get_bit(&derand, tree * TREE_DEPTH + l);
-                let y = ys[tree * TREE_DEPTH + l];
-                let tw = SPCOT_TWEAK | u128::from(self.bump_tweak());
-                let m0 = k0 ^ self.hash.hash_block(tw, if d { y ^ self.delta } else { y });
-                let m1 = k1 ^ self.hash.hash_block(tw, if d { y } else { y ^ self.delta });
-                masks.extend_from_slice(&m0.to_bytes());
-                masks.extend_from_slice(&m1.to_bytes());
+            // Whiten both mask keys of every level, hash the tree in one
+            // batch, then XOR in the level sums.
+            let mut h = Vec::with_capacity(2 * p.tree_depth);
+            for l in 0..p.tree_depth {
+                let d = get_bit(&derand, tree * p.tree_depth + l);
+                let y = ys[tree * p.tree_depth + l];
+                let tw = Block::from(SPCOT_TWEAK | u128::from(self.bump_tweak()));
+                h.push(if d { y ^ self.delta } else { y } ^ tw);
+                h.push(if d { y } else { y ^ self.delta } ^ tw);
+            }
+            self.hash.hash_blocks(&mut h);
+            for (&(k0, k1), hm) in level_sums.iter().zip(h.chunks_exact(2)) {
+                masks.extend_from_slice(&(k0 ^ hm[0]).to_bytes());
+                masks.extend_from_slice(&(k1 ^ hm[1]).to_bytes());
             }
             sums.extend_from_slice(&correction.to_bytes());
             s.extend(leaves);
@@ -155,16 +186,16 @@ impl SilentCotSender {
         ch.send_frame(&SilentSpcotMasks(masks))?;
         ch.send_frame(&SilentSpcotSums(sums))?;
 
-        let idx = lpn_indices();
-        let mut out = Vec::with_capacity(LPN_N);
+        let idx = lpn_indices(p);
+        let mut out = Vec::with_capacity(p.n);
         for (j, &sj) in s.iter().enumerate() {
             let mut y = sj;
-            for &i in &idx[j * LPN_D..(j + 1) * LPN_D] {
+            for &i in &idx[j * p.d..(j + 1) * p.d] {
                 y ^= v[i as usize];
             }
             out.push(y);
         }
-        self.reserve = out.split_off(LPN_N - RESERVE);
+        self.reserve = out.split_off(p.n - p.reserve());
         self.pool.extend(out);
         Ok(())
     }
@@ -184,9 +215,30 @@ impl SilentCotReceiver {
     ///
     /// Propagates base-OT failures.
     pub fn setup<T: Transport, R: Rng + ?Sized>(ch: &mut T, rng: &mut R) -> Result<Self, OtError> {
+        Self::setup_with_params(ch, LpnParams::default(), rng)
+    }
+
+    /// [`setup`](Self::setup) with an explicit [`LpnParams`] preset. Both
+    /// parties must pass the same preset — the refill schedule and every
+    /// frame size derive from it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the preset violates [`LpnParams::validate`].
+    pub fn setup_with_params<T: Transport, R: Rng + ?Sized>(
+        ch: &mut T,
+        params: LpnParams,
+        rng: &mut R,
+    ) -> Result<Self, OtError> {
+        params.validate();
         let iknp = IknpReceiver::setup(ch, rng)?;
         Ok(SilentCotReceiver {
             iknp,
+            params,
             hash: RoHash::new(),
             rng: StdRng::seed_from_u64(rng.next_u64()),
             reserve: Vec::new(),
@@ -213,46 +265,53 @@ impl SilentCotReceiver {
     }
 
     fn refill<T: Transport>(&mut self, ch: &mut T) -> Result<(), OtError> {
+        let p = self.params;
         if self.reserve.is_empty() {
-            let choices: Vec<bool> = (0..RESERVE).map(|_| self.rng.gen()).collect();
+            let choices: Vec<bool> = (0..p.reserve()).map(|_| self.rng.gen()).collect();
             let ts = self.iknp.extend_cot(ch, &choices)?;
             self.reserve = choices.into_iter().zip(ts).collect();
         }
         let base = std::mem::take(&mut self.reserve);
-        let (uw, xz) = base.split_at(LPN_K);
+        let (uw, xz) = base.split_at(p.k);
 
         let alphas: Vec<usize> =
-            (0..LPN_T).map(|_| self.rng.gen_range(0..1u64 << TREE_DEPTH) as usize).collect();
-        let mut bits = vec![false; LPN_T * TREE_DEPTH];
+            (0..p.t).map(|_| self.rng.gen_range(0..1u64 << p.tree_depth) as usize).collect();
+        let mut bits = vec![false; p.t * p.tree_depth];
         for (tree, &alpha) in alphas.iter().enumerate() {
-            for l in 0..TREE_DEPTH {
-                let complement = ((alpha >> (TREE_DEPTH - 1 - l)) & 1) ^ 1;
-                bits[tree * TREE_DEPTH + l] = xz[tree * TREE_DEPTH + l].0 ^ (complement == 1);
+            for l in 0..p.tree_depth {
+                let complement = ((alpha >> (p.tree_depth - 1 - l)) & 1) ^ 1;
+                bits[tree * p.tree_depth + l] = xz[tree * p.tree_depth + l].0 ^ (complement == 1);
             }
         }
         ch.send_frame(&SilentDerand(pack_bits(&bits)))?;
 
         let SilentSpcotMasks(masks) = ch.recv_frame()?;
-        if masks.len() != LPN_T * TREE_DEPTH * 32 {
+        if masks.len() != p.t * p.tree_depth * 32 {
             return Err(OtError::Malformed("SPCOT mask batch has wrong length"));
         }
         let SilentSpcotSums(sums) = ch.recv_frame()?;
-        if sums.len() != LPN_T * 16 {
+        if sums.len() != p.t * 16 {
             return Err(OtError::Malformed("SPCOT correction batch has wrong length"));
         }
 
-        let mut sparse: Vec<(bool, Block)> = Vec::with_capacity(LPN_N);
+        let mut sparse: Vec<(bool, Block)> = Vec::with_capacity(p.n);
         for (tree, &alpha) in alphas.iter().enumerate() {
-            let mut ks = Vec::with_capacity(TREE_DEPTH);
-            for l in 0..TREE_DEPTH {
-                let complement = ((alpha >> (TREE_DEPTH - 1 - l)) & 1) ^ 1;
-                let z = xz[tree * TREE_DEPTH + l].1;
-                let tw = SPCOT_TWEAK | u128::from(self.bump_tweak());
-                let off = (tree * TREE_DEPTH + l) * 32 + complement * 16;
-                let m = Block::from_bytes(masks[off..off + 16].try_into().expect("16 bytes"));
-                ks.push(m ^ self.hash.hash_block(tw, z));
+            // One batched unmasking hash per tree.
+            let mut h = Vec::with_capacity(p.tree_depth);
+            for l in 0..p.tree_depth {
+                let z = xz[tree * p.tree_depth + l].1;
+                let tw = Block::from(SPCOT_TWEAK | u128::from(self.bump_tweak()));
+                h.push(z ^ tw);
             }
-            let mut leaves = spcot::reconstruct(&self.hash, alpha, TREE_DEPTH, &ks);
+            self.hash.hash_blocks(&mut h);
+            let mut ks = Vec::with_capacity(p.tree_depth);
+            for (l, &hz) in h.iter().enumerate() {
+                let complement = ((alpha >> (p.tree_depth - 1 - l)) & 1) ^ 1;
+                let off = (tree * p.tree_depth + l) * 32 + complement * 16;
+                let m = Block::from_bytes(masks[off..off + 16].try_into().expect("16 bytes"));
+                ks.push(m ^ hz);
+            }
+            let mut leaves = spcot::reconstruct(&self.hash, alpha, p.tree_depth, &ks);
             let mut punctured =
                 Block::from_bytes(sums[tree * 16..(tree + 1) * 16].try_into().expect("16 bytes"));
             for (j, &leaf) in leaves.iter().enumerate() {
@@ -266,19 +325,19 @@ impl SilentCotReceiver {
             }
         }
 
-        let idx = lpn_indices();
-        let mut out = Vec::with_capacity(LPN_N);
+        let idx = lpn_indices(p);
+        let mut out = Vec::with_capacity(p.n);
         for (j, &(e, r)) in sparse.iter().enumerate() {
             let mut x = e;
             let mut z = r;
-            for &i in &idx[j * LPN_D..(j + 1) * LPN_D] {
+            for &i in &idx[j * p.d..(j + 1) * p.d] {
                 let (u, w) = uw[i as usize];
                 x ^= u;
                 z ^= w;
             }
             out.push((x, z));
         }
-        self.reserve = out.split_off(LPN_N - RESERVE);
+        self.reserve = out.split_off(p.n - p.reserve());
         self.pool.extend(out);
         Ok(())
     }
@@ -293,7 +352,6 @@ impl SilentCotReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::silent::REFILL_YIELD;
     use abnn2_net::{run_pair, Endpoint, NetworkModel};
 
     fn run_cot<A: Send, B: Send>(
@@ -340,7 +398,7 @@ mod tests {
     fn pool_survives_multiple_refills() {
         // Drain past one refill's yield so a second refill (self-seeded
         // from the reserve, no new bootstrap) must run.
-        let m = REFILL_YIELD + 10;
+        let m = LpnParams::CI.refill_yield() + 10;
         let ((ys, delta), xzs) = run_cot(
             move |s, ch| {
                 let a = s.take(ch, m).expect("take 1");
@@ -360,10 +418,11 @@ mod tests {
 
     #[test]
     fn lpn_code_is_deterministic_and_in_range() {
-        let a = lpn_indices();
-        let b = lpn_indices();
+        let p = LpnParams::CI;
+        let a = lpn_indices(p);
+        let b = lpn_indices(p);
         assert_eq!(a, b);
-        assert_eq!(a.len(), LPN_N * LPN_D);
-        assert!(a.iter().all(|&i| (i as usize) < LPN_K));
+        assert_eq!(a.len(), p.n * p.d);
+        assert!(a.iter().all(|&i| (i as usize) < p.k));
     }
 }

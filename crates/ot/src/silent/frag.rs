@@ -191,7 +191,8 @@ impl SilentSenderKeys {
     pub fn mask(&self, j: usize, v: u64, len: usize) -> Vec<u8> {
         assert!(v < 1 << self.bits, "symbol {v} exceeds the fragment radix");
         let ot = self.base_tweak + j as u64;
-        let mut keys = Vec::with_capacity(self.bits * 16);
+        // All per-bit key hashes in one backend batch.
+        let mut h = Vec::with_capacity(self.bits);
         for b in 0..self.bits {
             let d = get_bit(&self.derand, j * self.bits + b);
             let u = (v >> b) & 1 == 1;
@@ -199,7 +200,12 @@ impl SilentSenderKeys {
             if u != d {
                 block ^= self.delta;
             }
-            keys.extend_from_slice(&self.hash.hash_block(bit_tweak(ot, b), block).to_bytes());
+            h.push(block ^ Block::from(bit_tweak(ot, b)));
+        }
+        self.hash.hash_blocks(&mut h);
+        let mut keys = Vec::with_capacity(self.bits * 16);
+        for k in &h {
+            keys.extend_from_slice(&k.to_bytes());
         }
         self.hash.hash_expand(MASK_TWEAK | u128::from(ot), &keys, len)
     }
@@ -226,10 +232,14 @@ impl SilentChooserKeys {
     #[must_use]
     pub fn mask(&self, j: usize, len: usize) -> Vec<u8> {
         let ot = self.base_tweak + j as u64;
+        // All per-bit key hashes in one backend batch.
+        let mut h: Vec<Block> = (0..self.bits)
+            .map(|b| self.zs[j * self.bits + b] ^ Block::from(bit_tweak(ot, b)))
+            .collect();
+        self.hash.hash_blocks(&mut h);
         let mut keys = Vec::with_capacity(self.bits * 16);
-        for b in 0..self.bits {
-            let z = self.zs[j * self.bits + b];
-            keys.extend_from_slice(&self.hash.hash_block(bit_tweak(ot, b), z).to_bytes());
+        for k in &h {
+            keys.extend_from_slice(&k.to_bytes());
         }
         self.hash.hash_expand(MASK_TWEAK | u128::from(ot), &keys, len)
     }

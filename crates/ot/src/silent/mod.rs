@@ -7,10 +7,10 @@
 //! the wire. The pipeline, bottom to top:
 //!
 //! 1. **Bootstrap** — one raw IKNP COT extension ([`IknpSender::extend_cot`])
-//!    seeds the first refill with [`RESERVE`] base COTs; the IKNP sender's
-//!    global secret `s` becomes the silent correlation Δ. Every later refill
-//!    reseeds itself from its own output (self-bootstrapping), so the IKNP
-//!    column matrix is paid exactly once per session.
+//!    seeds the first refill with [`LpnParams::reserve`] base COTs; the IKNP
+//!    sender's global secret `s` becomes the silent correlation Δ. Every
+//!    later refill reseeds itself from its own output (self-bootstrapping),
+//!    so the IKNP column matrix is paid exactly once per session.
 //! 2. **SPCOT** (single-point COT) — per tree, the sender GGM-expands a
 //!    random root to `2^d` leaves and transfers, per level, the XOR of all
 //!    left / all right children masked under one consumed base COT. The
@@ -19,11 +19,11 @@
 //!    reconstructs every leaf except its secret index α. A final correction
 //!    `c* = Δ ⊕ ⊕ᵥ vⱼ` gives it `v_α ⊕ Δ` at the punctured point: a COT
 //!    vector whose choice vector is the weight-1 indicator of α.
-//! 3. **MPCOT** — [`LPN_T`] independent trees, one secret point per
-//!    `2^d`-leaf block (regular noise), concatenate to a weight-[`LPN_T`]
-//!    sparse COT of length [`LPN_N`].
+//! 3. **MPCOT** — `t` independent trees, one secret point per
+//!    `2^d`-leaf block (regular noise), concatenate to a weight-`t`
+//!    sparse COT of length `n`.
 //! 4. **Primal LPN** — a public `D`-local linear code (fixed PRG seed)
-//!    compresses [`LPN_K`] reserved base COTs with the sparse vector:
+//!    compresses `k` reserved base COTs with the sparse vector:
 //!    `x_j = (⊕_{i∈S_j} u_i) ⊕ e_j` is pseudorandom under LPN with regular
 //!    noise, and the blocks combine linearly so the COT correlation is
 //!    preserved.
@@ -35,13 +35,15 @@
 //!
 //! # Parameters
 //!
-//! The fixed parameter set (`k = 512, t = 16, n = 8192, D = 8`) is a *toy*
-//! instantiation sized for tests and the repo's CI budget, not a
-//! production-hardened LPN choice; see DESIGN.md §3i for the wire-cost
-//! accounting and the security discussion. Each refill consumes
-//! [`RESERVE`]` = k + t·d` of its own outputs and nets [`REFILL_YIELD`]
-//! fresh COTs for ≈ 4.9 KB on the wire — two orders of magnitude below the
-//! 16 B/COT an IKNP extension would move.
+//! All sizes live in the [`LpnParams`] preset struct; both parties must run
+//! the same preset since the refill schedule is derived deterministically
+//! from it. [`LpnParams::CI`] (the default) is a *toy* instantiation sized
+//! for tests and the repo's CI budget, not a production-hardened LPN
+//! choice; see DESIGN.md §3i for the wire-cost accounting and the security
+//! discussion. Per refill, each side consumes [`LpnParams::reserve`]
+//! `= k + t·d` of its own outputs and nets [`LpnParams::refill_yield`]
+//! fresh COTs for ≈ 4.9 KB on the wire (CI preset) — two orders of
+//! magnitude below the 16 B/COT an IKNP extension would move.
 //!
 //! [`IknpSender::extend_cot`]: crate::iknp::IknpSender::extend_cot
 
@@ -52,38 +54,99 @@ mod spcot;
 pub use cot::{SilentCotReceiver, SilentCotSender};
 pub use frag::{SilentChooserKeys, SilentKkChooser, SilentKkSender, SilentSenderKeys};
 
-/// LPN dimension: base COTs compressed by the local code per refill.
-pub const LPN_K: usize = 512;
+/// A primal-LPN parameter preset for the silent expansion.
+///
+/// Invariants (checked by [`validate`](Self::validate)): the trees tile the
+/// output (`t · 2^tree_depth = n`), `k` is a power of two not above 2¹⁶
+/// (the code samples indices by masking a `u16`), and one refill nets a
+/// positive yield (`n > k + t·tree_depth`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LpnParams {
+    /// LPN dimension: base COTs compressed by the local code per refill.
+    pub k: usize,
+    /// Regular-noise weight: SPCOT trees (= secret points) per refill.
+    pub t: usize,
+    /// LPN output length: COTs produced by one refill before the reserve
+    /// is set aside.
+    pub n: usize,
+    /// GGM tree depth: each tree covers `2^tree_depth = n / t` leaves.
+    pub tree_depth: usize,
+    /// Code locality: base positions XORed into each LPN output.
+    pub d: usize,
+}
 
-/// Regular-noise weight: SPCOT trees (= secret points) per refill.
-pub const LPN_T: usize = 16;
+impl LpnParams {
+    /// CI-sized preset (`k = 512, t = 16, n = 8192, depth = 9, D = 8`):
+    /// small enough that a full refill runs in a unit test, **not** a
+    /// security-bearing choice. This is the default.
+    pub const CI: LpnParams = LpnParams { k: 512, t: 16, n: 8192, tree_depth: 9, d: 8 };
 
-/// LPN output length: COTs produced by one refill before the reserve is
-/// set aside.
-pub const LPN_N: usize = 8192;
+    /// Production-scale preset (`k = 2¹⁵, t = 64, n = 2²¹, depth = 15,
+    /// D = 8`), in the regime of the Ferret one-tree parameters for ≥ 128-
+    /// bit primal-LPN security with regular noise. Each refill nets ≈ 2M
+    /// COTs for ≈ 66 KB of wire traffic; the ≈ 33 MB expanded code table
+    /// and multi-second refill cost are why CI does not run it.
+    pub const PRODUCTION: LpnParams =
+        LpnParams { k: 1 << 15, t: 64, n: 1 << 21, tree_depth: 15, d: 8 };
 
-/// GGM tree depth: each tree covers `2^TREE_DEPTH = LPN_N / LPN_T` leaves.
-pub const TREE_DEPTH: usize = 9;
+    /// Base COTs one refill consumes: `k` for the code plus one per tree
+    /// level for the SPCOT masks. Reserved out of the previous refill's
+    /// output.
+    #[must_use]
+    pub const fn reserve(&self) -> usize {
+        self.k + self.t * self.tree_depth
+    }
 
-/// Code locality: base positions XORed into each LPN output.
-pub const LPN_D: usize = 8;
+    /// Net fresh COTs one refill adds to the consumable pool.
+    #[must_use]
+    pub const fn refill_yield(&self) -> usize {
+        self.n - self.reserve()
+    }
 
-/// Base COTs one refill consumes: `LPN_K` for the code plus one per tree
-/// level for the SPCOT masks. Reserved out of the previous refill's output.
-pub const RESERVE: usize = LPN_K + LPN_T * TREE_DEPTH;
+    /// Checks the structural invariants listed on the type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant fails.
+    pub fn validate(&self) {
+        assert_eq!(self.t << self.tree_depth, self.n, "trees must tile the output");
+        assert!(
+            self.k.is_power_of_two() && self.k <= 1 << 16,
+            "unbiased u16 index sampling needs k = 2^j ≤ 2^16"
+        );
+        assert!(self.n > self.reserve(), "a refill must net a positive yield");
+        assert!(self.d >= 1, "the code must touch at least one base position");
+    }
+}
 
-/// Net fresh COTs one refill adds to the consumable pool.
-pub const REFILL_YIELD: usize = LPN_N - RESERVE;
+impl Default for LpnParams {
+    fn default() -> Self {
+        LpnParams::CI
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn parameters_are_consistent() {
-        assert_eq!(LPN_T << TREE_DEPTH, LPN_N, "trees must tile the output");
-        assert!(LPN_K.is_power_of_two(), "unbiased index sampling needs 2^k");
-        assert_eq!(RESERVE, 656);
-        assert_eq!(REFILL_YIELD, 7536);
+    fn ci_parameters_are_consistent() {
+        LpnParams::CI.validate();
+        assert_eq!(LpnParams::default(), LpnParams::CI);
+        assert_eq!(LpnParams::CI.reserve(), 656);
+        assert_eq!(LpnParams::CI.refill_yield(), 7536);
+    }
+
+    #[test]
+    fn production_parameters_are_consistent() {
+        LpnParams::PRODUCTION.validate();
+        assert_eq!(LpnParams::PRODUCTION.reserve(), 32768 + 64 * 15);
+        assert!(LpnParams::PRODUCTION.refill_yield() > 2_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "trees must tile the output")]
+    fn mismatched_tree_tiling_is_rejected() {
+        LpnParams { n: 8191, ..LpnParams::CI }.validate();
     }
 }

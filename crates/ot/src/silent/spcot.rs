@@ -12,30 +12,31 @@ use abnn2_crypto::{Block, RoHash};
 const GGM_LEFT: u128 = 1 << 125;
 const GGM_RIGHT: u128 = (1 << 125) | 1;
 
-/// Derives the two children of a GGM node.
-fn children(hash: &RoHash, node: Block) -> (Block, Block) {
-    (hash.hash_block(GGM_LEFT, node), hash.hash_block(GGM_RIGHT, node))
-}
-
 /// Expands `root` to depth `depth`. Returns the `2^depth` leaves and, per
 /// level, the XOR of all left children and of all right children produced
 /// at that level — the values the SPCOT sender masks with base COTs.
+///
+/// All child derivations of one level run as a single batched hash call,
+/// so the deepest levels (hundreds of nodes) hit the backend's wide path.
 pub(super) fn expand(
     hash: &RoHash,
     root: Block,
     depth: usize,
 ) -> (Vec<Block>, Vec<(Block, Block)>) {
+    let (tl, tr) = (Block::from(GGM_LEFT), Block::from(GGM_RIGHT));
     let mut level = vec![root];
     let mut sums = Vec::with_capacity(depth);
     for _ in 0..depth {
         let mut next = Vec::with_capacity(level.len() * 2);
-        let (mut k0, mut k1) = (Block::ZERO, Block::ZERO);
         for &node in &level {
-            let (l, r) = children(hash, node);
-            k0 ^= l;
-            k1 ^= r;
-            next.push(l);
-            next.push(r);
+            next.push(node ^ tl);
+            next.push(node ^ tr);
+        }
+        hash.hash_blocks(&mut next);
+        let (mut k0, mut k1) = (Block::ZERO, Block::ZERO);
+        for pair in next.chunks_exact(2) {
+            k0 ^= pair[0];
+            k1 ^= pair[1];
         }
         sums.push((k0, k1));
         level = next;
@@ -53,21 +54,34 @@ pub(super) fn expand(
 pub(super) fn reconstruct(hash: &RoHash, alpha: usize, depth: usize, ks: &[Block]) -> Vec<Block> {
     assert_eq!(ks.len(), depth, "one complement sum per level");
     assert!(alpha < 1 << depth, "punctured index outside the tree");
+    let (tl, tr) = (Block::from(GGM_LEFT), Block::from(GGM_RIGHT));
     let mut nodes = vec![Block::ZERO];
     let mut path = 0usize;
     for (l, &k) in ks.iter().enumerate() {
         let bit = (alpha >> (depth - 1 - l)) & 1;
         let side = bit ^ 1;
-        let mut next = vec![Block::ZERO; nodes.len() * 2];
-        let mut sum = k;
+        // Both children of every known node in one batched hash call; the
+        // path node stays skipped, exactly as in the scalar loop.
+        let mut h = Vec::with_capacity(nodes.len().saturating_sub(1) * 2);
         for (i, &node) in nodes.iter().enumerate() {
             if i == path {
                 continue;
             }
-            let (lc, rc) = children(hash, node);
-            sum ^= if side == 0 { lc } else { rc };
-            next[2 * i] = lc;
-            next[2 * i + 1] = rc;
+            h.push(node ^ tl);
+            h.push(node ^ tr);
+        }
+        hash.hash_blocks(&mut h);
+        let mut next = vec![Block::ZERO; nodes.len() * 2];
+        let mut sum = k;
+        let mut pairs = h.chunks_exact(2);
+        for i in 0..nodes.len() {
+            if i == path {
+                continue;
+            }
+            let pair = pairs.next().expect("one child pair per known node");
+            sum ^= pair[side];
+            next[2 * i] = pair[0];
+            next[2 * i + 1] = pair[1];
         }
         next[2 * path + side] = sum;
         path = 2 * path + bit;

@@ -54,9 +54,11 @@
 # BENCH_silent_ot.json (offline/online bytes and wall-clock per table
 # workload, with the silent-vs-IKNP offline comparison pinned as the
 # first entry — the ≥10× OT-extension reduction is asserted at
-# generation time) and BENCH_transformer.json (cold vs warm offline and
+# generation time), BENCH_transformer.json (cold vs warm offline and
 # online costs of one encoder-block prediction, bit-exactness asserted
-# at generation time).
+# at generation time), and BENCH_crypto.json (blocks/sec per crypto
+# backend for AES/MMO/PRG plus the IKNP transpose wall time, with the
+# ≥4× AES-NI speedup asserted at generation time where the CPU has it).
 #
 # The container has no network access to crates.io; all dependencies are
 # vendored as stubs under stubs/ (see stubs/README.md), so every cargo
@@ -180,6 +182,8 @@ if [[ "${RUN_BENCH:-0}" == "1" ]]; then
   cargo run --release -p abnn2-bench --bin bench_json -- BENCH_silent_ot.json
   echo "==> bench: regenerating BENCH_transformer.json"
   cargo run --release -p abnn2-bench --bin bench_json -- --transformer BENCH_transformer.json
+  echo "==> bench: regenerating BENCH_crypto.json"
+  cargo run --release -p abnn2-bench --bin bench_json -- --crypto BENCH_crypto.json
 fi
 
 echo "All checks passed."
